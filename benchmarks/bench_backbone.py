@@ -1,0 +1,75 @@
+"""Topology ablation — shared inter-site backbones and collective trees.
+
+The paper's single root serializes everything through its own port, so a
+WAN backbone never binds for *its* scatter.  It binds as soon as multiple
+senders cross sites at once — e.g. MPICH's binomial broadcast tree, whose
+parallel cross-site hops a capacity-1 pipe re-serializes.  This bench
+measures where each schedule wins on a two-site grid, completing the §1
+collectives discussion with the topology dimension.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.mpi import run_spmd
+from repro.workloads import two_site_grid
+
+LOCAL = [(f"a{i}", 0.01) for i in range(4)]
+REMOTE = [(f"b{i}", 0.01) for i in range(4)]
+
+
+def _bcast_duration(plat, algorithm, items=2000, hosts=None):
+    hosts = hosts or plat.host_names
+
+    def program(ctx):
+        yield from ctx.bcast(
+            "blob" if ctx.rank == 0 else None, root=0, items=items,
+            algorithm=algorithm,
+        )
+        return ctx.now
+
+    return run_spmd(plat, hosts, program).duration
+
+
+#: Interleaved rank binding: the binomial tree's final round then carries
+#: four cross-site sends at once (a_i -> b_i), which a capacity-1 backbone
+#: re-serializes.
+INTERLEAVED = ["a0", "b0", "a1", "b1", "a2", "b2", "a3", "b3"]
+
+
+def bench_backbone_capacity_vs_tree(report, benchmark):
+    rows = []
+    durations = {}
+    for capacity in (1, 2, None):
+        plat = two_site_grid(
+            LOCAL, REMOTE, lan_beta=1e-5, wan_beta=2e-4, backbone_capacity=capacity
+        )
+        flat = _bcast_duration(plat, "flat", hosts=INTERLEAVED)
+        binom = _bcast_duration(plat, "binomial", hosts=INTERLEAVED)
+        label = "unlimited" if capacity is None else str(capacity)
+        durations[(label, "flat")] = flat
+        durations[(label, "binomial")] = binom
+        rows.append((label, f"{flat:.3f}", f"{binom:.3f}"))
+
+    # The flat tree sends everything from the root — one flow at a time —
+    # so backbone capacity is irrelevant to it.
+    assert durations[("1", "flat")] == pytest.approx(
+        durations[("unlimited", "flat")]
+    )
+    # The binomial tree's parallel cross-site hops benefit from capacity.
+    assert durations[("unlimited", "binomial")] < durations[("1", "binomial")]
+    assert durations[("2", "binomial")] < durations[("1", "binomial")]
+    # And binomial still beats flat even when squeezed to one flow.
+    assert durations[("1", "binomial")] < durations[("1", "flat")]
+
+    plat1 = two_site_grid(LOCAL, REMOTE, wan_beta=2e-4, backbone_capacity=1)
+    benchmark(lambda: _bcast_duration(plat1, "binomial", hosts=INTERLEAVED))
+    report(
+        "backbone_bcast",
+        render_table(
+            ["backbone capacity", "flat tree (s)", "binomial tree (s)"],
+            rows,
+            title="Broadcast across a two-site grid (4+4 hosts, WAN 20x "
+            "slower than LAN)",
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Fig. 3 — load-balanced execution, nodes sorted by descending bandwidth.
+
+Paper's measurements: finishes between 405 s and 430 s (≤ 6% spread),
+total duration ≈ half of the uniform run.  The pure model lands at ~404 s
+with near-zero spread (their 6% came from live-grid noise — see the noisy
+variant below, which reproduces it qualitatively).
+"""
+
+import pytest
+
+from repro.analysis import render_figure
+from repro.core import uniform_counts
+from repro.simgrid import JitterNoise, SpikeNoise
+from repro.tomo import plan_counts, run_seismic_app
+from repro.workloads import PAPER_RAY_COUNT, table1_platform
+
+
+def bench_fig3_balanced(report, save_svg, benchmark, table1_env):
+    platform, hosts = table1_env["platform"], table1_env["desc"]
+    counts = plan_counts(platform, hosts, PAPER_RAY_COUNT, algorithm="lp-heuristic")
+
+    result = benchmark(lambda: run_seismic_app(platform, hosts, counts))
+
+    assert 380 < result.makespan < 440  # paper: 430 s
+    assert result.imbalance < 0.005
+
+    # The headline claim: about half the uniform duration.
+    uniform = run_seismic_app(platform, hosts, uniform_counts(PAPER_RAY_COUNT, 16))
+    gain = uniform.makespan / result.makespan
+    assert gain == pytest.approx(2.0, abs=0.3)
+
+    report(
+        "fig3_balanced_desc",
+        render_figure(
+            result.rank_hosts,
+            result.finish_times,
+            result.comm_times,
+            list(result.counts),
+            title=(
+                f"Fig. 3 — balanced, descending bandwidth (model {result.makespan:.1f} s,"
+                f" paper 405-430 s; gain over uniform {gain:.2f}x)"
+            ),
+        ),
+    )
+    from repro.analysis import figure_svg
+
+    save_svg(
+        "fig3_balanced_desc",
+        figure_svg(
+            result.rank_hosts,
+            result.finish_times,
+            result.comm_times,
+            list(result.counts),
+            title="Fig. 3 — load-balanced execution, descending bandwidth",
+        ),
+    )
+
+
+def bench_fig3_with_noise(report, benchmark, table1_env):
+    """The measured 6% spread, reproduced with jitter + the sekhmet spike."""
+    hosts = table1_env["desc"]
+    counts = plan_counts(
+        table1_env["platform"], hosts, PAPER_RAY_COUNT, algorithm="lp-heuristic"
+    )
+    noisy = table1_platform()
+    for host in noisy.hosts.values():
+        host.noise = JitterNoise(seed=1999, amplitude=0.05)
+    noisy.hosts["sekhmet"].noise = SpikeNoise("sekhmet", 0.0, 600.0, slowdown=1.06)
+
+    result = benchmark(lambda: run_seismic_app(noisy, hosts, counts))
+
+    assert 0.01 < result.imbalance < 0.15  # paper: 6%
+    report(
+        "fig3_balanced_noisy",
+        render_figure(
+            result.rank_hosts,
+            result.finish_times,
+            result.comm_times,
+            list(result.counts),
+            title=(
+                f"Fig. 3 (noisy variant) — imbalance {100 * result.imbalance:.1f}% "
+                "(paper measured 6%)"
+            ),
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Extension — balancing the converse operation (gather) by duality.
+
+Results computed per rank must come back: the root's single inbound port
+serializes the returns exactly as its outbound port serialized the
+scatter.  The time-reversal duality (``repro.core.gather``) says the
+scatter solution solves the gather too — same distribution, reversed
+service order.  This bench quantifies the order effect on Table 1 and
+checks the duality's exactness.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import fifo_order, gather_makespan, solve_gather
+from repro.workloads import PAPER_RAY_COUNT, table1_problem
+
+
+def bench_gather_orders(report, benchmark, table1_env):
+    prob = table1_problem(PAPER_RAY_COUNT)
+    plan = benchmark(lambda: solve_gather(prob, order_policy=None))
+
+    p = plan.problem.p
+    orders = {
+        "reversed scatter order (duality)": list(plan.order),
+        "rank order": list(range(p - 1)),
+        "FIFO by readiness": fifo_order(plan.problem, plan.counts),
+    }
+    rows = []
+    times = {}
+    for label, order in orders.items():
+        t = gather_makespan(plan.problem, plan.counts, order)
+        times[label] = t
+        rows.append((label, f"{t:.2f}"))
+
+    best = min(times.values())
+    assert times["reversed scatter order (duality)"] == pytest.approx(best, rel=1e-9)
+    # Duality exactness: gather == the scatter this plan mirrors.
+    assert plan.makespan == pytest.approx(plan.scatter.makespan, rel=1e-6)
+
+    report(
+        "gather_orders",
+        render_table(
+            ["service order", "gather makespan (s)"],
+            rows,
+            title=f"Gather on Table 1, n={PAPER_RAY_COUNT:,} "
+            f"(scatter optimum {plan.scatter.makespan:.2f} s — the duality "
+            "order matches it)",
+        ),
+    )

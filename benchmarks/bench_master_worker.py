@@ -1,0 +1,91 @@
+"""§6 ablation — static balanced scatter vs dynamic master/worker.
+
+The paper's §6 argues dynamic approaches "make the execution suffer from
+overheads that can be avoided with a static approach" — when the grid is
+predictable.  This bench measures both sides of the trade on the Table 1
+platform:
+
+* **predictable grid** — the static plan wins (no protocol overhead, no
+  idle master CPU, optimal sizes);
+* **unmodeled load spike** — the static plan degrades with the slowed
+  host while master/worker adapts;
+* **monitored spike** — re-planning from monitor forecasts (§3's daemon
+  note) recovers the static approach's edge even under load.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import ChunkPolicy, run_master_worker
+from repro.monitor import LoadMonitor, plan_with_monitor
+from repro.simgrid import SpikeNoise
+from repro.tomo import plan_counts, run_seismic_app
+from repro.workloads import table1_platform, table1_rank_hosts
+
+N = 100_000
+
+
+def bench_static_vs_dynamic_clean(report, benchmark, table1_env):
+    platform, hosts = table1_env["platform"], table1_env["desc"]
+    static_counts = plan_counts(platform, hosts, N)
+    static = run_seismic_app(platform, hosts, static_counts)
+    rows = [("static balanced scatter (paper)", f"{static.makespan:.2f}", "-")]
+    for label, policy in [
+        ("MW fixed 500", ChunkPolicy("fixed", chunk=500)),
+        ("MW fixed 2000", ChunkPolicy("fixed", chunk=2000)),
+        ("MW guided", ChunkPolicy("guided", factor=2, min_chunk=200)),
+    ]:
+        mw = run_master_worker(platform, hosts, N, policy=policy)
+        rows.append((label, f"{mw.makespan:.2f}", str(mw.chunks_served)))
+        assert static.makespan < mw.makespan  # the paper's §6 claim
+
+    benchmark(lambda: run_master_worker(
+        platform, hosts, N, policy=ChunkPolicy("guided", min_chunk=200)
+    ))
+    report(
+        "master_worker_clean",
+        render_table(
+            ["strategy", "makespan (s)", "chunks"],
+            rows,
+            title=f"Predictable grid, n={N:,}: static balancing wins (§6)",
+        ),
+    )
+
+
+def bench_static_vs_dynamic_under_load(report, benchmark, table1_env):
+    hosts = table1_env["desc"]
+    stale_counts = plan_counts(table1_env["platform"], hosts, N)
+
+    spiked = table1_platform()
+    spiked.hosts["caseb"].noise = SpikeNoise("caseb", 0.0, 1e9, slowdown=4.0)
+
+    static = run_seismic_app(spiked, hosts, stale_counts)
+    dynamic = run_master_worker(
+        spiked, hosts, N, policy=ChunkPolicy("guided", min_chunk=200)
+    )
+
+    # Monitor-informed replanning: sample the loaded grid, replan, run.
+    monitor = LoadMonitor()
+    for t in range(0, 60, 10):
+        monitor.sample_platform(spiked, float(t))
+    informed_counts, _ = plan_with_monitor(spiked, hosts, N, monitor)
+    informed = run_seismic_app(spiked, hosts, informed_counts)
+
+    assert dynamic.makespan < static.makespan  # MW adapts
+    assert informed.makespan < dynamic.makespan  # fresh static plan wins again
+
+    benchmark(lambda: run_seismic_app(spiked, hosts, informed_counts))
+    report(
+        "master_worker_loaded",
+        render_table(
+            ["strategy", "makespan (s)", "imbalance"],
+            [
+                ("static plan from stale costs", f"{static.makespan:.2f}",
+                 f"{100 * static.imbalance:.1f}%"),
+                ("dynamic master/worker (guided)", f"{dynamic.makespan:.2f}", "-"),
+                ("static plan from monitor forecasts", f"{informed.makespan:.2f}",
+                 f"{100 * informed.imbalance:.1f}%"),
+            ],
+            title=f"caseb under 4x load, n={N:,}: adaptation strategies",
+        ),
+    )

@@ -1,0 +1,80 @@
+"""§3 ablation — the "monitor daemon" note: forecasting quality matters.
+
+Compares forecasters feeding the planner on a drifting-load grid: the plan
+computed from each forecaster's prediction is executed on the true loaded
+platform, so forecast error converts directly into makespan.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.monitor import (
+    AdaptiveBest,
+    ExponentialSmoothing,
+    LastValue,
+    LoadMonitor,
+    RunningMean,
+    SlidingWindowMedian,
+    plan_with_monitor,
+)
+from repro.simgrid import CompositeNoise, JitterNoise, SpikeNoise
+from repro.tomo import plan_counts, run_seismic_app
+from repro.workloads import table1_platform, table1_rank_hosts
+
+N = 80_000
+
+
+def _loaded_platform():
+    """leda under sustained 1.8x load plus spiky jitter on everything."""
+    plat = table1_platform()
+    for host in plat.hosts.values():
+        noise = [JitterNoise(seed=5, amplitude=0.04)]
+        if host.machine == "leda":
+            noise.append(SpikeNoise(host.name, 0.0, 1e9, slowdown=1.8))
+        host.noise = CompositeNoise(noise)
+    return plat
+
+
+def bench_forecaster_shootout(report, benchmark):
+    hosts = table1_rank_hosts()
+    plat = _loaded_platform()
+
+    # The daemon samples every 10 s for 10 minutes before the scatter.
+    def informed_run(factory):
+        monitor = LoadMonitor(forecaster_factory=factory)
+        for t in range(0, 600, 10):
+            monitor.sample_platform(plat, float(t))
+        counts, _ = plan_with_monitor(plat, hosts, N, monitor)
+        return run_seismic_app(plat, hosts, counts)
+
+    stale_counts = plan_counts(table1_platform(), hosts, N)
+    stale = run_seismic_app(plat, hosts, stale_counts)
+
+    rows = [("no monitor (stale costs)", f"{stale.makespan:.2f}",
+             f"{100 * stale.imbalance:.1f}%")]
+    results = {}
+    for label, factory in [
+        ("LastValue", LastValue),
+        ("RunningMean", RunningMean),
+        ("SlidingWindowMedian(10)", lambda: SlidingWindowMedian(10)),
+        ("ExponentialSmoothing(0.3)", lambda: ExponentialSmoothing(0.3)),
+        ("AdaptiveBest portfolio (NWS)", AdaptiveBest),
+    ]:
+        res = informed_run(factory)
+        results[label] = res.makespan
+        rows.append((label, f"{res.makespan:.2f}", f"{100 * res.imbalance:.1f}%"))
+
+    # Every forecaster must beat the stale plan on this sustained load...
+    assert all(m < stale.makespan for m in results.values())
+    # ...and the NWS portfolio must be competitive with its best member.
+    assert results["AdaptiveBest portfolio (NWS)"] <= min(results.values()) * 1.02
+
+    benchmark(lambda: informed_run(AdaptiveBest))
+    report(
+        "monitor_forecasters",
+        render_table(
+            ["planning input", "makespan (s)", "imbalance"],
+            rows,
+            title=f"Monitor-informed planning under sustained leda load, n={N:,}",
+        ),
+    )

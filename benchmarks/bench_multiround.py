@@ -1,0 +1,88 @@
+"""§6 ablation — the overlap the paper declined (multi-installment scatter).
+
+The paper keeps the original single-shot scatter "in order to have feasible
+automatic code transformation rules" and explicitly does not interlace
+communication and computation (§6).  This bench measures what that choice
+costs on its own platform:
+
+* with the single-shot-optimal distribution, installments collapse the
+  idle-before-receive stair but leave the **makespan unchanged** — the
+  last-served rank's critical path (all sends + its compute) is identical,
+  so overlap only pays if the distribution itself is re-optimized for it
+  (the deeper restructuring the paper avoided);
+* on latency-bearing links each extra installment re-pays every latency,
+  so aggressive pipelining actively hurts.
+
+Both effects support the paper's design choice.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import run_multi_installment
+from repro.core import LinearCost
+from repro.simgrid import Host, Link, Platform
+from repro.tomo import plan_counts
+from repro.workloads import PAPER_RAY_COUNT
+
+KS = [1, 2, 4, 8, 16]
+
+
+def bench_installments_on_table1(report, benchmark, table1_env):
+    platform, hosts = table1_env["platform"], table1_env["desc"]
+    counts = plan_counts(platform, hosts, PAPER_RAY_COUNT)
+    rows = []
+    makespans = {}
+    stairs = {}
+    for k in KS:
+        res = run_multi_installment(platform, hosts, counts, k)
+        makespans[k] = res.makespan
+        stairs[k] = res.stair_area
+        rows.append((k, f"{res.makespan:.2f}", f"{res.stair_area:.1f}"))
+
+    # Stair collapses ~1/k; makespan stays put (the §6 argument).
+    assert stairs[1] > 4 * stairs[16]
+    assert makespans[16] == pytest.approx(makespans[1], rel=1e-3)
+
+    benchmark(lambda: run_multi_installment(platform, hosts, counts, 4))
+    report(
+        "multiround_table1",
+        render_table(
+            ["installments k", "makespan (s)", "stair area (s)"],
+            rows,
+            title=f"Multi-installment scatter on Table 1, n={PAPER_RAY_COUNT:,} "
+            "(balanced counts): overlap buys no makespan",
+        ),
+    )
+
+
+def bench_installments_with_latency(report, benchmark):
+    plat = Platform("wan")
+    for i in range(8):
+        plat.add_host(Host(f"h{i}", LinearCost(0.01)))
+    names = plat.host_names
+    root = names[-1]
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            latency = 0.25 if root in (u, v) else 0.0
+            plat.connect(u, v, Link.from_bandwidth(5000, latency=latency))
+    counts = plan_counts(plat, names, 10_000)
+
+    rows = []
+    makespans = {}
+    for k in KS:
+        res = run_multi_installment(plat, names, counts, k)
+        makespans[k] = res.makespan
+        rows.append((k, f"{res.makespan:.2f}"))
+    assert makespans[16] > makespans[1]  # latency re-paid per installment
+
+    benchmark(lambda: run_multi_installment(plat, names, counts, 4))
+    report(
+        "multiround_latency",
+        render_table(
+            ["installments k", "makespan (s)"],
+            rows,
+            title="Multi-installment scatter with 0.25 s link latency: "
+            "pipelining backfires",
+        ),
+    )

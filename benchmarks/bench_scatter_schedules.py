@@ -1,0 +1,97 @@
+"""§1 ablation — collective schedules (flat tree vs binomial tree).
+
+The paper motivates its work with MPICH-G2's network-aware collectives
+(binomial vs flat broadcast trees).  On the simulated layer both schedules
+are available; this bench shows when each wins, and that the paper's
+scatter (inherently flat: distinct payload per destination) is dominated
+by the root's single port — which is exactly why *distribution sizes*,
+not tree shape, are the lever the paper pulls.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import LinearCost
+from repro.mpi import run_spmd
+from repro.simgrid import Host, Link, Platform
+from repro.workloads import PAPER_RAY_COUNT, table1_platform, table1_rank_hosts
+
+
+def _uniform_platform(p, alpha=0.01, beta=1e-3):
+    plat = Platform("uniform")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(alpha)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+def _bcast_duration(plat, hosts, items, algorithm):
+    def program(ctx):
+        yield from ctx.bcast(
+            "blob" if ctx.rank == 0 else None, root=0, items=items,
+            algorithm=algorithm,
+        )
+        return ctx.now
+
+    return run_spmd(plat, hosts, program).duration
+
+
+def bench_bcast_tree_shapes(report, benchmark):
+    """Binomial wins log(P)-fold on uniform links (the MPICH default)."""
+    rows = []
+    for p in [4, 8, 16]:
+        plat = _uniform_platform(p)
+        hosts = plat.host_names
+        flat = _bcast_duration(plat, hosts, 1000, "flat")
+        binomial = _bcast_duration(plat, hosts, 1000, "binomial")
+        assert binomial < flat
+        rows.append((p, f"{flat:.2f}", f"{binomial:.2f}", f"{flat / binomial:.2f}x"))
+
+    plat16 = _uniform_platform(16)
+    benchmark(lambda: _bcast_duration(plat16, plat16.host_names, 1000, "binomial"))
+    report(
+        "bcast_schedules",
+        render_table(
+            ["P", "flat tree (s)", "binomial tree (s)", "speedup"],
+            rows,
+            title="Broadcast schedules on uniform links (MPICH binomial wins)",
+        ),
+    )
+
+
+def bench_scatter_port_bound(report, benchmark):
+    """The scatter's lower bound is the root's port time Σ Tcomm(j, n_j) —
+    no tree shape can beat it when every destination needs distinct data
+    through one port.  Balancing the n_j (the paper's approach) is the
+    only remaining lever."""
+    from repro.core import solve_heuristic, uniform_counts
+    from repro.tomo import run_seismic_app
+    from repro.workloads import table1_problem
+
+    platform = table1_platform()
+    hosts = table1_rank_hosts("bandwidth-desc")
+    n = PAPER_RAY_COUNT
+    prob = table1_problem(n)
+    balanced = solve_heuristic(prob).counts
+
+    result = benchmark(lambda: run_seismic_app(platform, hosts, balanced))
+
+    port_time = sum(
+        proc.comm(c) for proc, c in zip(prob.processors, balanced)
+    )
+    assert result.makespan >= port_time  # the single-port bound
+    report(
+        "scatter_port_bound",
+        render_table(
+            ["quantity", "seconds"],
+            [
+                ("root port busy time (sum of sends)", f"{port_time:.1f}"),
+                ("balanced scatter makespan", f"{result.makespan:.1f}"),
+                ("port share of makespan", f"{100 * port_time / result.makespan:.1f}%"),
+            ],
+            title="Why the paper balances sizes: the root port is the floor",
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Sensitivity series — when does the paper's transformation pay?
+
+Sweeps the gain (uniform/balanced makespan) over the dimensions a grid
+operator controls: processor-speed spread, communication/computation cost
+ratio, and problem size.  The paper's single platform sits at spread ≈ 4×,
+negligible comm ratio, n = 817k — squarely in the high-gain regime; these
+series map the boundaries of that regime.
+"""
+
+import pytest
+
+from repro.analysis import (
+    comm_ratio_sweep,
+    heterogeneity_sweep,
+    problem_size_sweep,
+    render_table,
+)
+
+SPREADS = [1.0, 2.0, 4.0, 8.0, 16.0]
+RATIOS = [0.01, 0.1, 0.5, 1.0, 2.0, 5.0]
+SIZES = [100, 1_000, 10_000, 100_000, 817_101]
+
+
+def bench_gain_vs_heterogeneity(report, benchmark):
+    points = benchmark(lambda: heterogeneity_sweep(SPREADS))
+    rows = [
+        (f"{pt.x:.0f}x", f"{pt.uniform_makespan:.2f}",
+         f"{pt.balanced_makespan:.2f}", f"{pt.gain:.2f}x")
+        for pt in points
+    ]
+    gains = [pt.gain for pt in points]
+    assert gains[0] == pytest.approx(1.0, abs=0.02)  # homogeneous: no gain
+    assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))  # monotone
+    assert gains[-1] > 2.0
+    report(
+        "sensitivity_heterogeneity",
+        render_table(
+            ["speed spread", "uniform (s)", "balanced (s)", "gain"],
+            rows,
+            title="Balancing gain vs processor heterogeneity "
+            "(p=16, n=100k; Table 1 sits near 4x)",
+        ),
+    )
+
+
+def bench_gain_vs_comm_ratio(report, benchmark):
+    points = benchmark(lambda: comm_ratio_sweep(RATIOS))
+    rows = [
+        (f"{pt.x:g}", f"{pt.uniform_makespan:.2f}",
+         f"{pt.balanced_makespan:.2f}", f"{pt.gain:.2f}x")
+        for pt in points
+    ]
+    gains = {pt.x: pt.gain for pt in points}
+    # Compute-bound: full heterogeneity gain; comm-bound: the serial port
+    # dominates every schedule and the gain shrinks.
+    assert gains[0.01] > gains[5.0]
+    assert gains[5.0] < 1.6
+    report(
+        "sensitivity_comm_ratio",
+        render_table(
+            ["comm/comp ratio", "uniform (s)", "balanced (s)", "gain"],
+            rows,
+            title="Balancing gain vs communication share "
+            "(gain collapses once the root port dominates)",
+        ),
+    )
+
+
+def bench_gain_vs_problem_size(report, benchmark):
+    points = benchmark(lambda: problem_size_sweep(SIZES))
+    rows = [
+        (f"{int(pt.x):,}", f"{pt.uniform_makespan:.3f}",
+         f"{pt.balanced_makespan:.3f}", f"{pt.gain:.3f}x")
+        for pt in points
+    ]
+    gains = [pt.gain for pt in points]
+    # The asymptotic (rational-limit) gain is reached early and is stable.
+    assert gains[-1] == pytest.approx(gains[-2], rel=0.02)
+    assert gains[-1] > 1.8
+    report(
+        "sensitivity_problem_size",
+        render_table(
+            ["n", "uniform (s)", "balanced (s)", "gain"],
+            rows,
+            title="Balancing gain vs problem size (Table 1 platform)",
+        ),
+    )

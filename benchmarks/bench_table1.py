@@ -1,0 +1,85 @@
+"""Table 1 — processors used as computational nodes.
+
+Regenerates the paper's Table 1 from the platform description, and — since
+the original α column came from benchmarking the application on each
+machine — also calibrates the *real* per-ray cost of our ray tracer on the
+local machine with the same linear-fit methodology (`fit_linear`).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import fit_linear
+from repro.tomo import RayTracer, generate_catalog
+from repro.workloads import TABLE1_MACHINES
+
+
+def bench_table1_rows(report, benchmark, table1_env):
+    """Print Table 1; benchmark the platform construction."""
+    from repro.workloads import table1_platform
+
+    benchmark(table1_platform)
+
+    rows = [
+        (
+            m.name,
+            ",".join(str(c) for c in m.cpu_numbers),
+            m.cpu_type,
+            f"{m.alpha:.6f}",
+            f"{m.rating:.2f}",
+            f"{m.beta:.2e}" if m.beta else "0",
+        )
+        for m in TABLE1_MACHINES
+    ]
+    report(
+        "table1",
+        render_table(
+            ["Machine", "CPU #", "Type", "alpha (s/ray)", "Rating", "beta (s/ray)"],
+            rows,
+            title="Table 1 (paper values, driving the simulated platform)",
+        ),
+    )
+
+
+def bench_local_alpha_calibration(report, benchmark):
+    """Calibrate this machine's per-ray cost, as §5.1 did on each node.
+
+    The fitted rate parameterizes a LinearCost exactly like Table 1's α;
+    absolute values differ from 2003 hardware by orders of magnitude, which
+    is immaterial — the load-balancing maths only consumes ratios.
+    """
+    tracer = RayTracer(n_p=256, n_r=1024, n_delta=512)
+    tracer.travel_time_curve()  # pay the one-off curve construction
+    cat = generate_catalog(60_000, seed=1)
+    from repro.tomo.geometry import epicentral_distance
+
+    delta = epicentral_distance(
+        cat["src_lat"], cat["src_lon"], cat["sta_lat"], cat["sta_lon"]
+    )
+
+    def trace_batch():
+        return tracer.travel_times(delta, depth_km=cat["depth_km"])
+
+    benchmark(trace_batch)
+
+    sizes = [5_000, 10_000, 20_000, 40_000, 60_000]
+    timings = []
+    for k in sizes:
+        t0 = time.perf_counter()
+        tracer.travel_times(delta[:k], depth_km=cat["depth_km"][:k])
+        timings.append(time.perf_counter() - t0)
+    alpha = fit_linear(sizes, timings)
+    rows = [(k, f"{t * 1e3:.2f} ms") for k, t in zip(sizes, timings)]
+    rows.append(("fitted alpha", f"{float(alpha.rate):.3e} s/ray"))
+    report(
+        "table1_local_calibration",
+        render_table(
+            ["rays", "trace time"],
+            rows,
+            title="Local calibration of the real ray tracer (fit_linear)",
+        ),
+    )
+    assert float(alpha.rate) > 0

@@ -1,0 +1,59 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` file regenerates one of the paper's tables or figures.
+The rendered rows/series are written to ``benchmarks/out/<name>.txt`` (and
+echoed to stdout, visible with ``pytest -s``), while pytest-benchmark
+collects the timing statistics.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer fixture: ``report(name, text)`` persists a rendered report."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(OUT_DIR, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        # Echo for interactive runs; pytest captures this unless -s is given.
+        sys.stdout.write(f"\n=== {name} ===\n{text}\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def save_svg():
+    """Writer fixture: ``save_svg(name, svg_text)`` persists an SVG figure."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _write(name: str, svg: str) -> None:
+        path = os.path.join(OUT_DIR, f"{name}.svg")
+        with open(path, "w") as f:
+            f.write(svg)
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def table1_env():
+    """The paper's platform and both rank orderings (built once)."""
+    from repro.workloads import table1_platform, table1_rank_hosts
+
+    platform = table1_platform()
+    return {
+        "platform": platform,
+        "desc": table1_rank_hosts("bandwidth-desc"),
+        "asc": table1_rank_hosts("bandwidth-asc"),
+    }

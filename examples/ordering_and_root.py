@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Policy playground: processor ordering (Theorem 3) and root choice (§3.4).
+
+Builds a two-site grid with asymmetric links, then:
+
+1. compares every ordering policy against the exhaustive optimum over all
+   (p-1)! orders — watch Theorem 3's descending-bandwidth order win;
+2. evaluates every processor as a candidate root, with the data initially
+   on one site and a fat pipe to the other — watch the best root move off
+   the data host.
+
+Run:  python examples/ordering_and_root.py
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.core import (
+    LinearCost,
+    ZeroCost,
+    apply_policy,
+    brute_force_best_order,
+    choose_root,
+    solve_closed_form,
+    solve_heuristic,
+)
+from repro.workloads import random_linear_problem
+
+# ---------------------------------------------------------------- ordering
+rng = random.Random(42)
+problem = random_linear_problem(rng, p=6, n=5_000)
+
+rows = []
+for policy in ("bandwidth-desc", "bandwidth-asc", "fastest-first", "original"):
+    res = solve_heuristic(apply_policy(problem, policy, rng=rng))
+    rows.append((policy, f"{res.makespan:.4f}"))
+
+best_prob, best_res, table = brute_force_best_order(problem, solve_closed_form)
+rows.append((f"exhaustive best of {len(table)} orders", f"{best_res.makespan:.4f}"))
+
+print(render_table(["ordering policy", "makespan (s)"], rows,
+                   title="Theorem 3 in practice (6 random heterogeneous processors)"))
+print(f"best order found by brute force: {best_prob.names}")
+from repro.core import guarantee_gap  # noqa: E402
+
+print(
+    "note: Theorem 3 is exact for *rational* shares; after integer rounding\n"
+    f"all orderings within the Eq. 4 gap ({float(guarantee_gap(problem)):.4f} s)\n"
+    "of the brute-force optimum are ties — which is what you see above."
+)
+
+# ---------------------------------------------------------------- root choice
+names = ["paris-hub", "paris-1", "paris-2", "lyon-data", "lyon-1"]
+comp = [LinearCost(0.004), LinearCost(0.01), LinearCost(0.01),
+        LinearCost(0.012), LinearCost(0.008)]
+access = {"paris-hub": 2e-6, "paris-1": 3e-5, "paris-2": 3e-5,
+          "lyon-data": 2e-4, "lyon-1": 6e-5}
+
+
+def link(src: int, dst: int):
+    if src == dst:
+        return ZeroCost()
+    pair = {names[src], names[dst]}
+    if pair == {"lyon-data", "paris-hub"}:
+        return LinearCost(4e-6)  # dedicated inter-site fibre
+    return LinearCost(max(access[names[src]], access[names[dst]]))
+
+
+choice = choose_root(names, comp, link, n=200_000, data_host=names.index("lyon-data"))
+
+rows = [
+    (names[r], f"{tr:.2f}", f"{mk:.2f}", f"{tot:.2f}",
+     "  <-- best" if r == choice.root else "")
+    for r, tr, mk, tot in sorted(choice.candidates, key=lambda c: c[3])
+]
+print()
+print(render_table(
+    ["candidate root", "data transfer (s)", "balanced run (s)", "total (s)", ""],
+    rows,
+    title="Section 3.4: pick the root (data initially on lyon-data)",
+))
+print(f"\nchosen root: {names[choice.root]} "
+      f"(ships the data over the fibre, then scatters on fast local links)")

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments where the ``wheel`` package (needed
+by the PEP 517 editable path of older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Analysis helpers: experiment metrics and plain-text reports."""
+
+from .metrics import ExperimentSummary, imbalance, speedup, summarize
+from .report import format_seconds, render_figure, render_table
+from .svg import figure_svg, gantt_svg
+from .sweep import (
+    SweepPoint,
+    comm_ratio_sweep,
+    gain_for_problem,
+    heterogeneity_sweep,
+    problem_size_sweep,
+)
+
+__all__ = [
+    "ExperimentSummary",
+    "imbalance",
+    "speedup",
+    "summarize",
+    "render_table",
+    "render_figure",
+    "format_seconds",
+    "figure_svg",
+    "gantt_svg",
+    "SweepPoint",
+    "gain_for_problem",
+    "heterogeneity_sweep",
+    "comm_ratio_sweep",
+    "problem_size_sweep",
+]

@@ -1,0 +1,77 @@
+"""Derived metrics for experiment summaries.
+
+Quantifies what the paper reads off its figures: earliest/latest finish
+times, the finish-time spread ("a maximum difference in finish times of 6%
+of the total duration"), balancing gains ("approximately half the duration
+of the first experiment"), and the stair-effect area of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["imbalance", "speedup", "ExperimentSummary", "summarize"]
+
+
+def imbalance(finish_times: Sequence[float], counts: Optional[Sequence[int]] = None) -> float:
+    """Finish-time spread over the makespan, over ranks that did work."""
+    times = list(finish_times)
+    if counts is not None:
+        times = [t for t, c in zip(times, counts) if c > 0]
+    times = [t for t in times if t > 0]
+    if not times or max(times) == 0:
+        return 0.0
+    return (max(times) - min(times)) / max(times)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline over improved duration (2.0 = "half the duration")."""
+    if improved <= 0:
+        raise ValueError(f"improved duration must be > 0, got {improved}")
+    return baseline / improved
+
+
+@dataclass(frozen=True)
+class ExperimentSummary:
+    """One experiment's headline numbers."""
+
+    label: str
+    makespan: float
+    earliest_finish: float
+    latest_finish: float
+    imbalance: float
+    total_comm_time: float
+    stair_area: Optional[float] = None
+
+    def row(self) -> Tuple:
+        return (
+            self.label,
+            self.makespan,
+            self.earliest_finish,
+            self.latest_finish,
+            100.0 * self.imbalance,
+            self.total_comm_time,
+        )
+
+
+def summarize(
+    label: str,
+    finish_times: Sequence[float],
+    comm_times: Sequence[float],
+    counts: Optional[Sequence[int]] = None,
+    stair_area: Optional[float] = None,
+) -> ExperimentSummary:
+    """Build an :class:`ExperimentSummary` from per-rank measurements."""
+    working: List[float] = list(finish_times)
+    if counts is not None:
+        working = [t for t, c in zip(finish_times, counts) if c > 0] or working
+    return ExperimentSummary(
+        label=label,
+        makespan=max(finish_times) if finish_times else 0.0,
+        earliest_finish=min(working) if working else 0.0,
+        latest_finish=max(working) if working else 0.0,
+        imbalance=imbalance(finish_times, counts),
+        total_comm_time=float(sum(comm_times)),
+        stair_area=stair_area,
+    )

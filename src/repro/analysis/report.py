@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and figure-style bar charts.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and readable in a terminal:
+
+* :func:`render_table` — fixed-width ASCII tables (Table 1, summaries);
+* :func:`render_figure` — horizontal-bar rendition of Figs. 2–4: one row
+  per processor with total time, communication time, and data amount.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["render_table", "render_figure", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Compact duration rendering (consistent across reports)."""
+    if value >= 100:
+        return f"{value:8.1f}s"
+    if value >= 1:
+        return f"{value:8.3f}s"
+    return f"{value:8.5f}s"
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: Optional[str] = None
+) -> str:
+    """Fixed-width ASCII table; floats rendered with %.6g."""
+    str_rows = [[_fmt_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_figure(
+    names: Sequence[str],
+    total_times: Sequence[float],
+    comm_times: Sequence[float],
+    counts: Sequence[int],
+    *,
+    title: Optional[str] = None,
+    width: int = 46,
+) -> str:
+    """Figs. 2-4 as horizontal bars.
+
+    Each row shows the processor's total time as a bar (`#`), with the
+    leading communication window marked `r`, plus the numeric total time,
+    communication time, and amount of data — the three series of the
+    paper's figures.
+    """
+    if not (len(names) == len(total_times) == len(comm_times) == len(counts)):
+        raise ValueError("all series must have the same length")
+    span = max(total_times) if total_times else 0.0
+    name_w = max((len(n) for n in names), default=4)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for n, total, comm, cnt in zip(names, total_times, comm_times, counts):
+        if span > 0:
+            bar_len = int(round(total / span * width))
+            comm_len = min(bar_len, int(round(comm / span * width)))
+        else:
+            bar_len = comm_len = 0
+        bar = "r" * comm_len + "#" * (bar_len - comm_len)
+        out.append(
+            f"{n:>{name_w}} |{bar.ljust(width)}| "
+            f"total {format_seconds(total)}  comm {format_seconds(comm)}  "
+            f"data {cnt:>8d}"
+        )
+    if span > 0:
+        out.append(f"{'':>{name_w}}  0{'':{max(width - 10, 0)}}{span:>9.4g}s")
+    return "\n".join(out)

@@ -1,0 +1,165 @@
+"""Parameter sweeps: where does load-balancing pay, and how much?
+
+The paper evaluates one platform and one n.  These helpers generate the
+surrounding *sensitivity series* — balancing gain as a function of
+processor heterogeneity, of the communication/computation ratio, and of
+problem size — so a user can judge whether their own grid is in the
+regime where the transformation matters.
+
+Each sweep returns a list of :class:`SweepPoint` (x, uniform makespan,
+balanced makespan, gain); rendering is left to
+:func:`repro.analysis.report.render_table`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.distribution import Processor, ScatterProblem, uniform_counts
+from ..core.heuristic import solve_heuristic
+from ..core.ordering import order_descending_bandwidth
+
+__all__ = [
+    "SweepPoint",
+    "gain_for_problem",
+    "heterogeneity_sweep",
+    "comm_ratio_sweep",
+    "problem_size_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    x: float
+    uniform_makespan: float
+    balanced_makespan: float
+
+    @property
+    def gain(self) -> float:
+        """Uniform over balanced duration (1.0 = balancing buys nothing)."""
+        if self.balanced_makespan <= 0:
+            return 1.0
+        return self.uniform_makespan / self.balanced_makespan
+
+
+def gain_for_problem(problem: ScatterProblem) -> SweepPoint:
+    """Uniform vs balanced makespans for one instance (Theorem 3 order)."""
+    ordered = order_descending_bandwidth(problem)
+    uniform = ordered.makespan(list(uniform_counts(problem.n, problem.p)))
+    balanced = solve_heuristic(ordered).makespan
+    return SweepPoint(x=float("nan"), uniform_makespan=uniform,
+                      balanced_makespan=balanced)
+
+
+def _spread_processors(
+    p: int,
+    spread: float,
+    *,
+    alpha_mid: float = 0.01,
+    beta_mid: float = 2e-5,
+    beta_spread: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Processor]:
+    """Processors whose α spans a factor ``spread`` around the mid.
+
+    ``beta_spread`` controls link heterogeneity independently (default:
+    same as ``spread``; pass 1.0 for a homogeneous network).  Rates are
+    placed log-uniformly over ``[mid/√spread, mid·√spread]`` —
+    deterministically when ``rng`` is None (evenly spaced), randomly
+    otherwise.  The root (last) gets the middle compute rate and a free
+    link.
+    """
+    if spread < 1.0:
+        raise ValueError("spread must be >= 1")
+    b_spread = spread if beta_spread is None else beta_spread
+    if b_spread < 1.0:
+        raise ValueError("beta_spread must be >= 1")
+    procs = []
+    for i in range(p - 1):
+        if rng is None:
+            frac = 0.5 if p == 2 else i / (p - 2) if p > 2 else 0.5
+        else:
+            frac = rng.random()
+        alpha = alpha_mid * spread ** (frac - 0.5)
+        beta = beta_mid * b_spread ** (frac - 0.5)
+        procs.append(Processor.linear(f"P{i + 1}", alpha, beta))
+    procs.append(Processor.linear("root", alpha_mid, 0.0))
+    return procs
+
+
+def heterogeneity_sweep(
+    spreads: Sequence[float],
+    *,
+    p: int = 16,
+    n: int = 100_000,
+) -> List[SweepPoint]:
+    """Gain vs processor-speed spread (max α / min α).
+
+    ``spread = 1`` is a homogeneous cluster (gain ≈ 1 — the transformation
+    is free but useless); the paper's Table 1 spans ≈ 4×.
+    """
+    out = []
+    for spread in spreads:
+        problem = ScatterProblem(_spread_processors(p, spread), n)
+        point = gain_for_problem(problem)
+        out.append(SweepPoint(spread, point.uniform_makespan, point.balanced_makespan))
+    return out
+
+
+def comm_ratio_sweep(
+    ratios: Sequence[float],
+    *,
+    p: int = 16,
+    n: int = 100_000,
+    spread: float = 4.0,
+) -> List[SweepPoint]:
+    """Gain vs communication/computation cost ratio (homogeneous network).
+
+    ``ratio`` sets every (identical) β so that the *total* communication
+    time of a uniform run is roughly ``ratio`` times its average compute
+    time.  With heterogeneous CPUs but a homogeneous network, balancing
+    fixes compute imbalance only; once the root's serial port dominates
+    (``ratio >> 1``), every distribution spends the same ``β·n`` on the
+    wire and the gain collapses toward 1.
+    """
+    out = []
+    for ratio in ratios:
+        # Uniform shares are n/p, so total comm ≈ (p-1)·β·n/p and average
+        # compute ≈ α·n/p; their ratio is r when β = r·α/(p-1).
+        alpha_mid = 0.01
+        beta_mid = ratio * alpha_mid / (p - 1)
+        problem = ScatterProblem(
+            _spread_processors(p, spread, alpha_mid=alpha_mid, beta_mid=beta_mid,
+                               beta_spread=1.0),
+            n,
+        )
+        point = gain_for_problem(problem)
+        out.append(SweepPoint(ratio, point.uniform_makespan, point.balanced_makespan))
+    return out
+
+
+def problem_size_sweep(
+    sizes: Sequence[int],
+    *,
+    problem_factory: Optional[Callable[[int], ScatterProblem]] = None,
+) -> List[SweepPoint]:
+    """Gain vs n (defaults to the Table 1 platform).
+
+    For linear costs the gain is n-independent in the rational limit;
+    integer effects make tiny n noisier — this sweep shows how fast the
+    asymptote is reached.
+    """
+    if problem_factory is None:
+        from ..workloads.table1 import table1_problem
+
+        problem_factory = table1_problem
+    out = []
+    for n in sizes:
+        point = gain_for_problem(problem_factory(n))
+        out.append(SweepPoint(float(n), point.uniform_makespan, point.balanced_makespan))
+    return out

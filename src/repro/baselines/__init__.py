@@ -1,0 +1,13 @@
+"""Comparison baselines and declined alternatives from the paper's §6."""
+
+from .master_worker import ChunkPolicy, MasterWorkerResult, run_master_worker
+from .multiround import MultiRoundResult, run_multi_installment, split_installments
+
+__all__ = [
+    "ChunkPolicy",
+    "MasterWorkerResult",
+    "run_master_worker",
+    "MultiRoundResult",
+    "run_multi_installment",
+    "split_installments",
+]

@@ -1,0 +1,171 @@
+"""Dynamic master/worker baseline (paper §6, related work).
+
+The paper contrasts its *static* scatter balancing against the
+master/slave paradigm ([13], [16], [24] in its bibliography): a master
+hands out chunks on demand, so the distribution adapts to load noise at
+the price of per-chunk protocol overhead and of "a far more complex code
+rewriting process" (§6).  This module implements that baseline on the
+simulated MPI layer so the trade-off can be measured:
+
+* workers request work on a wildcard channel and receive chunks;
+* the master serves requests FIFO until the pool is drained, then sends
+  empty chunks as poison pills;
+* chunking policies: ``fixed`` (constant chunk size) and ``guided``
+  (OpenMP-style ``remaining / (factor · workers)`` decreasing chunks).
+
+The master does not compute (the usual MW structure); with the root last
+in the rank binding, rank ``size-1`` is the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from ..mpi.communicator import RankContext
+from ..mpi.runtime import MpiRun, run_spmd
+from ..simgrid.platform import Platform
+
+__all__ = ["ChunkPolicy", "MasterWorkerResult", "run_master_worker"]
+
+_TAG_REQUEST = 40
+_TAG_WORK = 41
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """How the master sizes the chunks it hands out.
+
+    ``kind="fixed"`` always serves ``chunk`` items; ``kind="guided"``
+    serves ``max(min_chunk, remaining // (factor * workers))`` — large
+    chunks early (low overhead), small chunks late (good balance).
+    """
+
+    kind: str = "fixed"
+    chunk: int = 1000
+    factor: int = 2
+    min_chunk: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "guided"):
+            raise ValueError(f"unknown chunk policy kind {self.kind!r}")
+        if self.chunk < 1 or self.min_chunk < 1 or self.factor < 1:
+            raise ValueError("chunk, min_chunk and factor must be >= 1")
+
+    def next_chunk(self, remaining: int, workers: int) -> int:
+        if self.kind == "fixed":
+            return min(self.chunk, remaining)
+        guided = remaining // (self.factor * max(workers, 1))
+        return min(remaining, max(self.min_chunk, guided))
+
+
+@dataclass
+class MasterWorkerResult:
+    """Outcome of a master/worker run."""
+
+    run: MpiRun
+    counts: Tuple[int, ...]  #: items processed per rank (master = 0)
+    chunks_served: int
+    rank_hosts: List[str]
+
+    @property
+    def makespan(self) -> float:
+        return self.run.duration
+
+    @property
+    def finish_times(self) -> List[float]:
+        return self.run.finish_times()
+
+
+def _master(ctx: RankContext, n: int, policy: ChunkPolicy, stats: dict) -> Generator:
+    workers = ctx.size - 1
+    remaining = n
+    next_offset = 0
+    finished = 0
+    chunks = 0
+    while finished < workers:
+        request = yield from ctx.recv_any(tag=_TAG_REQUEST)
+        worker = request.payload  # the worker's rank
+        if remaining > 0:
+            c = policy.next_chunk(remaining, workers)
+            yield from ctx.send(
+                worker, (next_offset, c), items=c, tag=_TAG_WORK
+            )
+            next_offset += c
+            remaining -= c
+            chunks += 1
+        else:
+            yield from ctx.send(worker, None, items=0, tag=_TAG_WORK)
+            finished += 1
+    stats["chunks"] = chunks
+    return 0
+
+
+def _worker(ctx: RankContext, master: int, request_items: int) -> Generator:
+    processed = 0
+    while True:
+        yield from ctx.send(
+            master, ctx.rank, items=request_items, tag=_TAG_REQUEST, to_any=True
+        )
+        work = yield from ctx.recv(master, tag=_TAG_WORK)
+        if work is None:
+            return processed
+        _offset, count = work
+        yield from ctx.compute(count)
+        processed += count
+
+
+def _program(ctx: RankContext, n: int, policy: ChunkPolicy, master: int,
+             request_items: int, stats: dict) -> Generator:
+    if ctx.rank == master:
+        result = yield from _master(ctx, n, policy, stats)
+    else:
+        result = yield from _worker(ctx, master, request_items)
+    return result
+
+
+def run_master_worker(
+    platform: Platform,
+    rank_hosts: Sequence[str],
+    n: int,
+    *,
+    policy: Optional[ChunkPolicy] = None,
+    request_items: int = 1,
+) -> MasterWorkerResult:
+    """Run the demand-driven baseline; the last rank is the master.
+
+    Parameters
+    ----------
+    n:
+        Number of independent items in the pool.
+    policy:
+        Chunking policy (default: fixed chunks of 1000).
+    request_items:
+        Size, in data items, accounted for each request message.  With
+        purely linear links a zero-size request would be free; one item
+        approximates a small control message (and affine links charge
+        their latency regardless).
+    """
+    if len(rank_hosts) < 2:
+        raise ValueError("master/worker needs at least one worker")
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    policy = policy or ChunkPolicy()
+    master = len(rank_hosts) - 1
+    stats: dict = {}
+    run = run_spmd(
+        platform, rank_hosts, _program, n, policy, master, request_items, stats
+    )
+    counts = tuple(
+        0 if r == master else int(run.results[r]) for r in range(len(rank_hosts))
+    )
+    if sum(counts) != n:
+        raise AssertionError(
+            f"master/worker lost items: served {sum(counts)} of {n}"
+        )
+    return MasterWorkerResult(
+        run=run,
+        counts=counts,
+        chunks_served=int(stats.get("chunks", 0)),
+        rank_hosts=list(rank_hosts),
+    )

@@ -1,0 +1,298 @@
+"""Command-line interface: ``repro-scatter`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``table1``
+    Print the reproduced Table 1 (the experimental platform).
+``plan``
+    Compute a load-balanced distribution for a platform file or the
+    built-in Table 1 platform.
+``simulate``
+    Run the seismic application on the simulated grid with a chosen
+    distribution and print a Figs. 2-4 style report.
+``figures``
+    Regenerate the paper's Fig. 2 / Fig. 3 / Fig. 4 summary in one shot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import render_figure, render_table
+from .core.distribution import uniform_counts
+from .core.solver import ALGORITHMS, plan_scatter
+from .simgrid.platform import Platform
+from .tomo.app import plan_counts, run_seismic_app
+from .workloads.table1 import (
+    PAPER_RAY_COUNT,
+    ROOT_MACHINE,
+    TABLE1_MACHINES,
+    table1_platform,
+    table1_rank_hosts,
+)
+
+__all__ = ["main"]
+
+
+def _load_platform(args: argparse.Namespace) -> Platform:
+    if args.platform:
+        return Platform.load(args.platform)
+    return table1_platform()
+
+
+def _rank_hosts(platform: Platform, args: argparse.Namespace) -> List[str]:
+    if args.platform:
+        root = args.root or platform.host_names[-1]
+        others = [h for h in platform.host_names if h != root]
+        return others + [root]
+    return table1_rank_hosts(args.order)
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            m.name,
+            ",".join(str(c) for c in m.cpu_numbers),
+            m.cpu_type,
+            m.alpha,
+            m.rating,
+            m.beta,
+            m.site,
+        )
+        for m in TABLE1_MACHINES
+    ]
+    print(
+        render_table(
+            ["Machine", "CPU #", "Type", "alpha (s/ray)", "Rating", "beta (s/ray)", "Site"],
+            rows,
+            title="Table 1: processors used as computational nodes",
+        )
+    )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    platform = _load_platform(args)
+    hosts = _rank_hosts(platform, args)
+    problem = platform.to_problem(args.n, hosts[-1], order=hosts[:-1])
+    result = plan_scatter(problem, algorithm=args.algorithm, order_policy=None)
+    rows = [
+        (proc.name, c, f"{t:.3f}")
+        for proc, c, t in zip(
+            result.problem.processors, result.counts, result.finish_times
+        )
+    ]
+    print(
+        render_table(
+            ["Processor", "Items", "Finish (s)"],
+            rows,
+            title=f"Distribution ({result.algorithm}), predicted makespan "
+            f"{result.makespan:.3f} s",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    platform = _load_platform(args)
+    hosts = _rank_hosts(platform, args)
+    if args.algorithm == "uniform":
+        counts = uniform_counts(args.n, len(hosts))
+    else:
+        counts = plan_counts(platform, hosts, args.n, algorithm=args.algorithm)
+    result = run_seismic_app(platform, hosts, counts)
+    print(
+        render_figure(
+            hosts,
+            result.finish_times,
+            result.comm_times,
+            list(result.counts),
+            title=f"Simulated run — {args.algorithm} distribution, n={args.n}, "
+            f"makespan {result.makespan:.1f} s, imbalance "
+            f"{100 * result.imbalance:.1f}%",
+        )
+    )
+    if args.svg:
+        from .analysis.svg import figure_svg
+
+        with open(args.svg, "w") as f:
+            f.write(
+                figure_svg(
+                    hosts,
+                    result.finish_times,
+                    result.comm_times,
+                    list(result.counts),
+                    title=f"Simulated run ({args.algorithm}, n={args.n})",
+                )
+            )
+        print(f"\nwrote {args.svg}")
+    if args.gantt:
+        from .analysis.svg import gantt_svg
+
+        with open(args.gantt, "w") as f:
+            f.write(
+                gantt_svg(
+                    result.run.recorder,
+                    result.run.trace_names,
+                    title=f"Simulated run ({args.algorithm}, n={args.n})",
+                )
+            )
+        print(f"wrote {args.gantt}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    platform = table1_platform()
+    n = args.n
+    configs = [
+        ("Fig. 2 — uniform distribution (original program)", "bandwidth-desc", "uniform"),
+        ("Fig. 3 — balanced, descending bandwidth", "bandwidth-desc", "lp-heuristic"),
+        ("Fig. 4 — balanced, ascending bandwidth", "bandwidth-asc", "lp-heuristic"),
+    ]
+    summaries = []
+    for title, order, algo in configs:
+        hosts = table1_rank_hosts(order)
+        if algo == "uniform":
+            counts = uniform_counts(n, len(hosts))
+        else:
+            counts = plan_counts(platform, hosts, n, algorithm=algo)
+        res = run_seismic_app(platform, hosts, counts)
+        print(
+            render_figure(
+                hosts, res.finish_times, res.comm_times, list(res.counts),
+                title=f"{title}  (makespan {res.makespan:.1f} s)",
+            )
+        )
+        print()
+        summaries.append((title.split(" — ")[0], res.makespan, 100 * res.imbalance))
+    print(render_table(["Experiment", "Makespan (s)", "Imbalance (%)"], summaries))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweep import comm_ratio_sweep, heterogeneity_sweep, problem_size_sweep
+
+    if args.dimension == "heterogeneity":
+        points = heterogeneity_sweep([1.0, 2.0, 4.0, 8.0, 16.0], p=args.p, n=args.n)
+        label = "speed spread"
+    elif args.dimension == "comm-ratio":
+        points = comm_ratio_sweep([0.01, 0.1, 0.5, 1.0, 2.0, 5.0], p=args.p, n=args.n)
+        label = "comm/comp ratio"
+    else:
+        points = problem_size_sweep([100, 1_000, 10_000, 100_000, PAPER_RAY_COUNT])
+        label = "n"
+    rows = [
+        (f"{pt.x:g}", f"{pt.uniform_makespan:.3f}", f"{pt.balanced_makespan:.3f}",
+         f"{pt.gain:.3f}x")
+        for pt in points
+    ]
+    print(
+        render_table(
+            [label, "uniform (s)", "balanced (s)", "gain"],
+            rows,
+            title=f"Balancing gain vs {label}",
+        )
+    )
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    from .transform import rewrite_runtime, rewrite_static
+
+    with open(args.source) as f:
+        source = f.read()
+    if args.runtime:
+        out = rewrite_runtime(source)
+    else:
+        platform = _load_platform(args)
+        hosts = _rank_hosts(platform, args)
+        counts = plan_counts(platform, hosts, args.n, algorithm=args.algorithm)
+        out = rewrite_static(source, counts)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(out)
+        print(f"rewrote {args.source} -> {args.output}")
+    else:
+        print(out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scatter",
+        description="Load-balancing scatter operations for grid computing "
+        "(IPPS 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 platform").set_defaults(
+        fn=cmd_table1
+    )
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--platform", help="platform JSON file (default: Table 1)")
+        p.add_argument("--root", help="root host (platform files only)")
+        p.add_argument(
+            "--order",
+            default="bandwidth-desc",
+            choices=["bandwidth-desc", "bandwidth-asc", "cpu-number"],
+            help="rank ordering for the Table 1 platform",
+        )
+        p.add_argument("--n", type=int, default=PAPER_RAY_COUNT, help="items to scatter")
+        p.add_argument(
+            "--algorithm",
+            default="auto",
+            choices=list(ALGORITHMS),
+            help="distribution algorithm",
+        )
+
+    p_plan = sub.add_parser("plan", help="compute a balanced distribution")
+    common(p_plan)
+    p_plan.set_defaults(fn=cmd_plan)
+
+    p_sim = sub.add_parser("simulate", help="simulate the seismic application")
+    common(p_sim)
+    p_sim.add_argument("--svg", help="also write a Figs. 2-4 style SVG here")
+    p_sim.add_argument("--gantt", help="also write a Fig. 1 style Gantt SVG here")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_fig = sub.add_parser("figures", help="regenerate Figs. 2-4 summaries")
+    p_fig.add_argument("--n", type=int, default=PAPER_RAY_COUNT)
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_sw = sub.add_parser("sweep", help="print a sensitivity series")
+    p_sw.add_argument(
+        "dimension",
+        choices=["heterogeneity", "comm-ratio", "size"],
+        help="which series to sweep",
+    )
+    p_sw.add_argument("--p", type=int, default=16, help="processor count")
+    p_sw.add_argument("--n", type=int, default=100_000, help="items")
+    p_sw.set_defaults(fn=cmd_sweep)
+
+    p_rw = sub.add_parser(
+        "rewrite", help="rewrite MPI_Scatter calls in a C source to MPI_Scatterv"
+    )
+    common(p_rw)
+    p_rw.add_argument("source", help="C source file to transform")
+    p_rw.add_argument("--output", help="write here instead of stdout")
+    p_rw.add_argument(
+        "--runtime",
+        action="store_true",
+        help="emit a runtime-computed distribution (C helper) instead of "
+        "baking in static counts",
+    )
+    p_rw.set_defaults(fn=cmd_rewrite)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,508 @@
+"""Cost-function model for scatter load-balancing.
+
+The paper characterizes every processor ``P_i`` by two duration functions
+(§3.1):
+
+* ``Tcomp(i, x)`` — the time ``P_i`` needs to *compute* ``x`` data items,
+* ``Tcomm(i, x)`` — the time the root needs to *send* ``x`` items to ``P_i``.
+
+The algorithms put increasingly strong hypotheses on these functions:
+
+* **Algorithm 1** (``repro.core.dp_basic``) only needs them *non-negative*
+  and *null at 0*;
+* **Algorithm 2** (``repro.core.dp_optimized``) additionally needs them
+  *non-decreasing*;
+* the **LP heuristic** (``repro.core.heuristic``) needs them *affine*;
+* the **closed form** of §4 (``repro.core.closed_form``) needs them
+  *linear* (``α·x`` and ``β·x``).
+
+This module provides one class per hypothesis level plus calibration
+helpers (least-squares affine/linear fits) used to build cost models from
+measured timings, mirroring the "series of benchmarks we performed on our
+application" that produced the paper's Table 1.
+
+All cost classes support exact rational evaluation through
+:meth:`CostFunction.exact`, which is what the closed-form solver and the
+exact simplex backend consume.  Float evaluation goes through
+:meth:`CostFunction.__call__` and the vectorized :meth:`CostFunction.many`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Rational
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Scalar",
+    "CostFunction",
+    "ZeroCost",
+    "LinearCost",
+    "AffineCost",
+    "TabulatedCost",
+    "PiecewiseLinearCost",
+    "CallableCost",
+    "fit_linear",
+    "fit_affine",
+    "as_fraction",
+]
+
+#: Anything accepted as a cost coefficient.
+Scalar = Union[int, float, Fraction]
+
+
+def as_fraction(x: Scalar) -> Fraction:
+    """Convert a scalar to an exact :class:`~fractions.Fraction`.
+
+    Floats convert through their exact binary expansion, which is
+    deterministic and loss-free; integers and fractions pass through.
+    """
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, Rational):  # covers int and numpy-free rationals
+        return Fraction(x)
+    if isinstance(x, float):
+        if math.isnan(x) or math.isinf(x):
+            raise ValueError(f"cannot convert non-finite value {x!r} to Fraction")
+        return Fraction(x)
+    if isinstance(x, (np.integer,)):
+        return Fraction(int(x))
+    if isinstance(x, (np.floating,)):
+        return Fraction(float(x))
+    raise TypeError(f"unsupported scalar type: {type(x).__name__}")
+
+
+class CostFunction:
+    """Abstract duration function ``x items -> seconds``.
+
+    Subclasses must implement :meth:`exact` (exact rational evaluation at an
+    integer point).  Float evaluation and vectorized evaluation have default
+    implementations derived from :meth:`exact`, but the analytic subclasses
+    override them for speed.
+
+    Attributes
+    ----------
+    is_increasing:
+        True when the function is known to be non-decreasing in ``x``
+        (required by Algorithm 2).
+    is_affine:
+        True when the function is ``rate * x + intercept`` for ``x > 0``
+        (required by the LP heuristic).
+    is_linear:
+        True when additionally ``intercept == 0`` (required by the §4
+        closed form and Theorem 3's ordering policy).
+    """
+
+    is_increasing: bool = False
+    is_affine: bool = False
+    is_linear: bool = False
+
+    def exact(self, x: int) -> Fraction:
+        """Exact rational value at integer ``x >= 0``."""
+        raise NotImplementedError
+
+    def __call__(self, x: Scalar) -> float:
+        """Float value at ``x`` (integer or rational points)."""
+        return float(self.exact(int(x)))
+
+    def many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized float evaluation over an integer array."""
+        flat = np.asarray(xs).ravel()
+        out = np.fromiter((self(int(v)) for v in flat), dtype=float, count=flat.size)
+        return out.reshape(np.shape(xs))
+
+    # -- affine accessors ------------------------------------------------
+    @property
+    def rate(self) -> Fraction:
+        """Marginal cost per item (affine/linear functions only)."""
+        raise AttributeError(f"{type(self).__name__} has no affine rate")
+
+    @property
+    def intercept(self) -> Fraction:
+        """Fixed cost paid when at least one item is handled (affine only)."""
+        raise AttributeError(f"{type(self).__name__} has no affine intercept")
+
+    def check_valid(self, n: int) -> None:
+        """Validate the paper's base hypotheses up to ``n`` items.
+
+        Raises ``ValueError`` if the function is negative somewhere in
+        ``[0, n]`` or non-null at 0.  Analytic subclasses validate their
+        coefficients instead of sampling.
+        """
+        if self.exact(0) != 0:
+            raise ValueError(f"{self!r} is not null at x=0")
+        for x in range(n + 1):
+            if self.exact(x) < 0:
+                raise ValueError(f"{self!r} is negative at x={x}")
+
+
+@dataclass(frozen=True)
+class ZeroCost(CostFunction):
+    """The all-zero cost function.
+
+    Used for the root processor's communication cost (the root holds the
+    data, so ``Tcomm(p, x) = 0``; cf. Table 1 where *dinadan* has ``β = 0``).
+    """
+
+    is_increasing = True
+    is_affine = True
+    is_linear = True
+
+    def exact(self, x: int) -> Fraction:
+        return Fraction(0)
+
+    def __call__(self, x: Scalar) -> float:
+        return 0.0
+
+    def many(self, xs: np.ndarray) -> np.ndarray:
+        return np.zeros(np.shape(xs), dtype=float)
+
+    @property
+    def rate(self) -> Fraction:
+        return Fraction(0)
+
+    @property
+    def intercept(self) -> Fraction:
+        return Fraction(0)
+
+    def check_valid(self, n: int) -> None:  # always valid
+        return
+
+
+class LinearCost(CostFunction):
+    """``T(x) = rate * x`` — the §4 case-study model.
+
+    This is the model the paper uses for its experiments: Table 1 gives a
+    per-ray compute cost ``α`` (s/ray) and a per-ray transfer cost ``β``
+    (s/ray), both linear ("considering linear communication costs is
+    sufficiently accurate in our case since the network latency is
+    negligible").
+    """
+
+    is_increasing = True
+    is_affine = True
+    is_linear = True
+
+    __slots__ = ("_rate", "_rate_float")
+
+    def __init__(self, rate: Scalar):
+        r = as_fraction(rate)
+        if r < 0:
+            raise ValueError(f"linear cost rate must be >= 0, got {rate!r}")
+        self._rate = r
+        self._rate_float = float(r)
+
+    @property
+    def rate(self) -> Fraction:
+        return self._rate
+
+    @property
+    def intercept(self) -> Fraction:
+        return Fraction(0)
+
+    def exact(self, x: int) -> Fraction:
+        if x < 0:
+            raise ValueError(f"negative item count: {x}")
+        return self._rate * x
+
+    def __call__(self, x: Scalar) -> float:
+        return self._rate_float * float(x)
+
+    def many(self, xs: np.ndarray) -> np.ndarray:
+        return self._rate_float * np.asarray(xs, dtype=float)
+
+    def check_valid(self, n: int) -> None:
+        return  # valid by construction
+
+    def __repr__(self) -> str:
+        return f"LinearCost({self._rate_float:g}/item)"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinearCost) and other._rate == self._rate
+
+    def __hash__(self) -> int:
+        return hash(("LinearCost", self._rate))
+
+
+class AffineCost(CostFunction):
+    """``T(x) = rate * x + intercept`` for ``x > 0``, and ``T(0) = 0``.
+
+    The ``T(0) = 0`` convention keeps the paper's base hypothesis ("null
+    whenever x = 0"): a processor that receives no items takes part in no
+    transfer and no computation.  The LP heuristic relaxes this to the pure
+    affine form (a linear program cannot express the discontinuity), which
+    is exactly the approximation the paper makes; the discrepancy is covered
+    by the Eq. 4 guarantee.
+
+    Parameters
+    ----------
+    rate:
+        Marginal cost per item (``>= 0``).
+    intercept:
+        Fixed cost — e.g. network latency for a communication cost, or
+        process startup for a computation cost (``>= 0``).
+    zero_is_free:
+        When True (default), ``T(0) = 0``.  When False the intercept is
+        paid even at ``x = 0`` (pure affine function).
+    """
+
+    is_increasing = True
+    is_affine = True
+
+    __slots__ = ("_rate", "_intercept", "_rate_float", "_icpt_float", "_zero_free")
+
+    def __init__(self, rate: Scalar, intercept: Scalar = 0, *, zero_is_free: bool = True):
+        r, c = as_fraction(rate), as_fraction(intercept)
+        if r < 0:
+            raise ValueError(f"affine cost rate must be >= 0, got {rate!r}")
+        if c < 0:
+            raise ValueError(f"affine cost intercept must be >= 0, got {intercept!r}")
+        self._rate = r
+        self._intercept = c
+        self._rate_float = float(r)
+        self._icpt_float = float(c)
+        self._zero_free = bool(zero_is_free)
+
+    @property
+    def is_linear(self) -> bool:  # type: ignore[override]
+        return self._intercept == 0
+
+    @property
+    def rate(self) -> Fraction:
+        return self._rate
+
+    @property
+    def intercept(self) -> Fraction:
+        return self._intercept
+
+    @property
+    def zero_is_free(self) -> bool:
+        return self._zero_free
+
+    def exact(self, x: int) -> Fraction:
+        if x < 0:
+            raise ValueError(f"negative item count: {x}")
+        if x == 0 and self._zero_free:
+            return Fraction(0)
+        return self._rate * x + self._intercept
+
+    def __call__(self, x: Scalar) -> float:
+        xf = float(x)
+        if xf == 0.0 and self._zero_free:
+            return 0.0
+        return self._rate_float * xf + self._icpt_float
+
+    def many(self, xs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(xs, dtype=float)
+        out = self._rate_float * arr + self._icpt_float
+        if self._zero_free:
+            out = np.where(arr == 0.0, 0.0, out)
+        return out
+
+    def check_valid(self, n: int) -> None:
+        if not self._zero_free and self._intercept != 0:
+            raise ValueError(f"{self!r} is not null at x=0 (zero_is_free=False)")
+
+    def __repr__(self) -> str:
+        return f"AffineCost({self._rate_float:g}/item + {self._icpt_float:g})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AffineCost)
+            and other._rate == self._rate
+            and other._intercept == self._intercept
+            and other._zero_free == self._zero_free
+        )
+
+    def __hash__(self) -> int:
+        return hash(("AffineCost", self._rate, self._intercept, self._zero_free))
+
+
+class TabulatedCost(CostFunction):
+    """Cost given by an explicit table ``values[x]`` for ``x in [0, len)``.
+
+    This is the fully general model accepted by Algorithm 1: any measured
+    per-count duration profile (e.g. cache cliffs, paging thresholds) can be
+    expressed as a table.  Values outside the table raise ``IndexError`` —
+    the table must cover ``[0, n]`` for an ``n``-item problem.
+    """
+
+    __slots__ = ("_values", "_float_values", "is_increasing")
+
+    def __init__(self, values: Sequence[Scalar]):
+        if len(values) == 0:
+            raise ValueError("tabulated cost needs at least the x=0 entry")
+        vals = [as_fraction(v) for v in values]
+        if any(v < 0 for v in vals):
+            raise ValueError("tabulated cost values must be >= 0")
+        self._values: Tuple[Fraction, ...] = tuple(vals)
+        self._float_values = np.array([float(v) for v in vals], dtype=float)
+        self.is_increasing = all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def exact(self, x: int) -> Fraction:
+        if x < 0:
+            raise ValueError(f"negative item count: {x}")
+        return self._values[x]
+
+    def __call__(self, x: Scalar) -> float:
+        return float(self._float_values[int(x)])
+
+    def many(self, xs: np.ndarray) -> np.ndarray:
+        return self._float_values[np.asarray(xs, dtype=int)]
+
+    def check_valid(self, n: int) -> None:
+        if len(self._values) <= n:
+            raise ValueError(
+                f"tabulated cost covers [0, {len(self._values) - 1}], need [0, {n}]"
+            )
+        if self._values[0] != 0:
+            raise ValueError("tabulated cost is not null at x=0")
+
+    def __repr__(self) -> str:
+        return f"TabulatedCost(<{len(self._values)} entries>)"
+
+
+class PiecewiseLinearCost(CostFunction):
+    """Continuous piecewise-linear cost through given breakpoints.
+
+    ``breakpoints`` is a sequence of ``(x, t)`` pairs with strictly
+    increasing ``x`` starting at ``(0, 0)``.  Between breakpoints the cost
+    interpolates linearly; beyond the last breakpoint it extrapolates with
+    the final slope.  Models bandwidth regimes (e.g. a TCP slow-start knee)
+    while staying inside Algorithm 2's "increasing" hypothesis when slopes
+    are non-negative.
+    """
+
+    __slots__ = ("_xs", "_ts", "_xs_float", "_ts_float", "is_increasing")
+
+    def __init__(self, breakpoints: Sequence[Tuple[Scalar, Scalar]]):
+        if len(breakpoints) < 2:
+            raise ValueError("need at least two breakpoints")
+        xs = [as_fraction(x) for x, _ in breakpoints]
+        ts = [as_fraction(t) for _, t in breakpoints]
+        if xs[0] != 0 or ts[0] != 0:
+            raise ValueError("first breakpoint must be (0, 0)")
+        if any(a >= b for a, b in zip(xs, xs[1:])):
+            raise ValueError("breakpoint x-coordinates must be strictly increasing")
+        if any(t < 0 for t in ts):
+            raise ValueError("breakpoint costs must be >= 0")
+        self._xs, self._ts = xs, ts
+        self._xs_float = np.array([float(x) for x in xs])
+        self._ts_float = np.array([float(t) for t in ts])
+        self.is_increasing = all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def exact(self, x: int) -> Fraction:
+        if x < 0:
+            raise ValueError(f"negative item count: {x}")
+        xf = Fraction(x)
+        # Find the segment containing x (or extrapolate from the last one).
+        xs, ts = self._xs, self._ts
+        if xf >= xs[-1]:
+            i = len(xs) - 2
+        else:
+            lo, hi = 0, len(xs) - 2
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if xs[mid] <= xf:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            i = lo
+        slope = (ts[i + 1] - ts[i]) / (xs[i + 1] - xs[i])
+        return ts[i] + slope * (xf - xs[i])
+
+    def __call__(self, x: Scalar) -> float:
+        return float(np.interp(float(x), self._xs_float, self._ts_float)) if float(
+            x
+        ) <= self._xs_float[-1] else float(self.exact(int(x)))
+
+    def many(self, xs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(xs, dtype=float)
+        inside = np.interp(arr, self._xs_float, self._ts_float)
+        # np.interp clamps beyond the last point; extrapolate manually.
+        last_slope = (self._ts_float[-1] - self._ts_float[-2]) / (
+            self._xs_float[-1] - self._xs_float[-2]
+        )
+        beyond = arr > self._xs_float[-1]
+        inside[beyond] = self._ts_float[-1] + last_slope * (arr[beyond] - self._xs_float[-1])
+        return inside
+
+    def check_valid(self, n: int) -> None:
+        return  # (0,0) start and >=0 values enforced at construction
+
+    def __repr__(self) -> str:
+        pts = ", ".join(f"({float(x):g},{float(t):g})" for x, t in zip(self._xs, self._ts))
+        return f"PiecewiseLinearCost([{pts}])"
+
+
+class CallableCost(CostFunction):
+    """Adapter wrapping an arbitrary ``f(x) -> seconds`` callable.
+
+    The wrapped function is sampled on demand; exact evaluation converts the
+    float result to a Fraction (exactly, via the binary expansion).  Declare
+    monotonicity explicitly through ``increasing=`` if Algorithm 2 should be
+    allowed to use it.
+    """
+
+    __slots__ = ("_fn", "is_increasing", "_name")
+
+    def __init__(self, fn: Callable[[int], float], *, increasing: bool = False,
+                 name: Optional[str] = None):
+        self._fn = fn
+        self.is_increasing = bool(increasing)
+        self._name = name or getattr(fn, "__name__", "callable")
+
+    def exact(self, x: int) -> Fraction:
+        if x < 0:
+            raise ValueError(f"negative item count: {x}")
+        return as_fraction(self._fn(x))
+
+    def __call__(self, x: Scalar) -> float:
+        return float(self._fn(int(x)))
+
+    def __repr__(self) -> str:
+        return f"CallableCost({self._name})"
+
+
+# ---------------------------------------------------------------------------
+# Calibration: fit cost models from measured (count, seconds) samples.
+# ---------------------------------------------------------------------------
+
+def fit_linear(counts: Iterable[Scalar], seconds: Iterable[Scalar]) -> LinearCost:
+    """Least-squares fit of a :class:`LinearCost` through the origin.
+
+    This is how Table 1's ``α`` ("seconds per ray") and ``β`` ("seconds per
+    data element") columns are produced from timing benchmarks: a linear
+    regression constrained through 0.
+    """
+    x = np.asarray(list(counts), dtype=float)
+    t = np.asarray(list(seconds), dtype=float)
+    if x.size == 0 or x.size != t.size:
+        raise ValueError("need equal, non-zero numbers of counts and timings")
+    denom = float(np.dot(x, x))
+    if denom == 0.0:
+        raise ValueError("all sample counts are zero; cannot fit a rate")
+    rate = float(np.dot(x, t)) / denom
+    return LinearCost(max(rate, 0.0))
+
+
+def fit_affine(counts: Iterable[Scalar], seconds: Iterable[Scalar]) -> AffineCost:
+    """Least-squares fit of an :class:`AffineCost` (rate plus intercept).
+
+    Negative fitted coefficients are clamped to zero (measured timings can
+    produce a slightly negative intercept; the model requires ``>= 0``).
+    """
+    x = np.asarray(list(counts), dtype=float)
+    t = np.asarray(list(seconds), dtype=float)
+    if x.size < 2 or x.size != t.size:
+        raise ValueError("need at least two (count, seconds) samples")
+    A = np.vstack([x, np.ones_like(x)]).T
+    (rate, icpt), *_ = np.linalg.lstsq(A, t, rcond=None)
+    return AffineCost(max(float(rate), 0.0), max(float(icpt), 0.0))

@@ -1,0 +1,154 @@
+"""Algorithm 1 — exact optimal distribution by dynamic programming (§3.2).
+
+The recurrence behind the paper's Algorithm 1: the time to process ``d``
+items on processors ``P_i .. P_p`` is
+
+    cost[d, i] = min_{0 <= e <= d}  Tcomm(i, e)
+                 + max( Tcomp(i, e), cost[d - e, i + 1] )
+
+with the base row ``cost[d, p] = Tcomm(p, d) + Tcomp(p, d)`` (the root is
+last and computes after every send completes).  The only hypotheses are that
+the cost functions are non-negative and null at 0, so this solver accepts
+*any* :class:`~repro.core.costs.CostFunction` — including tabulated
+measurements with cache cliffs.
+
+Complexity is ``O(p · n²)`` time and ``O(p · n)`` memory.  Two backends are
+provided:
+
+* :func:`solve_dp_basic` — a faithful transcription of the paper's pseudo
+  code (optionally in exact rational arithmetic);
+* :func:`solve_dp_basic_vectorized` — the same recurrence with the inner
+  ``e``-loop expressed as a NumPy reduction, roughly two orders of magnitude
+  faster in practice while remaining ``O(p · n²)`` arithmetic operations.
+
+Both return bit-identical makespans (the vectorized form breaks cost ties
+differently, which can change the *counts* but never the optimum value).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+import numpy as np
+
+from .distribution import DistributionResult, ScatterProblem
+
+__all__ = ["solve_dp_basic", "solve_dp_basic_vectorized"]
+
+
+def _reconstruct(choice: List[np.ndarray], n: int, p: int) -> Tuple[int, ...]:
+    """Walk the choice table front-to-back to recover ``n_1 .. n_p``."""
+    counts = []
+    d = n
+    for i in range(p - 1):
+        c = int(choice[i][d])
+        counts.append(c)
+        d -= c
+    counts.append(d)  # the root takes whatever remains
+    return tuple(counts)
+
+
+def solve_dp_basic(problem: ScatterProblem, *, exact: bool = False) -> DistributionResult:
+    """Optimal integer distribution via the paper's Algorithm 1.
+
+    Parameters
+    ----------
+    problem:
+        The instance; the last processor is the root.
+    exact:
+        When True, run the whole DP in :class:`~fractions.Fraction`
+        arithmetic (slow; use for small instances and for validating the
+        float path).  When False, evaluate costs as floats.
+
+    Returns
+    -------
+    DistributionResult
+        With ``algorithm="dp-basic"`` and, in exact mode, the exact optimal
+        makespan in ``makespan_exact``.
+    """
+    p, n = problem.p, problem.n
+    procs = problem.processors
+
+    if exact:
+        comm = [[proc.comm.exact(x) for x in range(n + 1)] for proc in procs]
+        comp = [[proc.comp.exact(x) for x in range(n + 1)] for proc in procs]
+        zero = Fraction(0)
+    else:
+        xs = np.arange(n + 1)
+        comm = [proc.comm.many(xs).tolist() for proc in procs]
+        comp = [proc.comp.many(xs).tolist() for proc in procs]
+        zero = 0.0
+
+    # Base row: the root processor P_p alone.
+    prev = [comm[p - 1][d] + comp[p - 1][d] for d in range(n + 1)]
+    choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
+
+    for i in range(p - 2, -1, -1):  # P_{p-1} down to P_1 (0-based: i)
+        comm_i, comp_i = comm[i], comp[i]
+        cur = [zero] * (n + 1)
+        ch = choice[i]
+        for d in range(1, n + 1):
+            best_sol, best = 0, prev[d]  # e = 0: P_i takes nothing
+            for e in range(1, d + 1):
+                rest = prev[d - e]
+                ce = comp_i[e]
+                m = comm_i[e] + (ce if ce > rest else rest)
+                if m < best:
+                    best_sol, best = e, m
+            ch[d] = best_sol
+            cur[d] = best
+        prev = cur
+
+    counts = _reconstruct(choice, n, p)
+    opt = prev[n]
+    return DistributionResult(
+        problem=problem,
+        counts=counts,
+        makespan=float(opt),
+        algorithm="dp-basic",
+        makespan_exact=opt if exact else None,
+        info={"exact": exact},
+    )
+
+
+def solve_dp_basic_vectorized(problem: ScatterProblem) -> DistributionResult:
+    """Algorithm 1 with the inner minimization as a NumPy reduction.
+
+    For each remaining-items count ``d`` the candidate costs over
+    ``e = 0..d`` are computed in one vector expression::
+
+        m[e] = comm_i[e] + maximum(comp_i[e], prev[d - e])
+
+    then reduced with ``argmin``.  Same asymptotic complexity as the scalar
+    version, but each inner loop is a few fused array operations.
+    """
+    p, n = problem.p, problem.n
+    procs = problem.processors
+    xs = np.arange(n + 1)
+    comm = [proc.comm.many(xs) for proc in procs]
+    comp = [proc.comp.many(xs) for proc in procs]
+
+    prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
+    choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
+
+    for i in range(p - 2, -1, -1):
+        comm_i, comp_i = comm[i], comp[i]
+        cur = np.empty(n + 1, dtype=float)
+        cur[0] = prev[0]
+        ch = choice[i]
+        for d in range(1, n + 1):
+            # prev[d - e] for e = 0..d is prev[d::-1]
+            m = comm_i[: d + 1] + np.maximum(comp_i[: d + 1], prev[d::-1])
+            e = int(np.argmin(m))
+            ch[d] = e
+            cur[d] = m[e]
+        prev = cur
+
+    counts = _reconstruct(choice, n, p)
+    return DistributionResult(
+        problem=problem,
+        counts=counts,
+        makespan=float(prev[n]),
+        algorithm="dp-basic-vectorized",
+    )

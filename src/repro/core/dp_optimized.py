@@ -1,0 +1,114 @@
+"""Algorithm 2 — optimized dynamic program for increasing costs (§3.2).
+
+Same recurrence as Algorithm 1, but under the extra hypothesis that
+``Tcomm(i, ·)`` and ``Tcomp(i, ·)`` are *non-decreasing*:
+
+* ``cost[·, i]`` is then non-decreasing in the item count, so for a fixed
+  ``d`` the candidate ``Tcomp(i, e)`` increases with ``e`` while
+  ``cost[d - e, i + 1]`` decreases — they cross at a unique pivot ``e_max``
+  found by **binary search** (paper lines 16–26);
+* for ``e >= e_max`` the best candidate is exactly ``e_max`` (both terms of
+  ``Tcomm + Tcomp`` increase past it), so the scan over ``e`` runs
+  *downward* from ``e_max - 1`` and **stops early** as soon as
+  ``cost[d - e, i + 1] >= min`` (paper lines 28–35).
+
+Worst case stays ``O(p · n²)``; the paper reports the optimized version at
+6 minutes where Algorithm 1 needed more than two days (n = 817,101,
+p = 16).  In the best case the scan never advances and the whole solver is
+``O(p · n · log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .distribution import DistributionResult, ScatterProblem
+from .dp_basic import _reconstruct
+
+__all__ = ["solve_dp_optimized"]
+
+
+def solve_dp_optimized(problem: ScatterProblem) -> DistributionResult:
+    """Optimal integer distribution via the paper's Algorithm 2.
+
+    Requires every cost function of the problem to declare
+    ``is_increasing`` (all analytic cost classes do; tabulated costs are
+    checked at construction).
+
+    Returns
+    -------
+    DistributionResult
+        With ``algorithm="dp-optimized"``; ``info["inner_iterations"]``
+        counts executed inner-scan steps, which is how the benchmark
+        harness demonstrates the speedup over Algorithm 1.
+    """
+    if not problem.is_increasing:
+        raise ValueError(
+            "Algorithm 2 requires non-decreasing cost functions; "
+            "use solve_dp_basic for general costs"
+        )
+
+    p, n = problem.p, problem.n
+    procs = problem.processors
+    xs = np.arange(n + 1)
+    comm = [proc.comm.many(xs) for proc in procs]
+    comp = [proc.comp.many(xs) for proc in procs]
+
+    prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
+    choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
+    inner_iterations = 0
+
+    for i in range(p - 2, -1, -1):
+        comm_i, comp_i = comm[i], comp[i]
+        cur = np.empty(n + 1, dtype=float)
+        cur[0] = prev[0]
+        ch = choice[i]
+        for d in range(1, n + 1):
+            # Paper lines 11-14: degenerate pivots at the interval ends.
+            if comp_i[0] >= prev[d]:
+                sol = 0
+                best = comm_i[0] + comp_i[0]
+            elif comp_i[d] < prev[0]:
+                sol = d
+                best = comm_i[d] + prev[0]
+            else:
+                # Binary search for e_max: the smallest e with
+                # Tcomp(i, e) >= cost[d - e, i + 1]  (paper lines 16-26).
+                emin, emax = 0, d
+                e = d // 2
+                while e != emin:
+                    if comp_i[e] < prev[d - e]:
+                        emin = e
+                    else:
+                        emax = e
+                    e = (emin + emax) // 2
+                sol = emax
+                best = comm_i[emax] + comp_i[emax]
+
+            # Downward scan with early break (paper lines 28-35).  Below the
+            # pivot, cost[d-e, i+1] dominates Tcomp(i, e), so the max is
+            # avoided; once the remaining-processors cost alone reaches the
+            # incumbent, no smaller e can win (Tcomm >= 0).
+            for e in range(sol - 1, -1, -1):
+                inner_iterations += 1
+                rest = prev[d - e]
+                m = comm_i[e] + rest
+                if m < best:
+                    sol, best = e, m
+                elif rest >= best:
+                    break
+
+            ch[d] = sol
+            cur[d] = best
+        prev = cur
+
+    counts = _reconstruct(choice, n, p)
+    return DistributionResult(
+        problem=problem,
+        counts=counts,
+        makespan=float(prev[n]),
+        algorithm="dp-optimized",
+        info={"inner_iterations": inner_iterations},
+    )

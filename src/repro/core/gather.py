@@ -1,0 +1,161 @@
+"""Load-balanced gather: the converse operation, by time-reversal duality.
+
+The paper balances the scatter at the start of the run; production codes
+usually also *gather* results at the end (our application's optional
+gather phase).  The gather problem is: processor ``P_i`` computes its
+``n_i`` items (starting at time 0), then ships ``Tcomm(i, n_i)`` worth of
+results to the root, whose single inbound port serves one transfer at a
+time in some order.
+
+**Duality.**  Run a scatter schedule backwards in time and it becomes a
+feasible gather schedule: "send then compute" reverses into "compute then
+send", and the root's outbound send sequence reverses into an inbound
+receive sequence.  Concretely, if a scatter of distribution ``n`` in
+service order ``1..p-1`` finishes at ``T`` with cumulative send times
+``C_i = Σ_{j<=i} Tcomm(j, n_j)``, then receiving processor ``i`` during
+``[T - C_i, T - C_{i-1}]`` (i.e. serving the *reversed* order) is
+feasible — the receive starts after ``P_i``'s compute exactly when
+``T >= C_i + Tcomp(i, n_i) = T_i``, which is Eq. 1 — and ends at ``T``.
+Reversing a gather schedule likewise yields a scatter schedule (with the
+service order reversed again), so the duality is order-to-reversed-order:
+
+    gather(counts, order σ)  ==  scatter(counts, order reverse(σ)),
+
+and in particular the optimal gather makespan over all distributions *and
+orders* equals the optimal scatter makespan over all distributions and
+orders.  :func:`solve_gather` exploits this: solve the scatter (Theorem 3
+ordering included), then serve the gather in the flipped order.
+
+For *fixed* service orders that are not reversals of good scatter orders
+(e.g. FIFO by readiness, which is what an unmanaged network does),
+:func:`gather_finish_times` evaluates the schedule exactly — single-machine
+scheduling with release times ``Tcomp(i, n_i)`` on the root's port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .distribution import DistributionResult, ScatterProblem
+from .solver import plan_scatter
+
+__all__ = [
+    "gather_finish_times",
+    "gather_makespan",
+    "fifo_order",
+    "GatherPlan",
+    "solve_gather",
+]
+
+
+def gather_finish_times(
+    problem: ScatterProblem,
+    counts: Sequence[int],
+    order: Optional[Sequence[int]] = None,
+) -> List[float]:
+    """Per-processor transfer-end times for a gather schedule.
+
+    ``order`` lists the non-root processor indices in service order
+    (default: rank order).  Processor ``i`` becomes ready at
+    ``Tcomp(i, counts[i])``; the root's port serves strictly in ``order``,
+    each receive taking ``Tcomm(i, counts[i])``.  Mirroring the scatter
+    model — where the root computes only after its sends — the root here
+    computes *before* its receives, so the port opens at
+    ``Tcomp(p, counts[p])``.  (This is what makes the duality exact; a
+    DMA-capable root that receives while computing could only do better.)
+    Returns times indexed by processor (not by service position).
+    """
+    counts = problem.validate(counts)
+    p = problem.p
+    non_root = list(range(p - 1))
+    if order is None:
+        order = non_root
+    if sorted(order) != non_root:
+        raise ValueError(f"order {order!r} must permute the non-root indices")
+
+    finish = [0.0] * p
+    root_comp = problem.root.comp(counts[p - 1]) if counts[p - 1] > 0 else 0.0
+    port_free = root_comp
+    for i in order:
+        proc = problem.processors[i]
+        ready = proc.comp(counts[i]) if counts[i] > 0 else 0.0
+        if counts[i] == 0:
+            finish[i] = ready
+            continue
+        start = max(port_free, ready)
+        port_free = start + proc.comm(counts[i])
+        finish[i] = port_free
+    finish[p - 1] = root_comp
+    return finish
+
+
+def gather_makespan(
+    problem: ScatterProblem,
+    counts: Sequence[int],
+    order: Optional[Sequence[int]] = None,
+) -> float:
+    """Completion time of the gather schedule (max of the finish times)."""
+    return max(gather_finish_times(problem, counts, order))
+
+
+def fifo_order(problem: ScatterProblem, counts: Sequence[int]) -> List[int]:
+    """Service order an unmanaged port produces: by readiness time.
+
+    Ties (identical compute times) resolve by processor index, matching
+    the engine's FIFO resource semantics for simultaneous requests.
+    """
+    counts = problem.validate(counts)
+    ready = [
+        (problem.processors[i].comp(counts[i]) if counts[i] > 0 else 0.0, i)
+        for i in range(problem.p - 1)
+    ]
+    return [i for _, i in sorted(ready)]
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """A solved gather: distribution + service order + predicted makespan."""
+
+    problem: ScatterProblem
+    counts: Tuple[int, ...]
+    order: Tuple[int, ...]  #: non-root indices in service order
+    makespan: float
+    #: The scatter result this plan was mirrored from.
+    scatter: DistributionResult
+
+    @property
+    def finish_times(self) -> List[float]:
+        return gather_finish_times(self.problem, self.counts, list(self.order))
+
+
+def solve_gather(
+    problem: ScatterProblem,
+    *,
+    algorithm: str = "auto",
+    order_policy: Optional[str] = "bandwidth-desc",
+) -> GatherPlan:
+    """Optimal gather via scatter duality.
+
+    Solves the scatter instance (same costs, same root-last convention),
+    then serves the gather in the **reversed** order.  The resulting
+    makespan equals the scatter's (asserted, in exact mirror arithmetic) —
+    for linear/affine costs this inherits every scatter guarantee,
+    including Theorem 3 applied through the mirror: the gather should
+    serve the *lowest*-bandwidth processor first.
+    """
+    scatter = plan_scatter(problem, algorithm=algorithm, order_policy=order_policy)
+    solved = scatter.problem  # possibly reordered by the policy
+    order = tuple(range(solved.p - 2, -1, -1))  # reversed service order
+    makespan = gather_makespan(solved, scatter.counts, list(order))
+    if makespan > scatter.makespan + 1e-9 * max(scatter.makespan, 1.0):
+        raise AssertionError(
+            f"duality violated: gather {makespan!r} > scatter {scatter.makespan!r}"
+        )
+    return GatherPlan(
+        problem=solved,
+        counts=scatter.counts,
+        order=order,
+        makespan=makespan,
+        scatter=scatter,
+    )

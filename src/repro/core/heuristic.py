@@ -1,0 +1,142 @@
+"""The guaranteed LP heuristic for affine costs (paper §3.3).
+
+Pipeline: encode system (3) as a linear program, solve it **exactly in the
+rationals** (our from-scratch simplex replaces the paper's PIP/pipMP),
+round the rational shares with the §3.3 scheme, and report the Eq. 4
+guarantee:
+
+    T_opt  <=  T'  <=  T_opt + Σ_j Tcomm(j, 1) + max_i Tcomp(i, 1)
+
+where ``T'`` is the rounded distribution's duration and ``T_opt`` the best
+*integer* duration.  (The bounds are stated for the affine cost model used
+by the LP — i.e. intercepts are paid regardless of the share; for the
+paper's linear experimental model the two readings coincide.  See
+:func:`relaxed_makespan`.)
+
+The paper reports this heuristic as "instantaneous" with relative error
+below 6·10⁻⁶ on the 817,101-ray instance, versus 6 minutes for Algorithm 2;
+the benchmark harness reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, List, Sequence, Tuple
+
+from ..lp.model import affine_coefficients, build_scatter_lp
+from ..lp.scipy_backend import solve_with_scipy
+from ..lp.simplex import solve_simplex
+from .costs import as_fraction
+from .distribution import DistributionResult, ScatterProblem
+from .rounding import round_paper
+
+__all__ = [
+    "guarantee_gap",
+    "relaxed_makespan",
+    "solve_lp_rational",
+    "solve_heuristic",
+]
+
+RoundingFn = Callable[[Sequence[Fraction], int], Tuple[int, ...]]
+
+
+def guarantee_gap(problem: ScatterProblem) -> Fraction:
+    """The additive term of Eq. 4: ``Σ_j Tcomm(j, 1) + max_i Tcomp(i, 1)``."""
+    comm_sum = sum((proc.comm.exact(1) for proc in problem.processors), Fraction(0))
+    comp_max = max(proc.comp.exact(1) for proc in problem.processors)
+    return comm_sum + comp_max
+
+
+def relaxed_makespan(problem: ScatterProblem, counts: Sequence[int]) -> Fraction:
+    """Makespan under the LP's affine reading (intercepts always paid).
+
+    For affine costs with ``T(0) = 0`` semantics this *over*-estimates the
+    true duration of distributions containing zero shares; for linear costs
+    it equals :meth:`ScatterProblem.makespan_exact`.  The Eq. 4 guarantee is
+    asserted against this quantity.
+    """
+    alphas, a_icpt, betas, b_icpt = affine_coefficients(problem)
+    counts = problem.validate(counts)
+    best = Fraction(0)
+    elapsed = Fraction(0)
+    for i, c in enumerate(counts):
+        elapsed += betas[i] * c + b_icpt[i]
+        best = max(best, elapsed + alphas[i] * c + a_icpt[i])
+    return best
+
+
+def solve_lp_rational(
+    problem: ScatterProblem, *, backend: str = "exact"
+) -> Tuple[List[Fraction], Fraction]:
+    """Solve system (3); returns ``(shares, T)`` with ``Σ shares = n`` exact.
+
+    Parameters
+    ----------
+    backend:
+        ``"exact"`` — rational simplex (default, matches the paper's exact
+        pipMP resolution); ``"scipy"`` — float HiGHS solve whose result is
+        lifted back to fractions and whose tiny float residue is folded
+        into the largest share so the total is exactly ``n``.
+    """
+    lp = build_scatter_lp(problem)
+    p = problem.p
+    if backend == "exact":
+        res = solve_simplex(lp)
+        shares = res.x[:p]
+        t = res.x[p]
+    elif backend == "scipy":
+        x = solve_with_scipy(lp)
+        shares = [max(Fraction(0), as_fraction(v)) for v in x[:p]]
+        t = as_fraction(x[p])
+        residue = problem.n - sum(shares, Fraction(0))
+        if residue != 0:
+            k = max(range(p), key=lambda i: shares[i])
+            if shares[k] + residue < 0:
+                raise ValueError("scipy LP solution too far from feasibility to repair")
+            shares[k] += residue
+    else:
+        raise ValueError(f"unknown LP backend {backend!r}")
+    return list(shares), t
+
+
+def solve_heuristic(
+    problem: ScatterProblem,
+    *,
+    backend: str = "exact",
+    rounding: RoundingFn = round_paper,
+) -> DistributionResult:
+    """LP heuristic: exact rational LP + §3.3 rounding + Eq. 4 bound.
+
+    Returns a :class:`DistributionResult` whose ``info`` carries:
+
+    * ``rational_T`` — the exact LP optimum (a lower bound on any integer
+      distribution's duration under the affine reading),
+    * ``guarantee_gap`` — the additive term of Eq. 4,
+    * ``upper_bound`` — ``rational_T + guarantee_gap``,
+    * ``relaxed_T`` — the rounded distribution's duration under the affine
+      reading (the quantity Eq. 4 bounds; asserted ``<= upper_bound``).
+    """
+    shares, t_rat = solve_lp_rational(problem, backend=backend)
+    counts = rounding(shares, problem.n)
+    gap = guarantee_gap(problem)
+    relaxed = relaxed_makespan(problem, counts)
+    if backend == "exact" and relaxed > t_rat + gap:
+        raise AssertionError(
+            f"Eq. 4 violated: T'={float(relaxed):.9g} > "
+            f"{float(t_rat):.9g} + {float(gap):.9g}"
+        )
+    exact_makespan = problem.makespan_exact(counts)
+    return DistributionResult(
+        problem=problem,
+        counts=counts,
+        makespan=float(exact_makespan),
+        algorithm=f"lp-heuristic[{backend}]",
+        makespan_exact=exact_makespan,
+        info={
+            "rational_T": t_rat,
+            "rational_shares": tuple(shares),
+            "guarantee_gap": gap,
+            "upper_bound": t_rat + gap,
+            "relaxed_T": relaxed,
+        },
+    )

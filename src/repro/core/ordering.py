@@ -1,0 +1,155 @@
+"""Processor ordering policies (paper §4.3–4.4, Theorem 3).
+
+The single-port root serves destinations in rank order, so the *order* of
+the processors changes the makespan (Eq. 7 is not symmetric).  Theorem 3
+proves that for linear costs and a rational solution the optimal order is
+**decreasing bandwidth to the root** (increasing ``β``), root last; §4.4
+argues the same policy for the general case and shows the rounded rational
+solution under this ordering stays within the Eq. 4 additive gap of the
+best integer solution *over all orderings*.
+
+This module implements that policy, the alternatives used as ablations in
+the benchmark harness (ascending bandwidth — the paper's Fig. 4 — plus
+fastest-CPU-first and random), and an exhaustive search over all
+``(p-1)!`` orderings for small instances, used by the tests to verify
+Theorem 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from fractions import Fraction
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .distribution import DistributionResult, Processor, ScatterProblem
+
+__all__ = [
+    "comm_key",
+    "ordering_permutation",
+    "apply_policy",
+    "order_descending_bandwidth",
+    "order_ascending_bandwidth",
+    "is_bandwidth_sorted",
+    "brute_force_best_order",
+    "POLICIES",
+]
+
+
+def comm_key(proc: Processor, chunk: int = 1) -> Fraction:
+    """Sort key proxy for "how expensive is sending to this processor".
+
+    For linear/affine costs this is ``β·chunk (+ intercept)``, so sorting by
+    it ascending equals sorting by bandwidth *descending*.  For general
+    costs the communication time of a representative ``chunk`` is used.
+    """
+    return proc.comm.exact(max(chunk, 1))
+
+
+def ordering_permutation(
+    problem: ScatterProblem,
+    policy: str,
+    *,
+    rng: Optional[random.Random] = None,
+) -> Tuple[int, ...]:
+    """Indices permutation realizing ``policy``; the root stays last.
+
+    Policies
+    --------
+    ``"bandwidth-desc"``
+        Theorem 3: highest-bandwidth (cheapest-to-serve) processor first.
+    ``"bandwidth-asc"``
+        The adversarial order of Fig. 4.
+    ``"fastest-first"``
+        Lowest compute cost per item first (a plausible-but-wrong policy,
+        kept as an ablation).
+    ``"random"``
+        Uniformly random order of the non-root processors (pass ``rng``
+        for determinism).
+    ``"original"``
+        Identity.
+    """
+    p = problem.p
+    non_root = list(range(p - 1))
+    chunk = max(1, problem.n // max(problem.p, 1))
+    if policy == "original":
+        order = non_root
+    elif policy == "bandwidth-desc":
+        order = sorted(
+            non_root, key=lambda i: (comm_key(problem.processors[i], chunk), i)
+        )
+    elif policy == "bandwidth-asc":
+        order = sorted(
+            non_root,
+            key=lambda i: (comm_key(problem.processors[i], chunk), -i),
+            reverse=True,
+        )
+    elif policy == "fastest-first":
+        order = sorted(
+            non_root, key=lambda i: (problem.processors[i].comp.exact(chunk), i)
+        )
+    elif policy == "random":
+        order = list(non_root)
+        (rng or random).shuffle(order)
+    else:
+        raise ValueError(f"unknown ordering policy {policy!r}; know {sorted(POLICIES)}")
+    return tuple(order) + (p - 1,)
+
+
+#: Registered policy names (for CLIs and sweeps).
+POLICIES = ("bandwidth-desc", "bandwidth-asc", "fastest-first", "random", "original")
+
+
+def apply_policy(
+    problem: ScatterProblem, policy: str, *, rng: Optional[random.Random] = None
+) -> ScatterProblem:
+    """Return the problem reordered by ``policy`` (root kept last)."""
+    return problem.with_order(ordering_permutation(problem, policy, rng=rng))
+
+
+def order_descending_bandwidth(problem: ScatterProblem) -> ScatterProblem:
+    """Theorem 3's recommended order."""
+    return apply_policy(problem, "bandwidth-desc")
+
+
+def order_ascending_bandwidth(problem: ScatterProblem) -> ScatterProblem:
+    """The adversarial order of the paper's Fig. 4 experiment."""
+    return apply_policy(problem, "bandwidth-asc")
+
+
+def is_bandwidth_sorted(problem: ScatterProblem) -> bool:
+    """True when non-root processors are in decreasing-bandwidth order."""
+    chunk = max(1, problem.n // max(problem.p, 1))
+    keys = [comm_key(proc, chunk) for proc in problem.processors[:-1]]
+    return all(a <= b for a, b in zip(keys, keys[1:]))
+
+
+def brute_force_best_order(
+    problem: ScatterProblem,
+    solver: Callable[[ScatterProblem], DistributionResult],
+    *,
+    max_processors: int = 9,
+) -> Tuple[ScatterProblem, DistributionResult, List[Tuple[Tuple[int, ...], float]]]:
+    """Try every ordering of the non-root processors; return the best.
+
+    Exhaustive ``(p-1)!`` sweep — refuse instances beyond ``max_processors``
+    (9! = 362,880 solves is already generous).  Returns the reordered
+    problem, its result, and the full ``(order, makespan)`` table for
+    analysis (e.g. checking Theorem 3 is attained by bandwidth-descending).
+    """
+    p = problem.p
+    if p > max_processors:
+        raise ValueError(
+            f"brute force over {p - 1}! orderings refused (p={p} > {max_processors})"
+        )
+    table: List[Tuple[Tuple[int, ...], float]] = []
+    best: Optional[Tuple[ScatterProblem, DistributionResult]] = None
+    for perm in itertools.permutations(range(p - 1)):
+        order = perm + (p - 1,)
+        candidate = problem.with_order(order)
+        result = solver(candidate)
+        table.append((order, result.makespan))
+        if best is None or result.makespan < best[1].makespan:
+            best = (candidate, result)
+    assert best is not None
+    return best[0], best[1], table

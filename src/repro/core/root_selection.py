@@ -1,0 +1,130 @@
+"""Choice of the root processor (paper §3.4).
+
+The ``n`` items initially live on a single computer ``C``.  Any processor
+may act as the scatter root; if the root is not on ``C`` the data must
+first be shipped there, so the total time for candidate root ``r`` is
+
+    total(r) = Tlink(C → r, n)  +  T_balanced(root = r)
+
+and the best root minimizes this over the ``p`` candidates.  Changing the
+root changes every communication cost (links now radiate from ``r``), so
+the caller provides a *link-cost oracle* ``link(src, dst)`` returning the
+``Tcomm`` function of the ``src → dst`` link; :mod:`repro.simgrid.platform`
+provides this oracle for platform descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .costs import CostFunction, ZeroCost
+from .distribution import DistributionResult, Processor, ScatterProblem
+from .heuristic import solve_heuristic
+from .ordering import ordering_permutation
+
+__all__ = ["RootChoice", "build_problem_for_root", "choose_root"]
+
+LinkOracle = Callable[[int, int], CostFunction]
+Solver = Callable[[ScatterProblem], DistributionResult]
+
+
+@dataclass(frozen=True)
+class RootChoice:
+    """Outcome of the §3.4 minimization.
+
+    ``candidates[i]`` holds ``(root_index, transfer_time, makespan, total)``
+    for every evaluated root; ``best`` indexes into it.
+    """
+
+    root: int
+    problem: ScatterProblem
+    result: DistributionResult
+    transfer_time: float
+    total_time: float
+    candidates: Tuple[Tuple[int, float, float, float], ...]
+
+
+def build_problem_for_root(
+    names: Sequence[str],
+    comp_costs: Sequence[CostFunction],
+    link: LinkOracle,
+    n: int,
+    root: int,
+    *,
+    order_policy: str = "bandwidth-desc",
+) -> Tuple[ScatterProblem, List[int]]:
+    """Assemble the scatter problem seen from a given root.
+
+    Non-root processors get ``comm = link(root, j)``; the root gets
+    ``ZeroCost`` and is placed last, then the ordering policy is applied.
+    Returns the problem and the original indices in problem order (so
+    distributions can be mapped back to machines).
+    """
+    if not (0 <= root < len(names)):
+        raise ValueError(f"root index {root} out of range")
+    if len(comp_costs) != len(names):
+        raise ValueError("names and comp_costs length mismatch")
+    procs: List[Processor] = []
+    indices: List[int] = []
+    for j in range(len(names)):
+        if j == root:
+            continue
+        procs.append(Processor(names[j], link(root, j), comp_costs[j]))
+        indices.append(j)
+    procs.append(Processor(names[root], ZeroCost(), comp_costs[root]))
+    indices.append(root)
+
+    problem = ScatterProblem(procs, n)
+    perm = ordering_permutation(problem, order_policy)
+    ordered = problem.with_order(perm)
+    mapped = [indices[i] for i in perm]
+    return ordered, mapped
+
+
+def choose_root(
+    names: Sequence[str],
+    comp_costs: Sequence[CostFunction],
+    link: LinkOracle,
+    n: int,
+    data_host: int,
+    *,
+    solver: Solver = solve_heuristic,
+    order_policy: str = "bandwidth-desc",
+    candidates: Optional[Sequence[int]] = None,
+) -> RootChoice:
+    """Evaluate every candidate root and return the §3.4 minimizer.
+
+    Parameters
+    ----------
+    data_host:
+        Index of the computer ``C`` initially holding the data.  A root on
+        ``C`` pays no initial transfer.
+    candidates:
+        Roots to consider (default: all processors).
+    """
+    if not (0 <= data_host < len(names)):
+        raise ValueError(f"data_host index {data_host} out of range")
+    roots = list(candidates) if candidates is not None else list(range(len(names)))
+    rows: List[Tuple[int, float, float, float]] = []
+    best: Optional[Tuple[float, int, ScatterProblem, DistributionResult, float]] = None
+    for r in roots:
+        problem, _ = build_problem_for_root(
+            names, comp_costs, link, n, r, order_policy=order_policy
+        )
+        result = solver(problem)
+        transfer = 0.0 if r == data_host else float(link(data_host, r).exact(n))
+        total = transfer + result.makespan
+        rows.append((r, transfer, result.makespan, total))
+        if best is None or total < best[0]:
+            best = (total, r, problem, result, transfer)
+    assert best is not None
+    total, r, problem, result, transfer = best
+    return RootChoice(
+        root=r,
+        problem=problem,
+        result=result,
+        transfer_time=transfer,
+        total_time=total,
+        candidates=tuple(rows),
+    )

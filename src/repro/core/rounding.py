@@ -1,0 +1,123 @@
+"""Rounding rational shares to integers (paper §3.3, "Rounding scheme").
+
+The LP heuristic and the §4 closed form both produce an optimal *rational*
+distribution ``n_1 .. n_p``.  The paper rounds it to integers ``n'_1 ..
+n'_p`` such that ``Σ n'_i = n`` and ``|n'_i − n_i| < 1`` for every ``i`` —
+exactly the property needed for the Eq. 4 guarantee
+
+    T_opt  <=  T'  <=  T_opt + Σ_j Tcomm(j, 1) + max_i Tcomp(i, 1).
+
+Two schemes are provided:
+
+* :func:`round_paper` — the paper's scheme: repeatedly round the share
+  closest to an integer in the direction that cancels the accumulated
+  error, and absorb the final error into the last share.  (The paper's
+  text says ``n'_k = n_k + e`` for that last share; the sign convention
+  there is a typo — with ``e = Σ (n'_j − n_j)`` the sum-preserving choice
+  is ``n'_k = n_k − e``, which is what we implement.)
+* :func:`round_largest_remainder` — the classic Hamilton apportionment
+  (floor everything, give the leftover units to the largest fractional
+  parts), used as an ablation baseline; it satisfies the same invariants.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+__all__ = ["round_paper", "round_largest_remainder", "check_rounding"]
+
+
+def _validate_input(shares: Sequence[Fraction], n: int) -> List[Fraction]:
+    vals = [Fraction(s) for s in shares]
+    if any(v < 0 for v in vals):
+        raise ValueError(f"rational shares must be >= 0, got {shares!r}")
+    if sum(vals) != n:
+        raise ValueError(f"rational shares sum to {float(sum(vals))}, expected {n}")
+    return vals
+
+
+def round_paper(shares: Sequence[Fraction], n: int) -> Tuple[int, ...]:
+    """The paper's error-cancelling rounding scheme (§3.3).
+
+    Walks the non-integer shares from the one closest to an integer: the
+    first is rounded to the nearest integer; each subsequent pick is the
+    remaining share closest to its ceiling (when the accumulated error
+    ``e = Σ (n'_j − n_j)`` is negative, i.e. we have under-allocated) or to
+    its floor (when positive), keeping ``|e| < 1`` throughout.  The very
+    last share absorbs the residue exactly.
+    """
+    vals = _validate_input(shares, n)
+    out: List[int] = [0] * len(vals)
+    pending = [i for i, v in enumerate(vals) if v.denominator != 1]
+    for i, v in enumerate(vals):
+        if v.denominator == 1:
+            out[i] = int(v)
+    if not pending:
+        return tuple(out)
+
+    e = Fraction(0)
+    while len(pending) > 1:
+        if e < 0:
+            # Under-allocated so far: round up the share nearest its ceiling.
+            idx = min(pending, key=lambda i: ( -(vals[i]) % 1, i))
+            rounded = int(-(-vals[idx] // 1))  # ceil
+        elif e > 0:
+            # Over-allocated: round down the share nearest its floor.
+            idx = min(pending, key=lambda i: (vals[i] % 1, i))
+            rounded = int(vals[idx] // 1)  # floor
+        else:
+            # No error yet: round the share nearest to *any* integer.
+            def dist_to_int(i: int) -> Fraction:
+                frac = vals[i] % 1
+                return min(frac, 1 - frac)
+
+            idx = min(pending, key=lambda i: (dist_to_int(i), i))
+            frac = vals[idx] % 1
+            rounded = int(vals[idx] // 1) + (1 if frac >= Fraction(1, 2) else 0)
+        out[idx] = rounded
+        e += rounded - vals[idx]
+        pending.remove(idx)
+
+    # Absorb the residue: n'_k = n_k − e keeps the total exactly n.
+    last = pending[0]
+    final = vals[last] - e
+    if final.denominator != 1:
+        raise AssertionError(f"rounding residue is not integral: {final}")
+    out[last] = int(final)
+    return check_rounding(vals, tuple(out), n)
+
+
+def round_largest_remainder(shares: Sequence[Fraction], n: int) -> Tuple[int, ...]:
+    """Hamilton / largest-remainder apportionment (ablation baseline)."""
+    vals = _validate_input(shares, n)
+    floors = [int(v // 1) for v in vals]
+    leftover = n - sum(floors)
+    # Give one extra unit to the `leftover` largest fractional parts.
+    order = sorted(range(len(vals)), key=lambda i: (vals[i] % 1, -i), reverse=True)
+    out = list(floors)
+    for i in order[:leftover]:
+        out[i] += 1
+    return check_rounding(vals, tuple(out), n)
+
+
+def check_rounding(
+    shares: Sequence[Fraction], counts: Tuple[int, ...], n: int
+) -> Tuple[int, ...]:
+    """Assert the §3.3 invariants and return ``counts``.
+
+    Invariants: integer counts, non-negative, sum to ``n``, and each within
+    one unit of its rational share (the hypothesis of Eq. 4).
+    """
+    if len(shares) != len(counts):
+        raise AssertionError("share/count length mismatch")
+    if sum(counts) != n:
+        raise AssertionError(f"rounded counts sum to {sum(counts)}, expected {n}")
+    for i, (s, c) in enumerate(zip(shares, counts)):
+        if c < 0:
+            raise AssertionError(f"rounded count {i} is negative: {c}")
+        if abs(Fraction(c) - Fraction(s)) >= 1:
+            raise AssertionError(
+                f"rounded count {i} ({c}) differs from share ({float(s):.6g}) by >= 1"
+            )
+    return counts

@@ -1,0 +1,111 @@
+"""Unified solver facade: pick the right algorithm for the cost model.
+
+The paper offers a toolbox — exact DP for arbitrary costs, optimized DP for
+increasing costs, closed form + rounding for linear costs, LP heuristic for
+affine costs — with a two-day / six-minute / instantaneous quality-speed
+trade-off.  :func:`plan_scatter` encodes the selection logic a user would
+otherwise do by hand, and is the recommended entry point of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .closed_form import solve_closed_form
+from .distribution import DistributionResult, ScatterProblem
+from .dp_basic import solve_dp_basic, solve_dp_basic_vectorized
+from .dp_optimized import solve_dp_optimized
+from .heuristic import solve_heuristic
+from .ordering import apply_policy
+
+__all__ = ["plan_scatter", "ALGORITHMS"]
+
+#: Algorithm names accepted by :func:`plan_scatter`.
+ALGORITHMS = (
+    "auto",
+    "dp-basic",
+    "dp-basic-vectorized",
+    "dp-optimized",
+    "closed-form",
+    "lp-heuristic",
+    "uniform",
+)
+
+
+def plan_scatter(
+    problem: ScatterProblem,
+    *,
+    algorithm: str = "auto",
+    order_policy: Optional[str] = "bandwidth-desc",
+    exact_threshold: int = 5_000,
+) -> DistributionResult:
+    """Compute a load-balanced scatter distribution.
+
+    Parameters
+    ----------
+    problem:
+        The instance (root last).
+    algorithm:
+        One of :data:`ALGORITHMS`.  ``"auto"`` picks:
+
+        * ``closed-form`` when every cost is linear (exact rational optimum,
+          instantaneous — the configuration of the paper's experiments);
+        * ``lp-heuristic`` when every cost is affine (guaranteed within the
+          Eq. 4 gap);
+        * ``dp-optimized`` for general increasing costs with
+          ``n <= exact_threshold``;
+        * ``dp-basic`` for non-monotonic costs with ``n <= exact_threshold``;
+        * otherwise raises — a general-cost instance that large needs an
+          explicit algorithm choice (the paper's Algorithm 1 ran two days
+          on n = 817,101).
+    order_policy:
+        Ordering applied before solving (default: Theorem 3's descending
+        bandwidth).  ``None`` keeps the given order — note the distribution
+        is tied to the *returned* result's problem, whose processor order
+        may then differ from the input's.
+    exact_threshold:
+        Largest ``n`` for which ``"auto"`` is willing to run a DP.
+
+    Returns
+    -------
+    DistributionResult
+        The result's ``problem`` attribute is the (possibly reordered)
+        problem actually solved.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
+    if order_policy is not None:
+        problem = apply_policy(problem, order_policy)
+
+    if algorithm == "auto":
+        if problem.is_linear:
+            algorithm = "closed-form"
+        elif problem.is_affine:
+            algorithm = "lp-heuristic"
+        elif problem.n <= exact_threshold:
+            algorithm = "dp-optimized" if problem.is_increasing else "dp-basic"
+        else:
+            raise ValueError(
+                f"no automatic algorithm for general costs with n={problem.n} "
+                f"(> exact_threshold={exact_threshold}); pass algorithm= explicitly"
+            )
+
+    if algorithm == "dp-basic":
+        return solve_dp_basic(problem)
+    if algorithm == "dp-basic-vectorized":
+        return solve_dp_basic_vectorized(problem)
+    if algorithm == "dp-optimized":
+        return solve_dp_optimized(problem)
+    if algorithm == "closed-form":
+        return solve_closed_form(problem)
+    if algorithm == "lp-heuristic":
+        return solve_heuristic(problem)
+    if algorithm == "uniform":
+        counts = problem.uniform_distribution()
+        return DistributionResult(
+            problem=problem,
+            counts=counts,
+            makespan=problem.makespan(counts),
+            algorithm="uniform",
+        )
+    raise AssertionError(f"unhandled algorithm {algorithm!r}")

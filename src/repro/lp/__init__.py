@@ -1,0 +1,27 @@
+"""Exact rational linear programming (substrate replacing PIP/pipMP).
+
+Provides a two-phase simplex over :class:`fractions.Fraction`
+(:func:`solve_simplex`), the scatter-LP builder (:func:`build_scatter_lp`,
+system (3) of the paper), and a scipy float backend used for
+cross-validation (:func:`solve_with_scipy`).
+"""
+
+from .model import affine_coefficients, build_scatter_lp
+from .rationals import dot, fmat, format_fraction, fvec, is_zero_vector
+from .scipy_backend import solve_with_scipy
+from .simplex import LinearProgram, SimplexError, SimplexResult, solve_simplex
+
+__all__ = [
+    "LinearProgram",
+    "SimplexResult",
+    "SimplexError",
+    "solve_simplex",
+    "solve_with_scipy",
+    "build_scatter_lp",
+    "affine_coefficients",
+    "fvec",
+    "fmat",
+    "dot",
+    "is_zero_vector",
+    "format_fraction",
+]

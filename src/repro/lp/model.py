@@ -1,0 +1,82 @@
+"""Builder for the scatter linear program (paper §3.3, system (3)).
+
+For affine costs ``Tcomm(i, x) = β_i·x + b_i`` and ``Tcomp(i, x) = α_i·x +
+a_i`` the makespan minimization becomes
+
+    minimize    T
+    subject to  n_i >= 0                                  for i in [1, p]
+                Σ_i n_i = n
+                T  >=  Σ_{j<=i} (β_j n_j + b_j) + α_i n_i + a_i
+                                                          for i in [1, p]
+
+with variables ``x = (n_1, .., n_p, T)``.  Note the affine relaxation: a
+processor with ``n_i = 0`` still "pays" its intercepts inside the
+constraints.  This is exactly the approximation the paper makes (an LP
+cannot express the ``T(0) = 0`` discontinuity) and is harmless under the
+Eq. 4 guarantee; for the paper's own experiments the costs are linear and
+the relaxation is exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core.costs import as_fraction
+from ..core.distribution import ScatterProblem
+from .simplex import LinearProgram
+
+__all__ = ["build_scatter_lp", "affine_coefficients"]
+
+
+def affine_coefficients(
+    problem: ScatterProblem,
+) -> Tuple[List[Fraction], List[Fraction], List[Fraction], List[Fraction]]:
+    """Extract ``(α, a, β, b)`` — compute/comm rates and intercepts.
+
+    Raises ``ValueError`` if any cost function is not affine.
+    """
+    alphas: List[Fraction] = []
+    a_icpt: List[Fraction] = []
+    betas: List[Fraction] = []
+    b_icpt: List[Fraction] = []
+    for proc in problem.processors:
+        if not (proc.comm.is_affine and proc.comp.is_affine):
+            raise ValueError(
+                f"LP heuristic requires affine costs; {proc.name!r} has "
+                f"comm={proc.comm!r}, comp={proc.comp!r}"
+            )
+        alphas.append(as_fraction(proc.comp.rate))
+        a_icpt.append(as_fraction(proc.comp.intercept))
+        betas.append(as_fraction(proc.comm.rate))
+        b_icpt.append(as_fraction(proc.comm.intercept))
+    return alphas, a_icpt, betas, b_icpt
+
+
+def build_scatter_lp(problem: ScatterProblem) -> LinearProgram:
+    """Encode system (3) as a :class:`~repro.lp.simplex.LinearProgram`.
+
+    Variable layout: ``x = (n_1, .., n_p, T)``; all variables are
+    non-negative (T >= 0 is implied by non-negative costs, so restricting
+    it loses nothing).
+    """
+    alphas, a_icpt, betas, b_icpt = affine_coefficients(problem)
+    p = problem.p
+
+    c = [Fraction(0)] * p + [Fraction(1)]  # minimize T
+
+    a_eq = [[Fraction(1)] * p + [Fraction(0)]]
+    b_eq = [Fraction(problem.n)]
+
+    a_ub: List[List[Fraction]] = []
+    b_ub: List[Fraction] = []
+    for i in range(p):
+        # Σ_{j<=i} β_j n_j + α_i n_i − T  <=  −(Σ_{j<=i} b_j + a_i)
+        row = [Fraction(0)] * (p + 1)
+        for j in range(i + 1):
+            row[j] += betas[j]
+        row[i] += alphas[i]
+        row[p] = Fraction(-1)
+        a_ub.append(row)
+        b_ub.append(-(sum(b_icpt[: i + 1], Fraction(0)) + a_icpt[i]))
+    return LinearProgram(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)

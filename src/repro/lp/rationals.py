@@ -1,0 +1,60 @@
+"""Small exact-rational linear-algebra helpers for the simplex solver.
+
+The paper solves its linear program "in rational" with PIP/pipMP to get an
+*exact* optimal rational distribution (the 6·10⁻⁶ relative-error figure of
+§5.2 is measured against that exact optimum).  We replace pipMP with a
+from-scratch two-phase simplex over :class:`fractions.Fraction`; this module
+holds the vector/matrix plumbing it uses.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence
+
+from ..core.costs import Scalar, as_fraction
+
+__all__ = ["fvec", "fmat", "dot", "is_zero_vector", "format_fraction"]
+
+
+def fvec(values: Iterable[Scalar]) -> List[Fraction]:
+    """Convert an iterable of scalars to a list of exact fractions."""
+    return [as_fraction(v) for v in values]
+
+
+def fmat(rows: Iterable[Iterable[Scalar]]) -> List[List[Fraction]]:
+    """Convert a row-iterable of scalars to a dense Fraction matrix.
+
+    All rows must have the same length.
+    """
+    out = [fvec(row) for row in rows]
+    if out:
+        width = len(out[0])
+        for i, row in enumerate(out):
+            if len(row) != width:
+                raise ValueError(f"row {i} has length {len(row)}, expected {width}")
+    return out
+
+
+def dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:
+    """Exact dot product."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    total = Fraction(0)
+    for x, y in zip(a, b):
+        if x and y:
+            total += x * y
+    return total
+
+
+def is_zero_vector(v: Sequence[Fraction]) -> bool:
+    return all(x == 0 for x in v)
+
+
+def format_fraction(x: Fraction, digits: int = 6) -> str:
+    """Human-readable rendering: exact when short, decimal otherwise."""
+    if x.denominator == 1:
+        return str(x.numerator)
+    if len(str(x.numerator)) + len(str(x.denominator)) <= 12:
+        return f"{x.numerator}/{x.denominator}"
+    return f"{float(x):.{digits}g}"

@@ -1,0 +1,198 @@
+"""Exact two-phase simplex over the rationals.
+
+A dense tableau simplex with **Bland's anti-cycling rule**, operating
+entirely in :class:`fractions.Fraction` arithmetic, so the optimum it
+returns is exact — the property the paper gets from PIP/pipMP and that the
+Eq. 4 rounding guarantee is stated against.
+
+The solver handles the general form
+
+    minimize    c · x
+    subject to  A_ub · x <= b_ub
+                A_eq · x == b_eq
+                x >= 0
+
+by adding one slack variable per inequality and one artificial variable per
+row during phase 1.  Problem sizes here are tiny (the scatter LP has
+``p + 1`` structural variables and ``p + 1`` rows), so no effort is spent on
+sparsity or revised-simplex tricks; clarity and exactness win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from .rationals import fmat, fvec
+
+__all__ = ["LinearProgram", "SimplexResult", "SimplexError", "solve_simplex"]
+
+
+class SimplexError(Exception):
+    """Raised for infeasible or unbounded programs."""
+
+
+@dataclass(frozen=True)
+class LinearProgram:
+    """A linear program in ``min c·x, A_ub x <= b_ub, A_eq x == b_eq, x >= 0`` form."""
+
+    c: List[Fraction]
+    a_ub: List[List[Fraction]] = field(default_factory=list)
+    b_ub: List[Fraction] = field(default_factory=list)
+    a_eq: List[List[Fraction]] = field(default_factory=list)
+    b_eq: List[Fraction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "c", fvec(self.c))
+        object.__setattr__(self, "a_ub", fmat(self.a_ub))
+        object.__setattr__(self, "b_ub", fvec(self.b_ub))
+        object.__setattr__(self, "a_eq", fmat(self.a_eq))
+        object.__setattr__(self, "b_eq", fvec(self.b_eq))
+        n = len(self.c)
+        for name, rows, rhs in (("a_ub", self.a_ub, self.b_ub), ("a_eq", self.a_eq, self.b_eq)):
+            if len(rows) != len(rhs):
+                raise ValueError(f"{name} has {len(rows)} rows but rhs has {len(rhs)}")
+            for i, row in enumerate(rows):
+                if len(row) != n:
+                    raise ValueError(f"{name} row {i} has {len(row)} cols, expected {n}")
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.c)
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Exact optimum: variable values and objective."""
+
+    x: List[Fraction]
+    objective: Fraction
+    iterations: int
+
+
+def _pivot(tableau: List[List[Fraction]], basis: List[int], row: int, col: int) -> None:
+    """Pivot the tableau so that column ``col`` becomes basic in ``row``."""
+    piv = tableau[row][col]
+    inv = 1 / piv
+    tableau[row] = [v * inv for v in tableau[row]]
+    prow = tableau[row]
+    for r, trow in enumerate(tableau):
+        if r == row:
+            continue
+        factor = trow[col]
+        if factor:
+            tableau[r] = [a - factor * b for a, b in zip(trow, prow)]
+    basis[row] = col
+
+
+def _simplex_phase(
+    tableau: List[List[Fraction]],
+    basis: List[int],
+    cost: List[Fraction],
+    num_cols: int,
+    max_iterations: int,
+) -> int:
+    """Run simplex iterations on the given tableau for the given cost row.
+
+    ``tableau`` rows are the constraint rows (RHS in the last column); the
+    reduced-cost row is recomputed from ``cost`` each iteration — with exact
+    arithmetic and the tiny sizes involved, recomputation is simpler than
+    carrying an objective row through every pivot, and immune to drift by
+    construction.  Returns the number of iterations performed.
+    """
+    m = len(tableau)
+    iterations = 0
+    while True:
+        if iterations > max_iterations:
+            raise SimplexError(f"simplex exceeded {max_iterations} iterations")
+        # Reduced costs: z_j - c_j = (cost of basis) · column_j - cost_j.
+        cb = [cost[b] for b in basis]
+        entering: Optional[int] = None
+        for j in range(num_cols):
+            zj = sum(cb[r] * tableau[r][j] for r in range(m))
+            if zj - cost[j] > 0:  # improving column
+                entering = j  # Bland: smallest index
+                break
+        if entering is None:
+            return iterations
+        # Ratio test (Bland ties broken by smallest basis index).
+        leaving: Optional[int] = None
+        best: Optional[Fraction] = None
+        for r in range(m):
+            coeff = tableau[r][entering]
+            if coeff > 0:
+                ratio = tableau[r][-1] / coeff
+                if best is None or ratio < best or (ratio == best and basis[r] < basis[leaving]):
+                    best, leaving = ratio, r
+        if leaving is None:
+            raise SimplexError("linear program is unbounded")
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+
+
+def solve_simplex(lp: LinearProgram, *, max_iterations: int = 100_000) -> SimplexResult:
+    """Solve the program exactly; raises :class:`SimplexError` if infeasible
+    or unbounded."""
+    n = lp.num_vars
+    n_slack = len(lp.a_ub)
+    m = len(lp.a_ub) + len(lp.a_eq)
+    if m == 0:
+        # No constraints: optimum is 0 at the origin (c >= 0) or unbounded.
+        if any(ci < 0 for ci in lp.c):
+            raise SimplexError("linear program is unbounded (no constraints)")
+        return SimplexResult([Fraction(0)] * n, Fraction(0), 0)
+
+    # Build rows: structural | slacks | artificials | rhs, with rhs >= 0.
+    num_cols = n + n_slack + m  # one artificial per row
+    tableau: List[List[Fraction]] = []
+    basis: List[int] = []
+    all_rows = [(row, rhs, k) for k, (row, rhs) in enumerate(zip(lp.a_ub, lp.b_ub))]
+    all_rows += [(row, rhs, None) for row, rhs in zip(lp.a_eq, lp.b_eq)]
+    for r, (row, rhs, slack_idx) in enumerate(all_rows):
+        line = list(row) + [Fraction(0)] * (n_slack + m) + [rhs]
+        if slack_idx is not None:
+            line[n + slack_idx] = Fraction(1)
+        if rhs < 0:
+            line = [-v for v in line]
+        line[n + n_slack + r] = Fraction(1)  # artificial
+        tableau.append(line)
+        basis.append(n + n_slack + r)
+
+    # Phase 1: minimize the sum of artificials (cost +1 on each artificial).
+    phase1_cost = [Fraction(0)] * num_cols
+    for j in range(n + n_slack, num_cols):
+        phase1_cost[j] = Fraction(1)
+    it1 = _simplex_phase(tableau, basis, phase1_cost, num_cols, max_iterations)
+    infeasibility = sum(phase1_cost[b] * tableau[r][-1] for r, b in enumerate(basis))
+    if infeasibility != 0:
+        raise SimplexError(f"linear program is infeasible (phase-1 residual {infeasibility})")
+
+    # Drive any artificial still in the basis (at value 0) out of it; a row
+    # with no real pivot column is redundant and gets dropped entirely.
+    keep_rows: List[int] = []
+    for r in range(m):
+        if basis[r] >= n + n_slack:
+            pivot_col = next(
+                (j for j in range(n + n_slack) if tableau[r][j] != 0), None
+            )
+            if pivot_col is None:
+                continue  # redundant constraint row
+            _pivot(tableau, basis, r, pivot_col)
+        keep_rows.append(r)
+    tableau = [tableau[r] for r in keep_rows]
+    basis = [basis[r] for r in keep_rows]
+
+    # Phase 2 over structural + slack columns only (freeze artificials).
+    phase2_cols = n + n_slack
+    phase2_cost = list(lp.c) + [Fraction(0)] * n_slack
+    # Truncate artificial columns out of the tableau to keep them at zero.
+    trimmed = [row[:phase2_cols] + [row[-1]] for row in tableau]
+    it2 = _simplex_phase(trimmed, basis, phase2_cost, phase2_cols, max_iterations)
+
+    x = [Fraction(0)] * n
+    for r, b in enumerate(basis):
+        if b < n:
+            x[b] = trimmed[r][-1]
+    objective = sum(ci * xi for ci, xi in zip(lp.c, x))
+    return SimplexResult(x, objective, it1 + it2)

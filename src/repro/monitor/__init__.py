@@ -1,0 +1,36 @@
+"""Grid monitoring and forecasting (the §3 "monitor daemon" note).
+
+A simulated Network Weather Service: load observation streams per host,
+an NWS-style adaptive forecaster portfolio, and a replanning entry point
+(:func:`plan_with_monitor`) that feeds instantaneous grid characteristics
+into the static load-balancing algorithms.
+"""
+
+from .daemon import MonitorDaemon
+from .forecast import (
+    AdaptiveBest,
+    ExponentialSmoothing,
+    Forecaster,
+    LastValue,
+    RunningMean,
+    SlidingWindowMean,
+    SlidingWindowMedian,
+    default_portfolio,
+)
+from .service import LoadMonitor, Observation, plan_with_monitor, scale_cost
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingWindowMean",
+    "SlidingWindowMedian",
+    "ExponentialSmoothing",
+    "AdaptiveBest",
+    "default_portfolio",
+    "LoadMonitor",
+    "MonitorDaemon",
+    "Observation",
+    "plan_with_monitor",
+    "scale_cost",
+]

@@ -1,0 +1,73 @@
+"""In-simulation monitoring daemon.
+
+The paper's §3 note imagines a daemon "running aside the application".
+:class:`MonitorDaemon` is that daemon *inside the simulated timeline*: it
+samples every host's instantaneous load each ``period`` simulated seconds
+while the application runs, stopping automatically when the application's
+rank processes complete (so it never prolongs the run).
+
+Attach it through :func:`repro.mpi.run_spmd`'s ``before_run`` hook::
+
+    daemon = MonitorDaemon(platform, monitor, period=10.0)
+    run = run_spmd(platform, hosts, program, before_run=daemon.attach)
+
+The observations accumulate in the daemon's :class:`LoadMonitor`, ready to
+forecast the *next* scatter — exactly the between-operations replanning
+loop of ``examples/adaptive_inversion.py``, but with measurements taken on
+the same clock as the execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..simgrid.engine import Process, Simulator, WaitFor
+from ..simgrid.platform import Platform
+from .service import LoadMonitor
+
+__all__ = ["MonitorDaemon"]
+
+
+class MonitorDaemon:
+    """Periodic load sampler bound to one simulation run."""
+
+    def __init__(self, platform: Platform, monitor: LoadMonitor, period: float):
+        if period <= 0:
+            raise ValueError("sampling period must be > 0")
+        self.platform = platform
+        self.monitor = monitor
+        self.period = period
+        self.samples_taken = 0
+        self._sim: Optional[Simulator] = None
+        self._next = None
+        self._stopped = False
+
+    # -- lifecycle --------------------------------------------------------
+    def attach(self, sim: Simulator, rank_procs: Sequence[Process]) -> None:
+        """``before_run`` hook: start ticking and stop when all ranks end."""
+        if self._sim is not None:
+            raise RuntimeError("daemon already attached to a simulation")
+        self._sim = sim
+        self._tick()
+
+        daemon = self
+
+        def watcher():
+            for proc in rank_procs:
+                yield WaitFor(proc.done)
+            daemon.stop()
+
+        sim.spawn("monitor-daemon-watcher", watcher())
+
+    def _tick(self) -> None:
+        if self._stopped or self._sim is None:
+            return
+        self.monitor.sample_platform(self.platform, self._sim.now)
+        self.samples_taken += 1
+        self._next = self._sim.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the pending tick; the event queue can then drain."""
+        self._stopped = True
+        if self._sim is not None and self._next is not None:
+            self._sim.cancel(self._next)

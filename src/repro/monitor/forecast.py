@@ -1,0 +1,224 @@
+"""Load forecasting, in the style of the Network Weather Service.
+
+The paper notes (§3) that the computed distribution need not rely on
+static parameters: "a monitor daemon process (like [25]) running aside the
+application could be queried just before a scatter operation to retrieve
+the instantaneous grid characteristics".  Reference [25] is Wolski's
+Network Weather Service, whose signature idea is a *portfolio* of simple
+one-step-ahead forecasters with the portfolio choosing, at each step, the
+forecaster whose past predictions were most accurate.
+
+This module implements that portfolio:
+
+* primitive forecasters — :class:`LastValue`, :class:`RunningMean`,
+  :class:`SlidingWindowMean`, :class:`SlidingWindowMedian`,
+  :class:`ExponentialSmoothing`;
+* :class:`AdaptiveBest` — the NWS-style selector minimizing mean squared
+  one-step-ahead error over the observed history.
+
+All forecasters consume a scalar series (here: a host's load factor,
+``>= 1``) through :meth:`update` and produce :meth:`predict`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+__all__ = [
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingWindowMean",
+    "SlidingWindowMedian",
+    "ExponentialSmoothing",
+    "AdaptiveBest",
+    "default_portfolio",
+]
+
+
+class Forecaster:
+    """One-step-ahead scalar forecaster."""
+
+    #: Prediction before any observation arrives.
+    prior: float = 1.0
+
+    def update(self, value: float) -> None:
+        raise NotImplementedError
+
+    def predict(self) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class LastValue(Forecaster):
+    """Predicts the most recent observation (NWS's LAST)."""
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        self._last = value
+
+    def predict(self) -> float:
+        return self.prior if self._last is None else self._last
+
+    def reset(self) -> None:
+        self._last = None
+
+    def __repr__(self) -> str:
+        return "LastValue()"
+
+
+class RunningMean(Forecaster):
+    """Mean of the entire history."""
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def update(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+
+    def predict(self) -> float:
+        return self.prior if self._count == 0 else self._sum / self._count
+
+    def reset(self) -> None:
+        self._sum, self._count = 0.0, 0
+
+    def __repr__(self) -> str:
+        return "RunningMean()"
+
+
+class SlidingWindowMean(Forecaster):
+    """Mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._values.append(value)
+
+    def predict(self) -> float:
+        if not self._values:
+            return self.prior
+        return sum(self._values) / len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        return f"SlidingWindowMean(window={self.window})"
+
+
+class SlidingWindowMedian(Forecaster):
+    """Median of the last ``window`` observations (robust to spikes)."""
+
+    def __init__(self, window: int = 10):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> None:
+        self._values.append(value)
+
+    def predict(self) -> float:
+        if not self._values:
+            return self.prior
+        return float(statistics.median(self._values))
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        return f"SlidingWindowMedian(window={self.window})"
+
+
+class ExponentialSmoothing(Forecaster):
+    """``s <- alpha * x + (1 - alpha) * s`` (NWS's EWMA family)."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._state: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self._state is None:
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1.0 - self.alpha) * self._state
+
+    def predict(self) -> float:
+        return self.prior if self._state is None else self._state
+
+    def reset(self) -> None:
+        self._state = None
+
+    def __repr__(self) -> str:
+        return f"ExponentialSmoothing(alpha={self.alpha})"
+
+
+class AdaptiveBest(Forecaster):
+    """NWS-style portfolio: predict with the historically best member.
+
+    Before each update, every member's current prediction is scored
+    against the arriving observation (squared error, accumulated); the
+    portfolio's own prediction is the one of the member with the lowest
+    accumulated error so far (ties: earliest in the list).
+    """
+
+    def __init__(self, members: Optional[Sequence[Forecaster]] = None):
+        self.members: List[Forecaster] = (
+            default_portfolio() if members is None else list(members)
+        )
+        if not self.members:
+            raise ValueError("portfolio needs at least one member")
+        self._errors = [0.0] * len(self.members)
+        self._observations = 0
+
+    def update(self, value: float) -> None:
+        for i, member in enumerate(self.members):
+            err = member.predict() - value
+            self._errors[i] += err * err
+            member.update(value)
+        self._observations += 1
+
+    def predict(self) -> float:
+        best = min(range(len(self.members)), key=lambda i: (self._errors[i], i))
+        return self.members[best].predict()
+
+    @property
+    def best_member(self) -> Forecaster:
+        best = min(range(len(self.members)), key=lambda i: (self._errors[i], i))
+        return self.members[best]
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()
+        self._errors = [0.0] * len(self.members)
+        self._observations = 0
+
+    def __repr__(self) -> str:
+        return f"AdaptiveBest({self.members!r})"
+
+
+def default_portfolio() -> List[Forecaster]:
+    """The member set used when none is given (mirrors NWS's defaults)."""
+    return [
+        LastValue(),
+        RunningMean(),
+        SlidingWindowMean(5),
+        SlidingWindowMean(20),
+        SlidingWindowMedian(5),
+        ExponentialSmoothing(0.3),
+        ExponentialSmoothing(0.7),
+    ]

@@ -1,0 +1,25 @@
+"""Simulated message-passing layer (substrate for MPICH-G2).
+
+Provides rank contexts with blocking point-to-point operations, the
+scatter/scatterv collectives at the heart of the paper, gatherv, flat and
+binomial broadcast, and the :func:`run_spmd` launcher.
+"""
+
+from .collectives import barrier, bcast, gatherv, gatherv_ordered, scatter, scatterv
+from .communicator import Communicator, MpiError, RankContext
+from .runtime import MpiRun, run_spmd, trace_labels
+
+__all__ = [
+    "Communicator",
+    "RankContext",
+    "MpiError",
+    "MpiRun",
+    "run_spmd",
+    "trace_labels",
+    "scatter",
+    "scatterv",
+    "gatherv",
+    "gatherv_ordered",
+    "bcast",
+    "barrier",
+]

@@ -1,0 +1,219 @@
+"""Collective operations over the simulated communicator.
+
+The two stars of the paper:
+
+* :func:`scatter` — ``MPI_Scatter``: near-equal shares (``⌊n/P⌋`` each,
+  remainder to the lowest ranks), root serving destinations **in rank
+  order** through its single port — the behaviour §2.3 observed in MPICH;
+* :func:`scatterv` — ``MPI_Scatterv``: arbitrary per-rank counts.  The
+  paper's whole contribution is computing good counts for this call.
+
+Support collectives round out the layer: :func:`gatherv` (used to collect
+results), :func:`bcast` with both the *flat tree* and MPICH's *binomial
+tree* schedules (the MagPIe/MPICH-G2 discussion of §1), and
+:func:`barrier`.
+
+All functions are generators; drive them with ``yield from`` inside an
+SPMD program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+from ..core.distribution import uniform_counts
+from .communicator import MpiError, RankContext
+
+__all__ = ["scatter", "scatterv", "gatherv", "gatherv_ordered", "bcast", "barrier"]
+
+
+def _check_root(ctx: RankContext, root: int) -> int:
+    return ctx.comm.check_rank(root)
+
+
+def scatterv(
+    ctx: RankContext,
+    data: Optional[Sequence],
+    counts: Optional[Sequence[int]],
+    root: int,
+    *,
+    tag: int = 11,
+) -> Generator:
+    """``MPI_Scatterv``: rank ``i`` receives ``counts[i]`` items of ``data``.
+
+    Only the root's ``data``/``counts`` arguments matter (as in MPI, where
+    they are "significant only at root") — but ``counts`` must still be a
+    valid vector there.  The root sends to ranks in increasing rank order,
+    skipping itself (its own slice is a free local copy at the end, which
+    matches the paper's framework where the root "can only start to process
+    its share after it has sent the other data items").
+
+    Returns this rank's slice.
+    """
+    root = _check_root(ctx, root)
+    if ctx.rank == root:
+        if data is None or counts is None:
+            raise MpiError("root must provide data and counts")
+        counts = [int(c) for c in counts]
+        if len(counts) != ctx.size:
+            raise MpiError(f"counts has {len(counts)} entries for {ctx.size} ranks")
+        if any(c < 0 for c in counts):
+            raise MpiError(f"negative counts: {counts}")
+        if sum(counts) > len(data):
+            raise MpiError(
+                f"counts sum to {sum(counts)} but data has only {len(data)} items"
+            )
+        offsets = [0] * ctx.size
+        acc = 0
+        for r in range(ctx.size):
+            offsets[r] = acc
+            acc += counts[r]
+        for dst in range(ctx.size):
+            if dst == root:
+                continue
+            chunk = data[offsets[dst] : offsets[dst] + counts[dst]]
+            yield from ctx.send(dst, chunk, items=counts[dst], tag=tag)
+        return data[offsets[root] : offsets[root] + counts[root]]
+    else:
+        chunk = yield from ctx.recv(root, tag=tag)
+        return chunk
+
+
+def scatter(
+    ctx: RankContext, data: Optional[Sequence], root: int, *, tag: int = 10
+) -> Generator:
+    """``MPI_Scatter``: the original program's uniform distribution (§2.2).
+
+    Shares are ``⌊n/P⌋`` items each; the ``n mod P`` leftover items go one
+    each to the lowest ranks (the detail the paper elides "for sake of
+    simplicity").
+    """
+    root = _check_root(ctx, root)
+    counts: Optional[List[int]] = None
+    if ctx.rank == root:
+        if data is None:
+            raise MpiError("root must provide data")
+        counts = list(uniform_counts(len(data), ctx.size))
+    result = yield from scatterv(ctx, data, counts, root, tag=tag)
+    return result
+
+
+def gatherv(
+    ctx: RankContext,
+    payload: Any,
+    root: int,
+    *,
+    items: Optional[int] = None,
+    tag: int = 12,
+) -> Generator:
+    """``MPI_Gatherv``: root returns the list of per-rank payloads.
+
+    Non-root ranks send to the root and return ``None``.  The root posts
+    receives in rank order; actual wire transfers serialize on its inbound
+    port in the order senders become ready.
+    """
+    root = _check_root(ctx, root)
+    if ctx.rank == root:
+        gathered: List[Any] = [None] * ctx.size
+        gathered[root] = payload
+        for src in range(ctx.size):
+            if src == root:
+                continue
+            gathered[src] = yield from ctx.recv(src, tag=tag)
+        return gathered
+    else:
+        yield from ctx.send(root, payload, items=items, tag=tag)
+        return None
+
+
+def gatherv_ordered(
+    ctx: RankContext,
+    payload: Any,
+    root: int,
+    order: Sequence[int],
+    *,
+    items: Optional[int] = None,
+    tag: int = 15,
+) -> Generator:
+    """Gather with an *enforced* service order (repro.core.gather plans).
+
+    An unmanaged port serves senders in readiness (FIFO) order; to realize
+    a planned order — e.g. the reversed-scatter order of
+    :func:`repro.core.gather.solve_gather` — the root hands out zero-size
+    "go" tokens one sender at a time.  Tokens cost no transfer time on
+    linear links; on affine links they pay the latency, which is the
+    honest price of order control.
+    """
+    root = _check_root(ctx, root)
+    order = [ctx.comm.check_rank(r) for r in order]
+    expected = sorted(r for r in range(ctx.size) if r != root)
+    if sorted(order) != expected:
+        raise MpiError(f"order {order!r} must permute the non-root ranks")
+    if ctx.rank == root:
+        gathered: List[Any] = [None] * ctx.size
+        gathered[root] = payload
+        for src in order:
+            yield from ctx.send(src, None, items=0, tag=tag)  # go token
+            gathered[src] = yield from ctx.recv(src, tag=tag + 1)
+        return gathered
+    else:
+        yield from ctx.recv(root, tag=tag)  # wait for the token
+        yield from ctx.send(root, payload, items=items, tag=tag + 1)
+        return None
+
+
+def bcast(
+    ctx: RankContext,
+    payload: Any,
+    root: int,
+    *,
+    items: Optional[int] = None,
+    algorithm: str = "binomial",
+    tag: int = 13,
+) -> Generator:
+    """``MPI_Bcast`` with a selectable schedule.
+
+    ``algorithm="flat"`` — the root sends to every rank in turn (what
+    MPICH-G2 switches to under high latency, §1); ``"binomial"`` — the
+    classic MPICH binomial tree (log₂P rounds).  Returns the payload on
+    every rank.
+    """
+    root = _check_root(ctx, root)
+    size = ctx.size
+    if algorithm == "flat":
+        if ctx.rank == root:
+            for dst in range(size):
+                if dst != root:
+                    yield from ctx.send(dst, payload, items=items, tag=tag)
+            return payload
+        received = yield from ctx.recv(root, tag=tag)
+        return received
+
+    if algorithm != "binomial":
+        raise MpiError(f"unknown bcast algorithm {algorithm!r}")
+
+    relative = (ctx.rank - root) % size
+    # Receive phase: a non-root rank gets the payload from the rank that
+    # differs in its lowest set bit.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (relative - mask + root) % size
+            payload = yield from ctx.recv(src, tag=tag)
+            break
+        mask <<= 1
+    # Send phase: forward to the ranks below in the tree.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            dst = (relative + mask + root) % size
+            yield from ctx.send(dst, payload, items=items, tag=tag)
+        mask >>= 1
+    return payload
+
+
+def barrier(ctx: RankContext, *, tag: int = 14) -> Generator:
+    """Flat gather-then-broadcast barrier on zero-size messages."""
+    root = 0
+    yield from gatherv(ctx, None, root, items=0, tag=tag)
+    yield from bcast(ctx, None, root, items=0, algorithm="binomial", tag=tag + 1)

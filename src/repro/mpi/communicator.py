@@ -1,0 +1,214 @@
+"""Simulated MPI communicator and per-rank context.
+
+An SPMD program is a generator function ``program(ctx, *args)`` where
+``ctx`` is a :class:`RankContext`.  All communication methods are
+generators to be driven with ``yield from``, mirroring blocking MPI calls::
+
+    def program(ctx):
+        chunk = yield from ctx.scatterv(data, counts, root=ctx.size - 1)
+        yield from ctx.compute(len(chunk))
+        yield from ctx.gatherv(process(chunk), root=ctx.size - 1)
+
+Message matching is exact on ``(destination, source, tag)`` — no wildcard
+receives (the paper's code needs none).  Timing and port contention come
+from :class:`repro.simgrid.network.Network`; each rank is pinned to one
+host of the platform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..simgrid.engine import Mailbox, Simulator
+from ..simgrid.host import Host
+from ..simgrid.network import Network, Transfer
+
+__all__ = ["MpiError", "Communicator", "RankContext", "ANY_SOURCE"]
+
+#: Wildcard source for :meth:`RankContext.recv_any` channels.  Unlike real
+#: MPI, wildcard matching is per *channel*: a message is receivable by
+#: ``recv_any`` only if it was sent with ``to_any=True`` (see
+#: :meth:`RankContext.send`).  This keeps matching O(1) and is sufficient
+#: for demand-driven patterns like master/worker request queues.
+ANY_SOURCE = -1
+
+
+class MpiError(Exception):
+    """Invalid MPI usage (bad rank, size mismatch, ...)."""
+
+
+class Communicator:
+    """Rank-to-host binding plus the mailbox table of one MPI world."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        hosts: Sequence[Host],
+        trace_names: Optional[Sequence[str]] = None,
+    ):
+        if not hosts:
+            raise MpiError("communicator needs at least one rank")
+        self.sim = sim
+        self.network = network
+        self.hosts: List[Host] = list(hosts)
+        names = list(trace_names) if trace_names is not None else [h.name for h in hosts]
+        if len(names) != len(self.hosts):
+            raise MpiError("trace_names length must match hosts length")
+        if len(set(names)) != len(names):
+            raise MpiError(f"trace names must be unique, got {names!r}")
+        self.trace_names: List[str] = names
+        self._mailboxes: Dict[Tuple[int, int, int], Mailbox] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.hosts)
+
+    def check_rank(self, rank: int) -> int:
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of range [0, {self.size})")
+        return rank
+
+    def mailbox(self, dst: int, src: int, tag: int) -> Mailbox:
+        key = (dst, src, tag)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = self.sim.mailbox(f"mbox[{dst}<-{src}#{tag}]")
+        return self._mailboxes[key]
+
+
+class RankContext:
+    """The view of the communicator from one rank (the ``ctx`` object)."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = comm.check_rank(rank)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def host(self) -> Host:
+        return self.comm.hosts[self.rank]
+
+    @property
+    def name(self) -> str:
+        """Trace/timeline label of this rank."""
+        return self.comm.trace_names[self.rank]
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.comm.sim.now
+
+    def host_of(self, rank: int) -> Host:
+        return self.comm.hosts[self.comm.check_rank(rank)]
+
+    # -- point-to-point --------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        items: Optional[int] = None,
+        tag: int = 0,
+        *,
+        to_any: bool = False,
+    ) -> Generator:
+        """Blocking send of ``payload`` (accounted as ``items`` data items).
+
+        ``items`` defaults to ``len(payload)``; pass it explicitly for
+        non-sized payloads.  A rank sending to itself is a free local copy.
+        ``to_any=True`` deposits into the destination's wildcard channel,
+        receivable only by :meth:`recv_any` (demand-driven protocols).
+        """
+        dst = self.comm.check_rank(dst)
+        if items is None:
+            try:
+                items = len(payload)
+            except TypeError:
+                raise MpiError(
+                    f"payload {type(payload).__name__} has no length; pass items="
+                ) from None
+        src_key = ANY_SOURCE if to_any else self.rank
+        mbox = self.comm.mailbox(dst, src_key, tag)
+        yield from self.comm.network.send(
+            self.host.name,
+            self.host_of(dst).name,
+            items,
+            payload,
+            mbox,
+            src_trace=self.name,
+            dst_trace=self.comm.trace_names[dst],
+        )
+
+    def recv_transfer(self, src: int, tag: int = 0) -> Generator:
+        """Blocking receive; returns the full :class:`Transfer` descriptor."""
+        src = self.comm.check_rank(src)
+        mbox = self.comm.mailbox(self.rank, src, tag)
+        transfer = yield from self.comm.network.recv(mbox)
+        return transfer
+
+    def recv(self, src: int, tag: int = 0) -> Generator:
+        """Blocking receive; returns the payload only."""
+        transfer: Transfer = yield from self.recv_transfer(src, tag)
+        return transfer.payload
+
+    def recv_any(self, tag: int = 0) -> Generator:
+        """Receive from this rank's wildcard channel (see :data:`ANY_SOURCE`).
+
+        Returns the full :class:`Transfer` — its ``src`` field carries the
+        sender's *host* name; protocols that need the sender's rank should
+        put it in the payload.
+        """
+        mbox = self.comm.mailbox(self.rank, ANY_SOURCE, tag)
+        transfer = yield from self.comm.network.recv(mbox)
+        return transfer
+
+    # -- computation -------------------------------------------------------------
+    def compute(self, items: float) -> Generator:
+        """Charge this rank's host compute cost for ``items`` items.
+
+        ``items`` may be fractional (weighted work in item-equivalents).
+        """
+        yield from self.comm.network.compute(self.host, items, trace=self.name)
+
+    # -- collectives (delegating; see repro.mpi.collectives) ----------------------
+    def scatter(self, data: Optional[Sequence], root: int, tag: int = 10) -> Generator:
+        from .collectives import scatter
+
+        return scatter(self, data, root, tag=tag)
+
+    def scatterv(
+        self,
+        data: Optional[Sequence],
+        counts: Optional[Sequence[int]],
+        root: int,
+        tag: int = 11,
+    ) -> Generator:
+        from .collectives import scatterv
+
+        return scatterv(self, data, counts, root, tag=tag)
+
+    def gatherv(self, payload: Any, root: int, items: Optional[int] = None,
+                tag: int = 12) -> Generator:
+        from .collectives import gatherv
+
+        return gatherv(self, payload, root, items=items, tag=tag)
+
+    def gatherv_ordered(self, payload: Any, root: int, order: Sequence[int],
+                        items: Optional[int] = None, tag: int = 15) -> Generator:
+        from .collectives import gatherv_ordered
+
+        return gatherv_ordered(self, payload, root, order, items=items, tag=tag)
+
+    def bcast(self, payload: Any, root: int, items: Optional[int] = None,
+              algorithm: str = "binomial", tag: int = 13) -> Generator:
+        from .collectives import bcast
+
+        return bcast(self, payload, root, items=items, algorithm=algorithm, tag=tag)
+
+    def barrier(self, tag: int = 14) -> Generator:
+        from .collectives import barrier
+
+        return barrier(self, tag=tag)

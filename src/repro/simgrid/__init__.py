@@ -1,0 +1,67 @@
+"""Discrete-event grid simulator (substrate for the paper's testbed).
+
+Layers:
+
+* :mod:`~repro.simgrid.engine` — event loop, processes, resources,
+  mailboxes;
+* :mod:`~repro.simgrid.host` / :mod:`~repro.simgrid.link` — priced
+  compute nodes and network links;
+* :mod:`~repro.simgrid.platform` — platform descriptions and adapters to
+  the core solvers;
+* :mod:`~repro.simgrid.network` — single-port timed transfers (§2.3
+  hardware model);
+* :mod:`~repro.simgrid.trace` — timelines, stair-effect metrics, ASCII
+  Gantt;
+* :mod:`~repro.simgrid.noise` — deterministic load perturbations.
+"""
+
+from .engine import (
+    Acquire,
+    DeadlockError,
+    Get,
+    Hold,
+    Mailbox,
+    Process,
+    Put,
+    Release,
+    Resource,
+    SimEvent,
+    Simulator,
+    WaitFor,
+)
+from .host import Host
+from .link import Link
+from .network import Network, Transfer
+from .noise import CompositeNoise, JitterNoise, NoNoise, NoiseModel, SpikeNoise
+from .platform import Platform, cost_from_dict, cost_to_dict
+from .trace import Interval, Timeline, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "Resource",
+    "Mailbox",
+    "Hold",
+    "Acquire",
+    "Release",
+    "Put",
+    "Get",
+    "WaitFor",
+    "DeadlockError",
+    "Host",
+    "Link",
+    "Network",
+    "Transfer",
+    "Platform",
+    "cost_to_dict",
+    "cost_from_dict",
+    "TraceRecorder",
+    "Timeline",
+    "Interval",
+    "NoiseModel",
+    "NoNoise",
+    "JitterNoise",
+    "SpikeNoise",
+    "CompositeNoise",
+]

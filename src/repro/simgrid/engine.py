@@ -1,0 +1,347 @@
+"""Discrete-event simulation engine.
+
+This is the substrate standing in for the paper's physical testbed: a small
+but real discrete-event simulator with
+
+* a global event queue and simulated clock (:class:`Simulator`),
+* cooperative **processes** written as Python generators that ``yield``
+  simulation primitives (:class:`Hold`, :class:`Acquire`, :class:`Release`,
+  :class:`Put`, :class:`Get`, :class:`WaitFor`),
+* exclusive **resources** with FIFO queueing (used to model single-port
+  network interfaces — the paper's §2.3 hardware model),
+* **mailboxes** for message passing between processes (used by the
+  simulated MPI layer), and
+* **events** for one-shot signalling.
+
+Determinism: the queue orders by ``(time, sequence)`` where ``sequence`` is
+a global insertion counter, so equal-time events fire in creation order and
+every run of the same program is bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "Resource",
+    "Mailbox",
+    "Hold",
+    "Acquire",
+    "Release",
+    "Put",
+    "Get",
+    "WaitFor",
+    "DeadlockError",
+]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event queue drains while processes are still blocked."""
+
+
+class SimPrimitive:
+    """Base class for everything a process may ``yield``."""
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Hold(SimPrimitive):
+    """Suspend the process for ``duration`` simulated seconds."""
+
+    duration: float
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        if self.duration < 0:
+            raise ValueError(f"cannot hold for negative duration {self.duration}")
+        sim.schedule(self.duration, process._resume, None)
+
+
+@dataclass(frozen=True)
+class Acquire(SimPrimitive):
+    """Block until the resource is granted to this process (FIFO)."""
+
+    resource: "Resource"
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        self.resource._request(process)
+
+
+@dataclass(frozen=True)
+class Release(SimPrimitive):
+    """Release a previously acquired resource; resumes immediately."""
+
+    resource: "Resource"
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        self.resource._release(process)
+        sim.schedule(0.0, process._resume, None)
+
+
+@dataclass(frozen=True)
+class Put(SimPrimitive):
+    """Deposit a message into a mailbox; resumes immediately."""
+
+    mailbox: "Mailbox"
+    message: Any
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        self.mailbox._put(self.message)
+        sim.schedule(0.0, process._resume, None)
+
+
+@dataclass(frozen=True)
+class Get(SimPrimitive):
+    """Block until a message is available; the message becomes the yield value."""
+
+    mailbox: "Mailbox"
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        self.mailbox._get(process)
+
+
+@dataclass(frozen=True)
+class WaitFor(SimPrimitive):
+    """Block until the event is set; the event's value becomes the yield value."""
+
+    event: "SimEvent"
+
+    def start(self, sim: "Simulator", process: "Process") -> None:
+        self.event._wait(process)
+
+
+class SimEvent:
+    """One-shot signalling event carrying an optional value."""
+
+    __slots__ = ("sim", "_set", "value", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self._set = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters at the current time."""
+        if self._set:
+            raise RuntimeError(f"event {self.name!r} set twice")
+        self._set = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim.schedule(0.0, proc._resume, value)
+
+    def _wait(self, process: "Process") -> None:
+        if self._set:
+            self.sim.schedule(0.0, process._resume, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Resource:
+    """Resource with FIFO hand-off and a fixed capacity.
+
+    With ``capacity=1`` (default) it models a single-port NIC: one transfer
+    at a time, queued requests served in request order — exactly the
+    paper's root behaviour of serving destination processors "in turn".
+    Larger capacities model k-port interfaces or shared backbones admitting
+    ``k`` concurrent flows.
+    """
+
+    __slots__ = ("sim", "name", "capacity", "_holders", "_queue")
+
+    def __init__(self, sim: "Simulator", name: str = "resource", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._holders: List["Process"] = []
+        self._queue: Deque["Process"] = deque()
+
+    @property
+    def holder(self) -> Optional["Process"]:
+        """The current holder (capacity-1 resources only)."""
+        return self._holders[0] if self._holders else None
+
+    @property
+    def holders(self) -> Tuple["Process", ...]:
+        return tuple(self._holders)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._holders)
+
+    def _request(self, process: "Process") -> None:
+        if len(self._holders) < self.capacity:
+            self._holders.append(process)
+            self.sim.schedule(0.0, process._resume, None)
+        else:
+            self._queue.append(process)
+
+    def _release(self, process: "Process") -> None:
+        if process not in self._holders:
+            names = [h.name for h in self._holders]
+            raise RuntimeError(
+                f"{process.name!r} released {self.name!r} held by {names!r}"
+            )
+        self._holders.remove(process)
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._holders.append(nxt)
+            self.sim.schedule(0.0, nxt._resume, None)
+
+
+class Mailbox:
+    """FIFO message channel between processes."""
+
+    __slots__ = ("sim", "name", "_messages", "_getters")
+
+    def __init__(self, sim: "Simulator", name: str = "mailbox"):
+        self.sim = sim
+        self.name = name
+        self._messages: Deque[Any] = deque()
+        self._getters: Deque["Process"] = deque()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def _put(self, message: Any) -> None:
+        if self._getters:
+            proc = self._getters.popleft()
+            self.sim.schedule(0.0, proc._resume, message)
+        else:
+            self._messages.append(message)
+
+    def _get(self, process: "Process") -> None:
+        if self._messages:
+            self.sim.schedule(0.0, process._resume, self._messages.popleft())
+        else:
+            self._getters.append(process)
+
+
+class Process:
+    """A simulated process driving a generator of primitives.
+
+    The generator receives the yield's result (e.g. the message for
+    :class:`Get`) back from ``yield``.  When it returns, ``done`` is set
+    with the generator's return value.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "done", "_blocked")
+
+    def __init__(self, sim: "Simulator", name: str, gen: Generator):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.done = SimEvent(sim, f"{name}.done")
+        self._blocked = False
+        sim._processes.append(self)
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.done.is_set
+
+    def _resume(self, value: Any) -> None:
+        self._blocked = False
+        try:
+            prim = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.set(stop.value)
+            return
+        if not isinstance(prim, SimPrimitive):
+            raise TypeError(
+                f"process {self.name!r} yielded {prim!r}; expected a simulation "
+                f"primitive (Hold/Acquire/Release/Put/Get/WaitFor)"
+            )
+        self._blocked = True
+        prim.start(self.sim, self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done.is_set else ("blocked" if self._blocked else "ready")
+        return f"Process({self.name!r}, {state})"
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    fn: Callable = field(compare=False)
+    args: Tuple = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """The event loop: simulated clock plus factories for all primitives."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[_QueuedEvent] = []
+        self._seq = 0
+        self._processes: List[Process] = []
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> _QueuedEvent:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        ev = _QueuedEvent(self.now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def cancel(self, ev: _QueuedEvent) -> None:
+        ev.cancelled = True
+
+    # -- factories -----------------------------------------------------------
+    def spawn(self, name: str, gen: Generator) -> Process:
+        """Start a new process executing ``gen``."""
+        return Process(self, name, gen)
+
+    def event(self, name: str = "event") -> SimEvent:
+        return SimEvent(self, name)
+
+    def resource(self, name: str = "resource", capacity: int = 1) -> Resource:
+        return Resource(self, name, capacity)
+
+    def mailbox(self, name: str = "mailbox") -> Mailbox:
+        return Mailbox(self, name)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains (or ``until`` is reached).
+
+        Raises :class:`DeadlockError` if the queue empties while some
+        process is still blocked — e.g. a receive with no matching send.
+        Returns the final simulated time.
+        """
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if until is not None and ev.time > until:
+                heapq.heappush(self._queue, ev)
+                self.now = until
+                return self.now
+            if ev.time < self.now:
+                raise AssertionError("event queue went backwards")
+            self.now = ev.time
+            ev.fn(*ev.args)
+        blocked = [p for p in self._processes if p.alive]
+        if blocked and until is None:
+            names = ", ".join(p.name for p in blocked)
+            raise DeadlockError(f"simulation deadlocked; blocked processes: {names}")
+        return self.now

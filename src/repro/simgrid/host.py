@@ -1,0 +1,73 @@
+"""Simulated hosts (compute nodes).
+
+A :class:`Host` owns a per-item compute cost function (Table 1's ``α``), an
+optional site label (the paper's two geographic sites), and a noise model
+hook.  It is deliberately independent from the event engine: hosts only
+*price* work; the runtime charges the resulting durations on the simulator
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.costs import CostFunction, LinearCost, Scalar
+from .noise import NoNoise, NoiseModel
+
+__all__ = ["Host"]
+
+
+@dataclass
+class Host:
+    """A compute node of the simulated grid.
+
+    Attributes
+    ----------
+    name:
+        Unique host name; multi-CPU machines contribute one host per CPU
+        (e.g. ``leda#9`` … ``leda#16`` for the Origin 3800).
+    comp_cost:
+        ``Tcomp`` — seconds to compute ``x`` items.
+    site:
+        Optional site label (machines co-located on a LAN).
+    machine:
+        Physical machine name (hosts of one machine share memory, so
+        intra-machine transfers are free by default in the platform).
+    rating:
+        Relative speed normalized to a reference CPU — Table 1's "Rating"
+        column; purely informational.
+    noise:
+        Multiplicative compute-slowdown model (default: none).
+    """
+
+    name: str
+    comp_cost: CostFunction
+    site: Optional[str] = None
+    machine: Optional[str] = None
+    rating: Optional[float] = None
+    noise: NoiseModel = field(default_factory=NoNoise)
+
+    @staticmethod
+    def linear(name: str, alpha: Scalar, **kwargs) -> "Host":
+        """Host with linear compute cost ``α`` seconds/item."""
+        return Host(name, LinearCost(alpha), **kwargs)
+
+    def compute_time(self, items: float, at: float = 0.0) -> float:
+        """Seconds to compute ``items`` items starting at simulated time ``at``.
+
+        ``items`` may be fractional for weighted workloads (an amount of
+        *work* in item-equivalents) as long as the cost function is
+        real-valued (all analytic cost classes are).  The noise factor is
+        sampled once at the start of the computation — a deliberate
+        simplification (piecewise-constant load over a computation) that
+        keeps durations cheap to price.
+        """
+        if items < 0:
+            raise ValueError(f"negative item count: {items}")
+        base = self.comp_cost(items)
+        return base * self.noise.factor(self.name, at)
+
+    def __repr__(self) -> str:
+        where = f", site={self.site!r}" if self.site else ""
+        return f"Host({self.name!r}, comp={self.comp_cost!r}{where})"

@@ -1,0 +1,63 @@
+"""Simulated network links.
+
+A :class:`Link` prices a transfer of ``x`` data items between two hosts —
+Table 1's ``β`` column ("time in seconds needed to receive one data element
+from the root processor").  Like hosts, links only price transfers; timing
+and port contention are enforced by :mod:`repro.simgrid.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.costs import AffineCost, CostFunction, LinearCost, Scalar, ZeroCost
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed network link with a per-item-count transfer cost."""
+
+    cost: CostFunction
+    name: str = "link"
+
+    @staticmethod
+    def linear(beta: Scalar, name: str = "link") -> "Link":
+        """Link with linear cost ``β`` seconds/item (the paper's model)."""
+        return Link(LinearCost(beta), name)
+
+    @staticmethod
+    def from_bandwidth(
+        items_per_second: float, latency: float = 0.0, name: str = "link"
+    ) -> "Link":
+        """Link from a bandwidth (items/s) and optional latency (s).
+
+        ``latency > 0`` yields an affine cost — outside the paper's linear
+        experimental model but inside the LP heuristic's hypotheses.
+        """
+        if items_per_second <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {items_per_second}")
+        beta = 1.0 / items_per_second
+        if latency == 0.0:
+            return Link(LinearCost(beta), name)
+        return Link(AffineCost(beta, latency), name)
+
+    @staticmethod
+    def free(name: str = "loopback") -> "Link":
+        """Zero-cost link (loopback / shared memory between co-located CPUs)."""
+        return Link(ZeroCost(), name)
+
+    def transfer_time(self, items: int) -> float:
+        """Seconds to move ``items`` items across this link."""
+        if items < 0:
+            raise ValueError(f"negative item count: {items}")
+        return self.cost(items)
+
+    @property
+    def beta(self):
+        """Per-item rate (linear/affine links)."""
+        return self.cost.rate
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, {self.cost!r})"

@@ -1,0 +1,134 @@
+"""Single-port transfer machinery on top of the event engine.
+
+Implements the paper's §2.3 hardware model: every host owns one exclusive
+*outbound* port and one exclusive *inbound* port (full-duplex NIC), so a
+host sends to **at most one destination at a time** and transfers queue in
+FIFO request order — which is what produces the Fig. 1 stair effect when a
+root scatters to many destinations.
+
+The methods return generators meant to be driven with ``yield from`` inside
+an engine process, e.g.::
+
+    def sender(net):
+        yield from net.send("root", "worker", items=100, payload=chunk,
+                            mailbox=mbox)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from .engine import Acquire, Get, Hold, Mailbox, Put, Release, Resource, Simulator
+from .host import Host
+from .platform import Platform
+from .trace import TraceRecorder
+
+__all__ = ["Transfer", "Network"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Completed-transfer descriptor deposited into the target mailbox."""
+
+    src: str
+    dst: str
+    items: int
+    payload: Any
+    start: float
+    end: float
+
+
+class Network:
+    """Port management + timed transfers for one simulation run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: Platform,
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        self.sim = sim
+        self.platform = platform
+        self.recorder = recorder or TraceRecorder()
+        self._out_ports: Dict[str, Resource] = {}
+        self._in_ports: Dict[str, Resource] = {}
+        self._backbones: Dict[str, Resource] = {}
+
+    def out_port(self, host: str) -> Resource:
+        if host not in self._out_ports:
+            self._out_ports[host] = self.sim.resource(f"{host}.out")
+        return self._out_ports[host]
+
+    def in_port(self, host: str) -> Resource:
+        if host not in self._in_ports:
+            self._in_ports[host] = self.sim.resource(f"{host}.in")
+        return self._in_ports[host]
+
+    def backbone(self, src: str, dst: str) -> Optional[Resource]:
+        """The shared inter-site backbone resource for this pair, if any."""
+        found = self.platform.backbone_between(src, dst)
+        if found is None:
+            return None
+        name, capacity = found
+        if name not in self._backbones:
+            self._backbones[name] = self.sim.resource(name, capacity)
+        return self._backbones[name]
+
+    # -- timed operations (drive with `yield from`) -------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        items: int,
+        payload: Any,
+        mailbox: Mailbox,
+        *,
+        src_trace: Optional[str] = None,
+        dst_trace: Optional[str] = None,
+    ) -> Generator:
+        """Move ``items`` items from ``src`` to ``dst``; deposit into ``mailbox``.
+
+        Holds both endpoints' ports for the whole transfer duration (the
+        single-port model), records a ``sending`` interval on the source
+        trace and a ``receiving`` interval on the destination trace, then
+        deposits a :class:`Transfer` into the mailbox.  A loopback transfer
+        (``src == dst``) costs zero time and takes no ports.
+        """
+        if items < 0:
+            raise ValueError(f"negative item count: {items}")
+        if src == dst:
+            start = self.sim.now
+            yield Put(mailbox, Transfer(src, dst, items, payload, start, start))
+            return
+        duration = self.platform.link(src, dst).transfer_time(items)
+        # Global acquisition order (out, in, backbone) prevents deadlock.
+        yield Acquire(self.out_port(src))
+        yield Acquire(self.in_port(dst))
+        pipe = self.backbone(src, dst)
+        if pipe is not None:
+            yield Acquire(pipe)
+        start = self.sim.now
+        yield Hold(duration)
+        end = self.sim.now
+        self.recorder.record(src_trace or src, "sending", start, end)
+        self.recorder.record(dst_trace or dst, "receiving", start, end)
+        if pipe is not None:
+            yield Release(pipe)
+        yield Release(self.in_port(dst))
+        yield Release(self.out_port(src))
+        yield Put(mailbox, Transfer(src, dst, items, payload, start, end))
+
+    def recv(self, mailbox: Mailbox) -> Generator:
+        """Wait for the next :class:`Transfer` in ``mailbox`` and return it."""
+        transfer = yield Get(mailbox)
+        return transfer
+
+    def compute(
+        self, host: Host, items: float, *, trace: Optional[str] = None
+    ) -> Generator:
+        """Charge ``host``'s compute time for ``items`` items on the clock."""
+        start = self.sim.now
+        duration = host.compute_time(items, at=start)
+        yield Hold(duration)
+        self.recorder.record(trace or host.name, "computing", start, self.sim.now)

@@ -1,0 +1,274 @@
+"""Platform descriptions: hosts + links, and adapters to the core solvers.
+
+A :class:`Platform` is the simulated equivalent of the paper's testbed
+description (Table 1): a set of named hosts with compute costs, and
+directed links with transfer costs.  It provides:
+
+* ``to_problem(n, root)`` — project the platform onto a
+  :class:`~repro.core.distribution.ScatterProblem` as seen from a root
+  (links radiating from the root, root last);
+* ``link_oracle()`` — the link-cost callable consumed by
+  :func:`repro.core.root_selection.choose_root`;
+* JSON round-tripping for platform files.
+
+Link resolution for ``link(src, dst)``: loopback and intra-machine pairs
+are free (shared memory), then explicit links, then the platform default;
+anything else is an error.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.costs import (
+    AffineCost,
+    CostFunction,
+    LinearCost,
+    PiecewiseLinearCost,
+    TabulatedCost,
+    ZeroCost,
+)
+from ..core.distribution import Processor, ScatterProblem
+from ..core.ordering import apply_policy
+from .host import Host
+from .link import Link
+
+__all__ = ["Platform", "cost_to_dict", "cost_from_dict"]
+
+
+def cost_to_dict(cost: CostFunction) -> dict:
+    """Serialize a cost function to a JSON-compatible dict."""
+    if isinstance(cost, ZeroCost):
+        return {"type": "zero"}
+    if isinstance(cost, LinearCost):
+        return {"type": "linear", "rate": float(cost.rate)}
+    if isinstance(cost, AffineCost):
+        return {
+            "type": "affine",
+            "rate": float(cost.rate),
+            "intercept": float(cost.intercept),
+            "zero_is_free": cost.zero_is_free,
+        }
+    if isinstance(cost, PiecewiseLinearCost):
+        return {
+            "type": "piecewise",
+            "breakpoints": [[float(x), float(t)] for x, t in zip(cost._xs, cost._ts)],
+        }
+    if isinstance(cost, TabulatedCost):
+        return {"type": "tabulated", "values": [float(cost.exact(i)) for i in range(len(cost))]}
+    raise TypeError(f"cannot serialize cost function {cost!r}")
+
+
+def cost_from_dict(data: dict) -> CostFunction:
+    """Inverse of :func:`cost_to_dict`."""
+    kind = data.get("type")
+    if kind == "zero":
+        return ZeroCost()
+    if kind == "linear":
+        return LinearCost(data["rate"])
+    if kind == "affine":
+        return AffineCost(
+            data["rate"], data.get("intercept", 0.0),
+            zero_is_free=data.get("zero_is_free", True),
+        )
+    if kind == "piecewise":
+        return PiecewiseLinearCost([tuple(bp) for bp in data["breakpoints"]])
+    if kind == "tabulated":
+        return TabulatedCost(data["values"])
+    raise ValueError(f"unknown cost type {kind!r}")
+
+
+class Platform:
+    """Named hosts plus a directed link map."""
+
+    def __init__(self, name: str = "platform", default_link: Optional[Link] = None):
+        self.name = name
+        self.hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.default_link = default_link
+        #: site-pair -> concurrent-flow capacity of the shared backbone.
+        self._backbones: Dict[frozenset, int] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def connect(self, src: str, dst: str, link: Link, *, symmetric: bool = True) -> None:
+        """Register a link from ``src`` to ``dst`` (both ways by default)."""
+        for h in (src, dst):
+            if h not in self.hosts:
+                raise KeyError(f"unknown host {h!r}")
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def add_backbone(self, site_a: str, site_b: str, capacity: int = 1) -> None:
+        """Declare a shared backbone between two sites.
+
+        Transfers between hosts of the two sites contend for ``capacity``
+        concurrent flows (a WAN pipe), *in addition to* the endpoints'
+        single ports.  The paper's model has no shared links (its root
+        serializes everything anyway); this hook supports topologies where
+        several sources feed one remote site at once.
+        """
+        if capacity < 1:
+            raise ValueError("backbone capacity must be >= 1")
+        if site_a == site_b:
+            raise ValueError("a backbone joins two distinct sites")
+        self._backbones[frozenset((site_a, site_b))] = capacity
+
+    def backbone_between(self, src: str, dst: str) -> Optional[Tuple[str, int]]:
+        """Backbone key and capacity for a host pair, if one applies."""
+        sa = self.hosts[src].site
+        sb = self.hosts[dst].site
+        if sa is None or sb is None or sa == sb:
+            return None
+        key = frozenset((sa, sb))
+        if key in self._backbones:
+            return ("backbone:" + "<->".join(sorted(key)), self._backbones[key])
+        return None
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def host_names(self) -> List[str]:
+        return list(self.hosts)
+
+    def link(self, src: str, dst: str) -> Link:
+        """Resolve the link ``src -> dst`` (see module docstring for rules)."""
+        for h in (src, dst):
+            if h not in self.hosts:
+                raise KeyError(f"unknown host {h!r}")
+        if src == dst:
+            return Link.free()
+        key = (src, dst)
+        if key in self._links:
+            return self._links[key]
+        src_machine = self.hosts[src].machine
+        if src_machine is not None and src_machine == self.hosts[dst].machine:
+            return Link.free(f"{src_machine}-sharedmem")
+        if self.default_link is not None:
+            return self.default_link
+        raise KeyError(f"no link between {src!r} and {dst!r} and no default link")
+
+    def link_cost(self, src: str, dst: str) -> CostFunction:
+        return self.link(src, dst).cost
+
+    # -- adapters to the core -------------------------------------------------
+    def to_problem(
+        self,
+        n: int,
+        root: str,
+        *,
+        order: Union[str, Sequence[str], None] = "bandwidth-desc",
+    ) -> ScatterProblem:
+        """Project the platform onto a scatter problem rooted at ``root``.
+
+        ``order`` is either a policy name from
+        :data:`repro.core.ordering.POLICIES`, an explicit sequence of
+        non-root host names, or ``None`` for platform insertion order.
+        The root is always placed last (§3.1 convention).
+        """
+        if root not in self.hosts:
+            raise KeyError(f"unknown root host {root!r}")
+        if isinstance(order, str) or order is None:
+            non_root = [h for h in self.hosts if h != root]
+        else:
+            non_root = list(order)
+            expected = sorted(h for h in self.hosts if h != root)
+            if sorted(non_root) != expected:
+                raise ValueError(
+                    f"explicit order {non_root!r} does not cover the non-root "
+                    f"hosts {expected!r}"
+                )
+        procs = [
+            Processor(h, self.link_cost(root, h), self.hosts[h].comp_cost)
+            for h in non_root
+        ]
+        procs.append(Processor(root, ZeroCost(), self.hosts[root].comp_cost))
+        problem = ScatterProblem(procs, n)
+        if isinstance(order, str):
+            problem = apply_policy(problem, order)
+        return problem
+
+    def link_oracle(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Callable[[int, int], CostFunction]:
+        """Index-based link oracle for :func:`repro.core.choose_root`."""
+        names = list(names) if names is not None else self.host_names
+
+        def oracle(src: int, dst: int) -> CostFunction:
+            return self.link_cost(names[src], names[dst])
+
+        return oracle
+
+    def comp_costs(self, names: Optional[Sequence[str]] = None) -> List[CostFunction]:
+        names = list(names) if names is not None else self.host_names
+        return [self.hosts[h].comp_cost for h in names]
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hosts": [
+                {
+                    "name": h.name,
+                    "comp_cost": cost_to_dict(h.comp_cost),
+                    "site": h.site,
+                    "machine": h.machine,
+                    "rating": h.rating,
+                }
+                for h in self.hosts.values()
+            ],
+            "links": [
+                {"src": src, "dst": dst, "cost": cost_to_dict(link.cost), "name": link.name}
+                for (src, dst), link in self._links.items()
+            ],
+            "default_link": (
+                cost_to_dict(self.default_link.cost) if self.default_link else None
+            ),
+            "backbones": [
+                {"sites": sorted(key), "capacity": capacity}
+                for key, capacity in self._backbones.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Platform":
+        default = data.get("default_link")
+        platform = cls(
+            name=data.get("name", "platform"),
+            default_link=Link(cost_from_dict(default)) if default else None,
+        )
+        for h in data["hosts"]:
+            platform.add_host(
+                Host(
+                    name=h["name"],
+                    comp_cost=cost_from_dict(h["comp_cost"]),
+                    site=h.get("site"),
+                    machine=h.get("machine"),
+                    rating=h.get("rating"),
+                )
+            )
+        for l in data.get("links", []):
+            platform._links[(l["src"], l["dst"])] = Link(
+                cost_from_dict(l["cost"]), l.get("name", "link")
+            )
+        for b in data.get("backbones", []):
+            platform.add_backbone(b["sites"][0], b["sites"][1], b["capacity"])
+        return platform
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "Platform":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    def __repr__(self) -> str:
+        return f"Platform({self.name!r}, hosts={len(self.hosts)}, links={len(self._links)})"

@@ -1,0 +1,204 @@
+"""Execution traces: per-process timelines and the "stair effect" metrics.
+
+The paper's Figs. 2–4 plot, per processor, the total time, the
+communication time, and the amount of data received; Fig. 1 shows the
+idle/receiving/sending/computing phases whose staggered receive-ends form
+the *stair effect*.  This module records those phases during simulation and
+computes the derived quantities, including an ASCII Gantt rendering used by
+the benchmark harness to regenerate Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Interval", "Timeline", "TraceRecorder", "STATES"]
+
+#: Known activity states, in drawing priority order.
+STATES = ("idle", "receiving", "sending", "computing")
+
+_GANTT_CHARS = {"idle": ".", "receiving": "r", "sending": "s", "computing": "#"}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open activity interval ``[start, end)`` in one state."""
+
+    state: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.state not in STATES:
+            raise ValueError(f"unknown state {self.state!r}; know {STATES}")
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Recorded activity of one process."""
+
+    name: str
+    intervals: List[Interval] = field(default_factory=list)
+
+    def add(self, state: str, start: float, end: float) -> None:
+        self.intervals.append(Interval(state, start, end))
+
+    def time_in(self, state: str) -> float:
+        """Total seconds spent in ``state``."""
+        return sum(iv.duration for iv in self.intervals if iv.state == state)
+
+    @property
+    def finish_time(self) -> float:
+        """End of the last non-idle activity (0 when nothing happened)."""
+        ends = [iv.end for iv in self.intervals if iv.state != "idle"]
+        return max(ends) if ends else 0.0
+
+    @property
+    def comm_time(self) -> float:
+        """Total receiving + sending time (the "comm. time" of Figs. 2-4)."""
+        return self.time_in("receiving") + self.time_in("sending")
+
+    @property
+    def first_receive_start(self) -> Optional[float]:
+        """When the process began receiving its data (None if it never did)."""
+        starts = [iv.start for iv in self.intervals if iv.state == "receiving"]
+        return min(starts) if starts else None
+
+    @property
+    def receive_end(self) -> Optional[float]:
+        """When the process finished receiving (a step of the Fig. 1 stair)."""
+        ends = [iv.end for iv in self.intervals if iv.state == "receiving"]
+        return max(ends) if ends else None
+
+    def state_at(self, t: float) -> str:
+        """State at time ``t`` (ties resolved to the latest-added interval)."""
+        current = "idle"
+        for iv in self.intervals:
+            if iv.start <= t < iv.end and iv.state != "idle":
+                current = iv.state
+        return current
+
+
+class TraceRecorder:
+    """Collects timelines for all processes of one simulation run."""
+
+    def __init__(self) -> None:
+        self.timelines: Dict[str, Timeline] = {}
+
+    def timeline(self, name: str) -> Timeline:
+        if name not in self.timelines:
+            self.timelines[name] = Timeline(name)
+        return self.timelines[name]
+
+    def record(self, name: str, state: str, start: float, end: float) -> None:
+        self.timeline(name).add(state, start, end)
+
+    # -- aggregate metrics -------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        return max((tl.finish_time for tl in self.timelines.values()), default=0.0)
+
+    def finish_times(self, names: Optional[Sequence[str]] = None) -> List[float]:
+        names = list(names) if names is not None else sorted(self.timelines)
+        return [self.timeline(n).finish_time for n in names]
+
+    def imbalance(self, names: Optional[Sequence[str]] = None) -> float:
+        """Finish-time spread over makespan (the paper's 6% / 10% figures).
+
+        Processes that never worked (finish time 0) are excluded.
+        """
+        times = [t for t in self.finish_times(names) if t > 0]
+        if not times or max(times) == 0:
+            return 0.0
+        return (max(times) - min(times)) / max(times)
+
+    def stair_area(self, names: Optional[Sequence[str]] = None) -> float:
+        """Total idle-before-receive time — the area under the Fig. 1 stair.
+
+        The paper attributes most of Fig. 4's extra duration to "the idle
+        time spent by processors waiting before the actual communication
+        begins"; this metric quantifies it: ``Σ_i receive_start_i`` over
+        processes that received data.
+        """
+        names = list(names) if names is not None else sorted(self.timelines)
+        total = 0.0
+        for n in names:
+            start = self.timeline(n).first_receive_start
+            if start is not None:
+                total += start
+        return total
+
+    # -- rendering -----------------------------------------------------------
+    def ascii_gantt(
+        self, names: Optional[Sequence[str]] = None, width: int = 72
+    ) -> str:
+        """Fig. 1-style ASCII Gantt chart.
+
+        One row per process; ``.`` idle, ``r`` receiving, ``s`` sending,
+        ``#`` computing.  Each column is ``makespan / width`` seconds,
+        sampled at the column midpoint.
+        """
+        names = list(names) if names is not None else sorted(self.timelines)
+        span = self.makespan
+        if span <= 0:
+            return "\n".join(f"{n:>12} | (no activity)" for n in names)
+        cols = max(width, 8)
+        lines = []
+        for n in names:
+            tl = self.timeline(n)
+            row = []
+            for c in range(cols):
+                t = (c + 0.5) * span / cols
+                row.append(_GANTT_CHARS[tl.state_at(t)])
+            lines.append(f"{n:>12} |{''.join(row)}|")
+        scale = f"{'':>12}  0{'':{cols - 8}}{span:>8.4g}s"
+        legend = f"{'':>12}  [.] idle  [r] receiving  [s] sending  [#] computing"
+        return "\n".join(lines + [scale, legend])
+
+    def summary_rows(
+        self, names: Optional[Sequence[str]] = None
+    ) -> List[Tuple[str, float, float]]:
+        """Per-process ``(name, total time, comm time)`` rows (Figs. 2-4)."""
+        names = list(names) if names is not None else sorted(self.timelines)
+        return [
+            (n, self.timeline(n).finish_time, self.timeline(n).comm_time)
+            for n in names
+        ]
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dump of every timeline (for offline analysis)."""
+        return {
+            "timelines": {
+                name: [[iv.state, iv.start, iv.end] for iv in tl.intervals]
+                for name, tl in self.timelines.items()
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceRecorder":
+        rec = cls()
+        for name, intervals in data.get("timelines", {}).items():
+            for state, start, end in intervals:
+                rec.record(name, state, float(start), float(end))
+        return rec
+
+    def save(self, path: str) -> None:
+        import json
+
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f)
+
+    @classmethod
+    def load(cls, path: str) -> "TraceRecorder":
+        import json
+
+        with open(path) as f:
+            return cls.from_dict(json.load(f))

@@ -1,0 +1,65 @@
+"""Seismic tomography application (substrate for the paper's workload).
+
+Real vectorized physics (spherical-Earth first-arrival ray tracing through
+a layered velocity model) plus a synthetic 1999-like event catalog, wired
+into the simulated MPI layer by :mod:`repro.tomo.app`.
+"""
+
+from .app import (
+    AppResult,
+    plan_counts,
+    plan_weighted_counts,
+    ray_weights,
+    run_seismic_app,
+    seismic_program,
+)
+from .catalog import (
+    CATALOG_DTYPE,
+    PAPER_CATALOG_SIZE,
+    generate_catalog,
+    generate_stations,
+)
+from .earth import Layer, LayeredEarth, simplified_iasp91
+from .iterative import (
+    InversionRound,
+    TomographicInversion,
+    run_parallel_inversion,
+    scale_earth,
+)
+from .geometry import (
+    EARTH_RADIUS_KM,
+    epicentral_distance,
+    epicentral_distance_deg,
+    latlon_to_unit_vectors,
+)
+from .mesh import EarthMesh, coverage_by_depth, ray_coverage
+from .raytrace import BranchCurves, RayTracer
+
+__all__ = [
+    "AppResult",
+    "seismic_program",
+    "plan_counts",
+    "plan_weighted_counts",
+    "ray_weights",
+    "run_seismic_app",
+    "CATALOG_DTYPE",
+    "PAPER_CATALOG_SIZE",
+    "generate_catalog",
+    "generate_stations",
+    "Layer",
+    "LayeredEarth",
+    "simplified_iasp91",
+    "EARTH_RADIUS_KM",
+    "epicentral_distance",
+    "epicentral_distance_deg",
+    "latlon_to_unit_vectors",
+    "BranchCurves",
+    "RayTracer",
+    "InversionRound",
+    "TomographicInversion",
+    "run_parallel_inversion",
+    "scale_earth",
+    "EarthMesh",
+    "ray_coverage",
+    "coverage_by_depth",
+]

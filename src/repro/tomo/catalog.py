@@ -1,0 +1,151 @@
+"""Synthetic seismic event catalogs.
+
+The paper's input is "the full set of seismic events of year 1999" —
+817,101 source/receiver ray descriptions from the ISC bulletin, which is
+not redistributable here.  :func:`generate_catalog` builds a synthetic
+equivalent with the same *statistical shape*:
+
+* epicenters drawn from a mixture of clustered seismic zones (synthetic
+  "plate boundaries": great-circle belts) plus a uniform background;
+* focal depths from an exponential distribution truncated at 700 km
+  (shallow seismicity dominates, deep events exist);
+* receivers drawn from a fixed synthetic global station network, biased
+  to continents' latitudes (stations cluster in the northern hemisphere).
+
+Each catalog row carries exactly what the paper's §2.2 describes: "a pair
+of 3D coordinates (the coordinates of the earthquake source and those of
+the receiving captor) plus the wave type".  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["CATALOG_DTYPE", "PAPER_CATALOG_SIZE", "generate_catalog", "generate_stations"]
+
+#: Number of rays in the paper's 1999 data set.
+PAPER_CATALOG_SIZE = 817_101
+
+#: One ray description (§2.2): source coordinates, receiver coordinates, phase.
+CATALOG_DTYPE = np.dtype(
+    [
+        ("src_lat", "f8"),
+        ("src_lon", "f8"),
+        ("depth_km", "f8"),
+        ("sta_lat", "f8"),
+        ("sta_lon", "f8"),
+        ("phase", "u1"),  # 0 = P (the only phase the simplified tracer handles)
+    ]
+)
+
+
+def generate_stations(n_stations: int = 240, seed: int = 7) -> np.ndarray:
+    """Synthetic global station network, shape ``(n_stations, 2)`` (lat, lon).
+
+    Latitudes are biased toward the northern mid-latitudes where real
+    networks are dense; longitudes uniform.
+    """
+    if n_stations < 1:
+        raise ValueError("need at least one station")
+    rng = np.random.default_rng(seed)
+    lat = np.clip(rng.normal(25.0, 28.0, n_stations), -85.0, 85.0)
+    lon = rng.uniform(-180.0, 180.0, n_stations)
+    return np.stack([lat, lon], axis=1)
+
+
+def _seismic_belts(rng: np.random.Generator, n_belts: int = 12) -> np.ndarray:
+    """Random great-circle belts standing in for plate boundaries.
+
+    Each belt is (pole_lat, pole_lon, width_deg): epicenters scatter around
+    the great circle whose pole is given.
+    """
+    pole_lat = np.rad2deg(np.arcsin(rng.uniform(-1.0, 1.0, n_belts)))
+    pole_lon = rng.uniform(-180.0, 180.0, n_belts)
+    width = rng.uniform(1.5, 6.0, n_belts)
+    return np.stack([pole_lat, pole_lon, width], axis=1)
+
+
+def _points_on_belt(
+    rng: np.random.Generator, pole_lat: float, pole_lon: float, width_deg: float, n: int
+) -> np.ndarray:
+    """Sample ``n`` (lat, lon) points scattered around a great circle."""
+    # Basis: pole vector and two orthogonal vectors spanning its circle.
+    plat, plon = np.deg2rad(pole_lat), np.deg2rad(pole_lon)
+    pole = np.array([np.cos(plat) * np.cos(plon), np.cos(plat) * np.sin(plon), np.sin(plat)])
+    helper = np.array([0.0, 0.0, 1.0]) if abs(pole[2]) < 0.9 else np.array([1.0, 0.0, 0.0])
+    u = np.cross(pole, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(pole, u)
+    phase = rng.uniform(0.0, 2 * np.pi, n)
+    off = np.deg2rad(rng.normal(0.0, width_deg, n))
+    pts = (
+        np.cos(off)[:, None] * (np.cos(phase)[:, None] * u + np.sin(phase)[:, None] * v)
+        + np.sin(off)[:, None] * pole
+    )
+    lat = np.rad2deg(np.arcsin(np.clip(pts[:, 2], -1.0, 1.0)))
+    lon = np.rad2deg(np.arctan2(pts[:, 1], pts[:, 0]))
+    return np.stack([lat, lon], axis=1)
+
+
+def generate_catalog(
+    n: int = PAPER_CATALOG_SIZE,
+    seed: int = 1999,
+    *,
+    stations: Optional[np.ndarray] = None,
+    clustered_fraction: float = 0.85,
+) -> np.ndarray:
+    """Build a synthetic catalog of ``n`` rays (structured array).
+
+    Parameters
+    ----------
+    n:
+        Number of rays; defaults to the paper's 817,101.
+    seed:
+        Deterministic master seed.
+    stations:
+        Station network ``(k, 2)``; generated when omitted.
+    clustered_fraction:
+        Fraction of epicenters on seismic belts (rest uniform background).
+    """
+    if n < 0:
+        raise ValueError(f"catalog size must be >= 0, got {n}")
+    rng = np.random.default_rng(seed)
+    if stations is None:
+        stations = generate_stations(seed=seed + 1)
+    out = np.empty(n, dtype=CATALOG_DTYPE)
+    if n == 0:
+        return out
+
+    # Epicenters: belts + background.
+    n_clustered = int(round(n * clustered_fraction))
+    belts = _seismic_belts(rng)
+    weights = rng.dirichlet(np.ones(len(belts)) * 2.0)
+    counts = rng.multinomial(n_clustered, weights)
+    chunks = [
+        _points_on_belt(rng, b[0], b[1], b[2], c)
+        for b, c in zip(belts, counts)
+        if c > 0
+    ]
+    n_background = n - n_clustered
+    if n_background > 0:
+        bg_lat = np.rad2deg(np.arcsin(rng.uniform(-1.0, 1.0, n_background)))
+        bg_lon = rng.uniform(-180.0, 180.0, n_background)
+        chunks.append(np.stack([bg_lat, bg_lon], axis=1))
+    epi = np.concatenate(chunks, axis=0)
+    rng.shuffle(epi, axis=0)
+    out["src_lat"] = epi[:n, 0]
+    out["src_lon"] = epi[:n, 1]
+
+    # Depths: truncated exponential, mean 60 km, max 700 km.
+    out["depth_km"] = np.minimum(rng.exponential(60.0, n), 700.0)
+
+    # Receivers: each ray recorded by a random station.
+    sta_idx = rng.integers(0, len(stations), n)
+    out["sta_lat"] = stations[sta_idx, 0]
+    out["sta_lon"] = stations[sta_idx, 1]
+
+    out["phase"] = 0  # P
+    return out

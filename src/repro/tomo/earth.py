@@ -1,0 +1,135 @@
+"""Radially layered Earth velocity models.
+
+A :class:`LayeredEarth` is a 1-D model: P-wave velocity as a piecewise
+linear function of radius, discontinuities allowed at layer boundaries.
+The default :func:`simplified_iasp91` captures the gross structure
+(crust / upper mantle / transition zone / lower mantle / outer core /
+inner core) with velocities close to the IASP91 reference — enough for the
+ray tracer to produce realistic travel-time curves, which is all the
+load-balancing study needs from the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .geometry import EARTH_RADIUS_KM
+
+__all__ = ["Layer", "LayeredEarth", "simplified_iasp91"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A spherical shell ``[r_bottom, r_top]`` with linear velocity in r.
+
+    ``v(r) = v_bottom + (v_top - v_bottom) * (r - r_bottom) / (r_top - r_bottom)``
+    """
+
+    name: str
+    r_bottom: float
+    r_top: float
+    v_bottom: float
+    v_top: float
+
+    def __post_init__(self) -> None:
+        if self.r_top <= self.r_bottom:
+            raise ValueError(f"layer {self.name!r}: r_top must exceed r_bottom")
+        if self.v_bottom <= 0 or self.v_top <= 0:
+            raise ValueError(f"layer {self.name!r}: velocities must be > 0")
+
+    def velocity(self, r: np.ndarray) -> np.ndarray:
+        """Velocity at radius ``r`` (no containment check; caller clips)."""
+        frac = (np.asarray(r, dtype=float) - self.r_bottom) / (self.r_top - self.r_bottom)
+        return self.v_bottom + (self.v_top - self.v_bottom) * frac
+
+
+class LayeredEarth:
+    """A stack of contiguous layers from the center to the surface."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("need at least one layer")
+        ordered = sorted(layers, key=lambda l: l.r_bottom)
+        for below, above in zip(ordered, ordered[1:]):
+            if abs(below.r_top - above.r_bottom) > 1e-9:
+                raise ValueError(
+                    f"gap/overlap between layers {below.name!r} and {above.name!r}"
+                )
+        self.layers: Tuple[Layer, ...] = tuple(ordered)
+        self._bottoms = np.array([l.r_bottom for l in ordered])
+        self._tops = np.array([l.r_top for l in ordered])
+        self._v_bottoms = np.array([l.v_bottom for l in ordered])
+        self._v_tops = np.array([l.v_top for l in ordered])
+
+    @property
+    def radius(self) -> float:
+        """Surface radius (km)."""
+        return float(self._tops[-1])
+
+    @property
+    def center_radius(self) -> float:
+        return float(self._bottoms[0])
+
+    def layer_index(self, r: np.ndarray) -> np.ndarray:
+        """Index of the layer containing each radius (top boundary owned by
+        the layer below the discontinuity)."""
+        r = np.asarray(r, dtype=float)
+        idx = np.searchsorted(self._tops, r, side="left")
+        return np.clip(idx, 0, len(self.layers) - 1)
+
+    def velocity(self, r) -> np.ndarray:
+        """P-wave velocity (km/s) at radius ``r`` (km), vectorized."""
+        r = np.clip(np.asarray(r, dtype=float), self.center_radius, self.radius)
+        i = self.layer_index(r)
+        span = self._tops[i] - self._bottoms[i]
+        frac = (r - self._bottoms[i]) / span
+        return self._v_bottoms[i] + (self._v_tops[i] - self._v_bottoms[i]) * frac
+
+    def slowness_eta(self, r) -> np.ndarray:
+        """Spherical slowness ``η(r) = r / v(r)`` (s/rad scale)."""
+        r = np.asarray(r, dtype=float)
+        return r / self.velocity(r)
+
+    def sample_radii(self, n: int = 2048) -> np.ndarray:
+        """Radial quadrature grid avoiding exact discontinuity doubling.
+
+        Concatenates per-layer linspaces so every layer contributes nodes
+        proportional to its thickness (minimum 8), which keeps the travel
+        time integrals accurate across thin crustal layers.
+        """
+        total = self.radius - self.center_radius
+        grids: List[np.ndarray] = []
+        for l in self.layers:
+            k = max(8, int(round(n * (l.r_top - l.r_bottom) / total)))
+            grids.append(np.linspace(l.r_bottom, l.r_top, k, endpoint=False))
+        grids.append(np.array([self.radius]))
+        return np.concatenate(grids)
+
+    def __repr__(self) -> str:
+        names = ", ".join(l.name for l in self.layers)
+        return f"LayeredEarth([{names}], R={self.radius:g} km)"
+
+
+def simplified_iasp91() -> LayeredEarth:
+    """Six-shell P-velocity model approximating IASP91.
+
+    Radii and velocities (km, km/s) follow the reference model's gross
+    structure; fine crustal layering and the 210 km discontinuity are
+    merged — the travel-time curve stays within a few percent of the
+    published one, which is far below the heterogeneity that matters to
+    the load-balancing experiments.
+    """
+    R = EARTH_RADIUS_KM
+    return LayeredEarth(
+        [
+            Layer("inner-core", 0.0, 1217.0, 11.24, 11.09),
+            Layer("outer-core", 1217.0, 3482.0, 10.29, 8.01),
+            Layer("lower-mantle", 3482.0, 5611.0, 13.66, 11.07),
+            Layer("transition-zone", 5611.0, 5961.0, 10.75, 10.27),
+            Layer("upper-mantle", 5961.0, R - 35.0, 9.03, 8.04),
+            Layer("crust", R - 35.0, R, 6.50, 5.80),
+        ]
+    )

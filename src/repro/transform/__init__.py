@@ -1,0 +1,27 @@
+"""Automated code transformation: MPI_Scatter -> parameterized MPI_Scatterv.
+
+The software tool the paper's introduction promises: locate scatter call
+sites in C sources and rewrite them with either a baked-in static
+distribution or a runtime-computed one (a self-contained C port of the
+closed-form solver is emitted alongside).
+"""
+
+from .rewriter import (
+    RUNTIME_HELPER_NAME,
+    ScatterCall,
+    TransformError,
+    emit_runtime_helper,
+    find_scatter_calls,
+    rewrite_runtime,
+    rewrite_static,
+)
+
+__all__ = [
+    "ScatterCall",
+    "TransformError",
+    "find_scatter_calls",
+    "rewrite_static",
+    "rewrite_runtime",
+    "emit_runtime_helper",
+    "RUNTIME_HELPER_NAME",
+]

@@ -1,0 +1,381 @@
+"""Source-to-source rewriting of ``MPI_Scatter`` calls.
+
+The paper's thesis is that the load-balancing transformation "does not
+require a deep source code re-organization, and it can easily be automated
+in a software tool" (§1).  This module is that tool for C sources: it finds
+``MPI_Scatter`` call sites and rewrites each into an ``MPI_Scatterv``
+parameterized with a clever distribution, in either of two modes:
+
+* **static** — a distribution computed ahead of time (e.g. by
+  :func:`repro.core.plan_scatter`) is baked into ``counts[]``/``displs[]``
+  arrays at the call site;
+* **runtime** — a self-contained C helper (emitted once per file by
+  :func:`emit_runtime_helper`) computes the distribution *at run time*
+  from ``alpha[]``/``beta[]`` arrays, implementing the paper's closed-form
+  chain solution (Theorems 1–2) with largest-remainder rounding — so the
+  rewritten program can take instantaneous grid measurements as input.
+
+Parsing is deliberately lightweight (token scanning with balanced
+parentheses, comment/string masking) — it handles real-world call sites
+including multi-line argument lists and parenthesized casts, and refuses
+anything it cannot parse rather than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ScatterCall",
+    "TransformError",
+    "find_scatter_calls",
+    "rewrite_static",
+    "rewrite_runtime",
+    "emit_runtime_helper",
+]
+
+
+class TransformError(Exception):
+    """The source could not be safely transformed."""
+
+
+@dataclass(frozen=True)
+class ScatterCall:
+    """One located ``MPI_Scatter`` call.
+
+    ``span`` covers the full statement (from the ``MPI_Scatter`` token to
+    the terminating ``;``); ``args`` are the eight top-level argument
+    strings: sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype,
+    root, comm.
+    """
+
+    span: Tuple[int, int]
+    args: Tuple[str, ...]
+    line: int
+
+    @property
+    def sendbuf(self) -> str:
+        return self.args[0]
+
+    @property
+    def sendtype(self) -> str:
+        return self.args[2]
+
+    @property
+    def recvbuf(self) -> str:
+        return self.args[3]
+
+    @property
+    def recvtype(self) -> str:
+        return self.args[5]
+
+    @property
+    def root(self) -> str:
+        return self.args[6]
+
+    @property
+    def comm(self) -> str:
+        return self.args[7]
+
+
+def _mask_comments_and_strings(source: str) -> str:
+    """Blank out comments and string/char literals, preserving offsets."""
+    out = list(source)
+    i, n = 0, len(source)
+    while i < n:
+        two = source[i : i + 2]
+        c = source[i]
+        if two == "//":
+            while i < n and source[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif two == "/*":
+            while i < n - 1 and source[i : i + 2] != "*/":
+                out[i] = " "
+                i += 1
+            if i < n - 1:
+                out[i] = out[i + 1] = " "
+                i += 2
+            else:
+                raise TransformError("unterminated block comment")
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n:
+                        out[i] = " "
+                        i += 1
+                    continue
+                out[i] = " "
+                i += 1
+            if i >= n:
+                raise TransformError(f"unterminated {quote} literal")
+            out[i] = " "
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def _split_top_level(argtext: str) -> List[str]:
+    """Split an argument list on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in argtext:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth < 0:
+                raise TransformError("unbalanced parentheses in argument list")
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current).strip())
+    return parts
+
+
+def find_scatter_calls(source: str) -> List[ScatterCall]:
+    """Locate every ``MPI_Scatter`` call statement in a C source."""
+    masked = _mask_comments_and_strings(source)
+    calls: List[ScatterCall] = []
+    for match in re.finditer(r"\bMPI_Scatter\s*\(", masked):
+        start = match.start()
+        open_paren = match.end() - 1
+        depth = 0
+        i = open_paren
+        while i < len(masked):
+            if masked[i] == "(":
+                depth += 1
+            elif masked[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        else:
+            raise TransformError(f"unbalanced call at offset {start}")
+        close_paren = i
+        # The statement must end with a semicolon.
+        j = close_paren + 1
+        while j < len(masked) and masked[j] in " \t\r\n":
+            j += 1
+        if j >= len(masked) or masked[j] != ";":
+            raise TransformError(
+                f"MPI_Scatter at offset {start} is not a plain statement"
+            )
+        args = _split_top_level(source[open_paren + 1 : close_paren])
+        if len(args) != 8:
+            raise TransformError(
+                f"MPI_Scatter at offset {start} has {len(args)} arguments, expected 8"
+            )
+        line = source.count("\n", 0, start) + 1
+        calls.append(ScatterCall(span=(start, j + 1), args=tuple(args), line=line))
+    return calls
+
+
+def _indent_of(source: str, offset: int) -> str:
+    line_start = source.rfind("\n", 0, offset) + 1
+    indent = []
+    for ch in source[line_start:offset]:
+        indent.append(ch if ch in " \t" else " ")
+    return "".join(indent)
+
+
+def _scatterv_block(
+    call: ScatterCall,
+    indent: str,
+    counts_init: str,
+    displs_init: str,
+    preamble: str = "",
+) -> str:
+    lines = [
+        "{",
+        "    /* load-balanced scatter (rewritten from MPI_Scatter) */",
+        "    int repro_rank_;",
+        f"    MPI_Comm_rank({call.comm}, &repro_rank_);",
+    ]
+    if preamble:
+        lines.extend("    " + l for l in preamble.splitlines())
+    lines.extend(
+        [
+            f"    int repro_counts_[] = {counts_init};",
+            f"    int repro_displs_[] = {displs_init};",
+            f"    MPI_Scatterv({call.sendbuf}, repro_counts_, repro_displs_, "
+            f"{call.sendtype},",
+            f"                 {call.recvbuf}, repro_counts_[repro_rank_], "
+            f"{call.recvtype},",
+            f"                 {call.root}, {call.comm});",
+            "}",
+        ]
+    )
+    return ("\n" + indent).join(lines)
+
+
+def rewrite_static(source: str, counts: Sequence[int]) -> str:
+    """Rewrite every ``MPI_Scatter`` with a baked-in static distribution.
+
+    ``counts[i]`` is the share of rank ``i`` (e.g. from
+    ``plan_scatter(...).counts``); displacements are the prefix sums.
+    """
+    calls = find_scatter_calls(source)
+    if not calls:
+        raise TransformError("no MPI_Scatter call found")
+    counts = [int(c) for c in counts]
+    if any(c < 0 for c in counts):
+        raise TransformError("negative counts")
+    displs = [0] * len(counts)
+    for i in range(1, len(counts)):
+        displs[i] = displs[i - 1] + counts[i - 1]
+    counts_init = "{" + ", ".join(str(c) for c in counts) + "}"
+    displs_init = "{" + ", ".join(str(d) for d in displs) + "}"
+
+    out = source
+    for call in reversed(calls):  # back-to-front keeps spans valid
+        indent = _indent_of(out, call.span[0])
+        block = _scatterv_block(call, indent, counts_init, displs_init)
+        out = out[: call.span[0]] + block + out[call.span[1] :]
+    return out
+
+
+RUNTIME_HELPER_NAME = "repro_compute_distribution"
+
+_RUNTIME_HELPER = r"""
+/* === repro runtime load-balancing helper (Theorems 1-2 + rounding) ===
+ * Computes the optimal rational distribution of n items over p processors
+ * with linear costs Tcomp_i(x) = alpha[i]*x, Tcomm_i(x) = beta[i]*x
+ * (the root is processor p-1; beta[p-1] is ignored and treated as 0),
+ * then rounds to integers by largest remainder.  Mirrors
+ * repro.core.closed_form / repro.core.rounding of the Python library.
+ */
+static void repro_compute_distribution(long n, int p,
+                                       const double *alpha,
+                                       const double *beta,
+                                       int *counts)
+{
+    double d = alpha[p - 1]; /* chain rate D of the active suffix */
+    int i, j;
+    int *active = (int *)malloc((size_t)p * sizeof(int));
+    double *share = (double *)malloc((size_t)p * sizeof(double));
+    for (i = 0; i < p; ++i) { active[i] = 0; share[i] = 0.0; }
+    active[p - 1] = 1;
+    for (i = p - 2; i >= 0; --i) {       /* Theorem 2 filter */
+        if (beta[i] <= d) {
+            active[i] = 1;
+            d = (alpha[i] + beta[i]) * d / (alpha[i] + d);
+        }
+    }
+    {
+        double t = (double)n * d;        /* Theorem 1: t = n * D */
+        double prefix = 1.0;
+        for (i = 0; i < p; ++i) {
+            double b = (i == p - 1) ? 0.0 : beta[i];
+            if (!active[i]) continue;
+            share[i] = prefix / (alpha[i] + b) * t;   /* Eq. 8 */
+            prefix *= alpha[i] / (alpha[i] + b);
+        }
+    }
+    {   /* largest-remainder rounding to integers summing to n */
+        long assigned = 0;
+        for (i = 0; i < p; ++i) {
+            counts[i] = (int)share[i];
+            assigned += counts[i];
+        }
+        while (assigned < n) {           /* hand out leftover units */
+            int best = -1;
+            double best_frac = -1.0;
+            for (j = 0; j < p; ++j) {
+                double frac = share[j] - (double)counts[j];
+                if (frac > best_frac) { best_frac = frac; best = j; }
+            }
+            counts[best] += 1;
+            share[best] = (double)counts[best]; /* frac now 0 */
+            assigned += 1;
+        }
+    }
+    free(active);
+    free(share);
+}
+/* === end repro helper === */
+"""
+
+
+def emit_runtime_helper() -> str:
+    """The self-contained C helper implementing the closed form."""
+    return _RUNTIME_HELPER.strip() + "\n"
+
+
+def rewrite_runtime(
+    source: str,
+    *,
+    alpha_expr: str = "repro_alpha",
+    beta_expr: str = "repro_beta",
+    n_expr: Optional[str] = None,
+    insert_helper: bool = True,
+) -> str:
+    """Rewrite with a *runtime-computed* distribution.
+
+    At each call site the emitted block calls
+    ``repro_compute_distribution(n, size, alpha, beta, counts)`` where
+    ``alpha``/``beta`` are arrays the program fills with measured (or
+    monitored, §3) per-rank characteristics, and ``n`` defaults to
+    ``sendcount * size`` (the original uniform share times the communicator
+    size).  The helper function itself is prepended once unless
+    ``insert_helper=False`` (e.g. when it lives in a shared header).
+    """
+    calls = find_scatter_calls(source)
+    if not calls:
+        raise TransformError("no MPI_Scatter call found")
+
+    out = source
+    for call in reversed(calls):
+        indent = _indent_of(out, call.span[0])
+        n_code = n_expr if n_expr is not None else f"({call.args[1]}) * repro_size_"
+        preamble = "\n".join(
+            [
+                "int repro_size_;",
+                f"MPI_Comm_size({call.comm}, &repro_size_);",
+                "int *repro_counts_v_ = (int *)malloc((size_t)repro_size_ * sizeof(int));",
+                "int *repro_displs_v_ = (int *)malloc((size_t)repro_size_ * sizeof(int));",
+                f"{RUNTIME_HELPER_NAME}({n_code}, repro_size_, {alpha_expr}, "
+                f"{beta_expr}, repro_counts_v_);",
+                "{ int repro_i_; repro_displs_v_[0] = 0;",
+                "  for (repro_i_ = 1; repro_i_ < repro_size_; ++repro_i_)",
+                "      repro_displs_v_[repro_i_] = repro_displs_v_[repro_i_ - 1] "
+                "+ repro_counts_v_[repro_i_ - 1]; }",
+            ]
+        )
+        lines = [
+            "{",
+            "    /* load-balanced scatter (runtime distribution, rewritten "
+            "from MPI_Scatter) */",
+            "    int repro_rank_;",
+            f"    MPI_Comm_rank({call.comm}, &repro_rank_);",
+        ]
+        lines.extend("    " + l for l in preamble.splitlines())
+        lines.extend(
+            [
+                f"    MPI_Scatterv({call.sendbuf}, repro_counts_v_, repro_displs_v_, "
+                f"{call.sendtype},",
+                f"                 {call.recvbuf}, repro_counts_v_[repro_rank_], "
+                f"{call.recvtype},",
+                f"                 {call.root}, {call.comm});",
+                "    free(repro_counts_v_);",
+                "    free(repro_displs_v_);",
+                "}",
+            ]
+        )
+        block = ("\n" + indent).join(lines)
+        out = out[: call.span[0]] + block + out[call.span[1] :]
+
+    if insert_helper:
+        out = emit_runtime_helper() + "\n" + out
+    return out

@@ -1,0 +1,36 @@
+"""Workloads: the paper's Table 1 platform and synthetic generators."""
+
+from .generators import (
+    random_affine_problem,
+    random_linear_problem,
+    random_star_platform,
+    random_tabulated_problem,
+)
+from .scenarios import latency_grid, loaded, two_site_grid, uniform_cluster
+from .table1 import (
+    PAPER_RAY_COUNT,
+    ROOT_MACHINE,
+    TABLE1_MACHINES,
+    Table1Machine,
+    table1_platform,
+    table1_problem,
+    table1_rank_hosts,
+)
+
+__all__ = [
+    "PAPER_RAY_COUNT",
+    "ROOT_MACHINE",
+    "TABLE1_MACHINES",
+    "Table1Machine",
+    "table1_platform",
+    "table1_problem",
+    "table1_rank_hosts",
+    "random_linear_problem",
+    "random_affine_problem",
+    "random_tabulated_problem",
+    "random_star_platform",
+    "uniform_cluster",
+    "two_site_grid",
+    "latency_grid",
+    "loaded",
+]

@@ -1,0 +1,146 @@
+"""Synthetic workload and platform generators.
+
+Random heterogeneous instances for tests, property-based checks, and the
+ablation benchmarks: linear/affine scatter problems with tunable spread,
+general tabulated-cost problems (for Algorithm 1's full generality), and
+random star platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from ..core.costs import AffineCost, LinearCost, TabulatedCost, ZeroCost
+from ..core.distribution import Processor, ScatterProblem
+from ..simgrid.host import Host
+from ..simgrid.link import Link
+from ..simgrid.platform import Platform
+
+__all__ = [
+    "random_linear_problem",
+    "random_affine_problem",
+    "random_tabulated_problem",
+    "random_star_platform",
+]
+
+
+def random_linear_problem(
+    rng: random.Random,
+    p: int,
+    n: int,
+    *,
+    alpha_range: Tuple[float, float] = (1e-3, 2e-2),
+    beta_range: Tuple[float, float] = (1e-6, 1e-4),
+    root_beta_zero: bool = True,
+) -> ScatterProblem:
+    """Random linear-cost instance (the §4 model), root last.
+
+    Rates are drawn log-uniformly so the heterogeneity spans the whole
+    range (uniform draws cluster near the top decade).
+    """
+    if p < 1:
+        raise ValueError("need p >= 1")
+
+    def log_uniform(lo: float, hi: float) -> float:
+        import math
+
+        return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+    procs = []
+    for i in range(p):
+        alpha = log_uniform(*alpha_range)
+        if i == p - 1 and root_beta_zero:
+            procs.append(Processor(f"P{i + 1}", ZeroCost(), LinearCost(alpha)))
+        else:
+            beta = log_uniform(*beta_range)
+            procs.append(Processor(f"P{i + 1}", LinearCost(beta), LinearCost(alpha)))
+    return ScatterProblem(procs, n)
+
+
+def random_affine_problem(
+    rng: random.Random,
+    p: int,
+    n: int,
+    *,
+    alpha_range: Tuple[float, float] = (1e-3, 2e-2),
+    beta_range: Tuple[float, float] = (1e-6, 1e-4),
+    comp_intercept_max: float = 0.5,
+    comm_intercept_max: float = 0.1,
+) -> ScatterProblem:
+    """Random affine-cost instance (latencies + startup costs)."""
+    linear = random_linear_problem(
+        rng, p, n, alpha_range=alpha_range, beta_range=beta_range, root_beta_zero=False
+    )
+    procs = []
+    for i, proc in enumerate(linear.processors):
+        comp = AffineCost(proc.comp.rate, rng.uniform(0.0, comp_intercept_max))
+        if i == p - 1:
+            comm: AffineCost | ZeroCost = ZeroCost()
+        else:
+            comm = AffineCost(proc.comm.rate, rng.uniform(0.0, comm_intercept_max))
+        procs.append(Processor(proc.name, comm, comp))
+    return ScatterProblem(procs, n)
+
+
+def random_tabulated_problem(
+    rng: random.Random,
+    p: int,
+    n: int,
+    *,
+    monotone: bool = True,
+    step_max: float = 0.05,
+) -> ScatterProblem:
+    """Random tabulated-cost instance covering [0, n].
+
+    ``monotone=True`` produces non-decreasing tables (Algorithm 2's
+    hypothesis); ``False`` adds occasional dips — only Algorithm 1 is
+    correct there.  Tables are intentionally rough (cache-cliff-like jumps)
+    to exercise the DP away from analytic cost shapes.
+    """
+    if n > 2000:
+        raise ValueError("tabulated instances are meant for small n (DP testing)")
+
+    def table() -> TabulatedCost:
+        values = [0.0]
+        for _ in range(n):
+            step = rng.uniform(0.0, step_max)
+            if not monotone and rng.random() < 0.08:
+                step = -rng.uniform(0.0, step_max / 2)
+            values.append(max(0.0, values[-1] + step))
+        return TabulatedCost(values)
+
+    procs = []
+    for i in range(p):
+        comm = ZeroCost() if i == p - 1 else table()
+        procs.append(Processor(f"P{i + 1}", comm, table()))
+    return ScatterProblem(procs, n)
+
+
+def random_star_platform(
+    rng: random.Random,
+    n_hosts: int,
+    *,
+    alpha_range: Tuple[float, float] = (1e-3, 2e-2),
+    beta_range: Tuple[float, float] = (1e-6, 1e-4),
+    name: str = "random-star",
+) -> Platform:
+    """Random platform: full mesh via per-host access rates (bottleneck model)."""
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    import math
+
+    def log_uniform(lo: float, hi: float) -> float:
+        return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+    platform = Platform(name)
+    access = {}
+    for i in range(n_hosts):
+        host = Host(f"h{i}", LinearCost(log_uniform(*alpha_range)))
+        platform.add_host(host)
+        access[host.name] = log_uniform(*beta_range)
+    names = platform.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            platform.connect(u, v, Link.linear(max(access[u], access[v])))
+    return platform

@@ -1,0 +1,121 @@
+"""Canned platform scenarios used by examples, tests, and benchmarks.
+
+Reusable grid configurations beyond Table 1, each capturing one situation
+the paper's discussion raises:
+
+* :func:`uniform_cluster` — a homogeneous cluster (the environment the
+  original application was written for: balancing is a no-op);
+* :func:`two_site_grid` — two LANs joined by a WAN backbone with bounded
+  concurrent flows (the paper's two-site topology, generalized);
+* :func:`latency_grid` — links with affine latency (where the LP heuristic
+  is needed and multi-installment pipelining backfires);
+* :func:`loaded` — wrap any platform with deterministic background load
+  (jitter plus named sustained spikes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.costs import LinearCost
+from ..simgrid.host import Host
+from ..simgrid.link import Link
+from ..simgrid.noise import CompositeNoise, JitterNoise, SpikeNoise
+from ..simgrid.platform import Platform
+
+__all__ = ["uniform_cluster", "two_site_grid", "latency_grid", "loaded"]
+
+
+def uniform_cluster(
+    p: int = 8, *, alpha: float = 0.01, beta: float = 1e-4, name: str = "cluster"
+) -> Platform:
+    """A homogeneous cluster: identical CPUs, identical links."""
+    if p < 1:
+        raise ValueError("need at least one host")
+    plat = Platform(name)
+    for i in range(p):
+        plat.add_host(Host(f"node{i:02d}", LinearCost(alpha), site="lan", machine=f"node{i:02d}"))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+def two_site_grid(
+    local: Sequence[Tuple[str, float]] = (("fast", 0.004), ("mid", 0.009), ("root", 0.009)),
+    remote: Sequence[Tuple[str, float]] = (("far1", 0.010), ("far2", 0.010)),
+    *,
+    lan_beta: float = 1e-5,
+    wan_beta: float = 4e-5,
+    backbone_capacity: Optional[int] = 1,
+    name: str = "two-site",
+) -> Platform:
+    """Two LANs joined by a WAN; optionally a capacity-limited backbone.
+
+    Hosts are ``(name, alpha)`` pairs; the last *local* host is the natural
+    root (it sits with the data in the examples).
+    """
+    plat = Platform(name)
+    for host_name, alpha in local:
+        plat.add_host(Host(host_name, LinearCost(alpha), site="site-a", machine=host_name))
+    for host_name, alpha in remote:
+        plat.add_host(Host(host_name, LinearCost(alpha), site="site-b", machine=host_name))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            same_site = plat.hosts[u].site == plat.hosts[v].site
+            plat.connect(u, v, Link.linear(lan_beta if same_site else wan_beta))
+    if backbone_capacity is not None:
+        plat.add_backbone("site-a", "site-b", backbone_capacity)
+    return plat
+
+
+def latency_grid(
+    p: int = 6,
+    *,
+    alpha: float = 0.01,
+    bandwidth: float = 10_000.0,
+    latency: float = 0.1,
+    name: str = "latency-grid",
+) -> Platform:
+    """Uniform CPUs behind affine (latency-bearing) links."""
+    if p < 1:
+        raise ValueError("need at least one host")
+    plat = Platform(name)
+    for i in range(p):
+        plat.add_host(Host(f"w{i}", LinearCost(alpha), machine=f"w{i}"))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.from_bandwidth(bandwidth, latency=latency))
+    return plat
+
+
+def loaded(
+    platform: Platform,
+    *,
+    jitter: float = 0.05,
+    seed: int = 0,
+    spikes: Optional[Dict[str, float]] = None,
+) -> Platform:
+    """Apply deterministic background load to an existing platform.
+
+    ``spikes`` maps host names to sustained slowdown factors; every host
+    additionally gets seeded jitter of the given amplitude.  Returns the
+    same platform object (noise is per-host state), for chaining.
+    """
+    spikes = spikes or {}
+    for unknown in set(spikes) - set(platform.hosts):
+        raise KeyError(f"unknown host in spikes: {unknown!r}")
+    for host in platform.hosts.values():
+        models = []
+        if jitter > 0:
+            models.append(JitterNoise(seed=seed, amplitude=jitter))
+        if host.name in spikes:
+            models.append(
+                SpikeNoise(host.name, 0.0, 1e15, slowdown=spikes[host.name])
+            )
+        if models:
+            host.noise = CompositeNoise(models) if len(models) > 1 else models[0]
+    return platform

@@ -1,0 +1,148 @@
+"""The paper's experimental platform (Table 1), as a simulated grid.
+
+Sixteen processors over two sites:
+
+===========  =====  =========  =========  ======  ==========
+Machine      CPU #  Type       α (s/ray)  Rating  β (s/ray)
+===========  =====  =========  =========  ======  ==========
+dinadan      1      PIII/933   0.009288   1.00    0 (root)
+pellinore    2      PIII/800   0.009365   0.99    1.12e-5
+caseb        3      XP1800     0.004629   2.00    1.00e-5
+sekhmet      4      XP1800     0.004885   1.90    1.70e-5
+merlin       5-6    XP2000     0.003976   2.33    8.15e-5
+seven        7-8    R12K/300   0.016156   0.57    2.10e-5
+leda         9-16   R14K/500   0.009677   0.95    3.53e-5
+===========  =====  =========  =========  ======  ==========
+
+``α`` is seconds per ray (compute), ``β`` seconds per ray received from the
+root *dinadan* (communication).  *merlin* sat behind a 10 Mbit/s hub, hence
+its poor bandwidth despite being in the root's premises; *leda* is the
+remote Origin 3800 (CINES, "at the other end of France").
+
+Table 1 only measures links **from dinadan**.  For root-selection
+experiments the platform extrapolates the full mesh with a bottleneck
+model: each machine gets an access rate (its Table 1 ``β``; dinadan gets
+0.5e-5, consistent with its switched fast-ethernet) and
+``link(u, v) = Linear(max(access_u, access_v))`` — which reproduces every
+measured Table 1 row exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.distribution import ScatterProblem
+from ..simgrid.host import Host
+from ..simgrid.link import Link
+from ..simgrid.platform import Platform
+from ..core.costs import LinearCost
+
+__all__ = [
+    "Table1Machine",
+    "TABLE1_MACHINES",
+    "PAPER_RAY_COUNT",
+    "ROOT_MACHINE",
+    "table1_platform",
+    "table1_rank_hosts",
+    "table1_problem",
+]
+
+#: Rays in the paper's experiment (§5.1).
+PAPER_RAY_COUNT = 817_101
+
+#: The machine holding the input data and acting as root (§5.1).
+ROOT_MACHINE = "dinadan"
+
+
+@dataclass(frozen=True)
+class Table1Machine:
+    """One row of Table 1."""
+
+    name: str
+    cpu_numbers: Tuple[int, ...]
+    cpu_type: str
+    alpha: float  #: s/ray compute cost per CPU
+    rating: float  #: speed normalized to the PIII/933
+    beta: float  #: s/ray from dinadan (0 for dinadan itself)
+    site: str
+    #: Access rate used to extrapolate non-dinadan links (see module doc).
+    access: float
+
+
+TABLE1_MACHINES: List[Table1Machine] = [
+    Table1Machine("dinadan", (1,), "PIII/933", 0.009288, 1.00, 0.0, "strasbourg", 0.5e-5),
+    Table1Machine("pellinore", (2,), "PIII/800", 0.009365, 0.99, 1.12e-5, "strasbourg", 1.12e-5),
+    Table1Machine("caseb", (3,), "XP1800", 0.004629, 2.00, 1.00e-5, "strasbourg", 1.00e-5),
+    Table1Machine("sekhmet", (4,), "XP1800", 0.004885, 1.90, 1.70e-5, "strasbourg", 1.70e-5),
+    Table1Machine("merlin", (5, 6), "XP2000", 0.003976, 2.33, 8.15e-5, "strasbourg", 8.15e-5),
+    Table1Machine("seven", (7, 8), "R12K/300", 0.016156, 0.57, 2.10e-5, "strasbourg", 2.10e-5),
+    Table1Machine(
+        "leda", tuple(range(9, 17)), "R14K/500", 0.009677, 0.95, 3.53e-5, "montpellier", 3.53e-5
+    ),
+]
+
+
+def _host_name(machine: Table1Machine, cpu: int) -> str:
+    """Host label: bare machine name for single-CPU machines, ``name#k`` else."""
+    return machine.name if len(machine.cpu_numbers) == 1 else f"{machine.name}#{cpu}"
+
+
+def table1_platform() -> Platform:
+    """Build the 16-host simulated platform of Table 1."""
+    platform = Platform("table1-grid")
+    access: Dict[str, float] = {}
+    for m in TABLE1_MACHINES:
+        for cpu in m.cpu_numbers:
+            platform.add_host(
+                Host(
+                    name=_host_name(m, cpu),
+                    comp_cost=LinearCost(m.alpha),
+                    site=m.site,
+                    machine=m.name,
+                    rating=m.rating,
+                )
+            )
+            access[_host_name(m, cpu)] = m.access
+    names = platform.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            if platform.hosts[u].machine == platform.hosts[v].machine:
+                continue  # intra-machine pairs resolve to shared memory
+            rate = max(access[u], access[v])
+            platform.connect(u, v, Link.linear(rate, name=f"{u}<->{v}"))
+    return platform
+
+
+def table1_rank_hosts(order: str = "bandwidth-desc") -> List[str]:
+    """Rank-to-host binding with dinadan (the root) last.
+
+    ``order`` ∈ {"bandwidth-desc", "bandwidth-asc", "cpu-number"}:
+    descending bandwidth is the paper's Fig. 2/3 x-axis
+    (caseb, pellinore, sekhmet, seven×2, leda×8, merlin×2, dinadan);
+    ascending is Fig. 4; "cpu-number" is Table 1's CPU numbering.
+    """
+    entries = []  # (beta, cpu_number, host)
+    for m in TABLE1_MACHINES:
+        if m.name == ROOT_MACHINE:
+            continue
+        for cpu in m.cpu_numbers:
+            entries.append((m.beta, cpu, _host_name(m, cpu)))
+    if order == "bandwidth-desc":
+        entries.sort(key=lambda e: (e[0], e[1]))
+    elif order == "bandwidth-asc":
+        entries.sort(key=lambda e: (-e[0], e[1]))
+    elif order == "cpu-number":
+        entries.sort(key=lambda e: e[1])
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    return [e[2] for e in entries] + [ROOT_MACHINE]
+
+
+def table1_problem(
+    n: int = PAPER_RAY_COUNT, order: str = "bandwidth-desc"
+) -> ScatterProblem:
+    """The paper's scatter instance: Table 1 costs, dinadan root, ``n`` rays."""
+    platform = table1_platform()
+    hosts = table1_rank_hosts(order)
+    return platform.to_problem(n, ROOT_MACHINE, order=hosts[:-1])

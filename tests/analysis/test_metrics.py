@@ -1,0 +1,58 @@
+"""Tests for experiment metrics."""
+
+import pytest
+
+from repro.analysis import ExperimentSummary, imbalance, speedup, summarize
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        assert imbalance([10.0, 10.0, 10.0]) == 0.0
+
+    def test_half_spread(self):
+        assert imbalance([5.0, 10.0]) == pytest.approx(0.5)
+
+    def test_idle_ranks_excluded_via_counts(self):
+        assert imbalance([0.0, 10.0, 9.0], counts=[0, 5, 5]) == pytest.approx(0.1)
+
+    def test_zero_finish_excluded(self):
+        assert imbalance([0.0, 10.0, 10.0]) == 0.0
+
+    def test_empty(self):
+        assert imbalance([]) == 0.0
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(850.0, 425.0) == pytest.approx(2.0)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize(
+            "fig3", [400.0, 405.0, 410.0], [1.0, 2.0, 0.0], counts=[10, 10, 10]
+        )
+        assert s.label == "fig3"
+        assert s.makespan == 410.0
+        assert s.earliest_finish == 400.0
+        assert s.latest_finish == 410.0
+        assert s.imbalance == pytest.approx(10.0 / 410.0)
+        assert s.total_comm_time == 3.0
+
+    def test_idle_ranks_skipped_for_earliest(self):
+        s = summarize("x", [0.0, 100.0, 90.0], [0.0, 0.0, 0.0], counts=[0, 5, 5])
+        assert s.earliest_finish == 90.0
+
+    def test_row_shape(self):
+        s = ExperimentSummary("x", 1.0, 0.5, 1.0, 0.5, 0.1)
+        row = s.row()
+        assert row[0] == "x"
+        assert len(row) == 6
+
+    def test_stair_area_passthrough(self):
+        s = summarize("x", [1.0], [0.0], stair_area=42.0)
+        assert s.stair_area == 42.0

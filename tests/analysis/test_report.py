@@ -1,0 +1,68 @@
+"""Tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.analysis import format_seconds, render_figure, render_table
+
+
+class TestFormatSeconds:
+    def test_large(self):
+        assert format_seconds(853.2).strip() == "853.2s"
+
+    def test_medium(self):
+        assert format_seconds(4.25).strip() == "4.250s"
+
+    def test_small(self):
+        assert format_seconds(0.00123).strip() == "0.00123s"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["Name", "Value"], [("a", 1), ("long-name", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all same width
+
+    def test_title(self):
+        out = render_table(["h"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [(0.000123456789,)])
+        assert "0.000123457" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderFigure:
+    def test_rows_and_scale(self):
+        out = render_figure(
+            ["w1", "w2"], [10.0, 5.0], [1.0, 0.5], [100, 50], title="Fig"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig"
+        assert len(lines) == 4  # title + 2 rows + scale
+        assert "data      100" in lines[1]
+
+    def test_bar_lengths_proportional(self):
+        out = render_figure(["a", "b"], [10.0, 5.0], [0.0, 0.0], [1, 1], width=20)
+        rows = out.splitlines()[:2]
+        assert rows[0].count("#") == 2 * rows[1].count("#")
+
+    def test_comm_prefix_marked(self):
+        out = render_figure(["a"], [10.0], [5.0], [1], width=20)
+        assert "r" * 10 in out
+
+    def test_zero_span(self):
+        out = render_figure(["a"], [0.0], [0.0], [0])
+        assert "a" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_figure(["a"], [1.0, 2.0], [0.0], [1])

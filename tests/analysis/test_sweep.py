@@ -1,0 +1,91 @@
+"""Tests for the sensitivity sweeps."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    SweepPoint,
+    comm_ratio_sweep,
+    gain_for_problem,
+    heterogeneity_sweep,
+    problem_size_sweep,
+)
+from repro.analysis.sweep import _spread_processors
+from repro.core import ScatterProblem
+
+
+class TestSpreadProcessors:
+    def test_alpha_span(self):
+        procs = _spread_processors(10, 4.0)
+        alphas = [float(p.alpha) for p in procs[:-1]]
+        assert max(alphas) / min(alphas) == pytest.approx(4.0)
+
+    def test_homogeneous(self):
+        procs = _spread_processors(6, 1.0)
+        alphas = {float(p.alpha) for p in procs}
+        assert len(alphas) == 1
+
+    def test_beta_spread_independent(self):
+        procs = _spread_processors(8, 8.0, beta_spread=1.0)
+        betas = {float(p.beta) for p in procs[:-1]}
+        assert len(betas) == 1
+
+    def test_root_free_link(self):
+        procs = _spread_processors(5, 2.0)
+        assert procs[-1].beta == 0
+
+    def test_random_mode_deterministic_per_seed(self):
+        import random
+
+        a = _spread_processors(6, 4.0, rng=random.Random(1))
+        b = _spread_processors(6, 4.0, rng=random.Random(1))
+        assert [p.alpha for p in a] == [p.alpha for p in b]
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            _spread_processors(4, 0.5)
+
+
+class TestSweepPoint:
+    def test_gain(self):
+        pt = SweepPoint(1.0, 100.0, 50.0)
+        assert pt.gain == 2.0
+
+    def test_zero_balanced(self):
+        assert SweepPoint(1.0, 0.0, 0.0).gain == 1.0
+
+
+class TestGainForProblem:
+    def test_homogeneous_no_gain(self):
+        prob = ScatterProblem(_spread_processors(8, 1.0), 10_000)
+        assert gain_for_problem(prob).gain == pytest.approx(1.0, abs=0.02)
+
+    def test_heterogeneous_gain(self):
+        prob = ScatterProblem(_spread_processors(8, 8.0), 10_000)
+        assert gain_for_problem(prob).gain > 1.5
+
+
+class TestSweeps:
+    def test_heterogeneity_monotone(self):
+        gains = [pt.gain for pt in heterogeneity_sweep([1.0, 4.0, 16.0], p=8, n=5000)]
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_comm_ratio_collapse(self):
+        points = comm_ratio_sweep([0.01, 10.0], p=8, n=5000)
+        assert points[0].gain > points[1].gain
+
+    def test_problem_size_stabilizes(self):
+        points = problem_size_sweep([1_000, 50_000])
+        assert points[0].gain == pytest.approx(points[1].gain, rel=0.05)
+
+    def test_custom_factory(self):
+        from repro.workloads import random_linear_problem
+        import random
+
+        rng = random.Random(0)
+        base = random_linear_problem(rng, 5, 1)
+
+        points = problem_size_sweep([100, 200], problem_factory=base.with_n)
+        assert len(points) == 2
+        assert all(not math.isnan(pt.gain) for pt in points)

@@ -1,0 +1,119 @@
+"""Tests for the dynamic master/worker baseline (§6)."""
+
+import pytest
+
+from repro.baselines import ChunkPolicy, MasterWorkerResult, run_master_worker
+from repro.core import LinearCost
+from repro.simgrid import Host, Link, Platform, SpikeNoise
+from repro.tomo import plan_counts, run_seismic_app
+from repro.workloads import table1_platform, table1_rank_hosts
+
+
+def small_platform(alphas=(0.002, 0.01, 0.005), beta=1e-5):
+    plat = Platform("mw-test")
+    for i, a in enumerate(alphas):
+        plat.add_host(Host(f"h{i}", LinearCost(a)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+class TestChunkPolicy:
+    def test_fixed(self):
+        p = ChunkPolicy("fixed", chunk=100)
+        assert p.next_chunk(1000, 4) == 100
+        assert p.next_chunk(50, 4) == 50
+
+    def test_guided_decreases(self):
+        p = ChunkPolicy("guided", factor=2, min_chunk=10)
+        first = p.next_chunk(1000, 4)
+        later = p.next_chunk(100, 4)
+        assert first > later >= 10
+
+    def test_guided_min_chunk_floor(self):
+        p = ChunkPolicy("guided", factor=2, min_chunk=25)
+        assert p.next_chunk(30, 8) == 25
+
+    def test_guided_never_exceeds_remaining(self):
+        p = ChunkPolicy("guided", factor=1, min_chunk=100)
+        assert p.next_chunk(7, 1) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkPolicy("weird")
+        with pytest.raises(ValueError):
+            ChunkPolicy("fixed", chunk=0)
+
+
+class TestRunMasterWorker:
+    def test_all_items_processed(self):
+        plat = small_platform()
+        res = run_master_worker(plat, plat.host_names, 1000,
+                                policy=ChunkPolicy("fixed", chunk=100))
+        assert sum(res.counts) == 1000
+        assert res.counts[-1] == 0  # master does not compute
+
+    def test_fast_worker_gets_more(self):
+        plat = small_platform(alphas=(0.001, 0.02, 0.005))
+        res = run_master_worker(plat, plat.host_names, 2000,
+                                policy=ChunkPolicy("fixed", chunk=50))
+        assert res.counts[0] > res.counts[1]
+
+    def test_chunks_served_accounting(self):
+        plat = small_platform()
+        res = run_master_worker(plat, plat.host_names, 1000,
+                                policy=ChunkPolicy("fixed", chunk=250))
+        assert res.chunks_served == 4
+
+    def test_guided_fewer_chunks_than_small_fixed(self):
+        plat = small_platform()
+        fixed = run_master_worker(plat, plat.host_names, 5000,
+                                  policy=ChunkPolicy("fixed", chunk=50))
+        guided = run_master_worker(plat, plat.host_names, 5000,
+                                   policy=ChunkPolicy("guided", min_chunk=50))
+        assert guided.chunks_served < fixed.chunks_served
+
+    def test_needs_a_worker(self):
+        plat = small_platform()
+        with pytest.raises(ValueError):
+            run_master_worker(plat, plat.host_names[:1], 10)
+
+    def test_zero_items(self):
+        plat = small_platform()
+        res = run_master_worker(plat, plat.host_names, 0)
+        assert res.counts == (0, 0, 0)
+
+    def test_adapts_to_unmodeled_load(self):
+        """The baseline's selling point: under a load spike the static plan
+        (computed from stale costs) degrades, master/worker adapts."""
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        n = 60_000
+        static_counts = plan_counts(plat, hosts, n)
+
+        spiked = table1_platform()
+        spiked.hosts["caseb"].noise = SpikeNoise("caseb", 0.0, 1e9, slowdown=4.0)
+
+        static = run_seismic_app(spiked, hosts, static_counts)
+        dynamic = run_master_worker(
+            spiked, hosts, n, policy=ChunkPolicy("guided", min_chunk=200)
+        )
+        assert dynamic.makespan < static.makespan
+        # And the adaptive run sends the spiked host fewer items.
+        spiked_share = dict(zip(dynamic.rank_hosts, dynamic.counts))["caseb"]
+        static_share = dict(zip(hosts, static_counts))["caseb"]
+        assert spiked_share < static_share
+
+    def test_static_wins_on_predictable_grid(self):
+        """The paper's claim (§6): dynamic balancing pays avoidable
+        overheads when the grid is predictable."""
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        n = 60_000
+        static = run_seismic_app(plat, hosts, plan_counts(plat, hosts, n))
+        dynamic = run_master_worker(
+            plat, hosts, n, policy=ChunkPolicy("fixed", chunk=1000)
+        )
+        assert static.makespan < dynamic.makespan

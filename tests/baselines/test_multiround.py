@@ -1,0 +1,89 @@
+"""Tests for the multi-installment scatter ablation."""
+
+import pytest
+
+from repro.baselines import run_multi_installment, split_installments
+from repro.core import LinearCost
+from repro.simgrid import Host, Link, Platform
+from repro.tomo import plan_counts, run_seismic_app
+from repro.workloads import table1_platform, table1_rank_hosts
+
+
+def latency_platform(latency=0.2):
+    plat = Platform("lat")
+    for i in range(4):
+        plat.add_host(Host(f"h{i}", LinearCost(0.01)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.from_bandwidth(5000, latency=latency))
+    return plat
+
+
+class TestSplitInstallments:
+    def test_near_equal(self):
+        assert split_installments(10, 3) == (4, 3, 3)
+
+    def test_fewer_items_than_rounds(self):
+        assert split_installments(2, 4) == (1, 1, 0, 0)
+
+    def test_single_round(self):
+        assert split_installments(7, 1) == (7,)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_installments(5, 0)
+
+
+class TestRunMultiInstallment:
+    def test_all_items_computed(self):
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        counts = plan_counts(plat, hosts, 5000)
+        res = run_multi_installment(plat, hosts, counts, k=4)
+        assert sum(res.run.results) == 5000
+        assert res.installments == 4
+
+    def test_k1_matches_single_shot_app(self):
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        counts = plan_counts(plat, hosts, 20_000)
+        single = run_multi_installment(plat, hosts, counts, k=1)
+        app = run_seismic_app(plat, hosts, counts)
+        assert single.makespan == pytest.approx(app.makespan)
+
+    def test_stair_area_shrinks_with_k(self):
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        counts = plan_counts(plat, hosts, 50_000)
+        stairs = [
+            run_multi_installment(plat, hosts, counts, k).stair_area
+            for k in (1, 2, 4)
+        ]
+        assert stairs[0] > stairs[1] > stairs[2]
+
+    def test_makespan_unchanged_for_balanced_counts(self):
+        """The key observation supporting the paper's §6 design choice: with
+        the single-shot-optimal distribution, installments reduce idle time
+        but not the makespan (the last-served rank's critical path —
+        every send plus its compute — is identical)."""
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        counts = plan_counts(plat, hosts, 50_000)
+        t1 = run_multi_installment(plat, hosts, counts, k=1).makespan
+        t8 = run_multi_installment(plat, hosts, counts, k=8).makespan
+        assert t8 == pytest.approx(t1, rel=1e-3)
+
+    def test_latency_punishes_many_installments(self):
+        plat = latency_platform()
+        counts = (400, 400, 400, 100)
+        t1 = run_multi_installment(plat, plat.host_names, counts, k=1).makespan
+        t16 = run_multi_installment(plat, plat.host_names, counts, k=16).makespan
+        assert t16 > t1 + 1.0  # each extra round re-pays 3 latencies
+
+    def test_validation(self):
+        plat = latency_platform()
+        with pytest.raises(ValueError, match="same length"):
+            run_multi_installment(plat, plat.host_names, (1, 2), k=2)
+        with pytest.raises(ValueError, match="negative"):
+            run_multi_installment(plat, plat.host_names, (1, -1, 1, 1), k=2)

@@ -1,0 +1,61 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Tuple
+
+import pytest
+
+from repro.core import Processor, ScatterProblem
+
+
+def compositions(n: int, p: int) -> Iterator[Tuple[int, ...]]:
+    """All ways to write ``n`` as an ordered sum of ``p`` non-negatives.
+
+    Brute-force ground truth for the DP solvers; use only for tiny n, p.
+    """
+    if p == 1:
+        yield (n,)
+        return
+    for first in range(n + 1):
+        for rest in compositions(n - first, p - 1):
+            yield (first,) + rest
+
+
+def brute_force_optimum(problem: ScatterProblem) -> float:
+    """Exhaustive-search optimal makespan (float evaluation)."""
+    return min(problem.makespan(c) for c in compositions(problem.n, problem.p))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_linear_problem() -> ScatterProblem:
+    """A 4-processor linear instance with visible heterogeneity."""
+    return ScatterProblem(
+        [
+            Processor.linear("fast", alpha=0.004, beta=1e-5),
+            Processor.linear("mid", alpha=0.009, beta=2e-5),
+            Processor.linear("slow", alpha=0.016, beta=5e-5),
+            Processor.linear("root", alpha=0.009, beta=0.0),
+        ],
+        n=200,
+    )
+
+
+@pytest.fixture
+def tiny_linear_problem() -> ScatterProblem:
+    """Small enough for exhaustive search."""
+    return ScatterProblem(
+        [
+            Processor.linear("a", alpha=0.3, beta=0.05),
+            Processor.linear("b", alpha=0.7, beta=0.02),
+            Processor.linear("root", alpha=0.5, beta=0.0),
+        ],
+        n=12,
+    )

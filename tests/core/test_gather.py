@@ -1,0 +1,171 @@
+"""Tests for the gather duality (core/gather.py)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    Processor,
+    ScatterProblem,
+    fifo_order,
+    gather_finish_times,
+    gather_makespan,
+    solve_gather,
+)
+from repro.workloads import random_linear_problem
+
+
+def problem3(n=100):
+    return ScatterProblem(
+        [
+            Processor.linear("a", 0.01, 1e-3),
+            Processor.linear("b", 0.02, 2e-3),
+            Processor.linear("root", 0.015, 0.0),
+        ],
+        n,
+    )
+
+
+class TestGatherEvaluation:
+    def test_hand_computed_schedule(self):
+        prob = problem3(10)
+        # counts (4, 3, 3): root computes 3 items first (0.045), the port
+        # opens then; a (ready 0.04) starts at 0.045, comm 0.004; b (ready
+        # 0.06) starts at its own readiness.
+        times = gather_finish_times(prob, (4, 3, 3), order=[0, 1])
+        assert times[0] == pytest.approx(0.049)
+        assert times[1] == pytest.approx(0.066)
+        assert times[2] == pytest.approx(0.045)  # root computes only
+
+    def test_port_contention(self):
+        prob = ScatterProblem(
+            [
+                Processor.linear("a", 0.001, 1.0),  # ready fast, long transfer
+                Processor.linear("b", 0.001, 1.0),
+                Processor.linear("root", 0.001, 0.0),
+            ],
+            4,
+        )
+        times = gather_finish_times(prob, (2, 2, 0), order=[0, 1])
+        assert times[0] == pytest.approx(0.002 + 2.0)
+        assert times[1] == pytest.approx(0.002 + 4.0)  # waits for the port
+
+    def test_zero_count_skips_port(self):
+        prob = problem3(10)
+        times = gather_finish_times(prob, (0, 10, 0), order=[0, 1])
+        assert times[0] == 0.0
+        assert times[2] == 0.0
+
+    def test_order_validation(self):
+        prob = problem3(10)
+        with pytest.raises(ValueError, match="permute"):
+            gather_finish_times(prob, (5, 5, 0), order=[0, 0])
+
+    def test_fifo_order_by_readiness(self):
+        prob = ScatterProblem(
+            [
+                Processor.linear("slowcpu", 1.0, 1e-3),
+                Processor.linear("fastcpu", 0.1, 1e-3),
+                Processor.linear("root", 0.5, 0.0),
+            ],
+            10,
+        )
+        assert fifo_order(prob, (5, 5, 0)) == [1, 0]
+
+
+class TestDuality:
+    def test_gather_equals_scatter_optimum_exact(self, rng):
+        """With the exact scatter optimum, the mirrored gather achieves it
+        exactly: greedy-in-reversed-order can't exceed the mirror (T) and
+        no gather schedule can beat the gather optimum, which equals T."""
+        for _ in range(10):
+            prob = random_linear_problem(rng, rng.randint(2, 5), rng.randint(10, 80))
+            plan = solve_gather(prob, algorithm="dp-optimized")
+            assert plan.makespan == pytest.approx(plan.scatter.makespan, rel=1e-12)
+
+    def test_gather_never_exceeds_heuristic_scatter(self, rng):
+        """With heuristic counts the gather lands in [T_opt, T_heuristic]."""
+        for _ in range(10):
+            prob = random_linear_problem(rng, rng.randint(2, 7), rng.randint(10, 300))
+            plan = solve_gather(prob)
+            assert plan.makespan <= plan.scatter.makespan + 1e-12
+
+    def test_reversed_order_near_optimal_among_orders(self, rng):
+        """The flipped scatter order is within the rounding/ordering gap of
+        the best service order for the same counts (exhaustive, small p).
+        (Exact optimality needs counts jointly optimized per order; the
+        plan keeps Theorem 3's order, so integer effects leave a tiny gap.)
+        """
+        from repro.core import guarantee_gap
+
+        for _ in range(5):
+            prob = random_linear_problem(rng, 4, 60)
+            plan = solve_gather(prob, algorithm="dp-optimized")
+            best = min(
+                gather_makespan(plan.problem, plan.counts, list(perm))
+                for perm in itertools.permutations(range(plan.problem.p - 1))
+            )
+            assert plan.makespan >= best - 1e-12  # best includes plan's order
+            assert plan.makespan <= best + float(guarantee_gap(prob)) + 1e-12
+
+    def test_gather_never_beats_scatter_optimum_over_orders(self, rng):
+        """Any gather schedule reversed is a feasible scatter (with the
+        reversed service order), so gather can't beat the scatter optimum
+        taken over all orders."""
+        from repro.core import solve_dp_optimized
+
+        for _ in range(6):
+            prob = random_linear_problem(rng, 3, 40)
+            scatter_best_over_orders = min(
+                solve_dp_optimized(prob.with_order(perm + (prob.p - 1,))).makespan
+                for perm in itertools.permutations(range(prob.p - 1))
+            )
+            for counts in (prob.uniform_distribution(),
+                           solve_dp_optimized(prob).counts):
+                for perm in itertools.permutations(range(prob.p - 1)):
+                    g = gather_makespan(prob, counts, list(perm))
+                    assert g >= scatter_best_over_orders - 1e-9
+
+    def test_exact_mirror_identity(self, rng):
+        """gather(counts, σ) == scatter-Eq.1(counts, reverse(σ)) for *any*
+        counts and order — the sharpest form of the duality."""
+        for _ in range(10):
+            prob = random_linear_problem(rng, rng.randint(2, 5), rng.randint(5, 80))
+            p = prob.p
+            perm = list(range(p - 1))
+            rng.shuffle(perm)
+            counts = list(prob.uniform_distribution())
+            rng.shuffle(counts)
+            g = gather_makespan(prob, counts, perm)
+            # Scatter with processors served in reverse(perm): reorder the
+            # problem and the counts accordingly (root stays last).
+            rev = list(reversed(perm)) + [p - 1]
+            mirrored = prob.with_order(rev)
+            mirrored_counts = [counts[i] for i in rev]
+            s = mirrored.makespan(mirrored_counts)
+            assert g == pytest.approx(s, rel=1e-12)
+
+    def test_plan_fields(self):
+        prob = problem3(50)
+        plan = solve_gather(prob)
+        assert sum(plan.counts) == 50
+        assert sorted(plan.order) == [0, 1]
+        assert len(plan.finish_times) == 3
+
+    def test_mirrored_theorem3(self):
+        """Scatter serves the best-connected first; the mirrored gather
+        serves it last."""
+        prob = ScatterProblem(
+            [
+                Processor.linear("slowlink", 0.01, 5e-3),
+                Processor.linear("fastlink", 0.01, 1e-3),
+                Processor.linear("root", 0.01, 0.0),
+            ],
+            100,
+        )
+        plan = solve_gather(prob)
+        # After the bandwidth-desc policy, the solved problem's processor 0
+        # is fastlink; the reversed service order starts with index 1.
+        assert plan.problem.names[0] == "fastlink"
+        assert plan.order[0] == 1  # slowlink drains the port first

@@ -1,0 +1,81 @@
+"""Focused tests for smaller behaviours not covered elsewhere."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Processor,
+    ScatterProblem,
+    round_largest_remainder,
+    solve_heuristic,
+)
+
+
+class TestHeuristicRoundingParameter:
+    def test_alternative_rounding_scheme(self, small_linear_problem):
+        h = solve_heuristic(small_linear_problem, rounding=round_largest_remainder)
+        assert sum(h.counts) == small_linear_problem.n
+        # Still within the Eq. 4 envelope (checked internally, and here
+        # against the rational optimum).
+        assert h.makespan >= float(h.info["rational_T"]) - 1e-12
+        assert h.makespan <= float(h.info["upper_bound"]) + 1e-12
+
+    def test_two_schemes_close(self, small_linear_problem):
+        a = solve_heuristic(small_linear_problem)
+        b = solve_heuristic(small_linear_problem, rounding=round_largest_remainder)
+        from repro.core import guarantee_gap
+
+        assert abs(a.makespan - b.makespan) <= float(
+            guarantee_gap(small_linear_problem)
+        )
+
+
+class TestProcessorRepr:
+    def test_repr_contains_name(self):
+        proc = Processor.linear("mynode", 0.01, 1e-5)
+        assert "mynode" in repr(proc)
+
+    def test_problem_repr(self):
+        prob = ScatterProblem([Processor.linear("only", 1.0, 0.0)], 5)
+        assert "p=1" in repr(prob) and "n=5" in repr(prob)
+
+
+class TestExactEvaluationPrecision:
+    def test_fraction_rates_stay_exact(self):
+        prob = ScatterProblem(
+            [
+                Processor.linear("a", Fraction(1, 3), Fraction(1, 7)),
+                Processor.linear("root", Fraction(1, 5), 0),
+            ],
+            21,
+        )
+        times = prob.finish_times_exact([7, 14])
+        assert times[0] == Fraction(1, 7) * 7 + Fraction(1, 3) * 7
+        assert times[1] == Fraction(1) + Fraction(14, 5)
+
+    def test_makespan_exact_vs_float_tiny_rates(self):
+        prob = ScatterProblem(
+            [
+                Processor.linear("a", 1e-9, 1e-12),
+                Processor.linear("root", 1e-9, 0),
+            ],
+            1000,
+        )
+        exact = prob.makespan_exact([500, 500])
+        assert float(exact) == pytest.approx(prob.makespan([500, 500]))
+
+
+class TestDistributionResultInfo:
+    def test_closed_form_info_fields(self, small_linear_problem):
+        from repro.core import solve_closed_form
+
+        res = solve_closed_form(small_linear_problem)
+        assert "rational_duration" in res.info
+        assert "active" in res.info
+        assert len(res.info["rational_shares"]) == small_linear_problem.p
+
+    def test_heuristic_info_fields(self, small_linear_problem):
+        res = solve_heuristic(small_linear_problem)
+        for key in ("rational_T", "guarantee_gap", "upper_bound", "relaxed_T"):
+            assert key in res.info

@@ -1,0 +1,131 @@
+"""Tests for the Theorem 3 ordering policy and its alternatives."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    POLICIES,
+    Processor,
+    ScatterProblem,
+    apply_policy,
+    brute_force_best_order,
+    is_bandwidth_sorted,
+    order_ascending_bandwidth,
+    order_descending_bandwidth,
+    ordering_permutation,
+    solve_closed_form,
+    solve_rational,
+)
+from repro.workloads import random_linear_problem
+
+
+def spread_problem(n=100):
+    return ScatterProblem(
+        [
+            Processor.linear("slow-link", alpha=0.01, beta=9e-4),
+            Processor.linear("fast-link", alpha=0.01, beta=1e-5),
+            Processor.linear("mid-link", alpha=0.01, beta=1e-4),
+            Processor.linear("root", alpha=0.01, beta=0.0),
+        ],
+        n,
+    )
+
+
+class TestPermutations:
+    def test_root_always_last(self):
+        prob = spread_problem()
+        for policy in ("bandwidth-desc", "bandwidth-asc", "fastest-first", "original"):
+            perm = ordering_permutation(prob, policy)
+            assert perm[-1] == prob.p - 1
+
+    def test_bandwidth_desc_sorts_by_beta(self):
+        ordered = order_descending_bandwidth(spread_problem())
+        assert ordered.names == ("fast-link", "mid-link", "slow-link", "root")
+        assert is_bandwidth_sorted(ordered)
+
+    def test_bandwidth_asc_reverses(self):
+        ordered = order_ascending_bandwidth(spread_problem())
+        assert ordered.names == ("slow-link", "mid-link", "fast-link", "root")
+        assert not is_bandwidth_sorted(ordered)
+
+    def test_fastest_first_sorts_by_alpha(self):
+        prob = ScatterProblem(
+            [
+                Processor.linear("slowcpu", alpha=0.9, beta=1e-5),
+                Processor.linear("fastcpu", alpha=0.1, beta=2e-5),
+                Processor.linear("root", alpha=0.5, beta=0.0),
+            ],
+            10,
+        )
+        ordered = apply_policy(prob, "fastest-first")
+        assert ordered.names == ("fastcpu", "slowcpu", "root")
+
+    def test_random_policy_deterministic_with_rng(self):
+        prob = spread_problem()
+        a = ordering_permutation(prob, "random", rng=random.Random(3))
+        b = ordering_permutation(prob, "random", rng=random.Random(3))
+        assert a == b
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown ordering policy"):
+            ordering_permutation(spread_problem(), "by-vibes")
+
+    def test_policies_registry(self):
+        assert "bandwidth-desc" in POLICIES and "random" in POLICIES
+
+
+class TestTheorem3:
+    def test_descending_beats_ascending_rational(self, rng):
+        """The rational-optimal duration under Theorem 3's order is never
+        worse than under the adversarial order."""
+        for _ in range(20):
+            prob = random_linear_problem(rng, rng.randint(3, 6), 1000)
+            t_desc = solve_rational(order_descending_bandwidth(prob)).duration
+            t_asc = solve_rational(order_ascending_bandwidth(prob)).duration
+            assert t_desc <= t_asc
+
+    def test_descending_is_globally_optimal_rational(self, rng):
+        """Exhaustive check of Theorem 3 on small instances: no permutation
+        beats descending bandwidth for the rational solution."""
+        for _ in range(5):
+            prob = random_linear_problem(rng, rng.randint(3, 5), 500)
+            best = solve_rational(order_descending_bandwidth(prob)).duration
+
+            import itertools
+
+            p = prob.p
+            for perm in itertools.permutations(range(p - 1)):
+                candidate = prob.with_order(perm + (p - 1,))
+                assert best <= solve_rational(candidate).duration
+
+    def test_strict_improvement_when_bandwidths_differ(self):
+        prob = spread_problem()
+        t_desc = solve_rational(order_descending_bandwidth(prob)).duration
+        t_asc = solve_rational(order_ascending_bandwidth(prob)).duration
+        assert t_desc < t_asc
+
+
+class TestBruteForceOrder:
+    def test_finds_descending_for_linear(self, rng):
+        prob = random_linear_problem(rng, 4, 60)
+        best_prob, best_res, table = brute_force_best_order(prob, solve_closed_form)
+        assert len(table) == 6  # 3! orderings
+        # Integer effects can shuffle near-ties, but the optimum must be
+        # within the rounding guarantee of the descending-order solution.
+        from repro.core import guarantee_gap
+
+        desc = solve_closed_form(order_descending_bandwidth(prob))
+        assert best_res.makespan <= desc.makespan + 1e-12
+        assert desc.makespan <= best_res.makespan + float(guarantee_gap(prob))
+
+    def test_refuses_large_p(self, rng):
+        prob = random_linear_problem(rng, 10, 5)
+        with pytest.raises(ValueError, match="refused"):
+            brute_force_best_order(prob, solve_closed_form)
+
+    def test_table_contains_all_orders(self, rng):
+        prob = random_linear_problem(rng, 3, 20)
+        _, _, table = brute_force_best_order(prob, solve_closed_form)
+        orders = {t[0] for t in table}
+        assert orders == {(0, 1, 2), (1, 0, 2)}

@@ -1,0 +1,72 @@
+"""Ordering policy behaviour beyond the linear case (affine links)."""
+
+import pytest
+
+from repro.core import (
+    Processor,
+    ScatterProblem,
+    apply_policy,
+    solve_heuristic,
+)
+from repro.core.ordering import comm_key
+
+
+class TestCommKeyAffine:
+    def test_latency_counts(self):
+        """With equal rates, higher latency means a worse (larger) key."""
+        low = Processor.affine("low", 0.01, 1e-5, comm_intercept=0.01)
+        high = Processor.affine("high", 0.01, 1e-5, comm_intercept=0.5)
+        assert comm_key(low, chunk=100) < comm_key(high, chunk=100)
+
+    def test_chunk_size_can_flip_ranking(self):
+        """A fat low-latency pipe loses to a thin zero-latency one for tiny
+        chunks but wins for large ones — the key honours the chunk."""
+        thin = Processor.affine("thin", 0.01, 1e-4)                 # no latency
+        fat = Processor.affine("fat", 0.01, 1e-6, comm_intercept=0.05)
+        assert comm_key(thin, chunk=10) < comm_key(fat, chunk=10)
+        assert comm_key(fat, chunk=10_000) < comm_key(thin, chunk=10_000)
+
+    def test_policy_uses_problem_scale(self):
+        """The ordering policy evaluates keys at ~n/p, so the same machines
+        order differently for small and large problems."""
+        procs = [
+            Processor.affine("thin", 0.01, 1e-4),
+            Processor.affine("fat", 0.01, 1e-6, comm_intercept=0.05),
+            Processor.linear("root", 0.01, 0.0),
+        ]
+        small = apply_policy(ScatterProblem(procs, 30), "bandwidth-desc")
+        large = apply_policy(ScatterProblem(procs, 300_000), "bandwidth-desc")
+        assert small.names[0] == "thin"
+        assert large.names[0] == "fat"
+
+
+class TestAffineOrderingEffect:
+    def test_descending_helps_with_latency(self):
+        """On an affine platform with spread latencies, Theorem 3's policy
+        still beats the adversarial order (it is a heuristic there, §4.4)."""
+        procs = [
+            Processor.affine("a", 0.01, 5e-5, comm_intercept=0.4),
+            Processor.affine("b", 0.01, 1e-5, comm_intercept=0.05),
+            Processor.affine("c", 0.01, 3e-5, comm_intercept=0.2),
+            Processor.linear("root", 0.01, 0.0),
+        ]
+        prob = ScatterProblem(procs, 20_000)
+        desc = solve_heuristic(apply_policy(prob, "bandwidth-desc"))
+        asc = solve_heuristic(apply_policy(prob, "bandwidth-asc"))
+        assert desc.makespan <= asc.makespan + 1e-9
+
+    def test_intercepts_shift_optimal_makespan(self):
+        """Adding latency can only slow the affine optimum down."""
+        base = [
+            Processor.linear("a", 0.01, 5e-5),
+            Processor.linear("b", 0.02, 1e-5),
+            Processor.linear("root", 0.01, 0.0),
+        ]
+        lagged = [
+            Processor.affine("a", 0.01, 5e-5, comm_intercept=0.3),
+            Processor.affine("b", 0.02, 1e-5, comm_intercept=0.3),
+            Processor.linear("root", 0.01, 0.0),
+        ]
+        t_base = solve_heuristic(ScatterProblem(base, 5000)).makespan
+        t_lag = solve_heuristic(ScatterProblem(lagged, 5000)).makespan
+        assert t_lag >= t_base

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearCost,
+    Processor,
+    ScatterProblem,
+    chain_rate,
+    chain_rate_sum_form,
+    guarantee_gap,
+    round_largest_remainder,
+    round_paper,
+    solve_closed_form,
+    solve_dp_basic,
+    solve_dp_optimized,
+    solve_heuristic,
+    solve_rational,
+    uniform_counts,
+)
+
+# -- strategies -------------------------------------------------------------
+
+rates = st.fractions(min_value=Fraction(1, 1000), max_value=Fraction(10))
+comm_rates = st.fractions(min_value=Fraction(0), max_value=Fraction(2))
+
+
+@st.composite
+def linear_problems(draw, max_p=5, max_n=40):
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    procs = []
+    for i in range(p):
+        alpha = draw(rates)
+        beta = Fraction(0) if i == p - 1 else draw(comm_rates)
+        procs.append(Processor.linear(f"P{i}", alpha, beta))
+    return ScatterProblem(procs, n)
+
+
+@st.composite
+def rational_share_vectors(draw, max_p=7, max_n=60):
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    weights = [draw(st.integers(min_value=1, max_value=50)) for _ in range(p)]
+    total = sum(weights)
+    shares = [Fraction(w * n, total) for w in weights]
+    shares[-1] += n - sum(shares)
+    assume(shares[-1] >= 0)
+    return shares, n
+
+
+# -- distribution evaluation ---------------------------------------------------
+
+
+@given(linear_problems())
+@settings(max_examples=60, deadline=None)
+def test_uniform_distribution_is_valid(prob):
+    counts = prob.uniform_distribution()
+    assert sum(counts) == prob.n
+    assert max(counts) - min(counts) <= 1
+
+
+@given(linear_problems(), st.integers(min_value=0, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_makespan_monotone_in_n(prob, extra):
+    """Adding items can never shrink the optimal makespan."""
+    a = solve_dp_optimized(prob).makespan
+    b = solve_dp_optimized(prob.with_n(prob.n + extra)).makespan
+    assert b >= a - 1e-12
+
+
+@given(linear_problems())
+@settings(max_examples=50, deadline=None)
+def test_finish_times_exact_matches_float(prob):
+    counts = prob.uniform_distribution()
+    exact = prob.finish_times_exact(counts)
+    floats = prob.finish_times(counts)
+    for e, f in zip(exact, floats):
+        assert float(e) == pytest.approx(f, rel=1e-9, abs=1e-12)
+
+
+# -- solver cross-validation ----------------------------------------------------
+
+
+@given(linear_problems(max_p=4, max_n=25))
+@settings(max_examples=40, deadline=None)
+def test_dp_variants_agree(prob):
+    a = solve_dp_basic(prob).makespan
+    b = solve_dp_optimized(prob).makespan
+    assert a == pytest.approx(b, rel=1e-9, abs=1e-12)
+
+
+@given(linear_problems(max_p=4, max_n=25))
+@settings(max_examples=40, deadline=None)
+def test_heuristic_within_guarantee_of_dp(prob):
+    h = solve_heuristic(prob)
+    dp = solve_dp_optimized(prob)
+    gap = float(guarantee_gap(prob))
+    assert dp.makespan <= h.makespan + 1e-9
+    assert h.makespan <= dp.makespan + gap + 1e-9
+
+
+@given(linear_problems(max_p=4, max_n=25))
+@settings(max_examples=40, deadline=None)
+def test_closed_form_equals_lp_rational(prob):
+    """Theorems 1+2 and the exact LP must agree on the rational optimum."""
+    from repro.core import solve_lp_rational
+
+    rat = solve_rational(prob)
+    _, t_lp = solve_lp_rational(prob)
+    assert rat.duration == t_lp
+
+
+@given(linear_problems(max_p=5, max_n=30))
+@settings(max_examples=40, deadline=None)
+def test_rational_lower_bounds_integer(prob):
+    rat = solve_rational(prob)
+    dp = solve_dp_optimized(prob)
+    assert float(rat.duration) <= dp.makespan + 1e-9
+
+
+# -- chain rate ----------------------------------------------------------------
+
+
+@given(linear_problems(max_p=6))
+@settings(max_examples=60, deadline=None)
+def test_chain_rate_forms_agree(prob):
+    assume(all(proc.alpha + proc.beta > 0 for proc in prob.processors))
+    assert chain_rate(prob.processors) == chain_rate_sum_form(prob.processors)
+
+
+@given(linear_problems(max_p=6))
+@settings(max_examples=60, deadline=None)
+def test_rational_optimum_dominates_single_processor(prob):
+    """The rational optimum (with Theorem 2 exclusions) can't be slower than
+    giving everything to any single processor — those distributions are all
+    feasible.  (Note chain_rate alone does NOT have this property: it forces
+    every processor to work, including ones with terrible links.)"""
+    assume(all(proc.alpha + proc.beta > 0 for proc in prob.processors))
+    rat = solve_rational(prob)
+    best_single = min(proc.alpha + proc.beta for proc in prob.processors)
+    assert rat.duration <= prob.n * best_single
+
+
+# -- rounding --------------------------------------------------------------------
+
+
+@given(rational_share_vectors())
+@settings(max_examples=120, deadline=None)
+def test_round_paper_invariants(data):
+    shares, n = data
+    out = round_paper(shares, n)
+    assert sum(out) == n
+    assert all(c >= 0 for c in out)
+    for c, s in zip(out, shares):
+        assert abs(Fraction(c) - s) < 1
+
+
+@given(rational_share_vectors())
+@settings(max_examples=120, deadline=None)
+def test_round_largest_remainder_invariants(data):
+    shares, n = data
+    out = round_largest_remainder(shares, n)
+    assert sum(out) == n
+    for c, s in zip(out, shares):
+        assert abs(Fraction(c) - s) < 1
+
+
+# -- uniform counts ----------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=64))
+def test_uniform_counts_partition(n, p):
+    counts = uniform_counts(n, p)
+    assert len(counts) == p
+    assert sum(counts) == n
+    assert max(counts) - min(counts) <= 1
+    assert sorted(counts, reverse=True) == list(counts)

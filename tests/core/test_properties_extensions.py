@@ -1,0 +1,121 @@
+"""Property-based tests for the weighted and gather extensions."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Processor,
+    ScatterProblem,
+    WeightedScatterProblem,
+    gather_makespan,
+    solve_weighted_dp,
+    solve_weighted_heuristic,
+)
+
+
+@st.composite
+def weighted_problems(draw, max_p=4, max_n=25):
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    mode = draw(st.sampled_from(["count", "weight"]))
+    procs = []
+    for i in range(p):
+        alpha = draw(st.floats(min_value=1e-3, max_value=1.0, allow_nan=False))
+        beta = 0.0 if i == p - 1 else draw(
+            st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+        )
+        procs.append(Processor.linear(f"P{i}", alpha, beta))
+    weights = [
+        draw(st.floats(min_value=0.05, max_value=5.0, allow_nan=False))
+        for _ in range(n)
+    ]
+    return WeightedScatterProblem(procs, weights, comm_mode=mode)
+
+
+@given(weighted_problems())
+@settings(max_examples=40, deadline=None)
+def test_weighted_dp_counts_partition(prob):
+    dp = solve_weighted_dp(prob)
+    assert sum(dp.counts) == prob.n
+    assert all(c >= 0 for c in dp.counts)
+    assert prob.makespan(dp.counts) == pytest.approx(dp.makespan, rel=1e-9)
+
+
+@given(weighted_problems(max_p=3, max_n=12))
+@settings(max_examples=25, deadline=None)
+def test_weighted_dp_optimal_vs_all_partitions(prob):
+    """Exhaustive contiguous partitions on tiny instances."""
+    assume(prob.p == 3)
+    n = prob.n
+    best = min(
+        prob.makespan((c1, c2, n - c1 - c2))
+        for c1 in range(n + 1)
+        for c2 in range(n + 1 - c1)
+    )
+    assert solve_weighted_dp(prob).makespan == pytest.approx(best, rel=1e-9)
+
+
+@given(weighted_problems())
+@settings(max_examples=30, deadline=None)
+def test_weighted_heuristic_within_gap(prob):
+    h = solve_weighted_heuristic(prob)
+    dp = solve_weighted_dp(prob)
+    assert dp.makespan <= h.makespan + 1e-9
+    assert h.makespan <= dp.makespan + h.info.get("guarantee_gap", 0.0) + 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=60),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_gather_mirror_identity_property(p, n, rnd):
+    """gather(counts, σ) == scatter-Eq.1(counts, reverse(σ)) always."""
+    procs = []
+    for i in range(p):
+        alpha = rnd.uniform(1e-3, 1.0)
+        beta = 0.0 if i == p - 1 else rnd.uniform(0.0, 0.3)
+        procs.append(Processor.linear(f"P{i}", alpha, beta))
+    prob = ScatterProblem(procs, n)
+
+    counts = list(prob.uniform_distribution())
+    rnd.shuffle(counts)
+    perm = list(range(p - 1))
+    rnd.shuffle(perm)
+
+    g = gather_makespan(prob, counts, perm)
+    rev = list(reversed(perm)) + [p - 1]
+    mirrored = prob.with_order(rev)
+    s = mirrored.makespan([counts[i] for i in rev])
+    assert g == pytest.approx(s, rel=1e-12, abs=1e-12)
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=50),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_gather_order_never_helps_below_any_single_bound(p, n, rnd):
+    """Every gather schedule is at least as long as the heaviest single
+    processor's compute+transfer (a simple lower bound)."""
+    procs = []
+    for i in range(p):
+        alpha = rnd.uniform(1e-3, 1.0)
+        beta = 0.0 if i == p - 1 else rnd.uniform(0.0, 0.3)
+        procs.append(Processor.linear(f"P{i}", alpha, beta))
+    prob = ScatterProblem(procs, n)
+    counts = list(prob.uniform_distribution())
+    perm = list(range(p - 1))
+    rnd.shuffle(perm)
+    g = gather_makespan(prob, counts, perm)
+    bound = max(
+        (proc.comp(c) + proc.comm(c)) if c > 0 else 0.0
+        for proc, c in zip(prob.processors[:-1], counts[:-1])
+    ) if p > 1 else 0.0
+    assert g >= bound - 1e-12

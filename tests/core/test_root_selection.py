@@ -1,0 +1,136 @@
+"""Tests for the §3.4 root-processor choice."""
+
+import pytest
+
+from repro.core import LinearCost, choose_root, solve_heuristic
+from repro.core.costs import ZeroCost
+from repro.core.root_selection import build_problem_for_root
+from repro.workloads import random_star_platform
+
+
+def star_setup():
+    """Three machines: a fast hub, a slow leaf, and the data host."""
+    names = ["hub", "leaf", "datahost"]
+    comp = [LinearCost(0.01), LinearCost(0.01), LinearCost(0.01)]
+    rates = {  # keys in sorted order
+        ("hub", "leaf"): 1e-5,
+        ("datahost", "hub"): 1e-5,
+        ("datahost", "leaf"): 5e-4,
+    }
+
+    def link(src: int, dst: int):
+        if src == dst:
+            return ZeroCost()
+        key = tuple(sorted((names[src], names[dst])))
+        return LinearCost(rates[(key[0], key[1])])
+
+    return names, comp, link
+
+
+class TestBuildProblem:
+    def test_root_is_last(self):
+        names, comp, link = star_setup()
+        problem, mapped = build_problem_for_root(names, comp, link, 100, root=0)
+        assert problem.root.name == "hub"
+        assert mapped[-1] == 0
+        assert isinstance(problem.root.comm, ZeroCost)
+
+    def test_mapping_covers_all(self):
+        names, comp, link = star_setup()
+        _, mapped = build_problem_for_root(names, comp, link, 100, root=1)
+        assert sorted(mapped) == [0, 1, 2]
+
+    def test_bad_root_index(self):
+        names, comp, link = star_setup()
+        with pytest.raises(ValueError):
+            build_problem_for_root(names, comp, link, 100, root=5)
+
+    def test_length_mismatch(self):
+        names, comp, link = star_setup()
+        with pytest.raises(ValueError):
+            build_problem_for_root(names, comp[:-1], link, 100, root=0)
+
+
+class TestChooseRoot:
+    def test_data_host_pays_no_transfer(self):
+        names, comp, link = star_setup()
+        choice = choose_root(names, comp, link, 1000, data_host=2)
+        for r, transfer, _, _ in choice.candidates:
+            if r == 2:
+                assert transfer == 0.0
+            else:
+                assert transfer > 0.0
+
+    def test_total_is_transfer_plus_makespan(self):
+        names, comp, link = star_setup()
+        choice = choose_root(names, comp, link, 1000, data_host=2)
+        for _, transfer, makespan, total in choice.candidates:
+            assert total == pytest.approx(transfer + makespan)
+
+    def test_picks_minimum(self):
+        names, comp, link = star_setup()
+        choice = choose_root(names, comp, link, 1000, data_host=2)
+        assert choice.total_time == min(t for *_, t in choice.candidates)
+
+    def test_expensive_transfer_keeps_root_on_data_host(self):
+        """When moving data off C is costly, C itself wins."""
+        names = ["far", "datahost"]
+        comp = [LinearCost(0.01), LinearCost(0.01)]
+
+        def link(src, dst):
+            return ZeroCost() if src == dst else LinearCost(1.0)  # brutal WAN
+
+        choice = choose_root(names, comp, link, 100, data_host=1)
+        assert choice.root == 1
+        assert choice.transfer_time == 0.0
+
+    def test_better_connected_root_can_win(self):
+        """A hub with cheap links beats a data host with awful ones, once
+        the initial transfer is cheap enough."""
+        names = ["hub", "w1", "w2", "datahost"]
+        comp = [LinearCost(0.01)] * 4
+        # datahost's own links are terrible except to the hub.
+        def link(src, dst):
+            if src == dst:
+                return ZeroCost()
+            pair = {names[src], names[dst]}
+            if pair == {"hub", "datahost"}:
+                return LinearCost(1e-6)
+            if "hub" in pair:
+                return LinearCost(1e-5)
+            return LinearCost(8e-3)  # datahost <-> workers
+
+        choice = choose_root(names, comp, link, 2000, data_host=3)
+        assert choice.root == 0
+        assert choice.transfer_time > 0.0
+
+    def test_candidates_restriction(self):
+        names, comp, link = star_setup()
+        choice = choose_root(names, comp, link, 500, data_host=2, candidates=[1, 2])
+        assert {r for r, *_ in choice.candidates} == {1, 2}
+
+    def test_bad_data_host(self):
+        names, comp, link = star_setup()
+        with pytest.raises(ValueError):
+            choose_root(names, comp, link, 10, data_host=9)
+
+    def test_custom_solver(self):
+        from repro.core import solve_closed_form
+
+        names, comp, link = star_setup()
+        a = choose_root(names, comp, link, 300, data_host=2, solver=solve_heuristic)
+        b = choose_root(names, comp, link, 300, data_host=2, solver=solve_closed_form)
+        assert a.root == b.root
+
+    def test_on_random_platform(self, rng):
+        platform = random_star_platform(rng, 6)
+        names = platform.host_names
+        choice = choose_root(
+            names,
+            platform.comp_costs(names),
+            platform.link_oracle(names),
+            500,
+            data_host=0,
+        )
+        assert 0 <= choice.root < 6
+        assert len(choice.candidates) == 6

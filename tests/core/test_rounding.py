@@ -1,0 +1,111 @@
+"""Tests for the §3.3 rounding schemes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import round_largest_remainder, round_paper
+from repro.core.rounding import check_rounding
+
+F = Fraction
+
+
+class TestRoundPaper:
+    def test_already_integral(self):
+        assert round_paper([F(3), F(4), F(5)], 12) == (3, 4, 5)
+
+    def test_simple_halves(self):
+        out = round_paper([F(3, 2), F(5, 2), F(6)], 10)
+        assert sum(out) == 10
+        assert out[2] == 6  # integral share untouched
+        assert sorted(out[:2]) == [1, 3] or sorted(out[:2]) == [2, 2]
+
+    def test_invariants_random(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(200):
+            p = rng.randint(1, 8)
+            n = rng.randint(0, 50)
+            # Random rational split of n.
+            weights = [F(rng.randint(1, 100)) for _ in range(p)]
+            total = sum(weights)
+            shares = [w * n / total for w in weights]
+            # Fix the residue exactly on the last share.
+            shares[-1] += n - sum(shares)
+            if shares[-1] < 0:
+                continue
+            out = round_paper(shares, n)
+            assert sum(out) == n
+            assert all(c >= 0 for c in out)
+            for c, s in zip(out, shares):
+                assert abs(F(c) - s) < 1
+
+    def test_single_share(self):
+        assert round_paper([F(7)], 7) == (7,)
+
+    def test_two_thirds_pair(self):
+        out = round_paper([F(2, 3), F(1, 3)], 1)
+        assert sum(out) == 1
+        assert set(out) == {0, 1}
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            round_paper([F(1, 2), F(1, 2)], 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            round_paper([F(-1, 2), F(5, 2)], 2)
+
+    def test_tiny_shares_never_go_negative(self):
+        # Many shares just above zero: rounding must stay >= 0.
+        shares = [F(1, 10)] * 10
+        out = round_paper(shares, 1)
+        assert sum(out) == 1
+        assert all(c in (0, 1) for c in out)
+
+
+class TestRoundLargestRemainder:
+    def test_classic_apportionment(self):
+        out = round_largest_remainder([F(14, 10), F(13, 10), F(3, 10)], 3)
+        assert sum(out) == 3
+        assert out[2] == 0  # smallest remainder loses
+
+    def test_invariants_random(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(100):
+            p = rng.randint(1, 6)
+            n = rng.randint(0, 30)
+            weights = [F(rng.randint(1, 50)) for _ in range(p)]
+            total = sum(weights)
+            shares = [w * n / total for w in weights]
+            shares[-1] += n - sum(shares)
+            if shares[-1] < 0:
+                continue
+            out = round_largest_remainder(shares, n)
+            assert sum(out) == n
+            for c, s in zip(out, shares):
+                assert abs(F(c) - s) < 1
+
+
+class TestCheckRounding:
+    def test_passes_valid(self):
+        assert check_rounding([F(3, 2), F(5, 2)], (2, 2), 4) == (2, 2)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(AssertionError):
+            check_rounding([F(3, 2), F(5, 2)], (2, 3), 4)
+
+    def test_rejects_distance_one(self):
+        with pytest.raises(AssertionError):
+            check_rounding([F(1), F(3)], (0, 4), 4)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(AssertionError):
+            check_rounding([F(1, 2), F(7, 2)], (-1, 5), 4)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(AssertionError):
+            check_rounding([F(1)], (1, 0), 1)

@@ -1,0 +1,165 @@
+"""Tests for the weighted-item extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Processor,
+    TabulatedCost,
+    WeightedScatterProblem,
+    ZeroCost,
+    solve_weighted_dp,
+    solve_weighted_heuristic,
+)
+
+
+def procs3():
+    return [
+        Processor.linear("a", 0.01, 1e-4),
+        Processor.linear("b", 0.02, 2e-4),
+        Processor.linear("root", 0.015, 0.0),
+    ]
+
+
+def brute_force(problem):
+    n, p = problem.n, problem.p
+    assert p == 3
+    return min(
+        problem.makespan((c1, c2, n - c1 - c2))
+        for c1 in range(n + 1)
+        for c2 in range(n + 1 - c1)
+    )
+
+
+class TestWeightedProblem:
+    def test_prefix_sums(self):
+        prob = WeightedScatterProblem(procs3(), [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(prob.prefix, [0, 1, 3, 6])
+        assert prob.total_weight == 6.0
+
+    def test_block_weights(self):
+        prob = WeightedScatterProblem(procs3(), [1.0, 2.0, 3.0, 4.0])
+        assert prob.block_weights((1, 2, 1)) == [1.0, 5.0, 4.0]
+
+    def test_finish_times_count_mode(self):
+        prob = WeightedScatterProblem(procs3(), [1.0, 3.0], comm_mode="count")
+        times = prob.finish_times((1, 0, 1))
+        # P_a: comm 1 item at 1e-4 + comp weight 1 at 0.01
+        assert times[0] == pytest.approx(1e-4 + 0.01)
+        # idle P_b still "finishes" when the preceding comm ends (Eq. 1)
+        assert times[1] == pytest.approx(1e-4)
+        # root: elapsed comm (1e-4) + comp weight 3 at 0.015
+        assert times[2] == pytest.approx(1e-4 + 0.045)
+
+    def test_finish_times_weight_mode(self):
+        prob = WeightedScatterProblem(procs3(), [1.0, 3.0], comm_mode="weight")
+        times = prob.finish_times((1, 0, 1))
+        assert times[0] == pytest.approx(1e-4 * 1.0 + 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="> 0"):
+            WeightedScatterProblem(procs3(), [1.0, 0.0])
+        with pytest.raises(ValueError, match="comm_mode"):
+            WeightedScatterProblem(procs3(), [1.0], comm_mode="bytes")
+        with pytest.raises(ValueError):
+            WeightedScatterProblem([], [1.0])
+
+    def test_rejects_tabulated_costs(self):
+        procs = [Processor("t", ZeroCost(), TabulatedCost([0.0, 1.0]))]
+        with pytest.raises(ValueError, match="real-valued"):
+            WeightedScatterProblem(procs, [1.0])
+
+    def test_counts_validation(self):
+        prob = WeightedScatterProblem(procs3(), [1.0, 2.0])
+        with pytest.raises(ValueError):
+            prob.makespan((1, 1, 1))
+        with pytest.raises(ValueError):
+            prob.makespan((2, -1, 1))
+
+    def test_uniform_projection(self):
+        prob = WeightedScatterProblem(procs3(), [1.0, 2.0, 3.0])
+        assert prob.as_uniform_problem().n == 3
+
+
+class TestWeightedDp:
+    @pytest.mark.parametrize("mode", ["count", "weight"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, mode, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.pareto(2.0, 25) + 0.2
+        prob = WeightedScatterProblem(procs3(), w, comm_mode=mode)
+        dp = solve_weighted_dp(prob)
+        assert dp.makespan == pytest.approx(brute_force(prob))
+        assert prob.makespan(dp.counts) == pytest.approx(dp.makespan)
+
+    def test_uniform_weights_match_unweighted_dp(self):
+        """All weights 1 must reduce to the ordinary integer problem."""
+        from repro.core import ScatterProblem, solve_dp_optimized
+
+        n = 40
+        wprob = WeightedScatterProblem(procs3(), np.ones(n), comm_mode="count")
+        dp_w = solve_weighted_dp(wprob)
+        dp_u = solve_dp_optimized(ScatterProblem(procs3(), n))
+        assert dp_w.makespan == pytest.approx(dp_u.makespan)
+
+    def test_heavy_item_forced_whole(self):
+        """A single huge item cannot be split; someone must swallow it."""
+        w = [1.0, 1.0, 100.0, 1.0]
+        prob = WeightedScatterProblem(procs3(), w)
+        dp = solve_weighted_dp(prob)
+        big_block = max(dp.block_weights)
+        assert big_block >= 100.0
+
+    def test_single_processor(self):
+        prob = WeightedScatterProblem([procs3()[2]], [2.0, 3.0])
+        dp = solve_weighted_dp(prob)
+        assert dp.counts == (2,)
+        assert dp.makespan == pytest.approx(0.015 * 5.0)
+
+    def test_empty(self):
+        prob = WeightedScatterProblem(procs3(), [])
+        dp = solve_weighted_dp(prob)
+        assert dp.counts == (0, 0, 0)
+        assert dp.makespan == 0.0
+
+
+class TestWeightedHeuristic:
+    @pytest.mark.parametrize("mode", ["count", "weight"])
+    def test_within_guarantee_of_dp(self, mode):
+        rng = np.random.default_rng(5)
+        w = rng.pareto(2.0, 60) + 0.2
+        prob = WeightedScatterProblem(procs3(), w, comm_mode=mode)
+        h = solve_weighted_heuristic(prob)
+        dp = solve_weighted_dp(prob)
+        assert dp.makespan <= h.makespan + 1e-12
+        assert h.makespan <= dp.makespan + h.info["guarantee_gap"] + 1e-9
+
+    def test_counts_partition(self):
+        rng = np.random.default_rng(6)
+        w = rng.uniform(0.5, 2.0, 100)
+        prob = WeightedScatterProblem(procs3(), w)
+        h = solve_weighted_heuristic(prob)
+        assert sum(h.counts) == 100
+        assert all(c >= 0 for c in h.counts)
+
+    def test_near_optimal_for_small_items(self):
+        """Many light items: the heuristic approaches the rational bound."""
+        rng = np.random.default_rng(7)
+        w = rng.uniform(0.9, 1.1, 3000)
+        prob = WeightedScatterProblem(procs3(), w)
+        h = solve_weighted_heuristic(prob)
+        assert h.makespan <= h.info["rational_T"] * 1.02
+
+    def test_rejects_affine(self):
+        procs = [
+            Processor.affine("a", 0.01, 1e-4, comp_intercept=0.1),
+            Processor.linear("root", 0.015, 0.0),
+        ]
+        prob = WeightedScatterProblem(procs, [1.0, 2.0])
+        with pytest.raises(ValueError, match="linear"):
+            solve_weighted_heuristic(prob)
+
+    def test_empty(self):
+        prob = WeightedScatterProblem(procs3(), [])
+        h = solve_weighted_heuristic(prob)
+        assert h.counts == (0, 0, 0)

@@ -1,0 +1,94 @@
+"""Tests for the scatter LP builder (system (3))."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Processor, ScatterProblem
+from repro.lp import build_scatter_lp, solve_simplex
+from repro.lp.model import affine_coefficients
+
+F = Fraction
+
+
+def affine_problem():
+    return ScatterProblem(
+        [
+            Processor.affine("a", 2.0, 0.5, comp_intercept=1.0, comm_intercept=0.25),
+            Processor.affine("b", 3.0, 0.75, comp_intercept=0.5),
+            Processor.linear("root", 1.0, 0.0),
+        ],
+        10,
+    )
+
+
+class TestAffineCoefficients:
+    def test_extraction(self):
+        alphas, a_icpt, betas, b_icpt = affine_coefficients(affine_problem())
+        assert alphas == [F(2), F(3), F(1)]
+        assert a_icpt == [F(1), F(1, 2), F(0)]
+        assert betas == [F(1, 2), F(3, 4), F(0)]
+        assert b_icpt == [F(1, 4), F(0), F(0)]
+
+    def test_rejects_tabulated(self):
+        from repro.core import TabulatedCost, ZeroCost
+
+        prob = ScatterProblem(
+            [Processor("t", ZeroCost(), TabulatedCost([0, 1]))], 1
+        )
+        with pytest.raises(ValueError, match="affine"):
+            affine_coefficients(prob)
+
+
+class TestBuildLp:
+    def test_dimensions(self):
+        lp = build_scatter_lp(affine_problem())
+        assert lp.num_vars == 4  # n1, n2, n3, T
+        assert len(lp.a_eq) == 1
+        assert len(lp.a_ub) == 3
+
+    def test_objective_is_T(self):
+        lp = build_scatter_lp(affine_problem())
+        assert lp.c == [F(0), F(0), F(0), F(1)]
+
+    def test_conservation_row(self):
+        lp = build_scatter_lp(affine_problem())
+        assert lp.a_eq[0] == [F(1), F(1), F(1), F(0)]
+        assert lp.b_eq[0] == 10
+
+    def test_constraint_rows_encode_eq1(self):
+        lp = build_scatter_lp(affine_problem())
+        # Row i: sum_{j<=i} beta_j n_j + alpha_i n_i - T <= -(sum b_j + a_i)
+        # Row 0: (beta_0 + alpha_0) n_0 - T <= -(b_0 + a_0)
+        assert lp.a_ub[0] == [F(1, 2) + 2, F(0), F(0), F(-1)]
+        assert lp.b_ub[0] == -(F(1, 4) + 1)
+        # Row 1: beta_0 n_0 + (beta_1 + alpha_1) n_1 - T
+        assert lp.a_ub[1] == [F(1, 2), F(3, 4) + 3, F(0), F(-1)]
+        assert lp.b_ub[1] == -(F(1, 4) + F(0) + F(1, 2))
+
+    def test_solution_satisfies_eq1(self):
+        prob = affine_problem()
+        lp = build_scatter_lp(prob)
+        res = solve_simplex(lp)
+        shares, t = res.x[:3], res.x[3]
+        assert sum(shares) == 10
+        # Recompute every constraint by hand at the optimum.
+        alphas, a_icpt, betas, b_icpt = affine_coefficients(prob)
+        elapsed = F(0)
+        for i in range(3):
+            elapsed += betas[i] * shares[i] + b_icpt[i]
+            assert elapsed + alphas[i] * shares[i] + a_icpt[i] <= t
+
+    def test_binding_at_optimum(self):
+        """At the optimum at least one finish-time constraint is tight."""
+        prob = affine_problem()
+        lp = build_scatter_lp(prob)
+        res = solve_simplex(lp)
+        shares, t = res.x[:3], res.x[3]
+        alphas, a_icpt, betas, b_icpt = affine_coefficients(prob)
+        finishes = []
+        elapsed = F(0)
+        for i in range(3):
+            elapsed += betas[i] * shares[i] + b_icpt[i]
+            finishes.append(elapsed + alphas[i] * shares[i] + a_icpt[i])
+        assert max(finishes) == t

@@ -1,0 +1,61 @@
+"""Tests for the rational linear-algebra helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lp import dot, fmat, format_fraction, fvec, is_zero_vector
+
+F = Fraction
+
+
+class TestFvec:
+    def test_conversion(self):
+        assert fvec([1, 0.5, F(1, 3)]) == [F(1), F(1, 2), F(1, 3)]
+
+    def test_empty(self):
+        assert fvec([]) == []
+
+
+class TestFmat:
+    def test_conversion(self):
+        m = fmat([[1, 2], [0.5, 0.25]])
+        assert m == [[F(1), F(2)], [F(1, 2), F(1, 4)]]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            fmat([[1, 2], [3]])
+
+    def test_empty(self):
+        assert fmat([]) == []
+
+
+class TestDot:
+    def test_exact(self):
+        assert dot([F(1, 3), F(1, 3), F(1, 3)], [F(1), F(1), F(1)]) == 1
+
+    def test_skips_zeros(self):
+        assert dot([F(0), F(2)], [F(5), F(3)]) == 6
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dot([F(1)], [F(1), F(2)])
+
+
+class TestUtilities:
+    def test_is_zero_vector(self):
+        assert is_zero_vector([F(0), F(0)])
+        assert not is_zero_vector([F(0), F(1)])
+        assert is_zero_vector([])
+
+    def test_format_integer(self):
+        assert format_fraction(F(7)) == "7"
+
+    def test_format_short_fraction(self):
+        assert format_fraction(F(1, 3)) == "1/3"
+
+    def test_format_long_fraction_decimal(self):
+        x = F(123456789, 987654321001)
+        out = format_fraction(x)
+        assert "/" not in out
+        assert float(out) == pytest.approx(float(x), rel=1e-3)

@@ -1,0 +1,188 @@
+"""Tests for the exact rational simplex solver."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.lp import (
+    LinearProgram,
+    SimplexError,
+    solve_simplex,
+    solve_with_scipy,
+)
+
+F = Fraction
+
+
+class TestBasics:
+    def test_simple_2d(self):
+        # max x+y s.t. x+2y<=4, 3x+y<=6  == min -(x+y)
+        lp = LinearProgram(
+            c=[F(-1), F(-1)],
+            a_ub=[[F(1), F(2)], [F(3), F(1)]],
+            b_ub=[F(4), F(6)],
+        )
+        res = solve_simplex(lp)
+        assert res.objective == F(-14, 5)
+        assert res.x == [F(8, 5), F(6, 5)]
+
+    def test_equality_constraint(self):
+        # min x + 2y s.t. x + y == 3
+        lp = LinearProgram(c=[F(1), F(2)], a_eq=[[F(1), F(1)]], b_eq=[F(3)])
+        res = solve_simplex(lp)
+        assert res.x == [F(3), F(0)]
+        assert res.objective == 3
+
+    def test_degenerate_vertex(self):
+        # Three constraints meeting at one point (degeneracy; Bland must
+        # terminate).
+        lp = LinearProgram(
+            c=[F(-1), F(-1)],
+            a_ub=[[F(1), F(0)], [F(0), F(1)], [F(1), F(1)]],
+            b_ub=[F(1), F(1), F(2)],
+        )
+        res = solve_simplex(lp)
+        assert res.objective == -2
+
+    def test_zero_objective(self):
+        lp = LinearProgram(c=[F(0)], a_ub=[[F(1)]], b_ub=[F(5)])
+        res = solve_simplex(lp)
+        assert res.objective == 0
+
+    def test_no_constraints_bounded(self):
+        lp = LinearProgram(c=[F(1), F(2)])
+        res = solve_simplex(lp)
+        assert res.x == [F(0), F(0)]
+
+    def test_no_constraints_unbounded(self):
+        lp = LinearProgram(c=[F(-1)])
+        with pytest.raises(SimplexError, match="unbounded"):
+            solve_simplex(lp)
+
+    def test_negative_rhs_handled(self):
+        # x >= 2 written as -x <= -2; min x -> 2.
+        lp = LinearProgram(c=[F(1)], a_ub=[[F(-1)]], b_ub=[F(-2)])
+        res = solve_simplex(lp)
+        assert res.x == [F(2)]
+
+
+class TestInfeasibleUnbounded:
+    def test_infeasible(self):
+        # x <= 1 and x >= 2
+        lp = LinearProgram(
+            c=[F(1)], a_ub=[[F(1)], [F(-1)]], b_ub=[F(1), F(-2)]
+        )
+        with pytest.raises(SimplexError, match="infeasible"):
+            solve_simplex(lp)
+
+    def test_unbounded_direction(self):
+        # min -x s.t. y <= 1 (x free to grow)
+        lp = LinearProgram(c=[F(-1), F(0)], a_ub=[[F(0), F(1)]], b_ub=[F(1)])
+        with pytest.raises(SimplexError, match="unbounded"):
+            solve_simplex(lp)
+
+    def test_infeasible_equalities(self):
+        lp = LinearProgram(
+            c=[F(1)], a_eq=[[F(1)], [F(1)]], b_eq=[F(1), F(2)]
+        )
+        with pytest.raises(SimplexError, match="infeasible"):
+            solve_simplex(lp)
+
+    def test_redundant_equalities_ok(self):
+        lp = LinearProgram(
+            c=[F(1), F(1)],
+            a_eq=[[F(1), F(1)], [F(2), F(2)]],
+            b_eq=[F(3), F(6)],
+        )
+        res = solve_simplex(lp)
+        assert res.objective == 3
+
+
+class TestValidation:
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProgram(c=[F(1)], a_ub=[[F(1), F(2)]], b_ub=[F(1)])
+
+    def test_rhs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProgram(c=[F(1)], a_ub=[[F(1)]], b_ub=[F(1), F(2)])
+
+    def test_coefficients_coerced_to_fractions(self):
+        lp = LinearProgram(c=[0.5], a_ub=[[1]], b_ub=[2])
+        assert isinstance(lp.c[0], Fraction)
+
+
+class TestAgainstScipy:
+    """Fuzz the exact solver against HiGHS on random feasible LPs."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_bounded_lps(self, seed):
+        rng = random.Random(seed)
+        nvars = rng.randint(1, 5)
+        nub = rng.randint(1, 5)
+        # Keep the region bounded: every variable capped.
+        a_ub = [[F(rng.randint(0, 4)) for _ in range(nvars)] for _ in range(nub)]
+        b_ub = [F(rng.randint(1, 20)) for _ in range(nub)]
+        for i in range(nvars):
+            row = [F(0)] * nvars
+            row[i] = F(1)
+            a_ub.append(row)
+            b_ub.append(F(rng.randint(1, 10)))
+        c = [F(rng.randint(-5, 5)) for _ in range(nvars)]
+        lp = LinearProgram(c=c, a_ub=a_ub, b_ub=b_ub)
+
+        exact = solve_simplex(lp)
+        approx = solve_with_scipy(lp)
+        obj_scipy = sum(float(ci) * xi for ci, xi in zip(c, approx))
+        assert float(exact.objective) == pytest.approx(obj_scipy, abs=1e-7)
+
+    def test_exactness_no_float_error(self):
+        # A problem whose solution is not float-representable.
+        lp = LinearProgram(
+            c=[F(-1)],
+            a_ub=[[F(3)]],
+            b_ub=[F(1)],
+        )
+        res = solve_simplex(lp)
+        assert res.x == [F(1, 3)]  # exactly one third
+
+
+class TestAntiCycling:
+    def test_beale_example(self):
+        """Beale's classic cycling example: Dantzig's rule cycles forever;
+        Bland's rule must terminate at the optimum (-1/20)."""
+        lp = LinearProgram(
+            c=[F(-3, 4), F(150), F(-1, 50), F(6)],
+            a_ub=[
+                [F(1, 4), F(-60), F(-1, 25), F(9)],
+                [F(1, 2), F(-90), F(-1, 50), F(3)],
+                [F(0), F(0), F(1), F(0)],
+            ],
+            b_ub=[F(0), F(0), F(1)],
+        )
+        res = solve_simplex(lp)
+        assert res.objective == F(-1, 20)
+
+    def test_highly_degenerate_transport(self):
+        """Many redundant tight constraints at the optimum."""
+        lp = LinearProgram(
+            c=[F(-1), F(-1), F(-1)],
+            a_ub=[
+                [F(1), F(0), F(0)],
+                [F(0), F(1), F(0)],
+                [F(0), F(0), F(1)],
+                [F(1), F(1), F(0)],
+                [F(0), F(1), F(1)],
+                [F(1), F(0), F(1)],
+                [F(1), F(1), F(1)],
+            ],
+            b_ub=[F(1)] * 3 + [F(2)] * 3 + [F(3)],
+        )
+        res = solve_simplex(lp)
+        assert res.objective == -3
+
+    def test_iteration_limit(self):
+        lp = LinearProgram(c=[F(-1)], a_ub=[[F(1)]], b_ub=[F(10)])
+        with pytest.raises(SimplexError, match="iterations"):
+            solve_simplex(lp, max_iterations=0)

@@ -1,0 +1,89 @@
+"""Tests for the in-simulation monitoring daemon."""
+
+import pytest
+
+from repro.core import uniform_counts
+from repro.monitor import LoadMonitor, MonitorDaemon, plan_with_monitor
+from repro.mpi import run_spmd
+from repro.simgrid import SpikeNoise
+from repro.tomo import run_seismic_app, seismic_program
+from repro.workloads import table1_platform, table1_rank_hosts
+
+
+def run_with_daemon(platform, n=20_000, period=5.0, monitor=None):
+    hosts = table1_rank_hosts()
+    monitor = monitor if monitor is not None else LoadMonitor()
+    daemon = MonitorDaemon(platform, monitor, period=period)
+    counts = list(uniform_counts(n, len(hosts)))
+    run = run_spmd(
+        platform,
+        hosts,
+        seismic_program,
+        range(n),
+        counts,
+        len(hosts) - 1,
+        None,
+        False,
+        None,
+        before_run=daemon.attach,
+    )
+    return run, daemon, monitor
+
+
+class TestMonitorDaemon:
+    def test_samples_cover_the_run(self):
+        plat = table1_platform()
+        run, daemon, monitor = run_with_daemon(plat, period=5.0)
+        # One sample at t=0 plus one per period until the app ends.
+        expected = int(run.duration // 5.0) + 1
+        assert daemon.samples_taken == pytest.approx(expected, abs=1)
+        assert len(monitor.history["dinadan"]) == daemon.samples_taken
+
+    def test_daemon_does_not_prolong_run(self):
+        plat = table1_platform()
+        bare = run_seismic_app(
+            plat, table1_rank_hosts(), uniform_counts(20_000, 16)
+        )
+        run, _, _ = run_with_daemon(plat)
+        assert run.duration == pytest.approx(bare.makespan)
+
+    def test_observes_mid_run_spike(self):
+        """A spike that begins mid-run is invisible to a pre-run sampler
+        but captured by the in-run daemon."""
+        plat = table1_platform()
+        run_probe, *_ = run_with_daemon(plat)
+        half = run_probe.duration / 2
+
+        spiked = table1_platform()
+        spiked.hosts["caseb"].noise = SpikeNoise("caseb", half, 1e12, slowdown=3.0)
+
+        _, _, monitor = run_with_daemon(spiked, period=run_probe.duration / 20)
+        loads = [obs.load for obs in monitor.history["caseb"]]
+        assert loads[0] == 1.0  # before the spike
+        assert 3.0 in loads  # captured after it began
+        assert monitor.forecast("caseb") > 1.0
+
+    def test_forecast_feeds_next_plan(self):
+        plat = table1_platform()
+        plat.hosts["sekhmet"].noise = SpikeNoise("sekhmet", 0.0, 1e12, slowdown=2.0)
+        _, _, monitor = run_with_daemon(plat)
+        hosts = table1_rank_hosts()
+        counts, _ = plan_with_monitor(plat, hosts, 20_000, monitor)
+        replanned = run_seismic_app(plat, hosts, counts)
+        stale = run_seismic_app(plat, hosts, uniform_counts(20_000, 16))
+        assert replanned.makespan < stale.makespan
+
+    def test_cannot_attach_twice(self):
+        def noop(ctx):
+            return None
+            yield  # pragma: no cover
+
+        plat = table1_platform()
+        daemon = MonitorDaemon(plat, LoadMonitor(), period=1.0)
+        run_spmd(plat, ["dinadan"], noop, before_run=daemon.attach)
+        with pytest.raises(RuntimeError, match="already attached"):
+            run_spmd(plat, ["dinadan"], noop, before_run=daemon.attach)
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            MonitorDaemon(table1_platform(), LoadMonitor(), period=0.0)

@@ -1,0 +1,138 @@
+"""Tests for the NWS-style forecasters."""
+
+import pytest
+
+from repro.monitor import (
+    AdaptiveBest,
+    ExponentialSmoothing,
+    LastValue,
+    RunningMean,
+    SlidingWindowMean,
+    SlidingWindowMedian,
+    default_portfolio,
+)
+
+
+class TestLastValue:
+    def test_prior_before_data(self):
+        assert LastValue().predict() == 1.0
+
+    def test_tracks_last(self):
+        f = LastValue()
+        for v in (1.0, 2.0, 5.0):
+            f.update(v)
+        assert f.predict() == 5.0
+
+    def test_reset(self):
+        f = LastValue()
+        f.update(3.0)
+        f.reset()
+        assert f.predict() == 1.0
+
+
+class TestRunningMean:
+    def test_mean(self):
+        f = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            f.update(v)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_prior(self):
+        assert RunningMean().predict() == 1.0
+
+
+class TestSlidingWindows:
+    def test_mean_window(self):
+        f = SlidingWindowMean(window=2)
+        for v in (10.0, 1.0, 3.0):
+            f.update(v)
+        assert f.predict() == pytest.approx(2.0)  # only last two
+
+    def test_median_robust_to_spike(self):
+        f = SlidingWindowMedian(window=5)
+        for v in (1.0, 1.0, 100.0, 1.0, 1.0):
+            f.update(v)
+        assert f.predict() == 1.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMean(window=0)
+
+
+class TestExponentialSmoothing:
+    def test_first_value_seeds_state(self):
+        f = ExponentialSmoothing(alpha=0.5)
+        f.update(4.0)
+        assert f.predict() == 4.0
+
+    def test_smoothing(self):
+        f = ExponentialSmoothing(alpha=0.5)
+        f.update(4.0)
+        f.update(0.0)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(alpha=1.5)
+
+
+class TestAdaptiveBest:
+    def test_constant_series_converges(self):
+        f = AdaptiveBest()
+        for _ in range(20):
+            f.update(1.5)
+        assert f.predict() == pytest.approx(1.5)
+
+    def test_picks_last_value_for_trending_series(self):
+        """On a monotone ramp, LAST beats long-memory forecasters."""
+        f = AdaptiveBest()
+        for i in range(50):
+            f.update(1.0 + 0.1 * i)
+        assert isinstance(f.best_member, LastValue)
+
+    def test_picks_robust_member_for_spiky_series(self):
+        """On a constant-with-outliers series the median-style members
+        accumulate less error than LAST."""
+        f = AdaptiveBest()
+        series = []
+        for i in range(60):
+            series.append(10.0 if i % 7 == 3 else 1.0)
+        for v in series:
+            f.update(v)
+        assert not isinstance(f.best_member, LastValue)
+        assert f.predict() < 3.0
+
+    def test_beats_worst_member(self):
+        """The portfolio's accumulated error tracks its best member."""
+        members = [LastValue(), RunningMean()]
+        portfolio = AdaptiveBest(members)
+        shadow_last, shadow_mean = LastValue(), RunningMean()
+        err_port = err_last = err_mean = 0.0
+        import math
+
+        for i in range(100):
+            v = 1.0 + math.sin(i / 3.0) * 0.5
+            err_port += (portfolio.predict() - v) ** 2
+            err_last += (shadow_last.predict() - v) ** 2
+            err_mean += (shadow_mean.predict() - v) ** 2
+            portfolio.update(v)
+            shadow_last.update(v)
+            shadow_mean.update(v)
+        assert err_port <= max(err_last, err_mean)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveBest([])
+
+    def test_reset(self):
+        f = AdaptiveBest()
+        for v in (2.0, 2.0, 2.0):
+            f.update(v)
+        f.reset()
+        assert f.predict() == 1.0
+
+    def test_default_portfolio_diverse(self):
+        kinds = {type(m) for m in default_portfolio()}
+        assert len(kinds) >= 4

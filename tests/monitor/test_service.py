@@ -1,0 +1,125 @@
+"""Tests for the load monitor and monitor-informed planning."""
+
+import pytest
+
+from repro.core import (
+    AffineCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    Processor,
+    ScatterProblem,
+    TabulatedCost,
+    ZeroCost,
+)
+from repro.monitor import LoadMonitor, plan_with_monitor, scale_cost
+from repro.simgrid import SpikeNoise
+from repro.tomo import plan_counts, run_seismic_app
+from repro.workloads import table1_platform, table1_rank_hosts
+
+
+class TestScaleCost:
+    def test_linear(self):
+        c = scale_cost(LinearCost(0.5), 2.0)
+        assert c(4) == pytest.approx(4.0)
+
+    def test_affine(self):
+        c = scale_cost(AffineCost(1.0, 3.0), 2.0)
+        assert c(1) == pytest.approx(8.0)
+        assert c(0) == 0.0  # zero_is_free preserved
+
+    def test_zero(self):
+        z = ZeroCost()
+        assert scale_cost(z, 5.0) is z
+
+    def test_factor_one_identity(self):
+        c = LinearCost(0.5)
+        assert scale_cost(c, 1.0) is c
+
+    def test_tabulated(self):
+        c = scale_cost(TabulatedCost([0.0, 1.0, 3.0]), 3.0)
+        assert c(2) == pytest.approx(9.0)
+
+    def test_piecewise(self):
+        c = scale_cost(PiecewiseLinearCost([(0, 0), (10, 5)]), 2.0)
+        assert c(10) == pytest.approx(10.0)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_cost(LinearCost(1.0), 0.0)
+
+
+class TestLoadMonitor:
+    def test_forecast_default_one(self):
+        assert LoadMonitor().forecast("unknown") == 1.0
+
+    def test_observe_and_forecast(self):
+        mon = LoadMonitor()
+        for t in range(10):
+            mon.observe("h", float(t), 1.4)
+        assert mon.forecast("h") == pytest.approx(1.4)
+
+    def test_rejects_nonpositive_load(self):
+        with pytest.raises(ValueError):
+            LoadMonitor().observe("h", 0.0, 0.0)
+
+    def test_rejects_out_of_order(self):
+        mon = LoadMonitor()
+        mon.observe("h", 5.0, 1.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            mon.observe("h", 4.0, 1.0)
+
+    def test_sample_platform_reads_noise(self):
+        plat = table1_platform()
+        plat.hosts["sekhmet"].noise = SpikeNoise("sekhmet", 0.0, 100.0, slowdown=2.0)
+        mon = LoadMonitor()
+        mon.sample_platform(plat, 10.0)
+        assert mon.history["sekhmet"][-1].load == 2.0
+        assert mon.history["caseb"][-1].load == 1.0
+
+    def test_scaled_problem(self):
+        prob = ScatterProblem(
+            [
+                Processor.linear("busy", 0.01, 1e-5),
+                Processor.linear("root", 0.01, 0.0),
+            ],
+            100,
+        )
+        mon = LoadMonitor()
+        for t in range(5):
+            mon.observe("busy", float(t), 2.0)
+        scaled = mon.scaled_problem(prob)
+        assert float(scaled.processors[0].alpha) == pytest.approx(0.02)
+        assert float(scaled.processors[1].alpha) == pytest.approx(0.01)
+        # Communication untouched.
+        assert scaled.processors[0].beta == prob.processors[0].beta
+
+
+class TestPlanWithMonitor:
+    def test_informed_plan_beats_stale_under_load(self):
+        hosts = table1_rank_hosts()
+        n = 50_000
+        loaded = table1_platform()
+        loaded.hosts["sekhmet"].noise = SpikeNoise("sekhmet", 0.0, 1e9, slowdown=2.0)
+
+        stale_counts = plan_counts(loaded, hosts, n)  # ignores the load
+        mon = LoadMonitor()
+        for t in range(0, 30, 5):
+            mon.sample_platform(loaded, float(t))
+        informed_counts, result = plan_with_monitor(loaded, hosts, n, mon)
+
+        stale = run_seismic_app(loaded, hosts, stale_counts)
+        informed = run_seismic_app(loaded, hosts, informed_counts)
+        assert informed.makespan < stale.makespan
+        assert informed.imbalance < stale.imbalance
+        # The loaded host's share shrinks.
+        assert (
+            dict(zip(hosts, informed_counts))["sekhmet"]
+            < dict(zip(hosts, stale_counts))["sekhmet"]
+        )
+
+    def test_no_observations_matches_static_plan(self):
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        informed, _ = plan_with_monitor(plat, hosts, 10_000, LoadMonitor())
+        static = plan_counts(plat, hosts, 10_000, algorithm="lp-heuristic")
+        assert informed == static

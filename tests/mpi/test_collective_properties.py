@@ -1,0 +1,129 @@
+"""Property-based tests for the collectives (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearCost
+from repro.mpi import run_spmd
+from repro.simgrid import Host, Link, Platform
+
+
+def uniform_platform(p):
+    plat = Platform("hyp-coll")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(0.001)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(1e-4))
+    return plat
+
+
+@st.composite
+def world(draw, max_p=8):
+    p = draw(st.integers(min_value=2, max_value=max_p))
+    root = draw(st.integers(min_value=0, max_value=p - 1))
+    return p, root
+
+
+@given(world(), st.integers(min_value=0, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_scatter_gather_roundtrip(w, n):
+    """scatterv(uniform) then gatherv reassembles the data exactly."""
+    p, root = w
+    plat = uniform_platform(p)
+    data = list(range(n))
+
+    def program(ctx):
+        chunk = yield from ctx.scatter(data if ctx.rank == root else None, root)
+        gathered = yield from ctx.gatherv(list(chunk), root)
+        return gathered
+
+    run = run_spmd(plat, plat.host_names, program)
+    reassembled = [x for part in run.results[root] for x in part]
+    assert reassembled == data
+
+
+@given(world(), st.sampled_from(["flat", "binomial"]))
+@settings(max_examples=40, deadline=None)
+def test_bcast_reaches_all(w, algorithm):
+    p, root = w
+    plat = uniform_platform(p)
+
+    def program(ctx):
+        msg = yield from ctx.bcast(
+            ("payload", root) if ctx.rank == root else None,
+            root,
+            items=7,
+            algorithm=algorithm,
+        )
+        return msg
+
+    run = run_spmd(plat, plat.host_names, program)
+    assert run.results == [("payload", root)] * p
+
+
+@given(world())
+@settings(max_examples=30, deadline=None)
+def test_bcast_binomial_never_slower_than_flat(w):
+    """On uniform links the binomial tree is at most as slow as flat."""
+    p, root = w
+    plat = uniform_platform(p)
+
+    def program(algorithm):
+        def body(ctx):
+            yield from ctx.bcast(
+                "x" if ctx.rank == root else None, root, items=500,
+                algorithm=algorithm,
+            )
+            return ctx.now
+
+        return body
+
+    flat = run_spmd(plat, plat.host_names, program("flat")).duration
+    binomial = run_spmd(plat, plat.host_names, program("binomial")).duration
+    assert binomial <= flat + 1e-12
+
+
+@given(world(), st.integers(min_value=0, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_scatterv_random_counts_deliver_correct_slices(w, n):
+    import random as _random
+
+    p, root = w
+    plat = uniform_platform(p)
+    rng = _random.Random(n * 31 + p)
+    counts = [0] * p
+    for _ in range(n):
+        counts[rng.randrange(p)] += 1
+    data = list(range(n))
+
+    def program(ctx):
+        chunk = yield from ctx.scatterv(
+            data if ctx.rank == root else None,
+            counts if ctx.rank == root else None,
+            root,
+        )
+        return list(chunk)
+
+    run = run_spmd(plat, plat.host_names, program)
+    # Slices are contiguous in rank order and cover the data.
+    flat = [x for part in run.results for x in part]
+    assert flat == data
+    assert [len(part) for part in run.results] == counts
+
+
+@given(world())
+@settings(max_examples=20, deadline=None)
+def test_barrier_synchronizes_all(w):
+    p, root = w
+    plat = uniform_platform(p)
+
+    def program(ctx):
+        yield from ctx.compute(ctx.rank * 10)
+        yield from ctx.barrier()
+        return ctx.now
+
+    run = run_spmd(plat, plat.host_names, program)
+    assert max(run.results) - min(run.results) < 1e-9

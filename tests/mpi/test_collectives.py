@@ -1,0 +1,228 @@
+"""Tests for scatter/scatterv/gatherv/bcast/barrier."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.mpi import MpiError, run_spmd
+from repro.simgrid import Host, Link, Platform
+
+
+def make_platform(n=4, alpha=0.01, betas=None):
+    plat = Platform("coll-test")
+    for i in range(n):
+        plat.add_host(Host(f"h{i}", LinearCost(alpha)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            beta = betas.get((u, v), 0.001) if betas else 0.001
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+
+class TestScatterv:
+    def test_chunks_delivered(self):
+        plat = make_platform()
+        data = list(range(10))
+        counts = [1, 2, 3, 4]
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv(
+                data if ctx.rank == 3 else None,
+                counts if ctx.rank == 3 else None,
+                root=3,
+            )
+            return list(chunk)
+
+        run = run_spmd(plat, HOSTS, program)
+        assert run.results == [[0], [1, 2], [3, 4, 5], [6, 7, 8, 9]]
+
+    def test_root_serves_in_rank_order(self):
+        """The stair: rank 0 finishes receiving before rank 1, etc."""
+        plat = make_platform()
+        data = list(range(300))
+        counts = [100, 100, 100, 0]
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv(
+                data if ctx.rank == 3 else None,
+                counts if ctx.rank == 3 else None,
+                root=3,
+            )
+            return (len(chunk), ctx.now)
+
+        run = run_spmd(plat, HOSTS, program)
+        times = [t for _, t in run.results[:3]]
+        assert times == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_zero_count_rank(self):
+        plat = make_platform()
+        data = list(range(5))
+        counts = [0, 5, 0, 0]
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv(
+                data if ctx.rank == 3 else None,
+                counts if ctx.rank == 3 else None,
+                root=3,
+            )
+            return len(chunk)
+
+        run = run_spmd(plat, HOSTS, program)
+        assert run.results == [0, 5, 0, 0]
+
+    def test_counts_validation(self):
+        plat = make_platform()
+
+        def bad_counts(counts):
+            def program(ctx):
+                yield from ctx.scatterv(
+                    list(range(10)) if ctx.rank == 3 else None,
+                    counts if ctx.rank == 3 else None,
+                    root=3,
+                )
+
+            return program
+
+        with pytest.raises(MpiError, match="entries"):
+            run_spmd(plat, HOSTS, bad_counts([1, 2]))
+        with pytest.raises(MpiError, match="negative"):
+            run_spmd(plat, HOSTS, bad_counts([-1, 5, 3, 3]))
+        with pytest.raises(MpiError, match="only"):
+            run_spmd(plat, HOSTS, bad_counts([10, 10, 10, 10]))
+
+    def test_root_must_provide_data(self):
+        plat = make_platform()
+
+        def program(ctx):
+            yield from ctx.scatterv(None, None, root=3)
+
+        with pytest.raises(MpiError, match="root must provide"):
+            run_spmd(plat, HOSTS, program)
+
+
+class TestScatter:
+    def test_uniform_split_with_remainder(self):
+        plat = make_platform()
+        data = list(range(10))  # 10 over 4 ranks -> 3,3,2,2
+
+        def program(ctx):
+            chunk = yield from ctx.scatter(data if ctx.rank == 0 else None, root=0)
+            return len(chunk)
+
+        run = run_spmd(plat, HOSTS, program)
+        assert run.results == [3, 3, 2, 2]
+
+    def test_all_data_delivered_once(self):
+        plat = make_platform()
+        data = list(range(12))
+
+        def program(ctx):
+            chunk = yield from ctx.scatter(data if ctx.rank == 2 else None, root=2)
+            return list(chunk)
+
+        run = run_spmd(plat, HOSTS, program)
+        flat = [x for chunk in run.results for x in chunk]
+        assert sorted(flat) == data
+
+
+class TestGatherv:
+    def test_root_collects_in_rank_order(self):
+        plat = make_platform()
+
+        def program(ctx):
+            out = yield from ctx.gatherv([ctx.rank] * (ctx.rank + 1), root=0)
+            return out
+
+        run = run_spmd(plat, HOSTS, program)
+        assert run.results[0] == [[0], [1, 1], [2, 2, 2], [3, 3, 3, 3]]
+        assert run.results[1] is None
+
+    def test_gather_timing_serializes_on_root_inport(self):
+        plat = make_platform()
+
+        def program(ctx):
+            yield from ctx.gatherv([0] * 100, root=0, items=100)
+            return ctx.now
+
+        run = run_spmd(plat, HOSTS, program)
+        # Three senders, 0.1 s each, serialized into root's single port.
+        assert run.duration == pytest.approx(0.3)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("algorithm", ["flat", "binomial"])
+    def test_payload_reaches_everyone(self, algorithm):
+        plat = make_platform(n=6)
+
+        def program(ctx):
+            msg = yield from ctx.bcast(
+                "hello" if ctx.rank == 2 else None, root=2, items=10,
+                algorithm=algorithm,
+            )
+            return msg
+
+        hosts = [f"h{i}" for i in range(6)]
+        run = run_spmd(plat, hosts, program)
+        assert run.results == ["hello"] * 6
+
+    def test_binomial_faster_than_flat_on_uniform_links(self):
+        plat = make_platform(n=8)
+        hosts = [f"h{i}" for i in range(8)]
+
+        def program(algorithm):
+            def body(ctx):
+                yield from ctx.bcast(
+                    "x" if ctx.rank == 0 else None, root=0, items=1000,
+                    algorithm=algorithm,
+                )
+                return ctx.now
+
+            return body
+
+        flat = run_spmd(plat, hosts, program("flat")).duration
+        binomial = run_spmd(plat, hosts, program("binomial")).duration
+        # Flat: 7 sequential sends = 7s.  Binomial: log2(8) = 3 rounds = 3s.
+        assert flat == pytest.approx(7.0)
+        assert binomial == pytest.approx(3.0)
+
+    def test_unknown_algorithm(self):
+        plat = make_platform()
+
+        def program(ctx):
+            yield from ctx.bcast("x", root=0, items=1, algorithm="quantum")
+
+        with pytest.raises(MpiError, match="unknown bcast"):
+            run_spmd(plat, HOSTS, program)
+
+    def test_nonzero_root_binomial(self):
+        plat = make_platform(n=5)
+
+        def program(ctx):
+            msg = yield from ctx.bcast(
+                ctx.rank if ctx.rank == 3 else None, root=3, items=1
+            )
+            return msg
+
+        hosts = [f"h{i}" for i in range(5)]
+        run = run_spmd(plat, hosts, program)
+        assert run.results == [3] * 5
+
+
+class TestBarrier:
+    def test_ranks_synchronize(self):
+        plat = make_platform()
+
+        def program(ctx):
+            # Rank k computes k*0.1s of work, then barriers.
+            yield from ctx.compute(10 * ctx.rank)
+            yield from ctx.barrier()
+            return ctx.now
+
+        run = run_spmd(plat, HOSTS, program)
+        # Everyone leaves the barrier at (or after) the slowest arrival.
+        slowest_work = 0.01 * 10 * 3
+        assert all(t >= slowest_work - 1e-12 for t in run.results)
+        assert max(run.results) - min(run.results) < 1e-9

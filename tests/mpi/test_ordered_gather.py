@@ -1,0 +1,134 @@
+"""Tests for the token-enforced ordered gather collective."""
+
+import pytest
+
+from repro.core import (
+    LinearCost,
+    fifo_order,
+    gather_finish_times,
+    gather_makespan,
+    solve_gather,
+)
+from repro.mpi import MpiError, run_spmd
+from repro.simgrid import Host, Link, Platform
+
+
+def make_platform(alphas, beta=1e-3):
+    plat = Platform("og-test")
+    for i, a in enumerate(alphas):
+        plat.add_host(Host(f"h{i}", LinearCost(a)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+def gather_program(counts, order, root):
+    def program(ctx):
+        yield from ctx.compute(counts[ctx.rank])
+        out = yield from ctx.gatherv_ordered(
+            ("results", ctx.rank), root, order, items=counts[ctx.rank]
+        )
+        return out if ctx.rank == root else ctx.now
+
+    return program
+
+
+class TestGathervOrdered:
+    def test_payloads_collected(self):
+        plat = make_platform([0.01, 0.01, 0.01])
+        run = run_spmd(
+            plat, plat.host_names, gather_program([5, 5, 5], [1, 0], root=2)
+        )
+        assert run.results[2] == [("results", 0), ("results", 1), ("results", 2)]
+
+    def test_simulation_matches_analytic_model(self):
+        """The simulated ordered gather lands on gather_finish_times."""
+        from repro.core import Processor, ScatterProblem
+
+        alphas = [0.004, 0.016, 0.009]
+        plat = make_platform(alphas)
+        counts = [40, 25, 35]
+        order = [1, 0]
+        run = run_spmd(
+            plat, plat.host_names, gather_program(counts, order, root=2)
+        )
+        prob = ScatterProblem(
+            [
+                Processor.linear("h0", alphas[0], 1e-3),
+                Processor.linear("h1", alphas[1], 1e-3),
+                Processor.linear("root", alphas[2], 0.0),
+            ],
+            100,
+        )
+        model = gather_finish_times(prob, counts, order)
+        # Non-root ranks return their send-completion time.
+        assert run.results[0] == pytest.approx(model[0], rel=1e-9)
+        assert run.results[1] == pytest.approx(model[1], rel=1e-9)
+        assert run.duration == pytest.approx(max(model), rel=1e-9)
+
+    def test_order_enforced_against_readiness(self):
+        """Even when rank 1 is ready first, order [0, 1] serves rank 0."""
+        plat = make_platform([0.1, 0.001, 0.001])  # rank 0 slow to compute
+        counts = [50, 50, 0]
+        run = run_spmd(
+            plat, plat.host_names, gather_program(counts, [0, 1], root=2)
+        )
+        # Rank 1's transfer must start after rank 0's completes.
+        tl0 = run.recorder.timeline("h0")
+        tl1 = run.recorder.timeline("h1")
+        send0 = [iv for iv in tl0.intervals if iv.state == "sending"][0]
+        send1 = [iv for iv in tl1.intervals if iv.state == "sending"][0]
+        assert send1.start >= send0.end - 1e-12
+
+    def test_bad_order_rejected(self):
+        plat = make_platform([0.01, 0.01, 0.01])
+        with pytest.raises(MpiError, match="permute"):
+            run_spmd(
+                plat, plat.host_names, gather_program([1, 1, 1], [0, 0], root=2)
+            )
+
+    def test_planned_gather_end_to_end(self):
+        """solve_gather's plan executed on the simulator hits its predicted
+        makespan."""
+        from repro.workloads import table1_platform, table1_rank_hosts
+
+        platform = table1_platform()
+        hosts = table1_rank_hosts()
+        n = 20_000
+        prob = platform.to_problem(n, hosts[-1], order=hosts[:-1])
+        plan = solve_gather(prob, order_policy=None)
+
+        counts = list(plan.counts)
+        order = list(plan.order)
+
+        def program(ctx):
+            yield from ctx.compute(counts[ctx.rank])
+            yield from ctx.gatherv_ordered(
+                None, ctx.size - 1, order, items=counts[ctx.rank]
+            )
+            return ctx.now
+
+        run = run_spmd(platform, hosts, program)
+        assert run.duration == pytest.approx(plan.makespan, rel=1e-9)
+
+    def test_fifo_vs_planned_order(self):
+        """The planned (reversed-scatter) order is never worse than FIFO
+        for the planned counts."""
+        from repro.core import Processor, ScatterProblem
+
+        prob = ScatterProblem(
+            [
+                Processor.linear("a", 0.01, 5e-3),
+                Processor.linear("b", 0.02, 1e-3),
+                Processor.linear("c", 0.005, 2e-3),
+                Processor.linear("root", 0.01, 0.0),
+            ],
+            200,
+        )
+        plan = solve_gather(prob)
+        fifo = gather_makespan(
+            plan.problem, plan.counts, fifo_order(plan.problem, plan.counts)
+        )
+        assert plan.makespan <= fifo + 1e-12

@@ -1,0 +1,182 @@
+"""Tests for point-to-point messaging and the SPMD runtime."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.mpi import MpiError, run_spmd, trace_labels
+from repro.simgrid import DeadlockError, Host, Link, Platform
+
+
+def make_platform(n=3, alpha=0.01, beta=0.001):
+    plat = Platform("mpi-test")
+    for i in range(n):
+        plat.add_host(Host(f"h{i}", LinearCost(alpha)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+class TestTraceLabels:
+    def test_unique_hosts_keep_names(self):
+        assert trace_labels(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_shared_host_gets_rank_suffix(self):
+        assert trace_labels(["a", "b", "a"]) == ["a[0]", "b", "a[2]"]
+
+
+class TestSendRecv:
+    def test_payload_and_timing(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, [1, 2, 3])
+                return None
+            elif ctx.rank == 1:
+                data = yield from ctx.recv(0)
+                return (data, ctx.now)
+            return None
+
+        run = run_spmd(plat, ["h0", "h1", "h2"], program)
+        data, when = run.results[1]
+        assert data == [1, 2, 3]
+        assert when == pytest.approx(0.003)  # 3 items at 0.001 s/item
+
+    def test_explicit_items(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, object(), items=100)
+            elif ctx.rank == 1:
+                tr = yield from ctx.recv_transfer(0)
+                return tr.items, ctx.now
+            return None
+
+        run = run_spmd(plat, ["h0", "h1", "h2"], program)
+        items, when = run.results[1]
+        assert items == 100
+        assert when == pytest.approx(0.1)
+
+    def test_unsized_payload_without_items(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, object())
+            elif ctx.rank == 1:
+                yield from ctx.recv(0)
+            return None
+
+        with pytest.raises(MpiError, match="items"):
+            run_spmd(plat, ["h0", "h1", "h2"], program)
+
+    def test_tags_separate_messages(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, ["tagged-5"], tag=5)
+                yield from ctx.send(1, ["tagged-9"], tag=9)
+            elif ctx.rank == 1:
+                late = yield from ctx.recv(0, tag=9)
+                early = yield from ctx.recv(0, tag=5)
+                return early, late
+            return None
+
+        run = run_spmd(plat, ["h0", "h1", "h2"], program)
+        assert run.results[1] == (["tagged-5"], ["tagged-9"])
+
+    def test_self_send_free(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(0, [1])
+                msg = yield from ctx.recv(0)
+                return msg, ctx.now
+            return None
+            yield  # pragma: no cover
+
+        run = run_spmd(plat, ["h0", "h1", "h2"], program)
+        # ranks 1, 2 return immediately; rank 0's self-send costs nothing.
+        assert run.results[0] == ([1], 0.0)
+
+    def test_bad_rank(self):
+        plat = make_platform()
+
+        def program(ctx):
+            yield from ctx.send(99, [1])
+
+        with pytest.raises(MpiError, match="out of range"):
+            run_spmd(plat, ["h0", "h1", "h2"], program)
+
+    def test_mismatched_recv_deadlocks(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield from ctx.recv(0)  # never sent
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(DeadlockError):
+            run_spmd(plat, ["h0", "h1", "h2"], program)
+
+
+class TestCompute:
+    def test_charges_host_rate(self):
+        plat = make_platform(alpha=0.5)
+
+        def program(ctx):
+            yield from ctx.compute(10)
+            return ctx.now
+
+        run = run_spmd(plat, ["h0", "h1"], program)
+        assert run.results == [pytest.approx(5.0)] * 2
+        assert run.duration == pytest.approx(5.0)
+
+
+class TestRuntime:
+    def test_unknown_host(self):
+        plat = make_platform()
+
+        def program(ctx):
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(MpiError, match="unknown host"):
+            run_spmd(plat, ["h0", "nope"], program)
+
+    def test_results_in_rank_order(self):
+        plat = make_platform()
+
+        def program(ctx):
+            return ctx.rank * 10
+            yield  # pragma: no cover
+
+        run = run_spmd(plat, ["h0", "h1", "h2"], program)
+        assert run.results == [0, 10, 20]
+
+    def test_extra_args_passed(self):
+        plat = make_platform()
+
+        def program(ctx, base, scale):
+            return base + scale * ctx.rank
+            yield  # pragma: no cover
+
+        run = run_spmd(plat, ["h0", "h1"], program, 100, 5)
+        assert run.results == [100, 105]
+
+    def test_rank_context_properties(self):
+        plat = make_platform()
+
+        def program(ctx):
+            return (ctx.size, ctx.host.name, ctx.name)
+            yield  # pragma: no cover
+
+        run = run_spmd(plat, ["h2", "h0"], program)
+        assert run.results[0] == (2, "h2", "h2")
+        assert run.results[1] == (2, "h0", "h0")

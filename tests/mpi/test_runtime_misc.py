@@ -1,0 +1,94 @@
+"""Coverage for runtime plumbing not exercised elsewhere."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.mpi import MpiError, MpiRun, run_spmd
+from repro.mpi.communicator import Communicator
+from repro.simgrid import Host, Link, Network, Platform, Simulator
+
+
+def plat2():
+    plat = Platform("rt")
+    plat.add_host(Host("x", LinearCost(0.01)))
+    plat.add_host(Host("y", LinearCost(0.02)))
+    plat.connect("x", "y", Link.linear(1e-3))
+    return plat
+
+
+class TestCommunicatorValidation:
+    def make_comm(self, **kwargs):
+        plat = plat2()
+        sim = Simulator()
+        net = Network(sim, plat)
+        hosts = [plat.hosts["x"], plat.hosts["y"]]
+        return Communicator(sim, net, hosts, **kwargs)
+
+    def test_empty_rejected(self):
+        plat = plat2()
+        sim = Simulator()
+        with pytest.raises(MpiError, match="at least one"):
+            Communicator(sim, Network(sim, plat), [])
+
+    def test_trace_names_length(self):
+        with pytest.raises(MpiError, match="length"):
+            self.make_comm(trace_names=["only-one"])
+
+    def test_trace_names_unique(self):
+        with pytest.raises(MpiError, match="unique"):
+            self.make_comm(trace_names=["same", "same"])
+
+    def test_mailboxes_cached(self):
+        comm = self.make_comm()
+        assert comm.mailbox(0, 1, 7) is comm.mailbox(0, 1, 7)
+        assert comm.mailbox(0, 1, 7) is not comm.mailbox(0, 1, 8)
+
+
+class TestMpiRunHelpers:
+    def run(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, [1, 2, 3])
+            else:
+                yield from ctx.recv(0)
+                yield from ctx.compute(100)
+            return ctx.rank
+
+        return run_spmd(plat2(), ["x", "y"], program)
+
+    def test_finish_and_comm_times(self):
+        run = self.run()
+        finish = run.finish_times()
+        comm = run.comm_times()
+        assert len(finish) == len(comm) == 2
+        assert comm[0] == pytest.approx(0.003)  # sender's wire time
+        assert comm[1] == pytest.approx(0.003)  # receiver's wire time
+        assert finish[1] == pytest.approx(0.003 + 2.0)
+
+    def test_rank_hosts_preserved(self):
+        run = self.run()
+        assert run.rank_hosts == ["x", "y"]
+        assert run.trace_names == ["x", "y"]
+
+    def test_duration_is_makespan(self):
+        run = self.run()
+        assert run.duration == pytest.approx(max(run.finish_times()))
+
+
+class TestRankContextHostOf:
+    def test_host_of_other_rank(self):
+        def program(ctx):
+            return ctx.host_of(1 - ctx.rank).name
+            yield  # pragma: no cover
+
+        run = run_spmd(plat2(), ["x", "y"], program)
+        assert run.results == ["y", "x"]
+
+    def test_host_of_bad_rank(self):
+        def program(ctx):
+            ctx.host_of(9)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(MpiError, match="out of range"):
+            run_spmd(plat2(), ["x", "y"], program)

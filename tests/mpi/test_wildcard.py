@@ -1,0 +1,79 @@
+"""Tests for the ANY_SOURCE wildcard channel."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.mpi import run_spmd
+from repro.mpi.communicator import ANY_SOURCE
+from repro.simgrid import DeadlockError, Host, Link, Platform
+
+
+def make_platform(n=4):
+    plat = Platform("wc-test")
+    for i in range(n):
+        plat.add_host(Host(f"h{i}", LinearCost(0.01)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(0.001))
+    return plat
+
+
+class TestWildcardChannel:
+    def test_receives_from_multiple_senders(self):
+        plat = make_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                seen = []
+                for _ in range(3):
+                    tr = yield from ctx.recv_any(tag=7)
+                    seen.append(tr.payload)
+                return sorted(seen)
+            yield from ctx.send(0, ctx.rank, items=1, tag=7, to_any=True)
+            return None
+
+        run = run_spmd(plat, [f"h{i}" for i in range(4)], program)
+        assert run.results[0] == [1, 2, 3]
+
+    def test_transfer_carries_source_host(self):
+        plat = make_platform(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                tr = yield from ctx.recv_any(tag=9)
+                return tr.src
+            yield from ctx.send(0, "hi", items=1, tag=9, to_any=True)
+            return None
+
+        run = run_spmd(plat, ["h0", "h1"], program)
+        assert run.results[0] == "h1"
+
+    def test_plain_send_does_not_match_recv_any(self):
+        plat = make_platform(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv_any(tag=5)  # never satisfied
+            else:
+                yield from ctx.send(0, "x", items=1, tag=5)  # exact channel
+            return None
+
+        with pytest.raises(DeadlockError):
+            run_spmd(plat, ["h0", "h1"], program)
+
+    def test_wildcard_send_does_not_match_exact_recv(self):
+        plat = make_platform(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(1, tag=5)  # exact channel
+            else:
+                yield from ctx.send(0, "x", items=1, tag=5, to_any=True)
+            return None
+
+        with pytest.raises(DeadlockError):
+            run_spmd(plat, ["h0", "h1"], program)
+
+    def test_any_source_constant(self):
+        assert ANY_SOURCE == -1

@@ -1,0 +1,97 @@
+"""Tests for shared inter-site backbones."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.simgrid import Host, Link, Network, Platform, Simulator
+
+
+def two_site_platform(capacity=None):
+    plat = Platform("sites")
+    for name, site in [("a1", "east"), ("a2", "east"), ("b1", "west"), ("b2", "west")]:
+        plat.add_host(Host(name, LinearCost(0.01), site=site))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(0.001))
+    if capacity is not None:
+        plat.add_backbone("east", "west", capacity)
+    return plat
+
+
+def run_two_cross_transfers(plat):
+    """Two disjoint cross-site transfers started simultaneously; returns
+    their completion times."""
+    sim = Simulator()
+    net = Network(sim, plat)
+    done = {}
+
+    def sender(src, dst):
+        mbox = sim.mailbox()
+        yield from net.send(src, dst, 100, None, mbox)  # 0.1 s each
+        done[src] = sim.now
+
+    sim.spawn("s1", sender("a1", "b1"))
+    sim.spawn("s2", sender("a2", "b2"))
+    sim.run()
+    return done
+
+
+class TestBackboneDeclaration:
+    def test_lookup(self):
+        plat = two_site_platform(capacity=2)
+        found = plat.backbone_between("a1", "b2")
+        assert found is not None and found[1] == 2
+
+    def test_intra_site_no_backbone(self):
+        plat = two_site_platform(capacity=1)
+        assert plat.backbone_between("a1", "a2") is None
+
+    def test_undeclared_pair(self):
+        plat = two_site_platform()
+        assert plat.backbone_between("a1", "b1") is None
+
+    def test_validation(self):
+        plat = two_site_platform()
+        with pytest.raises(ValueError):
+            plat.add_backbone("east", "east")
+        with pytest.raises(ValueError):
+            plat.add_backbone("east", "west", 0)
+
+    def test_serialization_roundtrip(self):
+        plat = two_site_platform(capacity=3)
+        restored = Platform.from_dict(plat.to_dict())
+        assert restored.backbone_between("a1", "b1")[1] == 3
+
+
+class TestBackboneContention:
+    def test_capacity_one_serializes(self):
+        done = run_two_cross_transfers(two_site_platform(capacity=1))
+        assert sorted(done.values()) == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+        ]
+
+    def test_capacity_two_parallel(self):
+        done = run_two_cross_transfers(two_site_platform(capacity=2))
+        assert list(done.values()) == [pytest.approx(0.1)] * 2
+
+    def test_no_backbone_parallel(self):
+        done = run_two_cross_transfers(two_site_platform())
+        assert list(done.values()) == [pytest.approx(0.1)] * 2
+
+    def test_intra_site_unaffected(self):
+        plat = two_site_platform(capacity=1)
+        sim = Simulator()
+        net = Network(sim, plat)
+        done = {}
+
+        def sender(src, dst):
+            mbox = sim.mailbox()
+            yield from net.send(src, dst, 100, None, mbox)
+            done[src] = sim.now
+
+        sim.spawn("s1", sender("a1", "a2"))
+        sim.spawn("s2", sender("b1", "b2"))
+        sim.run()
+        assert list(done.values()) == [pytest.approx(0.1)] * 2

@@ -1,0 +1,313 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simgrid import (
+    Acquire,
+    DeadlockError,
+    Get,
+    Hold,
+    Put,
+    Release,
+    Simulator,
+    WaitFor,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_creation_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        assert sim.run() == 5.0
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        ev = sim.schedule(1.0, log.append, "x")
+        sim.cancel(ev)
+        sim.run()
+        assert log == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+        sim.run()  # continue to completion
+        assert log == ["early", "late"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestProcesses:
+    def test_hold_advances_time(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            yield Hold(2.5)
+            marks.append(sim.now)
+            yield Hold(1.5)
+            marks.append(sim.now)
+
+        sim.spawn("p", proc())
+        sim.run()
+        assert marks == [2.5, 4.0]
+
+    def test_return_value_lands_in_done(self):
+        sim = Simulator()
+
+        def proc():
+            yield Hold(1.0)
+            return 42
+
+        p = sim.spawn("p", proc())
+        sim.run()
+        assert p.done.is_set
+        assert p.done.value == 42
+
+    def test_negative_hold_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Hold(-1.0)
+
+        sim.spawn("p", proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a primitive"
+
+        sim.spawn("p", proc())
+        with pytest.raises(TypeError, match="primitive"):
+            sim.run()
+
+    def test_waitfor_event(self):
+        sim = Simulator()
+        ev = None
+        got = []
+
+        def waiter():
+            value = yield WaitFor(ev)
+            got.append((sim.now, value))
+
+        def setter():
+            yield Hold(3.0)
+            ev.set("ping")
+
+        ev = sim.event("e")
+        sim.spawn("w", waiter())
+        sim.spawn("s", setter())
+        sim.run()
+        assert got == [(3.0, "ping")]
+
+    def test_waitfor_already_set(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.set("x")
+        got = []
+
+        def proc():
+            v = yield WaitFor(ev)
+            got.append(v)
+
+        sim.spawn("p", proc())
+        sim.run()
+        assert got == ["x"]
+
+    def test_event_set_twice_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.set()
+        with pytest.raises(RuntimeError, match="twice"):
+            ev.set()
+
+
+class TestResources:
+    def test_fifo_mutual_exclusion(self):
+        sim = Simulator()
+        res = sim.resource("r")
+        order = []
+
+        def worker(name, work):
+            yield Acquire(res)
+            order.append((name, sim.now))
+            yield Hold(work)
+            yield Release(res)
+
+        sim.spawn("a", worker("a", 2.0))
+        sim.spawn("b", worker("b", 3.0))
+        sim.spawn("c", worker("c", 1.0))
+        sim.run()
+        # FIFO: a at 0, b at 2, c at 5.
+        assert order == [("a", 0.0), ("b", 2.0), ("c", 5.0)]
+
+    def test_release_by_non_holder_rejected(self):
+        sim = Simulator()
+        res = sim.resource("r")
+
+        def holder():
+            yield Acquire(res)
+            yield Hold(10.0)
+            yield Release(res)
+
+        def thief():
+            yield Hold(1.0)
+            yield Release(res)
+
+        sim.spawn("h", holder())
+        sim.spawn("t", thief())
+        with pytest.raises(RuntimeError, match="released"):
+            sim.run()
+
+
+class TestMailboxes:
+    def test_put_then_get(self):
+        sim = Simulator()
+        mbox = sim.mailbox()
+        got = []
+
+        def producer():
+            yield Hold(1.0)
+            yield Put(mbox, "msg")
+
+        def consumer():
+            v = yield Get(mbox)
+            got.append((sim.now, v))
+
+        sim.spawn("p", producer())
+        sim.spawn("c", consumer())
+        sim.run()
+        assert got == [(1.0, "msg")]
+
+    def test_get_before_put_blocks(self):
+        sim = Simulator()
+        mbox = sim.mailbox()
+        got = []
+
+        def consumer():
+            v = yield Get(mbox)
+            got.append(sim.now)
+
+        def producer():
+            yield Hold(4.0)
+            yield Put(mbox, 1)
+
+        sim.spawn("c", consumer())
+        sim.spawn("p", producer())
+        sim.run()
+        assert got == [4.0]
+
+    def test_fifo_message_order(self):
+        sim = Simulator()
+        mbox = sim.mailbox()
+        got = []
+
+        def producer():
+            yield Put(mbox, 1)
+            yield Put(mbox, 2)
+            yield Put(mbox, 3)
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield Get(mbox)))
+
+        sim.spawn("p", producer())
+        sim.spawn("c", consumer())
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_len(self):
+        sim = Simulator()
+        mbox = sim.mailbox()
+
+        def producer():
+            yield Put(mbox, "a")
+
+        sim.spawn("p", producer())
+        sim.run()
+        assert len(mbox) == 1
+
+
+class TestDeadlockDetection:
+    def test_unmatched_get_deadlocks(self):
+        sim = Simulator()
+        mbox = sim.mailbox()
+
+        def consumer():
+            yield Get(mbox)
+
+        sim.spawn("starved", consumer())
+        with pytest.raises(DeadlockError, match="starved"):
+            sim.run()
+
+    def test_resource_hold_forever_deadlocks_waiter(self):
+        sim = Simulator()
+        res = sim.resource()
+
+        def hog():
+            yield Acquire(res)
+            # never releases, process ends while holding -> waiter starves
+
+        def waiter():
+            yield Hold(1.0)
+            yield Acquire(res)
+
+        sim.spawn("hog", hog())
+        sim.spawn("waiter", waiter())
+        with pytest.raises(DeadlockError, match="waiter"):
+            sim.run()
+
+    def test_run_until_does_not_raise(self):
+        sim = Simulator()
+        mbox = sim.mailbox()
+
+        def consumer():
+            yield Get(mbox)
+
+        sim.spawn("c", consumer())
+        sim.run(until=10.0)  # no deadlock error with a horizon

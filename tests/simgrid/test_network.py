@@ -1,0 +1,158 @@
+"""Tests for the single-port transfer machinery."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.simgrid import Host, Link, Network, Platform, Simulator, TraceRecorder
+
+
+def make_net():
+    plat = Platform("net-test")
+    for name in ("root", "w1", "w2"):
+        plat.add_host(Host(name, LinearCost(0.01)))
+    plat.connect("root", "w1", Link.linear(0.001))
+    plat.connect("root", "w2", Link.linear(0.002))
+    plat.connect("w1", "w2", Link.linear(0.004))
+    sim = Simulator()
+    net = Network(sim, plat, TraceRecorder())
+    return sim, net
+
+
+class TestSend:
+    def test_transfer_duration(self):
+        sim, net = make_net()
+        mbox = sim.mailbox()
+        done = {}
+
+        def sender():
+            yield from net.send("root", "w1", 100, "payload", mbox)
+            done["t"] = sim.now
+
+        sim.spawn("s", sender())
+        sim.run()
+        assert done["t"] == pytest.approx(0.1)
+
+    def test_transfer_metadata(self):
+        sim, net = make_net()
+        mbox = sim.mailbox()
+        out = {}
+
+        def sender():
+            yield from net.send("root", "w2", 50, {"k": 1}, mbox)
+
+        def receiver():
+            tr = yield from net.recv(mbox)
+            out["tr"] = tr
+
+        sim.spawn("s", sender())
+        sim.spawn("r", receiver())
+        sim.run()
+        tr = out["tr"]
+        assert tr.src == "root" and tr.dst == "w2"
+        assert tr.items == 50
+        assert tr.payload == {"k": 1}
+        assert tr.end - tr.start == pytest.approx(0.1)
+
+    def test_loopback_is_free(self):
+        sim, net = make_net()
+        mbox = sim.mailbox()
+
+        def sender():
+            yield from net.send("w1", "w1", 10_000, "x", mbox)
+
+        sim.spawn("s", sender())
+        assert sim.run() == 0.0
+        assert len(mbox) == 1
+
+    def test_single_port_serializes_sends(self):
+        """Two transfers out of the same source must not overlap: the
+        paper's stair effect."""
+        sim, net = make_net()
+        m1, m2 = sim.mailbox(), sim.mailbox()
+        log = []
+
+        def sender(dst, items, mbox):
+            yield from net.send("root", dst, items, None, mbox)
+            log.append((dst, sim.now))
+
+        sim.spawn("s1", sender("w1", 100, m1))  # 0.1 s
+        sim.spawn("s2", sender("w2", 100, m2))  # 0.2 s
+        sim.run()
+        assert dict(log) == {"w1": pytest.approx(0.1), "w2": pytest.approx(0.3)}
+
+    def test_different_sources_overlap(self):
+        sim, net = make_net()
+        m1, m2 = sim.mailbox(), sim.mailbox()
+        log = {}
+
+        def sender(src, dst, items, mbox):
+            yield from net.send(src, dst, items, None, mbox)
+            log[src] = sim.now
+
+        sim.spawn("s1", sender("root", "w1", 100, m1))
+        sim.spawn("s2", sender("w2", "w1", 100, m2))
+        sim.run()
+        # w2->w1 takes 0.4; root->w1 takes 0.1.  The destination's in-port
+        # serializes them: root first (spawned first), then w2.
+        assert log["root"] == pytest.approx(0.1)
+        assert log["w2"] == pytest.approx(0.5)
+
+    def test_negative_items_rejected(self):
+        sim, net = make_net()
+        mbox = sim.mailbox()
+
+        def sender():
+            yield from net.send("root", "w1", -1, None, mbox)
+
+        sim.spawn("s", sender())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_traces_recorded(self):
+        sim, net = make_net()
+        mbox = sim.mailbox()
+
+        def sender():
+            yield from net.send("root", "w1", 100, None, mbox)
+
+        sim.spawn("s", sender())
+        sim.run()
+        assert net.recorder.timeline("root").time_in("sending") == pytest.approx(0.1)
+        assert net.recorder.timeline("w1").time_in("receiving") == pytest.approx(0.1)
+
+    def test_trace_label_override(self):
+        sim, net = make_net()
+        mbox = sim.mailbox()
+
+        def sender():
+            yield from net.send(
+                "root", "w1", 100, None, mbox, src_trace="R", dst_trace="W"
+            )
+
+        sim.spawn("s", sender())
+        sim.run()
+        assert net.recorder.timeline("R").time_in("sending") == pytest.approx(0.1)
+        assert net.recorder.timeline("W").time_in("receiving") == pytest.approx(0.1)
+
+
+class TestCompute:
+    def test_duration_and_trace(self):
+        sim, net = make_net()
+        host = net.platform.hosts["w1"]
+
+        def worker():
+            yield from net.compute(host, 500)
+
+        sim.spawn("w", worker())
+        assert sim.run() == pytest.approx(5.0)
+        assert net.recorder.timeline("w1").time_in("computing") == pytest.approx(5.0)
+
+    def test_zero_items(self):
+        sim, net = make_net()
+        host = net.platform.hosts["w1"]
+
+        def worker():
+            yield from net.compute(host, 0)
+
+        sim.spawn("w", worker())
+        assert sim.run() == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the deterministic noise models."""
+
+import pytest
+
+from repro.simgrid import CompositeNoise, JitterNoise, NoNoise, SpikeNoise
+
+
+class TestNoNoise:
+    def test_identity(self):
+        m = NoNoise()
+        assert m.factor("any", 0.0) == 1.0
+        assert m.factor("other", 1e9) == 1.0
+
+
+class TestJitterNoise:
+    def test_deterministic(self):
+        a = JitterNoise(seed=1, amplitude=0.1)
+        b = JitterNoise(seed=1, amplitude=0.1)
+        assert a.factor("h", 42.0) == b.factor("h", 42.0)
+
+    def test_range(self):
+        m = JitterNoise(seed=2, amplitude=0.2)
+        for t in range(0, 1000, 37):
+            f = m.factor("host", float(t))
+            assert 1.0 <= f <= 1.2
+
+    def test_constant_within_bucket(self):
+        m = JitterNoise(seed=3, amplitude=0.1, bucket=60.0)
+        assert m.factor("h", 0.0) == m.factor("h", 59.9)
+
+    def test_varies_across_buckets(self):
+        m = JitterNoise(seed=3, amplitude=0.1, bucket=60.0)
+        factors = {m.factor("h", 60.0 * i) for i in range(20)}
+        assert len(factors) > 5
+
+    def test_varies_across_hosts(self):
+        m = JitterNoise(seed=3, amplitude=0.1)
+        assert m.factor("h1", 0.0) != m.factor("h2", 0.0)
+
+    def test_seed_changes_stream(self):
+        assert JitterNoise(seed=1).factor("h", 0.0) != JitterNoise(seed=2).factor(
+            "h", 0.0
+        )
+
+
+class TestSpikeNoise:
+    def test_inside_window(self):
+        m = SpikeNoise("sekhmet", 10.0, 20.0, slowdown=2.5)
+        assert m.factor("sekhmet", 15.0) == 2.5
+
+    def test_outside_window(self):
+        m = SpikeNoise("sekhmet", 10.0, 20.0, slowdown=2.5)
+        assert m.factor("sekhmet", 5.0) == 1.0
+        assert m.factor("sekhmet", 20.0) == 1.0  # half-open interval
+
+    def test_other_host_unaffected(self):
+        m = SpikeNoise("sekhmet", 10.0, 20.0)
+        assert m.factor("leda", 15.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpikeNoise("h", 5.0, 5.0)
+        with pytest.raises(ValueError):
+            SpikeNoise("h", 0.0, 1.0, slowdown=0.5)
+
+
+class TestCompositeNoise:
+    def test_product(self):
+        m = CompositeNoise(
+            [SpikeNoise("h", 0.0, 10.0, slowdown=2.0), SpikeNoise("h", 0.0, 5.0, slowdown=3.0)]
+        )
+        assert m.factor("h", 1.0) == 6.0
+        assert m.factor("h", 7.0) == 2.0
+        assert m.factor("h", 50.0) == 1.0
+
+    def test_empty_is_identity(self):
+        assert CompositeNoise([]).factor("h", 0.0) == 1.0

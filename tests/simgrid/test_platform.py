@@ -1,0 +1,193 @@
+"""Tests for platform descriptions and serialization."""
+
+import pytest
+
+from repro.core import AffineCost, LinearCost, PiecewiseLinearCost, TabulatedCost, ZeroCost
+from repro.simgrid import Host, Link, Platform, cost_from_dict, cost_to_dict
+
+
+def small_platform():
+    plat = Platform("test")
+    plat.add_host(Host("a", LinearCost(0.01), site="s1", machine="a"))
+    plat.add_host(Host("b1", LinearCost(0.02), site="s1", machine="b"))
+    plat.add_host(Host("b2", LinearCost(0.02), site="s1", machine="b"))
+    plat.add_host(Host("c", LinearCost(0.03), site="s2", machine="c"))
+    plat.connect("a", "b1", Link.linear(1e-5))
+    plat.connect("a", "b2", Link.linear(1e-5))
+    plat.connect("a", "c", Link.linear(5e-5))
+    return plat
+
+
+class TestConstruction:
+    def test_duplicate_host_rejected(self):
+        plat = Platform()
+        plat.add_host(Host("x", LinearCost(1)))
+        with pytest.raises(ValueError, match="duplicate"):
+            plat.add_host(Host("x", LinearCost(2)))
+
+    def test_connect_unknown_host(self):
+        plat = small_platform()
+        with pytest.raises(KeyError):
+            plat.connect("a", "nope", Link.linear(1e-5))
+
+    def test_host_names_order(self):
+        assert small_platform().host_names == ["a", "b1", "b2", "c"]
+
+
+class TestLinkResolution:
+    def test_explicit_link(self):
+        plat = small_platform()
+        assert float(plat.link("a", "c").beta) == pytest.approx(5e-5)
+
+    def test_symmetric_by_default(self):
+        plat = small_platform()
+        assert float(plat.link("c", "a").beta) == pytest.approx(5e-5)
+
+    def test_loopback_free(self):
+        plat = small_platform()
+        assert plat.link("a", "a").transfer_time(1000) == 0.0
+
+    def test_intra_machine_free(self):
+        plat = small_platform()
+        assert plat.link("b1", "b2").transfer_time(1000) == 0.0
+
+    def test_missing_link_without_default(self):
+        plat = small_platform()
+        with pytest.raises(KeyError, match="no link"):
+            plat.link("b1", "c")
+
+    def test_default_link_fallback(self):
+        plat = small_platform()
+        plat.default_link = Link.linear(9e-5)
+        assert float(plat.link("b1", "c").beta) == pytest.approx(9e-5)
+
+    def test_asymmetric_connect(self):
+        plat = small_platform()
+        plat.connect("b1", "c", Link.linear(1e-4), symmetric=False)
+        assert float(plat.link("b1", "c").beta) == pytest.approx(1e-4)
+        with pytest.raises(KeyError):
+            plat.link("c", "b1")
+
+
+class TestToProblem:
+    def test_root_last_with_zero_comm(self):
+        plat = small_platform()
+        prob = plat.to_problem(100, "a", order=None)
+        assert prob.root.name == "a"
+        assert isinstance(prob.root.comm, ZeroCost)
+        assert prob.p == 4
+
+    def test_explicit_order(self):
+        plat = small_platform()
+        prob = plat.to_problem(100, "a", order=["c", "b2", "b1"])
+        assert prob.names == ("c", "b2", "b1", "a")
+
+    def test_explicit_order_must_cover(self):
+        plat = small_platform()
+        with pytest.raises(ValueError, match="does not cover"):
+            plat.to_problem(100, "a", order=["c"])
+
+    def test_policy_order(self):
+        plat = small_platform()
+        plat.default_link = Link.linear(9e-5)  # covers b1/b2 <-> c
+        prob = plat.to_problem(100, "c", order="bandwidth-desc")
+        assert prob.root.name == "c"
+        # 'a' has the cheapest link to c (5e-5 vs the 9e-5 default).
+        assert prob.names[0] == "a"
+
+    def test_unknown_root(self):
+        with pytest.raises(KeyError):
+            small_platform().to_problem(10, "zzz")
+
+    def test_link_oracle(self):
+        plat = small_platform()
+        oracle = plat.link_oracle(["a", "c"])
+        assert float(oracle(0, 1).rate) == pytest.approx(5e-5)
+        assert oracle(0, 0)(100) == 0.0
+
+    def test_comp_costs(self):
+        plat = small_platform()
+        costs = plat.comp_costs(["c", "a"])
+        assert costs[0](1) == pytest.approx(0.03)
+        assert costs[1](1) == pytest.approx(0.01)
+
+
+class TestCostSerialization:
+    @pytest.mark.parametrize(
+        "cost",
+        [
+            ZeroCost(),
+            LinearCost(0.013),
+            AffineCost(0.01, 2.5),
+            AffineCost(0.01, 2.5, zero_is_free=False),
+            PiecewiseLinearCost([(0, 0), (10, 2), (50, 30)]),
+            TabulatedCost([0.0, 1.0, 4.0]),
+        ],
+    )
+    def test_roundtrip(self, cost):
+        restored = cost_from_dict(cost_to_dict(cost))
+        top = len(cost) - 1 if isinstance(cost, TabulatedCost) else 11
+        for x in range(0, top + 1, max(top // 4, 1)):
+            assert restored(x) == pytest.approx(cost(x))
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown cost type"):
+            cost_from_dict({"type": "mystery"})
+
+
+class TestPlatformSerialization:
+    def test_roundtrip_dict(self):
+        plat = small_platform()
+        restored = Platform.from_dict(plat.to_dict())
+        assert restored.host_names == plat.host_names
+        assert float(restored.link("a", "c").beta) == pytest.approx(5e-5)
+        assert restored.hosts["b1"].machine == "b"
+        assert restored.hosts["c"].site == "s2"
+
+    def test_roundtrip_file(self, tmp_path):
+        plat = small_platform()
+        path = tmp_path / "platform.json"
+        plat.save(str(path))
+        restored = Platform.load(str(path))
+        assert restored.name == "test"
+        assert restored.link("b1", "b2").transfer_time(10) == 0.0
+
+    def test_default_link_roundtrip(self):
+        plat = small_platform()
+        plat.default_link = Link.linear(7e-5)
+        restored = Platform.from_dict(plat.to_dict())
+        assert float(restored.default_link.beta) == pytest.approx(7e-5)
+
+
+class TestHostAndLink:
+    def test_host_linear(self):
+        h = Host.linear("x", 0.5)
+        assert h.compute_time(10) == pytest.approx(5.0)
+
+    def test_host_negative_items(self):
+        with pytest.raises(ValueError):
+            Host.linear("x", 0.5).compute_time(-1)
+
+    def test_host_noise_applied(self):
+        from repro.simgrid import SpikeNoise
+
+        h = Host("x", LinearCost(1.0), noise=SpikeNoise("x", 0.0, 10.0, slowdown=3.0))
+        assert h.compute_time(2, at=5.0) == pytest.approx(6.0)
+        assert h.compute_time(2, at=20.0) == pytest.approx(2.0)
+
+    def test_link_from_bandwidth(self):
+        l = Link.from_bandwidth(1000.0)
+        assert l.transfer_time(500) == pytest.approx(0.5)
+
+    def test_link_from_bandwidth_latency(self):
+        l = Link.from_bandwidth(1000.0, latency=0.1)
+        assert l.transfer_time(500) == pytest.approx(0.6)
+        assert l.transfer_time(0) == 0.0
+
+    def test_link_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link.from_bandwidth(0.0)
+
+    def test_link_negative_items(self):
+        with pytest.raises(ValueError):
+            Link.linear(1e-5).transfer_time(-5)

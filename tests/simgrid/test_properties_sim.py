@@ -1,0 +1,130 @@
+"""Property-based tests on simulator invariants (hypothesis).
+
+Random platforms + random scatter/compute programs, asserting structural
+properties that must hold for *any* run: single-port non-overlap, stair
+monotonicity, agreement with the analytic Eq. 1 model, and conservation of
+scattered items.
+"""
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearCost, uniform_counts
+from repro.mpi import run_spmd
+from repro.simgrid import Host, Link, Platform
+
+
+@st.composite
+def platforms(draw, max_hosts=6):
+    p = draw(st.integers(min_value=2, max_value=max_hosts))
+    alphas = [
+        draw(st.floats(min_value=1e-4, max_value=0.1, allow_nan=False))
+        for _ in range(p)
+    ]
+    betas = {}
+    plat = Platform("hyp")
+    for i, a in enumerate(alphas):
+        plat.add_host(Host(f"h{i}", LinearCost(a)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            beta = draw(st.floats(min_value=1e-6, max_value=1e-2, allow_nan=False))
+            plat.connect(u, v, Link.linear(beta))
+            betas[(u, v)] = beta
+    return plat
+
+
+@st.composite
+def scatter_cases(draw):
+    plat = draw(platforms())
+    p = len(plat.host_names)
+    n = draw(st.integers(min_value=0, max_value=500))
+    # A random (possibly very unbalanced) distribution.
+    counts = list(uniform_counts(n, p))
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        i = draw(st.integers(min_value=0, max_value=p - 1))
+        j = draw(st.integers(min_value=0, max_value=p - 1))
+        move = min(counts[i], draw(st.integers(min_value=0, max_value=50)))
+        counts[i] -= move
+        counts[j] += move
+    return plat, counts
+
+
+def scatter_program(ctx, counts: List[int], root: int):
+    data = range(sum(counts))
+    chunk = yield from ctx.scatterv(
+        data if ctx.rank == root else None,
+        counts if ctx.rank == root else None,
+        root,
+    )
+    yield from ctx.compute(len(chunk))
+    return (chunk.start if isinstance(chunk, range) else None, len(chunk))
+
+
+@given(scatter_cases())
+@settings(max_examples=40, deadline=None)
+def test_scatter_conserves_items(case):
+    plat, counts = case
+    hosts = plat.host_names
+    run = run_spmd(plat, hosts, scatter_program, counts, len(hosts) - 1)
+    assert sum(length for _, length in run.results) == sum(counts)
+
+
+@given(scatter_cases())
+@settings(max_examples=40, deadline=None)
+def test_simulation_matches_analytic_model(case):
+    """The simulated scatter+compute lands exactly on Eq. 1."""
+    plat, counts = case
+    hosts = plat.host_names
+    root = hosts[-1]
+    run = run_spmd(plat, hosts, scatter_program, counts, len(hosts) - 1)
+    problem = plat.to_problem(sum(counts), root, order=hosts[:-1])
+    model = problem.finish_times(counts)
+    for label, c, model_t in zip(run.trace_names, counts, model):
+        if c == 0:
+            continue  # idle ranks have no trace activity
+        sim_t = run.recorder.timeline(label).finish_time
+        assert sim_t == pytest.approx(model_t, rel=1e-9, abs=1e-12)
+
+
+@given(scatter_cases())
+@settings(max_examples=40, deadline=None)
+def test_single_port_never_overlaps(case):
+    """No two 'sending' intervals of the root may overlap (§2.3)."""
+    plat, counts = case
+    hosts = plat.host_names
+    run = run_spmd(plat, hosts, scatter_program, counts, len(hosts) - 1)
+    root_tl = run.recorder.timeline(hosts[-1])
+    sends = sorted(
+        (iv.start, iv.end) for iv in root_tl.intervals if iv.state == "sending"
+    )
+    for (s1, e1), (s2, e2) in zip(sends, sends[1:]):
+        assert e1 <= s2 + 1e-12
+
+
+@given(scatter_cases())
+@settings(max_examples=40, deadline=None)
+def test_stair_is_monotone(case):
+    """Receive-end times follow rank order (the Fig. 1 stair)."""
+    plat, counts = case
+    hosts = plat.host_names
+    run = run_spmd(plat, hosts, scatter_program, counts, len(hosts) - 1)
+    ends = [
+        run.recorder.timeline(h).receive_end
+        for h, c in zip(hosts[:-1], counts[:-1])
+        if c > 0 and run.recorder.timeline(h).receive_end is not None
+    ]
+    assert ends == sorted(ends)
+
+
+@given(scatter_cases())
+@settings(max_examples=30, deadline=None)
+def test_makespan_equals_max_finish(case):
+    plat, counts = case
+    hosts = plat.host_names
+    run = run_spmd(plat, hosts, scatter_program, counts, len(hosts) - 1)
+    finishes = [run.recorder.timeline(h).finish_time for h in run.trace_names]
+    assert run.duration == pytest.approx(max(finishes), rel=1e-12, abs=1e-12)

@@ -1,0 +1,137 @@
+"""Tests for timelines and stair-effect metrics."""
+
+import pytest
+
+from repro.simgrid import Interval, Timeline, TraceRecorder
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval("computing", 1.0, 3.5).duration == 2.5
+
+    def test_unknown_state(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            Interval("sleeping", 0.0, 1.0)
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Interval("idle", 2.0, 1.0)
+
+    def test_zero_length_ok(self):
+        assert Interval("receiving", 1.0, 1.0).duration == 0.0
+
+
+class TestTimeline:
+    def make(self):
+        tl = Timeline("w")
+        tl.add("receiving", 1.0, 2.0)
+        tl.add("computing", 2.0, 10.0)
+        tl.add("sending", 10.0, 10.5)
+        return tl
+
+    def test_time_in(self):
+        tl = self.make()
+        assert tl.time_in("computing") == 8.0
+        assert tl.time_in("receiving") == 1.0
+        assert tl.time_in("idle") == 0.0
+
+    def test_finish_time(self):
+        assert self.make().finish_time == 10.5
+
+    def test_finish_time_empty(self):
+        assert Timeline("empty").finish_time == 0.0
+
+    def test_comm_time_sums_both_directions(self):
+        assert self.make().comm_time == 1.5
+
+    def test_first_receive_start(self):
+        assert self.make().first_receive_start == 1.0
+        assert Timeline("x").first_receive_start is None
+
+    def test_receive_end(self):
+        assert self.make().receive_end == 2.0
+
+    def test_state_at(self):
+        tl = self.make()
+        assert tl.state_at(0.5) == "idle"
+        assert tl.state_at(1.5) == "receiving"
+        assert tl.state_at(5.0) == "computing"
+        assert tl.state_at(10.2) == "sending"
+        assert tl.state_at(99.0) == "idle"
+
+
+class TestTraceRecorder:
+    def make(self):
+        rec = TraceRecorder()
+        rec.record("a", "receiving", 0.0, 1.0)
+        rec.record("a", "computing", 1.0, 5.0)
+        rec.record("b", "receiving", 1.0, 3.0)
+        rec.record("b", "computing", 3.0, 4.0)
+        return rec
+
+    def test_makespan(self):
+        assert self.make().makespan == 5.0
+
+    def test_finish_times_ordered(self):
+        rec = self.make()
+        assert rec.finish_times(["b", "a"]) == [4.0, 5.0]
+
+    def test_imbalance(self):
+        rec = self.make()
+        assert rec.imbalance(["a", "b"]) == pytest.approx((5.0 - 4.0) / 5.0)
+
+    def test_imbalance_empty(self):
+        assert TraceRecorder().imbalance([]) == 0.0
+
+    def test_stair_area(self):
+        rec = self.make()
+        # a starts receiving at 0, b at 1 -> area 1.
+        assert rec.stair_area(["a", "b"]) == 1.0
+
+    def test_stair_area_skips_non_receivers(self):
+        rec = self.make()
+        rec.record("root", "computing", 0.0, 2.0)
+        assert rec.stair_area(["a", "b", "root"]) == 1.0
+
+    def test_ascii_gantt_shape(self):
+        rec = self.make()
+        out = rec.ascii_gantt(["a", "b"], width=40)
+        lines = out.splitlines()
+        assert len(lines) == 4  # two rows + scale + legend
+        assert "#" in lines[0] and "r" in lines[1]
+
+    def test_ascii_gantt_empty(self):
+        out = TraceRecorder().ascii_gantt(["x"])
+        assert "no activity" in out
+
+    def test_summary_rows(self):
+        rec = self.make()
+        rows = rec.summary_rows(["a", "b"])
+        assert rows == [("a", 5.0, 1.0), ("b", 4.0, 2.0)]
+
+
+class TestTraceSerialization:
+    def make(self):
+        rec = TraceRecorder()
+        rec.record("a", "receiving", 0.0, 1.0)
+        rec.record("a", "computing", 1.0, 5.0)
+        rec.record("b", "sending", 0.5, 2.0)
+        return rec
+
+    def test_roundtrip_dict(self):
+        rec = self.make()
+        restored = TraceRecorder.from_dict(rec.to_dict())
+        assert restored.makespan == rec.makespan
+        assert restored.timeline("a").comm_time == rec.timeline("a").comm_time
+        assert len(restored.timeline("b").intervals) == 1
+
+    def test_roundtrip_file(self, tmp_path):
+        rec = self.make()
+        path = tmp_path / "trace.json"
+        rec.save(str(path))
+        restored = TraceRecorder.load(str(path))
+        assert restored.summary_rows(["a", "b"]) == rec.summary_rows(["a", "b"])
+
+    def test_empty(self):
+        restored = TraceRecorder.from_dict(TraceRecorder().to_dict())
+        assert restored.makespan == 0.0

@@ -1,0 +1,108 @@
+"""Determinism guarantees: identical inputs must give bit-identical runs.
+
+Everything in the stack is seeded or deterministic (event queue tie-break,
+hash-based jitter, seeded catalogs), so whole-pipeline reruns must agree
+exactly — the property that makes every number in EXPERIMENTS.md
+regenerable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import uniform_counts
+from repro.simgrid import CompositeNoise, JitterNoise, SpikeNoise
+from repro.tomo import generate_catalog, plan_counts, run_seismic_app
+from repro.workloads import table1_platform, table1_rank_hosts
+
+
+def noisy_platform(seed=11):
+    plat = table1_platform()
+    for host in plat.hosts.values():
+        host.noise = CompositeNoise(
+            [
+                JitterNoise(seed=seed, amplitude=0.07),
+                SpikeNoise("sekhmet", 10.0, 40.0, slowdown=1.3),
+            ]
+        )
+    return plat
+
+
+class TestRunDeterminism:
+    def test_identical_clean_runs(self):
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        counts = plan_counts(plat, hosts, 30_000)
+        a = run_seismic_app(plat, hosts, counts)
+        b = run_seismic_app(plat, hosts, counts)
+        assert a.makespan == b.makespan
+        assert a.finish_times == b.finish_times
+        assert a.run.recorder.to_dict() == b.run.recorder.to_dict()
+
+    def test_identical_noisy_runs(self):
+        hosts = table1_rank_hosts()
+        counts = list(uniform_counts(30_000, 16))
+        a = run_seismic_app(noisy_platform(), hosts, counts)
+        b = run_seismic_app(noisy_platform(), hosts, counts)
+        assert a.run.recorder.to_dict() == b.run.recorder.to_dict()
+
+    def test_noise_seed_changes_run(self):
+        hosts = table1_rank_hosts()
+        counts = list(uniform_counts(30_000, 16))
+        a = run_seismic_app(noisy_platform(seed=1), hosts, counts)
+        b = run_seismic_app(noisy_platform(seed=2), hosts, counts)
+        assert a.makespan != b.makespan
+
+    def test_noise_only_slows_down(self):
+        """Noise factors are >= 1, so every finish time moves later (or
+        stays) relative to the clean run."""
+        hosts = table1_rank_hosts()
+        counts = list(uniform_counts(30_000, 16))
+        clean = run_seismic_app(table1_platform(), hosts, counts)
+        noisy = run_seismic_app(noisy_platform(), hosts, counts)
+        for t_clean, t_noisy, c in zip(
+            clean.finish_times, noisy.finish_times, counts
+        ):
+            if c > 0:
+                assert t_noisy >= t_clean - 1e-9
+
+
+class TestSolverDeterminism:
+    def test_heuristic_is_pure(self):
+        from repro.core import solve_heuristic
+        from repro.workloads import table1_problem
+
+        prob = table1_problem(50_000)
+        assert solve_heuristic(prob).counts == solve_heuristic(prob).counts
+
+    def test_dp_is_pure(self):
+        from repro.core import solve_dp_optimized
+        from repro.workloads import table1_problem
+
+        prob = table1_problem(400)
+        assert solve_dp_optimized(prob).counts == solve_dp_optimized(prob).counts
+
+
+class TestDataDeterminism:
+    def test_catalog_bitwise_stable(self):
+        a = generate_catalog(5_000, seed=3)
+        b = generate_catalog(5_000, seed=3)
+        assert a.tobytes() == b.tobytes()
+
+    def test_tracer_tables_stable(self):
+        from repro.tomo import RayTracer
+
+        t1 = RayTracer(n_p=128, n_r=512, n_delta=128)
+        t2 = RayTracer(n_p=128, n_r=512, n_delta=128)
+        d = np.deg2rad(np.linspace(1, 150, 50))
+        np.testing.assert_array_equal(t1.travel_times(d), t2.travel_times(d))
+
+    def test_prefix_size_invariance(self):
+        """Travel times of the first k rays don't depend on the rest of the
+        batch (pure per-ray function)."""
+        from repro.tomo import RayTracer
+
+        tr = RayTracer(n_p=128, n_r=512, n_delta=128)
+        cat = generate_catalog(400, seed=9)
+        full = tr.trace_catalog(cat)
+        head = tr.trace_catalog(cat[:100])
+        np.testing.assert_array_equal(full[:100], head)

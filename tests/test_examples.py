@@ -1,0 +1,65 @@
+"""Every shipped example must run green (deliverable smoke tests).
+
+Each script is executed as a subprocess, exactly as a user would run it,
+with a small problem size where the script accepts one.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+CASES = [
+    ("quickstart.py", []),
+    ("seismic_tomography.py", ["2000"]),
+    ("ordering_and_root.py", []),
+    ("custom_platform.py", []),
+    ("adaptive_inversion.py", []),
+    ("ray_coverage.py", ["2000"]),
+    ("weighted_rays.py", ["4000"]),
+]
+
+
+def run_example(name, args):
+    path = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(name, args):
+    result = run_example(name, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_are_listed():
+    """A new example script must be added to CASES (and the README)."""
+    present = {
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    }
+    listed = {name for name, _ in CASES}
+    assert present == listed
+
+
+class TestExampleContent:
+    def test_quickstart_shows_speedup(self):
+        out = run_example("quickstart.py", []).stdout
+        assert "speedup" in out
+        assert "balanced" in out
+
+    def test_seismic_prints_all_three_figures(self):
+        out = run_example("seismic_tomography.py", ["1500"]).stdout
+        for fig in ("Fig. 2", "Fig. 3", "Fig. 4"):
+            assert fig in out
+
+    def test_weighted_shows_three_plans(self):
+        out = run_example("weighted_rays.py", ["3000"]).stdout
+        assert "count-balanced" in out and "weight-aware" in out

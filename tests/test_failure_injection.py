@@ -1,0 +1,189 @@
+"""Failure injection: broken inputs and crashing components must fail
+loudly, with actionable errors — never hang or silently corrupt."""
+
+import json
+
+import pytest
+
+from repro.core import LinearCost, Processor, ScatterProblem, TabulatedCost, ZeroCost
+from repro.mpi import run_spmd
+from repro.simgrid import DeadlockError, Host, Link, Platform
+
+
+def small_platform(n=3):
+    plat = Platform("fi")
+    for i in range(n):
+        plat.add_host(Host(f"h{i}", LinearCost(0.01)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(1e-3))
+    return plat
+
+
+class TestCrashingPrograms:
+    def test_exception_in_program_propagates(self):
+        plat = small_platform()
+
+        def program(ctx):
+            yield from ctx.compute(1)
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 crashed")
+            return ctx.rank
+
+        with pytest.raises(RuntimeError, match="rank 1 crashed"):
+            run_spmd(plat, plat.host_names, program)
+
+    def test_crashed_sender_starves_receiver(self):
+        """A crash before a matching send must surface, not hang."""
+        plat = small_platform()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                raise RuntimeError("died before sending")
+            elif ctx.rank == 1:
+                yield from ctx.recv(0)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="died before sending"):
+            run_spmd(plat, plat.host_names, program)
+
+    def test_partial_collective_deadlocks_loudly(self):
+        """One rank skipping a collective is detected as a deadlock that
+        names the stuck processes."""
+        plat = small_platform()
+
+        def program(ctx):
+            if ctx.rank == 2:
+                return "skipped the scatter"
+            chunk = yield from ctx.scatterv(None, None, root=2)
+            return chunk
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(plat, plat.host_names, program)
+        assert "h0" in str(err.value)
+
+    def test_crashing_cost_function_surfaces(self):
+        from repro.core import CallableCost
+
+        def bad(x):
+            if x > 5:
+                raise ArithmeticError("cost model exploded")
+            return float(x)
+
+        prob = ScatterProblem(
+            [
+                Processor("bad", ZeroCost(), CallableCost(bad, increasing=True)),
+                Processor.linear("root", 1.0, 0.0),
+            ],
+            10,
+        )
+        from repro.core import solve_dp_basic
+
+        with pytest.raises(ArithmeticError, match="exploded"):
+            solve_dp_basic(prob)
+
+
+class TestCorruptInputs:
+    def test_platform_load_corrupt_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            Platform.load(str(path))
+
+    def test_platform_load_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"name": "x", "hosts": [{"name": "h"}]}))
+        with pytest.raises(KeyError):
+            Platform.load(str(path))
+
+    def test_platform_bad_cost_type(self):
+        with pytest.raises(ValueError, match="unknown cost type"):
+            Platform.from_dict(
+                {
+                    "name": "x",
+                    "hosts": [
+                        {"name": "h", "comp_cost": {"type": "quantum"}}
+                    ],
+                    "links": [],
+                }
+            )
+
+    def test_table_too_short_for_problem(self):
+        prob = ScatterProblem(
+            [
+                Processor("short", ZeroCost(), TabulatedCost([0.0, 1.0])),
+                Processor.linear("root", 1.0, 0.0),
+            ],
+            10,
+        )
+        with pytest.raises((ValueError, IndexError)):
+            prob.check_valid()
+
+    def test_cli_rewrite_missing_file(self):
+        from repro.cli import main
+
+        with pytest.raises(FileNotFoundError):
+            main(["rewrite", "/nonexistent/app.c"])
+
+    def test_transform_malformed_source(self):
+        from repro.transform import TransformError, find_scatter_calls
+
+        with pytest.raises(TransformError):
+            find_scatter_calls("MPI_Scatter(a, b, c")  # unbalanced
+
+    def test_negative_weights_rejected_everywhere(self):
+        import numpy as np
+
+        from repro.core import WeightedScatterProblem
+        from repro.tomo import run_seismic_app
+        from repro.workloads import table1_platform, table1_rank_hosts
+
+        with pytest.raises(ValueError):
+            WeightedScatterProblem(
+                [Processor.linear("a", 1.0, 0.0)], np.array([1.0, -1.0])
+            )
+        # App-level: mismatched weight length.
+        plat = table1_platform()
+        hosts = table1_rank_hosts()
+        with pytest.raises(ValueError):
+            run_seismic_app(plat, hosts, [1] * 16, weights=np.ones(3))
+
+
+class TestNumericEdges:
+    def test_all_zero_cost_platform(self):
+        """Degenerate free processors must not divide by zero."""
+        prob = ScatterProblem(
+            [
+                Processor.linear("free", 0.0, 0.0),
+                Processor.linear("root", 0.0, 0.0),
+            ],
+            10,
+        )
+        from repro.core import solve_dp_optimized, solve_rational
+
+        dp = solve_dp_optimized(prob)
+        assert dp.makespan == 0.0
+        rat = solve_rational(prob)
+        assert rat.duration == 0
+
+    def test_huge_n_heuristic_stays_fast(self):
+        """The heuristic must not degrade with n (no hidden O(n) path)."""
+        import time
+
+        from repro.core import solve_heuristic
+        from repro.workloads import table1_problem
+
+        t0 = time.perf_counter()
+        res = solve_heuristic(table1_problem(10**9))
+        assert time.perf_counter() - t0 < 5.0
+        assert sum(res.counts) == 10**9
+
+    def test_single_item_many_processors(self):
+        from repro.core import plan_scatter
+        from repro.workloads import table1_problem
+
+        res = plan_scatter(table1_problem(1))
+        assert sum(res.counts) == 1
+        assert res.makespan > 0

@@ -1,0 +1,111 @@
+"""Tests for the parallel seismic application on the simulated grid."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearCost, uniform_counts
+from repro.simgrid import Host, Link, Platform
+from repro.tomo import RayTracer, generate_catalog, plan_counts, run_seismic_app
+
+
+def make_platform():
+    plat = Platform("app-test")
+    specs = [("fast", 0.002), ("slow", 0.01), ("root", 0.005)]
+    for name, alpha in specs:
+        plat.add_host(Host(name, LinearCost(alpha)))
+    plat.connect("root", "fast", Link.linear(1e-5))
+    plat.connect("root", "slow", Link.linear(5e-5))
+    plat.connect("fast", "slow", Link.linear(5e-5))
+    return plat
+
+
+HOSTS = ["fast", "slow", "root"]
+
+
+class TestPlanCounts:
+    def test_uniform(self):
+        plat = make_platform()
+        assert plan_counts(plat, HOSTS, 10, algorithm="uniform") == (4, 3, 3)
+
+    def test_balanced_gives_fast_more(self):
+        plat = make_platform()
+        counts = plan_counts(plat, HOSTS, 1000)
+        assert counts[0] > counts[1]
+        assert sum(counts) == 1000
+
+    def test_respects_rank_binding_order(self):
+        plat = make_platform()
+        a = plan_counts(plat, HOSTS, 500)
+        b = plan_counts(plat, ["slow", "fast", "root"], 500)
+        assert a[0] == pytest.approx(b[1], abs=2)
+
+
+class TestRunSeismicApp:
+    def test_balanced_beats_uniform(self):
+        plat = make_platform()
+        uni = run_seismic_app(plat, HOSTS, uniform_counts(1000, 3))
+        bal = run_seismic_app(plat, HOSTS, plan_counts(plat, HOSTS, 1000))
+        assert bal.makespan < uni.makespan
+        assert bal.imbalance < uni.imbalance
+
+    def test_makespan_matches_analytic_model(self):
+        """The simulated run must land exactly on Eq. 2 (no gather)."""
+        plat = make_platform()
+        counts = (400, 100, 500)
+        res = run_seismic_app(plat, HOSTS, counts)
+        problem = plat.to_problem(1000, "root", order=HOSTS[:-1])
+        assert res.makespan == pytest.approx(problem.makespan(list(counts)))
+        for sim_t, model_t in zip(res.finish_times, problem.finish_times(list(counts))):
+            assert sim_t == pytest.approx(model_t)
+
+    def test_counts_must_match_hosts(self):
+        plat = make_platform()
+        with pytest.raises(ValueError, match="same length"):
+            run_seismic_app(plat, HOSTS, (1, 2))
+
+    def test_catalog_size_checked(self):
+        plat = make_platform()
+        cat = generate_catalog(10, seed=1)
+        with pytest.raises(ValueError, match="rays"):
+            run_seismic_app(plat, HOSTS, (5, 5, 5), catalog=cat)
+
+    def test_tracer_requires_catalog(self):
+        plat = make_platform()
+        with pytest.raises(ValueError, match="catalog"):
+            run_seismic_app(plat, HOSTS, (1, 1, 1), tracer=RayTracer(n_p=64, n_r=256, n_delta=64))
+
+    def test_real_compute_produces_travel_times(self):
+        plat = make_platform()
+        cat = generate_catalog(30, seed=2)
+        tracer = RayTracer(n_p=128, n_r=512, n_delta=128)
+        res = run_seismic_app(
+            plat, HOSTS, (10, 10, 10), catalog=cat, tracer=tracer, gather=True
+        )
+        assert res.gathered is not None
+        all_times = np.concatenate([np.asarray(x) for x in res.gathered])
+        expected = tracer.trace_catalog(cat)
+        np.testing.assert_allclose(np.sort(all_times), np.sort(expected))
+
+    def test_gather_extends_duration(self):
+        plat = make_platform()
+        cat = generate_catalog(60, seed=3)
+        tracer = RayTracer(n_p=128, n_r=512, n_delta=128)
+        plain = run_seismic_app(plat, HOSTS, (20, 20, 20))
+        gathered = run_seismic_app(
+            plat, HOSTS, (20, 20, 20), catalog=cat, tracer=tracer, gather=True
+        )
+        assert gathered.makespan > plain.makespan
+
+    def test_zero_count_rank_stays_idle(self):
+        plat = make_platform()
+        res = run_seismic_app(plat, HOSTS, (0, 0, 100))
+        assert res.finish_times[0] == 0.0
+        assert res.comm_times[0] == 0.0
+
+    def test_weightless_standin_matches_catalog_timing(self):
+        plat = make_platform()
+        counts = (300, 200, 500)
+        cat = generate_catalog(1000, seed=4)
+        light = run_seismic_app(plat, HOSTS, counts)
+        heavy = run_seismic_app(plat, HOSTS, counts, catalog=cat)
+        assert light.makespan == pytest.approx(heavy.makespan)

@@ -1,0 +1,95 @@
+"""Tests for the synthetic seismic catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import (
+    CATALOG_DTYPE,
+    PAPER_CATALOG_SIZE,
+    generate_catalog,
+    generate_stations,
+)
+
+
+class TestStations:
+    def test_shape_and_ranges(self):
+        st = generate_stations(100, seed=1)
+        assert st.shape == (100, 2)
+        assert (np.abs(st[:, 0]) <= 85.0).all()
+        assert (np.abs(st[:, 1]) <= 180.0).all()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            generate_stations(50, seed=2), generate_stations(50, seed=2)
+        )
+
+    def test_northern_bias(self):
+        st = generate_stations(2000, seed=3)
+        assert st[:, 0].mean() > 10.0
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(ValueError):
+            generate_stations(0)
+
+
+class TestCatalog:
+    def test_dtype_and_size(self):
+        cat = generate_catalog(1000, seed=4)
+        assert cat.dtype == CATALOG_DTYPE
+        assert len(cat) == 1000
+
+    def test_paper_default_size(self):
+        assert PAPER_CATALOG_SIZE == 817_101
+
+    def test_deterministic(self):
+        a = generate_catalog(500, seed=5)
+        b = generate_catalog(500, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_content(self):
+        a = generate_catalog(500, seed=5)
+        b = generate_catalog(500, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_coordinate_ranges(self):
+        cat = generate_catalog(5000, seed=7)
+        assert (np.abs(cat["src_lat"]) <= 90.0).all()
+        assert (np.abs(cat["src_lon"]) <= 180.0).all()
+        assert (np.abs(cat["sta_lat"]) <= 90.0).all()
+
+    def test_depths_truncated_exponential(self):
+        cat = generate_catalog(20_000, seed=8)
+        d = cat["depth_km"]
+        assert (d >= 0).all() and (d <= 700.0).all()
+        assert 40.0 < d.mean() < 80.0  # mean ~60 km
+        assert (d < 70.0).mean() > 0.5  # shallow events dominate
+
+    def test_clustering_shows_structure(self):
+        """Belt epicenters concentrate: compare to a uniform sphere via a
+        coarse lat-lon histogram (clustered max bin much fuller)."""
+        cat = generate_catalog(30_000, seed=9, clustered_fraction=0.95)
+        H, *_ = np.histogram2d(cat["src_lat"], cat["src_lon"], bins=(18, 36))
+        uniform = generate_catalog(30_000, seed=9, clustered_fraction=0.0)
+        Hu, *_ = np.histogram2d(uniform["src_lat"], uniform["src_lon"], bins=(18, 36))
+        assert H.max() > 3 * Hu.max()
+
+    def test_stations_reused(self):
+        cat = generate_catalog(2000, seed=10)
+        unique = np.unique(np.stack([cat["sta_lat"], cat["sta_lon"]], axis=1), axis=0)
+        assert len(unique) <= 240  # default network size
+
+    def test_custom_stations(self):
+        st = np.array([[0.0, 0.0], [10.0, 10.0]])
+        cat = generate_catalog(100, seed=11, stations=st)
+        assert set(np.unique(cat["sta_lat"])) <= {0.0, 10.0}
+
+    def test_phase_all_p(self):
+        cat = generate_catalog(100, seed=12)
+        assert (cat["phase"] == 0).all()
+
+    def test_zero_size(self):
+        assert len(generate_catalog(0, seed=13)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_catalog(-1)

@@ -1,0 +1,90 @@
+"""Tests for the layered Earth model."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import Layer, LayeredEarth, simplified_iasp91
+from repro.tomo.geometry import EARTH_RADIUS_KM
+
+
+class TestLayer:
+    def test_velocity_interpolation(self):
+        l = Layer("x", 0.0, 100.0, 10.0, 20.0)
+        np.testing.assert_allclose(l.velocity(np.array([0.0, 50.0, 100.0])), [10, 15, 20])
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Layer("x", 100.0, 100.0, 1.0, 1.0)
+
+    def test_invalid_velocity(self):
+        with pytest.raises(ValueError):
+            Layer("x", 0.0, 1.0, -1.0, 1.0)
+
+
+class TestLayeredEarth:
+    def test_contiguity_enforced(self):
+        with pytest.raises(ValueError, match="gap"):
+            LayeredEarth(
+                [Layer("a", 0, 100, 5, 5), Layer("b", 150, 200, 5, 5)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredEarth([])
+
+    def test_layers_sorted(self):
+        earth = LayeredEarth(
+            [Layer("top", 100, 200, 5, 4), Layer("bottom", 0, 100, 7, 6)]
+        )
+        assert [l.name for l in earth.layers] == ["bottom", "top"]
+        assert earth.radius == 200.0
+
+    def test_velocity_continuous_inside_layers(self):
+        earth = simplified_iasp91()
+        r = np.linspace(3500, 5600, 500)  # inside the lower mantle
+        v = earth.velocity(r)
+        assert (np.abs(np.diff(v)) < 0.05).all()
+
+    def test_velocity_discontinuity_at_cmb(self):
+        earth = simplified_iasp91()
+        v_above = earth.velocity(np.array([3482.5]))[0]
+        v_below = earth.velocity(np.array([3481.5]))[0]
+        assert v_above - v_below > 3.0  # the CMB jump (13.66 vs 8.01)
+
+    def test_velocity_clipped_outside(self):
+        earth = simplified_iasp91()
+        assert earth.velocity(np.array([1e9]))[0] == pytest.approx(
+            earth.velocity(np.array([earth.radius]))[0]
+        )
+
+    def test_eta_is_r_over_v(self):
+        earth = simplified_iasp91()
+        r = np.array([5000.0])
+        assert earth.slowness_eta(r)[0] == pytest.approx(
+            5000.0 / earth.velocity(r)[0]
+        )
+
+    def test_sample_radii_monotone_and_covering(self):
+        earth = simplified_iasp91()
+        radii = earth.sample_radii(1024)
+        assert (np.diff(radii) > 0).all()
+        assert radii[0] == pytest.approx(0.0)
+        assert radii[-1] == pytest.approx(earth.radius)
+
+
+class TestSimplifiedIasp91:
+    def test_surface_radius(self):
+        assert simplified_iasp91().radius == pytest.approx(EARTH_RADIUS_KM)
+
+    def test_six_layers(self):
+        assert len(simplified_iasp91().layers) == 6
+
+    def test_crustal_velocity_realistic(self):
+        earth = simplified_iasp91()
+        v = earth.velocity(np.array([earth.radius - 1.0]))[0]
+        assert 5.5 < v < 7.0
+
+    def test_core_velocities_realistic(self):
+        earth = simplified_iasp91()
+        assert 10.5 < earth.velocity(np.array([600.0]))[0] < 11.5  # inner core
+        assert 8.0 <= earth.velocity(np.array([3000.0]))[0] < 10.5  # outer core

@@ -1,0 +1,61 @@
+"""Tests for the first-arrival tables (p and turning radius vs distance)."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import RayTracer
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return RayTracer(n_p=256, n_r=1024, n_delta=512)
+
+
+class TestFirstArrivalTables:
+    def test_shapes_consistent(self, tracer):
+        grid, t, p, r = tracer.first_arrival_tables()
+        assert grid.shape == t.shape == p.shape == r.shape
+
+    def test_cached_with_travel_time_curve(self, tracer):
+        grid1, t1 = tracer.travel_time_curve()
+        grid2, t2, *_ = tracer.first_arrival_tables()
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_ray_parameter_positive_at_teleseismic_range(self, tracer):
+        _, _, p, _ = tracer.first_arrival_tables()
+        grid = tracer.first_arrival_tables()[0]
+        mid = (grid > np.deg2rad(20)) & (grid < np.deg2rad(90))
+        assert (p[mid] > 0).all()
+
+    def test_turning_radius_within_earth(self, tracer):
+        _, _, _, r = tracer.first_arrival_tables()
+        assert (r >= 0).all()
+        assert (r <= tracer.earth.radius).all()
+
+    def test_deeper_turning_with_distance(self, tracer):
+        """Farther first arrivals bottom deeper (mantle branch trend)."""
+        d = np.deg2rad(np.array([10.0, 30.0, 60.0, 90.0]))
+        r = tracer.turning_radii(d)
+        assert r[0] > r[1] > r[2] > r[3]
+
+    def test_teleseismic_bottoms_in_lower_mantle(self, tracer):
+        r90 = tracer.turning_radii(np.deg2rad([90.0]))[0]
+        assert 3400.0 < r90 < 5000.0  # above the CMB, well below 660 km
+
+    def test_local_stays_in_upper_mantle(self, tracer):
+        r5 = tracer.turning_radii(np.deg2rad([5.0]))[0]
+        assert r5 > tracer.earth.radius - 700.0
+
+    def test_turning_radii_vectorized(self, tracer):
+        d = np.deg2rad(np.linspace(5, 100, 40))
+        batch = tracer.turning_radii(d)
+        singles = [tracer.turning_radii(np.array([x]))[0] for x in d]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_branch_turning_radius_increases_with_p(self, tracer):
+        """Shallower turning for more grazing rays, within the mantle."""
+        c = tracer.branch_curves()
+        mantle = c.turning_radius > 3600.0
+        r = c.turning_radius[mantle]
+        # p is ascending by construction; r must be non-decreasing in p.
+        assert (np.diff(r) >= -1e-9).all()

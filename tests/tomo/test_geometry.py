@@ -1,0 +1,74 @@
+"""Tests for the spherical geometry layer."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import (
+    EARTH_RADIUS_KM,
+    epicentral_distance,
+    epicentral_distance_deg,
+    latlon_to_unit_vectors,
+)
+
+
+class TestUnitVectors:
+    def test_north_pole(self):
+        v = latlon_to_unit_vectors(90.0, 0.0)
+        np.testing.assert_allclose(v, [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_equator_prime_meridian(self):
+        v = latlon_to_unit_vectors(0.0, 0.0)
+        np.testing.assert_allclose(v, [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_unit_norm_vectorized(self):
+        rng = np.random.default_rng(0)
+        lat = rng.uniform(-90, 90, 100)
+        lon = rng.uniform(-180, 180, 100)
+        v = latlon_to_unit_vectors(lat, lon)
+        assert v.shape == (100, 3)
+        np.testing.assert_allclose(np.linalg.norm(v, axis=1), 1.0, atol=1e-12)
+
+
+class TestEpicentralDistance:
+    def test_coincident_points(self):
+        assert epicentral_distance(12.0, 34.0, 12.0, 34.0) == pytest.approx(0.0)
+
+    def test_antipodal(self):
+        d = epicentral_distance(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(np.pi)
+
+    def test_quarter_circle(self):
+        d = epicentral_distance(0.0, 0.0, 90.0, 0.0)
+        assert d == pytest.approx(np.pi / 2)
+
+    def test_symmetry(self):
+        a = epicentral_distance(10.0, 20.0, -35.0, 140.0)
+        b = epicentral_distance(-35.0, 140.0, 10.0, 20.0)
+        assert a == pytest.approx(b)
+
+    def test_matches_dot_product_formula(self):
+        rng = np.random.default_rng(1)
+        lat1, lon1 = rng.uniform(-90, 90, 50), rng.uniform(-180, 180, 50)
+        lat2, lon2 = rng.uniform(-90, 90, 50), rng.uniform(-180, 180, 50)
+        hav = epicentral_distance(lat1, lon1, lat2, lon2)
+        v1 = latlon_to_unit_vectors(lat1, lon1)
+        v2 = latlon_to_unit_vectors(lat2, lon2)
+        dots = np.clip(np.sum(v1 * v2, axis=1), -1.0, 1.0)
+        np.testing.assert_allclose(hav, np.arccos(dots), atol=1e-9)
+
+    def test_degrees_variant(self):
+        assert epicentral_distance_deg(0.0, 0.0, 0.0, 90.0) == pytest.approx(90.0)
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        d = epicentral_distance(
+            rng.uniform(-90, 90, 200),
+            rng.uniform(-180, 180, 200),
+            rng.uniform(-90, 90, 200),
+            rng.uniform(-180, 180, 200),
+        )
+        assert (d >= 0).all() and (d <= np.pi + 1e-12).all()
+
+
+def test_earth_radius_constant():
+    assert EARTH_RADIUS_KM == pytest.approx(6371.0)

@@ -1,0 +1,145 @@
+"""Tests for the iterative tomographic inversion."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import (
+    RayTracer,
+    TomographicInversion,
+    run_parallel_inversion,
+    scale_earth,
+    simplified_iasp91,
+)
+
+GRIDS = (128, 512, 256)  # small tracer grids keep rounds cheap
+
+
+@pytest.fixture(scope="module")
+def synthetic_case():
+    """Hidden true model (mantle 5% fast) + observed times."""
+    ref = simplified_iasp91()
+    true_scales = [1.0, 1.0, 1.05, 1.05, 1.03, 1.0]
+    truth = RayTracer(scale_earth(ref, true_scales), n_p=GRIDS[0], n_r=GRIDS[1],
+                      n_delta=GRIDS[2])
+    rng = np.random.default_rng(11)
+    delta = rng.uniform(np.deg2rad(5), np.deg2rad(90), 1500)
+    observed = truth.travel_times(delta)
+    return ref, true_scales, delta, observed
+
+
+class TestScaleEarth:
+    def test_scales_velocities(self):
+        ref = simplified_iasp91()
+        scaled = scale_earth(ref, [2.0] * len(ref.layers))
+        r = np.array([5000.0])
+        assert scaled.velocity(r)[0] == pytest.approx(2 * ref.velocity(r)[0])
+
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            scale_earth(simplified_iasp91(), [1.0])
+
+    def test_positive_checked(self):
+        ref = simplified_iasp91()
+        with pytest.raises(ValueError):
+            scale_earth(ref, [0.0] * len(ref.layers))
+
+
+class TestSerialInversion:
+    def test_rms_decreases(self, synthetic_case):
+        ref, _, delta, observed = synthetic_case
+        inv = TomographicInversion(ref, delta, observed, damping=0.6,
+                                   tracer_grids=GRIDS)
+        hist = inv.run(rounds=4)
+        assert len(hist) == 4
+        assert hist[-1].rms_residual < 0.5 * hist[0].rms_residual
+
+    def test_recovers_mantle_scales(self, synthetic_case):
+        ref, true_scales, delta, observed = synthetic_case
+        inv = TomographicInversion(ref, delta, observed, damping=0.6,
+                                   tracer_grids=GRIDS)
+        inv.run(rounds=6)
+        # Layers 2 and 3 (lower mantle, transition zone) dominate the ray
+        # coverage; the inversion should land near their true 1.05.
+        assert inv.scales[2] == pytest.approx(true_scales[2], abs=0.02)
+        assert inv.scales[3] == pytest.approx(true_scales[3], abs=0.02)
+
+    def test_perfect_start_stays_put(self, synthetic_case):
+        ref, true_scales, delta, observed = synthetic_case
+        inv = TomographicInversion(ref, delta, observed, damping=0.5,
+                                   tracer_grids=GRIDS)
+        inv.scales = list(true_scales)
+        hist = inv.run(rounds=1)
+        assert hist[0].rms_residual < 1.0
+        for got, true in zip(inv.scales, true_scales):
+            assert got == pytest.approx(true, abs=0.01)
+
+    def test_input_validation(self):
+        ref = simplified_iasp91()
+        with pytest.raises(ValueError, match="shape"):
+            TomographicInversion(ref, np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError, match="damping"):
+            TomographicInversion(ref, np.zeros(3), np.zeros(3), damping=0.0)
+
+    def test_layer_statistics_partition(self, synthetic_case):
+        """Per-chunk statistics must sum to the whole-catalog statistics —
+        the property that makes the parallel version exact."""
+        ref, _, delta, observed = synthetic_case
+        inv = TomographicInversion(ref, delta, observed, tracer_grids=GRIDS)
+        tracer = inv.current_tracer()
+        whole = inv.layer_statistics(tracer, delta, observed)
+        half = len(delta) // 2
+        a = inv.layer_statistics(tracer, delta[:half], observed[:half])
+        b = inv.layer_statistics(tracer, delta[half:], observed[half:])
+        np.testing.assert_allclose(whole[0], a[0] + b[0])
+        np.testing.assert_array_equal(whole[1], a[1] + b[1])
+        assert whole[2] == pytest.approx(a[2] + b[2])
+
+
+class TestParallelInversion:
+    def test_matches_serial(self, synthetic_case):
+        """The SPMD inversion must produce the same scales as the serial
+        loop (scatter/gather/bcast move data but not the maths)."""
+        from repro.workloads import table1_platform, table1_rank_hosts
+
+        ref, _, delta, observed = synthetic_case
+        serial = TomographicInversion(ref, delta, observed, damping=0.6,
+                                      tracer_grids=GRIDS)
+        serial.run(rounds=2)
+
+        parallel = TomographicInversion(ref, delta, observed, damping=0.6,
+                                        tracer_grids=GRIDS)
+        platform = table1_platform()
+        hosts = table1_rank_hosts()
+        history, duration = run_parallel_inversion(platform, hosts, parallel, rounds=2)
+        assert duration > 0
+        assert len(history) == 2
+        np.testing.assert_allclose(parallel.scales, serial.scales, rtol=1e-12)
+
+    def test_balanced_counts_run_faster(self, synthetic_case):
+        from repro.tomo import plan_counts
+        from repro.workloads import table1_platform, table1_rank_hosts
+
+        ref, _, delta, observed = synthetic_case
+        platform = table1_platform()
+        hosts = table1_rank_hosts()
+
+        inv_u = TomographicInversion(ref, delta, observed, tracer_grids=GRIDS)
+        _, t_uniform = run_parallel_inversion(platform, hosts, inv_u, rounds=1)
+
+        inv_b = TomographicInversion(ref, delta, observed, tracer_grids=GRIDS)
+        balanced = plan_counts(platform, hosts, len(delta), algorithm="lp-heuristic")
+        _, t_balanced = run_parallel_inversion(
+            platform, hosts, inv_b, rounds=1, counts=balanced
+        )
+        assert t_balanced < t_uniform
+
+    def test_counts_validated(self, synthetic_case):
+        from repro.workloads import table1_platform, table1_rank_hosts
+
+        ref, _, delta, observed = synthetic_case
+        inv = TomographicInversion(ref, delta, observed, tracer_grids=GRIDS)
+        with pytest.raises(ValueError, match="sum"):
+            run_parallel_inversion(
+                table1_platform(), table1_rank_hosts(), inv, rounds=1,
+                counts=[1] * 16,
+            )

@@ -1,0 +1,135 @@
+"""Tests for the Earth mesh and ray-coverage accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import EarthMesh, RayTracer, coverage_by_depth, generate_catalog, ray_coverage
+from repro.tomo.mesh import _slerp
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    return RayTracer(n_p=192, n_r=768, n_delta=384)
+
+
+class TestEarthMesh:
+    def test_shape_and_count(self):
+        mesh = EarthMesh(n_lat=18, n_lon=36, n_depth=10)
+        assert mesh.shape == (10, 18, 36)
+        assert mesh.n_cells == 6480
+
+    def test_cell_indices_corners(self):
+        mesh = EarthMesh(n_lat=18, n_lon=36, n_depth=10, max_depth_km=1000.0)
+        i_dep, i_lat, i_lon = mesh.cell_indices(
+            np.array([-90.0, 90.0]), np.array([-180.0, 179.99]), np.array([0.0, 999.9])
+        )
+        assert i_lat.tolist() == [0, 17]
+        assert i_lon.tolist() == [0, 35]
+        assert i_dep.tolist() == [0, 9]
+
+    def test_longitude_wrap(self):
+        mesh = EarthMesh(n_lon=36)
+        _, _, a = mesh.cell_indices(np.array([0.0]), np.array([190.0]), np.array([0.0]))
+        _, _, b = mesh.cell_indices(np.array([0.0]), np.array([-170.0]), np.array([0.0]))
+        assert a == b
+
+    def test_depth_clipped(self):
+        mesh = EarthMesh(n_depth=5, max_depth_km=100.0)
+        i_dep, _, _ = mesh.cell_indices(np.array([0.0]), np.array([0.0]), np.array([500.0]))
+        assert i_dep[0] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarthMesh(n_lat=0)
+        with pytest.raises(ValueError):
+            EarthMesh(max_depth_km=0.0)
+
+    def test_depth_edges(self):
+        mesh = EarthMesh(n_depth=4, max_depth_km=400.0)
+        np.testing.assert_allclose(mesh.depth_edges(), [0, 100, 200, 300, 400])
+
+
+class TestSlerp:
+    def test_endpoints(self):
+        u = np.array([[1.0, 0.0, 0.0]])
+        v = np.array([[0.0, 1.0, 0.0]])
+        pts = _slerp(u, v, np.array([np.pi / 2]), np.array([0.0, 1.0]))
+        np.testing.assert_allclose(pts[0, 0], u[0], atol=1e-12)
+        np.testing.assert_allclose(pts[0, 1], v[0], atol=1e-12)
+
+    def test_midpoint_on_circle(self):
+        u = np.array([[1.0, 0.0, 0.0]])
+        v = np.array([[0.0, 1.0, 0.0]])
+        pts = _slerp(u, v, np.array([np.pi / 2]), np.array([0.5]))
+        np.testing.assert_allclose(pts[0, 0], [2**-0.5, 2**-0.5, 0.0], atol=1e-12)
+
+    def test_unit_norm(self):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(20, 3))
+        u /= np.linalg.norm(u, axis=1, keepdims=True)
+        v = rng.normal(size=(20, 3))
+        v /= np.linalg.norm(v, axis=1, keepdims=True)
+        delta = np.arccos(np.clip(np.sum(u * v, axis=1), -1, 1))
+        pts = _slerp(u, v, delta, np.linspace(0, 1, 7))
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=-1), 1.0, atol=1e-9)
+
+    def test_degenerate_pair(self):
+        u = np.array([[0.0, 0.0, 1.0]])
+        pts = _slerp(u, u.copy(), np.array([0.0]), np.array([0.3, 0.9]))
+        np.testing.assert_allclose(pts[0], [u[0], u[0]], atol=1e-9)
+
+
+class TestRayCoverage:
+    def test_sample_conservation(self, tracer):
+        cat = generate_catalog(800, seed=4)
+        mesh = EarthMesh(n_lat=12, n_lon=24, n_depth=6)
+        counts = ray_coverage(tracer, cat, mesh, points_per_ray=16)
+        assert counts.sum() == 800 * 16
+
+    def test_empty_catalog(self, tracer):
+        mesh = EarthMesh()
+        counts = ray_coverage(tracer, generate_catalog(0, seed=1), mesh)
+        assert counts.sum() == 0
+
+    def test_short_rays_stay_shallow(self, tracer):
+        """Local rays (2°) never reach the lower mantle."""
+        cat = generate_catalog(50, seed=5)
+        cat["src_lat"] = 0.0
+        cat["src_lon"] = np.linspace(0, 40, 50)
+        cat["sta_lat"] = 0.0
+        cat["sta_lon"] = cat["src_lon"] + 2.0
+        mesh = EarthMesh(n_depth=10, max_depth_km=2900.0)
+        counts = ray_coverage(tracer, cat, mesh, points_per_ray=16)
+        per_shell = counts.reshape(10, -1).sum(axis=1)
+        assert per_shell[0] > 0
+        assert per_shell[5:].sum() == 0
+
+    def test_teleseismic_rays_reach_depth(self, tracer):
+        cat = generate_catalog(20, seed=6)
+        cat["src_lat"] = 0.0
+        cat["src_lon"] = 0.0
+        cat["sta_lat"] = 0.0
+        cat["sta_lon"] = 85.0
+        mesh = EarthMesh(n_depth=10, max_depth_km=2900.0)
+        counts = ray_coverage(tracer, cat, mesh, points_per_ray=24)
+        per_shell = counts.reshape(10, -1).sum(axis=1)
+        assert per_shell[-3:].sum() > 0  # bottoms near the CMB
+
+    def test_validation(self, tracer):
+        with pytest.raises(ValueError):
+            ray_coverage(tracer, generate_catalog(1, seed=1), EarthMesh(),
+                         points_per_ray=1)
+
+
+class TestCoverageByDepth:
+    def test_fractions(self):
+        mesh = EarthMesh(n_lat=2, n_lon=2, n_depth=2)
+        counts = np.zeros(mesh.shape, dtype=np.int64)
+        counts[0, 0, 0] = 5
+        counts[0, 1, 1] = 1
+        frac = coverage_by_depth(counts, mesh)
+        np.testing.assert_allclose(frac, [0.5, 0.0])
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            coverage_by_depth(np.zeros((1, 1, 1)), EarthMesh())

@@ -1,0 +1,128 @@
+"""Tests for the ray tracer — sanity of the physics and of the fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import RayTracer, generate_catalog, simplified_iasp91
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    # Module-scoped: the curve construction is the expensive part.
+    return RayTracer(n_p=512, n_r=2048, n_delta=1024)
+
+
+class TestBranchCurves:
+    def test_cached(self, tracer):
+        assert tracer.branch_curves() is tracer.branch_curves()
+
+    def test_shapes(self, tracer):
+        c = tracer.branch_curves()
+        assert c.p.shape == c.delta.shape == c.time.shape == (512,)
+
+    def test_nonnegative(self, tracer):
+        c = tracer.branch_curves()
+        assert (c.delta >= 0).all()
+        assert (c.time >= 0).all()
+
+    def test_grazing_rays_stay_shallow_and_short(self, tracer):
+        """Largest p (near-surface turning): small distance, small time."""
+        c = tracer.branch_curves()
+        assert c.delta[-1] < 0.2
+        assert c.time[-1] < 300.0
+
+
+class TestTravelTimeCurve:
+    def test_monotone(self, tracer):
+        """First-arrival times never decrease with distance."""
+        grid, t = tracer.travel_time_curve()
+        assert (np.diff(t) >= 0).all()
+
+    def test_zero_at_zero(self, tracer):
+        grid, t = tracer.travel_time_curve()
+        assert t[0] == 0.0
+
+    def test_realistic_teleseismic_times(self, tracer):
+        """Published IASP91 P travel times: ~370 s at 30 deg, ~600 s at
+        60 deg.  The simplified model should be within ~10%."""
+        t30 = tracer.travel_times(np.deg2rad([30.0]))[0]
+        t60 = tracer.travel_times(np.deg2rad([60.0]))[0]
+        assert 330 < t30 < 410
+        assert 540 < t60 < 660
+
+    def test_local_distance_speed(self, tracer):
+        """At very short range the apparent velocity is crustal/upper-mantle
+        (6-9 km/s)."""
+        d = np.deg2rad(2.0)
+        t = tracer.travel_times(np.array([d]))[0]
+        surface_km = d * 6371.0
+        assert 5.0 < surface_km / t < 12.0
+
+
+class TestTravelTimes:
+    def test_vectorized_matches_scalar(self, tracer):
+        ds = np.deg2rad(np.array([10.0, 45.0, 90.0]))
+        batch = tracer.travel_times(ds)
+        singles = [tracer.travel_times(np.array([d]))[0] for d in ds]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_negative_distance_folded(self, tracer):
+        a = tracer.travel_times(np.array([0.5]))
+        b = tracer.travel_times(np.array([-0.5]))
+        np.testing.assert_allclose(a, b)
+
+    def test_depth_correction_reduces_time(self, tracer):
+        d = np.deg2rad([40.0])
+        shallow = tracer.travel_times(d)
+        deep = tracer.travel_times(d, depth_km=np.array([500.0]))
+        assert deep[0] < shallow[0]
+
+    def test_depth_correction_never_negative(self, tracer):
+        t = tracer.travel_times(np.array([0.001]), depth_km=np.array([700.0]))
+        assert t[0] >= 0.0
+
+
+class TestRayPath:
+    def test_path_starts_and_ends_at_surface(self, tracer):
+        eta_surface = 6371.0 / 5.8
+        delta, r = tracer.ray_path(p=eta_surface * 0.3)
+        assert r[0] == pytest.approx(r[-1], rel=1e-6)
+        assert r[0] > 6000.0
+
+    def test_path_symmetric(self, tracer):
+        delta, r = tracer.ray_path(p=300.0)
+        np.testing.assert_allclose(r, r[::-1], rtol=1e-9)
+
+    def test_turning_depth_increases_for_steeper_rays(self, tracer):
+        _, r_steep = tracer.ray_path(p=100.0)
+        _, r_grazing = tracer.ray_path(p=900.0)
+        assert r_steep.min() < r_grazing.min()
+
+    def test_delta_monotone_along_path(self, tracer):
+        delta, _ = tracer.ray_path(p=400.0)
+        assert (np.diff(delta) >= -1e-12).all()
+
+
+class TestTraceCatalog:
+    def test_catalog_tracing(self, tracer):
+        cat = generate_catalog(500, seed=5)
+        times = tracer.trace_catalog(cat)
+        assert times.shape == (500,)
+        assert (times >= 0).all()
+        assert times.max() < 1500.0  # nothing slower than antipodal P
+
+    def test_deterministic(self, tracer):
+        cat = generate_catalog(100, seed=6)
+        np.testing.assert_array_equal(
+            tracer.trace_catalog(cat), tracer.trace_catalog(cat)
+        )
+
+
+class TestValidation:
+    def test_grid_sizes_validated(self):
+        with pytest.raises(ValueError):
+            RayTracer(n_p=2)
+
+    def test_custom_earth_accepted(self):
+        t = RayTracer(simplified_iasp91(), n_p=64, n_r=256, n_delta=64)
+        assert t.travel_times(np.array([0.5]))[0] > 0

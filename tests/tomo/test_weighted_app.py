@@ -1,0 +1,86 @@
+"""Tests for weighted rays in the seismic application."""
+
+import numpy as np
+import pytest
+
+from repro.tomo import (
+    generate_catalog,
+    plan_counts,
+    plan_weighted_counts,
+    ray_weights,
+    run_seismic_app,
+)
+from repro.workloads import table1_platform, table1_rank_hosts
+
+
+@pytest.fixture(scope="module")
+def setup():
+    plat = table1_platform()
+    hosts = table1_rank_hosts()
+    cat = generate_catalog(8000, seed=21)
+    return plat, hosts, cat, ray_weights(cat)
+
+
+class TestRayWeights:
+    def test_normalized_mean(self, setup):
+        *_, w = setup
+        assert w.mean() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+    def test_distance_monotone(self):
+        """A farther ray must weigh more than a nearer one."""
+        cat = generate_catalog(2, seed=1)
+        cat["src_lat"], cat["src_lon"] = [0.0, 0.0], [0.0, 0.0]
+        cat["sta_lat"] = [0.0, 0.0]
+        cat["sta_lon"] = [5.0, 120.0]
+        w = ray_weights(cat)
+        assert w[1] > w[0]
+
+    def test_base_raises_floor(self):
+        cat = generate_catalog(100, seed=2)
+        heavy_base = ray_weights(cat, base=10.0)
+        light_base = ray_weights(cat, base=0.01)
+        assert heavy_base.std() < light_base.std()
+
+
+class TestWeightedApp:
+    def test_weight_aware_plan_beats_blind(self, setup):
+        plat, hosts, cat, w = setup
+        blind = run_seismic_app(
+            plat, hosts, plan_counts(plat, hosts, len(w)), weights=w
+        )
+        aware = run_seismic_app(
+            plat, hosts, plan_weighted_counts(plat, hosts, w), weights=w
+        )
+        assert aware.makespan <= blind.makespan
+        assert aware.imbalance < blind.imbalance
+
+    def test_weighted_run_matches_model(self, setup):
+        """Simulated finish times must equal the WeightedScatterProblem
+        evaluation (count-mode comm, weight-mode compute)."""
+        from repro.core import WeightedScatterProblem
+
+        plat, hosts, cat, w = setup
+        counts = plan_weighted_counts(plat, hosts, w)
+        res = run_seismic_app(plat, hosts, counts, weights=w)
+        base = plat.to_problem(len(w), hosts[-1], order=list(hosts[:-1]))
+        model = WeightedScatterProblem(base.processors, w, comm_mode="count")
+        for sim_t, model_t in zip(res.finish_times, model.finish_times(counts)):
+            assert sim_t == pytest.approx(model_t, rel=1e-9)
+
+    def test_weights_length_checked(self, setup):
+        plat, hosts, cat, w = setup
+        with pytest.raises(ValueError, match="weights"):
+            run_seismic_app(plat, hosts, plan_counts(plat, hosts, 100),
+                            weights=w[:50])
+
+    def test_dp_variant_accepted(self, setup):
+        plat, hosts, cat, w = setup
+        small = w[:300]
+        counts = plan_weighted_counts(plat, hosts, small, algorithm="dp")
+        assert sum(counts) == 300
+
+    def test_unknown_algorithm(self, setup):
+        plat, hosts, cat, w = setup
+        with pytest.raises(ValueError, match="unknown weighted"):
+            plan_weighted_counts(plat, hosts, w[:10], algorithm="magic")

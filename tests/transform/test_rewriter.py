@@ -1,0 +1,183 @@
+"""Tests for the MPI_Scatter -> MPI_Scatterv source rewriter."""
+
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.transform import (
+    RUNTIME_HELPER_NAME,
+    TransformError,
+    emit_runtime_helper,
+    find_scatter_calls,
+    rewrite_runtime,
+    rewrite_static,
+)
+
+SIMPLE = textwrap.dedent(
+    """
+    #include <mpi.h>
+    void run(float *raydata, float *rbuff, int n, int P) {
+        MPI_Scatter(raydata, n/P, MPI_FLOAT, rbuff, n/P, MPI_FLOAT,
+                    ROOT, MPI_COMM_WORLD);
+        compute_work(rbuff);
+    }
+    """
+)
+
+
+class TestFindScatterCalls:
+    def test_finds_single_call(self):
+        calls = find_scatter_calls(SIMPLE)
+        assert len(calls) == 1
+        call = calls[0]
+        assert call.sendbuf == "raydata"
+        assert call.args[1] == "n/P"
+        assert call.root == "ROOT"
+        assert call.comm == "MPI_COMM_WORLD"
+
+    def test_line_number(self):
+        assert find_scatter_calls(SIMPLE)[0].line == 4
+
+    def test_skips_comments(self):
+        src = "/* MPI_Scatter(a,b,c,d,e,f,g,h); */\n" + SIMPLE
+        assert len(find_scatter_calls(src)) == 1
+
+    def test_skips_line_comments(self):
+        src = "// MPI_Scatter(a,b,c,d,e,f,g,h);\n" + SIMPLE
+        assert len(find_scatter_calls(src)) == 1
+
+    def test_skips_strings(self):
+        src = 'const char *s = "MPI_Scatter(a,b,c,d,e,f,g,h);";\n' + SIMPLE
+        assert len(find_scatter_calls(src)) == 1
+
+    def test_nested_parens_in_args(self):
+        src = (
+            "void f(void){ MPI_Scatter((void*)(buf+off), count(x, y), T,"
+            " r, rc, T2, root(0), comm); }"
+        )
+        call = find_scatter_calls(src)[0]
+        assert call.sendbuf == "(void*)(buf+off)"
+        assert call.args[1] == "count(x, y)"
+        assert call.root == "root(0)"
+
+    def test_multiple_calls(self):
+        src = SIMPLE + SIMPLE.replace("run(", "run2(")
+        assert len(find_scatter_calls(src)) == 2
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TransformError, match="arguments"):
+            find_scatter_calls("void f(void){ MPI_Scatter(a, b); }")
+
+    def test_non_statement_rejected(self):
+        with pytest.raises(TransformError, match="statement"):
+            find_scatter_calls(
+                "int e = MPI_Scatter(a,b,c,d,e,f,g,h) + 1;"
+            )
+
+    def test_unterminated_comment(self):
+        with pytest.raises(TransformError, match="comment"):
+            find_scatter_calls("/* oops")
+
+    def test_no_calls(self):
+        assert find_scatter_calls("int main(void){return 0;}") == []
+
+
+class TestRewriteStatic:
+    def test_emits_scatterv(self):
+        out = rewrite_static(SIMPLE, [50, 30, 20])
+        assert "MPI_Scatterv(raydata" in out
+        assert "MPI_Scatter(raydata" not in out
+        assert "{50, 30, 20}" in out
+        assert "{0, 50, 80}" in out  # displacements: prefix sums
+
+    def test_recv_count_uses_rank(self):
+        out = rewrite_static(SIMPLE, [5, 5])
+        assert "repro_counts_[repro_rank_]" in out
+
+    def test_preserves_surroundings(self):
+        out = rewrite_static(SIMPLE, [1, 2, 3])
+        assert "compute_work(rbuff);" in out
+        assert "#include <mpi.h>" in out
+
+    def test_rewrites_every_call(self):
+        src = SIMPLE + SIMPLE.replace("run(", "run2(")
+        out = rewrite_static(src, [10, 10])
+        assert out.count("MPI_Scatterv") == 2
+        assert "MPI_Scatter(raydata" not in out
+
+    def test_no_call_errors(self):
+        with pytest.raises(TransformError, match="no MPI_Scatter"):
+            rewrite_static("int x;", [1])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(TransformError):
+            rewrite_static(SIMPLE, [-1, 2])
+
+
+class TestRewriteRuntime:
+    def test_emits_helper_and_call(self):
+        out = rewrite_runtime(SIMPLE)
+        assert RUNTIME_HELPER_NAME in out
+        assert "MPI_Scatterv(raydata" in out
+        assert "repro_alpha" in out and "repro_beta" in out
+
+    def test_helper_suppressed(self):
+        out = rewrite_runtime(SIMPLE, insert_helper=False)
+        assert "static void repro_compute_distribution" not in out
+        assert f"{RUNTIME_HELPER_NAME}(" in out  # call site remains
+
+    def test_custom_expressions(self):
+        out = rewrite_runtime(
+            SIMPLE, alpha_expr="my_alpha", beta_expr="my_beta", n_expr="total_n"
+        )
+        assert "my_alpha" in out and "my_beta" in out
+        assert f"{RUNTIME_HELPER_NAME}(total_n" in out
+
+
+@pytest.mark.skipif(shutil.which("gcc") is None, reason="no C compiler")
+class TestEmittedCAgainstPython:
+    """Compile the emitted helper and cross-check it against the Python
+    closed form on the Table 1 instance."""
+
+    def test_c_helper_matches_python(self, tmp_path):
+        from repro.core import solve_closed_form
+        from repro.workloads import table1_problem
+
+        n = 100_000
+        prob = table1_problem(n)
+        alphas = [float(p.alpha) for p in prob.processors]
+        betas = [float(p.beta) for p in prob.processors]
+        p = prob.p
+
+        driver = f"""
+        #include <stdio.h>
+        #include <stdlib.h>
+        {emit_runtime_helper()}
+        int main(void) {{
+            double alpha[{p}] = {{{', '.join(repr(a) for a in alphas)}}};
+            double beta[{p}] = {{{', '.join(repr(b) for b in betas)}}};
+            int counts[{p}];
+            repro_compute_distribution({n}L, {p}, alpha, beta, counts);
+            for (int i = 0; i < {p}; ++i) printf("%d\\n", counts[i]);
+            return 0;
+        }}
+        """
+        src = tmp_path / "driver.c"
+        src.write_text(textwrap.dedent(driver))
+        exe = tmp_path / "driver"
+        subprocess.run(
+            ["gcc", "-O2", "-o", str(exe), str(src)], check=True, capture_output=True
+        )
+        out = subprocess.run([str(exe)], check=True, capture_output=True, text=True)
+        c_counts = [int(line) for line in out.stdout.split()]
+
+        py = solve_closed_form(prob)
+        assert sum(c_counts) == n
+        # Double-precision C vs exact rationals: within one item per rank.
+        for c_val, py_val in zip(c_counts, py.counts):
+            assert abs(c_val - py_val) <= 1
+        # And the C distribution's makespan is essentially optimal.
+        c_makespan = prob.makespan(c_counts)
+        assert c_makespan <= py.makespan * (1 + 1e-6)

@@ -1,0 +1,112 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    random_affine_problem,
+    random_linear_problem,
+    random_star_platform,
+    random_tabulated_problem,
+)
+
+
+class TestRandomLinear:
+    def test_shape(self, rng):
+        prob = random_linear_problem(rng, 5, 100)
+        assert prob.p == 5 and prob.n == 100
+        assert prob.is_linear
+
+    def test_root_beta_zero_default(self, rng):
+        prob = random_linear_problem(rng, 4, 10)
+        assert prob.root.beta == 0
+
+    def test_root_beta_nonzero_option(self, rng):
+        prob = random_linear_problem(rng, 4, 10, root_beta_zero=False)
+        assert prob.root.beta > 0
+
+    def test_rates_within_ranges(self, rng):
+        prob = random_linear_problem(
+            rng, 6, 10, alpha_range=(0.5, 1.0), beta_range=(0.1, 0.2)
+        )
+        for proc in prob.processors[:-1]:
+            assert 0.5 <= float(proc.alpha) <= 1.0
+            assert 0.1 <= float(proc.beta) <= 0.2
+
+    def test_deterministic_for_seed(self):
+        a = random_linear_problem(random.Random(5), 4, 10)
+        b = random_linear_problem(random.Random(5), 4, 10)
+        assert [p.alpha for p in a.processors] == [p.alpha for p in b.processors]
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            random_linear_problem(rng, 0, 10)
+
+
+class TestRandomAffine:
+    def test_affine_flags(self, rng):
+        prob = random_affine_problem(rng, 4, 50)
+        assert prob.is_affine
+        assert prob.is_increasing
+
+    def test_intercept_bounds(self, rng):
+        prob = random_affine_problem(
+            rng, 5, 10, comp_intercept_max=0.3, comm_intercept_max=0.1
+        )
+        for proc in prob.processors:
+            assert 0 <= float(proc.comp.intercept) <= 0.3
+            assert 0 <= float(proc.comm.intercept) <= 0.1
+
+
+class TestRandomTabulated:
+    def test_monotone(self, rng):
+        prob = random_tabulated_problem(rng, 3, 30, monotone=True)
+        assert prob.is_increasing
+        prob.check_valid()
+
+    def test_non_monotone_possible(self):
+        rng = random.Random(1)
+        found_dip = False
+        for _ in range(10):
+            prob = random_tabulated_problem(rng, 3, 50, monotone=False)
+            if not prob.is_increasing:
+                found_dip = True
+                break
+        assert found_dip
+
+    def test_refuses_large_n(self, rng):
+        with pytest.raises(ValueError, match="small n"):
+            random_tabulated_problem(rng, 3, 100_000)
+
+    def test_tables_cover_n(self, rng):
+        prob = random_tabulated_problem(rng, 3, 25)
+        for proc in prob.processors:
+            proc.comp.exact(25)  # no IndexError
+
+
+class TestRandomStarPlatform:
+    def test_full_mesh(self, rng):
+        plat = random_star_platform(rng, 5)
+        names = plat.host_names
+        assert len(names) == 5
+        for u in names:
+            for v in names:
+                plat.link(u, v)  # resolvable everywhere
+
+    def test_bottleneck_model_symmetric(self, rng):
+        plat = random_star_platform(rng, 4)
+        names = plat.host_names
+        assert plat.link(names[0], names[1]).beta == plat.link(names[1], names[0]).beta
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            random_star_platform(rng, 0)
+
+    def test_usable_with_solver(self, rng):
+        from repro.core import plan_scatter
+
+        plat = random_star_platform(rng, 5)
+        prob = plat.to_problem(200, plat.host_names[0])
+        res = plan_scatter(prob)
+        assert sum(res.counts) == 200

@@ -1,0 +1,101 @@
+"""Tests for the canned platform scenarios."""
+
+import pytest
+
+from repro.core import plan_scatter, uniform_counts
+from repro.tomo import run_seismic_app
+from repro.workloads import latency_grid, loaded, two_site_grid, uniform_cluster
+
+
+class TestUniformCluster:
+    def test_shape(self):
+        plat = uniform_cluster(6)
+        assert len(plat.host_names) == 6
+        assert plat.link("node00", "node05").transfer_time(100) == pytest.approx(0.01)
+
+    def test_balancing_nearly_noop(self):
+        """Homogeneous CPUs: only the stair remains to optimize, so the
+        gain is a few percent at most (earlier-served ranks get slightly
+        more because they start computing sooner)."""
+        plat = uniform_cluster(8)
+        prob = plat.to_problem(8000, "node07")
+        res = plan_scatter(prob)
+        uniform = prob.makespan(list(uniform_counts(8000, 8)))
+        assert res.makespan <= uniform + 1e-12
+        assert res.makespan == pytest.approx(uniform, rel=0.05)
+        # Shares decrease down the service order.
+        assert list(res.counts[:-1]) == sorted(res.counts[:-1], reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_cluster(0)
+
+
+class TestTwoSiteGrid:
+    def test_sites_assigned(self):
+        plat = two_site_grid()
+        assert plat.hosts["fast"].site == "site-a"
+        assert plat.hosts["far1"].site == "site-b"
+
+    def test_wan_slower_than_lan(self):
+        plat = two_site_grid(lan_beta=1e-5, wan_beta=5e-5)
+        lan = plat.link("fast", "mid").transfer_time(1000)
+        wan = plat.link("fast", "far1").transfer_time(1000)
+        assert wan == pytest.approx(5 * lan)
+
+    def test_backbone_registered(self):
+        plat = two_site_grid(backbone_capacity=2)
+        assert plat.backbone_between("fast", "far1")[1] == 2
+
+    def test_backbone_optional(self):
+        plat = two_site_grid(backbone_capacity=None)
+        assert plat.backbone_between("fast", "far1") is None
+
+    def test_runs_end_to_end(self):
+        plat = two_site_grid()
+        hosts = ["fast", "mid", "far1", "far2", "root"]
+        res = run_seismic_app(plat, hosts, uniform_counts(1000, 5))
+        assert res.makespan > 0
+
+
+class TestLatencyGrid:
+    def test_links_affine(self):
+        plat = latency_grid(4, latency=0.2)
+        link = plat.link("w0", "w1")
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_time(100) == pytest.approx(0.2 + 100 / 10_000.0)
+
+    def test_heuristic_handles_affine(self):
+        plat = latency_grid(5)
+        prob = plat.to_problem(2000, "w4")
+        res = plan_scatter(prob)
+        assert res.algorithm.startswith("lp-heuristic")
+
+
+class TestLoaded:
+    def test_spike_applied(self):
+        plat = loaded(uniform_cluster(4), jitter=0.0, spikes={"node01": 2.0})
+        assert plat.hosts["node01"].noise.factor("node01", 5.0) == 2.0
+        assert plat.hosts["node00"].noise.factor("node00", 5.0) == 1.0
+
+    def test_jitter_applied_everywhere(self):
+        plat = loaded(uniform_cluster(4), jitter=0.1, seed=3)
+        factors = [
+            plat.hosts[h].noise.factor(h, 0.0) for h in plat.host_names
+        ]
+        assert all(1.0 <= f <= 1.1 for f in factors)
+
+    def test_unknown_spike_host(self):
+        with pytest.raises(KeyError):
+            loaded(uniform_cluster(3), spikes={"ghost": 2.0})
+
+    def test_returns_same_platform(self):
+        plat = uniform_cluster(3)
+        assert loaded(plat) is plat
+
+    def test_loaded_runs_slower(self):
+        counts = uniform_counts(5000, 4)
+        clean = run_seismic_app(uniform_cluster(4), None or uniform_cluster(4).host_names, counts)
+        busy_plat = loaded(uniform_cluster(4), jitter=0.0, spikes={"node00": 3.0})
+        busy = run_seismic_app(busy_plat, busy_plat.host_names, counts)
+        assert busy.makespan > clean.makespan
