@@ -10,6 +10,7 @@ series map the boundaries of that regime.
 import pytest
 
 from repro.analysis import (
+    ParallelSweepEvaluator,
     comm_ratio_sweep,
     heterogeneity_sweep,
     problem_size_sweep,
@@ -21,8 +22,15 @@ RATIOS = [0.01, 0.1, 0.5, 1.0, 2.0, 5.0]
 SIZES = [100, 1_000, 10_000, 100_000, 817_101]
 
 
-def bench_gain_vs_heterogeneity(report, benchmark):
-    points = benchmark(lambda: heterogeneity_sweep(SPREADS))
+@pytest.fixture(scope="module")
+def evaluator():
+    """Shared parallel evaluator; values are identical to sequential runs."""
+    with ParallelSweepEvaluator() as ev:
+        yield ev
+
+
+def bench_gain_vs_heterogeneity(report, benchmark, evaluator):
+    points = benchmark(lambda: heterogeneity_sweep(SPREADS, evaluator=evaluator))
     rows = [
         (f"{pt.x:.0f}x", f"{pt.uniform_makespan:.2f}",
          f"{pt.balanced_makespan:.2f}", f"{pt.gain:.2f}x")
@@ -43,8 +51,8 @@ def bench_gain_vs_heterogeneity(report, benchmark):
     )
 
 
-def bench_gain_vs_comm_ratio(report, benchmark):
-    points = benchmark(lambda: comm_ratio_sweep(RATIOS))
+def bench_gain_vs_comm_ratio(report, benchmark, evaluator):
+    points = benchmark(lambda: comm_ratio_sweep(RATIOS, evaluator=evaluator))
     rows = [
         (f"{pt.x:g}", f"{pt.uniform_makespan:.2f}",
          f"{pt.balanced_makespan:.2f}", f"{pt.gain:.2f}x")
@@ -66,8 +74,8 @@ def bench_gain_vs_comm_ratio(report, benchmark):
     )
 
 
-def bench_gain_vs_problem_size(report, benchmark):
-    points = benchmark(lambda: problem_size_sweep(SIZES))
+def bench_gain_vs_problem_size(report, benchmark, evaluator):
+    points = benchmark(lambda: problem_size_sweep(SIZES, evaluator=evaluator))
     rows = [
         (f"{int(pt.x):,}", f"{pt.uniform_makespan:.3f}",
          f"{pt.balanced_makespan:.3f}", f"{pt.gain:.3f}x")

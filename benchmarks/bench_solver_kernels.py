@@ -1,0 +1,165 @@
+"""Solver-kernel smoke benchmark — the ``BENCH_solvers.json`` emitter.
+
+Times every DP kernel on a common increasing-cost instance and writes the
+per-algorithm wall-clock to ``BENCH_solvers.json`` at the repo root, so the
+solver backbone's performance trajectory is measurable across PRs.  The
+whole run stays under a minute.
+
+Two entry points:
+
+* ``python benchmarks/bench_solver_kernels.py [--n N] [--p P]`` — standalone;
+* ``pytest benchmarks/bench_solver_kernels.py`` — the same run as a smoke
+  benchmark with the ≥ 5× kernel-speedup assertion (marked ``slow``).
+
+JSON layout (``schema: bench-solvers/v1``)::
+
+    headline.instance                 the n=20k, p=16 affine instance
+    headline.results.<algorithm>      {"seconds", "makespan"}
+    headline.speedup_vs_dp_optimized  wall-clock ratios for the new kernels
+    headline.dp_fast_warm_cache      re-solve timing with hot cost tables
+    ladder.results.<algorithm>        the full ladder at a DP-friendly n
+
+Lower is better for ``seconds``; ``makespan`` values of the exact kernels
+must agree to float precision (that is the equivalence guarantee, enforced
+here and in ``tests/core/test_dp_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import time
+from typing import Callable, Dict, Optional
+
+import pytest
+
+from repro.core import (
+    CostTableCache,
+    solve_dp_basic_vectorized,
+    solve_dp_fast,
+    solve_dp_monotone,
+    solve_dp_optimized,
+    solve_heuristic,
+)
+from repro.workloads import random_affine_problem
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_solvers.json")
+
+#: Exact DP kernels that accept a ``cache=`` keyword.
+_KERNELS: Dict[str, Callable] = {
+    "dp-optimized": solve_dp_optimized,
+    "dp-fast": solve_dp_fast,
+    "dp-monotone": solve_dp_monotone,
+}
+
+
+def _timed(solver: Callable, problem, **kwargs) -> Dict[str, float]:
+    t0 = time.perf_counter()
+    result = solver(problem, **kwargs)
+    seconds = time.perf_counter() - t0
+    return {"seconds": round(seconds, 6), "makespan": result.makespan}
+
+
+def run_solver_bench(
+    *,
+    n: int = 20_000,
+    p: int = 16,
+    ladder_n: int = 2_000,
+    seed: int = 7,
+    path: Optional[str] = BENCH_PATH,
+) -> dict:
+    """Run the kernel benchmark and (optionally) write ``BENCH_solvers.json``."""
+    problem = random_affine_problem(random.Random(seed), p, n)
+
+    headline: Dict[str, Dict[str, float]] = {}
+    for name, solver in _KERNELS.items():
+        # Fresh cache per solver: every row is a cold cost-table build.
+        headline[name] = _timed(solver, problem, cache=CostTableCache())
+    headline["lp-heuristic"] = _timed(solve_heuristic, problem)
+
+    # Warm-cache re-solve: the sweep/root-selection pattern the cache serves.
+    warm_cache = CostTableCache()
+    solve_dp_fast(problem, cache=warm_cache)
+    warm = _timed(solve_dp_fast, problem, cache=warm_cache)
+    warm["cache_hits"] = warm_cache.stats()["hits"]
+
+    base = headline["dp-optimized"]["seconds"]
+    speedups = {
+        name: round(base / max(headline[name]["seconds"], 1e-9), 2)
+        for name in ("dp-fast", "dp-monotone")
+    }
+
+    ladder_problem = random_affine_problem(random.Random(seed + 1), p, ladder_n)
+    ladder: Dict[str, Dict[str, float]] = {}
+    for name, solver in _KERNELS.items():
+        ladder[name] = _timed(solver, ladder_problem, cache=CostTableCache())
+    ladder["dp-basic-vectorized"] = _timed(solve_dp_basic_vectorized, ladder_problem,
+                                           cache=CostTableCache())
+    ladder["lp-heuristic"] = _timed(solve_heuristic, ladder_problem)
+
+    payload = {
+        "schema": "bench-solvers/v1",
+        "generated_by": "benchmarks/bench_solver_kernels.py",
+        "headline": {
+            "instance": {"kind": "random-affine", "seed": seed, "n": n, "p": p},
+            "results": headline,
+            "speedup_vs_dp_optimized": speedups,
+            "dp_fast_warm_cache": warm,
+        },
+        "ladder": {
+            "instance": {"kind": "random-affine", "seed": seed + 1,
+                         "n": ladder_n, "p": p},
+            "results": ladder,
+        },
+    }
+    if path:
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return payload
+
+
+@pytest.mark.slow
+def bench_solver_kernels(report):
+    """Smoke benchmark: kernel agreement + the ≥ 5× speedup gate."""
+    payload = run_solver_bench()
+    results = payload["headline"]["results"]
+
+    # All exact kernels agree on the optimum at the headline size.
+    ref = results["dp-optimized"]["makespan"]
+    assert results["dp-fast"]["makespan"] == pytest.approx(ref, rel=1e-9)
+    assert results["dp-monotone"]["makespan"] == pytest.approx(ref, rel=1e-9)
+
+    speedups = payload["headline"]["speedup_vs_dp_optimized"]
+    assert speedups["dp-fast"] >= 5.0, speedups
+    # Warm cost tables never retabulate: one hit per cost function.
+    assert payload["headline"]["dp_fast_warm_cache"]["cache_hits"] >= 2 * 16
+
+    lines = [f"wrote {BENCH_PATH}"]
+    for name, row in results.items():
+        lines.append(f"{name:22s} {row['seconds']:9.3f}s  T={row['makespan']:.6f}")
+    lines.append(f"speedups vs dp-optimized: {speedups}")
+    report("solver_kernels", "\n".join(lines))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--p", type=int, default=16)
+    parser.add_argument("--ladder-n", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+    payload = run_solver_bench(
+        n=args.n, p=args.p, ladder_n=args.ladder_n, seed=args.seed, path=args.out
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from .core import (
     AffineCost,
     CallableCost,
     CostFunction,
+    CostTableCache,
     DistributionResult,
     LinearCost,
     PiecewiseLinearCost,
@@ -52,6 +53,8 @@ from .core import (
     plan_scatter,
     solve_closed_form,
     solve_dp_basic,
+    solve_dp_fast,
+    solve_dp_monotone,
     solve_dp_optimized,
     solve_heuristic,
     solve_rational,
@@ -66,6 +69,7 @@ __all__ = [
     "AffineCost",
     "CallableCost",
     "CostFunction",
+    "CostTableCache",
     "DistributionResult",
     "LinearCost",
     "PiecewiseLinearCost",
@@ -83,6 +87,8 @@ __all__ = [
     "plan_scatter",
     "solve_closed_form",
     "solve_dp_basic",
+    "solve_dp_fast",
+    "solve_dp_monotone",
     "solve_dp_optimized",
     "solve_heuristic",
     "solve_rational",

@@ -4,6 +4,9 @@ from .metrics import ExperimentSummary, imbalance, speedup, summarize
 from .report import format_seconds, render_figure, render_table
 from .svg import figure_svg, gantt_svg
 from .sweep import (
+    ParallelSweepEvaluator,
+    SequentialSweepEvaluator,
+    SweepEvaluator,
     SweepPoint,
     comm_ratio_sweep,
     gain_for_problem,
@@ -22,6 +25,9 @@ __all__ = [
     "figure_svg",
     "gantt_svg",
     "SweepPoint",
+    "SweepEvaluator",
+    "SequentialSweepEvaluator",
+    "ParallelSweepEvaluator",
     "gain_for_problem",
     "heterogeneity_sweep",
     "comm_ratio_sweep",

@@ -14,9 +14,11 @@ balanced makespan, gain); rendering is left to
 from __future__ import annotations
 
 import math
+import os
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from multiprocessing.pool import Pool, ThreadPool
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from ..core.distribution import Processor, ScatterProblem, uniform_counts
 from ..core.heuristic import solve_heuristic
@@ -24,11 +26,108 @@ from ..core.ordering import order_descending_bandwidth
 
 __all__ = [
     "SweepPoint",
+    "SweepEvaluator",
+    "SequentialSweepEvaluator",
+    "ParallelSweepEvaluator",
     "gain_for_problem",
     "heterogeneity_sweep",
     "comm_ratio_sweep",
     "problem_size_sweep",
 ]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SweepEvaluator:
+    """Strategy for evaluating a batch of independent sweep instances.
+
+    Each sweep builds its list of :class:`ScatterProblem` instances up
+    front and hands the per-instance evaluation to an evaluator, so the
+    same sweep can run serially (the default, and the reference for
+    determinism checks) or fan out over a pool.  Evaluation order never
+    affects values: results are returned in input order and every instance
+    is solved independently.
+    """
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def __enter__(self) -> "SweepEvaluator":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SequentialSweepEvaluator(SweepEvaluator):
+    """In-process, in-order evaluation — the fallback and the reference."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ParallelSweepEvaluator(SweepEvaluator):
+    """Pool-backed batch evaluation with a sequential fallback.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: ``os.cpu_count()``).  ``workers <= 1`` runs
+        sequentially without creating a pool.
+    backend:
+        ``"thread"`` (default) uses a thread pool — always safe, and the
+        solver hot paths release time in NumPy kernels; ``"process"`` uses
+        a process pool, which requires picklable problems and evaluation
+        functions (module-level functions over analytic cost models are;
+        closures and ``CallableCost`` are not).
+
+    Results are identical to :class:`SequentialSweepEvaluator` — only
+    wall-clock changes.  Use as a context manager (or call :meth:`close`)
+    to release the pool.
+    """
+
+    def __init__(self, workers: Optional[int] = None, *, backend: str = "thread"):
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}; know 'thread', 'process'")
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        self.backend = backend
+        self._pool: Optional[Any] = None
+        if self.workers > 1:
+            try:
+                pool_cls = ThreadPool if backend == "thread" else Pool
+                self._pool = pool_cls(self.workers)
+            except OSError:  # pragma: no cover - resource-limited hosts
+                self._pool = None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if self._pool is None or len(items) <= 1:
+            return [fn(item) for item in items]
+        return self._pool.map(fn, items)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+def _evaluate_points(
+    xs: Sequence[float],
+    problems: Sequence[ScatterProblem],
+    evaluator: Optional[SweepEvaluator],
+) -> List[SweepPoint]:
+    """Map :func:`gain_for_problem` over instances, tagging each x."""
+    ev = evaluator if evaluator is not None else SequentialSweepEvaluator()
+    points = ev.map(gain_for_problem, list(problems))
+    return [
+        SweepPoint(float(x), pt.uniform_makespan, pt.balanced_makespan)
+        for x, pt in zip(xs, points)
+    ]
 
 
 @dataclass(frozen=True)
@@ -97,18 +196,17 @@ def heterogeneity_sweep(
     *,
     p: int = 16,
     n: int = 100_000,
+    evaluator: Optional[SweepEvaluator] = None,
 ) -> List[SweepPoint]:
     """Gain vs processor-speed spread (max α / min α).
 
     ``spread = 1`` is a homogeneous cluster (gain ≈ 1 — the transformation
-    is free but useless); the paper's Table 1 spans ≈ 4×.
+    is free but useless); the paper's Table 1 spans ≈ 4×.  Pass a
+    :class:`ParallelSweepEvaluator` to evaluate the points concurrently
+    (values are identical to the sequential default).
     """
-    out = []
-    for spread in spreads:
-        problem = ScatterProblem(_spread_processors(p, spread), n)
-        point = gain_for_problem(problem)
-        out.append(SweepPoint(spread, point.uniform_makespan, point.balanced_makespan))
-    return out
+    problems = [ScatterProblem(_spread_processors(p, s), n) for s in spreads]
+    return _evaluate_points(spreads, problems, evaluator)
 
 
 def comm_ratio_sweep(
@@ -117,6 +215,7 @@ def comm_ratio_sweep(
     p: int = 16,
     n: int = 100_000,
     spread: float = 4.0,
+    evaluator: Optional[SweepEvaluator] = None,
 ) -> List[SweepPoint]:
     """Gain vs communication/computation cost ratio (homogeneous network).
 
@@ -127,26 +226,26 @@ def comm_ratio_sweep(
     (``ratio >> 1``), every distribution spends the same ``β·n`` on the
     wire and the gain collapses toward 1.
     """
-    out = []
-    for ratio in ratios:
-        # Uniform shares are n/p, so total comm ≈ (p-1)·β·n/p and average
-        # compute ≈ α·n/p; their ratio is r when β = r·α/(p-1).
-        alpha_mid = 0.01
-        beta_mid = ratio * alpha_mid / (p - 1)
-        problem = ScatterProblem(
-            _spread_processors(p, spread, alpha_mid=alpha_mid, beta_mid=beta_mid,
+    # Uniform shares are n/p, so total comm ≈ (p-1)·β·n/p and average
+    # compute ≈ α·n/p; their ratio is r when β = r·α/(p-1).
+    alpha_mid = 0.01
+    problems = [
+        ScatterProblem(
+            _spread_processors(p, spread, alpha_mid=alpha_mid,
+                               beta_mid=ratio * alpha_mid / (p - 1),
                                beta_spread=1.0),
             n,
         )
-        point = gain_for_problem(problem)
-        out.append(SweepPoint(ratio, point.uniform_makespan, point.balanced_makespan))
-    return out
+        for ratio in ratios
+    ]
+    return _evaluate_points(ratios, problems, evaluator)
 
 
 def problem_size_sweep(
     sizes: Sequence[int],
     *,
     problem_factory: Optional[Callable[[int], ScatterProblem]] = None,
+    evaluator: Optional[SweepEvaluator] = None,
 ) -> List[SweepPoint]:
     """Gain vs n (defaults to the Table 1 platform).
 
@@ -158,8 +257,5 @@ def problem_size_sweep(
         from ..workloads.table1 import table1_problem
 
         problem_factory = table1_problem
-    out = []
-    for n in sizes:
-        point = gain_for_problem(problem_factory(n))
-        out.append(SweepPoint(float(n), point.uniform_makespan, point.balanced_makespan))
-    return out
+    problems = [problem_factory(n) for n in sizes]
+    return _evaluate_points([float(n) for n in sizes], problems, evaluator)

@@ -23,14 +23,17 @@ from .closed_form import (
     solve_rational,
 )
 from .costs import (
+    DEFAULT_COST_CACHE,
     AffineCost,
     CallableCost,
     CostFunction,
+    CostTableCache,
     LinearCost,
     PiecewiseLinearCost,
     TabulatedCost,
     ZeroCost,
     as_fraction,
+    cost_tables,
     fit_affine,
     fit_linear,
 )
@@ -41,6 +44,7 @@ from .distribution import (
     uniform_counts,
 )
 from .dp_basic import solve_dp_basic, solve_dp_basic_vectorized
+from .dp_fast import solve_dp_fast, solve_dp_monotone
 from .dp_optimized import solve_dp_optimized
 from .heuristic import (
     guarantee_gap,
@@ -83,6 +87,9 @@ __all__ = [
     "TabulatedCost",
     "PiecewiseLinearCost",
     "CallableCost",
+    "CostTableCache",
+    "DEFAULT_COST_CACHE",
+    "cost_tables",
     "fit_linear",
     "fit_affine",
     "as_fraction",
@@ -95,6 +102,8 @@ __all__ = [
     "solve_dp_basic",
     "solve_dp_basic_vectorized",
     "solve_dp_optimized",
+    "solve_dp_fast",
+    "solve_dp_monotone",
     "solve_closed_form",
     "solve_rational",
     "solve_heuristic",

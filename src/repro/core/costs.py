@@ -30,10 +30,12 @@ exact simplex backend consume.  Float evaluation goes through
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from numbers import Rational
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +48,9 @@ __all__ = [
     "TabulatedCost",
     "PiecewiseLinearCost",
     "CallableCost",
+    "CostTableCache",
+    "DEFAULT_COST_CACHE",
+    "cost_tables",
     "fit_linear",
     "fit_affine",
     "as_fraction",
@@ -469,6 +474,109 @@ class CallableCost(CostFunction):
 
     def __repr__(self) -> str:
         return f"CallableCost({self._name})"
+
+
+# ---------------------------------------------------------------------------
+# Cost-table cache: memoized vectorized tables shared across solver calls.
+# ---------------------------------------------------------------------------
+
+class CostTableCache:
+    """Memoizes ``fn.many(arange(n + 1))`` tables keyed by cost function.
+
+    Every DP solver starts by tabulating each processor's ``Tcomm``/``Tcomp``
+    over ``[0, n]`` — an O(p·n) rebuild that a sweep, the §3.4 root-selection
+    loop, or the ordering ablation repeats for every solve over the same
+    platform.  This cache makes that step amortized-free: tables are keyed by
+    the cost-function object (the analytic classes hash by value, so two
+    ``LinearCost(0.01)`` instances share one entry; tabulated/callable costs
+    key by identity) and stored at the largest ``n`` seen, with smaller
+    requests served as read-only prefix views.
+
+    The cache is thread-safe (the parallel sweep evaluator hits it from
+    worker threads) and LRU-bounded.  Solvers report per-call hit/miss deltas
+    in ``DistributionResult.info["cost_cache"]``.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._tables: "OrderedDict[CostFunction, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def table(self, fn: CostFunction, n: int) -> np.ndarray:
+        """Float table of ``fn`` over ``[0, n]`` (read-only array view)."""
+        if n < 0:
+            raise ValueError(f"need n >= 0, got {n}")
+        with self._lock:
+            cached = self._tables.get(fn)
+            if cached is not None and cached.shape[0] >= n + 1:
+                self.hits += 1
+                self._tables.move_to_end(fn)
+                return cached[: n + 1]
+        # Compute outside the lock: concurrent misses may duplicate work but
+        # never block each other on a long tabulation.
+        arr = np.ascontiguousarray(fn.many(np.arange(n + 1)), dtype=float)
+        arr.setflags(write=False)
+        with self._lock:
+            self.misses += 1
+            existing = self._tables.get(fn)
+            if existing is None or existing.shape[0] < arr.shape[0]:
+                self._tables[fn] = arr
+            self._tables.move_to_end(fn)
+            while len(self._tables) > self.maxsize:
+                self._tables.popitem(last=False)
+        return arr[: n + 1]
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of ``{"hits", "misses", "entries"}``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._tables),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tables.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tables)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"CostTableCache(entries={s['entries']}, hits={s['hits']}, "
+            f"misses={s['misses']})"
+        )
+
+
+#: Process-wide default cache used by the DP solvers.
+DEFAULT_COST_CACHE = CostTableCache()
+
+
+def cost_tables(
+    processors: Sequence,  # Sequence[Processor]; duck-typed to avoid a cycle
+    n: int,
+    *,
+    cache: Optional[CostTableCache] = None,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Per-processor ``(comm, comp)`` float tables over ``[0, n]``, cached.
+
+    Returns two parallel lists of read-only arrays of length ``n + 1``.
+    ``cache=None`` uses :data:`DEFAULT_COST_CACHE`; pass a private
+    :class:`CostTableCache` for isolation (tests do).
+    """
+    c = DEFAULT_COST_CACHE if cache is None else cache
+    comm = [c.table(proc.comm, n) for proc in processors]
+    comp = [c.table(proc.comp, n) for proc in processors]
+    return comm, comp
 
 
 # ---------------------------------------------------------------------------

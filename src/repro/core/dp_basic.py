@@ -28,10 +28,11 @@ differently, which can change the *counts* but never the optimum value).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .costs import DEFAULT_COST_CACHE, CostTableCache, cost_tables
 from .distribution import DistributionResult, ScatterProblem
 
 __all__ = ["solve_dp_basic", "solve_dp_basic_vectorized"]
@@ -49,7 +50,12 @@ def _reconstruct(choice: List[np.ndarray], n: int, p: int) -> Tuple[int, ...]:
     return tuple(counts)
 
 
-def solve_dp_basic(problem: ScatterProblem, *, exact: bool = False) -> DistributionResult:
+def solve_dp_basic(
+    problem: ScatterProblem,
+    *,
+    exact: bool = False,
+    cache: Optional[CostTableCache] = None,
+) -> DistributionResult:
     """Optimal integer distribution via the paper's Algorithm 1.
 
     Parameters
@@ -70,14 +76,22 @@ def solve_dp_basic(problem: ScatterProblem, *, exact: bool = False) -> Distribut
     p, n = problem.p, problem.n
     procs = problem.processors
 
+    cache_delta = None
     if exact:
         comm = [[proc.comm.exact(x) for x in range(n + 1)] for proc in procs]
         comp = [[proc.comp.exact(x) for x in range(n + 1)] for proc in procs]
         zero = Fraction(0)
     else:
-        xs = np.arange(n + 1)
-        comm = [proc.comm.many(xs).tolist() for proc in procs]
-        comp = [proc.comp.many(xs).tolist() for proc in procs]
+        # Float path: the cached NumPy tables are used as-is — no
+        # ``.tolist()`` round-trip, no per-call retabulation.
+        cc = DEFAULT_COST_CACHE if cache is None else cache
+        before = cc.stats()
+        comm, comp = cost_tables(procs, n, cache=cc)
+        after = cc.stats()
+        cache_delta = {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+        }
         zero = 0.0
 
     # Base row: the root processor P_p alone.
@@ -102,17 +116,22 @@ def solve_dp_basic(problem: ScatterProblem, *, exact: bool = False) -> Distribut
 
     counts = _reconstruct(choice, n, p)
     opt = prev[n]
+    info: dict = {"exact": exact}
+    if cache_delta is not None:
+        info["cost_cache"] = cache_delta
     return DistributionResult(
         problem=problem,
         counts=counts,
         makespan=float(opt),
         algorithm="dp-basic",
         makespan_exact=opt if exact else None,
-        info={"exact": exact},
+        info=info,
     )
 
 
-def solve_dp_basic_vectorized(problem: ScatterProblem) -> DistributionResult:
+def solve_dp_basic_vectorized(
+    problem: ScatterProblem, *, cache: Optional[CostTableCache] = None
+) -> DistributionResult:
     """Algorithm 1 with the inner minimization as a NumPy reduction.
 
     For each remaining-items count ``d`` the candidate costs over
@@ -125,9 +144,7 @@ def solve_dp_basic_vectorized(problem: ScatterProblem) -> DistributionResult:
     """
     p, n = problem.p, problem.n
     procs = problem.processors
-    xs = np.arange(n + 1)
-    comm = [proc.comm.many(xs) for proc in procs]
-    comp = [proc.comp.many(xs) for proc in procs]
+    comm, comp = cost_tables(procs, n, cache=cache)
 
     prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
     choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]

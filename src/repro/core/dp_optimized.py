@@ -20,17 +20,20 @@ p = 16).  In the best case the scan never advances and the whole solver is
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .costs import DEFAULT_COST_CACHE, CostTableCache, cost_tables
 from .distribution import DistributionResult, ScatterProblem
 from .dp_basic import _reconstruct
 
 __all__ = ["solve_dp_optimized"]
 
 
-def solve_dp_optimized(problem: ScatterProblem) -> DistributionResult:
+def solve_dp_optimized(
+    problem: ScatterProblem, *, cache: Optional[CostTableCache] = None
+) -> DistributionResult:
     """Optimal integer distribution via the paper's Algorithm 2.
 
     Requires every cost function of the problem to declare
@@ -52,9 +55,10 @@ def solve_dp_optimized(problem: ScatterProblem) -> DistributionResult:
 
     p, n = problem.p, problem.n
     procs = problem.processors
-    xs = np.arange(n + 1)
-    comm = [proc.comm.many(xs) for proc in procs]
-    comp = [proc.comp.many(xs) for proc in procs]
+    cc = DEFAULT_COST_CACHE if cache is None else cache
+    before = cc.stats()
+    comm, comp = cost_tables(procs, n, cache=cc)
+    after = cc.stats()
 
     prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
     choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
@@ -110,5 +114,11 @@ def solve_dp_optimized(problem: ScatterProblem) -> DistributionResult:
         counts=counts,
         makespan=float(prev[n]),
         algorithm="dp-optimized",
-        info={"inner_iterations": inner_iterations},
+        info={
+            "inner_iterations": inner_iterations,
+            "cost_cache": {
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"],
+            },
+        },
     )

@@ -14,6 +14,7 @@ from typing import Optional
 from .closed_form import solve_closed_form
 from .distribution import DistributionResult, ScatterProblem
 from .dp_basic import solve_dp_basic, solve_dp_basic_vectorized
+from .dp_fast import solve_dp_fast, solve_dp_monotone
 from .dp_optimized import solve_dp_optimized
 from .heuristic import solve_heuristic
 from .ordering import apply_policy
@@ -26,6 +27,8 @@ ALGORITHMS = (
     "dp-basic",
     "dp-basic-vectorized",
     "dp-optimized",
+    "dp-fast",
+    "dp-monotone",
     "closed-form",
     "lp-heuristic",
     "uniform",
@@ -52,12 +55,14 @@ def plan_scatter(
           instantaneous — the configuration of the paper's experiments);
         * ``lp-heuristic`` when every cost is affine (guaranteed within the
           Eq. 4 gap);
-        * ``dp-optimized`` for general increasing costs with
-          ``n <= exact_threshold``;
+        * ``dp-fast`` for general increasing costs at *any* ``n`` — the
+          vectorized exact kernel of :mod:`repro.core.dp_fast` makes the
+          exact optimum affordable where Algorithm 2's interpreted scan
+          was not;
         * ``dp-basic`` for non-monotonic costs with ``n <= exact_threshold``;
-        * otherwise raises — a general-cost instance that large needs an
-          explicit algorithm choice (the paper's Algorithm 1 ran two days
-          on n = 817,101).
+        * otherwise raises — only truly non-monotonic instances that large
+          still need an explicit algorithm choice (the paper's Algorithm 1
+          ran two days on n = 817,101).
     order_policy:
         Ordering applied before solving (default: Theorem 3's descending
         bandwidth).  ``None`` keeps the given order — note the distribution
@@ -82,12 +87,15 @@ def plan_scatter(
             algorithm = "closed-form"
         elif problem.is_affine:
             algorithm = "lp-heuristic"
+        elif problem.is_increasing:
+            algorithm = "dp-fast"
         elif problem.n <= exact_threshold:
-            algorithm = "dp-optimized" if problem.is_increasing else "dp-basic"
+            algorithm = "dp-basic"
         else:
             raise ValueError(
-                f"no automatic algorithm for general costs with n={problem.n} "
-                f"(> exact_threshold={exact_threshold}); pass algorithm= explicitly"
+                f"no automatic algorithm for non-monotonic costs with "
+                f"n={problem.n} (> exact_threshold={exact_threshold}); "
+                f"pass algorithm= explicitly"
             )
 
     if algorithm == "dp-basic":
@@ -96,6 +104,10 @@ def plan_scatter(
         return solve_dp_basic_vectorized(problem)
     if algorithm == "dp-optimized":
         return solve_dp_optimized(problem)
+    if algorithm == "dp-fast":
+        return solve_dp_fast(problem)
+    if algorithm == "dp-monotone":
+        return solve_dp_monotone(problem)
     if algorithm == "closed-form":
         return solve_closed_form(problem)
     if algorithm == "lp-heuristic":

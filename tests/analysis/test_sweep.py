@@ -5,6 +5,8 @@ import math
 import pytest
 
 from repro.analysis import (
+    ParallelSweepEvaluator,
+    SequentialSweepEvaluator,
     SweepPoint,
     comm_ratio_sweep,
     gain_for_problem,
@@ -89,3 +91,48 @@ class TestSweeps:
         points = problem_size_sweep([100, 200], problem_factory=base.with_n)
         assert len(points) == 2
         assert all(not math.isnan(pt.gain) for pt in points)
+
+
+class TestEvaluators:
+    """The batch layer: parallel evaluation must not change any value."""
+
+    def test_sequential_map_preserves_order(self):
+        ev = SequentialSweepEvaluator()
+        assert ev.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_parallel_map_matches_sequential(self):
+        with ParallelSweepEvaluator(4) as ev:
+            assert ev.map(lambda x: x * x, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+
+    def test_single_worker_falls_back_to_sequential(self):
+        ev = ParallelSweepEvaluator(1)
+        assert ev._pool is None
+        assert ev.map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelSweepEvaluator(2, backend="gpu")
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_all_sweeps_identical_parallel_vs_sequential(self, workers):
+        spreads, ratios, sizes = [1.0, 4.0, 8.0], [0.01, 1.0], [500, 2000]
+        seq = (
+            heterogeneity_sweep(spreads, p=6, n=2000),
+            comm_ratio_sweep(ratios, p=6, n=2000),
+            problem_size_sweep(sizes),
+        )
+        with ParallelSweepEvaluator(workers) as ev:
+            par = (
+                heterogeneity_sweep(spreads, p=6, n=2000, evaluator=ev),
+                comm_ratio_sweep(ratios, p=6, n=2000, evaluator=ev),
+                problem_size_sweep(sizes, evaluator=ev),
+            )
+        assert seq == par  # SweepPoint equality is exact, not approximate
+
+    def test_close_is_idempotent(self):
+        ev = ParallelSweepEvaluator(2)
+        ev.close()
+        ev.close()
+        assert ev.map(lambda x: x, [5]) == [5]

@@ -1,0 +1,192 @@
+"""Randomized cross-check of every exact DP kernel, plus cache regressions.
+
+The contract of the fast solver backbone: ``dp-basic``, ``dp-optimized``,
+``dp-fast`` and ``dp-monotone`` all compute the *same optimal makespan* on
+any increasing-cost instance (counts may break ties differently).  This
+module grinds that claim over ~200 random instances spanning linear,
+affine (intercepts) and rough tabulated cost shapes, varied ``p`` and
+``n``, and verifies the :class:`CostTableCache` actually serves repeated
+solves from memory.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostTableCache,
+    LinearCost,
+    PiecewiseLinearCost,
+    Processor,
+    ScatterProblem,
+    ZeroCost,
+    plan_scatter,
+    solve_dp_basic,
+    solve_dp_basic_vectorized,
+    solve_dp_fast,
+    solve_dp_monotone,
+    solve_dp_optimized,
+)
+from repro.workloads import (
+    random_affine_problem,
+    random_linear_problem,
+    random_tabulated_problem,
+)
+
+FAST_KERNELS = [solve_dp_fast, solve_dp_monotone]
+ALL_EXACT = [solve_dp_basic, solve_dp_basic_vectorized, solve_dp_optimized] + FAST_KERNELS
+
+
+def _random_increasing_problem(seed: int) -> ScatterProblem:
+    """One of the three cost families, sized for a fast exhaustive DP."""
+    rng = random.Random(seed)
+    p = rng.randint(2, 6)
+    family = seed % 3
+    if family == 0:
+        return random_linear_problem(rng, p, rng.randint(2, 80))
+    if family == 1:
+        return random_affine_problem(rng, p, rng.randint(2, 80))
+    return random_tabulated_problem(rng, p, rng.randint(2, 40))
+
+
+class TestKernelEquivalence:
+    """The headline property: all exact solvers agree on the optimum."""
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_all_kernels_agree(self, seed):
+        prob = _random_increasing_problem(seed)
+        reference = solve_dp_optimized(prob)
+        for solver in ALL_EXACT:
+            res = solver(prob)
+            assert res.makespan == pytest.approx(reference.makespan), (
+                solver.__name__,
+                prob,
+            )
+            # The counts must be a valid distribution achieving that makespan.
+            assert sum(res.counts) == prob.n
+            assert prob.makespan(res.counts) == pytest.approx(res.makespan)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fast_kernels_agree_at_scale(self, seed):
+        """Larger-n agreement, where the fast paths (not the fallbacks) run."""
+        rng = random.Random(seed)
+        prob = random_affine_problem(rng, rng.randint(8, 16), 3_000)
+        reference = solve_dp_optimized(prob)
+        for solver in FAST_KERNELS:
+            res = solver(prob)
+            assert res.makespan == pytest.approx(reference.makespan, rel=1e-12)
+            assert prob.makespan(res.counts) == pytest.approx(res.makespan)
+
+    def test_non_affine_increasing_costs_use_exact_fallback(self):
+        """Piecewise-linear comm (non-affine) exercises the general-scan row."""
+        prob = ScatterProblem(
+            [
+                Processor(
+                    "knee",
+                    PiecewiseLinearCost([(0, 0), (10, 0.5), (40, 4.0)]),
+                    LinearCost(0.05),
+                ),
+                Processor("lin", LinearCost(0.001), LinearCost(0.08)),
+                Processor("root", ZeroCost(), LinearCost(0.06)),
+            ],
+            60,
+        )
+        reference = solve_dp_optimized(prob)
+        for solver in FAST_KERNELS:
+            res = solver(prob)
+            assert res.makespan == pytest.approx(reference.makespan)
+            assert res.info["rows_general_scan"] >= 1
+
+
+class TestCostTableCache:
+    def test_repeated_solve_hits_cache(self):
+        rng = random.Random(11)
+        prob = random_affine_problem(rng, 5, 120)
+        cache = CostTableCache()
+
+        first = solve_dp_fast(prob, cache=cache)
+        assert first.info["cost_cache"]["misses"] == 2 * prob.p
+        assert first.info["cost_cache"]["hits"] == 0
+
+        second = solve_dp_fast(prob, cache=cache)
+        assert second.info["cost_cache"]["hits"] == 2 * prob.p
+        assert second.info["cost_cache"]["misses"] == 0
+        assert second.makespan == first.makespan
+
+    def test_cache_shared_across_solvers(self):
+        rng = random.Random(12)
+        prob = random_affine_problem(rng, 4, 100)
+        cache = CostTableCache()
+        solve_dp_optimized(prob, cache=cache)
+        res = solve_dp_monotone(prob, cache=cache)
+        assert res.info["cost_cache"]["hits"] == 2 * prob.p
+        assert res.info["cost_cache"]["misses"] == 0
+
+    def test_value_equal_cost_functions_share_entries(self):
+        cache = CostTableCache()
+        a = cache.table(LinearCost(0.01), 50)
+        b = cache.table(LinearCost(0.01), 50)  # distinct object, equal value
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        np.testing.assert_array_equal(a, b)
+
+    def test_prefix_view_served_from_larger_table(self):
+        cache = CostTableCache()
+        cache.table(LinearCost(0.5), 100)
+        small = cache.table(LinearCost(0.5), 10)
+        assert small.shape == (11,)
+        assert cache.stats()["hits"] == 1
+        # Growing past the stored table is a recompute.
+        cache.table(LinearCost(0.5), 200)
+        assert cache.stats()["misses"] == 2
+
+    def test_tables_are_read_only(self):
+        cache = CostTableCache()
+        arr = cache.table(LinearCost(1.0), 10)
+        with pytest.raises(ValueError):
+            arr[0] = 99.0
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = CostTableCache(maxsize=4)
+        for i in range(10):
+            cache.table(LinearCost(i + 1), 20)
+        assert len(cache) == 4
+
+    def test_clear(self):
+        cache = CostTableCache()
+        cache.table(LinearCost(1.0), 10)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestAutoRouting:
+    """Satellite: auto routes large increasing instances to the fast kernel."""
+
+    def _piecewise_prob(self, n):
+        return ScatterProblem(
+            [
+                Processor(
+                    "knee",
+                    PiecewiseLinearCost([(0, 0), (100, 0.002), (1000, 0.2)]),
+                    LinearCost(0.0005),
+                ),
+                Processor("lin", LinearCost(1e-5), LinearCost(0.001)),
+                Processor("root", ZeroCost(), LinearCost(0.0008)),
+            ],
+            n,
+        )
+
+    def test_large_increasing_instance_no_longer_raises(self):
+        prob = self._piecewise_prob(8_000)  # well past exact_threshold
+        res = plan_scatter(prob)
+        assert res.algorithm == "dp-fast"
+        assert sum(res.counts) == prob.n
+
+    def test_explicit_kernels_via_facade(self):
+        prob = self._piecewise_prob(300)
+        fast = plan_scatter(prob, algorithm="dp-fast")
+        mono = plan_scatter(prob, algorithm="dp-monotone")
+        opt = plan_scatter(prob, algorithm="dp-optimized")
+        assert fast.makespan == pytest.approx(opt.makespan)
+        assert mono.makespan == pytest.approx(opt.makespan)

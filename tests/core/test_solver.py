@@ -54,24 +54,31 @@ class TestAutoSelection:
         res = plan_scatter(affine_prob())
         assert res.algorithm.startswith("lp-heuristic")
 
-    def test_tabulated_monotone_uses_dp_optimized(self):
+    def test_tabulated_monotone_uses_fast_kernel(self):
         res = plan_scatter(tabulated_prob(monotone=True))
-        assert res.algorithm == "dp-optimized"
+        assert res.algorithm == "dp-fast"
 
     def test_tabulated_non_monotone_uses_dp_basic(self):
         res = plan_scatter(tabulated_prob(monotone=False))
         assert res.algorithm == "dp-basic"
 
-    def test_large_general_instance_refused(self):
-        prob = tabulated_prob(30)
-        with pytest.raises(ValueError, match="exact_threshold"):
+    def test_large_increasing_instance_routed_to_fast_kernel(self):
+        # Monotone costs no longer hit the exact_threshold guard at any n.
+        res = plan_scatter(tabulated_prob(30), exact_threshold=10)
+        assert res.algorithm == "dp-fast"
+        assert sum(res.counts) == 30
+
+    def test_large_non_monotonic_instance_refused(self):
+        prob = tabulated_prob(30, monotone=False)
+        with pytest.raises(ValueError, match="non-monotonic"):
             plan_scatter(prob, exact_threshold=10)
 
 
 class TestExplicitAlgorithms:
     @pytest.mark.parametrize(
         "algorithm",
-        ["dp-basic", "dp-basic-vectorized", "dp-optimized", "closed-form", "lp-heuristic"],
+        ["dp-basic", "dp-basic-vectorized", "dp-optimized", "dp-fast",
+         "dp-monotone", "closed-form", "lp-heuristic"],
     )
     def test_all_algorithms_solve_linear(self, algorithm):
         res = plan_scatter(linear_prob(), algorithm=algorithm)
