@@ -1,0 +1,138 @@
+"""Chaos benchmark — the ``BENCH_chaos.json`` emitter.
+
+Sweeps the fault-tolerant scatter's makespan against injected host-failure
+rates on the Table 1 platform (see :mod:`repro.analysis.chaos`) and writes
+the degradation curve to ``BENCH_chaos.json`` at the repo root, so the
+robustness layer's overhead trajectory is measurable across PRs.
+
+Two entry points:
+
+* ``python benchmarks/bench_chaos.py [--n N] [--seed S]`` — standalone;
+* ``pytest benchmarks/bench_chaos.py`` — the same sweep as a smoke
+  benchmark with the bounded-and-monotone degradation assertions (marked
+  ``slow`` and ``chaos``).
+
+JSON layout (``schema: bench-chaos/v1``)::
+
+    instance                  platform, n, seed, rates
+    baseline_makespan         no-failure ft_scatterv round (seconds)
+    points[].rate             injected failure rate
+    points[].makespan         simulated seconds for the degraded round
+    points[].degradation      makespan / baseline_makespan
+    points[].{dead,retries,replans,redistributed_items,lost_items}
+
+Lower is better for ``degradation``; the curve must start at 1.0 (rate 0
+is bit-identical to the baseline), never decrease (nested kill sets), and
+stay bounded by the receive-timeout safety net.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.analysis.chaos import chaos_sweep
+from repro.workloads import table1_platform, table1_rank_hosts
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_chaos.json")
+
+DEFAULT_RATES = (0.0, 0.1, 0.25, 0.5, 0.75)
+
+
+def run_chaos_bench(
+    *,
+    n: int = 20_000,
+    seed: int = 0,
+    rates: Sequence[float] = DEFAULT_RATES,
+    retries: int = 2,
+    path: Optional[str] = BENCH_PATH,
+) -> dict:
+    """Run the chaos sweep and (optionally) write ``BENCH_chaos.json``."""
+    platform = table1_platform()
+    hosts = table1_rank_hosts("bandwidth-desc")
+    sweep = chaos_sweep(
+        platform, hosts, n, list(rates), seed=seed, retries=retries
+    )
+    payload = {
+        "schema": "bench-chaos/v1",
+        "generated_by": "benchmarks/bench_chaos.py",
+        "instance": {
+            "platform": "table1",
+            "order": "bandwidth-desc",
+            "n": n,
+            "seed": seed,
+            "rates": list(rates),
+            "retries": retries,
+        },
+        **sweep.to_dict(),
+    }
+    if path:
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return payload
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def bench_chaos(report):
+    """Smoke benchmark: bounded, monotone degradation under failures."""
+    payload = run_chaos_bench()
+    points = payload["points"]
+    base = payload["baseline_makespan"]
+    assert base > 0
+
+    # Rate 0 replays the baseline bit-identically.
+    assert points[0]["rate"] == 0.0
+    assert points[0]["makespan"] == base
+    assert points[0]["degradation"] == 1.0
+    assert points[0]["dead"] == 0
+
+    # Nested kill sets: degradation is monotone non-decreasing in the rate,
+    # and every failure present at rate r recurs at every higher rate.
+    for prev, cur in zip(points, points[1:]):
+        assert cur["degradation"] >= prev["degradation"], (prev, cur)
+        assert set(prev["killed"]) <= set(cur["killed"]), (prev, cur)
+
+    # Bounded: the timeout safety net keeps even the worst point within a
+    # small multiple of the optimum (timeout per exchange ≈ one baseline).
+    worst = points[-1]["degradation"]
+    assert worst <= 10.0, worst
+
+    lines = [f"wrote {BENCH_PATH}", f"baseline {base:.3f}s"]
+    for pt in points:
+        lines.append(
+            f"rate {pt['rate']:4.2f}  dead {pt['dead']:2d}  "
+            f"makespan {pt['makespan']:8.3f}s  x{pt['degradation']:.3f}  "
+            f"redistributed {pt['redistributed_items']:6d}  "
+            f"lost {pt['lost_items']:6d}"
+        )
+    report("chaos", "\n".join(lines))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--rates", default=",".join(str(r) for r in DEFAULT_RATES)
+    )
+    parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument("--out", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    payload = run_chaos_bench(
+        n=args.n, seed=args.seed, rates=rates, retries=args.retries, path=args.out
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,6 @@
 """Analysis helpers: experiment metrics and plain-text reports."""
 
+from .chaos import ChaosPoint, ChaosSweep, chaos_plan, chaos_program, chaos_sweep
 from .metrics import ExperimentSummary, imbalance, speedup, summarize
 from .report import format_seconds, render_figure, render_table
 from .svg import figure_svg, gantt_svg
@@ -15,6 +16,11 @@ from .sweep import (
 )
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosSweep",
+    "chaos_plan",
+    "chaos_program",
+    "chaos_sweep",
     "ExperimentSummary",
     "imbalance",
     "speedup",

@@ -12,6 +12,9 @@ Subcommands
     distribution and print a Figs. 2-4 style report.
 ``figures``
     Regenerate the paper's Fig. 2 / Fig. 3 / Fig. 4 summary in one shot.
+``chaos``
+    Sweep makespan degradation of the fault-tolerant scatter against
+    injected host failures (see ``repro.analysis.chaos``).
 """
 
 from __future__ import annotations
@@ -198,6 +201,54 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .analysis.chaos import chaos_sweep
+
+    platform = _load_platform(args)
+    hosts = _rank_hosts(platform, args)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    sweep = chaos_sweep(
+        platform,
+        hosts,
+        args.n,
+        rates,
+        seed=args.seed,
+        timeout=args.timeout,
+        retries=args.retries,
+        algorithm=args.algorithm,
+    )
+    rows = [
+        (
+            f"{pt.rate:g}",
+            str(pt.dead),
+            f"{pt.makespan:.3f}",
+            f"{pt.degradation:.3f}x",
+            str(pt.retries),
+            str(pt.replans),
+            str(pt.redistributed_items),
+            str(pt.lost_items),
+        )
+        for pt in sweep.points
+    ]
+    print(
+        render_table(
+            ["rate", "dead", "makespan (s)", "degradation", "retries",
+             "re-plans", "redistributed", "lost"],
+            rows,
+            title=f"Fault-tolerant scatter under injected failures "
+            f"(n={sweep.n}, seed={sweep.seed}, no-failure makespan "
+            f"{sweep.baseline_makespan:.3f} s)",
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(sweep.to_dict(), f, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def cmd_rewrite(args: argparse.Namespace) -> int:
     from .transform import rewrite_runtime, rewrite_static
 
@@ -271,6 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--p", type=int, default=16, help="processor count")
     p_sw.add_argument("--n", type=int, default=100_000, help="items")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_ch = sub.add_parser(
+        "chaos", help="sweep makespan degradation under injected host failures"
+    )
+    common(p_ch)
+    p_ch.add_argument(
+        "--rates",
+        default="0,0.1,0.25,0.5",
+        help="comma-separated failure rates in [0, 1]",
+    )
+    p_ch.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p_ch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="receive timeout in simulated seconds (default: baseline makespan)",
+    )
+    p_ch.add_argument(
+        "--retries", type=int, default=2, help="send retries on link failure"
+    )
+    p_ch.add_argument("--json", help="also write the sweep as JSON here")
+    p_ch.set_defaults(fn=cmd_chaos)
 
     p_rw = sub.add_parser(
         "rewrite", help="rewrite MPI_Scatter calls in a C source to MPI_Scatterv"

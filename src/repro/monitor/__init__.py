@@ -7,6 +7,7 @@ into the static load-balancing algorithms.
 """
 
 from .daemon import MonitorDaemon
+from .failures import FailureDetector
 from .forecast import (
     AdaptiveBest,
     ExponentialSmoothing,
@@ -30,6 +31,7 @@ __all__ = [
     "default_portfolio",
     "LoadMonitor",
     "MonitorDaemon",
+    "FailureDetector",
     "Observation",
     "plan_with_monitor",
     "scale_cost",

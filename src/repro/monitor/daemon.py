@@ -22,21 +22,42 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..simgrid.engine import Process, Simulator, WaitFor
+from ..simgrid.faults import FaultPlan
 from ..simgrid.platform import Platform
+from .failures import FailureDetector
 from .service import LoadMonitor
 
 __all__ = ["MonitorDaemon"]
 
 
 class MonitorDaemon:
-    """Periodic load sampler bound to one simulation run."""
+    """Periodic load sampler bound to one simulation run.
 
-    def __init__(self, platform: Platform, monitor: LoadMonitor, period: float):
+    With a :class:`~repro.simgrid.faults.FaultPlan` attached the daemon is
+    fault-aware: a host that is down at a tick is silently skipped (no
+    observation recorded, no error raised), and every successful sample
+    doubles as a heartbeat for the optional
+    :class:`~repro.monitor.failures.FailureDetector` — so the detector's
+    suspicion view converges on the injected failures within one suspect
+    threshold.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        monitor: LoadMonitor,
+        period: float,
+        *,
+        faults: Optional[FaultPlan] = None,
+        detector: Optional[FailureDetector] = None,
+    ):
         if period <= 0:
             raise ValueError("sampling period must be > 0")
         self.platform = platform
         self.monitor = monitor
         self.period = period
+        self.faults = faults
+        self.detector = detector
         self.samples_taken = 0
         self._sim: Optional[Simulator] = None
         self._next = None
@@ -62,7 +83,16 @@ class MonitorDaemon:
     def _tick(self) -> None:
         if self._stopped or self._sim is None:
             return
-        self.monitor.sample_platform(self.platform, self._sim.now)
+        now = self._sim.now
+        alive: Optional[List[str]] = None
+        if self.faults is not None:
+            alive = [
+                h for h in self.platform.hosts if self.faults.host_alive(h, now)
+            ]
+        self.monitor.sample_platform(self.platform, now, hosts=alive)
+        if self.detector is not None:
+            for h in self.platform.hosts if alive is None else alive:
+                self.detector.heartbeat(h, now)
         self.samples_taken += 1
         self._next = self._sim.schedule(self.period, self._tick)
 

@@ -1,0 +1,90 @@
+"""Failure detection: who have we heard from, and how recently?
+
+The classic unreliable failure detector (Chandra/Toueg style, the
+building block of every grid heartbeat service): each successful
+observation of a host is a *heartbeat*; a host whose silence exceeds the
+``suspect_threshold`` is **suspected** dead.  On this simulator the
+detector is fed by the :class:`~repro.monitor.daemon.MonitorDaemon`
+(which can only sample live hosts once a
+:class:`~repro.simgrid.faults.FaultPlan` is attached), so suspicion
+converges on the injected truth within one threshold window.
+
+The detector never *decides* liveness — a suspect may merely be slow or
+partitioned (and with :class:`~repro.simgrid.faults.HostRecovery` it may
+come back, clearing the suspicion on the next heartbeat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FailureDetector"]
+
+
+@dataclass
+class FailureDetector:
+    """Last-heard-from bookkeeping with a suspicion threshold.
+
+    Attributes
+    ----------
+    suspect_threshold:
+        Silence (simulated seconds) after which a host is suspected dead.
+    last_heard:
+        Most recent heartbeat time per host.
+    """
+
+    suspect_threshold: float
+    last_heard: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.suspect_threshold <= 0:
+            raise ValueError(
+                f"suspect_threshold must be > 0, got {self.suspect_threshold}"
+            )
+
+    def heartbeat(self, host: str, time: float) -> None:
+        """Record a sign of life from ``host`` at ``time``."""
+        prev = self.last_heard.get(host)
+        if prev is None or time > prev:
+            self.last_heard[host] = time
+
+    def silence(self, host: str, now: float) -> Optional[float]:
+        """Seconds since the last heartbeat, or ``None`` if never heard."""
+        last = self.last_heard.get(host)
+        return None if last is None else max(0.0, now - last)
+
+    def is_suspect(self, host: str, now: float) -> bool:
+        """Has ``host`` been silent longer than the threshold?
+
+        A host never heard from is *not* a suspect (there is no evidence
+        either way) — it reports as ``"unknown"`` in :meth:`view`.
+        """
+        quiet = self.silence(host, now)
+        return quiet is not None and quiet > self.suspect_threshold
+
+    def suspects(self, now: float) -> List[str]:
+        """Sorted list of currently suspected hosts."""
+        return sorted(h for h in self.last_heard if self.is_suspect(h, now))
+
+    def alive(self, now: float) -> List[str]:
+        """Sorted list of hosts heard from within the threshold."""
+        return sorted(
+            h for h in self.last_heard if not self.is_suspect(h, now)
+        )
+
+    def view(self, hosts: List[str], now: float) -> Dict[str, str]:
+        """Per-host status (``"alive"`` / ``"suspect"`` / ``"unknown"``)."""
+        out: Dict[str, str] = {}
+        for h in hosts:
+            if h not in self.last_heard:
+                out[h] = "unknown"
+            else:
+                out[h] = "suspect" if self.is_suspect(h, now) else "alive"
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureDetector(threshold={self.suspect_threshold}, "
+            f"tracked={len(self.last_heard)})"
+        )

@@ -95,9 +95,21 @@ class LoadMonitor:
             self._forecasters[host] = self.forecaster_factory()
         self._forecasters[host].update(load)
 
-    def sample_platform(self, platform: Platform, time: float) -> None:
-        """Sample every host's instantaneous noise factor (the daemon tick)."""
-        for host in platform.hosts.values():
+    def sample_platform(
+        self,
+        platform: Platform,
+        time: float,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Sample hosts' instantaneous noise factors (the daemon tick).
+
+        ``hosts`` restricts the sample to a subset (the daemon passes the
+        currently-alive hosts when a fault plan is attached — a crashed
+        host produces no observations while it is down).
+        """
+        names = platform.hosts if hosts is None else hosts
+        for name in names:
+            host = platform.hosts[name]
             self.observe(host.name, time, host.noise.factor(host.name, time))
 
     def forecast(self, host: str) -> float:

@@ -5,19 +5,31 @@ scatter/scatterv collectives at the heart of the paper, gatherv, flat and
 binomial broadcast, and the :func:`run_spmd` launcher.
 """
 
-from .collectives import barrier, bcast, gatherv, gatherv_ordered, scatter, scatterv
-from .communicator import Communicator, MpiError, RankContext
+from .collectives import (
+    ScatterOutcome,
+    barrier,
+    bcast,
+    ft_scatterv,
+    gatherv,
+    gatherv_ordered,
+    scatter,
+    scatterv,
+)
+from .communicator import Communicator, MpiError, RankContext, RecvTimeout
 from .runtime import MpiRun, run_spmd, trace_labels
 
 __all__ = [
     "Communicator",
     "RankContext",
     "MpiError",
+    "RecvTimeout",
     "MpiRun",
     "run_spmd",
     "trace_labels",
     "scatter",
     "scatterv",
+    "ft_scatterv",
+    "ScatterOutcome",
     "gatherv",
     "gatherv_ordered",
     "bcast",

@@ -19,12 +19,24 @@ SPMD program.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
-from ..core.distribution import uniform_counts
+from ..core.costs import ZeroCost
+from ..core.distribution import DistributionResult, Processor, ScatterProblem, uniform_counts
+from ..simgrid.faults import LinkFailure
 from .communicator import MpiError, RankContext
 
-__all__ = ["scatter", "scatterv", "gatherv", "gatherv_ordered", "bcast", "barrier"]
+__all__ = [
+    "scatter",
+    "scatterv",
+    "ft_scatterv",
+    "ScatterOutcome",
+    "gatherv",
+    "gatherv_ordered",
+    "bcast",
+    "barrier",
+]
 
 
 def _check_root(ctx: RankContext, root: int) -> int:
@@ -96,6 +108,274 @@ def scatter(
         counts = list(uniform_counts(len(data), ctx.size))
     result = yield from scatterv(ctx, data, counts, root, tag=tag)
     return result
+
+
+@dataclass(frozen=True)
+class ScatterOutcome:
+    """What a fault-tolerant scatter actually did.
+
+    Attributes
+    ----------
+    chunk:
+        This rank's received data (possibly assembled from several
+        deliveries across re-planning rounds).
+    counts:
+        Final delivered item count per rank (0 for dead ranks).
+    survivors:
+        Ranks alive at the end of the operation, root included.
+    dead:
+        Ranks detected dead during the operation.
+    retries:
+        Total send retries the root performed (successful or not).
+    replans:
+        Number of times the root re-ran the planner on a survivor subset.
+    lost_items:
+        Items that had been delivered to a rank that subsequently died.
+        They are reclaimed and redistributed when the death is detected
+        during chunk delivery; a death detected only at completion leaves
+        them genuinely lost (recorded here either way).
+    redistributed_items:
+        Total items re-assigned to survivors across re-planning rounds.
+    """
+
+    chunk: Any
+    counts: Tuple[int, ...]
+    survivors: Tuple[int, ...]
+    dead: Tuple[int, ...]
+    retries: int
+    replans: int
+    lost_items: int
+    redistributed_items: int
+
+    @property
+    def degraded(self) -> bool:
+        """Did the operation lose at least one rank?"""
+        return bool(self.dead)
+
+
+def _concat(chunks: Sequence[Sequence]) -> Sequence:
+    """Join delivered chunks; a single chunk passes through unchanged."""
+    if not chunks:
+        return []
+    if len(chunks) == 1:
+        return chunks[0]
+    out: List[Any] = []
+    for c in chunks:
+        out.extend(c)
+    return out
+
+
+def _survivor_problem(
+    ctx: RankContext, survivors: Sequence[int], root: int, n: int
+) -> ScatterProblem:
+    """Scatter problem over the survivor ranks (root last), priced from the
+    platform exactly like :meth:`Platform.to_problem` — processor names are
+    the rank numbers so counts map back unambiguously."""
+    platform = ctx.comm.network.platform
+    root_host = ctx.host_of(root).name
+    procs = [
+        Processor(
+            str(r),
+            platform.link_cost(root_host, ctx.host_of(r).name),
+            ctx.host_of(r).comp_cost,
+        )
+        for r in survivors
+        if r != root
+    ]
+    procs.append(Processor(str(root), ZeroCost(), ctx.host_of(root).comp_cost))
+    return ScatterProblem(procs, n)
+
+
+def ft_scatterv(
+    ctx: RankContext,
+    data: Optional[Sequence],
+    counts: Optional[Sequence[int]],
+    root: int,
+    *,
+    tag: int = 16,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    algorithm: str = "auto",
+    planner: Optional[Callable[[ScatterProblem], DistributionResult]] = None,
+) -> Generator:
+    """Fault-tolerant ``MPI_Scatterv`` with survivor re-planning.
+
+    Behaves like :func:`scatterv` on a healthy platform (same wire
+    pattern: the root serves destinations in rank order through its single
+    port).  Under an injected :class:`~repro.simgrid.faults.FaultPlan` it
+    additionally:
+
+    * retries each failed send ``retries`` times with seeded exponential
+      backoff (see :meth:`RankContext.send`), then declares the receiver
+      dead and *skips* it instead of stalling the whole operation;
+    * reclaims every item belonging to a dead rank — both the unsent
+      remainder and chunks already delivered to it (the root still holds
+      the source data) — and **re-runs the planner on the survivor
+      subset** (:func:`repro.core.plan_scatter`, which transparently
+      reuses the process-wide :class:`~repro.core.costs.CostTableCache`
+      for DP cost tables) to redistribute them;
+    * finishes each surviving rank with a ``done`` control message
+      carrying the final :class:`ScatterOutcome` metadata.
+
+    Receivers loop on ``recv(root, timeout=timeout)`` accumulating chunk
+    messages until ``done`` arrives; a dead *root* therefore surfaces as
+    :class:`~repro.mpi.communicator.RecvTimeout` instead of a hang (pass a
+    finite ``timeout`` to arm this).  Ranks on a crashed host are killed
+    by the fault layer and never return.
+
+    Returns a :class:`ScatterOutcome` on every surviving rank.  A death
+    detected only during the final ``done`` round is recorded in
+    ``lost_items`` but no longer redistributed (survivors may already
+    have been released).
+
+    ``planner`` overrides the default ``plan_scatter(problem,
+    algorithm=algorithm, order_policy=None)`` call for re-planning.
+    """
+    from ..core.solver import plan_scatter
+
+    root = _check_root(ctx, root)
+
+    if ctx.rank != root:
+        # Between two messages to the same rank the root may serve every
+        # other rank once and burn its full retry-backoff budget on newly
+        # dead ones, so the per-exchange ``timeout`` is stretched by the
+        # communicator size on the receiving side.  Still bounded: a dead
+        # root cannot hang a worker for more than ``size`` timeouts.
+        patience = None if timeout is None else timeout * ctx.size
+        chunks: List[Sequence] = []
+        while True:
+            kind, body = yield from ctx.recv(root, tag=tag, timeout=patience)
+            if kind == "chunk":
+                chunks.append(body)
+            else:  # "done"
+                return ScatterOutcome(chunk=_concat(chunks), **body)
+
+    # -- root ----------------------------------------------------------------
+    if data is None or counts is None:
+        raise MpiError("root must provide data and counts")
+    counts = [int(c) for c in counts]
+    if len(counts) != ctx.size:
+        raise MpiError(f"counts has {len(counts)} entries for {ctx.size} ranks")
+    if any(c < 0 for c in counts):
+        raise MpiError(f"negative counts: {counts}")
+    if sum(counts) > len(data):
+        raise MpiError(
+            f"counts sum to {sum(counts)} but data has only {len(data)} items"
+        )
+
+    offsets = [0] * ctx.size
+    acc = 0
+    for r in range(ctx.size):
+        offsets[r] = acc
+        acc += counts[r]
+
+    dead: set = set()
+    retries_total = 0
+    replans = 0
+    lost = 0
+    redistributed = 0
+    #: Chunks successfully delivered per non-root rank (kept so the items
+    #: can be reclaimed if the rank dies later).
+    delivered: Dict[int, List[Sequence]] = {
+        r: [] for r in range(ctx.size) if r != root
+    }
+    root_chunks: List[Sequence] = [
+        data[offsets[root] : offsets[root] + counts[root]]
+    ]
+    pending: Dict[int, List[Sequence]] = {
+        r: [data[offsets[r] : offsets[r] + counts[r]]]
+        for r in range(ctx.size)
+        if r != root and counts[r] > 0
+    }
+
+    while pending:
+        reclaim: List[Sequence] = []
+        for r in sorted(pending):
+            queue = pending[r]
+            for i, chunk in enumerate(queue):
+                try:
+                    used = yield from ctx.send(
+                        r, ("chunk", chunk), items=len(chunk), tag=tag,
+                        retries=retries, backoff=backoff,
+                    )
+                    retries_total += used
+                except LinkFailure:
+                    retries_total += retries
+                    dead.add(r)
+                    lost += sum(len(c) for c in delivered[r])
+                    reclaim.extend(delivered[r])
+                    delivered[r] = []
+                    reclaim.extend(queue[i:])
+                    break
+                else:
+                    delivered[r].append(chunk)
+        pending = {}
+        if reclaim:
+            items = _concat(reclaim)
+            redistributed += len(items)
+            survivors_nonroot = [
+                r for r in range(ctx.size) if r != root and r not in dead
+            ]
+            if survivors_nonroot:
+                replans += 1
+                problem = _survivor_problem(
+                    ctx, survivors_nonroot, root, len(items)
+                )
+                if planner is None:
+                    result = plan_scatter(
+                        problem, algorithm=algorithm, order_policy=None
+                    )
+                else:
+                    result = planner(problem)
+                share = {
+                    int(p.name): c
+                    for p, c in zip(result.problem.processors, result.counts)
+                }
+                off = 0
+                for r in survivors_nonroot:
+                    c = share[r]
+                    if c > 0:
+                        pending.setdefault(r, []).append(items[off : off + c])
+                        off += c
+                if off < len(items):  # root's own share of the re-plan
+                    root_chunks.append(items[off:])
+            else:
+                # Nobody left but the root: absorb everything locally.
+                root_chunks.append(items)
+
+    # -- completion round ----------------------------------------------------
+    def _meta() -> dict:
+        final_counts = [0] * ctx.size
+        for r, chunks_r in delivered.items():
+            final_counts[r] = sum(len(c) for c in chunks_r)
+        final_counts[root] = sum(len(c) for c in root_chunks)
+        return {
+            "counts": tuple(final_counts),
+            "survivors": tuple(r for r in range(ctx.size) if r not in dead),
+            "dead": tuple(sorted(dead)),
+            "retries": retries_total,
+            "replans": replans,
+            "lost_items": lost,
+            "redistributed_items": redistributed,
+        }
+
+    for r in range(ctx.size):
+        if r == root or r in dead:
+            continue
+        try:
+            used = yield from ctx.send(
+                r, ("done", _meta()), items=0, tag=tag,
+                retries=retries, backoff=backoff,
+            )
+            retries_total += used
+        except LinkFailure:
+            retries_total += retries
+            dead.add(r)
+            lost += sum(len(c) for c in delivered[r])
+            delivered[r] = []
+
+    return ScatterOutcome(chunk=_concat(root_chunks), **_meta())
 
 
 def gatherv(

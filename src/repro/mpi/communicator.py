@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from ..simgrid.engine import Mailbox, Simulator
+from ..simgrid.engine import TIMEOUT, Hold, Mailbox, Simulator
+from ..simgrid.faults import LinkFailure
 from ..simgrid.host import Host
 from ..simgrid.network import Network, Transfer
+from ..simgrid.noise import seeded_unit
 
-__all__ = ["MpiError", "Communicator", "RankContext", "ANY_SOURCE"]
+__all__ = ["MpiError", "RecvTimeout", "Communicator", "RankContext", "ANY_SOURCE"]
 
 #: Wildcard source for :meth:`RankContext.recv_any` channels.  Unlike real
 #: MPI, wildcard matching is per *channel*: a message is receivable by
@@ -35,6 +37,26 @@ ANY_SOURCE = -1
 
 class MpiError(Exception):
     """Invalid MPI usage (bad rank, size mismatch, ...)."""
+
+
+class RecvTimeout(MpiError):
+    """A ``recv(..., timeout=)`` expired before a matching message arrived.
+
+    The failure-detection primitive of the fault-tolerant collectives: a
+    receiver that has not heard from a peer within the timeout treats it
+    as dead instead of blocking forever.
+    """
+
+    def __init__(self, rank: int, src: Any, tag: int, timeout: float, time: float):
+        super().__init__(
+            f"rank {rank}: receive from {src} (tag {tag}) timed out after "
+            f"{timeout:g} s at t={time:g}"
+        )
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.timeout = timeout
+        self.time = time
 
 
 class Communicator:
@@ -114,6 +136,8 @@ class RankContext:
         tag: int = 0,
         *,
         to_any: bool = False,
+        retries: int = 0,
+        backoff: float = 0.05,
     ) -> Generator:
         """Blocking send of ``payload`` (accounted as ``items`` data items).
 
@@ -121,8 +145,20 @@ class RankContext:
         non-sized payloads.  A rank sending to itself is a free local copy.
         ``to_any=True`` deposits into the destination's wildcard channel,
         receivable only by :meth:`recv_any` (demand-driven protocols).
+
+        With ``retries > 0``, a :class:`~repro.simgrid.faults.LinkFailure`
+        is retried up to that many times with exponential backoff on the
+        simulated clock: attempt ``k`` waits ``backoff * 2**k * (1 + u)``
+        seconds, where ``u`` is a deterministic jitter drawn from the
+        fault plan's seeded hash (the scheme of
+        :class:`~repro.simgrid.noise.JitterNoise`).  After the last retry
+        the failure propagates.  Returns the number of retries performed.
         """
         dst = self.comm.check_rank(dst)
+        if retries < 0:
+            raise MpiError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0:
+            raise MpiError(f"backoff must be > 0, got {backoff}")
         if items is None:
             try:
                 items = len(payload)
@@ -132,37 +168,74 @@ class RankContext:
                 ) from None
         src_key = ANY_SOURCE if to_any else self.rank
         mbox = self.comm.mailbox(dst, src_key, tag)
-        yield from self.comm.network.send(
-            self.host.name,
-            self.host_of(dst).name,
-            items,
-            payload,
-            mbox,
-            src_trace=self.name,
-            dst_trace=self.comm.trace_names[dst],
-        )
+        src_host = self.host.name
+        dst_host = self.host_of(dst).name
+        faults = self.comm.network.faults
+        seed = faults.seed if faults is not None else 0
+        attempt = 0
+        while True:
+            try:
+                yield from self.comm.network.send(
+                    src_host,
+                    dst_host,
+                    items,
+                    payload,
+                    mbox,
+                    src_trace=self.name,
+                    dst_trace=self.comm.trace_names[dst],
+                )
+                return attempt
+            except LinkFailure:
+                if attempt >= retries:
+                    raise
+                jitter = seeded_unit(seed, "backoff", src_host, dst_host, attempt)
+                yield Hold(backoff * (2**attempt) * (1.0 + jitter))
+                attempt += 1
 
-    def recv_transfer(self, src: int, tag: int = 0) -> Generator:
-        """Blocking receive; returns the full :class:`Transfer` descriptor."""
+    def recv_transfer(
+        self, src: int, tag: int = 0, *, timeout: Optional[float] = None
+    ) -> Generator:
+        """Blocking receive; returns the full :class:`Transfer` descriptor.
+
+        With a finite ``timeout`` (simulated seconds), raises
+        :class:`RecvTimeout` if no matching message arrived in time.
+        """
         src = self.comm.check_rank(src)
         mbox = self.comm.mailbox(self.rank, src, tag)
-        transfer = yield from self.comm.network.recv(mbox)
+        transfer = yield from self.comm.network.recv(mbox, timeout)
+        if transfer is TIMEOUT:
+            raise RecvTimeout(self.rank, src, tag, timeout, self.now)
         return transfer
 
-    def recv(self, src: int, tag: int = 0) -> Generator:
-        """Blocking receive; returns the payload only."""
-        transfer: Transfer = yield from self.recv_transfer(src, tag)
+    def recv(
+        self, src: int, tag: int = 0, *, timeout: Optional[float] = None
+    ) -> Generator:
+        """Blocking receive; returns the payload only.
+
+        ``timeout`` as in :meth:`recv_transfer`.
+        """
+        transfer: Transfer = yield from self.recv_transfer(src, tag, timeout=timeout)
         return transfer.payload
 
-    def recv_any(self, tag: int = 0) -> Generator:
+    def recv_any(self, tag: int = 0, *, timeout: Optional[float] = None) -> Generator:
         """Receive from this rank's wildcard channel (see :data:`ANY_SOURCE`).
 
         Returns the full :class:`Transfer` — its ``src`` field carries the
         sender's *host* name; protocols that need the sender's rank should
         put it in the payload.
+
+        Fairness: the wildcard channel is a strict FIFO on both sides.
+        Messages are returned in the order their transfers *completed*
+        (deposit order), and when several receivers wait on the same
+        channel they are served oldest-receiver-first — no sender or
+        receiver can be starved while the channel is active.
+
+        ``timeout`` as in :meth:`recv_transfer`.
         """
         mbox = self.comm.mailbox(self.rank, ANY_SOURCE, tag)
-        transfer = yield from self.comm.network.recv(mbox)
+        transfer = yield from self.comm.network.recv(mbox, timeout)
+        if transfer is TIMEOUT:
+            raise RecvTimeout(self.rank, "ANY_SOURCE", tag, timeout, self.now)
         return transfer
 
     # -- computation -------------------------------------------------------------
@@ -189,6 +262,18 @@ class RankContext:
         from .collectives import scatterv
 
         return scatterv(self, data, counts, root, tag=tag)
+
+    def ft_scatterv(
+        self,
+        data: Optional[Sequence],
+        counts: Optional[Sequence[int]],
+        root: int,
+        tag: int = 16,
+        **kwargs: Any,
+    ) -> Generator:
+        from .collectives import ft_scatterv
+
+        return ft_scatterv(self, data, counts, root, tag=tag, **kwargs)
 
     def gatherv(self, payload: Any, root: int, items: Optional[int] = None,
                 tag: int = 12) -> Generator:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
 from ..simgrid.engine import Simulator
+from ..simgrid.faults import FaultPlan, schedule_host_faults
 from ..simgrid.network import Network
 from ..simgrid.platform import Platform
 from ..simgrid.trace import TraceRecorder
@@ -45,6 +46,13 @@ class MpiRun:
     def comm_times(self) -> List[float]:
         return [self.recorder.timeline(n).comm_time for n in self.trace_names]
 
+    def failed_ranks(self) -> List[int]:
+        """Ranks whose process died with an exception (e.g. a host crash
+        killed it with :class:`~repro.simgrid.faults.HostFailure`)."""
+        return [
+            r for r, v in enumerate(self.results) if isinstance(v, BaseException)
+        ]
+
 
 def trace_labels(rank_hosts: Sequence[str]) -> List[str]:
     """Unique per-rank trace labels: the host name, rank-qualified on reuse."""
@@ -64,6 +72,7 @@ def run_spmd(
     *args: Any,
     recorder: Optional[TraceRecorder] = None,
     before_run: Optional[Callable[[Simulator, List["object"]], None]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> MpiRun:
     """Execute ``program`` as one MPI process per entry of ``rank_hosts``.
 
@@ -81,6 +90,12 @@ def run_spmd(
         Hook called with ``(simulator, rank processes)`` after spawning
         and before the event loop starts — used to attach side services
         such as :class:`repro.monitor.MonitorDaemon`.
+    faults:
+        Optional :class:`~repro.simgrid.faults.FaultPlan`.  Host crashes
+        kill the affected rank processes at the scripted simulated time
+        (their :attr:`MpiRun.results` entry becomes the
+        :class:`~repro.simgrid.faults.HostFailure`); link outages and
+        degradations act on every transfer through the network.
 
     Raises
     ------
@@ -95,7 +110,7 @@ def run_spmd(
 
     sim = Simulator()
     rec = recorder or TraceRecorder()
-    network = Network(sim, platform, rec)
+    network = Network(sim, platform, rec, faults=faults)
     labels = trace_labels(list(rank_hosts))
     comm = Communicator(sim, network, hosts, trace_names=labels)
 
@@ -103,6 +118,11 @@ def run_spmd(
         sim.spawn(labels[r], program(RankContext(comm, r), *args))
         for r in range(comm.size)
     ]
+    if faults is not None and not faults.empty:
+        procs_by_host: dict = {}
+        for r, h in enumerate(rank_hosts):
+            procs_by_host.setdefault(h, []).append(procs[r])
+        schedule_host_faults(sim, faults, procs_by_host)
     if before_run is not None:
         before_run(sim, procs)
     duration = sim.run()

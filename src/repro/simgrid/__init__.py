@@ -12,10 +12,13 @@ Layers:
   hardware model);
 * :mod:`~repro.simgrid.trace` — timelines, stair-effect metrics, ASCII
   Gantt;
-* :mod:`~repro.simgrid.noise` — deterministic load perturbations.
+* :mod:`~repro.simgrid.noise` — deterministic load perturbations;
+* :mod:`~repro.simgrid.faults` — deterministic fault injection (host
+  crashes, link outages/degradation).
 """
 
 from .engine import (
+    TIMEOUT,
     Acquire,
     DeadlockError,
     Get,
@@ -29,10 +32,28 @@ from .engine import (
     Simulator,
     WaitFor,
 )
+from .faults import (
+    FaultError,
+    FaultPlan,
+    HostCrash,
+    HostFailure,
+    HostRecovery,
+    LinkDegradation,
+    LinkFailure,
+    LinkOutage,
+    schedule_host_faults,
+)
 from .host import Host
 from .link import Link
 from .network import Network, Transfer
-from .noise import CompositeNoise, JitterNoise, NoNoise, NoiseModel, SpikeNoise
+from .noise import (
+    CompositeNoise,
+    JitterNoise,
+    NoNoise,
+    NoiseModel,
+    SpikeNoise,
+    seeded_unit,
+)
 from .platform import Platform, cost_from_dict, cost_to_dict
 from .trace import Interval, Timeline, TraceRecorder
 
@@ -48,7 +69,18 @@ __all__ = [
     "Put",
     "Get",
     "WaitFor",
+    "TIMEOUT",
     "DeadlockError",
+    "FaultError",
+    "FaultPlan",
+    "HostCrash",
+    "HostRecovery",
+    "HostFailure",
+    "LinkOutage",
+    "LinkDegradation",
+    "LinkFailure",
+    "schedule_host_faults",
+    "seeded_unit",
     "Host",
     "Link",
     "Network",

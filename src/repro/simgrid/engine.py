@@ -16,6 +16,12 @@ but real discrete-event simulator with
 Determinism: the queue orders by ``(time, sequence)`` where ``sequence`` is
 a global insertion counter, so equal-time events fire in creation order and
 every run of the same program is bit-identical.
+
+Fault support (used by :mod:`repro.simgrid.faults`): a process can be
+:meth:`killed <Process.kill>` from outside the generator — it releases every
+resource it holds, leaves any wait queue, and its pending wake-ups become
+no-ops — and :class:`Get` accepts a ``timeout`` after which the blocked
+process is resumed with the :data:`TIMEOUT` sentinel instead of a message.
 """
 
 from __future__ import annotations
@@ -38,11 +44,25 @@ __all__ = [
     "Get",
     "WaitFor",
     "DeadlockError",
+    "TIMEOUT",
 ]
 
 
 class DeadlockError(RuntimeError):
     """Raised when the event queue drains while processes are still blocked."""
+
+
+class _TimeoutSentinel:
+    """Singleton resume value for a :class:`Get` whose timeout expired."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TIMEOUT"
+
+
+#: Value a process receives from ``yield Get(mbox, timeout)`` on expiry.
+TIMEOUT = _TimeoutSentinel()
 
 
 class SimPrimitive:
@@ -99,12 +119,17 @@ class Put(SimPrimitive):
 
 @dataclass(frozen=True)
 class Get(SimPrimitive):
-    """Block until a message is available; the message becomes the yield value."""
+    """Block until a message is available; the message becomes the yield value.
+
+    With a finite ``timeout`` (simulated seconds) the process is resumed
+    with :data:`TIMEOUT` instead if no message arrived in time.
+    """
 
     mailbox: "Mailbox"
+    timeout: Optional[float] = None
 
     def start(self, sim: "Simulator", process: "Process") -> None:
-        self.mailbox._get(process)
+        self.mailbox._get(process, self.timeout)
 
 
 @dataclass(frozen=True)
@@ -148,6 +173,7 @@ class SimEvent:
             self.sim.schedule(0.0, process._resume, self.value)
         else:
             self._waiters.append(process)
+            process._blocked_on = self
 
 
 class Resource:
@@ -187,9 +213,11 @@ class Resource:
     def _request(self, process: "Process") -> None:
         if len(self._holders) < self.capacity:
             self._holders.append(process)
+            process._held.append(self)
             self.sim.schedule(0.0, process._resume, None)
         else:
             self._queue.append(process)
+            process._blocked_on = self
 
     def _release(self, process: "Process") -> None:
         if process not in self._holders:
@@ -198,14 +226,38 @@ class Resource:
                 f"{process.name!r} released {self.name!r} held by {names!r}"
             )
         self._holders.remove(process)
-        if self._queue:
+        if self in process._held:
+            process._held.remove(self)
+        # Hand off to the next *live* waiter; granting to a killed process
+        # would leave the resource held by a corpse forever.
+        while self._queue:
             nxt = self._queue.popleft()
+            if nxt._killed or nxt.done.is_set:
+                continue
             self._holders.append(nxt)
+            nxt._held.append(self)
             self.sim.schedule(0.0, nxt._resume, None)
+            break
+
+
+class _GetWait:
+    """One pending receive; a fresh identity per wait so a stale timeout
+    event can never expire a *later* wait by the same process."""
+
+    __slots__ = ("process", "timer")
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self.timer: Optional[_QueuedEvent] = None
 
 
 class Mailbox:
-    """FIFO message channel between processes."""
+    """FIFO message channel between processes.
+
+    Both messages and waiting receivers are served strictly in arrival
+    (FIFO) order — the fairness guarantee :meth:`RankContext.recv_any
+    <repro.mpi.communicator.RankContext.recv_any>` documents.
+    """
 
     __slots__ = ("sim", "name", "_messages", "_getters")
 
@@ -213,23 +265,43 @@ class Mailbox:
         self.sim = sim
         self.name = name
         self._messages: Deque[Any] = deque()
-        self._getters: Deque["Process"] = deque()
+        self._getters: Deque[_GetWait] = deque()
 
     def __len__(self) -> int:
         return len(self._messages)
 
     def _put(self, message: Any) -> None:
-        if self._getters:
-            proc = self._getters.popleft()
+        while self._getters:
+            wait = self._getters.popleft()
+            if wait.timer is not None:
+                self.sim.cancel(wait.timer)
+            proc = wait.process
+            if proc._killed or proc.done.is_set:
+                continue  # dead receiver; keep the message for a live one
             self.sim.schedule(0.0, proc._resume, message)
-        else:
-            self._messages.append(message)
+            return
+        self._messages.append(message)
 
-    def _get(self, process: "Process") -> None:
+    def _get(self, process: "Process", timeout: Optional[float] = None) -> None:
         if self._messages:
             self.sim.schedule(0.0, process._resume, self._messages.popleft())
-        else:
-            self._getters.append(process)
+            return
+        wait = _GetWait(process)
+        self._getters.append(wait)
+        process._blocked_on = self
+        if timeout is not None:
+            if timeout < 0:
+                raise ValueError(f"negative receive timeout: {timeout}")
+            wait.timer = self.sim.schedule(timeout, self._expire, wait)
+
+    def _expire(self, wait: _GetWait) -> None:
+        """Timeout event: resume the waiter with TIMEOUT if still queued."""
+        for queued in self._getters:
+            if queued is wait:
+                self._getters.remove(wait)
+                if not (wait.process._killed or wait.process.done.is_set):
+                    self.sim.schedule(0.0, wait.process._resume, TIMEOUT)
+                return
 
 
 class Process:
@@ -240,7 +312,18 @@ class Process:
     with the generator's return value.
     """
 
-    __slots__ = ("sim", "name", "_gen", "done", "_blocked")
+    __slots__ = (
+        "sim",
+        "name",
+        "_gen",
+        "done",
+        "_blocked",
+        "_killed",
+        "failure",
+        "_held",
+        "_blocked_on",
+        "_last_prim",
+    )
 
     def __init__(self, sim: "Simulator", name: str, gen: Generator):
         self.sim = sim
@@ -248,6 +331,15 @@ class Process:
         self._gen = gen
         self.done = SimEvent(sim, f"{name}.done")
         self._blocked = False
+        self._killed = False
+        #: The exception this process was killed with, if any.
+        self.failure: Optional[BaseException] = None
+        #: Resources currently held (for forced release on kill).
+        self._held: List["Resource"] = []
+        #: The resource/mailbox/event this process is queued on, if blocked.
+        self._blocked_on: Any = None
+        #: The most recent primitive yielded (for deadlock diagnostics).
+        self._last_prim: Optional[SimPrimitive] = None
         sim._processes.append(self)
         sim.schedule(0.0, self._resume, None)
 
@@ -255,8 +347,15 @@ class Process:
     def alive(self) -> bool:
         return not self.done.is_set
 
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
     def _resume(self, value: Any) -> None:
+        if self._killed or self.done.is_set:
+            return  # stale wake-up (timer, resource grant, ...) of a dead process
         self._blocked = False
+        self._blocked_on = None
         try:
             prim = self._gen.send(value)
         except StopIteration as stop:
@@ -268,11 +367,71 @@ class Process:
                 f"primitive (Hold/Acquire/Release/Put/Get/WaitFor)"
             )
         self._blocked = True
+        self._last_prim = prim
         prim.start(self.sim, self)
 
+    def kill(self, failure: Optional[BaseException] = None) -> None:
+        """Terminate this process from outside (e.g. its host crashed).
+
+        Releases every resource the process holds (so in-flight transfers
+        by *other* processes are not wedged), removes it from any resource
+        wait queue, closes the generator (running its ``finally`` blocks),
+        and fires ``done`` with ``failure`` as the value.  Idempotent; a
+        no-op on a finished process.
+        """
+        if self._killed or self.done.is_set:
+            return
+        self._killed = True
+        self.failure = failure
+        blocked_on = self._blocked_on
+        if isinstance(blocked_on, Resource) and self in blocked_on._queue:
+            blocked_on._queue.remove(self)
+        elif isinstance(blocked_on, Mailbox):
+            for wait in [w for w in blocked_on._getters if w.process is self]:
+                blocked_on._getters.remove(wait)
+                if wait.timer is not None:
+                    self.sim.cancel(wait.timer)
+        for res in list(self._held):
+            res._release(self)
+        try:
+            self._gen.close()
+        finally:
+            self.done.set(failure)
+
+    def waiting_description(self) -> str:
+        """Human-readable 'where is this process stuck' for deadlock reports."""
+        prim = self._last_prim
+        if prim is None:
+            return "never ran"
+        return f"last yielded {describe_primitive(prim)}"
+
     def __repr__(self) -> str:
-        state = "done" if self.done.is_set else ("blocked" if self._blocked else "ready")
+        if self._killed:
+            state = "killed"
+        elif self.done.is_set:
+            state = "done"
+        else:
+            state = "blocked" if self._blocked else "ready"
         return f"Process({self.name!r}, {state})"
+
+
+def describe_primitive(prim: SimPrimitive) -> str:
+    """Short description of a primitive for diagnostics."""
+    if isinstance(prim, Hold):
+        return f"Hold({prim.duration:g})"
+    if isinstance(prim, Acquire):
+        return f"Acquire({prim.resource.name})"
+    if isinstance(prim, Release):
+        return f"Release({prim.resource.name})"
+    if isinstance(prim, Get):
+        if prim.timeout is not None:
+            return f"Get({prim.mailbox.name}, timeout={prim.timeout:g})"
+        return f"Get({prim.mailbox.name})"
+    if isinstance(prim, Put):
+        return f"Put({prim.mailbox.name})"
+    if isinstance(prim, WaitFor):
+        return f"WaitFor({prim.event.name})"
+    return repr(prim)
 
 
 @dataclass(order=True)
@@ -342,6 +501,11 @@ class Simulator:
             ev.fn(*ev.args)
         blocked = [p for p in self._processes if p.alive]
         if blocked and until is None:
-            names = ", ".join(p.name for p in blocked)
-            raise DeadlockError(f"simulation deadlocked; blocked processes: {names}")
+            details = ", ".join(
+                f"{p.name} ({p.waiting_description()})" for p in blocked
+            )
+            raise DeadlockError(
+                f"simulation deadlocked at t={self.now:g}; "
+                f"blocked processes: {details}"
+            )
         return self.now

@@ -1,0 +1,388 @@
+"""Deterministic fault injection for the simulated grid.
+
+The paper's framework (§2-3) assumes every processor named in the
+distribution stays alive for the whole scatter.  On a real grid — the
+setting the paper targets — hosts crash, links drop, and a single-port
+root blocked on a dead receiver stalls the entire operation.  This module
+injects exactly those failures into the simulator, deterministically:
+
+* :class:`FaultPlan` — a seeded, fully scripted set of fault events
+  (:class:`HostCrash`, :class:`HostRecovery`, :class:`LinkOutage`,
+  :class:`LinkDegradation`) with pure query methods the runtime consults;
+* :class:`HostFailure` / :class:`LinkFailure` — the exceptions surfaced to
+  simulated programs when a fault bites;
+* :func:`schedule_host_faults` — wiring used by
+  :func:`repro.mpi.run_spmd` to kill the rank processes of a crashed host
+  at the simulated moment of failure.
+
+Semantics
+---------
+* A host crash at time ``t`` kills every rank process bound to that host
+  at ``t`` (their ``done`` events fire with a :class:`HostFailure` value,
+  held ports are force-released); a later :class:`HostRecovery` makes the
+  *host* reachable again but does **not** resurrect killed processes —
+  their state died with them.
+* A transfer overlapping a link outage, or addressed to a host that is
+  (or becomes) dead before the transfer completes, raises
+  :class:`LinkFailure` **in the sender's process** at the simulated moment
+  of failure (ports released first, partial send time charged).
+* :class:`LinkDegradation` multiplies transfer durations by ``slowdown``
+  for transfers *starting* inside the window (sampled at transfer start,
+  the same piecewise-constant simplification the compute
+  :class:`~repro.simgrid.noise.NoiseModel` uses).
+
+Everything is a pure function of the plan — no RNG state — so runs with
+the same seed and plan are bit-identical, composing cleanly with
+:class:`~repro.simgrid.noise.JitterNoise` (whose seeded hash,
+:func:`~repro.simgrid.noise.seeded_unit`, is reused for backoff jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Process, Simulator
+from .noise import seeded_unit
+
+__all__ = [
+    "FaultError",
+    "HostFailure",
+    "LinkFailure",
+    "HostCrash",
+    "HostRecovery",
+    "LinkOutage",
+    "LinkDegradation",
+    "FaultPlan",
+    "schedule_host_faults",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for injected-fault exceptions."""
+
+
+class HostFailure(FaultError):
+    """A host crashed; processes bound to it are killed with this."""
+
+    def __init__(self, host: str, time: float):
+        super().__init__(f"host {host!r} crashed at t={time:g}")
+        self.host = host
+        self.time = time
+
+
+class LinkFailure(FaultError):
+    """A transfer failed: link outage or dead endpoint."""
+
+    def __init__(self, src: str, dst: str, time: float, reason: str = "link down"):
+        super().__init__(
+            f"transfer {src!r} -> {dst!r} failed at t={time:g} ({reason})"
+        )
+        self.src = src
+        self.dst = dst
+        self.time = time
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Host ``host`` dies at time ``time`` (dead for ``t >= time``)."""
+
+    host: str
+    time: float
+
+
+@dataclass(frozen=True)
+class HostRecovery:
+    """Host ``host`` becomes reachable again at ``time``."""
+
+    host: str
+    time: float
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """The ``src -> dst`` link is down during ``[start, end)``."""
+
+    src: str
+    dst: str
+    start: float
+    end: float
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("outage window must have end > start")
+
+    def covers(self, src: str, dst: str) -> bool:
+        if (src, dst) == (self.src, self.dst):
+            return True
+        return self.symmetric and (dst, src) == (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Transfers starting in ``[start, end)`` take ``slowdown``× longer."""
+
+    src: str
+    dst: str
+    start: float
+    end: float
+    slowdown: float = 2.0
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("degradation window must have end > start")
+        if self.slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+
+    def covers(self, src: str, dst: str) -> bool:
+        if (src, dst) == (self.src, self.dst):
+            return True
+        return self.symmetric and (dst, src) == (self.src, self.dst)
+
+
+class FaultPlan:
+    """A scripted, seeded set of fault events plus pure query methods.
+
+    Build with the chainable helpers::
+
+        plan = (FaultPlan(seed=7)
+                .crash("merlin", at=120.0)
+                .recover("merlin", at=500.0)
+                .link_outage("root", "caseb", start=10.0, end=25.0)
+                .degrade("root", "sekhmet", start=0.0, end=60.0, slowdown=3.0))
+
+    The ``seed`` feeds :func:`~repro.simgrid.noise.seeded_unit` for retry
+    backoff jitter in the MPI layer; the events themselves are exact.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._crashes: List[HostCrash] = []
+        self._recoveries: List[HostRecovery] = []
+        self._outages: List[LinkOutage] = []
+        self._degradations: List[LinkDegradation] = []
+
+    # -- builders (chainable) ------------------------------------------------
+    def crash(self, host: str, at: float) -> "FaultPlan":
+        if at < 0:
+            raise ValueError(f"crash time must be >= 0, got {at}")
+        self._crashes.append(HostCrash(host, at))
+        return self
+
+    def recover(self, host: str, at: float) -> "FaultPlan":
+        if at < 0:
+            raise ValueError(f"recovery time must be >= 0, got {at}")
+        self._recoveries.append(HostRecovery(host, at))
+        return self
+
+    def link_outage(
+        self, src: str, dst: str, start: float, end: float, *, symmetric: bool = True
+    ) -> "FaultPlan":
+        self._outages.append(LinkOutage(src, dst, start, end, symmetric))
+        return self
+
+    def degrade(
+        self,
+        src: str,
+        dst: str,
+        start: float,
+        end: float,
+        slowdown: float,
+        *,
+        symmetric: bool = True,
+    ) -> "FaultPlan":
+        self._degradations.append(
+            LinkDegradation(src, dst, start, end, slowdown, symmetric)
+        )
+        return self
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not (
+            self._crashes or self._recoveries or self._outages or self._degradations
+        )
+
+    @property
+    def crashes(self) -> Tuple[HostCrash, ...]:
+        return tuple(self._crashes)
+
+    @property
+    def outages(self) -> Tuple[LinkOutage, ...]:
+        return tuple(self._outages)
+
+    def _transitions(self, host: str) -> List[Tuple[float, bool]]:
+        """Sorted ``(time, alive_after)`` transitions for one host.
+
+        Ties at equal time resolve crash-last (a crash and recovery at the
+        same instant leave the host dead — the conservative reading).
+        """
+        events = [(c.time, 1, False) for c in self._crashes if c.host == host]
+        events += [(r.time, 0, True) for r in self._recoveries if r.host == host]
+        events.sort()
+        return [(t, alive) for t, _, alive in events]
+
+    def host_alive(self, host: str, time: float) -> bool:
+        """Is ``host`` up at ``time``?  (Crash at ``t`` ⇒ dead for ``t' >= t``.)"""
+        alive = True
+        for t, state in self._transitions(host):
+            if t <= time:
+                alive = state
+            else:
+                break
+        return alive
+
+    def crash_times(self, host: str) -> List[float]:
+        return sorted(c.time for c in self._crashes if c.host == host)
+
+    def host_death_in(
+        self, host: str, start: float, end: float
+    ) -> Optional[float]:
+        """Earliest moment in ``[start, end]`` at which ``host`` is dead."""
+        if not self.host_alive(host, start):
+            return start
+        for t, state in self._transitions(host):
+            if start < t <= end and not state:
+                return t
+        return None
+
+    def link_down(self, src: str, dst: str, time: float) -> bool:
+        return any(
+            o.covers(src, dst) and o.start <= time < o.end for o in self._outages
+        )
+
+    def link_failure_in(
+        self, src: str, dst: str, start: float, end: float
+    ) -> Optional[float]:
+        """Earliest moment in ``[start, end]`` at which the link is down."""
+        best: Optional[float] = None
+        for o in self._outages:
+            if not o.covers(src, dst):
+                continue
+            if o.start <= start < o.end:
+                return start
+            if start < o.start <= end and (best is None or o.start < best):
+                best = o.start
+        return best
+
+    def link_slowdown(self, src: str, dst: str, time: float) -> float:
+        """Product of degradation slowdowns active on this link at ``time``."""
+        factor = 1.0
+        for d in self._degradations:
+            if d.covers(src, dst) and d.start <= time < d.end:
+                factor *= d.slowdown
+        return factor
+
+    def transfer_failure_time(
+        self, src: str, dst: str, start: float, duration: float
+    ) -> Optional[Tuple[float, str]]:
+        """When (and why) a transfer starting at ``start`` fails, or ``None``.
+
+        Checks, over ``[start, start + duration]``: the destination host
+        dying (a dead receiver can't complete a transfer) and link outage
+        windows.  The source's own death is handled by killing the sending
+        process, not here.
+        """
+        end = start + duration
+        candidates: List[Tuple[float, str]] = []
+        death = self.host_death_in(dst, start, end)
+        if death is not None:
+            candidates.append((death, f"destination host {dst!r} dead"))
+        outage = self.link_failure_in(src, dst, start, end)
+        if outage is not None:
+            candidates.append((outage, "link outage"))
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: c[0])
+
+    def backoff_jitter(self, src: str, dst: str, attempt: int) -> float:
+        """Deterministic jitter in ``[0, 1)`` for retry ``attempt`` of a send."""
+        return seeded_unit(self.seed, "backoff", src, dst, attempt)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "crashes": [{"host": c.host, "time": c.time} for c in self._crashes],
+            "recoveries": [
+                {"host": r.host, "time": r.time} for r in self._recoveries
+            ],
+            "outages": [
+                {
+                    "src": o.src,
+                    "dst": o.dst,
+                    "start": o.start,
+                    "end": o.end,
+                    "symmetric": o.symmetric,
+                }
+                for o in self._outages
+            ],
+            "degradations": [
+                {
+                    "src": d.src,
+                    "dst": d.dst,
+                    "start": d.start,
+                    "end": d.end,
+                    "slowdown": d.slowdown,
+                    "symmetric": d.symmetric,
+                }
+                for d in self._degradations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        plan = cls(seed=data.get("seed", 0))
+        for c in data.get("crashes", []):
+            plan.crash(c["host"], c["time"])
+        for r in data.get("recoveries", []):
+            plan.recover(r["host"], r["time"])
+        for o in data.get("outages", []):
+            plan.link_outage(
+                o["src"], o["dst"], o["start"], o["end"],
+                symmetric=o.get("symmetric", True),
+            )
+        for d in data.get("degradations", []):
+            plan.degrade(
+                d["src"], d["dst"], d["start"], d["end"], d["slowdown"],
+                symmetric=d.get("symmetric", True),
+            )
+        return plan
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, crashes={len(self._crashes)}, "
+            f"recoveries={len(self._recoveries)}, outages={len(self._outages)}, "
+            f"degradations={len(self._degradations)})"
+        )
+
+
+def schedule_host_faults(
+    sim: Simulator,
+    plan: FaultPlan,
+    procs_by_host: Dict[str, Sequence[Process]],
+) -> None:
+    """Arm a simulation: kill each host's processes at its crash times.
+
+    Called by :func:`repro.mpi.run_spmd` after spawning rank processes.
+    Killing is idempotent, so repeated crash events are harmless; recovery
+    does not resurrect processes (see module docstring).
+    """
+    for crash in plan.crashes:
+        procs = procs_by_host.get(crash.host)
+        if not procs:
+            continue
+        if crash.time < sim.now:
+            raise ValueError(
+                f"crash of {crash.host!r} at t={crash.time:g} is in the past "
+                f"(sim is at t={sim.now:g})"
+            )
+
+        def _kill(host: str = crash.host, victims: Tuple[Process, ...] = tuple(procs)) -> None:
+            for proc in victims:
+                proc.kill(HostFailure(host, sim.now))
+
+        sim.schedule(crash.time - sim.now, _kill)

@@ -9,6 +9,7 @@ clock.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -66,7 +67,17 @@ class Host:
         if items < 0:
             raise ValueError(f"negative item count: {items}")
         base = self.comp_cost(items)
-        return base * self.noise.factor(self.name, at)
+        factor = self.noise.factor(self.name, at)
+        # Validate at the call site: a buggy custom model must fail loudly,
+        # not silently speed hosts up (factor < 1) or poison the event
+        # queue with NaN/inf durations.  NaN fails the >= comparison too.
+        if not (factor >= 1.0 and factor != math.inf):
+            raise ValueError(
+                f"noise model {self.noise!r} returned invalid factor "
+                f"{factor!r} for host {self.name!r} at t={at:g}; factors "
+                f"must be finite and >= 1"
+            )
+        return base * factor
 
     def __repr__(self) -> str:
         where = f", site={self.site!r}" if self.site else ""

@@ -19,7 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
-from .engine import Acquire, Get, Hold, Mailbox, Put, Release, Resource, Simulator
+from .engine import (
+    Acquire,
+    Get,
+    Hold,
+    Mailbox,
+    Put,
+    Release,
+    Resource,
+    Simulator,
+)
+from .faults import FaultPlan, LinkFailure
 from .host import Host
 from .platform import Platform
 from .trace import TraceRecorder
@@ -47,10 +57,13 @@ class Network:
         sim: Simulator,
         platform: Platform,
         recorder: Optional[TraceRecorder] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.sim = sim
         self.platform = platform
         self.recorder = recorder or TraceRecorder()
+        #: Injected-fault script; ``None`` means a fault-free network.
+        self.faults = faults
         self._out_ports: Dict[str, Resource] = {}
         self._in_ports: Dict[str, Resource] = {}
         self._backbones: Dict[str, Resource] = {}
@@ -94,6 +107,14 @@ class Network:
         trace and a ``receiving`` interval on the destination trace, then
         deposits a :class:`Transfer` into the mailbox.  A loopback transfer
         (``src == dst``) costs zero time and takes no ports.
+
+        With a :class:`~repro.simgrid.faults.FaultPlan` attached, a
+        transfer overlapping a link outage or addressed to a dead (or
+        dying) host raises :class:`~repro.simgrid.faults.LinkFailure` in
+        the *sender's* process at the simulated moment of failure — after
+        releasing both ports and charging the partial send time.  A
+        :class:`~repro.simgrid.faults.LinkDegradation` window active at
+        transfer start multiplies the duration.
         """
         if items < 0:
             raise ValueError(f"negative item count: {items}")
@@ -101,7 +122,6 @@ class Network:
             start = self.sim.now
             yield Put(mailbox, Transfer(src, dst, items, payload, start, start))
             return
-        duration = self.platform.link(src, dst).transfer_time(items)
         # Global acquisition order (out, in, backbone) prevents deadlock.
         yield Acquire(self.out_port(src))
         yield Acquire(self.in_port(dst))
@@ -109,6 +129,21 @@ class Network:
         if pipe is not None:
             yield Acquire(pipe)
         start = self.sim.now
+        duration = self.platform.link(src, dst).transfer_time(items)
+        if self.faults is not None:
+            duration *= self.faults.link_slowdown(src, dst, start)
+            failure = self.faults.transfer_failure_time(src, dst, start, duration)
+            if failure is not None:
+                fail_at, reason = failure
+                yield Hold(max(0.0, fail_at - start))
+                end = self.sim.now
+                if end > start:
+                    self.recorder.record(src_trace or src, "sending", start, end)
+                if pipe is not None:
+                    yield Release(pipe)
+                yield Release(self.in_port(dst))
+                yield Release(self.out_port(src))
+                raise LinkFailure(src, dst, end, reason)
         yield Hold(duration)
         end = self.sim.now
         self.recorder.record(src_trace or src, "sending", start, end)
@@ -119,9 +154,14 @@ class Network:
         yield Release(self.out_port(src))
         yield Put(mailbox, Transfer(src, dst, items, payload, start, end))
 
-    def recv(self, mailbox: Mailbox) -> Generator:
-        """Wait for the next :class:`Transfer` in ``mailbox`` and return it."""
-        transfer = yield Get(mailbox)
+    def recv(self, mailbox: Mailbox, timeout: Optional[float] = None) -> Generator:
+        """Wait for the next :class:`Transfer` in ``mailbox`` and return it.
+
+        With a finite ``timeout`` (simulated seconds) returns the
+        :data:`~repro.simgrid.engine.TIMEOUT` sentinel instead if nothing
+        arrived in time — the MPI layer turns that into ``RecvTimeout``.
+        """
+        transfer = yield Get(mailbox, timeout)
         return transfer
 
     def compute(

@@ -24,7 +24,27 @@ import hashlib
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["NoiseModel", "NoNoise", "JitterNoise", "SpikeNoise", "CompositeNoise"]
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "JitterNoise",
+    "SpikeNoise",
+    "CompositeNoise",
+    "seeded_unit",
+]
+
+
+def seeded_unit(seed: int, *parts: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from a seeded hash.
+
+    ``sha256(f"{seed}:{part1}:{part2}:...")`` mapped to ``[0, 1)`` — the
+    same stable scheme :class:`JitterNoise` uses for compute jitter; the
+    fault layer reuses it for retry-backoff jitter so fault-tolerant runs
+    stay bit-identical across repeats.
+    """
+    key = ":".join(str(p) for p in (seed, *parts)).encode()
+    digest = hashlib.sha256(key).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
 
 
 class NoiseModel:
@@ -62,10 +82,7 @@ class JitterNoise(NoiseModel):
         if self.amplitude < 0:
             raise ValueError("amplitude must be >= 0")
         idx = int(time // self.bucket) if self.bucket > 0 else 0
-        key = f"{self.seed}:{host}:{idx}".encode()
-        digest = hashlib.sha256(key).digest()
-        u = int.from_bytes(digest[:8], "big") / 2**64
-        return 1.0 + self.amplitude * u
+        return 1.0 + self.amplitude * seeded_unit(self.seed, host, idx)
 
     def __repr__(self) -> str:
         return f"JitterNoise(seed={self.seed}, amplitude={self.amplitude})"

@@ -1,0 +1,126 @@
+"""Monitoring under faults: the daemon must survive host crashes.
+
+Satellite requirement: a host crash mid-run must not raise inside the
+daemon, and the crashed host's observation series must stop growing while
+it is down.  The :class:`FailureDetector` fed by the daemon's heartbeats
+must converge on the injected failure within one suspect threshold.
+"""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.monitor import FailureDetector, LoadMonitor, MonitorDaemon
+from repro.mpi import run_spmd
+from repro.simgrid import FaultPlan, Host, HostFailure, Link, Platform
+
+
+def make_platform(p=4):
+    plat = Platform("monitor-faults")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(0.01)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(0.001))
+    return plat
+
+
+def program(ctx, n, counts, root):
+    chunk = yield from ctx.scatterv(
+        list(range(n)) if ctx.rank == root else None,
+        counts if ctx.rank == root else None,
+        root=root,
+    )
+    yield from ctx.compute(10 * len(chunk))
+    return len(chunk)
+
+
+def run_with_daemon(plat, faults, *, period=1.0, detector=None, p=4, n=400):
+    hosts = plat.host_names
+    monitor = LoadMonitor()
+    daemon = MonitorDaemon(
+        plat, monitor, period=period, faults=faults, detector=detector
+    )
+    counts = [n // p] * p
+    run = run_spmd(
+        plat,
+        hosts,
+        program,
+        n,
+        counts,
+        p - 1,
+        before_run=daemon.attach,
+        faults=faults,
+    )
+    return run, daemon, monitor
+
+
+class TestDaemonUnderFaults:
+    def test_crash_does_not_raise_and_stops_recording(self):
+        plat = make_platform()
+        crash_at = 2.5
+        faults = FaultPlan().crash("h1", at=crash_at)
+        run, daemon, monitor = run_with_daemon(plat, faults)
+
+        # The crashed rank failed; the run itself completed.
+        assert isinstance(run.results[1], HostFailure)
+        assert daemon.samples_taken >= 2
+        # h1's series stops at the crash; live hosts keep being sampled.
+        assert all(obs.time < crash_at for obs in monitor.history["h1"])
+        assert len(monitor.history["h0"]) == daemon.samples_taken
+        assert len(monitor.history["h1"]) < len(monitor.history["h0"])
+
+    def test_recovered_host_resumes_recording(self):
+        plat = make_platform()
+        faults = FaultPlan().crash("h1", at=1.5).recover("h1", at=3.5)
+        run, daemon, monitor = run_with_daemon(plat, faults, n=2000)
+        times = [obs.time for obs in monitor.history["h1"]]
+        assert any(t < 1.5 for t in times)
+        assert not any(1.5 <= t < 3.5 for t in times)  # silent while down
+        if run.duration > 3.5:
+            assert any(t >= 3.5 for t in times)  # heard again after recovery
+
+    def test_detector_converges_on_injected_crash(self):
+        plat = make_platform()
+        detector = FailureDetector(suspect_threshold=2.0)
+        faults = FaultPlan().crash("h1", at=2.5)
+        run, _, _ = run_with_daemon(
+            plat, faults, period=1.0, detector=detector, n=4000
+        )
+        now = run.duration
+        assert now > 2.5 + 2.0, "run too short for the detector to converge"
+        assert detector.is_suspect("h1", now)
+        assert "h1" in detector.suspects(now)
+        assert detector.view(plat.host_names, now)["h1"] == "suspect"
+        for h in ("h0", "h2", "h3"):
+            assert detector.view(plat.host_names, now)[h] == "alive"
+
+
+class TestFailureDetector:
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="suspect_threshold"):
+            FailureDetector(suspect_threshold=0.0)
+
+    def test_heartbeat_is_monotone(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        det.heartbeat("a", 10.0)
+        det.heartbeat("a", 7.0)  # stale heartbeat must not rewind
+        assert det.last_heard["a"] == 10.0
+
+    def test_silence_and_suspicion(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        assert det.silence("a", 100.0) is None
+        assert not det.is_suspect("a", 100.0)  # never heard -> unknown
+        det.heartbeat("a", 10.0)
+        assert det.silence("a", 12.0) == pytest.approx(2.0)
+        assert not det.is_suspect("a", 15.0)  # exactly at threshold
+        assert det.is_suspect("a", 15.1)
+
+    def test_view_partitions_hosts(self):
+        det = FailureDetector(suspect_threshold=1.0)
+        det.heartbeat("alive", 9.5)
+        det.heartbeat("dead", 2.0)
+        view = det.view(["alive", "dead", "never"], 10.0)
+        assert view == {"alive": "alive", "dead": "suspect", "never": "unknown"}
+        assert det.alive(10.0) == ["alive"]
+        assert det.suspects(10.0) == ["dead"]

@@ -1,0 +1,245 @@
+"""Tests for the fault-tolerant scatter (``repro.mpi.ft_scatterv``)."""
+
+import pytest
+
+from repro.core import LinearCost
+from repro.mpi import MpiError, RecvTimeout, ScatterOutcome, run_spmd
+from repro.simgrid import (
+    FaultPlan,
+    Host,
+    HostFailure,
+    Link,
+    LinkFailure,
+    Platform,
+)
+
+
+def make_platform(p=5, alpha=0.01, beta=0.001):
+    plat = Platform("ft-test")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(alpha * (1 + 0.2 * i))))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+def ft_program(ctx, data, counts, root, scatter_kwargs):
+    outcome = yield from ctx.ft_scatterv(
+        data if ctx.rank == root else None,
+        counts if ctx.rank == root else None,
+        root=root,
+        **scatter_kwargs,
+    )
+    return outcome
+
+
+def run_ft(plat, n, counts, faults=None, **scatter_kwargs):
+    hosts = plat.host_names
+    root = len(hosts) - 1
+    return run_spmd(
+        plat,
+        hosts,
+        ft_program,
+        list(range(n)),
+        counts,
+        root,
+        scatter_kwargs,
+        faults=faults,
+    ), root
+
+
+class TestHealthy:
+    def test_matches_scatterv_when_no_faults(self):
+        plat = make_platform()
+        counts = [300, 200, 200, 200, 100]
+        run, root = run_ft(plat, 1000, counts)
+        chunks = [r.chunk for r in run.results]
+        flat = [x for c in chunks for x in c]
+        assert sorted(flat) == list(range(1000))
+        assert [len(c) for c in chunks] == counts
+        for r in run.results:
+            assert isinstance(r, ScatterOutcome)
+            assert r.survivors == (0, 1, 2, 3, 4)
+            assert r.dead == ()
+            assert r.retries == 0 and r.replans == 0
+            assert not r.degraded
+
+    def test_validates_counts(self):
+        plat = make_platform()
+
+        def program(ctx):
+            return (
+                yield from ctx.ft_scatterv(
+                    list(range(10)) if ctx.rank == 4 else None,
+                    [3, 3, 3] if ctx.rank == 4 else None,  # wrong length
+                    root=4,
+                )
+            )
+
+        with pytest.raises(MpiError, match="3 entries for 5 ranks"):
+            run_spmd(plat, plat.host_names, program)
+
+
+class TestOneDeath:
+    COUNTS = [2000, 2000, 2000, 2000, 2000]
+
+    def _run(self, seed=0):
+        plat = make_platform()
+        faults = FaultPlan(seed=seed).crash("h1", at=1.0)
+        return run_ft(plat, 10_000, self.COUNTS, faults=faults, retries=2)
+
+    def test_survivors_get_full_replanned_share(self):
+        run, root = self._run()
+        outcome = run.results[root]
+        assert outcome.dead == (1,)
+        assert outcome.survivors == (0, 2, 3, 4)
+        assert outcome.replans >= 1
+        assert isinstance(run.results[1], HostFailure)
+        assert run.failed_ranks() == [1]
+
+        # Every one of the 10k items lands on exactly one survivor.
+        flat = [
+            x for r, res in enumerate(run.results) if r != 1 for x in res.chunk
+        ]
+        assert sorted(flat) == list(range(10_000))
+        assert outcome.lost_items == 0
+        assert outcome.redistributed_items > 0
+        assert outcome.degraded
+
+        # The root's view of the final counts matches what ranks received.
+        for r, res in enumerate(run.results):
+            if r != 1:
+                assert outcome.counts[r] == len(res.chunk)
+        assert outcome.counts[1] == 0
+
+    def test_bit_identical_across_repeats(self):
+        run_a, root = self._run()
+        run_b, _ = self._run()
+        assert run_a.duration == run_b.duration
+        assert run_a.results[root].counts == run_b.results[root].counts
+        assert run_a.results[root].retries == run_b.results[root].retries
+
+    def test_plain_scatterv_fails_loudly_under_same_plan(self):
+        plat = make_platform()
+        faults = FaultPlan().crash("h1", at=1.0)
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv(
+                list(range(10_000)) if ctx.rank == 4 else None,
+                TestOneDeath.COUNTS if ctx.rank == 4 else None,
+                root=4,
+            )
+            return list(chunk)
+
+        # No hang: the root's send into the dead host raises LinkFailure.
+        with pytest.raises(LinkFailure, match="h1"):
+            run_spmd(plat, plat.host_names, program, faults=faults)
+
+
+class TestManyDeaths:
+    def test_all_workers_die_root_absorbs(self):
+        plat = make_platform()
+        faults = (
+            FaultPlan()
+            .crash("h0", at=0.5)
+            .crash("h1", at=0.6)
+            .crash("h2", at=0.7)
+            .crash("h3", at=0.8)
+        )
+        run, root = run_ft(
+            plat, 5000, [1000] * 5, faults=faults, retries=1
+        )
+        outcome = run.results[root]
+        assert outcome.survivors == (4,)
+        assert sorted(outcome.chunk) != []
+        # The root absorbed everything that could be reclaimed.
+        assert outcome.lost_items + len(outcome.chunk) == 5000
+        assert outcome.lost_items == 0  # nothing delivered before t=0.5
+
+    def test_death_after_delivery_loses_the_chunk(self):
+        """A rank that dies *after* receiving its chunk takes it down.
+
+        Rank 0 is the first destination (chunk delivered at t=0.2); a
+        crash at t=0.5 is noticed during the completion round, after the
+        scatter proper — its 200 items are recorded as lost, not
+        redistributed.
+        """
+        plat = make_platform()
+        faults = FaultPlan().crash("h0", at=0.5)
+        run, root = run_ft(plat, 1000, [200] * 5, faults=faults)
+        outcome = run.results[root]
+        assert outcome.dead == (0,)
+        assert outcome.lost_items == 200
+        delivered = [
+            x for r, res in enumerate(run.results) if r != 0 for x in res.chunk
+        ]
+        assert len(delivered) == 800
+
+
+class TestTimeoutsAndRetries:
+    def test_recv_timeout_raises(self):
+        plat = make_platform(p=2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield from ctx.recv(1, timeout=3.0)
+                except RecvTimeout as exc:
+                    return ("timeout", exc.time)
+            else:
+                yield from ctx.compute(10_000)  # never sends
+                return "done"
+
+        run = run_spmd(plat, plat.host_names, program)
+        assert run.results[0] == ("timeout", 3.0)
+
+    def test_send_retries_ride_out_transient_outage(self):
+        plat = make_platform(p=2)
+        faults = FaultPlan(seed=3).link_outage("h0", "h1", start=0.0, end=0.5)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                retries = yield from ctx.send(
+                    1, "payload", items=100, retries=5, backoff=0.3
+                )
+                return retries
+            return (yield from ctx.recv(0))
+
+        run = run_spmd(plat, plat.host_names, program, faults=faults)
+        assert run.results[1] == "payload"
+        assert run.results[0] >= 1  # at least one retry was needed
+
+    def test_send_retries_exhausted_reraises(self):
+        plat = make_platform(p=2)
+        faults = FaultPlan().crash("h1", at=0.0)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, "x", items=100, retries=2, backoff=0.1)
+            return "unreached"
+
+        with pytest.raises(LinkFailure, match="dead"):
+            run_spmd(plat, plat.host_names, program, faults=faults)
+
+
+class TestRecvAnyFairness:
+    def test_wildcard_messages_arrive_in_completion_order(self):
+        plat = make_platform(p=4)
+
+        def program(ctx):
+            if ctx.rank == 3:
+                seen = []
+                for _ in range(3):
+                    t = yield from ctx.recv_any(tag=5)
+                    seen.append(t.payload)
+                return seen
+            # Stagger the sends so completion order is deterministic
+            # (compute time grows with the rank's host alpha).
+            yield from ctx.compute(100 * (ctx.rank + 1))
+            yield from ctx.send(3, ctx.rank, items=10, tag=5, to_any=True)
+            return None
+
+        run = run_spmd(plat, plat.host_names, program)
+        assert run.results[3] == [0, 1, 2]

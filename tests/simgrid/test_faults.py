@@ -1,0 +1,346 @@
+"""Tests for the fault-injection layer (``repro.simgrid.faults``)."""
+
+import math
+
+import pytest
+
+from repro.core import LinearCost
+from repro.simgrid import (
+    TIMEOUT,
+    Acquire,
+    FaultPlan,
+    Get,
+    Hold,
+    Host,
+    HostFailure,
+    Link,
+    LinkDegradation,
+    LinkFailure,
+    LinkOutage,
+    Network,
+    NoiseModel,
+    Platform,
+    Put,
+    Release,
+    Simulator,
+    schedule_host_faults,
+    seeded_unit,
+)
+
+
+def make_platform(p=3):
+    plat = Platform("faults-test")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(0.01)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(0.001))
+    return plat
+
+
+class TestFaultPlanQueries:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert plan.host_alive("x", 1e9)
+        assert not plan.link_down("a", "b", 5.0)
+        assert plan.link_slowdown("a", "b", 5.0) == 1.0
+        assert plan.transfer_failure_time("a", "b", 0.0, 10.0) is None
+
+    def test_crash_and_recovery_windows(self):
+        plan = FaultPlan().crash("h1", at=2.0).recover("h1", at=5.0)
+        assert plan.host_alive("h1", 1.9)
+        assert not plan.host_alive("h1", 2.0)
+        assert not plan.host_alive("h1", 4.9)
+        assert plan.host_alive("h1", 5.0)
+        assert plan.host_alive("h2", 3.0)
+
+    def test_link_outage_symmetry(self):
+        plan = FaultPlan().link_outage("a", "b", start=1.0, end=2.0)
+        assert plan.link_down("a", "b", 1.5)
+        assert plan.link_down("b", "a", 1.5)  # symmetric by default
+        asym = FaultPlan().link_outage("a", "b", 1.0, 2.0, symmetric=False)
+        assert asym.link_down("a", "b", 1.5)
+        assert not asym.link_down("b", "a", 1.5)
+
+    def test_degradation_window(self):
+        plan = FaultPlan().degrade("a", "b", start=1.0, end=2.0, slowdown=3.0)
+        assert plan.link_slowdown("a", "b", 1.5) == 3.0
+        assert plan.link_slowdown("a", "b", 2.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash("h", at=-1.0)
+        with pytest.raises(ValueError):
+            LinkOutage("a", "b", start=2.0, end=1.0)
+        with pytest.raises(ValueError):
+            LinkDegradation("a", "b", start=0.0, end=1.0, slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan().recover("h", at=-0.5)
+
+    def test_round_trip_serialization(self):
+        plan = (
+            FaultPlan(seed=42)
+            .crash("h1", at=2.0)
+            .recover("h1", at=5.0)
+            .link_outage("a", "b", 1.0, 2.0, symmetric=False)
+            .degrade("a", "c", 0.0, 4.0, slowdown=2.5)
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.seed == 42
+        assert not clone.host_alive("h1", 3.0)
+        assert clone.link_down("a", "b", 1.5)
+
+    def test_backoff_jitter_deterministic(self):
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        assert a.backoff_jitter("x", "y", 0) == b.backoff_jitter("x", "y", 0)
+        assert a.backoff_jitter("x", "y", 0) != a.backoff_jitter("x", "y", 1)
+        assert FaultPlan(seed=8).backoff_jitter("x", "y", 0) != a.backoff_jitter(
+            "x", "y", 0
+        )
+
+
+class TestProcessKill:
+    def test_killed_process_reports_failure(self):
+        sim = Simulator()
+
+        def worker():
+            yield Hold(100.0)
+            return "never"
+
+        proc = sim.spawn("w", worker())
+        failure = HostFailure("hw", 1.0)
+        sim.schedule(1.0, proc.kill, failure)
+        sim.run()
+        assert proc.killed
+        assert proc.done.value is failure
+
+    def test_kill_releases_held_resources(self):
+        sim = Simulator()
+        res = sim.resource("port")
+        order = []
+
+        def holder():
+            yield Acquire(res)
+            order.append("holder-acquired")
+            yield Hold(100.0)
+
+        def waiter():
+            yield Acquire(res)
+            order.append("waiter-acquired")
+            yield Release(res)
+
+        p1 = sim.spawn("holder", holder())
+        sim.spawn("waiter", waiter())
+        sim.schedule(1.0, p1.kill, HostFailure("h", 1.0))
+        sim.run()
+        # The kill released the port, so the waiter got it (no deadlock).
+        assert order == ["holder-acquired", "waiter-acquired"]
+
+    def test_kill_runs_finally_blocks(self):
+        sim = Simulator()
+        cleaned = []
+
+        def worker():
+            try:
+                yield Hold(100.0)
+            finally:
+                cleaned.append(True)
+
+        proc = sim.spawn("w", worker())
+        sim.schedule(1.0, proc.kill)
+        sim.run()
+        assert cleaned == [True]
+
+    def test_schedule_host_faults_kills_at_crash_time(self):
+        sim = Simulator()
+        times = {}
+
+        def worker(name):
+            yield Hold(100.0)
+            times[name] = sim.now
+
+        p0 = sim.spawn("r0", worker("r0"))
+        p1 = sim.spawn("r1", worker("r1"))
+        plan = FaultPlan().crash("hB", at=3.0)
+        schedule_host_faults(sim, plan, {"hA": [p0], "hB": [p1]})
+        sim.run()
+        assert times == {"r0": 100.0}
+        assert isinstance(p1.done.value, HostFailure)
+        assert p1.done.value.time == 3.0
+
+
+class TestGetTimeout:
+    def test_timeout_returns_sentinel_at_deadline(self):
+        sim = Simulator()
+        box = sim.mailbox("m")
+        got = []
+
+        def receiver():
+            msg = yield Get(box, timeout=2.5)
+            got.append((sim.now, msg))
+
+        sim.spawn("r", receiver())
+        sim.run()
+        assert got == [(2.5, TIMEOUT)]
+
+    def test_message_beats_timeout_and_cancels_timer(self):
+        sim = Simulator()
+        box = sim.mailbox("m")
+        got = []
+
+        def receiver():
+            msg = yield Get(box, timeout=50.0)
+            got.append((sim.now, msg))
+
+        def sender():
+            yield Hold(1.0)
+            yield Put(box, "hello")
+
+        sim.spawn("r", receiver())
+        sim.spawn("s", sender())
+        duration = sim.run()
+        assert got == [(1.0, "hello")]
+        # The satisfied wait's timer was cancelled: the run ends at the
+        # delivery, not at the stale 50 s deadline.
+        assert duration == 1.0
+
+    def test_stale_timer_cannot_expire_a_later_wait(self):
+        sim = Simulator()
+        box = sim.mailbox("m")
+        got = []
+
+        def receiver():
+            first = yield Get(box, timeout=2.0)
+            second = yield Get(box, timeout=100.0)
+            got.append((first, second, sim.now))
+
+        def sender():
+            yield Hold(1.0)
+            yield Put(box, "a")
+            yield Hold(2.0)
+            yield Put(box, "b")
+
+        sim.spawn("r", receiver())
+        sim.spawn("s", sender())
+        sim.run()
+        # The first wait's 2 s timer must not hit the second wait.
+        assert got == [("a", "b", 3.0)]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        box = sim.mailbox("m")
+
+        def receiver():
+            yield Get(box, timeout=-1.0)
+
+        sim.spawn("r", receiver())
+        with pytest.raises(ValueError, match="negative receive timeout"):
+            sim.run()
+
+
+class TestNetworkFaults:
+    def run_send(self, faults, *, items=1000, at=0.0):
+        plat = make_platform()
+        sim = Simulator()
+        net = Network(sim, plat, faults=faults)
+        box = sim.mailbox("m")
+        outcome = {}
+
+        def sender():
+            yield Hold(at)
+            try:
+                yield from net.send("h0", "h1", items, "payload", box)
+                outcome["ok"] = sim.now
+            except LinkFailure as exc:
+                outcome["failure"] = exc
+
+        def receiver():
+            msg = yield Get(box, timeout=1e6)
+            outcome["received"] = msg
+
+        sim.spawn("s", sender())
+        sim.spawn("r", receiver())
+        sim.run()
+        return outcome
+
+    def test_outage_interrupts_transfer(self):
+        faults = FaultPlan().link_outage("h0", "h1", start=0.5, end=2.0)
+        outcome = self.run_send(faults, items=1000)  # would take 1.0 s
+        exc = outcome["failure"]
+        assert isinstance(exc, LinkFailure)
+        assert exc.time == 0.5
+        assert "h0" in str(exc) and "h1" in str(exc)
+        assert outcome["received"] is TIMEOUT
+
+    def test_dead_destination_fails_the_send(self):
+        faults = FaultPlan().crash("h1", at=0.25)
+        outcome = self.run_send(faults, items=1000)
+        exc = outcome["failure"]
+        assert isinstance(exc, LinkFailure)
+        assert exc.time == 0.25
+        assert "dead" in str(exc)
+
+    def test_degradation_stretches_transfer(self):
+        faults = FaultPlan().degrade("h0", "h1", 0.0, 10.0, slowdown=2.0)
+        outcome = self.run_send(faults, items=1000)
+        assert outcome["ok"] == pytest.approx(2.0)  # 2x the fault-free 1.0 s
+
+    def test_transfer_after_outage_succeeds(self):
+        faults = FaultPlan().link_outage("h0", "h1", start=0.5, end=2.0)
+        outcome = self.run_send(faults, items=1000, at=2.5)
+        assert outcome["ok"] == pytest.approx(3.5)
+        assert outcome["received"].payload == "payload"
+
+
+class TestNoiseValidation:
+    def test_bogus_noise_factor_fails_loudly(self):
+        class Bogus(NoiseModel):
+            def factor(self, host, time):
+                return 0.5  # a speed-up: invalid
+
+        host = Host("h", LinearCost(0.01), noise=Bogus())
+        with pytest.raises(ValueError, match="invalid factor"):
+            host.compute_time(100, at=0.0)
+
+    def test_nan_and_inf_rejected(self):
+        class Evil(NoiseModel):
+            def __init__(self, value):
+                self.value = value
+
+            def factor(self, host, time):
+                return self.value
+
+        for bad in (math.nan, math.inf):
+            host = Host("h", LinearCost(0.01), noise=Evil(bad))
+            with pytest.raises(ValueError, match="invalid factor"):
+                host.compute_time(100, at=0.0)
+
+
+class TestDiagnostics:
+    def test_deadlock_message_names_time_and_primitive(self):
+        sim = Simulator()
+        box = sim.mailbox("lonely")
+
+        def starved():
+            yield Hold(4.0)
+            yield Get(box)
+
+        sim.spawn("starved", starved())
+        with pytest.raises(RuntimeError) as err:
+            sim.run()
+        msg = str(err.value)
+        assert "t=4" in msg
+        assert "starved" in msg
+        assert "lonely" in msg  # the mailbox it is blocked on
+
+
+class TestSeededUnit:
+    def test_range_and_determinism(self):
+        vals = [seeded_unit(1, "k", i) for i in range(100)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert vals == [seeded_unit(1, "k", i) for i in range(100)]
+        assert len(set(vals)) == 100  # no accidental collisions

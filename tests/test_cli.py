@@ -78,6 +78,33 @@ class TestFiguresCommand:
         assert "Imbalance" in out
 
 
+class TestChaosCommand:
+    def test_sweep_with_json_output(self, tmp_path, capsys):
+        import json
+        import random
+
+        from repro.workloads import random_star_platform
+
+        plat = random_star_platform(random.Random(0), 5)
+        path = tmp_path / "plat.json"
+        plat.save(str(path))
+        out_json = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--platform", str(path), "--n", "800",
+            "--rates", "0,0.5", "--seed", "1", "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "1.000x" in out  # the rate-0 row replays the baseline
+        payload = json.loads(out_json.read_text())
+        assert payload["baseline_makespan"] > 0
+        assert [pt["rate"] for pt in payload["points"]] == [0.0, 0.5]
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="failure rate"):
+            main(["chaos", "--n", "100", "--rates", "2.0"])
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

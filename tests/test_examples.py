@@ -20,6 +20,7 @@ CASES = [
     ("adaptive_inversion.py", []),
     ("ray_coverage.py", ["2000"]),
     ("weighted_rays.py", ["4000"]),
+    ("fault_tolerant_scatter.py", ["4000"]),
 ]
 
 
