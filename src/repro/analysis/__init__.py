@@ -1,6 +1,7 @@
 """Analysis helpers: experiment metrics and plain-text reports."""
 
 from .chaos import ChaosPoint, ChaosSweep, chaos_plan, chaos_program, chaos_sweep
+from .events import event_counts, render_event_summary, span_totals
 from .metrics import ExperimentSummary, imbalance, speedup, summarize
 from .report import format_seconds, render_figure, render_table
 from .svg import figure_svg, gantt_svg
@@ -21,6 +22,9 @@ __all__ = [
     "chaos_plan",
     "chaos_program",
     "chaos_sweep",
+    "event_counts",
+    "span_totals",
+    "render_event_summary",
     "ExperimentSummary",
     "imbalance",
     "speedup",

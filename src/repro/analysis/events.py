@@ -1,0 +1,70 @@
+"""Aggregation helpers for structured event logs.
+
+Turns the raw :class:`~repro.obs.events.Event` stream captured by an
+:class:`~repro.obs.events.EventLog` into the summaries the ``trace`` CLI
+subcommand prints: per-type counts, and per-actor span totals (how long
+each rank spent sending / receiving / computing, derived from the same
+begin/end pairs the :class:`~repro.obs.tracer.SpanTracer` folds into the
+Gantt chart).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..obs.events import Event
+from ..obs.tracer import _BEGIN_STATES, _END_STATES
+
+__all__ = ["event_counts", "span_totals", "render_event_summary"]
+
+
+def event_counts(events: Iterable[Event]) -> Dict[str, int]:
+    """Number of events per type, sorted by type name."""
+    counts: Dict[str, int] = {}
+    for e in events:
+        counts[e.type] = counts.get(e.type, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def span_totals(events: Iterable[Event]) -> Dict[str, Dict[str, float]]:
+    """Per-actor total span durations: ``{actor: {state: seconds}}``.
+
+    Failed spans (an end event carrying ``error``) contribute their
+    partial *sending* time only, and spans left open by a killed process
+    contribute nothing — the same accounting the trace recorder uses.
+    """
+    open_spans: Dict[Tuple[str, str], float] = {}
+    totals: Dict[str, Dict[str, float]] = {}
+    for e in events:
+        state = _BEGIN_STATES.get(e.type)
+        if state is not None:
+            open_spans[(e.actor, state)] = e.t
+            continue
+        state = _END_STATES.get(e.type)
+        if state is None:
+            continue
+        start = open_spans.pop((e.actor, state), None)
+        if start is None:
+            continue
+        if "error" in e.data and (state != "sending" or e.t <= start):
+            continue
+        totals.setdefault(e.actor, {})[state] = (
+            totals.get(e.actor, {}).get(state, 0.0) + (e.t - start)
+        )
+    return {actor: dict(sorted(s.items())) for actor, s in sorted(totals.items())}
+
+
+def render_event_summary(events: Iterable[Event]) -> str:
+    """Plain-text digest: event counts plus per-actor span totals."""
+    events = list(events)
+    lines: List[str] = [f"events: {len(events)}"]
+    for etype, count in event_counts(events).items():
+        lines.append(f"  {etype:<16} {count}")
+    totals = span_totals(events)
+    if totals:
+        lines.append("span totals (s):")
+        width = max(len(a) for a in totals)
+        for actor, states in totals.items():
+            parts = "  ".join(f"{s}={d:.3f}" for s, d in states.items())
+            lines.append(f"  {actor:<{width}}  {parts}")
+    return "\n".join(lines)

@@ -15,6 +15,10 @@ Subcommands
 ``chaos``
     Sweep makespan degradation of the fault-tolerant scatter against
     injected host failures (see ``repro.analysis.chaos``).
+``trace``
+    Run the application with structured event tracing on; print an ASCII
+    Gantt and event summary, optionally exporting JSONL and Chrome
+    trace-event files (see ``repro.obs``).
 """
 
 from __future__ import annotations
@@ -249,6 +253,40 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.events import render_event_summary
+    from .obs import METRICS, EventLog, write_chrome_trace, write_jsonl
+
+    platform = _load_platform(args)
+    hosts = _rank_hosts(platform, args)
+    if args.algorithm == "uniform":
+        counts = uniform_counts(args.n, len(hosts))
+    else:
+        counts = plan_counts(platform, hosts, args.n, algorithm=args.algorithm)
+    log = EventLog()
+    result = run_seismic_app(platform, hosts, counts, observers=[log])
+    print(
+        f"Traced run — {args.algorithm} distribution, n={args.n}, "
+        f"makespan {result.makespan:.1f} s"
+    )
+    print()
+    print(result.run.recorder.ascii_gantt(result.run.trace_names, width=args.width))
+    print()
+    print(render_event_summary(log.events))
+    if args.jsonl:
+        count = write_jsonl(log.events, args.jsonl)
+        print(f"\nwrote {args.jsonl} ({count} events)")
+    if args.chrome:
+        doc = write_chrome_trace(log.events, args.chrome)
+        print(f"wrote {args.chrome} ({len(doc['traceEvents'])} trace events)")
+    if args.metrics:
+        import json
+
+        print("\nmetrics:")
+        print(json.dumps(METRICS.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_rewrite(args: argparse.Namespace) -> int:
     from .transform import rewrite_runtime, rewrite_static
 
@@ -344,6 +382,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ch.add_argument("--json", help="also write the sweep as JSON here")
     p_ch.set_defaults(fn=cmd_chaos)
+
+    p_tr = sub.add_parser(
+        "trace", help="run the application with structured event tracing"
+    )
+    common(p_tr)
+    p_tr.add_argument(
+        "--width", type=int, default=72, help="ASCII Gantt width in columns"
+    )
+    p_tr.add_argument("--jsonl", help="write the event log as JSON Lines here")
+    p_tr.add_argument(
+        "--chrome",
+        help="write a Chrome trace-event JSON here (chrome://tracing, Perfetto)",
+    )
+    p_tr.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the process-wide metrics registry snapshot",
+    )
+    p_tr.set_defaults(fn=cmd_trace)
 
     p_rw = sub.add_parser(
         "rewrite", help="rewrite MPI_Scatter calls in a C source to MPI_Scatterv"

@@ -39,6 +39,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+
 __all__ = [
     "Scalar",
     "CostFunction",
@@ -515,11 +517,13 @@ class CostTableCache:
             if cached is not None and cached.shape[0] >= n + 1:
                 self.hits += 1
                 self._tables.move_to_end(fn)
+                METRICS.counter("core.cost_cache.hits").inc()
                 return cached[: n + 1]
         # Compute outside the lock: concurrent misses may duplicate work but
         # never block each other on a long tabulation.
         arr = np.ascontiguousarray(fn.many(np.arange(n + 1)), dtype=float)
         arr.setflags(write=False)
+        METRICS.counter("core.cost_cache.misses").inc()
         with self._lock:
             self.misses += 1
             existing = self._tables.get(fn)

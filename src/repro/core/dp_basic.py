@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.profiler import stage_profile
 from .costs import DEFAULT_COST_CACHE, CostTableCache, cost_tables
 from .distribution import DistributionResult, ScatterProblem
 
@@ -75,50 +76,58 @@ def solve_dp_basic(
     """
     p, n = problem.p, problem.n
     procs = problem.processors
+    prof = stage_profile()
 
     cache_delta = None
-    if exact:
-        comm = [[proc.comm.exact(x) for x in range(n + 1)] for proc in procs]
-        comp = [[proc.comp.exact(x) for x in range(n + 1)] for proc in procs]
-        zero = Fraction(0)
-    else:
-        # Float path: the cached NumPy tables are used as-is — no
-        # ``.tolist()`` round-trip, no per-call retabulation.
-        cc = DEFAULT_COST_CACHE if cache is None else cache
-        before = cc.stats()
-        comm, comp = cost_tables(procs, n, cache=cc)
-        after = cc.stats()
-        cache_delta = {
-            "hits": after["hits"] - before["hits"],
-            "misses": after["misses"] - before["misses"],
-        }
-        zero = 0.0
+    with prof.stage("cost_tables"):
+        if exact:
+            comm = [[proc.comm.exact(x) for x in range(n + 1)] for proc in procs]
+            comp = [[proc.comp.exact(x) for x in range(n + 1)] for proc in procs]
+            zero = Fraction(0)
+        else:
+            # Float path: the cached NumPy tables are used as-is — no
+            # ``.tolist()`` round-trip, no per-call retabulation.
+            cc = DEFAULT_COST_CACHE if cache is None else cache
+            before = cc.stats()
+            comm, comp = cost_tables(procs, n, cache=cc)
+            after = cc.stats()
+            cache_delta = {
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"],
+            }
+            zero = 0.0
 
     # Base row: the root processor P_p alone.
     prev = [comm[p - 1][d] + comp[p - 1][d] for d in range(n + 1)]
     choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
 
-    for i in range(p - 2, -1, -1):  # P_{p-1} down to P_1 (0-based: i)
-        comm_i, comp_i = comm[i], comp[i]
-        cur = [zero] * (n + 1)
-        ch = choice[i]
-        for d in range(1, n + 1):
-            best_sol, best = 0, prev[d]  # e = 0: P_i takes nothing
-            for e in range(1, d + 1):
-                rest = prev[d - e]
-                ce = comp_i[e]
-                m = comm_i[e] + (ce if ce > rest else rest)
-                if m < best:
-                    best_sol, best = e, m
-            ch[d] = best_sol
-            cur[d] = best
-        prev = cur
+    with prof.stage("dp_rows"):
+        for i in range(p - 2, -1, -1):  # P_{p-1} down to P_1 (0-based: i)
+            comm_i, comp_i = comm[i], comp[i]
+            cur = [zero] * (n + 1)
+            ch = choice[i]
+            for d in range(1, n + 1):
+                best_sol, best = 0, prev[d]  # e = 0: P_i takes nothing
+                for e in range(1, d + 1):
+                    rest = prev[d - e]
+                    ce = comp_i[e]
+                    m = comm_i[e] + (ce if ce > rest else rest)
+                    if m < best:
+                        best_sol, best = e, m
+                ch[d] = best_sol
+                cur[d] = best
+            prev = cur
 
-    counts = _reconstruct(choice, n, p)
+    with prof.stage("reconstruct"):
+        counts = _reconstruct(choice, n, p)
+    prof.note(table_entries=2 * p * (n + 1))
     opt = prev[n]
     info: dict = {"exact": exact}
     if cache_delta is not None:
         info["cost_cache"] = cache_delta
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return DistributionResult(
         problem=problem,
         counts=counts,
@@ -144,28 +153,38 @@ def solve_dp_basic_vectorized(
     """
     p, n = problem.p, problem.n
     procs = problem.processors
-    comm, comp = cost_tables(procs, n, cache=cache)
+    prof = stage_profile()
+    with prof.stage("cost_tables"):
+        comm, comp = cost_tables(procs, n, cache=cache)
 
     prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
     choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
 
-    for i in range(p - 2, -1, -1):
-        comm_i, comp_i = comm[i], comp[i]
-        cur = np.empty(n + 1, dtype=float)
-        cur[0] = prev[0]
-        ch = choice[i]
-        for d in range(1, n + 1):
-            # prev[d - e] for e = 0..d is prev[d::-1]
-            m = comm_i[: d + 1] + np.maximum(comp_i[: d + 1], prev[d::-1])
-            e = int(np.argmin(m))
-            ch[d] = e
-            cur[d] = m[e]
-        prev = cur
+    with prof.stage("dp_rows"):
+        for i in range(p - 2, -1, -1):
+            comm_i, comp_i = comm[i], comp[i]
+            cur = np.empty(n + 1, dtype=float)
+            cur[0] = prev[0]
+            ch = choice[i]
+            for d in range(1, n + 1):
+                # prev[d - e] for e = 0..d is prev[d::-1]
+                m = comm_i[: d + 1] + np.maximum(comp_i[: d + 1], prev[d::-1])
+                e = int(np.argmin(m))
+                ch[d] = e
+                cur[d] = m[e]
+            prev = cur
 
-    counts = _reconstruct(choice, n, p)
+    with prof.stage("reconstruct"):
+        counts = _reconstruct(choice, n, p)
+    prof.note(table_entries=2 * p * (n + 1))
+    info: dict = {}
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return DistributionResult(
         problem=problem,
         counts=counts,
         makespan=float(prev[n]),
         algorithm="dp-basic-vectorized",
+        info=info,
     )

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.profiler import stage_profile
 from .costs import CostTableCache, cost_tables
 from .distribution import DistributionResult, ScatterProblem
 from .dp_basic import _reconstruct
@@ -289,8 +290,10 @@ def _solve_fast(
     from .costs import DEFAULT_COST_CACHE
 
     cc = DEFAULT_COST_CACHE if cache is None else cache
+    prof = stage_profile()
     before = cc.stats()
-    comm, comp = cost_tables(procs, n, cache=cc)
+    with prof.stage("cost_tables"):
+        comm, comp = cost_tables(procs, n, cache=cc)
     after = cc.stats()
 
     prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
@@ -299,36 +302,46 @@ def _solve_fast(
     rows_affine = 0
     rows_general = 0
 
-    for i in range(p - 2, -1, -1):
-        pivots = _batched_pivots(comp[i], prev)
-        if procs[i].comm.is_affine:
-            rows_affine += 1
-            if algorithm == "dp-monotone":
-                cur, ch = _row_monotone_dc(comm[i], comp[i], prev, pivots, d_arr)
+    with prof.stage("dp_rows"):
+        for i in range(p - 2, -1, -1):
+            pivots = _batched_pivots(comp[i], prev)
+            if procs[i].comm.is_affine:
+                rows_affine += 1
+                if algorithm == "dp-monotone":
+                    cur, ch = _row_monotone_dc(comm[i], comp[i], prev, pivots, d_arr)
+                else:
+                    rate = float(procs[i].comm.rate)
+                    cur, ch = _row_fast_affine(comm[i], comp[i], prev, pivots, d_arr, rate)
             else:
-                rate = float(procs[i].comm.rate)
-                cur, ch = _row_fast_affine(comm[i], comp[i], prev, pivots, d_arr, rate)
-        else:
-            rows_general += 1
-            cur, ch = _row_general_scan(comm[i], comp[i], prev, pivots)
-        choice.append(ch)
-        prev = cur
+                rows_general += 1
+                cur, ch = _row_general_scan(comm[i], comp[i], prev, pivots)
+            choice.append(ch)
+            prev = cur
 
-    choice.reverse()  # _reconstruct expects choice[i] for P_{i+1} front-first
-    counts = _reconstruct(choice, n, p)
+    with prof.stage("reconstruct"):
+        choice.reverse()  # _reconstruct expects choice[i] for P_{i+1} front-first
+        counts = _reconstruct(choice, n, p)
+    prof.note(
+        table_entries=2 * p * (n + 1),
+        choice_bytes=sum(ch.nbytes for ch in choice),
+    )
+    info = {
+        "rows_affine": rows_affine,
+        "rows_general_scan": rows_general,
+        "cost_cache": {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+        },
+    }
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return DistributionResult(
         problem=problem,
         counts=counts,
         makespan=float(prev[n]),
         algorithm=algorithm,
-        info={
-            "rows_affine": rows_affine,
-            "rows_general_scan": rows_general,
-            "cost_cache": {
-                "hits": after["hits"] - before["hits"],
-                "misses": after["misses"] - before["misses"],
-            },
-        },
+        info=info,
     )
 
 

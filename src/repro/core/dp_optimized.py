@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.profiler import stage_profile
 from .costs import DEFAULT_COST_CACHE, CostTableCache, cost_tables
 from .distribution import DistributionResult, ScatterProblem
 from .dp_basic import _reconstruct
@@ -55,70 +56,79 @@ def solve_dp_optimized(
 
     p, n = problem.p, problem.n
     procs = problem.processors
+    prof = stage_profile()
     cc = DEFAULT_COST_CACHE if cache is None else cache
     before = cc.stats()
-    comm, comp = cost_tables(procs, n, cache=cc)
+    with prof.stage("cost_tables"):
+        comm, comp = cost_tables(procs, n, cache=cc)
     after = cc.stats()
 
     prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
     choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
     inner_iterations = 0
 
-    for i in range(p - 2, -1, -1):
-        comm_i, comp_i = comm[i], comp[i]
-        cur = np.empty(n + 1, dtype=float)
-        cur[0] = prev[0]
-        ch = choice[i]
-        for d in range(1, n + 1):
-            # Paper lines 11-14: degenerate pivots at the interval ends.
-            if comp_i[0] >= prev[d]:
-                sol = 0
-                best = comm_i[0] + comp_i[0]
-            elif comp_i[d] < prev[0]:
-                sol = d
-                best = comm_i[d] + prev[0]
-            else:
-                # Binary search for e_max: the smallest e with
-                # Tcomp(i, e) >= cost[d - e, i + 1]  (paper lines 16-26).
-                emin, emax = 0, d
-                e = d // 2
-                while e != emin:
-                    if comp_i[e] < prev[d - e]:
-                        emin = e
-                    else:
-                        emax = e
-                    e = (emin + emax) // 2
-                sol = emax
-                best = comm_i[emax] + comp_i[emax]
+    with prof.stage("dp_rows"):
+        for i in range(p - 2, -1, -1):
+            comm_i, comp_i = comm[i], comp[i]
+            cur = np.empty(n + 1, dtype=float)
+            cur[0] = prev[0]
+            ch = choice[i]
+            for d in range(1, n + 1):
+                # Paper lines 11-14: degenerate pivots at the interval ends.
+                if comp_i[0] >= prev[d]:
+                    sol = 0
+                    best = comm_i[0] + comp_i[0]
+                elif comp_i[d] < prev[0]:
+                    sol = d
+                    best = comm_i[d] + prev[0]
+                else:
+                    # Binary search for e_max: the smallest e with
+                    # Tcomp(i, e) >= cost[d - e, i + 1]  (paper lines 16-26).
+                    emin, emax = 0, d
+                    e = d // 2
+                    while e != emin:
+                        if comp_i[e] < prev[d - e]:
+                            emin = e
+                        else:
+                            emax = e
+                        e = (emin + emax) // 2
+                    sol = emax
+                    best = comm_i[emax] + comp_i[emax]
 
-            # Downward scan with early break (paper lines 28-35).  Below the
-            # pivot, cost[d-e, i+1] dominates Tcomp(i, e), so the max is
-            # avoided; once the remaining-processors cost alone reaches the
-            # incumbent, no smaller e can win (Tcomm >= 0).
-            for e in range(sol - 1, -1, -1):
-                inner_iterations += 1
-                rest = prev[d - e]
-                m = comm_i[e] + rest
-                if m < best:
-                    sol, best = e, m
-                elif rest >= best:
-                    break
+                # Downward scan with early break (paper lines 28-35).  Below
+                # the pivot, cost[d-e, i+1] dominates Tcomp(i, e), so the max
+                # is avoided; once the remaining-processors cost alone reaches
+                # the incumbent, no smaller e can win (Tcomm >= 0).
+                for e in range(sol - 1, -1, -1):
+                    inner_iterations += 1
+                    rest = prev[d - e]
+                    m = comm_i[e] + rest
+                    if m < best:
+                        sol, best = e, m
+                    elif rest >= best:
+                        break
 
-            ch[d] = sol
-            cur[d] = best
-        prev = cur
+                ch[d] = sol
+                cur[d] = best
+            prev = cur
 
-    counts = _reconstruct(choice, n, p)
+    with prof.stage("reconstruct"):
+        counts = _reconstruct(choice, n, p)
+    prof.note(table_entries=2 * p * (n + 1))
+    info = {
+        "inner_iterations": inner_iterations,
+        "cost_cache": {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+        },
+    }
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return DistributionResult(
         problem=problem,
         counts=counts,
         makespan=float(prev[n]),
         algorithm="dp-optimized",
-        info={
-            "inner_iterations": inner_iterations,
-            "cost_cache": {
-                "hits": after["hits"] - before["hits"],
-                "misses": after["misses"] - before["misses"],
-            },
-        },
+        info=info,
     )

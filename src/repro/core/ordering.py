@@ -64,8 +64,12 @@ def ordering_permutation(
         Lowest compute cost per item first (a plausible-but-wrong policy,
         kept as an ablation).
     ``"random"``
-        Uniformly random order of the non-root processors (pass ``rng``
-        for determinism).
+        Uniformly random order of the non-root processors.  With
+        ``rng=None`` a :class:`random.Random` is *derived* from the
+        instance shape (``p`` and ``n``), never the unseeded global
+        module — the same problem always shuffles the same way, honoring
+        the repo-wide seeded-determinism contract.  Pass an explicit
+        ``rng`` to control the stream (e.g. across repeated draws).
     ``"original"``
         Identity.
     """
@@ -90,7 +94,12 @@ def ordering_permutation(
         )
     elif policy == "random":
         order = list(non_root)
-        (rng or random).shuffle(order)
+        if rng is None:
+            # Never fall back to the unseeded global module: derive a
+            # seeded generator from the instance shape so equal problems
+            # shuffle identically run-to-run.
+            rng = random.Random((problem.p << 32) ^ problem.n ^ 0x5EED)
+        rng.shuffle(order)
     else:
         raise ValueError(f"unknown ordering policy {policy!r}; know {sorted(POLICIES)}")
     return tuple(order) + (p - 1,)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.metrics import METRICS
+
 __all__ = ["FailureDetector"]
 
 
@@ -32,10 +34,20 @@ class FailureDetector:
         Silence (simulated seconds) after which a host is suspected dead.
     last_heard:
         Most recent heartbeat time per host.
+    suspect_transitions:
+        Times a host moved alive→suspect (observed lazily at query time,
+        since suspicion is a pure function of the clock).  Also counted in
+        the process-wide ``monitor.detector.suspect_transitions`` metric.
+    suspect_recoveries:
+        Times a suspected host came back (suspect→alive), mirrored to
+        ``monitor.detector.suspect_recoveries``.
     """
 
     suspect_threshold: float
     last_heard: Dict[str, float] = field(default_factory=dict)
+    suspect_transitions: int = field(default=0, init=False)
+    suspect_recoveries: int = field(default=0, init=False)
+    _suspected: Dict[str, bool] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.suspect_threshold <= 0:
@@ -59,9 +71,23 @@ class FailureDetector:
 
         A host never heard from is *not* a suspect (there is no evidence
         either way) — it reports as ``"unknown"`` in :meth:`view`.
+
+        Suspicion is a pure function of ``now``, so transitions are
+        detected here — the funnel every query goes through — by
+        comparing with the previously observed status.
         """
         quiet = self.silence(host, now)
-        return quiet is not None and quiet > self.suspect_threshold
+        suspect = quiet is not None and quiet > self.suspect_threshold
+        if quiet is not None:
+            was = self._suspected.get(host, False)
+            if suspect and not was:
+                self.suspect_transitions += 1
+                METRICS.counter("monitor.detector.suspect_transitions").inc()
+            elif was and not suspect:
+                self.suspect_recoveries += 1
+                METRICS.counter("monitor.detector.suspect_recoveries").inc()
+            self._suspected[host] = suspect
+        return suspect
 
     def suspects(self, now: float) -> List[str]:
         """Sorted list of currently suspected hosts."""

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tup
 
 from ..core.costs import ZeroCost
 from ..core.distribution import DistributionResult, Processor, ScatterProblem, uniform_counts
+from ..obs.metrics import METRICS
 from ..simgrid.faults import LinkFailure
 from .communicator import MpiError, RankContext
 
@@ -375,6 +376,12 @@ def ft_scatterv(
             lost += sum(len(c) for c in delivered[r])
             delivered[r] = []
 
+    METRICS.counter("mpi.ft_scatterv.operations").inc()
+    METRICS.counter("mpi.ft_scatterv.retries").inc(retries_total)
+    METRICS.counter("mpi.ft_scatterv.replans").inc(replans)
+    METRICS.counter("mpi.ft_scatterv.dead_ranks").inc(len(dead))
+    METRICS.counter("mpi.ft_scatterv.lost_items").inc(lost)
+    METRICS.counter("mpi.ft_scatterv.redistributed_items").inc(redistributed)
     return ScatterOutcome(chunk=_concat(root_chunks), **_meta())
 
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
+from ..obs.events import RETRY
+from ..obs.metrics import METRICS
 from ..simgrid.engine import TIMEOUT, Hold, Mailbox, Simulator
 from ..simgrid.faults import LinkFailure
 from ..simgrid.host import Host
@@ -185,9 +187,14 @@ class RankContext:
                     dst_trace=self.comm.trace_names[dst],
                 )
                 return attempt
-            except LinkFailure:
+            except LinkFailure as failure:
                 if attempt >= retries:
                     raise
+                METRICS.counter("mpi.send.retries").inc()
+                self.comm.sim.bus.emit(
+                    RETRY, self.now, self.name,
+                    dst=dst_host, attempt=attempt, reason=failure.reason,
+                )
                 jitter = seeded_unit(seed, "backoff", src_host, dst_host, attempt)
                 yield Hold(backoff * (2**attempt) * (1.0 + jitter))
                 attempt += 1
@@ -204,6 +211,7 @@ class RankContext:
         mbox = self.comm.mailbox(self.rank, src, tag)
         transfer = yield from self.comm.network.recv(mbox, timeout)
         if transfer is TIMEOUT:
+            METRICS.counter("mpi.recv.timeouts").inc()
             raise RecvTimeout(self.rank, src, tag, timeout, self.now)
         return transfer
 
@@ -235,6 +243,7 @@ class RankContext:
         mbox = self.comm.mailbox(self.rank, ANY_SOURCE, tag)
         transfer = yield from self.comm.network.recv(mbox, timeout)
         if transfer is TIMEOUT:
+            METRICS.counter("mpi.recv.timeouts").inc()
             raise RecvTimeout(self.rank, "ANY_SOURCE", tag, timeout, self.now)
         return transfer
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
+from ..obs.events import Event
 from ..simgrid.engine import Simulator
 from ..simgrid.faults import FaultPlan, schedule_host_faults
 from ..simgrid.network import Network
@@ -73,6 +74,7 @@ def run_spmd(
     recorder: Optional[TraceRecorder] = None,
     before_run: Optional[Callable[[Simulator, List["object"]], None]] = None,
     faults: Optional[FaultPlan] = None,
+    observers: Optional[Sequence[Callable[[Event], None]]] = None,
 ) -> MpiRun:
     """Execute ``program`` as one MPI process per entry of ``rank_hosts``.
 
@@ -96,6 +98,12 @@ def run_spmd(
         (their :attr:`MpiRun.results` entry becomes the
         :class:`~repro.simgrid.faults.HostFailure`); link outages and
         degradations act on every transfer through the network.
+    observers:
+        Extra subscribers for the simulator's
+        :class:`~repro.obs.events.EventBus` (e.g. an
+        :class:`~repro.obs.events.EventLog` headed for a JSONL or Chrome
+        trace export).  Subscribed *before* any process is spawned, so
+        they see the full event stream from ``process.start`` on.
 
     Raises
     ------
@@ -111,6 +119,9 @@ def run_spmd(
     sim = Simulator()
     rec = recorder or TraceRecorder()
     network = Network(sim, platform, rec, faults=faults)
+    if observers:
+        for observer in observers:
+            sim.bus.subscribe(observer)
     labels = trace_labels(list(rank_hosts))
     comm = Communicator(sim, network, hosts, trace_names=labels)
 

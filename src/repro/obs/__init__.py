@@ -1,0 +1,95 @@
+"""Observability layer: structured events, metrics, spans, and exporters.
+
+The paper's whole evaluation (§4, Figs. 1-4) is *observational* — stair
+Gantt charts, per-processor total/communication times, the 6 %/10 %
+imbalance figures.  This package makes that kind of evidence a first-class
+subsystem instead of ad-hoc plumbing:
+
+* :mod:`repro.obs.events` — a typed event bus.  The simulation engine and
+  the network emit structured events (process start/kill, send/recv
+  begin/end, compute begin/end, fault bites, retries, timeouts); anything
+  can subscribe.  Emission is zero-cost while nobody listens.
+* :mod:`repro.obs.tracer` — :class:`SpanTracer`, which folds begin/end
+  event pairs into the activity intervals of
+  :class:`~repro.simgrid.trace.TraceRecorder` (replacing the old direct
+  ``recorder.record`` plumbing in the network layer).
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms (:data:`METRICS`), wired into the cost-table cache, the
+  fault-tolerant collectives, and the failure detector.
+* :mod:`repro.obs.exporters` — event-log exporters: JSONL (byte-identical
+  across seeded runs) and the Chrome ``chrome://tracing`` / Perfetto
+  trace-event format, plus a schema validator used by CI.
+* :mod:`repro.obs.profiler` — lightweight per-stage wall-time profiling
+  for the DP solvers, reported via ``DistributionResult.info["profile"]``
+  (toggle with :func:`set_profiling`).
+
+Everything here is deterministic on the *simulated* timeline: two runs of
+the same seeded program produce byte-identical event logs.  Only the
+profiler touches host wall-clock time, and its output never feeds back
+into simulation state.
+"""
+
+from .events import (
+    COMPUTE_BEGIN,
+    COMPUTE_END,
+    EVENT_TYPES,
+    FAULT_HOST,
+    FAULT_LINK,
+    PROCESS_END,
+    PROCESS_KILL,
+    PROCESS_START,
+    RECV_BEGIN,
+    RECV_END,
+    RECV_TIMEOUT,
+    RETRY,
+    SEND_BEGIN,
+    SEND_END,
+    Event,
+    EventBus,
+    EventLog,
+)
+from .exporters import (
+    events_to_chrome,
+    events_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import StageProfile, profiling_enabled, set_profiling, stage_profile
+from .tracer import SpanTracer
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventLog",
+    "EVENT_TYPES",
+    "PROCESS_START",
+    "PROCESS_END",
+    "PROCESS_KILL",
+    "SEND_BEGIN",
+    "SEND_END",
+    "RECV_BEGIN",
+    "RECV_END",
+    "COMPUTE_BEGIN",
+    "COMPUTE_END",
+    "FAULT_HOST",
+    "FAULT_LINK",
+    "RETRY",
+    "RECV_TIMEOUT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "SpanTracer",
+    "events_to_jsonl",
+    "events_to_chrome",
+    "write_jsonl",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "StageProfile",
+    "stage_profile",
+    "profiling_enabled",
+    "set_profiling",
+]

@@ -1,0 +1,209 @@
+"""Typed event bus for the simulation substrate.
+
+Every interesting moment of a simulated run — a process starting or being
+killed, a transfer beginning or ending, a fault biting, a retry, a receive
+timeout — is emitted as a structured :class:`Event` on the simulator's
+:class:`EventBus`.  Subscribers (the :class:`~repro.obs.tracer.SpanTracer`
+that feeds the classic :class:`~repro.simgrid.trace.TraceRecorder`, an
+:class:`EventLog` capturing everything for export, test probes, ...) see
+events in emission order.
+
+Design constraints, both load-bearing:
+
+* **Zero-cost when disabled.**  :meth:`EventBus.emit` returns before
+  constructing an :class:`Event` when nobody is subscribed, so a bare
+  simulation pays one attribute load and one truthiness check per hook.
+* **Deterministic.**  Events carry only simulated time and structured
+  payloads; the per-bus ``seq`` counter increments once per emitted event.
+  Two runs of the same seeded program with the same subscribers produce
+  identical event sequences (and byte-identical JSONL exports — see
+  :mod:`repro.obs.exporters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventLog",
+    "EVENT_TYPES",
+    "PROCESS_START",
+    "PROCESS_END",
+    "PROCESS_KILL",
+    "SEND_BEGIN",
+    "SEND_END",
+    "RECV_BEGIN",
+    "RECV_END",
+    "COMPUTE_BEGIN",
+    "COMPUTE_END",
+    "FAULT_HOST",
+    "FAULT_LINK",
+    "RETRY",
+    "RECV_TIMEOUT",
+]
+
+# -- event type names ------------------------------------------------------
+#: A simulated process was spawned.
+PROCESS_START = "process.start"
+#: A simulated process returned normally.
+PROCESS_END = "process.end"
+#: A simulated process was killed from outside (host crash, ...).
+PROCESS_KILL = "process.kill"
+#: A timed transfer started occupying the sender's port.
+SEND_BEGIN = "send.begin"
+#: The transfer left the sender's port (``data["error"]`` set on failure).
+SEND_END = "send.end"
+#: A timed transfer started occupying the receiver's port.
+RECV_BEGIN = "recv.begin"
+#: The transfer left the receiver's port (``data["error"]`` set on failure).
+RECV_END = "recv.end"
+#: A compute phase started on a host.
+COMPUTE_BEGIN = "compute.begin"
+#: A compute phase ended.
+COMPUTE_END = "compute.end"
+#: An injected host crash fired (the fault "bit").
+FAULT_HOST = "fault.host"
+#: A transfer failed from a link outage or dead endpoint.
+FAULT_LINK = "fault.link"
+#: The MPI layer is retrying a failed send after backoff.
+RETRY = "retry"
+#: A ``Get(timeout=...)`` expired and the receiver was resumed with TIMEOUT.
+RECV_TIMEOUT = "recv.timeout"
+
+#: All event types the library itself emits (subscribers may see only
+#: these; the bus does not reject unknown types, so extensions can add
+#: their own — exporters render unknown types as instant events).
+EVENT_TYPES = frozenset(
+    {
+        PROCESS_START,
+        PROCESS_END,
+        PROCESS_KILL,
+        SEND_BEGIN,
+        SEND_END,
+        RECV_BEGIN,
+        RECV_END,
+        COMPUTE_BEGIN,
+        COMPUTE_END,
+        FAULT_HOST,
+        FAULT_LINK,
+        RETRY,
+        RECV_TIMEOUT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation on the simulated timeline.
+
+    Attributes
+    ----------
+    type:
+        Event type name (one of the module constants, dot-namespaced).
+    t:
+        Simulated time of the event.
+    actor:
+        The process/host/trace label the event is about.
+    seq:
+        Per-bus emission index — a total order that refines equal-``t``
+        ties deterministically.
+    data:
+        Structured payload (JSON-compatible scalars/lists only, so the
+        exporters never need custom encoders).
+    """
+
+    type: str
+    t: float
+    actor: str
+    seq: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous pub/sub channel for :class:`Event` objects.
+
+    Subscribers are plain callables invoked inline at :meth:`emit` time, in
+    subscription order.  A subscriber must never mutate simulation state —
+    observation only — and must not raise (an exception would surface in
+    whatever simulation primitive happened to emit).
+    """
+
+    __slots__ = ("_subscribers", "_seq")
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[Event], None]] = []
+        self._seq = 0
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subscribers)
+
+    @property
+    def emitted(self) -> int:
+        """Number of events emitted so far (0 while nobody listens)."""
+        return self._seq
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[], None]:
+        """Attach ``fn``; returns a zero-argument unsubscribe callable."""
+        self._subscribers.append(fn)
+
+        def _unsubscribe() -> None:
+            self.unsubscribe(fn)
+
+        return _unsubscribe
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        """Detach ``fn`` (no-op if it is not subscribed)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    def emit(
+        self, type: str, t: float, actor: str, **data: Any
+    ) -> Optional[Event]:
+        """Publish an event; returns it, or ``None`` while nobody listens.
+
+        The fast path — no subscribers — performs no allocation at all, so
+        instrumentation hooks can stay unconditionally in hot simulation
+        code.
+        """
+        if not self._subscribers:
+            return None
+        event = Event(type, t, actor, self._seq, data)
+        self._seq += 1
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+
+class EventLog:
+    """A subscriber that simply keeps every event, for export/analysis.
+
+    Usage::
+
+        log = EventLog()
+        run = run_spmd(platform, hosts, program, observers=[log])
+        write_jsonl(log.events, "run.jsonl")
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()

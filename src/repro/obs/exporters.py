@@ -1,0 +1,215 @@
+"""Event-log exporters: JSONL and Chrome trace-event format.
+
+Two serializations of the same :class:`~repro.obs.events.Event` stream:
+
+* **JSONL** — one compact, key-sorted JSON object per line.  Because
+  events carry only simulated time and deterministic payloads, a seeded
+  run exports *byte-identical* JSONL across invocations; CI diffs two
+  exports with ``cmp`` to enforce the contract.
+* **Chrome trace-event format** — the ``{"traceEvents": [...]}`` JSON
+  consumed by ``chrome://tracing`` and https://ui.perfetto.dev.  Span
+  begin/end pairs become duration events (``ph`` ``"B"``/``"E"``); every
+  other event becomes a thread-scoped instant (``ph`` ``"i"``).  Actors
+  map to threads of a single synthetic process, named via metadata
+  events.
+
+:func:`validate_chrome_trace` is the schema check CI runs on the export:
+valid structure, monotone timestamps, and properly nested/paired B/E
+events per thread.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .events import Event
+
+__all__ = [
+    "events_to_jsonl",
+    "write_jsonl",
+    "events_to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: span begin/end event types -> Chrome duration-event name
+_SPAN_NAMES = {
+    "send.begin": ("B", "send"),
+    "send.end": ("E", "send"),
+    "recv.begin": ("B", "recv"),
+    "recv.end": ("E", "recv"),
+    "compute.begin": ("B", "compute"),
+    "compute.end": ("E", "compute"),
+}
+
+_PID = 1
+
+
+def _event_dict(event: Event) -> Dict[str, Any]:
+    d: Dict[str, Any] = {
+        "seq": event.seq,
+        "t": event.t,
+        "type": event.type,
+        "actor": event.actor,
+    }
+    if event.data:
+        d["data"] = event.data
+    return d
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """Render events as JSON Lines (one compact object per line).
+
+    Keys are sorted and separators minimal, so equal event streams yield
+    byte-identical text.
+    """
+    lines = [
+        json.dumps(_event_dict(e), sort_keys=True, separators=(",", ":"))
+        for e in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[Event], path) -> int:
+    """Write a JSONL export to ``path``; returns the number of events."""
+    text = events_to_jsonl(list(events))
+    count = text.count("\n")
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+    return count
+
+
+def events_to_chrome(events: Iterable[Event]) -> Dict[str, Any]:
+    """Convert an event stream to a Chrome trace-event dict.
+
+    * one synthetic process (pid 1) named ``repro-scatter``;
+    * one thread per actor, tids assigned in first-appearance order and
+      labelled with ``thread_name`` metadata;
+    * ``ts`` is simulated seconds scaled to microseconds (the unit the
+      trace viewers assume).
+    """
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro-scatter"},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    for event in events:
+        tid = tids.get(event.actor)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[event.actor] = tid
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": event.actor},
+                }
+            )
+        ts = event.t * 1e6
+        span = _SPAN_NAMES.get(event.type)
+        if span is not None:
+            ph, name = span
+            entry: Dict[str, Any] = {
+                "name": name,
+                "ph": ph,
+                "pid": _PID,
+                "tid": tid,
+                "ts": ts,
+            }
+            # Chrome renders args from the B event; keep E lean except
+            # for failure annotations, which belong on the closing edge.
+            if event.data and (ph == "B" or "error" in event.data):
+                entry["args"] = dict(event.data)
+        else:
+            entry = {
+                "name": event.type,
+                "ph": "i",
+                "s": "t",
+                "pid": _PID,
+                "tid": tid,
+                "ts": ts,
+            }
+            if event.data:
+                entry["args"] = dict(event.data)
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[Event], path) -> Dict[str, Any]:
+    """Validate and write a Chrome trace JSON file; returns the dict."""
+    doc = events_to_chrome(list(events))
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Check a Chrome trace-event document; returns the event count.
+
+    Raises :class:`ValueError` on the first violation:
+
+    * top level must be a dict with a ``traceEvents`` list;
+    * every entry needs ``name``/``ph``/``pid``/``tid`` (and numeric
+      ``ts`` for non-metadata phases);
+    * timestamps must be monotone non-decreasing in stream order
+      (metadata events excepted);
+    * per ``(pid, tid)``, ``B``/``E`` events must nest properly with
+      matching names and no dangling opens.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    trace_events = doc.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise ValueError("chrome trace must contain a 'traceEvents' list")
+    last_ts = None
+    stacks: Dict[Any, List[str]] = {}
+    for i, entry in enumerate(trace_events):
+        if not isinstance(entry, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in entry:
+                raise ValueError(f"traceEvents[{i}] missing {field!r}")
+        ph = entry["ph"]
+        if ph == "M":
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"traceEvents[{i}] has non-numeric ts: {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"traceEvents[{i}] ts {ts} < previous ts {last_ts} "
+                "(timestamps must be monotone)"
+            )
+        last_ts = ts
+        key = (entry["pid"], entry["tid"])
+        if ph == "B":
+            stacks.setdefault(key, []).append(entry["name"])
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(
+                    f"traceEvents[{i}]: 'E' for {entry['name']!r} on "
+                    f"pid/tid {key} without matching 'B'"
+                )
+            opened = stack.pop()
+            if opened != entry["name"]:
+                raise ValueError(
+                    f"traceEvents[{i}]: 'E' name {entry['name']!r} does "
+                    f"not match open 'B' {opened!r} on pid/tid {key}"
+                )
+        elif ph not in ("i", "I", "X", "C"):
+            raise ValueError(f"traceEvents[{i}] has unsupported ph {ph!r}")
+    dangling = {k: v for k, v in stacks.items() if v}
+    if dangling:
+        raise ValueError(f"unclosed 'B' events at end of trace: {dangling}")
+    return len(trace_events)

@@ -1,0 +1,219 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+A deliberately small, dependency-free metrics facility in the Prometheus
+mold.  The process-wide default registry :data:`METRICS` is wired into
+
+* the cost-table cache (``core.cost_cache.hits`` / ``.misses``),
+* the MPI layer (``mpi.send.retries``, ``mpi.recv.timeouts``, the
+  ``mpi.ft_scatterv.*`` family),
+* the failure detector (``monitor.detector.suspect_transitions`` /
+  ``.recoveries``), and
+* trace aggregation (``trace.imbalance.zero_finish_excluded``).
+
+All instruments are cheap (one lock acquisition per update — updates
+happen per *operation*, not per simulated event) and deterministic: values
+are pure functions of the workload executed in this process.  Use
+:meth:`MetricsRegistry.snapshot` deltas in tests rather than absolute
+values, since the default registry accumulates across a whole process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. cache entry count)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Streaming distribution summary with optional fixed buckets.
+
+    Tracks count/sum/min/max exactly; with ``buckets`` (sorted upper
+    bounds) it also tracks cumulative bucket counts, Prometheus-style (an
+    implicit ``+Inf`` bucket always exists).  No samples are stored, so
+    memory stays O(buckets).
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        bounds = sorted(float(b) for b in buckets) if buckets else []
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate histogram buckets: {buckets!r}")
+        self.buckets: List[float] = bounds
+        self._counts: List[int] = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+            for i, bound in enumerate(self.buckets):
+                if v <= bound:
+                    self._counts[i] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Per-bucket (non-cumulative) counts keyed by upper bound."""
+        with self._lock:
+            out = {f"le={b:g}": c for b, c in zip(self.buckets, self._counts)}
+            out["le=+Inf"] = self._counts[-1]
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, total={self.total:g})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Names are dot-namespaced strings (``"mpi.send.retries"``).  Asking for
+    an existing name with a different instrument kind raises — one name,
+    one type, for the whole process.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, *args)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-compatible dump of every instrument, sorted by name.
+
+        Counters/gauges map to their value; histograms to a dict with
+        ``count``/``total``/``min``/``max``/``mean`` (+ ``buckets`` when
+        configured).
+        """
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out: Dict[str, object] = {}
+        for name, inst in items:
+            if isinstance(inst, Histogram):
+                h: Dict[str, object] = {
+                    "count": inst.count,
+                    "total": inst.total,
+                    "min": inst.min,
+                    "max": inst.max,
+                    "mean": inst.mean,
+                }
+                if inst.buckets:
+                    h["buckets"] = inst.bucket_counts()
+                out[name] = h
+            else:
+                out[name] = inst.value  # type: ignore[union-attr]
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; not for production paths)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} instruments)"
+
+
+#: Process-wide default registry (what the library's own wiring targets).
+METRICS = MetricsRegistry()

@@ -1,0 +1,111 @@
+"""Per-stage wall-clock profiling for the DP solvers.
+
+The solvers in :mod:`repro.core` wrap their phases — cost-table
+construction, the DP row loop, reconstruction — in
+:func:`stage_profile` contexts and attach the result to
+``DistributionResult.info["profile"]``::
+
+    prof = stage_profile()
+    with prof.stage("cost_tables"):
+        tables = cost_tables(...)
+    ...
+    prof.note(table_bytes=..., rows=p)
+    info["profile"] = prof.as_info()   # None when profiling is off
+
+Wall-clock numbers are inherently nondeterministic, so they live only in
+``result.info`` — never in events, traces, or anything the seeded
+determinism contract covers.  Profiling defaults to **on** (the overhead
+is a handful of ``perf_counter`` calls per solve); flip it off globally
+with :func:`set_profiling` for overhead-sensitive benchmarking, in which
+case :func:`stage_profile` hands out a shared null object whose methods
+are no-ops and whose ``as_info()`` is ``None``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "StageProfile",
+    "stage_profile",
+    "profiling_enabled",
+    "set_profiling",
+]
+
+_PROFILING = True
+
+
+def set_profiling(enabled: bool) -> bool:
+    """Globally enable/disable solver profiling; returns the old value."""
+    global _PROFILING
+    old = _PROFILING
+    _PROFILING = bool(enabled)
+    return old
+
+
+def profiling_enabled() -> bool:
+    """Whether :func:`stage_profile` currently hands out live profiles."""
+    return _PROFILING
+
+
+class StageProfile:
+    """Accumulates per-stage wall times and free-form annotations."""
+
+    __slots__ = ("enabled", "stages", "notes")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.stages: Dict[str, float] = {}
+        self.notes: Dict[str, Any] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time the enclosed block under ``name`` (accumulates repeats)."""
+        if not self.enabled:
+            yield self
+            return
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    def note(self, **annotations: Any) -> None:
+        """Attach structured annotations (table sizes, row counts, ...)."""
+        if self.enabled:
+            self.notes.update(annotations)
+
+    def total(self) -> float:
+        """Sum of all recorded stage times (seconds)."""
+        return sum(self.stages.values())
+
+    def as_info(self) -> Optional[Dict[str, Any]]:
+        """Dict for ``result.info["profile"]``, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        out: Dict[str, Any] = {
+            "stages_s": dict(self.stages),
+            "total_s": self.total(),
+        }
+        if self.notes:
+            out.update(self.notes)
+        return out
+
+    def __repr__(self) -> str:
+        if not self.enabled:
+            return "StageProfile(disabled)"
+        return f"StageProfile(total={self.total():.6f}s, stages={sorted(self.stages)})"
+
+
+#: Shared no-op profile handed out while profiling is disabled.
+_NULL_PROFILE = StageProfile(enabled=False)
+
+
+def stage_profile() -> StageProfile:
+    """A live :class:`StageProfile`, or the shared null one when disabled."""
+    if _PROFILING:
+        return StageProfile(enabled=True)
+    return _NULL_PROFILE

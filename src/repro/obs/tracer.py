@@ -1,0 +1,112 @@
+"""Span tracer: folds begin/end events into TraceRecorder intervals.
+
+Before the observability layer, :class:`~repro.simgrid.network.Network`
+called ``recorder.record(...)`` directly at the end of every transfer and
+compute phase.  The :class:`SpanTracer` subscribes to the simulator's
+:class:`~repro.obs.events.EventBus` instead and reconstructs exactly the
+same intervals from paired ``*.begin`` / ``*.end`` events, so
+
+* the recorder keeps its format, serialization, and Gantt rendering
+  unchanged, and
+* any other subscriber (an :class:`~repro.obs.events.EventLog` headed for
+  a Chrome trace, a test probe) sees the *same* span boundaries the
+  recorder does, from the same events.
+
+Span semantics mirror the historical recorder behaviour bit-for-bit:
+
+* a successful span is always recorded, even when zero-length;
+* a *failed* send (``data["error"]`` present on the end event) records the
+  partial ``"sending"`` interval only when strictly positive time elapsed,
+  and records **no** ``"receiving"`` interval — the receiver never saw the
+  payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .events import (
+    COMPUTE_BEGIN,
+    COMPUTE_END,
+    RECV_BEGIN,
+    RECV_END,
+    SEND_BEGIN,
+    SEND_END,
+    Event,
+)
+
+__all__ = ["SpanTracer"]
+
+#: begin-event type -> recorder state name
+_BEGIN_STATES = {
+    SEND_BEGIN: "sending",
+    RECV_BEGIN: "receiving",
+    COMPUTE_BEGIN: "computing",
+}
+
+#: end-event type -> recorder state name
+_END_STATES = {
+    SEND_END: "sending",
+    RECV_END: "receiving",
+    COMPUTE_END: "computing",
+}
+
+
+class SpanTracer:
+    """Event-bus subscriber that feeds a ``TraceRecorder``.
+
+    Parameters
+    ----------
+    recorder:
+        Any object with a ``record(label, state, start, end)`` method —
+        in practice a :class:`~repro.simgrid.trace.TraceRecorder`.
+
+    One span is normally open per ``(actor, state)`` pair at a time; the
+    single-port network model guarantees this (a port is an exclusive
+    resource, so a host can't be in two sends at once).  The exception is
+    a process killed mid-transfer: its end event never fires, so the next
+    begin on the same key silently *replaces* the stale span — matching
+    the historical behaviour, where an interrupted transfer recorded no
+    interval at all.  Replacements are counted in :attr:`dropped_spans`.
+    """
+
+    __slots__ = ("recorder", "_open", "dropped_spans")
+
+    def __init__(self, recorder) -> None:
+        self.recorder = recorder
+        self._open: Dict[Tuple[str, str], float] = {}
+        #: Stale spans discarded because a new begin superseded them
+        #: (sender killed mid-transfer leaves both span halves dangling).
+        self.dropped_spans = 0
+
+    @property
+    def open_spans(self) -> int:
+        """Number of currently unclosed spans (0 after a clean run)."""
+        return len(self._open)
+
+    def __call__(self, event: Event) -> None:
+        etype = event.type
+        state = _BEGIN_STATES.get(etype)
+        if state is not None:
+            key = (event.actor, state)
+            if key in self._open:
+                self.dropped_spans += 1
+            self._open[key] = event.t
+            return
+        state = _END_STATES.get(etype)
+        if state is None:
+            return  # not a span event; other subscribers may care
+        key = (event.actor, state)
+        start = self._open.pop(key, None)
+        if start is None:
+            raise RuntimeError(
+                f"span end without begin for {event.actor!r}/{state!r} "
+                f"at t={event.t:g}"
+            )
+        if "error" in event.data:
+            # Failed transfer: keep the partial sending interval if any
+            # time elapsed; the receiving side never completed, so drop it.
+            if state == "sending" and event.t > start:
+                self.recorder.record(event.actor, state, start, event.t)
+            return
+        self.recorder.record(event.actor, state, start, event.t)

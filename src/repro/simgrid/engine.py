@@ -31,6 +31,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
+from repro.obs.events import (
+    PROCESS_END,
+    PROCESS_KILL,
+    PROCESS_START,
+    RECV_TIMEOUT,
+    EventBus,
+)
+
 __all__ = [
     "Simulator",
     "Process",
@@ -300,6 +308,10 @@ class Mailbox:
             if queued is wait:
                 self._getters.remove(wait)
                 if not (wait.process._killed or wait.process.done.is_set):
+                    self.sim.bus.emit(
+                        RECV_TIMEOUT, self.sim.now, wait.process.name,
+                        mailbox=self.name,
+                    )
                     self.sim.schedule(0.0, wait.process._resume, TIMEOUT)
                 return
 
@@ -341,6 +353,7 @@ class Process:
         #: The most recent primitive yielded (for deadlock diagnostics).
         self._last_prim: Optional[SimPrimitive] = None
         sim._processes.append(self)
+        sim.bus.emit(PROCESS_START, sim.now, name)
         sim.schedule(0.0, self._resume, None)
 
     @property
@@ -359,6 +372,7 @@ class Process:
         try:
             prim = self._gen.send(value)
         except StopIteration as stop:
+            self.sim.bus.emit(PROCESS_END, self.sim.now, self.name)
             self.done.set(stop.value)
             return
         if not isinstance(prim, SimPrimitive):
@@ -383,6 +397,12 @@ class Process:
             return
         self._killed = True
         self.failure = failure
+        self.sim.bus.emit(
+            PROCESS_KILL,
+            self.sim.now,
+            self.name,
+            reason=repr(failure) if failure is not None else None,
+        )
         blocked_on = self._blocked_on
         if isinstance(blocked_on, Resource) and self in blocked_on._queue:
             blocked_on._queue.remove(self)
@@ -446,11 +466,13 @@ class _QueuedEvent:
 class Simulator:
     """The event loop: simulated clock plus factories for all primitives."""
 
-    def __init__(self) -> None:
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.now: float = 0.0
         self._queue: List[_QueuedEvent] = []
         self._seq = 0
         self._processes: List[Process] = []
+        #: Structured observability channel; zero-cost while unsubscribed.
+        self.bus = bus if bus is not None else EventBus()
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> _QueuedEvent:

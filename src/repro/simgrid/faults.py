@@ -42,6 +42,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.events import FAULT_HOST
+
 from .engine import Process, Simulator
 from .noise import seeded_unit
 
@@ -382,6 +384,10 @@ def schedule_host_faults(
             )
 
         def _kill(host: str = crash.host, victims: Tuple[Process, ...] = tuple(procs)) -> None:
+            sim.bus.emit(
+                FAULT_HOST, sim.now, host,
+                victims=[p.name for p in victims],
+            )
             for proc in victims:
                 proc.kill(HostFailure(host, sim.now))
 

@@ -19,6 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
+from repro.obs.events import (
+    COMPUTE_BEGIN,
+    COMPUTE_END,
+    FAULT_LINK,
+    RECV_BEGIN,
+    RECV_END,
+    SEND_BEGIN,
+    SEND_END,
+)
+from repro.obs.tracer import SpanTracer
+
 from .engine import (
     Acquire,
     Get,
@@ -64,6 +75,9 @@ class Network:
         self.recorder = recorder or TraceRecorder()
         #: Injected-fault script; ``None`` means a fault-free network.
         self.faults = faults
+        #: Folds the bus's span events back into ``recorder`` intervals.
+        self.tracer = SpanTracer(self.recorder)
+        sim.bus.subscribe(self.tracer)
         self._out_ports: Dict[str, Resource] = {}
         self._in_ports: Dict[str, Resource] = {}
         self._backbones: Dict[str, Resource] = {}
@@ -103,10 +117,13 @@ class Network:
         """Move ``items`` items from ``src`` to ``dst``; deposit into ``mailbox``.
 
         Holds both endpoints' ports for the whole transfer duration (the
-        single-port model), records a ``sending`` interval on the source
-        trace and a ``receiving`` interval on the destination trace, then
-        deposits a :class:`Transfer` into the mailbox.  A loopback transfer
-        (``src == dst``) costs zero time and takes no ports.
+        single-port model) and emits paired ``send.begin``/``send.end``
+        and ``recv.begin``/``recv.end`` events on the simulator's bus —
+        the network's :class:`~repro.obs.tracer.SpanTracer` folds those
+        into ``sending``/``receiving`` intervals on the source and
+        destination traces — then deposits a :class:`Transfer` into the
+        mailbox.  A loopback transfer (``src == dst``) costs zero time,
+        takes no ports, and emits no events.
 
         With a :class:`~repro.simgrid.faults.FaultPlan` attached, a
         transfer overlapping a link outage or addressed to a dead (or
@@ -129,25 +146,33 @@ class Network:
         if pipe is not None:
             yield Acquire(pipe)
         start = self.sim.now
+        src_label = src_trace or src
+        dst_label = dst_trace or dst
+        bus = self.sim.bus
         duration = self.platform.link(src, dst).transfer_time(items)
         if self.faults is not None:
             duration *= self.faults.link_slowdown(src, dst, start)
             failure = self.faults.transfer_failure_time(src, dst, start, duration)
             if failure is not None:
                 fail_at, reason = failure
+                bus.emit(SEND_BEGIN, start, src_label, dst=dst, items=items)
+                bus.emit(RECV_BEGIN, start, dst_label, src=src, items=items)
                 yield Hold(max(0.0, fail_at - start))
                 end = self.sim.now
-                if end > start:
-                    self.recorder.record(src_trace or src, "sending", start, end)
+                bus.emit(FAULT_LINK, end, src_label, dst=dst, reason=reason)
+                bus.emit(SEND_END, end, src_label, dst=dst, error=reason)
+                bus.emit(RECV_END, end, dst_label, src=src, error=reason)
                 if pipe is not None:
                     yield Release(pipe)
                 yield Release(self.in_port(dst))
                 yield Release(self.out_port(src))
                 raise LinkFailure(src, dst, end, reason)
+        bus.emit(SEND_BEGIN, start, src_label, dst=dst, items=items)
+        bus.emit(RECV_BEGIN, start, dst_label, src=src, items=items)
         yield Hold(duration)
         end = self.sim.now
-        self.recorder.record(src_trace or src, "sending", start, end)
-        self.recorder.record(dst_trace or dst, "receiving", start, end)
+        bus.emit(SEND_END, end, src_label, dst=dst)
+        bus.emit(RECV_END, end, dst_label, src=src)
         if pipe is not None:
             yield Release(pipe)
         yield Release(self.in_port(dst))
@@ -169,6 +194,8 @@ class Network:
     ) -> Generator:
         """Charge ``host``'s compute time for ``items`` items on the clock."""
         start = self.sim.now
+        label = trace or host.name
         duration = host.compute_time(items, at=start)
+        self.sim.bus.emit(COMPUTE_BEGIN, start, label, items=items)
         yield Hold(duration)
-        self.recorder.record(trace or host.name, "computing", start, self.sim.now)
+        self.sim.bus.emit(COMPUTE_END, self.sim.now, label)

@@ -10,8 +10,12 @@ the benchmark harness to regenerate Fig. 1.
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import METRICS
 
 __all__ = ["Interval", "Timeline", "TraceRecorder", "STATES"]
 
@@ -85,6 +89,53 @@ class Timeline:
                 current = iv.state
         return current
 
+    def compiled(self) -> Tuple[List[float], List[str]]:
+        """The timeline as a step function: ``(breakpoints, states)``.
+
+        ``states[k]`` holds between ``breakpoints[k]`` (inclusive) and
+        ``breakpoints[k + 1]`` (exclusive); before the first breakpoint the
+        state is ``"idle"``.  Matches :meth:`state_at` everywhere —
+        half-open intervals, zero-length intervals covering nothing,
+        latest-added non-idle interval winning overlaps — but is built
+        once in ``O(I log I)`` so repeated queries (one per Gantt column)
+        cost ``O(log I)`` via :func:`bisect.bisect_right` instead of a
+        full interval rescan each.
+        """
+        boundaries: List[Tuple[float, int, int]] = []
+        for idx, iv in enumerate(self.intervals):
+            if iv.state == "idle" or iv.end <= iv.start:
+                continue
+            boundaries.append((iv.start, 1, idx))
+            boundaries.append((iv.end, 0, idx))
+        if not boundaries:
+            return [0.0], ["idle"]
+        boundaries.sort(key=lambda b: b[0])
+        alive: set = set()
+        heap: List[int] = []  # max-heap of -idx, lazily pruned
+        times: List[float] = []
+        states: List[str] = []
+        i, m = 0, len(boundaries)
+        while i < m:
+            t = boundaries[i][0]
+            # Apply every boundary at this instant before sampling, so an
+            # interval ending at t loses coverage exactly as one starting
+            # at t gains it (half-open semantics).
+            while i < m and boundaries[i][0] == t:
+                _, is_start, idx = boundaries[i]
+                if is_start:
+                    alive.add(idx)
+                    heapq.heappush(heap, -idx)
+                else:
+                    alive.discard(idx)
+                i += 1
+            while heap and -heap[0] not in alive:
+                heapq.heappop(heap)
+            state = self.intervals[-heap[0]].state if heap else "idle"
+            if not states or states[-1] != state:
+                times.append(t)
+                states.append(state)
+        return times, states
+
 
 class TraceRecorder:
     """Collects timelines for all processes of one simulation run."""
@@ -109,15 +160,48 @@ class TraceRecorder:
         names = list(names) if names is not None else sorted(self.timelines)
         return [self.timeline(n).finish_time for n in names]
 
-    def imbalance(self, names: Optional[Sequence[str]] = None) -> float:
+    def zero_finish(self, names: Optional[Sequence[str]] = None) -> List[str]:
+        """Names of processes that never worked (finish time 0).
+
+        A rank that received zero items finishes at 0; silently dropping
+        it from :meth:`imbalance` would let a degenerate distribution look
+        perfectly balanced, so callers are expected to check (or include)
+        these explicitly.
+        """
+        names = list(names) if names is not None else sorted(self.timelines)
+        return [n for n in names if self.timeline(n).finish_time <= 0.0]
+
+    def imbalance(
+        self,
+        names: Optional[Sequence[str]] = None,
+        *,
+        include_zero: bool = False,
+    ) -> float:
         """Finish-time spread over makespan (the paper's 6% / 10% figures).
 
-        Processes that never worked (finish time 0) are excluded.
+        By default processes that never worked (finish time 0) are
+        excluded — but no longer silently: each exclusion increments the
+        ``trace.imbalance.zero_finish_excluded`` metric, and
+        :meth:`zero_finish` lists the culprits.  With
+        ``include_zero=True`` they participate, so any idle process drives
+        the imbalance to 1.0 instead of hiding.
         """
-        times = [t for t in self.finish_times(names) if t > 0]
-        if not times or max(times) == 0:
+        all_times = self.finish_times(names)
+        if include_zero:
+            times = all_times
+        else:
+            times = [t for t in all_times if t > 0]
+            excluded = len(all_times) - len(times)
+            if excluded:
+                METRICS.counter(
+                    "trace.imbalance.zero_finish_excluded"
+                ).inc(excluded)
+        if not times:
             return 0.0
-        return (max(times) - min(times)) / max(times)
+        top = max(times)
+        if top <= 0:
+            return 0.0
+        return (top - min(times)) / top
 
     def stair_area(self, names: Optional[Sequence[str]] = None) -> float:
         """Total idle-before-receive time — the area under the Fig. 1 stair.
@@ -143,7 +227,9 @@ class TraceRecorder:
 
         One row per process; ``.`` idle, ``r`` receiving, ``s`` sending,
         ``#`` computing.  Each column is ``makespan / width`` seconds,
-        sampled at the column midpoint.
+        sampled at the column midpoint.  Each timeline is compiled to a
+        sorted step function once (:meth:`Timeline.compiled`), so a row
+        costs ``O(I log I + W log I)`` rather than ``O(W · I)``.
         """
         names = list(names) if names is not None else sorted(self.timelines)
         span = self.makespan
@@ -152,13 +238,20 @@ class TraceRecorder:
         cols = max(width, 8)
         lines = []
         for n in names:
-            tl = self.timeline(n)
+            times, states = self.timeline(n).compiled()
             row = []
             for c in range(cols):
                 t = (c + 0.5) * span / cols
-                row.append(_GANTT_CHARS[tl.state_at(t)])
+                k = bisect_right(times, t) - 1
+                state = states[k] if k >= 0 else "idle"
+                row.append(_GANTT_CHARS[state])
             lines.append(f"{n:>12} |{''.join(row)}|")
-        scale = f"{'':>12}  0{'':{cols - 8}}{span:>8.4g}s"
+        # The '0' tick sits under the first Gantt column; the span label
+        # ends under the last one (no overhang past the row's closing
+        # pipe, whatever the width).
+        span_label = f"{span:.4g}s"
+        pad = max(cols - 1 - len(span_label), 1)
+        scale = f"{'':>12}  0{'':{pad}}{span_label}"
         legend = f"{'':>12}  [.] idle  [r] receiving  [s] sending  [#] computing"
         return "\n".join(lines + [scale, legend])
 
@@ -186,6 +279,7 @@ class TraceRecorder:
     def from_dict(cls, data: dict) -> "TraceRecorder":
         rec = cls()
         for name, intervals in data.get("timelines", {}).items():
+            rec.timeline(name)  # keep interval-less timelines too
             for state, start, end in intervals:
                 rec.record(name, state, float(start), float(end))
         return rec

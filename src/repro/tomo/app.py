@@ -181,6 +181,7 @@ def run_seismic_app(
     tracer: Optional[RayTracer] = None,
     gather: bool = False,
     weights: Optional[np.ndarray] = None,
+    observers: Optional[Sequence] = None,
 ) -> AppResult:
     """Run the application with a given distribution (root = last rank).
 
@@ -203,6 +204,9 @@ def run_seismic_app(
         Per-item compute weights (length = total items); when given, each
         rank's computation is charged its chunk's weight (see
         :func:`ray_weights`).
+    observers:
+        Event-bus subscribers forwarded to :func:`repro.mpi.run_spmd`
+        (e.g. an :class:`~repro.obs.events.EventLog` for trace export).
     """
     n = int(sum(counts))
     if weights is not None:
@@ -231,6 +235,7 @@ def run_seismic_app(
         tracer,
         gather,
         weights,
+        observers=observers,
     )
     gathered = run.results[root] if gather else None
     return AppResult(

@@ -67,6 +67,32 @@ class TestPermutations:
         b = ordering_permutation(prob, "random", rng=random.Random(3))
         assert a == b
 
+    def test_random_policy_deterministic_without_rng(self):
+        """With rng=None the shuffle must derive its seed from the problem
+        shape, never fall back to the unseeded global ``random`` module."""
+        prob = spread_problem()
+        a = ordering_permutation(prob, "random")
+        b = ordering_permutation(prob, "random")
+        assert a == b
+        assert a[-1] == prob.p - 1
+
+    def test_random_policy_immune_to_global_seed(self):
+        prob = spread_problem()
+        random.seed(1)
+        a = ordering_permutation(prob, "random")
+        random.seed(2)
+        b = ordering_permutation(prob, "random")
+        assert a == b
+
+    def test_random_policy_varies_with_problem_shape(self):
+        """Different instance shapes should (generically) shuffle
+        differently — the derived seed depends on p and n."""
+        perms = {
+            ordering_permutation(spread_problem(n), "random")
+            for n in (100, 101, 102, 103, 104, 105, 106, 107)
+        }
+        assert len(perms) > 1
+
     def test_unknown_policy(self):
         with pytest.raises(ValueError, match="unknown ordering policy"):
             ordering_permutation(spread_problem(), "by-vibes")

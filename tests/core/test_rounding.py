@@ -65,6 +65,61 @@ class TestRoundPaper:
         assert all(c in (0, 1) for c in out)
 
 
+class TestRoundPaperAdversarial:
+    """Stress cases engineered against the §3.3 sweep: integer-adjacent
+    ties, accumulated error crossing zero, and all-fractional inputs."""
+
+    def test_integer_adjacent_ties(self):
+        # Shares sitting epsilon away from integers on both sides: the
+        # accumulated-error rule must still land within distance 1.
+        eps = F(1, 10**9)
+        shares = [F(3) - eps, F(2) + eps, F(5) - eps, F(2) + eps]
+        n = 12
+        shares[-1] += n - sum(shares)
+        out = check_rounding(shares, round_paper(shares, n), n)
+        assert sum(out) == n
+
+    def test_accumulated_error_crosses_zero(self):
+        # Alternating fractional parts push the running error e above and
+        # below zero repeatedly — each step must still round to floor or
+        # ceil of its own share.
+        shares = [F(3, 4), F(1, 4), F(3, 4), F(1, 4), F(3, 4), F(5, 4)]
+        n = 4
+        assert sum(shares) == n
+        out = check_rounding(shares, round_paper(shares, n), n)
+        assert all(abs(F(c) - s) < 1 for c, s in zip(out, shares))
+
+    def test_all_fractional_inputs(self):
+        # No share is integral; everything must be decided by the error
+        # accumulation alone.
+        shares = [F(1, 2)] * 8
+        out = check_rounding(shares, round_paper(shares, 4), 4)
+        assert sorted(out) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_non_integral_total_rejected(self):
+        with pytest.raises(ValueError):
+            round_paper([F(1, 2)] * 9, 4)
+
+    def test_sevenths_cycle(self):
+        # 1/7 has a 6-digit repeating expansion; ten of them force the
+        # error to wander before the final share absorbs the residue.
+        shares = [F(1, 7)] * 10
+        n = 2
+        shares[-1] += n - sum(shares)
+        out = check_rounding(shares, round_paper(shares, n), n)
+        assert sum(out) == n
+        assert all(c >= 0 for c in out)
+
+    def test_mixed_signs_of_error_drift(self):
+        rng_shares = [F(9, 10), F(1, 10), F(9, 10), F(1, 10), F(10, 10)]
+        n = 3
+        out = check_rounding(rng_shares, round_paper(rng_shares, n), n)
+        assert sum(out) == n
+
+    def test_zero_items(self):
+        assert round_paper([F(0), F(0)], 0) == (0, 0)
+
+
 class TestRoundLargestRemainder:
     def test_classic_apportionment(self):
         out = round_largest_remainder([F(14, 10), F(13, 10), F(3, 10)], 3)

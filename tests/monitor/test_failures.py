@@ -1,0 +1,78 @@
+"""Tests for the FailureDetector suspect-transition accounting."""
+
+import pytest
+
+from repro.monitor.failures import FailureDetector
+from repro.obs import METRICS
+
+
+class TestDetectorBasics:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="suspect_threshold"):
+            FailureDetector(suspect_threshold=0)
+
+    def test_never_heard_is_not_suspect(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        assert not det.is_suspect("ghost", now=100.0)
+        assert det.silence("ghost", 100.0) is None
+        assert det.view(["ghost"], 100.0) == {"ghost": "unknown"}
+
+    def test_heartbeat_keeps_host_alive(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        det.heartbeat("h", 0.0)
+        assert not det.is_suspect("h", now=5.0)  # exactly at threshold
+        assert det.is_suspect("h", now=5.1)
+
+    def test_stale_heartbeat_ignored(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        det.heartbeat("h", 10.0)
+        det.heartbeat("h", 3.0)  # out-of-order delivery
+        assert det.last_heard["h"] == 10.0
+
+
+class TestTransitionCounting:
+    def test_alive_to_suspect_counts_once(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        metric = METRICS.counter("monitor.detector.suspect_transitions")
+        before = metric.value
+        det.heartbeat("h", 0.0)
+        det.is_suspect("h", 1.0)
+        assert det.suspect_transitions == 0
+        # repeated queries while suspect must not re-count the transition
+        for now in (6.0, 7.0, 8.0):
+            assert det.is_suspect("h", now)
+        assert det.suspect_transitions == 1
+        assert metric.value == before + 1
+
+    def test_recovery_counts_and_can_repeat(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        metric = METRICS.counter("monitor.detector.suspect_recoveries")
+        before = metric.value
+        det.heartbeat("h", 0.0)
+        assert det.is_suspect("h", 6.0)  # alive -> suspect
+        det.heartbeat("h", 7.0)  # host came back
+        assert not det.is_suspect("h", 8.0)  # suspect -> alive
+        assert det.suspect_recoveries == 1
+        assert metric.value == before + 1
+        # second crash/recovery cycle counts again
+        assert det.is_suspect("h", 20.0)
+        det.heartbeat("h", 21.0)
+        assert not det.is_suspect("h", 22.0)
+        assert det.suspect_transitions == 2
+        assert det.suspect_recoveries == 2
+
+    def test_per_host_independence(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        det.heartbeat("a", 0.0)
+        det.heartbeat("b", 0.0)
+        det.heartbeat("b", 9.0)
+        assert det.suspects(10.0) == ["a"]
+        assert det.alive(10.0) == ["b"]
+        assert det.suspect_transitions == 1
+
+    def test_unknown_host_never_transitions(self):
+        det = FailureDetector(suspect_threshold=5.0)
+        det.is_suspect("ghost", 100.0)
+        det.is_suspect("ghost", 200.0)
+        assert det.suspect_transitions == 0
+        assert det.suspect_recoveries == 0

@@ -1,0 +1,122 @@
+"""Tests for the typed event bus (repro.obs.events)."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    COMPUTE_BEGIN,
+    PROCESS_START,
+    SEND_BEGIN,
+    Event,
+    EventBus,
+    EventLog,
+)
+
+
+class TestEventBus:
+    def test_emit_without_subscribers_is_none(self):
+        bus = EventBus()
+        assert bus.emit(PROCESS_START, 0.0, "p0") is None
+        assert not bus.active
+        assert bus.emitted == 0  # the fast path does not burn sequence numbers
+
+    def test_emit_delivers_to_subscribers_in_order(self):
+        bus = EventBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(seen_a.append)
+        bus.subscribe(seen_b.append)
+        event = bus.emit(SEND_BEGIN, 1.5, "host-a", dst="host-b", items=7)
+        assert event is not None
+        assert seen_a == [event] and seen_b == [event]
+        assert event.type == SEND_BEGIN
+        assert event.t == 1.5
+        assert event.actor == "host-a"
+        assert event.data == {"dst": "host-b", "items": 7}
+
+    def test_seq_is_a_total_order(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        for k in range(5):
+            bus.emit(COMPUTE_BEGIN, 2.0, f"p{k}")  # equal t, distinct seq
+        seqs = [e.seq for e in log]
+        assert seqs == sorted(seqs) == list(range(5))
+        assert bus.emitted == 5
+
+    def test_unsubscribe_closure(self):
+        bus = EventBus()
+        log = EventLog()
+        unsubscribe = bus.subscribe(log)
+        bus.emit(PROCESS_START, 0.0, "p0")
+        unsubscribe()
+        bus.emit(PROCESS_START, 1.0, "p1")
+        assert len(log) == 1
+        assert not bus.active
+        unsubscribe()  # idempotent
+
+    def test_events_are_frozen(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        event = bus.emit(PROCESS_START, 0.0, "p0")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.t = 99.0
+
+    def test_event_types_registry(self):
+        assert PROCESS_START in EVENT_TYPES
+        assert len(EVENT_TYPES) == 13
+
+
+class TestEventLog:
+    def test_collects_and_clears(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        bus.emit(PROCESS_START, 0.0, "a")
+        bus.emit(PROCESS_START, 1.0, "b")
+        assert len(log) == 2
+        assert [e.actor for e in log] == ["a", "b"]
+        log.clear()
+        assert len(log) == 0
+
+
+class TestEngineIntegration:
+    def test_process_lifecycle_events(self):
+        from repro.simgrid.engine import Hold, Simulator
+
+        sim = Simulator()
+        log = EventLog()
+        sim.bus.subscribe(log)
+
+        def body():
+            yield Hold(2.0)
+
+        sim.spawn("worker", body())
+        sim.run()
+        types = [(e.type, e.actor, e.t) for e in log]
+        assert ("process.start", "worker", 0.0) in types
+        assert ("process.end", "worker", 2.0) in types
+
+    def test_kill_emits_kill_not_end(self):
+        from repro.simgrid.engine import Hold, Simulator
+
+        sim = Simulator()
+        log = EventLog()
+        sim.bus.subscribe(log)
+
+        def victim():
+            yield Hold(100.0)
+
+        def killer(proc):
+            yield Hold(1.0)
+            proc.kill(RuntimeError("scripted"))
+
+        proc = sim.spawn("victim", victim())
+        sim.spawn("killer", killer(proc))
+        sim.run()
+        types = {(e.type, e.actor) for e in log}
+        assert ("process.kill", "victim") in types
+        assert ("process.end", "victim") not in types
+        kill = next(e for e in log if e.type == "process.kill")
+        assert "scripted" in kill.data["reason"]

@@ -1,0 +1,118 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(3)
+        g.dec()
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9.0
+        assert h.min == 1.0 and h.max == 6.0
+        assert h.mean == pytest.approx(3.0)
+
+    def test_empty_mean_is_none(self):
+        assert Histogram("h").mean is None
+
+    def test_buckets(self):
+        h = Histogram("h", buckets=[1.0, 5.0])
+        for v in (0.5, 0.9, 3.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts() == {"le=1": 2, "le=5": 1, "le=+Inf": 1}
+
+    def test_duplicate_buckets_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Histogram("h", buckets=[1.0, 1.0])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x.hits")
+        b = reg.counter("x.hits")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_compatible_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.level").set(7)
+        h = reg.histogram("c.sizes", buckets=[10.0])
+        h.observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.level", "b.count", "c.sizes"]
+        assert snap["a.level"] == 7
+        assert snap["b.count"] == 2
+        assert snap["c.sizes"]["count"] == 1
+        assert snap["c.sizes"]["buckets"] == {"le=10": 1, "le=+Inf": 0}
+        json.dumps(snap)  # must not need custom encoders
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("x").value == 0
+
+
+class TestWiring:
+    """Library code paths must feed the default registry."""
+
+    def test_cost_cache_hit_miss_counters(self):
+        from repro.core.costs import CostTableCache, LinearCost
+
+        hits = METRICS.counter("core.cost_cache.hits")
+        misses = METRICS.counter("core.cost_cache.misses")
+        h0, m0 = hits.value, misses.value
+        cache = CostTableCache()
+        cache.table(LinearCost(0.017), 50)
+        assert misses.value == m0 + 1
+        cache.table(LinearCost(0.017), 50)
+        assert hits.value == h0 + 1
+
+    def test_imbalance_exclusion_counter(self):
+        from repro.simgrid.trace import TraceRecorder
+
+        rec = TraceRecorder()
+        rec.record("busy", "computing", 0.0, 4.0)
+        rec.timeline("lazy")  # finish time 0 -> excluded by default
+        c = METRICS.counter("trace.imbalance.zero_finish_excluded")
+        before = c.value
+        assert rec.imbalance() == 0.0
+        assert c.value == before + 1
+        assert rec.zero_finish() == ["lazy"]
+        assert rec.imbalance(include_zero=True) == 1.0

@@ -1,0 +1,202 @@
+"""Tests for SpanTracer and the JSONL / Chrome trace exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    EventLog,
+    SpanTracer,
+    events_to_chrome,
+    events_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.simgrid.trace import TraceRecorder
+
+
+def make_bus():
+    bus = EventBus()
+    rec = TraceRecorder()
+    tracer = SpanTracer(rec)
+    bus.subscribe(tracer)
+    log = EventLog()
+    bus.subscribe(log)
+    return bus, rec, tracer, log
+
+
+class TestSpanTracer:
+    def test_folds_pairs_into_intervals(self):
+        bus, rec, tracer, _ = make_bus()
+        bus.emit("send.begin", 0.0, "root", dst="w")
+        bus.emit("recv.begin", 0.0, "w", src="root")
+        bus.emit("send.end", 1.5, "root", dst="w")
+        bus.emit("recv.end", 1.5, "w", src="root")
+        bus.emit("compute.begin", 1.5, "w", items=10)
+        bus.emit("compute.end", 4.0, "w")
+        assert tracer.open_spans == 0
+        tl = rec.timeline("w")
+        assert [(iv.state, iv.start, iv.end) for iv in tl.intervals] == [
+            ("receiving", 0.0, 1.5),
+            ("computing", 1.5, 4.0),
+        ]
+        assert rec.timeline("root").time_in("sending") == 1.5
+
+    def test_failed_send_keeps_partial_sending_only(self):
+        bus, rec, tracer, _ = make_bus()
+        bus.emit("send.begin", 0.0, "root", dst="w")
+        bus.emit("recv.begin", 0.0, "w", src="root")
+        bus.emit("send.end", 0.7, "root", dst="w", error="link down")
+        bus.emit("recv.end", 0.7, "w", src="root", error="link down")
+        assert rec.timeline("root").time_in("sending") == pytest.approx(0.7)
+        assert rec.timeline("w").intervals == []
+
+    def test_failed_send_at_zero_elapsed_records_nothing(self):
+        bus, rec, _, _ = make_bus()
+        bus.emit("send.begin", 2.0, "root", dst="w")
+        bus.emit("send.end", 2.0, "root", dst="w", error="dead on arrival")
+        assert rec.timeline("root").intervals == []
+
+    def test_stale_span_is_dropped_and_replaced(self):
+        # A killed sender never emits its end events; the next begin on the
+        # same (actor, state) key must supersede the dangling span.
+        bus, rec, tracer, _ = make_bus()
+        bus.emit("recv.begin", 0.0, "root", src="w1")  # w1 dies mid-send
+        bus.emit("recv.begin", 5.0, "root", src="w2")
+        bus.emit("recv.end", 6.0, "root", src="w2")
+        assert tracer.dropped_spans == 1
+        assert [(iv.start, iv.end) for iv in rec.timeline("root").intervals] == [
+            (5.0, 6.0)
+        ]
+
+    def test_end_without_begin_raises(self):
+        bus, _, _, _ = make_bus()
+        with pytest.raises(RuntimeError, match="span end without begin"):
+            bus.emit("compute.end", 1.0, "w")
+
+    def test_matches_network_direct_recording(self):
+        """The tracer-fed recorder must equal the intervals the network
+        used to record directly: same labels, states, and boundaries."""
+        from repro.core.distribution import uniform_counts
+        from repro.tomo.app import run_seismic_app
+        from repro.workloads.table1 import table1_platform
+
+        platform = table1_platform()
+        hosts = [h for h in platform.hosts][:4]
+        counts = uniform_counts(400, 4)
+        result = run_seismic_app(platform, hosts, counts)
+        rec = result.run.recorder
+        for name in result.run.trace_names:
+            tl = rec.timeline(name)
+            assert tl.finish_time > 0
+            assert all(iv.end >= iv.start for iv in tl.intervals)
+
+
+class TestJsonl:
+    def test_round_trip_and_determinism(self, tmp_path):
+        bus, _, _, log = make_bus()
+        bus.emit("send.begin", 0.0, "root", dst="w", items=3)
+        bus.emit("send.end", 1.0, "root", dst="w")
+        text = events_to_jsonl(log.events)
+        assert text == events_to_jsonl(list(log))  # pure function of events
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "seq": 0,
+            "t": 0.0,
+            "type": "send.begin",
+            "actor": "root",
+            "data": {"dst": "w", "items": 3},
+        }
+        path = tmp_path / "events.jsonl"
+        assert write_jsonl(log.events, path) == 2
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_empty_log(self):
+        assert events_to_jsonl([]) == ""
+
+
+class TestChrome:
+    def events(self):
+        bus, _, _, log = make_bus()
+        bus.emit("process.start", 0.0, "w")
+        bus.emit("send.begin", 0.0, "root", dst="w")
+        bus.emit("recv.begin", 0.0, "w", src="root")
+        bus.emit("send.end", 1.0, "root", dst="w")
+        bus.emit("recv.end", 1.0, "w", src="root")
+        bus.emit("compute.begin", 1.0, "w", items=5)
+        bus.emit("compute.end", 3.0, "w")
+        bus.emit("process.end", 3.0, "w")
+        return log.events
+
+    def test_structure_and_validation(self, tmp_path):
+        doc = events_to_chrome(self.events())
+        count = validate_chrome_trace(doc)
+        assert count == len(doc["traceEvents"])
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metas}
+        assert "repro-scatter" in names and "w" in names and "root" in names
+        spans = [e for e in doc["traceEvents"] if e["ph"] in "BE"]
+        assert [e["name"] for e in spans] == [
+            "send", "recv", "send", "recv", "compute", "compute",
+        ]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"process.start", "process.end"}
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(self.events(), path)
+        assert json.loads(path.read_text(encoding="utf-8")) == written
+
+    def test_ts_scaled_to_microseconds(self):
+        doc = events_to_chrome(self.events())
+        compute_b = next(
+            e for e in doc["traceEvents"] if e["name"] == "compute" and e["ph"] == "B"
+        )
+        assert compute_b["ts"] == pytest.approx(1e6)
+
+    def test_validator_rejects_bad_docs(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        base = {"pid": 1, "tid": 1}
+        with pytest.raises(ValueError, match="monotone"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        dict(base, name="a", ph="i", s="t", ts=5.0),
+                        dict(base, name="b", ph="i", s="t", ts=1.0),
+                    ]
+                }
+            )
+        with pytest.raises(ValueError, match="without matching"):
+            validate_chrome_trace(
+                {"traceEvents": [dict(base, name="send", ph="E", ts=0.0)]}
+            )
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_chrome_trace(
+                {"traceEvents": [dict(base, name="send", ph="B", ts=0.0)]}
+            )
+        with pytest.raises(ValueError, match="does not match"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        dict(base, name="send", ph="B", ts=0.0),
+                        dict(base, name="recv", ph="E", ts=1.0),
+                    ]
+                }
+            )
+
+    def test_end_to_end_export_is_valid(self):
+        from repro.core.distribution import uniform_counts
+        from repro.tomo.app import run_seismic_app
+        from repro.workloads.table1 import table1_platform
+
+        platform = table1_platform()
+        hosts = [h for h in platform.hosts][:5]
+        log = EventLog()
+        run_seismic_app(platform, hosts, uniform_counts(500, 5), observers=[log])
+        doc = events_to_chrome(log.events)
+        assert validate_chrome_trace(doc) > 0

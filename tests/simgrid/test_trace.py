@@ -1,6 +1,10 @@
 """Tests for timelines and stair-effect metrics."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.simgrid import Interval, Timeline, TraceRecorder
 
@@ -108,6 +112,154 @@ class TestTraceRecorder:
         rec = self.make()
         rows = rec.summary_rows(["a", "b"])
         assert rows == [("a", 5.0, 1.0), ("b", 4.0, 2.0)]
+
+
+class TestCompiledTimeline:
+    """Timeline.compiled() must agree with state_at() everywhere."""
+
+    def check_equivalence(self, tl, probes):
+        from bisect import bisect_right
+
+        times, states = tl.compiled()
+        assert times == sorted(times)
+        # consecutive segments never repeat a state (dedup invariant)
+        assert all(a != b for a, b in zip(states, states[1:]))
+        for t in probes:
+            k = bisect_right(times, t) - 1
+            compiled = states[k] if k >= 0 else "idle"
+            assert compiled == tl.state_at(t), f"disagreement at t={t}"
+
+    def test_empty_timeline(self):
+        tl = Timeline("x")
+        assert tl.compiled() == ([0.0], ["idle"])
+
+    def test_zero_length_intervals_cover_nothing(self):
+        tl = Timeline("x")
+        tl.add("receiving", 1.0, 1.0)
+        assert tl.compiled() == ([0.0], ["idle"])
+        assert tl.state_at(1.0) == "idle"
+
+    def test_half_open_boundaries(self):
+        tl = Timeline("x")
+        tl.add("receiving", 0.0, 1.0)
+        tl.add("computing", 1.0, 2.0)
+        self.check_equivalence(tl, [0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+
+    def test_latest_added_wins_overlaps(self):
+        tl = Timeline("x")
+        tl.add("computing", 0.0, 10.0)
+        tl.add("sending", 2.0, 4.0)  # later-added overlap wins
+        self.check_equivalence(tl, [1.0, 2.0, 3.0, 4.0, 5.0, 9.0, 10.0])
+        assert tl.state_at(3.0) == "sending"
+
+    def test_random_overlapping_intervals(self):
+        states = ("receiving", "sending", "computing", "idle")
+        rng = random.Random(0xABBA)
+        for _ in range(50):
+            tl = Timeline("x")
+            for _ in range(rng.randint(0, 12)):
+                start = rng.uniform(0, 10)
+                end = start + rng.uniform(0, 4) * rng.choice((0, 1))
+                tl.add(rng.choice(states), round(start, 2), round(end, 2))
+            probes = [rng.uniform(-1, 12) for _ in range(40)]
+            probes += [iv.start for iv in tl.intervals]
+            probes += [iv.end for iv in tl.intervals]
+            self.check_equivalence(tl, probes)
+
+
+class TestGanttAlignment:
+    def make(self):
+        rec = TraceRecorder()
+        rec.record("a", "computing", 0.0, 5.0)
+        rec.record("b", "receiving", 0.0, 2.0)
+        return rec
+
+    @pytest.mark.parametrize("width", [1, 4, 8, 16, 40, 72])
+    def test_scale_row_matches_row_width(self, width):
+        """The scale line must never overhang the rows' closing pipe,
+        including at the clamped minimum width (regression: off-by-one
+        misalignment at width <= 8)."""
+        rec = self.make()
+        lines = rec.ascii_gantt(["a", "b"], width=width).splitlines()
+        rows, scale = lines[:2], lines[2]
+        assert len(scale) <= len(rows[0])
+        # the '0' tick sits under the first Gantt column
+        first_col = rows[0].index("|") + 1
+        assert scale[first_col] == "0"
+        # the span label ends at (or before) the last Gantt column
+        assert scale.rstrip().endswith("s")
+
+    def test_rows_use_compiled_sampling(self):
+        rec = self.make()
+        out = rec.ascii_gantt(["a", "b"], width=10)
+        rows = out.splitlines()
+        assert rows[0].count("#") == 10  # a computes for the whole span
+        assert "r" in rows[1] and "." in rows[1]
+
+
+class TestImbalanceZeroFinish:
+    def make(self):
+        rec = TraceRecorder()
+        rec.record("busy", "computing", 0.0, 10.0)
+        rec.record("slow", "computing", 0.0, 8.0)
+        rec.timeline("lazy")  # no recorded work: finish time 0
+        return rec
+
+    def test_default_excludes_and_counts(self):
+        from repro.obs import METRICS
+
+        rec = self.make()
+        counter = METRICS.counter("trace.imbalance.zero_finish_excluded")
+        before = counter.value
+        assert rec.imbalance(["busy", "slow", "lazy"]) == pytest.approx(0.2)
+        assert counter.value == before + 1
+
+    def test_include_zero_exposes_idle_rank(self):
+        rec = self.make()
+        assert rec.imbalance(
+            ["busy", "slow", "lazy"], include_zero=True
+        ) == pytest.approx(1.0)
+
+    def test_zero_finish_lists_culprits(self):
+        rec = self.make()
+        assert rec.zero_finish() == ["lazy"]
+        assert rec.zero_finish(["busy", "slow"]) == []
+
+    def test_all_zero_include_zero_is_zero(self):
+        rec = TraceRecorder()
+        rec.timeline("a")
+        rec.timeline("b")
+        assert rec.imbalance(include_zero=True) == 0.0
+
+
+_interval_st = st.tuples(
+    st.sampled_from(["idle", "receiving", "sending", "computing"]),
+    st.floats(min_value=0, max_value=100, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestRecorderRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.lists(_interval_st, max_size=8),
+            max_size=3,
+        )
+    )
+    def test_to_from_dict_round_trip(self, spec):
+        rec = TraceRecorder()
+        for name, intervals in spec.items():
+            rec.timeline(name)  # empty timelines must survive too
+            for state, start, length in intervals:
+                rec.record(name, state, start, start + length)
+        restored = TraceRecorder.from_dict(rec.to_dict())
+        assert restored.to_dict() == rec.to_dict()
+        assert sorted(restored.timelines) == sorted(rec.timelines)
+        for name in rec.timelines:
+            assert restored.timeline(name).intervals == rec.timeline(name).intervals
+        assert restored.makespan == rec.makespan
 
 
 class TestTraceSerialization:

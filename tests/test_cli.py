@@ -105,6 +105,38 @@ class TestChaosCommand:
             main(["chaos", "--n", "100", "--rates", "2.0"])
 
 
+class TestTraceCommand:
+    def test_smoke(self, capsys):
+        assert main(["trace", "--n", "1500", "--algorithm", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "Traced run" in out
+        assert "events:" in out
+        assert "span totals" in out
+        assert "compute.begin" in out
+
+    def test_exports_and_determinism(self, tmp_path, capsys):
+        import json
+
+        a_jsonl = tmp_path / "a.jsonl"
+        b_jsonl = tmp_path / "b.jsonl"
+        chrome = tmp_path / "trace.json"
+        argv = ["trace", "--n", "1500", "--jsonl", str(a_jsonl), "--chrome", str(chrome)]
+        assert main(argv) == 0
+        assert main(["trace", "--n", "1500", "--jsonl", str(b_jsonl)]) == 0
+        capsys.readouterr()
+        # the seeded-determinism contract: byte-identical event exports
+        assert a_jsonl.read_bytes() == b_jsonl.read_bytes()
+
+        from repro.obs import validate_chrome_trace
+
+        doc = json.loads(chrome.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(doc) > 0
+
+    def test_metrics_flag(self, capsys):
+        assert main(["trace", "--n", "800", "--metrics"]) == 0
+        assert "metrics:" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
