@@ -20,6 +20,8 @@ JSON layout (``schema: bench-chaos/v1``)::
     points[].makespan         simulated seconds for the degraded round
     points[].degradation      makespan / baseline_makespan
     points[].{dead,retries,replans,redistributed_items,lost_items}
+    metrics                   METRICS.snapshot() delta over the sweep
+                              (counters/histograms the run touched)
 
 Lower is better for ``degradation``; the curve must start at 1.0 (rate 0
 is bit-identical to the baseline), never decrease (nested kill sets), and
@@ -36,12 +38,47 @@ from typing import Optional, Sequence
 import pytest
 
 from repro.analysis.chaos import chaos_sweep
+from repro.obs import METRICS
 from repro.workloads import table1_platform, table1_rank_hosts
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_chaos.json")
 
 DEFAULT_RATES = (0.0, 0.1, 0.25, 0.5, 0.75)
+
+
+def metrics_delta(before: dict, after: dict) -> dict:
+    """Difference of two ``METRICS.snapshot()`` dumps, sweep-attributable only.
+
+    The process-wide registry accumulates across a whole process, so the
+    benchmark reports the *delta* its own sweep produced.  Counter/gauge
+    values and histogram ``count``/``total``/bucket counts subtract
+    cleanly; histogram ``min``/``max``/``mean`` only describe the delta
+    when the instrument was untouched before, and are dropped otherwise.
+    Instruments the sweep never touched are omitted.
+    """
+    out: dict = {}
+    for name, value in after.items():
+        prior = before.get(name)
+        if isinstance(value, dict):  # histogram
+            prior = prior or {}
+            d_count = value["count"] - prior.get("count", 0)
+            if d_count == 0:
+                continue
+            h = {"count": d_count, "total": value["total"] - prior.get("total", 0.0)}
+            if prior.get("count", 0) == 0:
+                h.update(min=value["min"], max=value["max"], mean=value["mean"])
+            if "buckets" in value:
+                pb = prior.get("buckets", {})
+                h["buckets"] = {
+                    k: c - pb.get(k, 0) for k, c in value["buckets"].items()
+                }
+            out[name] = h
+        else:
+            delta = value - (prior or 0)
+            if delta != 0:
+                out[name] = delta
+    return out
 
 
 def run_chaos_bench(
@@ -55,6 +92,7 @@ def run_chaos_bench(
     """Run the chaos sweep and (optionally) write ``BENCH_chaos.json``."""
     platform = table1_platform()
     hosts = table1_rank_hosts("bandwidth-desc")
+    before = METRICS.snapshot()
     sweep = chaos_sweep(
         platform, hosts, n, list(rates), seed=seed, retries=retries
     )
@@ -70,6 +108,7 @@ def run_chaos_bench(
             "retries": retries,
         },
         **sweep.to_dict(),
+        "metrics": metrics_delta(before, METRICS.snapshot()),
     }
     if path:
         with open(path, "w") as f:
@@ -103,6 +142,13 @@ def bench_chaos(report):
     # small multiple of the optimum (timeout per exchange ≈ one baseline).
     worst = points[-1]["degradation"]
     assert worst <= 10.0, worst
+
+    # The sweep's own metrics ride along: failures at the higher rates
+    # force retries/backoffs, and every round moves data over the network.
+    metrics = payload["metrics"]
+    assert metrics["net.transfer.duration_s"]["count"] > 0
+    assert metrics.get("mpi.send.retries", 0) > 0
+    assert metrics["mpi.send.backoff_s"]["count"] > 0
 
     lines = [f"wrote {BENCH_PATH}", f"baseline {base:.3f}s"]
     for pt in points:

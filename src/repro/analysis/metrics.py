@@ -20,7 +20,7 @@ def imbalance(finish_times: Sequence[float], counts: Optional[Sequence[int]] = N
     if counts is not None:
         times = [t for t, c in zip(times, counts) if c > 0]
     times = [t for t in times if t > 0]
-    if not times or max(times) == 0:
+    if not times:
         return 0.0
     return (max(times) - min(times)) / max(times)
 

@@ -19,6 +19,9 @@ Subcommands
     Run the application with structured event tracing on; print an ASCII
     Gantt and event summary, optionally exporting JSONL and Chrome
     trace-event files (see ``repro.obs``).
+``lint``
+    Run the determinism & simulation-safety static-analysis pass over
+    source paths (see ``repro.lint``); exits non-zero on findings.
 """
 
 from __future__ import annotations
@@ -255,7 +258,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     from .analysis.events import render_event_summary
-    from .obs import METRICS, EventLog, write_chrome_trace, write_jsonl
+    from .obs import METRICS, EventLog, JsonlStreamWriter, write_chrome_trace
 
     platform = _load_platform(args)
     hosts = _rank_hosts(platform, args)
@@ -264,7 +267,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     else:
         counts = plan_counts(platform, hosts, args.n, algorithm=args.algorithm)
     log = EventLog()
-    result = run_seismic_app(platform, hosts, counts, observers=[log])
+    observers: list = [log]
+    stream = None
+    if args.jsonl:
+        # Streamed as events are emitted (O(1) memory), byte-identical to
+        # the batch write_jsonl export of the same run.
+        stream = JsonlStreamWriter(args.jsonl)
+        observers.append(stream)
+    try:
+        result = run_seismic_app(platform, hosts, counts, observers=observers)
+    finally:
+        if stream is not None:
+            stream.close()
     print(
         f"Traced run — {args.algorithm} distribution, n={args.n}, "
         f"makespan {result.makespan:.1f} s"
@@ -273,9 +287,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(result.run.recorder.ascii_gantt(result.run.trace_names, width=args.width))
     print()
     print(render_event_summary(log.events))
-    if args.jsonl:
-        count = write_jsonl(log.events, args.jsonl)
-        print(f"\nwrote {args.jsonl} ({count} events)")
+    if stream is not None:
+        print(f"\nwrote {args.jsonl} ({stream.count} events)")
     if args.chrome:
         doc = write_chrome_trace(log.events, args.chrome)
         print(f"wrote {args.chrome} ({len(doc['traceEvents'])} trace events)")
@@ -285,6 +298,28 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print("\nmetrics:")
         print(json.dumps(METRICS.snapshot(), indent=2, sort_keys=True))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import render_findings, render_findings_json, run_lint
+    from .lint.core import iter_rule_metadata
+
+    if args.list_rules:
+        width = max(len(rid) for rid, _, _ in iter_rule_metadata())
+        for rule_id, family, description in iter_rule_metadata():
+            print(f"{rule_id:<{width}}  [{family}] {description}")
+        return 0
+    paths = args.paths or ["src"]
+    try:
+        findings = run_lint(paths, rules=args.rule or None)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_findings_json(findings), end="")
+    else:
+        print(render_findings(findings))
+    return 1 if findings else 0
 
 
 def cmd_rewrite(args: argparse.Namespace) -> int:
@@ -401,6 +436,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the process-wide metrics registry snapshot",
     )
     p_tr.set_defaults(fn=cmd_trace)
+
+    p_li = sub.add_parser(
+        "lint",
+        help="run the determinism/simulation-safety static analysis",
+    )
+    p_li.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    p_li.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    p_li.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    p_li.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_li.set_defaults(fn=cmd_lint)
 
     p_rw = sub.add_parser(
         "rewrite", help="rewrite MPI_Scatter calls in a C source to MPI_Scatterv"

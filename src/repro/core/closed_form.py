@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Sequence, Tuple
 
+from ..obs.profiler import stage_profile
 from .costs import as_fraction
 from .distribution import DistributionResult, Processor, ScatterProblem
 from .rounding import round_paper
@@ -174,18 +175,27 @@ def solve_closed_form(problem: ScatterProblem) -> DistributionResult:
     guarantee relative to the rational optimum (cf. §4.4:
     ``T_int_opt <= T' <= T_int_opt + Σ_j Tcomm(j,1) + max_i Tcomp(i,1)``).
     """
-    rat = solve_rational(problem)
-    counts = round_paper(rat.shares, problem.n)
-    exact_makespan = problem.makespan_exact(counts)
+    prof = stage_profile()
+    with prof.stage("rational_solve"):
+        rat = solve_rational(problem)
+    with prof.stage("rounding"):
+        counts = round_paper(rat.shares, problem.n)
+    with prof.stage("evaluate"):
+        exact_makespan = problem.makespan_exact(counts)
+    prof.note(p=problem.p, n=problem.n)
+    info = {
+        "rational_duration": rat.duration,
+        "active": rat.active,
+        "rational_shares": rat.shares,
+    }
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return DistributionResult(
         problem=problem,
         counts=counts,
         makespan=float(exact_makespan),
         algorithm="closed-form",
         makespan_exact=exact_makespan,
-        info={
-            "rational_duration": rat.duration,
-            "active": rat.active,
-            "rational_shares": rat.shares,
-        },
+        info=info,
     )

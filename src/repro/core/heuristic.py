@@ -26,6 +26,7 @@ from typing import Callable, List, Sequence, Tuple
 from ..lp.model import affine_coefficients, build_scatter_lp
 from ..lp.scipy_backend import solve_with_scipy
 from ..lp.simplex import solve_simplex
+from ..obs.profiler import stage_profile
 from .costs import as_fraction
 from .distribution import DistributionResult, ScatterProblem
 from .rounding import round_paper
@@ -114,29 +115,40 @@ def solve_heuristic(
     * ``guarantee_gap`` — the additive term of Eq. 4,
     * ``upper_bound`` — ``rational_T + guarantee_gap``,
     * ``relaxed_T`` — the rounded distribution's duration under the affine
-      reading (the quantity Eq. 4 bounds; asserted ``<= upper_bound``).
+      reading (the quantity Eq. 4 bounds; asserted ``<= upper_bound``),
+    * ``profile`` — per-stage wall times (``lp_solve`` / ``rounding`` /
+      ``evaluate``), matching the DP kernels' stage timings.
     """
-    shares, t_rat = solve_lp_rational(problem, backend=backend)
-    counts = rounding(shares, problem.n)
-    gap = guarantee_gap(problem)
-    relaxed = relaxed_makespan(problem, counts)
-    if backend == "exact" and relaxed > t_rat + gap:
-        raise AssertionError(
-            f"Eq. 4 violated: T'={float(relaxed):.9g} > "
-            f"{float(t_rat):.9g} + {float(gap):.9g}"
-        )
-    exact_makespan = problem.makespan_exact(counts)
+    prof = stage_profile()
+    with prof.stage("lp_solve"):
+        shares, t_rat = solve_lp_rational(problem, backend=backend)
+    with prof.stage("rounding"):
+        counts = rounding(shares, problem.n)
+    with prof.stage("evaluate"):
+        gap = guarantee_gap(problem)
+        relaxed = relaxed_makespan(problem, counts)
+        if backend == "exact" and relaxed > t_rat + gap:
+            raise AssertionError(
+                f"Eq. 4 violated: T'={float(relaxed):.9g} > "
+                f"{float(t_rat):.9g} + {float(gap):.9g}"
+            )
+        exact_makespan = problem.makespan_exact(counts)
+    prof.note(backend=backend, p=problem.p, n=problem.n)
+    info = {
+        "rational_T": t_rat,
+        "rational_shares": tuple(shares),
+        "guarantee_gap": gap,
+        "upper_bound": t_rat + gap,
+        "relaxed_T": relaxed,
+    }
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return DistributionResult(
         problem=problem,
         counts=counts,
         makespan=float(exact_makespan),
         algorithm=f"lp-heuristic[{backend}]",
         makespan_exact=exact_makespan,
-        info={
-            "rational_T": t_rat,
-            "rational_shares": tuple(shares),
-            "guarantee_gap": gap,
-            "upper_bound": t_rat + gap,
-            "relaxed_T": relaxed,
-        },
+        info=info,
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.profiler import stage_profile
 from .closed_form import solve_closed_form
 from .distribution import DistributionResult, ScatterProblem
 from .dp_basic import solve_dp_basic, solve_dp_basic_vectorized
@@ -19,7 +20,7 @@ from .dp_optimized import solve_dp_optimized
 from .heuristic import solve_heuristic
 from .ordering import apply_policy
 
-__all__ = ["plan_scatter", "ALGORITHMS"]
+__all__ = ["plan_scatter", "solve_uniform", "ALGORITHMS"]
 
 #: Algorithm names accepted by :func:`plan_scatter`.
 ALGORITHMS = (
@@ -79,6 +80,10 @@ def plan_scatter(
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
+    # Base hypotheses (§3.1): every cost must be non-negative and null at
+    # zero — the closed form, the DPs and the LP all silently mis-solve
+    # instances that violate them, so the facade rejects them up front.
+    problem.check_valid()
     if order_policy is not None:
         problem = apply_policy(problem, order_policy)
 
@@ -113,11 +118,24 @@ def plan_scatter(
     if algorithm == "lp-heuristic":
         return solve_heuristic(problem)
     if algorithm == "uniform":
-        counts = problem.uniform_distribution()
-        return DistributionResult(
-            problem=problem,
-            counts=counts,
-            makespan=problem.makespan(counts),
-            algorithm="uniform",
-        )
+        return solve_uniform(problem)
     raise AssertionError(f"unhandled algorithm {algorithm!r}")
+
+
+def solve_uniform(problem: ScatterProblem) -> DistributionResult:
+    """The original program's ``⌊n/p⌋`` distribution, evaluated (§2.2)."""
+    prof = stage_profile()
+    with prof.stage("evaluate"):
+        counts = problem.uniform_distribution()
+        span = problem.makespan(counts)
+    info: dict = {}
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
+    return DistributionResult(
+        problem=problem,
+        counts=counts,
+        makespan=span,
+        algorithm="uniform",
+        info=info,
+    )

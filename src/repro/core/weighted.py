@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.profiler import stage_profile
 from .closed_form import solve_rational
 from .costs import CostFunction, as_fraction
 from .distribution import Processor, ScatterProblem
@@ -181,47 +182,58 @@ def solve_weighted_dp(problem: WeightedScatterProblem) -> WeightedDistribution:
     prefix = problem.prefix
     procs = problem.processors
 
+    prof = stage_profile()
     counts_axis = np.arange(n + 1, dtype=float)
     by_count = problem.comm_mode == "count"
 
-    # Base row: the root takes everything that remains.
-    tail = prefix[n] - prefix  # weight of items j..n-1, for each j
-    tail_counts = counts_axis[::-1]  # n - j items remain after boundary j
-    root = procs[p - 1]
-    root_comm = root.comm.many(tail_counts if by_count else tail)
-    prev = np.where(tail > 0, root_comm + root.comp.many(tail), 0.0)
-    choice: List[np.ndarray] = [np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)]
+    with prof.stage("dp_rows"):
+        # Base row: the root takes everything that remains.
+        tail = prefix[n] - prefix  # weight of items j..n-1, for each j
+        tail_counts = counts_axis[::-1]  # n - j items remain after boundary j
+        root = procs[p - 1]
+        root_comm = root.comm.many(tail_counts if by_count else tail)
+        prev = np.where(tail > 0, root_comm + root.comp.many(tail), 0.0)
+        choice: List[np.ndarray] = [
+            np.zeros(n + 1, dtype=np.int64) for _ in range(p - 1)
+        ]
 
-    for i in range(p - 2, -1, -1):
-        proc = procs[i]
-        cur = np.empty(n + 1, dtype=float)
-        cur[n] = prev[n]
-        ch = choice[i]
-        ch[n] = n  # nothing left: this processor's block is empty
-        for j in range(n - 1, -1, -1):
-            w = prefix[j:] - prefix[j]  # block weights for ends k = j..n
-            load = counts_axis[: n + 1 - j] if by_count else w
-            comm = proc.comm.many(load)
-            comp = proc.comp.many(w)
-            comm[0] = comp[0] = 0.0  # empty block: truly free
-            m = comm + np.maximum(comp, prev[j:])
-            k = int(np.argmin(m))
-            ch[j] = j + k
-            cur[j] = m[k]
-        prev = cur
+        for i in range(p - 2, -1, -1):
+            proc = procs[i]
+            cur = np.empty(n + 1, dtype=float)
+            cur[n] = prev[n]
+            ch = choice[i]
+            ch[n] = n  # nothing left: this processor's block is empty
+            for j in range(n - 1, -1, -1):
+                w = prefix[j:] - prefix[j]  # block weights for ends k = j..n
+                load = counts_axis[: n + 1 - j] if by_count else w
+                comm = proc.comm.many(load)
+                comp = proc.comp.many(w)
+                comm[0] = comp[0] = 0.0  # empty block: truly free
+                m = comm + np.maximum(comp, prev[j:])
+                k = int(np.argmin(m))
+                ch[j] = j + k
+                cur[j] = m[k]
+            prev = cur
 
-    counts = []
-    j = 0
-    for i in range(p - 1):
-        end = int(choice[i][j])
-        counts.append(end - j)
-        j = end
-    counts.append(n - j)
+    with prof.stage("reconstruct"):
+        counts = []
+        j = 0
+        for i in range(p - 1):
+            end = int(choice[i][j])
+            counts.append(end - j)
+            j = end
+        counts.append(n - j)
+    prof.note(p=p, n=n, comm_mode=problem.comm_mode)
+    info: dict = {}
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return WeightedDistribution(
         problem=problem,
         counts=tuple(counts),
         makespan=float(prev[0]),
         algorithm="weighted-dp",
+        info=info,
     )
 
 
@@ -249,6 +261,7 @@ def solve_weighted_heuristic(
     # comm priced by count, the per-weight-unit link rate is β times the
     # average item density n/W (exact when weights are equal; a first-order
     # approximation otherwise, absorbed by the heaviest-item gap).
+    prof = stage_profile()
     if problem.comm_mode == "count":
         density = problem.n / problem.total_weight
         base_procs = [
@@ -263,35 +276,44 @@ def solve_weighted_heuristic(
         ]
     else:
         base_procs = list(problem.processors)
-    base = ScatterProblem(base_procs, 1)
-    rat = solve_rational(base)  # shares of a single unit
-    total = problem.total_weight
-    targets = np.cumsum([float(s) * total for s in rat.shares])
+    with prof.stage("rational_solve"):
+        base = ScatterProblem(base_procs, 1)
+        rat = solve_rational(base)  # shares of a single unit
+        total = problem.total_weight
+        targets = np.cumsum([float(s) * total for s in rat.shares])
 
-    prefix = problem.prefix
-    cuts = [0]
-    for t in targets[:-1]:
-        k = int(np.searchsorted(prefix, t))
-        # Choose the nearer of prefix[k-1], prefix[k]; keep cuts monotone.
-        if k > 0 and (k >= prefix.size or t - prefix[k - 1] <= prefix[k] - t):
-            k -= 1
-        cuts.append(min(max(k, cuts[-1]), n))
-    cuts.append(n)
-    counts = tuple(cuts[i + 1] - cuts[i] for i in range(p))
+    with prof.stage("snap_cuts"):
+        prefix = problem.prefix
+        cuts = [0]
+        for t in targets[:-1]:
+            k = int(np.searchsorted(prefix, t))
+            # Choose the nearer of prefix[k-1], prefix[k]; keep cuts monotone.
+            if k > 0 and (k >= prefix.size or t - prefix[k - 1] <= prefix[k] - t):
+                k -= 1
+            cuts.append(min(max(k, cuts[-1]), n))
+        cuts.append(n)
+        counts = tuple(cuts[i + 1] - cuts[i] for i in range(p))
 
-    max_item = float(problem.weights.max())
-    comm_unit = 1 if problem.comm_mode == "count" else max_item
-    gap = sum(proc.comm(comm_unit) for proc in problem.processors) + max(
-        proc.comp(max_item) for proc in problem.processors
-    )
+    with prof.stage("evaluate"):
+        max_item = float(problem.weights.max())
+        comm_unit = 1 if problem.comm_mode == "count" else max_item
+        gap = sum(proc.comm(comm_unit) for proc in problem.processors) + max(
+            proc.comp(max_item) for proc in problem.processors
+        )
+        span = problem.makespan(counts)
+    prof.note(p=p, n=n, comm_mode=problem.comm_mode)
+    info = {
+        "rational_T": float(rat.duration) * total,
+        "guarantee_gap": gap,
+        "targets": targets.tolist(),
+    }
+    profile = prof.as_info()
+    if profile is not None:
+        info["profile"] = profile
     return WeightedDistribution(
         problem=problem,
         counts=counts,
-        makespan=problem.makespan(counts),
+        makespan=span,
         algorithm="weighted-heuristic",
-        info={
-            "rational_T": float(rat.duration) * total,
-            "guarantee_gap": gap,
-            "targets": targets.tolist(),
-        },
+        info=info,
     )

@@ -1,0 +1,63 @@
+"""Determinism & simulation-safety static analysis (``repro-scatter lint``).
+
+The reproduction rests on invariants the paper's framework *assumes* but
+ordinary code review rarely enforces: bit-identical seeded simulation
+(two runs of an Eq. 1/2 schedule must agree exactly), single-port
+rank-order service, and cost functions that are non-negative and null at
+zero.  This package checks those invariants mechanically, at review
+time, with a small AST-based rule engine:
+
+* :mod:`repro.lint.core` — the engine: file contexts, the rule registry,
+  per-line / per-file suppression comments, and :func:`run_lint`.
+* :mod:`repro.lint.astutil` — shared AST helpers (import-alias
+  resolution, parent links, qualified names).
+* :mod:`repro.lint.rules_determinism` — no unseeded ``random`` /
+  ``numpy.random``, no wall-clock reads, no unordered-collection
+  iteration feeding scheduling decisions, no float ``==`` on makespans.
+* :mod:`repro.lint.rules_simsafety` — engine primitives only ever
+  yielded, event-bus subscribers free of mutating calls, ``recv`` armed
+  with ``timeout=`` in fault-tolerant paths.
+* :mod:`repro.lint.rules_contracts` — solver entry points validate their
+  cost functions; solver results carry the ``info`` keys the exporters
+  and benchmarks rely on.
+* :mod:`repro.lint.reporters` — human (``file:line: rule message``) and
+  JSON renderings.
+
+Suppression syntax (see ``docs/api.md`` §Lint)::
+
+    x = foo()  # lint: disable=det-wall-clock
+    # lint: disable-file=det-unordered-iter
+
+Run it as ``repro-scatter lint [paths] [--json] [--rule ID]``; CI gates
+on a clean tree.
+"""
+
+from .core import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_source,
+    register,
+    run_lint,
+)
+from .reporters import render_findings, render_findings_json
+
+# Importing the rule modules populates the registry.
+from . import rules_contracts  # noqa: F401  (registration side effect)
+from . import rules_determinism  # noqa: F401
+from . import rules_simsafety  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "register",
+    "run_lint",
+    "render_findings",
+    "render_findings_json",
+]

@@ -1,0 +1,127 @@
+"""Shared AST helpers for the lint rules.
+
+Rules work on plain :mod:`ast` trees.  The helpers here cover the three
+needs every rule has:
+
+* **qualified names** — resolving ``np.random.rand`` to
+  ``numpy.random.rand`` through the module's import aliases;
+* **parent links** — :func:`build_parents` so a rule can ask "is this
+  call the immediate operand of a ``yield``?";
+* **scope walking** — :func:`enclosing_function` and
+  :func:`module_functions`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "import_aliases",
+    "qualified_name",
+    "terminal_name",
+    "build_parents",
+    "enclosing_function",
+    "module_functions",
+    "name_parts",
+]
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object paths they import.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from time import perf_counter`` yields
+    ``{"perf_counter": "time.perf_counter"}``.  Only top-level and
+    function-local imports are considered (both appear in ``ast.walk``).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                full = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+        elif isinstance(node, ast.ImportFrom) and node.level > 0:
+            # Relative import: keep the tail (``from ..simgrid.engine
+            # import Get`` -> ``simgrid.engine.Get``) so rules can match
+            # on suffixes without knowing the absolute package root.
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{module}.{alias.name}" if module else alias.name
+    return aliases
+
+
+def qualified_name(
+    node: ast.expr, aliases: Optional[Dict[str, str]] = None
+) -> Optional[str]:
+    """Dotted name of a ``Name``/``Attribute`` chain, alias-expanded.
+
+    Returns ``None`` for anything rooted in a non-name expression
+    (calls, subscripts, literals).
+    """
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    parts.reverse()
+    if aliases and parts[0] in aliases:
+        parts[0] = aliases[parts[0]]
+    return ".".join(parts)
+
+
+def terminal_name(node: ast.expr) -> Optional[str]:
+    """Last identifier of a name/attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def name_parts(identifier: str) -> List[str]:
+    """Snake-case components of an identifier, lowercased."""
+    return [part for part in identifier.lower().split("_") if part]
+
+
+def build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child -> parent map for every node of the tree."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def enclosing_function(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[ast.AST]:
+    """Nearest enclosing function/method definition, or ``None``."""
+    cur = parents.get(node)
+    while cur is not None:
+        if isinstance(cur, FunctionNode):
+            return cur
+        cur = parents.get(cur)
+    return None
+
+
+def module_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Top-level function definitions (not methods, not nested)."""
+    for node in tree.body:
+        if isinstance(node, FunctionNode):
+            yield node

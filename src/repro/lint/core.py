@@ -1,0 +1,361 @@
+"""Lint engine: file contexts, rule registry, suppressions, runner.
+
+A :class:`Rule` looks at one parsed file (a :class:`FileContext`) and
+yields :class:`Finding` objects.  Rules register themselves with the
+:func:`register` decorator; the engine instantiates every registered
+rule per file, honours the rule's path scoping (``include``/``exclude``
+prefixes matched against the package-relative path) and the file's
+suppression comments, and reports any suppression that never fired
+(rule id ``meta-unused-suppression``).
+
+Suppression comments
+--------------------
+``# lint: disable=<rule>[,<rule>...]`` at the end of a line suppresses
+those rules *on that line*; ``# lint: disable-file=<rule>[,...]`` on a
+line of its own suppresses them for the whole file.  Unknown rule ids in
+a suppression are findings themselves — a typo must not silently turn
+the suppression off.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from .astutil import build_parents, import_aliases
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "lint_file",
+    "run_lint",
+    "discover_files",
+    "META_UNUSED",
+]
+
+#: Rule id reserved for the engine's own unused-suppression check.
+META_UNUSED = "meta-unused-suppression"
+
+_SUPPRESS_LINE = re.compile(r"#\s*lint:\s*disable=([\w,\- ]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*lint:\s*disable-file=([\w,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a file location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+class FileContext:
+    """Everything a rule may inspect about one file.
+
+    Attributes
+    ----------
+    path:
+        The path as given to the engine (what findings report).
+    relpath:
+        Posix-style path relative to the ``repro`` package root when the
+        file lives under one (``core/solver.py``), otherwise relative to
+        the lint invocation — this is what rule path scoping matches.
+    tree, lines, aliases, parents:
+        Parsed AST, source lines, import-alias map, child->parent map.
+    """
+
+    def __init__(self, path: str, source: str, relpath: Optional[str] = None):
+        self.path = path
+        self.source = source
+        self.relpath = relpath if relpath is not None else package_relpath(path)
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.aliases = import_aliases(self.tree)
+        self.parents = build_parents(self.tree)
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Dict[str, int] = {}
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        # Walk real COMMENT tokens (not docstrings that merely *show* the
+        # suppression syntax) — the lint package's own docs would
+        # otherwise self-suppress.
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):
+            comments = []
+        for lineno, text in comments:
+            m = _SUPPRESS_FILE.search(text)
+            if m:
+                for rule_id in _split_ids(m.group(1)):
+                    self.file_suppressions.setdefault(rule_id, lineno)
+                continue
+            m = _SUPPRESS_LINE.search(text)
+            if m:
+                ids = set(_split_ids(m.group(1)))
+                self.line_suppressions.setdefault(lineno, set()).update(ids)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_suppressions:
+            return True
+        return rule_id in self.line_suppressions.get(line, set())
+
+
+def _split_ids(raw: str) -> List[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def package_relpath(path: str) -> str:
+    """Path relative to the innermost ``repro`` package, posix-style.
+
+    Files outside any ``repro`` directory (benchmarks, tests, fixtures)
+    keep their given path, normalised to forward slashes.
+    """
+    parts = list(os.path.normpath(os.path.abspath(path)).split(os.sep))
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[idx + 1 :]
+        if tail:
+            return "/".join(tail)
+    given = os.path.normpath(path).replace(os.sep, "/")
+    return given.lstrip("./")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(line, col, message)`` triples.  ``include`` / ``exclude``
+    are path prefixes matched against ``ctx.relpath``; an empty
+    ``include`` means every file.
+    """
+
+    id: str = ""
+    family: str = ""
+    description: str = ""
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if any(_prefix_match(relpath, pat) for pat in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(_prefix_match(relpath, pat) for pat in self.include)
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        raise NotImplementedError
+
+
+def _prefix_match(relpath: str, pattern: str) -> bool:
+    """True when ``pattern`` names this file or one of its ancestors."""
+    if relpath == pattern:
+        return True
+    prefix = pattern if pattern.endswith("/") else pattern + "/"
+    if relpath.startswith(prefix):
+        return True
+    # Bare directory names also match anywhere in the path (so
+    # ``benchmarks`` excludes both ``benchmarks/x.py`` and
+    # ``some/benchmarks/x.py`` regardless of invocation directory).
+    return "/" not in pattern and pattern in relpath.split("/")[:-1]
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY or cls.id == META_UNUSED:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rule classes by id (excluding the engine's meta rule)."""
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY) + [META_UNUSED])
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    if rule_ids is None:
+        return [cls() for cls in _REGISTRY.values()]
+    return [get_rule(rid)() for rid in rule_ids if rid != META_UNUSED]
+
+
+@dataclass
+class _FileResult:
+    findings: List[Finding] = field(default_factory=list)
+    used_suppressions: Set[Tuple[str, int]] = field(default_factory=set)
+
+
+def _lint_context(
+    ctx: FileContext, rules: Sequence[Rule], check_suppressions: bool
+) -> List[Finding]:
+    result = _FileResult()
+    known_ids = set(_REGISTRY) | {META_UNUSED}
+    for rule in rules:
+        if not rule.applies_to(ctx.relpath):
+            continue
+        for line, col, message in rule.check(ctx):
+            if ctx.is_suppressed(rule.id, line):
+                if rule.id in ctx.file_suppressions:
+                    result.used_suppressions.add(
+                        (rule.id, ctx.file_suppressions[rule.id])
+                    )
+                else:
+                    result.used_suppressions.add((rule.id, line))
+                continue
+            result.findings.append(Finding(rule.id, ctx.path, line, col, message))
+    if check_suppressions:
+        active = {rule.id for rule in rules if rule.applies_to(ctx.relpath)}
+        for rule_id, lineno in sorted(ctx.file_suppressions.items()):
+            if rule_id not in known_ids:
+                result.findings.append(
+                    Finding(
+                        META_UNUSED, ctx.path, lineno, 0,
+                        f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+            elif rule_id in active and (rule_id, lineno) not in result.used_suppressions:
+                result.findings.append(
+                    Finding(
+                        META_UNUSED, ctx.path, lineno, 0,
+                        f"file-level suppression of {rule_id!r} never fired",
+                    )
+                )
+        for lineno in sorted(ctx.line_suppressions):
+            for rule_id in sorted(ctx.line_suppressions[lineno]):
+                if rule_id not in known_ids:
+                    result.findings.append(
+                        Finding(
+                            META_UNUSED, ctx.path, lineno, 0,
+                            f"suppression names unknown rule {rule_id!r}",
+                        )
+                    )
+                elif (
+                    rule_id in active
+                    and (rule_id, lineno) not in result.used_suppressions
+                ):
+                    result.findings.append(
+                        Finding(
+                            META_UNUSED, ctx.path, lineno, 0,
+                            f"suppression of {rule_id!r} never fired on this line",
+                        )
+                    )
+    result.findings.sort(key=Finding.sort_key)
+    return result.findings
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    check_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint in-memory source as if it lived at ``relpath``.
+
+    The entry point the fixture tests use: no files needed, and path
+    scoping behaves exactly as for on-disk files.
+    """
+    ctx = FileContext(relpath, source, relpath=relpath)
+    return _lint_context(ctx, _select_rules(rules), check_suppressions)
+
+
+def lint_file(
+    path: str, *, rules: Optional[Sequence[str]] = None,
+    check_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "parse-error", path, exc.lineno or 0, exc.offset or 0,
+                f"could not parse: {exc.msg}",
+            )
+        ]
+    return _lint_context(ctx, _select_rules(rules), check_suppressions)
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".tox", ".venv", "node_modules"}
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a directory or .py file: {path}")
+    return out
+
+
+def run_lint(
+    paths: Sequence[str], *, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint files/directories; returns all findings sorted by location."""
+    findings: List[Finding] = []
+    for path in discover_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_rule_metadata() -> Iterable[Tuple[str, str, str]]:
+    """(id, family, description) for every rule, registry order."""
+    for rule_id, cls in _REGISTRY.items():
+        yield rule_id, cls.family, cls.description
+    yield META_UNUSED, "meta", "a lint suppression comment that never fired"

@@ -1,0 +1,55 @@
+"""Finding renderers: human-readable text and JSON.
+
+The human reporter prints one ``path:line:col: rule-id message`` line
+per finding plus a summary; the JSON reporter emits a stable,
+key-sorted document (``schema: repro-lint/v1``) for tooling and CI
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import Finding
+
+__all__ = ["render_findings", "render_findings_json"]
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """One line per finding + a per-rule summary; empty-tree message if clean."""
+    if not findings:
+        return "clean: no lint findings"
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings
+    ]
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{rule} x{count}" for rule, count in sorted(by_rule.items()))
+    plural = "s" if len(findings) != 1 else ""
+    lines.append("")
+    lines.append(f"{len(findings)} finding{plural} ({summary})")
+    return "\n".join(lines)
+
+
+def render_findings_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document for CI artifacts and editor integrations."""
+    rules: Dict[str, int] = {}
+    for f in findings:
+        rules[f.rule] = rules.get(f.rule, 0) + 1
+    doc = {
+        "schema": "repro-lint/v1",
+        "count": len(findings),
+        "by_rule": rules,
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def findings_by_path(findings: Sequence[Finding]) -> Dict[str, List[Finding]]:
+    """Group findings by reported path (insertion order preserved)."""
+    out: Dict[str, List[Finding]] = {}
+    for f in findings:
+        out.setdefault(f.path, []).append(f)
+    return out

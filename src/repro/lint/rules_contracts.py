@@ -1,0 +1,118 @@
+"""Contract-hygiene rules: solver validation and result metadata.
+
+The paper's framework assumes cost functions that are non-negative and
+**null at zero** (§3.1 base hypotheses) — the closed form, the DPs and
+the LP all silently mis-solve instances that violate them.  And the
+exporters, benchmark emitters and sweep tooling read well-known
+``result.info`` keys (``"profile"`` stage timings in particular); a
+solver that forgets to attach them breaks downstream consumers only at
+analysis time.  Both contracts are checked here, at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .astutil import module_functions, terminal_name
+from .core import FileContext, Rule, register
+
+__all__ = ["EntryPointValidationRule", "ResultProfileInfoRule"]
+
+
+@register
+class EntryPointValidationRule(Rule):
+    """Public solver entry points (the ``plan_scatter`` facade family)
+    must call ``problem.check_valid()`` so non-null-at-0 or negative
+    cost functions are rejected loudly instead of mis-solved."""
+
+    id = "con-validate-costs"
+    family = "contracts"
+    description = "solver entry point does not validate its cost functions"
+    include = ("core",)
+    exclude = ("benchmarks", "tests", "examples")
+
+    _ENTRY_POINTS = ("plan_scatter", "plan_weighted_scatter")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for fn in module_functions(ctx.tree):
+            name = getattr(fn, "name", "")
+            if name not in self._ENTRY_POINTS:
+                continue
+            calls_validate = any(
+                isinstance(node, ast.Call)
+                and terminal_name(node.func) == "check_valid"
+                for node in ast.walk(fn)
+            )
+            if not calls_validate:
+                yield (fn.lineno, fn.col_offset,
+                       f"entry point {name}() never calls "
+                       "problem.check_valid(); cost functions must be "
+                       "validated (non-negative, null at 0) before solving")
+
+
+_RESULT_TYPES = {"DistributionResult", "WeightedDistribution"}
+
+
+def _constructs_result(fn: ast.AST) -> List[ast.Call]:
+    calls = []
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and terminal_name(node.func) in _RESULT_TYPES
+        ):
+            calls.append(node)
+    return calls
+
+
+def _attaches_profile(fn: ast.AST) -> bool:
+    """True when the function body wires ``info["profile"]`` somewhere."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Subscript)
+                    and isinstance(tgt.slice, ast.Constant)
+                    and tgt.slice.value == "profile"
+                ):
+                    return True
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and key.value == "profile":
+                    return True
+    return False
+
+
+@register
+class ResultProfileInfoRule(Rule):
+    """Every solver in ``core/`` that constructs a result object must
+    attach ``info["profile"]`` (the :mod:`repro.obs.profiler` stage
+    timings) — the exporters, the benchmark JSON emitters and the sweep
+    tooling read that key uniformly across algorithms."""
+
+    id = "con-result-profile"
+    family = "contracts"
+    description = "solver result constructed without info['profile'] stage timings"
+    include = ("core",)
+    exclude = ("core/distribution.py", "benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        reported: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            calls = _constructs_result(node)
+            if not calls or _attaches_profile(node):
+                continue
+            if node.name in reported:
+                continue
+            reported.add(node.name)
+            ctor = terminal_name(calls[0].func)
+            yield (calls[0].lineno, calls[0].col_offset,
+                   f"{node.name}() returns a {ctor} without "
+                   "info['profile'] stage timings; wrap its phases in "
+                   "repro.obs.profiler.stage_profile() and attach "
+                   "prof.as_info()")

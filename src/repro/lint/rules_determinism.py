@@ -1,0 +1,288 @@
+"""Determinism rules: seeded randomness, no wall clock, stable iteration.
+
+The contract these rules guard: **two runs of the same seeded program
+are bit-identical** — same schedules from the Eq. 1/2 solvers, same
+simulated timelines, byte-identical JSONL exports.  PR 3 fixed one
+silent violation by hand (``ordering_permutation("random")`` read the
+unseeded global :mod:`random` module); these rules catch that class of
+bug mechanically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .astutil import (
+    enclosing_function,
+    name_parts,
+    qualified_name,
+    terminal_name,
+)
+from .core import FileContext, Rule, register
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "UnorderedIterationRule",
+    "FloatTimeEqualityRule",
+]
+
+#: Directories whose code feeds schedules, timelines, or redistribution
+#: decisions — the bit-identical core of the reproduction.
+_DETERMINISTIC_DIRS = ("simgrid", "mpi", "core", "workloads")
+
+#: Paths legitimately allowed to read the host clock.
+_WALL_CLOCK_EXEMPT = ("obs/profiler.py", "benchmarks", "tests", "examples")
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Module-level ``random.*`` / ``numpy.random.*`` calls draw from
+    process-global, unseeded state; schedules must come from an explicit
+    seeded ``random.Random`` / ``numpy.random.Generator`` instance."""
+
+    id = "det-unseeded-random"
+    family = "determinism"
+    description = (
+        "unseeded global random source in deterministic simulation code"
+    )
+    include = _DETERMINISTIC_DIRS
+    exclude = ("benchmarks", "tests", "examples")
+
+    #: Constructors that *produce* a generator; fine when given a seed.
+    _CONSTRUCTORS = {"Random", "SystemRandom", "default_rng", "RandomState",
+                     "Generator", "SeedSequence"}
+    #: Constructors that are nondeterministic even with arguments.
+    _ALWAYS_BAD = {"SystemRandom"}
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qname = qualified_name(node.func, ctx.aliases)
+            if qname is None:
+                continue
+            head, _, fn = qname.rpartition(".")
+            if head == "random" or qname == "random.Random":
+                if fn in self._ALWAYS_BAD:
+                    yield (node.lineno, node.col_offset,
+                           f"{qname}() is nondeterministic by design")
+                elif fn in self._CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield (node.lineno, node.col_offset,
+                               f"{qname}() without a seed falls back to "
+                               "wall-clock/OS entropy; pass an explicit seed")
+                else:
+                    yield (node.lineno, node.col_offset,
+                           f"{qname}() draws from the process-global unseeded "
+                           "generator; use a seeded random.Random instance")
+            elif head in ("numpy.random", "np.random"):
+                if fn in self._CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield (node.lineno, node.col_offset,
+                               f"{qname}() without a seed is entropy-seeded; "
+                               "pass an explicit seed")
+                else:
+                    yield (node.lineno, node.col_offset,
+                           f"{qname}() uses numpy's global unseeded state; "
+                           "use numpy.random.default_rng(seed)")
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads leak host time into simulated state; only the
+    profiler (whose output never feeds back into the simulation) and the
+    benchmark harnesses may touch the host clock."""
+
+    id = "det-wall-clock"
+    family = "determinism"
+    description = "host wall-clock read outside obs/profiler.py and benchmarks"
+    exclude = _WALL_CLOCK_EXEMPT
+
+    _CLOCK_CALLS = {
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qname = qualified_name(node.func, ctx.aliases)
+            if qname in self._CLOCK_CALLS:
+                yield (node.lineno, node.col_offset,
+                       f"{qname}() reads the host clock; simulation code must "
+                       "use simulated time (sim.now) — wall time belongs in "
+                       "obs/profiler.py or benchmarks/")
+
+
+#: Function names that make scheduling/redistribution decisions, where
+#: even insertion-ordered dict iteration deserves an explicit ordering.
+_DECISION_FN = re.compile(
+    r"plan|schedul|redistribut|balance|reorder|partition|dispatch"
+)
+
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+
+
+def _is_set_expr(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        qname = qualified_name(node.func, aliases)
+        if qname in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # ``a | b`` on sets; only when an operand is itself set-ish.
+        return _is_set_expr(node.left, aliases) or _is_set_expr(node.right, aliases)
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Iterating a ``set`` feeds hash order — which varies with
+    ``PYTHONHASHSEED`` for strings — into whatever consumes the loop.
+    Scheduling code must iterate ``sorted(...)`` snapshots; decision
+    functions should avoid bare ``dict.values()``/``.keys()`` too."""
+
+    id = "det-unordered-iter"
+    family = "determinism"
+    description = (
+        "iteration over an unordered collection in scheduling/redistribution code"
+    )
+    include = _DETERMINISTIC_DIRS + ("monitor",)
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        set_names = self._set_typed_names(ctx)
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for target in iters:
+                finding = self._check_iter(target, ctx, set_names)
+                if finding is not None:
+                    yield finding
+
+    def _check_iter(
+        self,
+        target: ast.expr,
+        ctx: FileContext,
+        set_names: Set[Tuple[ast.AST, str]],
+    ) -> Optional[Tuple[int, int, str]]:
+        if _is_set_expr(target, ctx.aliases):
+            return (target.lineno, target.col_offset,
+                    "iterating a set yields hash order; wrap in sorted(...) "
+                    "so the schedule cannot depend on PYTHONHASHSEED")
+        if isinstance(target, ast.Name):
+            fn = enclosing_function(target, ctx.parents)
+            if (fn, target.id) in set_names:
+                return (target.lineno, target.col_offset,
+                        f"{target.id!r} is set-typed; iterate sorted({target.id}) "
+                        "so the schedule cannot depend on PYTHONHASHSEED")
+        if isinstance(target, ast.Call) and isinstance(target.func, ast.Attribute):
+            if target.func.attr in ("values", "keys"):
+                fn = enclosing_function(target, ctx.parents)
+                fn_name = getattr(fn, "name", "")
+                if fn is not None and _DECISION_FN.search(fn_name):
+                    return (target.lineno, target.col_offset,
+                            f".{target.func.attr}() iteration inside decision "
+                            f"function {fn_name!r}; iterate an explicit "
+                            "sorted(...) order")
+        return None
+
+    @staticmethod
+    def _set_typed_names(ctx: FileContext) -> Set[Tuple[ast.AST, str]]:
+        """(enclosing function, name) pairs assigned only set expressions."""
+        assigned: Dict[Tuple[ast.AST, str], List[bool]] = {}
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            for tgt in targets:
+                if not isinstance(tgt, ast.Name):
+                    continue
+                fn = enclosing_function(tgt, ctx.parents)
+                key = (fn, tgt.id)
+                assigned.setdefault(key, []).append(
+                    _is_set_expr(value, ctx.aliases)
+                )
+        return {key for key, flags in assigned.items() if flags and all(flags)}
+
+
+#: Identifier components that mark a float simulated-time quantity.
+_TIME_WORDS = {"makespan", "finish", "elapsed", "duration", "time", "times"}
+#: Components that mark *exact* arithmetic (Fraction) — equality is fine.
+_EXACT_WORDS = {"exact", "rational", "frac", "fraction"}
+
+
+def _time_named(node: ast.expr) -> Optional[str]:
+    """Identifier naming a float time quantity, or ``None``."""
+    name = terminal_name(node)
+    if name is None and isinstance(node, ast.Subscript):
+        sl = node.slice
+        if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+            name = sl.value
+    if name is None and isinstance(node, ast.Call):
+        fn_name = terminal_name(node.func)
+        if fn_name in ("max", "min"):
+            for arg in node.args:
+                hit = _time_named(arg)
+                if hit:
+                    return hit
+        elif fn_name is not None:
+            name = fn_name
+    if name is None:
+        return None
+    parts = set(name_parts(name))
+    if parts & _EXACT_WORDS:
+        return None
+    if parts & _TIME_WORDS:
+        return name
+    return None
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """``==`` / ``!=`` on float makespans or finish times compares
+    accumulated rounding error; use exact (Fraction) arithmetic or an
+    explicit tolerance.  Intentional exact-zero guards carry a
+    suppression comment documenting why they are safe."""
+
+    id = "det-float-time-eq"
+    family = "determinism"
+    description = "float equality comparison on a makespan/finish-time quantity"
+    include = _DETERMINISTIC_DIRS + ("analysis", "baselines", "monitor", "tomo")
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in [node.left, *node.comparators]:
+                hit = _time_named(operand)
+                if hit:
+                    yield (node.lineno, node.col_offset,
+                           f"float equality on {hit!r}; compare exact "
+                           "(Fraction) values or use an explicit tolerance")
+                    break

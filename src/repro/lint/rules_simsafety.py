@@ -1,0 +1,165 @@
+"""Simulation-safety rules: engine primitives, subscribers, timeouts.
+
+The discrete-event engine has a narrow usage protocol:
+
+* primitives (``Hold``/``Acquire``/``Release``/``Put``/``Get``/
+  ``WaitFor``) do nothing until *yielded* from a process coroutine — a
+  constructed-but-not-yielded primitive is a silent no-op bug;
+* :class:`~repro.obs.events.EventBus` subscribers run inline inside
+  simulation primitives, so a subscriber that mutates engine or network
+  state corrupts the very step that emitted the event;
+* fault-tolerant code paths must arm every receive with ``timeout=`` or
+  a dead peer turns recovery into a deadlock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .astutil import enclosing_function, qualified_name
+from .core import FileContext, Rule, register
+
+__all__ = [
+    "PrimitiveNotYieldedRule",
+    "SubscriberMutationRule",
+    "RecvWithoutTimeoutRule",
+]
+
+#: The engine's yieldable primitive classes.
+_PRIMITIVES = {"Hold", "Acquire", "Release", "Put", "Get", "WaitFor"}
+
+
+def _is_engine_primitive(ctx: FileContext, qname: str) -> bool:
+    """True when ``qname`` resolves to a primitive imported from the engine."""
+    head, _, fn = qname.rpartition(".")
+    if fn not in _PRIMITIVES:
+        return False
+    if head:
+        # Attribute access like ``engine.Get`` — require the engine module.
+        return head.split(".")[-1] == "engine" or head.endswith("simgrid")
+    return False
+
+
+@register
+class PrimitiveNotYieldedRule(Rule):
+    """An engine primitive that is not the immediate operand of a
+    ``yield`` never reaches the scheduler: the hold does not elapse, the
+    resource is not acquired, the message is not delivered."""
+
+    id = "sim-yield-primitive"
+    family = "simulation"
+    description = "engine primitive constructed but not yielded"
+    include = ("simgrid", "mpi", "monitor", "tomo", "baselines", "analysis")
+    exclude = ("simgrid/engine.py", "benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = qualified_name(node.func, ctx.aliases)
+            if resolved is None or not _is_engine_primitive(ctx, resolved):
+                continue
+            name = resolved.rpartition(".")[2]
+            parent = ctx.parents.get(node)
+            if isinstance(parent, ast.Yield):
+                continue
+            yield (node.lineno, node.col_offset,
+                   f"{name}(...) must be yielded to take effect "
+                   f"(``yield {name}(...)`` inside a process coroutine)")
+
+
+#: Attribute calls that mutate engine/network/bus state.  Subscribers
+#: observe; they must never call any of these.
+_MUTATORS = {
+    "spawn", "kill", "schedule", "schedule_host_faults",
+    "put", "acquire", "release",
+    "send", "recv", "compute",
+    "emit", "subscribe", "unsubscribe",
+}
+
+
+def _is_subscriber(fn: ast.AST) -> bool:
+    """A def whose (non-self) signature is exactly one ``event`` param."""
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    args = fn.args
+    if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+        return False
+    names = [a.arg for a in args.args]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names == ["event"]
+
+
+@register
+class SubscriberMutationRule(Rule):
+    """Event-bus subscribers are invoked inline from ``emit`` inside
+    simulation primitives; calling a mutating engine/network/bus API
+    from one re-enters the engine mid-step (and ``subscribe`` /
+    ``unsubscribe`` mutate the very list ``emit`` is iterating)."""
+
+    id = "sim-subscriber-mutation"
+    family = "simulation"
+    description = "event-bus subscriber calls a mutating engine/network API"
+
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for fn in ast.walk(ctx.tree):
+            if not _is_subscriber(fn):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                attr = node.func.attr
+                if attr not in _MUTATORS:
+                    continue
+                # ``self.<anything>`` never reaches the engine directly:
+                # subscribers may manage their own state freely.
+                root = node.func.value
+                if isinstance(root, ast.Name) and root.id == "self":
+                    continue
+                yield (node.lineno, node.col_offset,
+                       f".{attr}() inside an event subscriber mutates "
+                       "engine/network/bus state; subscribers must only "
+                       "observe (record into their own structures)")
+
+
+#: Receive method names the MPI layer exposes.
+_RECV_METHODS = {"recv", "recv_any", "recv_transfer"}
+
+
+@register
+class RecvWithoutTimeoutRule(Rule):
+    """Inside fault-tolerant code (``ft_*`` collectives, the monitor
+    subsystem) every receive must pass ``timeout=`` — a blocking receive
+    from a peer that crashed turns failure recovery into a deadlock."""
+
+    id = "sim-recv-timeout"
+    family = "simulation"
+    description = "recv without timeout= in a fault-tolerant code path"
+    include = ("mpi", "monitor")
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        in_monitor = ctx.relpath.startswith("monitor/")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _RECV_METHODS:
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            fn = enclosing_function(node, ctx.parents)
+            fn_name = getattr(fn, "name", "")
+            if not in_monitor and not fn_name.startswith("ft_"):
+                continue
+            yield (node.lineno, node.col_offset,
+                   f".{node.func.attr}() without timeout= in fault-tolerant "
+                   f"path {fn_name or ctx.relpath!r}; a dead peer would hang "
+                   "this receive forever — arm it with a finite timeout")

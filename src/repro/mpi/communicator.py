@@ -36,6 +36,11 @@ __all__ = ["MpiError", "RecvTimeout", "Communicator", "RankContext", "ANY_SOURCE
 #: for demand-driven patterns like master/worker request queues.
 ANY_SOURCE = -1
 
+#: Upper bounds (simulated seconds) for the retry-backoff histogram —
+#: exponential backoff doubles per attempt, so log-spaced edges map one
+#: bucket to roughly one retry generation at the default 0.05 s base.
+BACKOFF_BUCKETS = (0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2)
+
 
 class MpiError(Exception):
     """Invalid MPI usage (bad rank, size mismatch, ...)."""
@@ -196,7 +201,9 @@ class RankContext:
                     dst=dst_host, attempt=attempt, reason=failure.reason,
                 )
                 jitter = seeded_unit(seed, "backoff", src_host, dst_host, attempt)
-                yield Hold(backoff * (2**attempt) * (1.0 + jitter))
+                delay = backoff * (2**attempt) * (1.0 + jitter)
+                METRICS.histogram("mpi.send.backoff_s", BACKOFF_BUCKETS).observe(delay)
+                yield Hold(delay)
                 attempt += 1
 
     def recv_transfer(

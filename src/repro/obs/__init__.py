@@ -49,6 +49,7 @@ from .events import (
     EventLog,
 )
 from .exporters import (
+    JsonlStreamWriter,
     events_to_chrome,
     events_to_jsonl,
     validate_chrome_trace,
@@ -85,6 +86,7 @@ __all__ = [
     "SpanTracer",
     "events_to_jsonl",
     "events_to_chrome",
+    "JsonlStreamWriter",
     "write_jsonl",
     "write_chrome_trace",
     "validate_chrome_trace",

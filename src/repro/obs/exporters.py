@@ -16,18 +16,25 @@ Two serializations of the same :class:`~repro.obs.events.Event` stream:
 :func:`validate_chrome_trace` is the schema check CI runs on the export:
 valid structure, monotone timestamps, and properly nested/paired B/E
 events per thread.
+
+For long runs, :class:`JsonlStreamWriter` is a bus subscriber that writes
+each event's JSONL line as it is emitted — O(1) memory instead of the
+O(events) RAM an :class:`~repro.obs.events.EventLog` + batch export costs —
+and produces byte-identical output to :func:`events_to_jsonl`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+import os
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
 from .events import Event
 
 __all__ = [
     "events_to_jsonl",
     "write_jsonl",
+    "JsonlStreamWriter",
     "events_to_chrome",
     "write_chrome_trace",
     "validate_chrome_trace",
@@ -78,6 +85,64 @@ def write_jsonl(events: Iterable[Event], path) -> int:
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
         fh.write(text)
     return count
+
+
+class JsonlStreamWriter:
+    """Bus subscriber streaming each event as one JSONL line.
+
+    Subscribe it to an :class:`~repro.obs.events.EventBus` (it is a plain
+    callable) and every emitted event is serialized and written
+    immediately — nothing is buffered beyond the file object's own block
+    buffer, so memory stays O(1) in the event count.  The serialization is
+    shared with :func:`events_to_jsonl`, so for the same event stream the
+    file is byte-identical to the batch export (the determinism contract's
+    ``cmp`` check applies unchanged).
+
+    Construct with a path (opened/closed by the writer; use it as a
+    context manager) or an open text file object (caller keeps ownership)::
+
+        with JsonlStreamWriter("trace.jsonl") as writer:
+            sim.bus.subscribe(writer)
+            run_simulation(sim)
+        print(writer.count, "events")
+    """
+
+    def __init__(self, target: Union[str, "os.PathLike[str]", TextIO]):
+        self.count = 0
+        if hasattr(target, "write"):
+            self._fh: Optional[TextIO] = target  # type: ignore[assignment]
+            self._owns_fh = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8", newline="\n")
+            self._owns_fh = True
+
+    def __call__(self, event: Event) -> None:
+        if self._fh is None:
+            raise ValueError("JsonlStreamWriter is closed")
+        self._fh.write(
+            json.dumps(_event_dict(event), sort_keys=True, separators=(",", ":"))
+        )
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush and (when path-constructed) close the underlying file."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._fh is None else "open"
+        return f"JsonlStreamWriter({state}, count={self.count})"
 
 
 def events_to_chrome(events: Iterable[Event]) -> Dict[str, Any]:

@@ -28,6 +28,7 @@ from repro.obs.events import (
     SEND_BEGIN,
     SEND_END,
 )
+from repro.obs.metrics import METRICS
 from repro.obs.tracer import SpanTracer
 
 from .engine import (
@@ -45,7 +46,11 @@ from .host import Host
 from .platform import Platform
 from .trace import TraceRecorder
 
-__all__ = ["Transfer", "Network"]
+__all__ = ["Transfer", "Network", "TRANSFER_BUCKETS"]
+
+#: Log-spaced upper bounds (simulated seconds) for the transfer-duration
+#: histogram — wide enough to separate LAN sends from WAN stair steps.
+TRANSFER_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 
 
 @dataclass(frozen=True)
@@ -173,6 +178,9 @@ class Network:
         end = self.sim.now
         bus.emit(SEND_END, end, src_label, dst=dst)
         bus.emit(RECV_END, end, dst_label, src=src)
+        METRICS.histogram("net.transfer.duration_s", TRANSFER_BUCKETS).observe(
+            end - start
+        )
         if pipe is not None:
             yield Release(pipe)
         yield Release(self.in_port(dst))

@@ -88,7 +88,9 @@ class AppResult:
     def imbalance(self) -> float:
         """Finish-time spread over makespan, ranks with work only."""
         times = [t for t, c in zip(self.finish_times, self.counts) if c > 0]
-        if not times or max(times) == 0:
+        # Exact zero is the no-work sentinel: finish times are sums of
+        # non-negative terms, so max == 0.0 iff every term is exactly 0.
+        if not times or max(times) == 0:  # lint: disable=det-float-time-eq
             return 0.0
         return (max(times) - min(times)) / max(times)
 

@@ -106,7 +106,7 @@ def loaded(
     same platform object (noise is per-host state), for chaining.
     """
     spikes = spikes or {}
-    for unknown in set(spikes) - set(platform.hosts):
+    for unknown in sorted(set(spikes) - set(platform.hosts)):
         raise KeyError(f"unknown host in spikes: {unknown!r}")
     for host in platform.hosts.values():
         models = []

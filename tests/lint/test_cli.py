@@ -1,0 +1,66 @@
+"""The ``repro-scatter lint`` subcommand: exit codes, output modes, and
+the acceptance gate that the shipped source tree itself lints clean."""
+
+import json
+import os
+
+import repro
+from repro.cli import main
+
+CLEAN = "x = 1\n"
+DIRTY = "import time\n\nt = time.time()\n"
+
+
+def write_tree(tmp_path, source):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    target = pkg / "mod.py"
+    target.write_text(source)
+    return str(tmp_path)
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        assert main(["lint", write_tree(tmp_path, CLEAN)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main(["lint", write_tree(tmp_path, DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "det-wall-clock" in out
+        assert "mod.py:3:4" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["lint", "--json", write_tree(tmp_path, DIRTY)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-lint/v1"
+        assert doc["by_rule"] == {"det-wall-clock": 1}
+
+    def test_rule_filter(self, tmp_path, capsys):
+        root = write_tree(tmp_path, DIRTY)
+        assert main(["lint", "--rule", "det-unseeded-random", root]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--rule", "det-wall-clock", root]) == 1
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path, CLEAN)
+        assert main(["lint", "--rule", "not-a-rule", root]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/no/such/path"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "det-wall-clock" in out
+        assert "meta-unused-suppression" in out
+        assert "[determinism]" in out
+
+
+class TestShippedTreeIsClean:
+    def test_package_lints_clean(self, capsys):
+        """Acceptance criterion: `repro-scatter lint src/` exits 0."""
+        pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        assert main(["lint", pkg_dir]) == 0, capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Engine mechanics: registry, scoping, suppressions, reporters, runner."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    all_rules,
+    get_rule,
+    lint_source,
+    render_findings,
+    render_findings_json,
+    run_lint,
+)
+from repro.lint.core import META_UNUSED, discover_files, package_relpath
+
+WALL_CLOCK = "import time\n\nt = time.time()\n"
+
+
+class TestRegistry:
+    def test_ten_rules_registered(self):
+        rules = all_rules()
+        assert len(rules) == 9  # + meta-unused-suppression = 10 ids total
+        assert len(set(rules)) == len(rules)
+        families = {cls.family for cls in rules.values()}
+        assert families == {"determinism", "simulation", "contracts"}
+
+    def test_expected_rule_ids(self):
+        assert set(all_rules()) == {
+            "det-unseeded-random",
+            "det-wall-clock",
+            "det-unordered-iter",
+            "det-float-time-eq",
+            "sim-yield-primitive",
+            "sim-subscriber-mutation",
+            "sim-recv-timeout",
+            "con-validate-costs",
+            "con-result-profile",
+        }
+
+    def test_get_rule_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="known rules"):
+            get_rule("no-such-rule")
+
+    def test_meta_rule_not_instantiable_from_registry(self):
+        with pytest.raises(KeyError):
+            get_rule(META_UNUSED)
+
+
+class TestPathScoping:
+    def test_rule_fires_inside_included_dir(self):
+        findings = lint_source(WALL_CLOCK, "simgrid/network.py")
+        assert [f.rule for f in findings] == ["det-wall-clock"]
+
+    def test_rule_silent_in_excluded_profiler(self):
+        assert lint_source(WALL_CLOCK, "obs/profiler.py") == []
+
+    def test_rule_silent_under_benchmarks(self):
+        assert lint_source(WALL_CLOCK, "benchmarks/bench_x.py") == []
+
+    def test_package_relpath_strips_to_repro(self):
+        assert package_relpath("/x/y/src/repro/core/solver.py") == "core/solver.py"
+
+    def test_package_relpath_outside_package(self):
+        assert package_relpath("./benchmarks/bench_x.py") == "benchmarks/bench_x.py"
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # lint: disable=det-wall-clock\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src, "core/x.py")
+        assert [(f.rule, f.line) for f in findings] == [("det-wall-clock", 3)]
+
+    def test_file_suppression_silences_whole_file(self):
+        src = (
+            "# lint: disable-file=det-wall-clock\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
+    def test_multiple_ids_in_one_comment(self):
+        src = (
+            "import time\n"
+            "import random\n"
+            "x = (time.time(), random.random())"
+            "  # lint: disable=det-wall-clock, det-unseeded-random\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
+    def test_unused_suppression_reported(self):
+        src = "x = 1  # lint: disable=det-wall-clock\n"
+        findings = lint_source(src, "core/x.py")
+        assert [f.rule for f in findings] == [META_UNUSED]
+        assert "never fired" in findings[0].message
+
+    def test_unknown_rule_in_suppression_reported(self):
+        src = "import time\nx = time.time()  # lint: disable=det-wall-clokc\n"
+        findings = lint_source(src, "core/x.py")
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["det-wall-clock", META_UNUSED]
+        meta = next(f for f in findings if f.rule == META_UNUSED)
+        assert "unknown rule" in meta.message
+
+    def test_suppression_in_docstring_is_inert(self):
+        # Only real COMMENT tokens count; docs *showing* the syntax do not
+        # suppress anything (nor count as unused suppressions).
+        src = '"""Example::\n\n    x  # lint: disable=det-wall-clock\n"""\nx = 1\n'
+        assert lint_source(src, "core/x.py") == []
+
+    def test_check_suppressions_flag_off(self):
+        src = "x = 1  # lint: disable=det-wall-clock\n"
+        assert lint_source(src, "core/x.py", check_suppressions=False) == []
+
+
+class TestReporters:
+    def test_clean_message(self):
+        assert render_findings([]) == "clean: no lint findings"
+
+    def test_human_lines_and_summary(self):
+        findings = lint_source(WALL_CLOCK, "core/x.py")
+        text = render_findings(findings)
+        assert "core/x.py:3:4: det-wall-clock" in text
+        assert "1 finding (det-wall-clock x1)" in text
+
+    def test_json_document(self):
+        findings = lint_source(WALL_CLOCK, "core/x.py")
+        doc = json.loads(render_findings_json(findings))
+        assert doc["schema"] == "repro-lint/v1"
+        assert doc["count"] == 1
+        assert doc["by_rule"] == {"det-wall-clock": 1}
+        assert doc["findings"][0]["line"] == 3
+        assert doc["findings"][0]["rule"] == "det-wall-clock"
+
+    def test_finding_sort_key_orders_by_location(self):
+        a = Finding("r", "a.py", 2, 0, "m")
+        b = Finding("r", "a.py", 10, 0, "m")
+        c = Finding("r", "b.py", 1, 0, "m")
+        assert sorted([c, b, a], key=Finding.sort_key) == [a, b, c]
+
+
+class TestRunner:
+    def test_run_lint_on_tmp_tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(WALL_CLOCK)
+        (pkg / "good.py").write_text("x = 1\n")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "ignored.py").write_text(WALL_CLOCK)
+        findings = run_lint([str(tmp_path)])
+        assert [f.rule for f in findings] == ["det-wall-clock"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_rule_filter(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(WALL_CLOCK)
+        assert run_lint([str(tmp_path)], rules=["det-unseeded-random"]) == []
+        assert len(run_lint([str(tmp_path)], rules=["det-wall-clock"])) == 1
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def f(:\n")
+        findings = run_lint([str(tmp_path)])
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            discover_files(["/no/such/dir"])

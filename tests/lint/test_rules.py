@@ -1,0 +1,305 @@
+"""Per-rule fixtures: one firing case (with location) and one silent case."""
+
+from repro.lint import lint_source
+
+
+def only(findings, rule):
+    hits = [f for f in findings if f.rule == rule]
+    assert [f.rule for f in findings] == [rule] * len(findings), findings
+    return hits
+
+
+class TestUnseededRandom:
+    RULE = "det-unseeded-random"
+
+    def test_global_random_call_fires(self):
+        src = "import random\n\nx = random.random()\n"
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert (f.line, f.col) == (3, 4)
+
+    def test_from_import_alias_fires(self):
+        src = "from random import shuffle\n\nshuffle(items)\n"
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert f.line == 3
+
+    def test_seeded_random_instance_silent(self):
+        src = "import random\n\nrng = random.Random(42)\nx = rng.random()\n"
+        assert lint_source(src, "core/x.py") == []
+
+    def test_unseeded_constructor_fires(self):
+        src = "import random\n\nrng = random.Random()\n"
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert "seed" in f.message
+
+    def test_system_random_always_fires(self):
+        src = "import random\n\nrng = random.SystemRandom(7)\n"
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert "nondeterministic" in f.message
+
+    def test_numpy_global_state_fires(self):
+        src = "import numpy as np\n\nx = np.random.rand(3)\n"
+        (f,) = only(lint_source(src, "workloads/x.py"), self.RULE)
+        assert "default_rng" in f.message
+
+    def test_numpy_seeded_rng_silent(self):
+        src = "import numpy as np\n\nrng = np.random.default_rng(0)\nx = rng.random()\n"
+        assert lint_source(src, "workloads/x.py") == []
+
+    def test_outside_scoped_dirs_silent(self):
+        src = "import random\n\nx = random.random()\n"
+        assert lint_source(src, "analysis/x.py") == []
+
+
+class TestWallClock:
+    RULE = "det-wall-clock"
+
+    def test_time_time_fires(self):
+        src = "import time\n\nstart = time.time()\n"
+        (f,) = only(lint_source(src, "simgrid/x.py"), self.RULE)
+        assert (f.line, f.col) == (3, 8)
+
+    def test_from_import_perf_counter_fires(self):
+        src = "from time import perf_counter\n\nt = perf_counter()\n"
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert f.line == 3
+
+    def test_datetime_now_fires(self):
+        src = "import datetime\n\nstamp = datetime.datetime.now()\n"
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert f.line == 3
+
+    def test_profiler_exempt(self):
+        src = "import time\n\nt = time.perf_counter()\n"
+        assert lint_source(src, "obs/profiler.py") == []
+
+    def test_unrelated_time_module_attr_silent(self):
+        src = "import time\n\nx = time.sleep\n"
+        assert lint_source(src, "core/x.py") == []
+
+
+class TestUnorderedIteration:
+    RULE = "det-unordered-iter"
+
+    def test_set_literal_iteration_fires(self):
+        src = "for x in {3, 1, 2}:\n    use(x)\n"
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert (f.line, f.col) == (1, 9)
+
+    def test_set_difference_iteration_fires(self):
+        src = "for h in set(a) - set(b):\n    use(h)\n"
+        (f,) = only(lint_source(src, "workloads/x.py"), self.RULE)
+        assert f.line == 1
+
+    def test_set_typed_local_fires(self):
+        src = "def f(items):\n    seen = set(items)\n    return [g(x) for x in seen]\n"
+        (f,) = only(lint_source(src, "simgrid/x.py"), self.RULE)
+        assert f.line == 3
+
+    def test_sorted_set_silent(self):
+        src = "for x in sorted({3, 1, 2}):\n    use(x)\n"
+        assert lint_source(src, "core/x.py") == []
+
+    def test_dict_values_in_decision_function_fires(self):
+        src = (
+            "def plan_redistribution(table):\n"
+            "    for v in table.values():\n"
+            "        assign(v)\n"
+        )
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert f.line == 2
+
+    def test_dict_values_elsewhere_silent(self):
+        src = "def render(table):\n    for v in table.values():\n        show(v)\n"
+        assert lint_source(src, "mpi/x.py") == []
+
+
+class TestFloatTimeEquality:
+    RULE = "det-float-time-eq"
+
+    def test_makespan_equality_fires(self):
+        src = "if makespan == best_makespan:\n    tie()\n"
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert (f.line, f.col) == (1, 3)
+
+    def test_finish_times_max_fires(self):
+        src = "ok = max(finish_times) != 0\n"
+        (f,) = only(lint_source(src, "analysis/x.py"), self.RULE)
+        assert f.line == 1
+
+    def test_info_key_subscript_fires(self):
+        src = "if result['makespan'] == 0:\n    skip()\n"
+        (f,) = only(lint_source(src, "tomo/x.py"), self.RULE)
+        assert f.line == 1
+
+    def test_exact_quantities_silent(self):
+        src = "if makespan_exact == other_exact:\n    tie()\n"
+        assert lint_source(src, "core/x.py") == []
+
+    def test_inequality_comparisons_silent(self):
+        src = "if makespan < best_makespan:\n    improve()\n"
+        assert lint_source(src, "core/x.py") == []
+
+
+class TestPrimitiveNotYielded:
+    RULE = "sim-yield-primitive"
+
+    def test_unyielded_primitive_fires(self):
+        src = (
+            "from ..simgrid.engine import Hold\n\n"
+            "def proc(sim):\n"
+            "    Hold(1.0)\n"
+        )
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert (f.line, f.col) == (4, 4)
+        assert "yield Hold" in f.message
+
+    def test_yielded_primitive_silent(self):
+        src = (
+            "from ..simgrid.engine import Hold\n\n"
+            "def proc(sim):\n"
+            "    yield Hold(1.0)\n"
+        )
+        assert lint_source(src, "mpi/x.py") == []
+
+    def test_module_attribute_form_fires(self):
+        src = (
+            "from ..simgrid import engine\n\n"
+            "def proc(sim):\n"
+            "    engine.Get(mbox)\n"
+        )
+        (f,) = only(lint_source(src, "monitor/x.py"), self.RULE)
+        assert f.line == 4
+
+    def test_unrelated_get_silent(self):
+        # dict.get / config.Get from elsewhere must not trip the rule.
+        src = "def f(d):\n    return d.get('x')\n"
+        assert lint_source(src, "mpi/x.py") == []
+
+    def test_engine_module_itself_exempt(self):
+        src = "def _retry(self):\n    Hold(0.0)\n"
+        assert lint_source(src, "simgrid/engine.py") == []
+
+
+class TestSubscriberMutation:
+    RULE = "sim-subscriber-mutation"
+
+    def test_subscriber_calling_spawn_fires(self):
+        src = (
+            "class Restarter:\n"
+            "    def __call__(self, event):\n"
+            "        self.sim.spawn(replacement())\n"
+        )
+        (f,) = only(lint_source(src, "obs/x.py"), self.RULE)
+        assert (f.line, f.col) == (3, 8)
+
+    def test_subscriber_emitting_fires(self):
+        src = "def on_event(event):\n    bus.emit('echo', event.t, event.actor)\n"
+        (f,) = only(lint_source(src, "obs/x.py"), self.RULE)
+        assert f.line == 2
+
+    def test_subscriber_own_state_silent(self):
+        src = (
+            "class Log:\n"
+            "    def __call__(self, event):\n"
+            "        self.events.append(event)\n"
+        )
+        assert lint_source(src, "obs/x.py") == []
+
+    def test_non_subscriber_signature_silent(self):
+        src = "def driver(sim, event):\n    sim.spawn(event.proc)\n"
+        assert lint_source(src, "obs/x.py") == []
+
+
+class TestRecvWithoutTimeout:
+    RULE = "sim-recv-timeout"
+
+    def test_ft_function_recv_fires(self):
+        src = (
+            "def ft_scatterv(ctx, data, counts, root):\n"
+            "    chunk = yield from ctx.recv(root)\n"
+        )
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert f.line == 2
+        assert "timeout" in f.message
+
+    def test_ft_function_recv_with_timeout_silent(self):
+        src = (
+            "def ft_scatterv(ctx, data, counts, root, patience):\n"
+            "    chunk = yield from ctx.recv(root, timeout=patience)\n"
+        )
+        assert lint_source(src, "mpi/x.py") == []
+
+    def test_plain_collective_recv_silent_in_mpi(self):
+        src = "def scatterv(ctx, root):\n    chunk = yield from ctx.recv(root)\n"
+        assert lint_source(src, "mpi/x.py") == []
+
+    def test_monitor_recv_always_fires(self):
+        src = "def heartbeat(ctx, peer):\n    msg = yield from ctx.recv_any()\n"
+        (f,) = only(lint_source(src, "monitor/x.py"), self.RULE)
+        assert f.line == 2
+
+
+class TestEntryPointValidation:
+    RULE = "con-validate-costs"
+
+    def test_plan_scatter_without_check_valid_fires(self):
+        src = (
+            "def plan_scatter(problem, algorithm='auto'):\n"
+            "    return solve(problem)\n"
+        )
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert (f.line, f.col) == (1, 0)
+
+    def test_plan_scatter_with_check_valid_silent(self):
+        src = (
+            "def plan_scatter(problem, algorithm='auto'):\n"
+            "    problem.check_valid()\n"
+            "    return solve(problem)\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
+    def test_other_functions_not_held_to_contract(self):
+        src = "def helper(problem):\n    return solve(problem)\n"
+        assert lint_source(src, "core/x.py") == []
+
+
+class TestResultProfileInfo:
+    RULE = "con-result-profile"
+
+    def test_result_without_profile_fires(self):
+        src = (
+            "def solve_x(problem):\n"
+            "    return DistributionResult(problem=problem, counts=c,\n"
+            "                              makespan=m, algorithm='x')\n"
+        )
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert f.line == 2
+        assert "stage_profile" in f.message
+
+    def test_result_with_profile_silent(self):
+        src = (
+            "def solve_x(problem):\n"
+            "    info = {}\n"
+            "    profile = prof.as_info()\n"
+            "    if profile is not None:\n"
+            "        info['profile'] = profile\n"
+            "    return DistributionResult(problem=problem, counts=c,\n"
+            "                              makespan=m, algorithm='x', info=info)\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
+    def test_profile_key_in_dict_literal_silent(self):
+        src = (
+            "def solve_x(problem):\n"
+            "    return WeightedDistribution(problem, c, m, 'x',\n"
+            "                                info={'profile': prof.as_info()})\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
+    def test_distribution_module_exempt(self):
+        src = (
+            "def evaluate(problem):\n"
+            "    return DistributionResult(problem=problem, counts=c,\n"
+            "                              makespan=m, algorithm='x')\n"
+        )
+        assert lint_source(src, "core/distribution.py") == []

@@ -120,3 +120,78 @@ class TestSolverIntegration:
             set_profiling(old)
         assert with_prof.counts == without.counts
         assert with_prof.makespan == without.makespan
+
+
+class TestAllSolversCarryProfile:
+    """The con-result-profile contract: every result carries stage timings."""
+
+    def problem(self):
+        from repro.core.distribution import Processor, ScatterProblem
+
+        return ScatterProblem(
+            [
+                Processor.linear("w1", alpha=0.02, beta=2e-4),
+                Processor.linear("w2", alpha=0.05, beta=1e-4),
+                Processor.linear("root", alpha=0.03, beta=0.0),
+            ],
+            200,
+        )
+
+    def weighted_problem(self):
+        import numpy as np
+
+        from repro.core.distribution import Processor
+        from repro.core.weighted import WeightedScatterProblem
+
+        procs = [
+            Processor.linear("w1", alpha=0.02, beta=2e-4),
+            Processor.linear("w2", alpha=0.05, beta=1e-4),
+            Processor.linear("root", alpha=0.03, beta=0.0),
+        ]
+        return WeightedScatterProblem(procs, np.ones(60), comm_mode="count")
+
+    def test_closed_form_stages(self, profiling_on):
+        from repro.core.closed_form import solve_closed_form
+
+        profile = solve_closed_form(self.problem()).info["profile"]
+        assert set(profile["stages_s"]) == {"rational_solve", "rounding", "evaluate"}
+
+    def test_lp_heuristic_stages(self, profiling_on):
+        from repro.core.heuristic import solve_heuristic
+
+        profile = solve_heuristic(self.problem()).info["profile"]
+        assert set(profile["stages_s"]) == {"lp_solve", "rounding", "evaluate"}
+        assert profile["backend"] == "exact"
+
+    def test_uniform_stages(self, profiling_on):
+        from repro.core.solver import solve_uniform
+
+        profile = solve_uniform(self.problem()).info["profile"]
+        assert set(profile["stages_s"]) == {"evaluate"}
+
+    def test_weighted_dp_stages(self, profiling_on):
+        from repro.core.weighted import solve_weighted_dp
+
+        profile = solve_weighted_dp(self.weighted_problem()).info["profile"]
+        assert set(profile["stages_s"]) == {"dp_rows", "reconstruct"}
+
+    def test_weighted_heuristic_stages(self, profiling_on):
+        from repro.core.weighted import solve_weighted_heuristic
+
+        profile = solve_weighted_heuristic(self.weighted_problem()).info["profile"]
+        assert set(profile["stages_s"]) == {"rational_solve", "snap_cuts", "evaluate"}
+
+    def test_disabled_strips_profile_everywhere(self, profiling_off):
+        from repro.core.closed_form import solve_closed_form
+        from repro.core.heuristic import solve_heuristic
+        from repro.core.solver import solve_uniform
+        from repro.core.weighted import solve_weighted_dp, solve_weighted_heuristic
+
+        for result in (
+            solve_closed_form(self.problem()),
+            solve_heuristic(self.problem()),
+            solve_uniform(self.problem()),
+            solve_weighted_dp(self.weighted_problem()),
+            solve_weighted_heuristic(self.weighted_problem()),
+        ):
+            assert "profile" not in (result.info or {}), result.algorithm

@@ -1,0 +1,71 @@
+"""JsonlStreamWriter: O(1)-memory streaming export, byte-identical to batch."""
+
+import io
+
+import pytest
+
+from repro.obs import EventLog, JsonlStreamWriter, events_to_jsonl
+from repro.tomo.app import plan_counts, run_seismic_app
+from repro.workloads.scenarios import two_site_grid
+
+
+def traced_run(observers):
+    plat = two_site_grid()
+    hosts = list(plat.host_names)
+    counts = plan_counts(plat, hosts, 300, algorithm="auto")
+    return run_seismic_app(plat, hosts, counts, observers=observers)
+
+
+class TestByteIdentity:
+    def test_stream_equals_batch_export(self):
+        log = EventLog()
+        buf = io.StringIO()
+        writer = JsonlStreamWriter(buf)
+        traced_run([log, writer])
+        writer.close()
+        assert len(log.events) > 0
+        assert buf.getvalue() == events_to_jsonl(log.events)
+        assert writer.count == len(log.events)
+
+    def test_two_seeded_runs_stream_identically(self):
+        streams = []
+        for _ in range(2):
+            buf = io.StringIO()
+            with JsonlStreamWriter(buf) as writer:
+                traced_run([writer])
+            streams.append(buf.getvalue())
+        assert streams[0] == streams[1]
+
+
+class TestLifecycle:
+    def test_path_target_owns_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = EventLog()
+        with JsonlStreamWriter(str(path)) as writer:
+            traced_run([log, writer])
+        assert path.read_text(encoding="utf-8") == events_to_jsonl(log.events)
+
+    def test_file_object_target_left_open(self):
+        buf = io.StringIO()
+        writer = JsonlStreamWriter(buf)
+        writer.close()
+        buf.write("still writable")  # caller keeps ownership
+
+    def test_write_after_close_raises(self):
+        log = EventLog()
+        with JsonlStreamWriter(io.StringIO()) as writer:
+            traced_run([log, writer])
+        with pytest.raises(ValueError, match="closed"):
+            writer(log.events[0])
+
+    def test_close_is_idempotent(self):
+        writer = JsonlStreamWriter(io.StringIO())
+        writer.close()
+        writer.close()
+
+    def test_empty_stream_writes_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with JsonlStreamWriter(str(path)) as writer:
+            pass
+        assert writer.count == 0
+        assert path.read_text(encoding="utf-8") == ""
