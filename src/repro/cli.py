@@ -322,6 +322,100 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .verify import check_golden, fuzz, mutation_smoke_check, update_golden
+    from .verify.oracles import ORACLES
+
+    if args.list_oracles:
+        width = max(len(oid) for oid in ORACLES)
+        for oid in sorted(ORACLES):
+            print(f"{oid:<{width}}  {ORACLES[oid].description}")
+        return 0
+    if args.update_golden:
+        written = update_golden()
+        for name in written:
+            print(f"rebaselined {name}")
+        if not written:
+            print("golden snapshots already current")
+        return 0
+
+    focused = bool(args.oracle)
+    try:
+        outcome = fuzz(
+            args.seeds, base_seed=args.base_seed, only_oracles=args.oracle or None
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    mutation = None
+    drifts = []
+    if not focused:
+        if not args.skip_mutation:
+            mutation = mutation_smoke_check()
+        if not args.skip_golden:
+            drifts = check_golden()
+
+    failed = (
+        not outcome.ok
+        or (mutation is not None and not mutation.caught)
+        or bool(drifts)
+    )
+    doc = {
+        "ok": not failed,
+        "fuzz": outcome.to_dict(),
+        "mutation": mutation.to_dict() if mutation is not None else None,
+        "golden_drift": [d.to_dict() for d in drifts],
+    }
+    if args.counterexamples and failed:
+        with open(args.counterexamples, "w", encoding="utf-8", newline="\n") as fh:
+            _json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote counterexample report to {args.counterexamples}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(doc, sort_keys=True, indent=2))
+        return 1 if failed else 0
+
+    stats = outcome.stats
+    print(
+        f"fuzz: {stats.instances} instances, {stats.solver_runs} solver runs, "
+        f"{len(outcome.counterexamples)} counterexample(s)"
+    )
+    for oid, count in sorted(stats.oracle_checked.items()):
+        print(f"  {oid}: checked on {count} instance(s)")
+    for ce in outcome.counterexamples:
+        print(
+            f"  FAIL seed={ce.seed} shape={ce.shape} "
+            f"shrunk to p={ce.shrunk_p} n={ce.shrunk_n}:"
+        )
+        for oracle_id, message in ce.violations:
+            print(f"    [{oracle_id}] {message}")
+    if mutation is not None:
+        if mutation.caught:
+            print(
+                f"mutation: planted rounding bug caught "
+                f"(seed {mutation.seed}, shrunk to p={mutation.shrunk_p} "
+                f"n={mutation.shrunk_n})"
+            )
+        else:
+            print(
+                f"mutation: FAIL — planted rounding bug escaped all oracles "
+                f"({mutation.instances_tried} instances tried)"
+            )
+    if not focused and not args.skip_golden:
+        if drifts:
+            for drift in drifts:
+                print(f"golden: {drift.status} {drift.name}")
+                if drift.diff:
+                    print(drift.diff)
+        else:
+            print("golden: all snapshots byte-identical")
+    print("verify: " + ("FAIL" if failed else "OK"))
+    return 1 if failed else 0
+
+
 def cmd_rewrite(args: argparse.Namespace) -> int:
     from .transform import rewrite_runtime, rewrite_static
 
@@ -457,6 +551,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     p_li.set_defaults(fn=cmd_lint)
+
+    p_vf = sub.add_parser(
+        "verify",
+        help="run the paper-theorem verification harness "
+        "(oracle fuzz + mutation smoke-check + golden traces)",
+    )
+    p_vf.add_argument(
+        "--seeds", type=int, default=50,
+        help="number of fuzz seeds (default: 50)",
+    )
+    p_vf.add_argument(
+        "--base-seed", type=int, default=0,
+        help="base seed mixed into every instance seed (default: 0)",
+    )
+    p_vf.add_argument(
+        "--oracle", action="append", metavar="ID",
+        help="fuzz only this oracle id (repeatable; skips mutation/golden)",
+    )
+    p_vf.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    p_vf.add_argument(
+        "--counterexamples", metavar="PATH",
+        help="on failure, write the JSON report here (CI artifact)",
+    )
+    p_vf.add_argument(
+        "--skip-mutation", action="store_true",
+        help="skip the mutation smoke-check",
+    )
+    p_vf.add_argument(
+        "--skip-golden", action="store_true",
+        help="skip the golden-trace comparison",
+    )
+    p_vf.add_argument(
+        "--update-golden", action="store_true",
+        help="rebaseline the golden snapshots from the current tree and exit",
+    )
+    p_vf.add_argument(
+        "--list-oracles", action="store_true",
+        help="print the oracle registry and exit",
+    )
+    p_vf.set_defaults(fn=cmd_verify)
 
     p_rw = sub.add_parser(
         "rewrite", help="rewrite MPI_Scatter calls in a C source to MPI_Scatterv"

@@ -146,7 +146,7 @@ def solve_rational(problem: ScatterProblem) -> RationalSolution:
 
     shares = [Fraction(0)] * problem.p
     prefix = Fraction(1)
-    for i, proc in enumerate(procs):
+    for i in range(len(procs)):
         if not active[i]:
             continue
         denom = alphas[i] + betas[i]

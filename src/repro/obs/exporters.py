@@ -11,7 +11,9 @@ Two serializations of the same :class:`~repro.obs.events.Event` stream:
   begin/end pairs become duration events (``ph`` ``"B"``/``"E"``); every
   other event becomes a thread-scoped instant (``ph`` ``"i"``).  Actors
   map to threads of a single synthetic process, named via metadata
-  events.
+  events.  Each ``send``/``recv`` span pair is additionally linked by a
+  **flow event** pair (``ph`` ``"s"``/``"f"``) so the viewers draw the
+  scatter-tree transfer arrows from the sender's lane to the receiver's.
 
 :func:`validate_chrome_trace` is the schema check CI runs on the export:
 valid structure, monotone timestamps, and properly nested/paired B/E
@@ -27,7 +29,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 from .events import Event
 
@@ -51,6 +53,9 @@ _SPAN_NAMES = {
 }
 
 _PID = 1
+
+#: Category tag on send→recv flow-arrow events.
+_FLOW_CAT = "net"
 
 
 def _event_dict(event: Event) -> Dict[str, Any]:
@@ -152,7 +157,13 @@ def events_to_chrome(events: Iterable[Event]) -> Dict[str, Any]:
     * one thread per actor, tids assigned in first-appearance order and
       labelled with ``thread_name`` metadata;
     * ``ts`` is simulated seconds scaled to microseconds (the unit the
-      trace viewers assume).
+      trace viewers assume);
+    * every ``send.begin`` immediately followed by its ``recv.begin``
+      (same simulated time, consecutive sequence numbers — the order
+      :class:`~repro.simgrid.network.Network` emits them in) produces a
+      flow-arrow pair: ``ph: "s"`` on the sender's thread and
+      ``ph: "f"`` (``bp: "e"``) on the receiver's, sharing an ``id``
+      derived from the send event's sequence number.
     """
     trace_events: List[Dict[str, Any]] = [
         {
@@ -164,6 +175,8 @@ def events_to_chrome(events: Iterable[Event]) -> Dict[str, Any]:
         }
     ]
     tids: Dict[str, int] = {}
+    #: (seq, t, sender tid) of a send.begin awaiting its recv.begin twin.
+    pending_send: Optional[Tuple[int, float, int]] = None
     for event in events:
         tid = tids.get(event.actor)
         if tid is None:
@@ -205,6 +218,43 @@ def events_to_chrome(events: Iterable[Event]) -> Dict[str, Any]:
             if event.data:
                 entry["args"] = dict(event.data)
         trace_events.append(entry)
+        if event.type == "send.begin":
+            # Open a transfer flow on the sender's lane; the matching
+            # recv.begin (next event, same t — the Network emits them
+            # back-to-back) finishes it on the receiver's.
+            pending_send = (event.seq, event.t, tid)
+            trace_events.append(
+                {
+                    "name": "transfer",
+                    "cat": _FLOW_CAT,
+                    "ph": "s",
+                    "id": event.seq,
+                    "pid": _PID,
+                    "tid": tid,
+                    "ts": ts,
+                }
+            )
+        elif event.type == "recv.begin":
+            if (
+                pending_send is not None
+                and event.seq == pending_send[0] + 1
+                and event.t == pending_send[1]
+            ):
+                trace_events.append(
+                    {
+                        "name": "transfer",
+                        "cat": _FLOW_CAT,
+                        "ph": "f",
+                        "bp": "e",
+                        "id": pending_send[0],
+                        "pid": _PID,
+                        "tid": tid,
+                        "ts": ts,
+                    }
+                )
+            pending_send = None
+        else:
+            pending_send = None
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -229,7 +279,11 @@ def validate_chrome_trace(doc: Any) -> int:
     * timestamps must be monotone non-decreasing in stream order
       (metadata events excepted);
     * per ``(pid, tid)``, ``B``/``E`` events must nest properly with
-      matching names and no dangling opens.
+      matching names and no dangling opens;
+    * flow events (``s``/``f``) must carry an ``id``, every ``f`` must
+      finish an open ``s`` with the same ``(cat, name, id)``, flow ids
+      cannot be re-opened while open, and no flow may be left unfinished
+      at the end of the trace.
     """
     if not isinstance(doc, dict):
         raise ValueError("chrome trace must be a JSON object")
@@ -238,6 +292,7 @@ def validate_chrome_trace(doc: Any) -> int:
         raise ValueError("chrome trace must contain a 'traceEvents' list")
     last_ts = None
     stacks: Dict[Any, List[str]] = {}
+    open_flows: Dict[Any, int] = {}  # (cat, name, id) -> index of the 's'
     for i, entry in enumerate(trace_events):
         if not isinstance(entry, dict):
             raise ValueError(f"traceEvents[{i}] is not an object")
@@ -272,9 +327,31 @@ def validate_chrome_trace(doc: Any) -> int:
                     f"traceEvents[{i}]: 'E' name {entry['name']!r} does "
                     f"not match open 'B' {opened!r} on pid/tid {key}"
                 )
+        elif ph in ("s", "f"):
+            if "id" not in entry:
+                raise ValueError(f"traceEvents[{i}]: flow event {ph!r} missing 'id'")
+            flow_key = (entry.get("cat"), entry["name"], entry["id"])
+            if ph == "s":
+                if flow_key in open_flows:
+                    raise ValueError(
+                        f"traceEvents[{i}]: flow id {entry['id']!r} "
+                        f"(cat/name {flow_key[:2]!r}) re-opened while open "
+                        f"(started at traceEvents[{open_flows[flow_key]}])"
+                    )
+                open_flows[flow_key] = i
+            else:
+                if flow_key not in open_flows:
+                    raise ValueError(
+                        f"traceEvents[{i}]: 'f' for flow id {entry['id']!r} "
+                        f"(cat/name {flow_key[:2]!r}) without matching 's'"
+                    )
+                del open_flows[flow_key]
         elif ph not in ("i", "I", "X", "C"):
             raise ValueError(f"traceEvents[{i}] has unsupported ph {ph!r}")
     dangling = {k: v for k, v in stacks.items() if v}
     if dangling:
         raise ValueError(f"unclosed 'B' events at end of trace: {dangling}")
+    if open_flows:
+        unfinished = sorted(key[2] for key in open_flows)
+        raise ValueError(f"unfinished 's' flow events at end of trace: ids {unfinished}")
     return len(trace_events)

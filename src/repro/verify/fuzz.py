@@ -1,0 +1,672 @@
+"""Differential fuzzer: seeded instances, every solver, every oracle.
+
+The fuzzer draws scatter instances from a family of seeded generators —
+linear/affine (the paper's calibrated models), adversarial linear shapes
+(Theorem 2 drop-forcing betas, ties, free processors), stepwise
+piecewise-linear bandwidth knees, rough tabulated costs (monotone and
+general), and degenerate edges (``p = 1``, ``n = 0``, ``n < p``,
+zero-latency) — runs **every applicable solver** on each instance
+(:func:`repro.verify.oracles.solve_all`), and applies the oracle registry
+to the results.  Any violation or solver crash is *shrunk* to a minimal
+counterexample: drop processors, then reduce ``n``, then simplify
+coefficient magnitudes, re-checking failure at every step.
+
+The harness checks itself: :func:`mutation_smoke_check` plants a known
+off-by-one in a copy of the §3.3 rounding scheme (all leftover units
+dumped on the first processor, breaking the ``|n'_i − n_i| < 1``
+hypothesis of Eq. 4) and asserts the oracles flag it with a counterexample
+shrunk to ``p <= 3``, ``n <= 20``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.costs import (
+    AffineCost,
+    CostFunction,
+    LinearCost,
+    PiecewiseLinearCost,
+    TabulatedCost,
+    ZeroCost,
+)
+from ..core.distribution import DistributionResult, Processor, ScatterProblem
+from ..core.heuristic import solve_lp_rational
+from ..workloads.generators import (
+    random_affine_problem,
+    random_linear_problem,
+    random_tabulated_problem,
+)
+from .oracles import OracleReport, oracle_ids, run_oracles, solve_all
+
+__all__ = [
+    "SHAPES",
+    "SHAPE_SCHEDULE",
+    "Counterexample",
+    "FuzzStats",
+    "FuzzOutcome",
+    "MutationCheckResult",
+    "generate_instance",
+    "fuzz",
+    "shrink",
+    "mutation_smoke_check",
+    "problem_to_dict",
+    "problem_from_dict",
+]
+
+#: Instance families the fuzzer knows how to draw.
+SHAPES = (
+    "linear",
+    "affine",
+    "adversarial",
+    "stepwise",
+    "tabulated-monotone",
+    "tabulated-general",
+    "degenerate",
+)
+
+#: Seed-indexed rotation.  Linear-family shapes are over-weighted so the
+#: Theorem 1/2/3 oracles (linear-only) see enough instances per run; the
+#: affine family (which includes every linear shape) feeds Eq. 4.
+SHAPE_SCHEDULE = (
+    "linear",
+    "affine",
+    "adversarial",
+    "linear",
+    "stepwise",
+    "tabulated-monotone",
+    "affine",
+    "linear",
+    "tabulated-general",
+    "degenerate",
+)
+
+#: Algorithm-1-family size gate during fuzzing (the plain DP is O(p·n²)
+#: interpreted Python; larger instances keep the sub-quadratic kernels).
+FUZZ_MAX_DP_N = 150
+
+
+def _instance_rng(base_seed: int, seed: int) -> random.Random:
+    """Independent per-seed stream (splitmix-style mixing)."""
+    return random.Random(((base_seed * 0x9E3779B1) ^ (seed * 0x85EBCA6B)) & 0xFFFFFFFF)
+
+
+def generate_instance(shape: str, rng: random.Random) -> ScatterProblem:
+    """Draw one instance of the given shape from ``rng``."""
+    if shape == "linear":
+        p = rng.randint(2, 8)
+        n = rng.randint(1, 2_000) if rng.random() < 0.15 else rng.randint(1, 120)
+        return random_linear_problem(rng, p, n)
+    if shape == "affine":
+        p = rng.randint(2, 8)
+        n = rng.randint(1, 100)
+        return random_affine_problem(rng, p, n)
+    if shape == "adversarial":
+        return _adversarial_linear(rng)
+    if shape == "stepwise":
+        return _stepwise_problem(rng)
+    if shape == "tabulated-monotone":
+        return random_tabulated_problem(rng, rng.randint(2, 6), rng.randint(1, 50))
+    if shape == "tabulated-general":
+        return random_tabulated_problem(
+            rng, rng.randint(2, 6), rng.randint(1, 50), monotone=False
+        )
+    if shape == "degenerate":
+        return _degenerate_problem(rng)
+    raise ValueError(f"unknown instance shape {shape!r}; know {SHAPES}")
+
+
+def _adversarial_linear(rng: random.Random) -> ScatterProblem:
+    """Linear instances stressing the closed form's edge cases.
+
+    Features drawn per instance: a drop-forcing huge-β processor (makes
+    Theorem 2's filter bite), exact β ties (rounding/ordering tie-breaks),
+    zero-latency links (β = 0 for non-roots), extreme heterogeneity
+    spreads, and the occasional free processor (α = β = 0, the D = 0
+    degenerate chain).
+    """
+    p = rng.randint(2, 7)
+    n = rng.randint(1, 80)
+    spread = rng.choice([1.0, 1e3, 1e6])
+    tie_beta = rng.random() < 0.4
+    base_beta = rng.uniform(1e-5, 1e-3)
+    procs: List[Processor] = []
+    for i in range(p - 1):
+        alpha = rng.uniform(1e-4, 1e-1) * (spread if rng.random() < 0.3 else 1.0)
+        if tie_beta:
+            beta = base_beta
+        elif rng.random() < 0.25:
+            beta = 0.0  # zero-latency link
+        else:
+            beta = rng.uniform(1e-6, 1e-2)
+        if rng.random() < 0.3:
+            beta = rng.uniform(10.0, 100.0)  # drop-forcing: β >> any D
+        procs.append(Processor.linear(f"P{i + 1}", alpha=alpha, beta=beta))
+    if rng.random() < 0.1:
+        # A free processor somewhere before the root (α = β = 0).
+        procs[rng.randrange(len(procs))] = Processor.linear("free", alpha=0.0, beta=0.0)
+    procs.append(Processor.linear(f"P{p}", alpha=rng.uniform(1e-4, 1e-1), beta=0.0))
+    return ScatterProblem(procs, n)
+
+
+def _stepwise_problem(rng: random.Random) -> ScatterProblem:
+    """Increasing piecewise-linear costs (bandwidth knees, TCP slow start)."""
+    p = rng.randint(2, 6)
+    n = rng.randint(2, 80)
+
+    def knee() -> PiecewiseLinearCost:
+        x1 = rng.randint(1, max(1, n // 2))
+        r1 = rng.uniform(1e-4, 5e-2)
+        r2 = rng.uniform(1e-4, 5e-2)
+        return PiecewiseLinearCost([(0, 0), (x1, r1 * x1), (n, r1 * x1 + r2 * (n - x1))])
+
+    procs = []
+    for i in range(p - 1):
+        procs.append(Processor(f"P{i + 1}", knee(), knee()))
+    procs.append(Processor(f"P{p}", ZeroCost(), knee()))
+    return ScatterProblem(procs, n)
+
+
+def _degenerate_problem(rng: random.Random) -> ScatterProblem:
+    """Edge-of-domain instances (p = 1, n = 0, n < p, identical, free links)."""
+    variant = rng.choice(
+        ["root-only", "n-zero", "n-one", "n-lt-p", "identical", "zero-latency"]
+    )
+    if variant == "root-only":
+        return ScatterProblem(
+            [Processor.linear("root", alpha=rng.uniform(1e-3, 1e-1), beta=0.0)],
+            rng.randint(0, 30),
+        )
+    if variant == "n-zero":
+        return random_linear_problem(rng, rng.randint(1, 6), 0)
+    if variant == "n-one":
+        return random_linear_problem(rng, rng.randint(1, 6), 1)
+    if variant == "n-lt-p":
+        p = rng.randint(3, 8)
+        return random_linear_problem(rng, p, rng.randint(1, p - 1))
+    if variant == "identical":
+        p = rng.randint(2, 8)
+        alpha, beta = rng.uniform(1e-3, 1e-1), rng.uniform(1e-5, 1e-3)
+        procs = [Processor.linear(f"P{i + 1}", alpha=alpha, beta=beta) for i in range(p - 1)]
+        procs.append(Processor.linear(f"P{p}", alpha=alpha, beta=0.0))
+        return ScatterProblem(procs, rng.randint(1, 60))
+    # zero-latency: every link free, computation decides everything.
+    p = rng.randint(2, 8)
+    procs = [
+        Processor.linear(f"P{i + 1}", alpha=rng.uniform(1e-3, 1e-1), beta=0.0)
+        for i in range(p)
+    ]
+    return ScatterProblem(procs, rng.randint(1, 60))
+
+
+# ---------------------------------------------------------------------------
+# Instance (de)serialization — counterexamples must survive as artifacts.
+# ---------------------------------------------------------------------------
+
+def cost_to_dict(fn: CostFunction) -> Dict[str, Any]:
+    """JSON-compatible description of an analytic/tabulated cost."""
+    if isinstance(fn, ZeroCost):
+        return {"kind": "zero"}
+    if isinstance(fn, LinearCost):
+        return {"kind": "linear", "rate": str(fn.rate)}
+    if isinstance(fn, AffineCost):
+        return {
+            "kind": "affine",
+            "rate": str(fn.rate),
+            "intercept": str(fn.intercept),
+            "zero_is_free": fn.zero_is_free,
+        }
+    if isinstance(fn, TabulatedCost):
+        return {"kind": "tabulated", "values": [str(fn.exact(x)) for x in range(len(fn))]}
+    if isinstance(fn, PiecewiseLinearCost):
+        return {
+            "kind": "piecewise",
+            "breakpoints": [[str(x), str(t)] for x, t in zip(fn._xs, fn._ts)],
+        }
+    raise ValueError(f"cannot serialize cost function {fn!r}")
+
+
+def cost_from_dict(doc: Dict[str, Any]) -> CostFunction:
+    """Inverse of :func:`cost_to_dict`."""
+    kind = doc["kind"]
+    if kind == "zero":
+        return ZeroCost()
+    if kind == "linear":
+        return LinearCost(Fraction(doc["rate"]))
+    if kind == "affine":
+        return AffineCost(
+            Fraction(doc["rate"]),
+            Fraction(doc["intercept"]),
+            zero_is_free=doc.get("zero_is_free", True),
+        )
+    if kind == "tabulated":
+        return TabulatedCost([Fraction(v) for v in doc["values"]])
+    if kind == "piecewise":
+        return PiecewiseLinearCost(
+            [(Fraction(x), Fraction(t)) for x, t in doc["breakpoints"]]
+        )
+    raise ValueError(f"unknown cost kind {kind!r}")
+
+
+def problem_to_dict(problem: ScatterProblem) -> Dict[str, Any]:
+    """JSON-compatible description of an instance (for artifacts)."""
+    return {
+        "n": problem.n,
+        "processors": [
+            {
+                "name": proc.name,
+                "comm": cost_to_dict(proc.comm),
+                "comp": cost_to_dict(proc.comp),
+            }
+            for proc in problem.processors
+        ],
+    }
+
+
+def problem_from_dict(doc: Dict[str, Any]) -> ScatterProblem:
+    """Inverse of :func:`problem_to_dict`."""
+    procs = [
+        Processor(
+            entry["name"], cost_from_dict(entry["comm"]), cost_from_dict(entry["comp"])
+        )
+        for entry in doc["processors"]
+    ]
+    return ScatterProblem(procs, int(doc["n"]))
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+def shrink(
+    problem: ScatterProblem,
+    fails: Callable[[ScatterProblem], bool],
+    *,
+    max_evals: int = 250,
+) -> ScatterProblem:
+    """Greedy minimal counterexample: fewer processors, smaller n, simpler
+    coefficients — in that order, re-checking ``fails`` at every step.
+
+    ``fails`` must return True while the candidate still exhibits the
+    failure; a candidate on which ``fails`` *raises* counts as failing
+    (crashes are findings too).  The search is bounded by ``max_evals``
+    predicate evaluations, so shrinking always terminates quickly.
+    """
+    budget = [max_evals]
+
+    def still_fails(candidate: ScatterProblem) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return bool(fails(candidate))
+        except Exception:  # noqa: BLE001 — crashing counts as failing
+            return True
+
+    current = problem
+
+    # Phase 1: drop non-root processors (restart after every success so
+    # earlier drops re-enable later ones).
+    changed = True
+    while changed and current.p > 1:
+        changed = False
+        for i in range(current.p - 1):
+            procs = current.processors[:i] + current.processors[i + 1 :]
+            candidate = ScatterProblem(procs, current.n)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+                break
+
+    # Phase 2: reduce n (halve aggressively, then decrement).
+    while current.n > 0:
+        half = ScatterProblem(current.processors, current.n // 2)
+        if still_fails(half):
+            current = half
+            continue
+        dec = ScatterProblem(current.processors, current.n - 1)
+        if still_fails(dec):
+            current = dec
+            continue
+        break
+
+    # Phase 3: simplify analytic coefficients (shorter fractions, dropped
+    # intercepts) one cost at a time.
+    current = _simplify_costs(current, still_fails)
+    return current
+
+
+def _simpler_costs(fn: CostFunction) -> List[CostFunction]:
+    """Candidate replacements for one cost, most aggressive first."""
+    candidates: List[CostFunction] = []
+    if isinstance(fn, ZeroCost):
+        return candidates
+    if isinstance(fn, LinearCost):
+        if fn.rate != 0:
+            candidates.append(ZeroCost())
+            for denom in (1, 2, 10):
+                simpler = fn.rate.limit_denominator(denom)
+                if simpler != fn.rate and simpler >= 0:
+                    candidates.append(LinearCost(simpler))
+        return candidates
+    if isinstance(fn, AffineCost):
+        if fn.intercept != 0:
+            candidates.append(LinearCost(fn.rate))
+        for denom in (1, 2, 10):
+            rate = fn.rate.limit_denominator(denom)
+            icpt = fn.intercept.limit_denominator(denom)
+            if (rate, icpt) != (fn.rate, fn.intercept):
+                candidates.append(AffineCost(rate, icpt))
+        return candidates
+    return candidates  # tabulated/piecewise: structure is the instance
+
+
+def _simplify_costs(
+    problem: ScatterProblem, still_fails: Callable[[ScatterProblem], bool]
+) -> ScatterProblem:
+    current = problem
+    for i in range(current.p):
+        for attr in ("comm", "comp"):
+            proc = current.processors[i]
+            for candidate_fn in _simpler_costs(getattr(proc, attr)):
+                replacement = Processor(
+                    proc.name,
+                    candidate_fn if attr == "comm" else proc.comm,
+                    candidate_fn if attr == "comp" else proc.comp,
+                )
+                procs = (
+                    current.processors[:i]
+                    + (replacement,)
+                    + current.processors[i + 1 :]
+                )
+                candidate = ScatterProblem(procs, current.n)
+                if still_fails(candidate):
+                    current = candidate
+                    break  # keep the most aggressive surviving candidate
+    return current
+
+
+# ---------------------------------------------------------------------------
+# The fuzz loop
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A failing instance, shrunk, ready for an artifact file."""
+
+    seed: int
+    shape: str
+    violations: Tuple[Tuple[str, str], ...]  #: (oracle_id, message) pairs
+    problem: Dict[str, Any]  #: shrunk instance, `problem_to_dict` form
+    original_p: int
+    original_n: int
+    shrunk_p: int
+    shrunk_n: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "shape": self.shape,
+            "violations": [list(v) for v in self.violations],
+            "problem": self.problem,
+            "original": {"p": self.original_p, "n": self.original_n},
+            "shrunk": {"p": self.shrunk_p, "n": self.shrunk_n},
+        }
+
+
+@dataclass
+class FuzzStats:
+    """Aggregate counts of one fuzz run."""
+
+    instances: int = 0
+    solver_runs: int = 0
+    shapes: Dict[str, int] = field(default_factory=dict)
+    #: Per-oracle count of instances on which the oracle actually applied.
+    oracle_checked: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "instances": self.instances,
+            "solver_runs": self.solver_runs,
+            "shapes": dict(sorted(self.shapes.items())),
+            "oracle_checked": dict(sorted(self.oracle_checked.items())),
+        }
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Result of :func:`fuzz`: statistics plus shrunk counterexamples."""
+
+    stats: FuzzStats
+    counterexamples: Tuple[Counterexample, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "stats": self.stats.to_dict(),
+            "counterexamples": [ce.to_dict() for ce in self.counterexamples],
+        }
+
+
+def _violated(reports: Sequence[OracleReport]) -> List[Tuple[str, str]]:
+    out: List[Tuple[str, str]] = []
+    for report in reports:
+        for message in report.violations:
+            out.append((report.oracle_id, message))
+    return out
+
+
+def _shrink_predicate(
+    only: Optional[Sequence[str]], max_dp_n: int
+) -> Callable[[ScatterProblem], bool]:
+    """Freeze the oracle subset into a shrink predicate (no loop capture)."""
+
+    def fails(candidate: ScatterProblem) -> bool:
+        return bool(_instance_failures(candidate, only=only, max_dp_n=max_dp_n))
+
+    return fails
+
+
+def _instance_failures(
+    problem: ScatterProblem,
+    *,
+    only: Optional[Sequence[str]],
+    max_dp_n: int,
+    stats: Optional[FuzzStats] = None,
+) -> List[Tuple[str, str]]:
+    """Solve + check one instance; returns ``(oracle_id, message)`` pairs."""
+    results, crashes = solve_all(problem, max_dp_n=max_dp_n)
+    failures = [
+        ("solver-crash", f"{algo}: {message}") for algo, message in crashes.items()
+    ]
+    reports = run_oracles(problem, results, only=only)
+    failures.extend(_violated(reports))
+    if stats is not None:
+        stats.solver_runs += len(results) + len(crashes)
+        for report in reports:
+            if report.applicable:
+                stats.oracle_checked[report.oracle_id] = (
+                    stats.oracle_checked.get(report.oracle_id, 0) + 1
+                )
+    return failures
+
+
+def fuzz(
+    seeds: int = 50,
+    *,
+    base_seed: int = 0,
+    shapes: Optional[Sequence[str]] = None,
+    only_oracles: Optional[Sequence[str]] = None,
+    max_dp_n: int = FUZZ_MAX_DP_N,
+    shrink_failures: bool = True,
+) -> FuzzOutcome:
+    """Run the differential fuzz loop over ``seeds`` seeded instances.
+
+    Each seed deterministically generates one instance (shape from
+    :data:`SHAPE_SCHEDULE`, or round-robin over ``shapes`` when given),
+    runs every applicable solver, and applies the oracle registry
+    (``only_oracles`` restricts it).  Failures are shrunk to minimal
+    counterexamples unless ``shrink_failures=False``.
+    """
+    if only_oracles is not None:
+        unknown = [oid for oid in only_oracles if oid not in oracle_ids()]
+        if unknown:
+            raise KeyError(f"unknown oracle ids {unknown}; know {list(oracle_ids())}")
+    schedule: Sequence[str] = tuple(shapes) if shapes else SHAPE_SCHEDULE
+    for shape in schedule:
+        if shape not in SHAPES:
+            raise ValueError(f"unknown instance shape {shape!r}; know {SHAPES}")
+
+    stats = FuzzStats()
+    counterexamples: List[Counterexample] = []
+    for seed in range(seeds):
+        shape = schedule[seed % len(schedule)]
+        problem = generate_instance(shape, _instance_rng(base_seed, seed))
+        stats.instances += 1
+        stats.shapes[shape] = stats.shapes.get(shape, 0) + 1
+        failures = _instance_failures(
+            problem, only=only_oracles, max_dp_n=max_dp_n, stats=stats
+        )
+        if not failures:
+            continue
+        shrunk = problem
+        if shrink_failures:
+            failing_ids = sorted({oracle_id for oracle_id, _ in failures})
+            oracle_only = [oid for oid in failing_ids if oid != "solver-crash"]
+            fails = _shrink_predicate(oracle_only or only_oracles, max_dp_n)
+            shrunk = shrink(problem, fails)
+            failures = _instance_failures(
+                shrunk, only=oracle_only or only_oracles, max_dp_n=max_dp_n
+            ) or failures
+        counterexamples.append(
+            Counterexample(
+                seed=seed,
+                shape=shape,
+                violations=tuple(failures),
+                problem=problem_to_dict(shrunk),
+                original_p=problem.p,
+                original_n=problem.n,
+                shrunk_p=shrunk.p,
+                shrunk_n=shrunk.n,
+            )
+        )
+    return FuzzOutcome(stats=stats, counterexamples=tuple(counterexamples))
+
+
+# ---------------------------------------------------------------------------
+# Mutation smoke-check: the harness must catch a planted rounding bug.
+# ---------------------------------------------------------------------------
+
+def _mutant_round_floor_dump(shares: Sequence[Fraction], n: int) -> Tuple[int, ...]:
+    """A *deliberately wrong* copy of the §3.3 rounding scheme.
+
+    Floors every share and dumps all leftover units on the first
+    processor — the counts still sum to ``n`` and stay non-negative, but
+    ``|n'_0 − n_0|`` can reach ``p − 1``, silently voiding the Eq. 4
+    guarantee.  Exists only so :func:`mutation_smoke_check` can prove the
+    oracles catch exactly this class of bug.
+    """
+    vals = [Fraction(s) for s in shares]
+    out = [int(v // 1) for v in vals]
+    out[0] += n - sum(out)
+    return tuple(out)
+
+
+def _mutated_lp_result(problem: ScatterProblem) -> DistributionResult:
+    """The LP heuristic pipeline with the planted rounding mutant.
+
+    Bypasses :func:`repro.core.heuristic.solve_heuristic` on purpose: the
+    real pipeline asserts Eq. 4 internally, and the smoke-check must show
+    the *external* oracles catching the bug on the result alone.
+    """
+    shares, t_rational = solve_lp_rational(problem)
+    counts = _mutant_round_floor_dump(shares, problem.n)
+    exact = problem.makespan_exact(counts)
+    return DistributionResult(
+        problem=problem,
+        counts=counts,
+        makespan=float(exact),
+        algorithm="lp-heuristic",
+        makespan_exact=exact,
+        info={"rational_T": t_rational, "rational_shares": tuple(shares)},
+    )
+
+
+#: Oracles expected to flag the mutant.
+_MUTATION_ORACLES = ("dist-valid", "rounding-within-one", "eq4-lp-bound")
+
+
+@dataclass(frozen=True)
+class MutationCheckResult:
+    """Did the harness catch the planted rounding off-by-one?"""
+
+    caught: bool
+    seed: Optional[int]
+    violations: Tuple[Tuple[str, str], ...]
+    problem: Optional[Dict[str, Any]]  #: shrunk counterexample
+    shrunk_p: Optional[int]
+    shrunk_n: Optional[int]
+    instances_tried: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "caught": self.caught,
+            "seed": self.seed,
+            "violations": [list(v) for v in self.violations],
+            "problem": self.problem,
+            "shrunk": {"p": self.shrunk_p, "n": self.shrunk_n},
+            "instances_tried": self.instances_tried,
+        }
+
+
+def _mutant_failures(problem: ScatterProblem) -> List[Tuple[str, str]]:
+    results = {"lp-heuristic": _mutated_lp_result(problem)}
+    return _violated(run_oracles(problem, results, only=list(_MUTATION_ORACLES)))
+
+
+def mutation_smoke_check(
+    *, seeds: int = 40, base_seed: int = 0xBADC0DE
+) -> MutationCheckResult:
+    """Prove the harness catches a planted rounding off-by-one.
+
+    Fuzzes linear/affine instances through the mutated LP pipeline until
+    an oracle flags one, then shrinks the counterexample.  ``caught`` is
+    False only if *no* instance is flagged — which would mean the oracle
+    net has a hole.
+    """
+    tried = 0
+    for seed in range(seeds):
+        rng = _instance_rng(base_seed, seed)
+        shape = "affine" if seed % 2 else "linear"
+        problem = generate_instance(shape, rng)
+        tried += 1
+        failures = _mutant_failures(problem)
+        if not failures:
+            continue
+        shrunk = shrink(problem, lambda cand: bool(_mutant_failures(cand)))
+        final = _mutant_failures(shrunk) or failures
+        return MutationCheckResult(
+            caught=True,
+            seed=seed,
+            violations=tuple(final),
+            problem=problem_to_dict(shrunk),
+            shrunk_p=shrunk.p,
+            shrunk_n=shrunk.n,
+            instances_tried=tried,
+        )
+    return MutationCheckResult(
+        caught=False,
+        seed=None,
+        violations=(),
+        problem=None,
+        shrunk_p=None,
+        shrunk_n=None,
+        instances_tried=tried,
+    )

@@ -1,0 +1,277 @@
+"""Golden-trace regression: byte-stable snapshots of canonical runs.
+
+Each *scenario* renders one text artifact from a canonical Table-1
+workload — closed-form and LP plans, the JSONL event trace and Chrome
+trace of a simulated application run, and the run's metrics delta — and
+the rendered bytes are compared against a checked-in snapshot under
+``src/repro/verify/golden/``.  Because the simulator is seeded and every
+serializer sorts its keys, re-rendering a scenario on an unchanged tree
+is **byte-identical**; any drift is a behaviour change that must be
+either fixed or consciously re-baselined via
+``repro-scatter verify --update-golden`` (which rewrites the snapshots —
+review the diff in git).
+
+Snapshot hygiene rules (violating these makes goldens flaky):
+
+* no wall-clock anywhere — ``result.info["profile"]`` stage timings are
+  excluded from plan documents;
+* metrics deltas keep only **integer** ``net.*``/``mpi.*`` values
+  (counter deltas, histogram count/bucket deltas): float accumulator
+  subtraction and process-wide cost-cache counters depend on whatever
+  ran earlier in the process;
+* ``Fraction`` fields serialize as strings (exact, platform-free).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.solver import plan_scatter
+from ..obs.events import Event, EventLog
+from ..obs.exporters import events_to_chrome, events_to_jsonl
+from ..obs.metrics import METRICS
+from ..tomo.app import plan_counts, run_seismic_app
+from ..workloads.table1 import PAPER_RAY_COUNT, table1_platform, table1_problem, table1_rank_hosts
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GoldenDrift",
+    "golden_scenarios",
+    "render_scenario",
+    "check_golden",
+    "update_golden",
+]
+
+#: Where the checked-in snapshots live (package data, next to this module).
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Items in the traced application scenario (small enough for fast tier,
+#: large enough that every rank both receives and computes).
+TRACE_RAY_COUNT = 600
+
+#: Only instruments under these prefixes enter the metrics snapshot —
+#: cost-cache counters (``solver.*``) are process-global and depend on
+#: what ran before the scenario.
+_METRIC_PREFIXES = ("net.", "mpi.")
+
+
+def _frac(value: Any) -> Any:
+    """Exact, platform-free rendering of Fractions (pass-through else)."""
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, tuple):
+        return [_frac(v) for v in value]
+    return value
+
+
+def _plan_doc(n: int, order: str, algorithm: str, info_keys: Sequence[str]) -> Dict[str, Any]:
+    """One plan snapshot: counts + makespan + selected exact info fields."""
+    problem = table1_problem(n, order)
+    result = plan_scatter(problem, algorithm=algorithm, order_policy=None)
+    doc: Dict[str, Any] = {
+        "n": n,
+        "order": order,
+        "algorithm": result.algorithm,
+        "hosts": [proc.name for proc in problem.processors],
+        "counts": list(result.counts),
+        "makespan": result.makespan,
+    }
+    if result.makespan_exact is not None:
+        doc["makespan_exact"] = str(result.makespan_exact)
+    for key in info_keys:  # never the whole info dict: "profile" is wall-clock
+        if key in result.info:
+            doc[key] = _frac(result.info[key])
+    return doc
+
+
+def _json_text(doc: Any) -> str:
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _closed_form_plans() -> str:
+    docs = [
+        _plan_doc(n, order, "closed-form", ("rational_duration", "active"))
+        for n, order in (
+            (1_000, "bandwidth-desc"),
+            (10_000, "bandwidth-desc"),
+            (PAPER_RAY_COUNT, "bandwidth-desc"),
+            (10_000, "bandwidth-asc"),
+        )
+    ]
+    return _json_text(docs)
+
+
+def _lp_plan() -> str:
+    doc = _plan_doc(
+        10_000,
+        "bandwidth-desc",
+        "lp-heuristic",
+        ("rational_T", "rational_shares", "guarantee_gap", "upper_bound", "relaxed_T"),
+    )
+    return _json_text(doc)
+
+
+def _traced_events() -> List[Event]:
+    platform = table1_platform()
+    hosts = table1_rank_hosts("bandwidth-desc")
+    counts = plan_counts(platform, hosts, TRACE_RAY_COUNT, algorithm="closed-form")
+    log = EventLog()
+    run_seismic_app(platform, hosts, counts, observers=[log])
+    return log.events
+
+
+def _trace_jsonl() -> str:
+    return events_to_jsonl(_traced_events())
+
+
+def _trace_chrome() -> str:
+    doc = events_to_chrome(_traced_events())
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _stable_metrics_delta(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Order-independent slice of a metrics snapshot difference.
+
+    Keeps only integer-valued facts (counter deltas, histogram event and
+    bucket count deltas) under :data:`_METRIC_PREFIXES`.  Float fields
+    (totals, means, gauges) are dropped: subtracting float accumulators
+    is not exact when the process already ran other workloads.
+    """
+
+    def hist_counts(snap: Any) -> Tuple[int, Dict[str, int]]:
+        if not isinstance(snap, dict):
+            return 0, {}
+        buckets = snap.get("buckets")
+        return int(snap.get("count", 0)), (
+            {str(k): int(v) for k, v in buckets.items()} if isinstance(buckets, dict) else {}
+        )
+
+    delta: Dict[str, Any] = {}
+    for name in sorted(after):
+        if not name.startswith(_METRIC_PREFIXES):
+            continue
+        now, was = after[name], before.get(name)
+        if isinstance(now, dict):  # histogram
+            n_count, n_buckets = hist_counts(now)
+            w_count, w_buckets = hist_counts(was)
+            count = n_count - w_count
+            buckets = {
+                label: n_buckets[label] - w_buckets.get(label, 0)
+                for label in n_buckets
+                if n_buckets[label] - w_buckets.get(label, 0)
+            }
+            if count or buckets:
+                delta[name] = {"count": count, "buckets": buckets}
+        elif isinstance(now, int) and not isinstance(now, bool):
+            base = was if isinstance(was, int) and not isinstance(was, bool) else 0
+            if now - base:
+                delta[name] = now - base
+    return delta
+
+
+def _run_metrics() -> str:
+    before = METRICS.snapshot()
+    _traced_events()
+    after = METRICS.snapshot()
+    return _json_text(_stable_metrics_delta(before, after))
+
+
+def golden_scenarios() -> Dict[str, Callable[[], str]]:
+    """Scenario name → renderer producing the snapshot text."""
+    return {
+        "plan-closed-form.json": _closed_form_plans,
+        "plan-lp.json": _lp_plan,
+        "trace-events.jsonl": _trace_jsonl,
+        "trace-chrome.json": _trace_chrome,
+        "run-metrics.json": _run_metrics,
+    }
+
+
+def render_scenario(name: str) -> str:
+    """Render one scenario's current bytes (KeyError on unknown name)."""
+    scenarios = golden_scenarios()
+    if name not in scenarios:
+        raise KeyError(f"unknown golden scenario {name!r}; know {sorted(scenarios)}")
+    return scenarios[name]()
+
+
+class GoldenDrift:
+    """One scenario whose current rendering differs from its snapshot."""
+
+    __slots__ = ("name", "status", "diff")
+
+    def __init__(self, name: str, status: str, diff: str = "") -> None:
+        self.name = name
+        self.status = status  #: "missing" | "drift"
+        self.diff = diff
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"name": self.name, "status": self.status, "diff": self.diff}
+
+    def __repr__(self) -> str:
+        return f"GoldenDrift({self.name!r}, {self.status!r})"
+
+
+def _diff_text(expected: str, actual: str, name: str, *, max_lines: int = 40) -> str:
+    lines = list(
+        difflib.unified_diff(
+            expected.splitlines(),
+            actual.splitlines(),
+            fromfile=f"golden/{name}",
+            tofile=f"current/{name}",
+            lineterm="",
+            n=1,
+        )
+    )
+    if len(lines) > max_lines:
+        lines = lines[:max_lines] + [f"... ({len(lines) - max_lines} more diff lines)"]
+    return "\n".join(lines)
+
+
+def check_golden(
+    directory: Optional[Path] = None, *, names: Optional[Sequence[str]] = None
+) -> List[GoldenDrift]:
+    """Compare current renderings against the snapshots; [] means clean.
+
+    Missing snapshot files are reported as ``status="missing"`` (run
+    ``update_golden`` once to baseline them); byte differences as
+    ``status="drift"`` with a bounded unified diff.
+    """
+    base = Path(directory) if directory is not None else GOLDEN_DIR
+    scenarios = golden_scenarios()
+    drifts: List[GoldenDrift] = []
+    for name in names if names is not None else sorted(scenarios):
+        actual = render_scenario(name)
+        path = base / name
+        if not path.exists():
+            drifts.append(GoldenDrift(name, "missing", f"no snapshot at {path}"))
+            continue
+        expected = path.read_text(encoding="utf-8")
+        if expected != actual:
+            drifts.append(GoldenDrift(name, "drift", _diff_text(expected, actual, name)))
+    return drifts
+
+
+def update_golden(
+    directory: Optional[Path] = None, *, names: Optional[Sequence[str]] = None
+) -> List[str]:
+    """(Re)write snapshots from the current tree; returns changed names."""
+    base = Path(directory) if directory is not None else GOLDEN_DIR
+    base.mkdir(parents=True, exist_ok=True)
+    scenarios = golden_scenarios()
+    changed: List[str] = []
+    for name in names if names is not None else sorted(scenarios):
+        actual = render_scenario(name)
+        path = base / name
+        if path.exists() and path.read_text(encoding="utf-8") == actual:
+            continue
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(actual)
+        changed.append(name)
+    return changed

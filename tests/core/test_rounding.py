@@ -3,6 +3,8 @@
 from fractions import Fraction
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import round_largest_remainder, round_paper
 from repro.core.rounding import check_rounding
@@ -143,6 +145,67 @@ class TestRoundLargestRemainder:
             assert sum(out) == n
             for c, s in zip(out, shares):
                 assert abs(F(c) - s) < 1
+
+
+@st.composite
+def rational_solutions(draw):
+    """A random LP-style solution: non-negative rational shares whose sum
+    is the integer ``n`` — exactly what the §3.3 rounding step receives."""
+    p = draw(st.integers(min_value=1, max_value=12))
+    n = draw(st.integers(min_value=0, max_value=500))
+    weights = draw(
+        st.lists(
+            st.fractions(
+                min_value=F(0), max_value=F(10_000), max_denominator=10_000
+            ),
+            min_size=p,
+            max_size=p,
+        )
+    )
+    total = sum(weights, F(0))
+    if total == 0:
+        weights = [F(1)] * p
+        total = F(p)
+    shares = [w * n / total for w in weights]
+    # Exact-arithmetic residue repair on the largest share keeps every
+    # entry non-negative and the sum exactly n.
+    biggest = max(range(p), key=lambda i: shares[i])
+    shares[biggest] += n - sum(shares, F(0))
+    return shares, n
+
+
+class TestRoundingProperties:
+    """Hypothesis: Eq. 4's hypothesis |n_i − n'_i| < 1 and Σ n'_i = n must
+    hold for *every* rational solution, not just solver-shaped ones."""
+
+    @given(rational_solutions())
+    @settings(max_examples=200, deadline=None)
+    def test_round_paper_invariants(self, case):
+        shares, n = case
+        out = round_paper(shares, n)
+        assert sum(out) == n
+        assert len(out) == len(shares)
+        assert all(isinstance(c, int) and c >= 0 for c in out)
+        for count, share in zip(out, shares):
+            assert abs(F(count) - share) < 1
+
+    @given(rational_solutions())
+    @settings(max_examples=200, deadline=None)
+    def test_round_largest_remainder_invariants(self, case):
+        shares, n = case
+        out = round_largest_remainder(shares, n)
+        assert sum(out) == n
+        assert all(isinstance(c, int) and c >= 0 for c in out)
+        for count, share in zip(out, shares):
+            assert abs(F(count) - share) < 1
+
+    @given(rational_solutions())
+    @settings(max_examples=100, deadline=None)
+    def test_integral_shares_are_fixed_points(self, case):
+        shares, n = case
+        floored = [F(int(s)) for s in shares]
+        m = int(sum(floored))
+        assert round_paper(floored, m) == tuple(int(s) for s in floored)
 
 
 class TestCheckRounding:

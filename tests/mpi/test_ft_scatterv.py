@@ -178,6 +178,91 @@ class TestManyDeaths:
         assert len(delivered) == 800
 
 
+class TestConsecutiveDeaths:
+    """A survivor of the first re-plan dies *during redistribution* —
+    previously only single-round kill sets were exercised."""
+
+    COUNTS = [2000] * 5
+
+    def _run(self, *crashes, seed=0):
+        plat = make_platform()
+        faults = FaultPlan(seed=seed)
+        for host, at in crashes:
+            faults = faults.crash(host, at=at)
+        return run_ft(plat, 10_000, self.COUNTS, faults=faults, retries=2)
+
+    def test_second_replan_after_survivor_dies_mid_redistribution(self):
+        # h1 dies before its first-round chunk (replan #1 over {0, 2, 3});
+        # h2 — which already holds its first-round chunk AND is owed a
+        # redistribution share — dies at t=6.0, mid-redistribution, forcing
+        # replan #2 over {0, 3}.
+        run, root = self._run(("h1", 1.0), ("h2", 6.0))
+        outcome = run.results[root]
+        assert outcome.dead == (1, 2)
+        assert outcome.survivors == (0, 3, 4)
+        assert outcome.replans >= 2
+        assert outcome.degraded
+
+        # h2's reclaimed chunk is redistributed on top of h1's share.
+        assert outcome.redistributed_items > self.COUNTS[1]
+
+        # Item conservation: the root still holds the source data, so every
+        # one of the 10k items lands on exactly one survivor.
+        flat = [
+            x
+            for r, res in enumerate(run.results)
+            if r not in (1, 2)
+            for x in res.chunk
+        ]
+        assert sorted(flat) == list(range(10_000))
+
+        # The root's final counts agree with what each survivor received.
+        for r, res in enumerate(run.results):
+            if r in (1, 2):
+                assert isinstance(res, HostFailure)
+                assert outcome.counts[r] == 0
+            else:
+                assert outcome.counts[r] == len(res.chunk)
+
+    def test_three_consecutive_deaths_cascade_replans(self):
+        run, root = self._run(("h1", 1.0), ("h2", 6.0), ("h3", 8.0))
+        outcome = run.results[root]
+        assert outcome.dead == (1, 2, 3)
+        assert outcome.survivors == (0, 4)
+        assert outcome.replans >= 3
+        flat = [
+            x
+            for r, res in enumerate(run.results)
+            if r not in (1, 2, 3)
+            for x in res.chunk
+        ]
+        assert sorted(flat) == list(range(10_000))
+
+    def test_death_after_redistribution_delivery_loses_chunk(self):
+        # h2 dies just *after* its redistribution share arrives: the death
+        # is only seen in the completion round, so its items (first-round
+        # chunk + redistribution share) are lost, not redistributed again.
+        run, root = self._run(("h1", 1.0), ("h2", 7.5))
+        outcome = run.results[root]
+        assert outcome.dead == (1, 2)
+        assert outcome.replans == 1
+        assert outcome.lost_items > self.COUNTS[2]
+        delivered = [
+            x
+            for r, res in enumerate(run.results)
+            if r not in (1, 2)
+            for x in res.chunk
+        ]
+        assert len(delivered) == 10_000 - outcome.lost_items
+
+    def test_consecutive_deaths_bit_identical_across_repeats(self):
+        run_a, root = self._run(("h1", 1.0), ("h2", 6.0))
+        run_b, _ = self._run(("h1", 1.0), ("h2", 6.0))
+        assert run_a.duration == run_b.duration
+        assert run_a.results[root].counts == run_b.results[root].counts
+        assert run_a.results[root].replans == run_b.results[root].replans
+
+
 class TestTimeoutsAndRetries:
     def test_recv_timeout_raises(self):
         plat = make_platform(p=2)

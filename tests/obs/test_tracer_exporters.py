@@ -200,3 +200,93 @@ class TestChrome:
         run_seismic_app(platform, hosts, uniform_counts(500, 5), observers=[log])
         doc = events_to_chrome(log.events)
         assert validate_chrome_trace(doc) > 0
+
+
+class TestChromeFlows:
+    """send→recv flow arrows (``ph`` ``"s"``/``"f"``)."""
+
+    def test_send_recv_pair_produces_flow(self):
+        bus, _, _, log = make_bus()
+        bus.emit("send.begin", 0.0, "root", dst="w")
+        bus.emit("recv.begin", 0.0, "w", src="root")
+        bus.emit("send.end", 1.0, "root", dst="w")
+        bus.emit("recv.end", 1.0, "w", src="root")
+        doc = events_to_chrome(log.events)
+        validate_chrome_trace(doc)
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["id"] == finish["id"]
+        assert start["name"] == finish["name"] == "transfer"
+        assert start["cat"] == finish["cat"] == "net"
+        assert finish["bp"] == "e"
+        assert start["tid"] != finish["tid"]  # sender lane -> receiver lane
+        # The arrow hangs off the begin edges of the two spans.
+        assert start["ts"] == finish["ts"] == 0.0
+
+    def test_every_transfer_gets_its_own_flow_id(self):
+        bus, _, _, log = make_bus()
+        for i, dst in enumerate(["w1", "w2", "w3"]):
+            t = float(i)
+            bus.emit("send.begin", t, "root", dst=dst)
+            bus.emit("recv.begin", t, dst, src="root")
+            bus.emit("send.end", t + 0.5, "root", dst=dst)
+            bus.emit("recv.end", t + 0.5, dst, src="root")
+        doc = events_to_chrome(log.events)
+        validate_chrome_trace(doc)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 3
+        assert len({e["id"] for e in starts}) == 3
+        assert sorted(e["id"] for e in starts) == sorted(e["id"] for e in finishes)
+
+    def test_unpaired_send_opens_no_arrow_finish(self):
+        # A send.begin not followed by its recv.begin (filtered stream):
+        # the 's' is emitted but never finished -> the validator objects.
+        bus, _, _, log = make_bus()
+        bus.emit("send.begin", 0.0, "root", dst="w")
+        bus.emit("compute.begin", 0.0, "w", items=1)
+        bus.emit("compute.end", 1.0, "w")
+        bus.emit("send.end", 1.0, "root", dst="w")
+        doc = events_to_chrome(log.events)
+        with pytest.raises(ValueError, match="unfinished 's'"):
+            validate_chrome_trace(doc)
+
+    def test_validator_flow_rules(self):
+        base = {"pid": 1, "tid": 1, "cat": "net", "name": "transfer"}
+        with pytest.raises(ValueError, match="missing 'id'"):
+            validate_chrome_trace(
+                {"traceEvents": [dict(base, ph="s", ts=0.0)]}
+            )
+        with pytest.raises(ValueError, match="without matching 's'"):
+            validate_chrome_trace(
+                {"traceEvents": [dict(base, ph="f", bp="e", id=1, ts=0.0)]}
+            )
+        with pytest.raises(ValueError, match="re-opened"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        dict(base, ph="s", id=1, ts=0.0),
+                        dict(base, ph="s", id=1, ts=1.0),
+                    ]
+                }
+            )
+        with pytest.raises(ValueError, match="unfinished"):
+            validate_chrome_trace(
+                {"traceEvents": [dict(base, ph="s", id=1, ts=0.0)]}
+            )
+
+    def test_app_run_flows_match_transfer_count(self):
+        from repro.core.distribution import uniform_counts
+        from repro.tomo.app import run_seismic_app
+        from repro.workloads.table1 import table1_platform
+
+        platform = table1_platform()
+        hosts = [h for h in platform.hosts][:4]
+        log = EventLog()
+        run_seismic_app(platform, hosts, uniform_counts(100, 4), observers=[log])
+        sends = [e for e in log.events if e.type == "send.begin"]
+        doc = events_to_chrome(log.events)
+        validate_chrome_trace(doc)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        assert len(starts) == len(sends) > 0

@@ -1,0 +1,1 @@
+"""Tests for the paper-theorem verification harness (repro.verify)."""

@@ -1,0 +1,142 @@
+"""Tests for the differential fuzzer (repro.verify.fuzz)."""
+
+import random
+
+import pytest
+
+from repro.core import ScatterProblem
+from repro.verify.fuzz import (
+    SHAPE_SCHEDULE,
+    SHAPES,
+    fuzz,
+    generate_instance,
+    problem_from_dict,
+    problem_to_dict,
+    shrink,
+)
+
+
+class TestGenerators:
+    def test_every_shape_generates_valid_problems(self):
+        rng = random.Random(1234)
+        for shape in SHAPES:
+            for _ in range(5):
+                problem = generate_instance(shape, rng)
+                assert isinstance(problem, ScatterProblem)
+                assert problem.p >= 1
+                assert problem.n >= 0
+                problem.check_valid()
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown instance shape"):
+            generate_instance("cubist", random.Random(0))
+
+    def test_schedule_only_uses_known_shapes(self):
+        assert set(SHAPE_SCHEDULE) <= set(SHAPES)
+
+    def test_generation_is_seed_deterministic(self):
+        a = generate_instance("affine", random.Random(99))
+        b = generate_instance("affine", random.Random(99))
+        assert problem_to_dict(a) == problem_to_dict(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_problem_dict_round_trip(self, shape):
+        rng = random.Random(7)
+        for _ in range(3):
+            problem = generate_instance(shape, rng)
+            doc = problem_to_dict(problem)
+            back = problem_from_dict(doc)
+            assert back.n == problem.n
+            assert back.p == problem.p
+            assert problem_to_dict(back) == doc
+            # Cost semantics survive: same makespan on a uniform split.
+            from repro.core.distribution import uniform_counts
+
+            counts = uniform_counts(problem.n, problem.p)
+            assert problem.makespan_exact(counts) == back.makespan_exact(counts)
+
+
+class TestFuzzLoop:
+    def test_clean_on_shipped_tree(self):
+        outcome = fuzz(40, base_seed=0)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        assert outcome.stats.instances == 40
+
+    def test_deterministic_across_runs(self):
+        a = fuzz(20, base_seed=5)
+        b = fuzz(20, base_seed=5)
+        assert a.stats.to_dict() == b.stats.to_dict()
+        assert [ce.to_dict() for ce in a.counterexamples] == [
+            ce.to_dict() for ce in b.counterexamples
+        ]
+
+    def test_oracle_filter_restricts_checks(self):
+        outcome = fuzz(10, base_seed=0, only_oracles=["thm1-duration"])
+        assert set(outcome.stats.oracle_checked) <= {"thm1-duration"}
+
+    def test_unknown_oracle_raises(self):
+        with pytest.raises(KeyError):
+            fuzz(2, only_oracles=["nope"])
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            fuzz(2, shapes=["nope"])
+
+    def test_shape_override(self):
+        outcome = fuzz(6, base_seed=1, shapes=["degenerate"])
+        assert outcome.stats.shapes == {"degenerate": 6}
+
+
+class TestShrink:
+    def test_shrinks_processor_count_and_n(self):
+        rng = random.Random(42)
+        problem = generate_instance("linear", rng)
+        # Predicate independent of the instance detail: "has >= 2 procs".
+        shrunk = shrink(problem, lambda cand: cand.p >= 2)
+        assert shrunk.p == 2
+        assert shrunk.n == 0
+
+    def test_keeps_failure_reproducible(self):
+        rng = random.Random(43)
+        problem = generate_instance("affine", rng)
+
+        def fails(cand):
+            return cand.n >= 10
+
+        shrunk = shrink(problem, fails)
+        if problem.n >= 10:
+            assert fails(shrunk)
+            assert shrunk.n == 10
+
+    def test_crashing_predicate_counts_as_failing(self):
+        rng = random.Random(44)
+        problem = generate_instance("linear", rng)
+
+        def explodes(cand):
+            raise RuntimeError("predicate bug")
+
+        shrunk = shrink(problem, explodes)
+        assert shrunk.p == 1  # everything was droppable
+
+
+@pytest.mark.slow
+class TestDeepFuzz:
+    """The acceptance-criteria tier: >= 100 instances per theorem oracle."""
+
+    def test_deep_fuzz_clean_and_covered(self):
+        outcome = fuzz(350, base_seed=0)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        checked = outcome.stats.oracle_checked
+        for oracle_id in (
+            "thm1-duration",
+            "thm2-endings",
+            "thm3-ordering",
+            "eq4-lp-bound",
+        ):
+            assert checked.get(oracle_id, 0) >= 100, (oracle_id, checked)
+
+    def test_second_base_seed_also_clean(self):
+        outcome = fuzz(150, base_seed=0xA5A5)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]

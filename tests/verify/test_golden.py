@@ -1,0 +1,79 @@
+"""Golden-trace regression tests (repro.verify.golden)."""
+
+import json
+
+import pytest
+
+from repro.verify.golden import (
+    GOLDEN_DIR,
+    check_golden,
+    golden_scenarios,
+    render_scenario,
+    update_golden,
+)
+
+
+class TestRendering:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown golden scenario"):
+            render_scenario("nope.json")
+
+    @pytest.mark.parametrize("name", sorted(golden_scenarios()))
+    def test_byte_stable_across_two_renders(self, name):
+        assert render_scenario(name) == render_scenario(name)
+
+    def test_no_wall_clock_leaks_into_plans(self):
+        docs = json.loads(render_scenario("plan-closed-form.json"))
+        for doc in docs:
+            assert "profile" not in doc
+        lp = json.loads(render_scenario("plan-lp.json"))
+        assert "profile" not in lp
+
+    def test_metrics_delta_is_integer_only(self):
+        delta = json.loads(render_scenario("run-metrics.json"))
+        assert delta, "traced run should move net/mpi instruments"
+
+        def all_ints(value):
+            if isinstance(value, dict):
+                return all(all_ints(v) for v in value.values())
+            return isinstance(value, int)
+
+        assert all_ints(delta)
+        assert all(k.startswith(("net.", "mpi.")) for k in delta)
+
+    def test_chrome_scenario_contains_flow_events(self):
+        doc = json.loads(render_scenario("trace-chrome.json"))
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("s") == phases.count("f") > 0
+
+
+class TestCheckedInSnapshots:
+    def test_shipped_tree_matches_goldens(self):
+        drifts = check_golden()
+        assert drifts == [], [d.to_dict() for d in drifts]
+
+    def test_all_scenarios_have_snapshot_files(self):
+        for name in golden_scenarios():
+            assert (GOLDEN_DIR / name).exists(), name
+
+
+class TestDriftDetection:
+    def test_missing_snapshot_reported(self, tmp_path):
+        drifts = check_golden(tmp_path, names=["plan-lp.json"])
+        assert [d.status for d in drifts] == ["missing"]
+
+    def test_update_then_check_is_clean(self, tmp_path):
+        written = update_golden(tmp_path, names=["plan-lp.json"])
+        assert written == ["plan-lp.json"]
+        assert check_golden(tmp_path, names=["plan-lp.json"]) == []
+        # Second update is a no-op (already byte-identical).
+        assert update_golden(tmp_path, names=["plan-lp.json"]) == []
+
+    def test_tampered_snapshot_reports_drift_with_diff(self, tmp_path):
+        update_golden(tmp_path, names=["plan-lp.json"])
+        path = tmp_path / "plan-lp.json"
+        path.write_text(path.read_text().replace("lp-heuristic", "lp-tampered"))
+        drifts = check_golden(tmp_path, names=["plan-lp.json"])
+        assert [d.status for d in drifts] == ["drift"]
+        assert "lp-tampered" in drifts[0].diff
+        assert "lp-heuristic" in drifts[0].diff
