@@ -11,13 +11,21 @@ Two entry points:
 * ``pytest benchmarks/bench_solver_kernels.py`` — the same run as a smoke
   benchmark with the ≥ 5× kernel-speedup assertion (marked ``slow``).
 
-JSON layout (``schema: bench-solvers/v1``)::
+JSON layout (``schema: bench-solvers/v2``)::
 
     headline.instance                 the n=20k, p=16 affine instance
     headline.results.<algorithm>      {"seconds", "makespan"}
     headline.speedup_vs_dp_optimized  wall-clock ratios for the new kernels
     headline.dp_fast_warm_cache      re-solve timing with hot cost tables
     ladder.results.<algorithm>        the full ladder at a DP-friendly n
+    scaling.points[]                  dp-fast at n ∈ {1e5, 5e5, 1e6}:
+                                      cold/warm seconds + peak-RSS (MiB)
+
+Each ``scaling`` point runs in a forked child so its ``ru_maxrss`` is that
+solve's own high-water mark, not the parent's accumulated footprint.  The
+warm solve goes through a *second* :class:`SharedCostTableCache` instance
+attaching to the segments the cold solve published — the cross-process
+hand-off the shared tier exists for, minus the pool noise.
 
 Lower is better for ``seconds``; ``makespan`` values of the exact kernels
 must agree to float precision (that is the equivalence guarantee, enforced
@@ -63,12 +71,120 @@ def _timed(solver: Callable, problem, **kwargs) -> Dict[str, float]:
     return {"seconds": round(seconds, 6), "makespan": result.makespan}
 
 
+#: n values for the million-item dp-fast scaling section.
+SCALING_NS = (100_000, 500_000, 1_000_000)
+
+
+def _cold_point(n: int, p: int, seed: int, namespace: str, conn) -> None:
+    """Forked child: cold dp-fast solve, publishing tables to ``namespace``."""
+    import resource
+
+    from repro.core.shared_cache import SharedCostTableCache
+
+    problem = random_affine_problem(random.Random(seed), p, n)
+    cache = SharedCostTableCache(namespace=namespace, owner=False)
+    t0 = time.perf_counter()
+    result = solve_dp_fast(problem, cache=cache)
+    cold_s = time.perf_counter() - t0
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send(
+        {
+            "cold_s": round(cold_s, 6),
+            "makespan": result.makespan,
+            "peak_rss_mib": round(peak_kib / 1024.0, 1),
+        }
+    )
+    conn.close()
+
+
+def _warm_point(n: int, p: int, seed: int, namespace: str, conn) -> None:
+    """Fresh forked child: solve again attaching to the published tables —
+    the pool-worker pattern the shared tier exists for."""
+    import resource
+
+    from repro.core.shared_cache import SharedCostTableCache
+
+    problem = random_affine_problem(random.Random(seed), p, n)
+    cache = SharedCostTableCache(namespace=namespace, owner=False)
+    # Best of three: the first solve also first-touches the solver scratch
+    # (page-fault noise that has nothing to do with the cache tier); the
+    # repeats are the steady-state warm figure, matching ``_best_of`` use
+    # elsewhere in this suite.
+    warm_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        result = solve_dp_fast(problem, cache=cache)
+        warm_s = min(warm_s, time.perf_counter() - t0)
+    assert cache.shared_stats()["created"] == 0, "warm solve re-published tables"
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    conn.send(
+        {
+            "warm_shared_s": round(warm_s, 6),
+            "makespan": result.makespan,
+            "warm_peak_rss_mib": round(peak_kib / 1024.0, 1),
+        }
+    )
+    conn.close()
+
+
+def _in_child(ctx, target, args) -> dict:
+    """Run ``target`` in a forked child; return what it sends back."""
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=target, args=args + (child_conn,))
+    proc.start()
+    child_conn.close()
+    try:
+        return parent_conn.recv()
+    except EOFError:
+        raise RuntimeError(f"scaling child {target.__name__} died") from None
+    finally:
+        proc.join()
+        parent_conn.close()
+
+
+def run_scaling_ladder(*, p: int = 16, seed: int = 7, sizes=SCALING_NS) -> list:
+    """dp-fast cold/shared-warm timings at each n.
+
+    Each measurement runs in its own forked child so ``ru_maxrss`` is that
+    solve's own high-water mark: the *cold* child tabulates and publishes
+    the shared segments; a second, fresh *warm* child attaches to them.
+    The parent owns the namespace and unlinks it after both children exit.
+    """
+    import multiprocessing
+
+    from repro.core.shared_cache import SharedCostTableCache
+
+    ctx = multiprocessing.get_context("fork")
+    points = []
+    for n in sizes:
+        ns = f"rbench{os.getpid()}n{n}"
+        owner = SharedCostTableCache(namespace=ns)  # cleanup handle only
+        try:
+            cold = _in_child(ctx, _cold_point, (n, p, seed, ns))
+            warm = _in_child(ctx, _warm_point, (n, p, seed, ns))
+        finally:
+            owner.unlink_all()
+        points.append(
+            {
+                "n": n,
+                "cold_s": cold["cold_s"],
+                "warm_shared_s": warm["warm_shared_s"],
+                "makespan": cold["makespan"],
+                "makespan_matches": cold["makespan"] == warm["makespan"],
+                "peak_rss_mib": cold["peak_rss_mib"],
+                "warm_peak_rss_mib": warm["warm_peak_rss_mib"],
+            }
+        )
+    return points
+
+
 def run_solver_bench(
     *,
     n: int = 20_000,
     p: int = 16,
     ladder_n: int = 2_000,
     seed: int = 7,
+    scaling_sizes=SCALING_NS,
     path: Optional[str] = BENCH_PATH,
 ) -> dict:
     """Run the kernel benchmark and (optionally) write ``BENCH_solvers.json``."""
@@ -101,7 +217,7 @@ def run_solver_bench(
     ladder["lp-heuristic"] = _timed(solve_heuristic, ladder_problem)
 
     payload = {
-        "schema": "bench-solvers/v1",
+        "schema": "bench-solvers/v2",
         "generated_by": "benchmarks/bench_solver_kernels.py",
         "headline": {
             "instance": {"kind": "random-affine", "seed": seed, "n": n, "p": p},
@@ -115,6 +231,12 @@ def run_solver_bench(
             "results": ladder,
         },
     }
+    if scaling_sizes:
+        payload["scaling"] = {
+            "instance": {"kind": "random-affine", "seed": seed, "p": p,
+                         "solver": "dp-fast"},
+            "points": run_scaling_ladder(p=p, seed=seed, sizes=scaling_sizes),
+        }
     if path:
         with open(path, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
@@ -145,16 +267,79 @@ def bench_solver_kernels(report):
     report("solver_kernels", "\n".join(lines))
 
 
+@pytest.mark.bench
+def bench_smoke_regression(report):
+    """Nightly bench-smoke: reduced ladder, fail on >2x regression.
+
+    Reruns the headline instance plus the n=1e5 scaling point and compares
+    against the *committed* ``BENCH_solvers.json``; a >2x slowdown on
+    either dp-fast number fails the job.  The fresh payload is written to
+    ``benchmarks/out/bench_smoke.json`` for upload as a CI artifact.
+    """
+    with open(BENCH_PATH) as f:
+        committed = json.load(f)
+
+    fresh = run_solver_bench(scaling_sizes=(100_000,), path=None)
+    out_path = os.path.join(os.path.dirname(__file__), "out", "bench_smoke.json")
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as f:
+        json.dump(fresh, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    base_head = committed["headline"]["results"]["dp-fast"]["seconds"]
+    fresh_head = fresh["headline"]["results"]["dp-fast"]["seconds"]
+    assert fresh_head <= 2.0 * base_head, (
+        f"dp-fast headline regressed: {fresh_head:.3f}s vs committed "
+        f"{base_head:.3f}s (gate: 2x)"
+    )
+
+    committed_pts = {
+        pt["n"]: pt for pt in committed.get("scaling", {}).get("points", [])
+    }
+    fresh_pt = fresh["scaling"]["points"][0]
+    assert fresh_pt["makespan_matches"], "shared-warm solve diverged from cold"
+    base_pt = committed_pts.get(fresh_pt["n"])
+    if base_pt is not None:
+        assert fresh_pt["cold_s"] <= 2.0 * base_pt["cold_s"], (fresh_pt, base_pt)
+        assert fresh_pt["warm_shared_s"] <= 2.0 * base_pt["warm_shared_s"], (
+            fresh_pt,
+            base_pt,
+        )
+
+    report(
+        "bench_smoke",
+        "\n".join(
+            [
+                f"headline dp-fast: {fresh_head:.3f}s (committed {base_head:.3f}s)",
+                f"n=1e5 cold {fresh_pt['cold_s']:.3f}s "
+                f"warm-shared {fresh_pt['warm_shared_s']:.3f}s "
+                f"peak-RSS {fresh_pt['peak_rss_mib']:.0f} MiB",
+                f"wrote {out_path}",
+            ]
+        ),
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=20_000)
     parser.add_argument("--p", type=int, default=16)
     parser.add_argument("--ladder-n", type=int, default=2_000)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the forked n up to 1e6 scaling ladder",
+    )
     parser.add_argument("--out", default=BENCH_PATH)
     args = parser.parse_args(argv)
     payload = run_solver_bench(
-        n=args.n, p=args.p, ladder_n=args.ladder_n, seed=args.seed, path=args.out
+        n=args.n,
+        p=args.p,
+        ladder_n=args.ladder_n,
+        seed=args.seed,
+        scaling_sizes=() if args.no_scaling else SCALING_NS,
+        path=args.out,
     )
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwrote {args.out}")

@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 import os
 import random
+import secrets
 from dataclasses import dataclass
 from multiprocessing.pool import Pool, ThreadPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -23,6 +24,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 from ..core.distribution import Processor, ScatterProblem, uniform_counts
 from ..core.heuristic import solve_heuristic
 from ..core.ordering import order_descending_bandwidth
+from ..obs.metrics import METRICS, MetricsRegistry
 
 __all__ = [
     "SweepPoint",
@@ -70,6 +72,31 @@ class SequentialSweepEvaluator(SweepEvaluator):
         return [fn(item) for item in items]
 
 
+def _install_shared_tier(namespace: str) -> None:
+    """Pool-worker initializer: point every solver at the shared tier."""
+    from ..core.costs import set_default_cost_cache
+    from ..core.shared_cache import SharedCostTableCache
+
+    set_default_cost_cache(
+        SharedCostTableCache(namespace=namespace, owner=False)
+    )
+
+
+def _eval_with_metrics(payload: tuple) -> tuple:
+    """Run one item in a pool worker, capturing the metrics it accrues.
+
+    Counters bumped inside a worker process die with the worker; shipping
+    the per-item delta back with the result lets the parent merge it into
+    its own :data:`METRICS`, so cache hit rates and BENCH deltas stay
+    truthful under ``backend="process"``.
+    """
+    fn, item = payload
+    before = METRICS.kinded_snapshot()
+    result = fn(item)
+    delta = MetricsRegistry.state_delta(before, METRICS.kinded_snapshot())
+    return result, delta
+
+
 class ParallelSweepEvaluator(SweepEvaluator):
     """Pool-backed batch evaluation with a sequential fallback.
 
@@ -84,22 +111,58 @@ class ParallelSweepEvaluator(SweepEvaluator):
         a process pool, which requires picklable problems and evaluation
         functions (module-level functions over analytic cost models are;
         closures and ``CallableCost`` are not).
+    cache_tier:
+        ``"process"`` (default) keeps each worker's in-process
+        :class:`~repro.core.costs.CostTableCache` — workers re-derive
+        identical tables.  ``"shared"`` installs a
+        :class:`~repro.core.shared_cache.SharedCostTableCache` under one
+        namespace in the parent *and* every pool worker, so a table is
+        tabulated once process-wide and mapped zero-copy everywhere else;
+        hit/miss/bytes land in ``core.cost_cache.shared.*``.  Segments are
+        unlinked when the evaluator closes.
 
     Results are identical to :class:`SequentialSweepEvaluator` — only
-    wall-clock changes.  Use as a context manager (or call :meth:`close`)
-    to release the pool.
+    wall-clock changes.  With ``backend="process"``, metrics accrued in
+    workers are merged back into the parent's :data:`METRICS` after each
+    batch.  Use as a context manager (or call :meth:`close`) to release
+    the pool and any shared segments.
     """
 
-    def __init__(self, workers: Optional[int] = None, *, backend: str = "thread"):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        backend: str = "thread",
+        cache_tier: str = "process",
+    ):
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}; know 'thread', 'process'")
+        if cache_tier not in ("process", "shared"):
+            raise ValueError(
+                f"unknown cache_tier {cache_tier!r}; know 'process', 'shared'"
+            )
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         self.backend = backend
+        self.cache_tier = cache_tier
         self._pool: Optional[Any] = None
+        self._shared_cache: Optional[Any] = None
+        self._prev_cache: Optional[Any] = None
+        init, initargs = None, ()
+        if cache_tier == "shared":
+            from ..core.costs import set_default_cost_cache
+            from ..core.shared_cache import SharedCostTableCache
+
+            ns = f"rsweep{os.getpid()}_{secrets.token_hex(4)}"
+            self._shared_cache = SharedCostTableCache(namespace=ns, owner=True)
+            self._prev_cache = set_default_cost_cache(self._shared_cache)
+            if backend == "process":
+                init, initargs = _install_shared_tier, (ns,)
         if self.workers > 1:
             try:
-                pool_cls = ThreadPool if backend == "thread" else Pool
-                self._pool = pool_cls(self.workers)
+                if backend == "thread":
+                    self._pool = ThreadPool(self.workers)
+                else:
+                    self._pool = Pool(self.workers, init, initargs)
             except OSError:  # pragma: no cover - resource-limited hosts
                 self._pool = None
 
@@ -107,6 +170,13 @@ class ParallelSweepEvaluator(SweepEvaluator):
         items = list(items)
         if self._pool is None or len(items) <= 1:
             return [fn(item) for item in items]
+        if self.backend == "process":
+            pairs = self._pool.map(_eval_with_metrics, [(fn, it) for it in items])
+            results = []
+            for result, delta in pairs:
+                METRICS.merge(delta)
+                results.append(result)
+            return results
         return self._pool.map(fn, items)
 
     def close(self) -> None:
@@ -114,6 +184,12 @@ class ParallelSweepEvaluator(SweepEvaluator):
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self._shared_cache is not None:
+            from ..core.costs import set_default_cost_cache
+
+            set_default_cost_cache(self._prev_cache)
+            self._shared_cache.unlink_all()
+            self._shared_cache = None
 
 
 def _evaluate_points(

@@ -182,17 +182,38 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis.sweep import comm_ratio_sweep, heterogeneity_sweep, problem_size_sweep
+    from .analysis.sweep import (
+        ParallelSweepEvaluator,
+        SequentialSweepEvaluator,
+        comm_ratio_sweep,
+        heterogeneity_sweep,
+        problem_size_sweep,
+    )
 
-    if args.dimension == "heterogeneity":
-        points = heterogeneity_sweep([1.0, 2.0, 4.0, 8.0, 16.0], p=args.p, n=args.n)
-        label = "speed spread"
-    elif args.dimension == "comm-ratio":
-        points = comm_ratio_sweep([0.01, 0.1, 0.5, 1.0, 2.0, 5.0], p=args.p, n=args.n)
-        label = "comm/comp ratio"
+    if args.backend == "sequential":
+        evaluator = SequentialSweepEvaluator()
     else:
-        points = problem_size_sweep([100, 1_000, 10_000, 100_000, PAPER_RAY_COUNT])
-        label = "n"
+        evaluator = ParallelSweepEvaluator(
+            args.workers, backend=args.backend, cache_tier=args.cache_tier
+        )
+    with evaluator:
+        if args.dimension == "heterogeneity":
+            points = heterogeneity_sweep(
+                [1.0, 2.0, 4.0, 8.0, 16.0], p=args.p, n=args.n, evaluator=evaluator
+            )
+            label = "speed spread"
+        elif args.dimension == "comm-ratio":
+            points = comm_ratio_sweep(
+                [0.01, 0.1, 0.5, 1.0, 2.0, 5.0], p=args.p, n=args.n,
+                evaluator=evaluator,
+            )
+            label = "comm/comp ratio"
+        else:
+            points = problem_size_sweep(
+                [100, 1_000, 10_000, 100_000, PAPER_RAY_COUNT],
+                evaluator=evaluator,
+            )
+            label = "n"
     rows = [
         (f"{pt.x:g}", f"{pt.uniform_makespan:.3f}", f"{pt.balanced_makespan:.3f}",
          f"{pt.gain:.3f}x")
@@ -488,6 +509,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sw.add_argument("--p", type=int, default=16, help="processor count")
     p_sw.add_argument("--n", type=int, default=100_000, help="items")
+    p_sw.add_argument(
+        "--backend",
+        choices=["sequential", "thread", "process"],
+        default="sequential",
+        help="evaluate sweep points serially or over a pool",
+    )
+    p_sw.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for --backend thread/process (default: cpu count)",
+    )
+    p_sw.add_argument(
+        "--cache-tier",
+        choices=["process", "shared"],
+        default="process",
+        dest="cache_tier",
+        help="cost-table cache tier: per-process, or shared-memory "
+        "segments mapped zero-copy by every pool worker",
+    )
     p_sw.set_defaults(fn=cmd_sweep)
 
     p_ch = sub.add_parser(

@@ -24,6 +24,8 @@ from .closed_form import (
 )
 from .costs import (
     DEFAULT_COST_CACHE,
+    get_default_cost_cache,
+    set_default_cost_cache,
     AffineCost,
     CallableCost,
     CostFunction,
@@ -76,6 +78,7 @@ from .weighted import (
     solve_weighted_heuristic,
 )
 from .rounding import check_rounding, round_largest_remainder, round_paper
+from .shared_cache import SharedCostTableCache, stable_cost_key
 from .solver import ALGORITHMS, plan_scatter
 
 __all__ = [
@@ -89,6 +92,10 @@ __all__ = [
     "CallableCost",
     "CostTableCache",
     "DEFAULT_COST_CACHE",
+    "get_default_cost_cache",
+    "set_default_cost_cache",
+    "SharedCostTableCache",
+    "stable_cost_key",
     "cost_tables",
     "fit_linear",
     "fit_affine",

@@ -52,6 +52,8 @@ __all__ = [
     "CallableCost",
     "CostTableCache",
     "DEFAULT_COST_CACHE",
+    "get_default_cost_cache",
+    "set_default_cost_cache",
     "cost_tables",
     "fit_linear",
     "fit_affine",
@@ -482,6 +484,40 @@ class CallableCost(CostFunction):
 # Cost-table cache: memoized vectorized tables shared across solver calls.
 # ---------------------------------------------------------------------------
 
+def _build_table(fn: CostFunction, n: int) -> np.ndarray:
+    """Fresh float table of ``fn`` over ``[0, n]``.
+
+    The analytic classes get an ``out=``-chained construction that avoids the
+    intermediate ``arange`` copy and the extra temporaries of the generic
+    ``fn.many(np.arange(n + 1))`` path — at n=10⁶ the generic path touches
+    five 8 MB buffers per table, which dominates the cold-solve profile.
+
+    Bit-exactness matters here: the results are identical, float for float,
+    to what ``many()`` returns (same multiply-then-add operation order), and
+    the dp-fast analytic pivot inverse relies on re-deriving table entries
+    with the exact same expression.  The type checks are exact (``type is``)
+    so subclasses with overridden ``many`` fall back to the generic path.
+    """
+    kind = type(fn)
+    if kind is ZeroCost:
+        return np.zeros(n + 1, dtype=float)
+    if kind is LinearCost:
+        t = np.arange(n + 1, dtype=float)
+        np.multiply(t, fn._rate_float, out=t)
+        return t
+    if kind is AffineCost:
+        t = np.arange(n + 1, dtype=float)
+        np.multiply(t, fn._rate_float, out=t)
+        if fn._icpt_float:
+            t += fn._icpt_float
+        if fn._zero_free:
+            t[0] = 0.0
+        return t
+    if kind is TabulatedCost and fn._float_values.shape[0] >= n + 1:
+        return fn._float_values[: n + 1].copy()
+    return np.ascontiguousarray(fn.many(np.arange(n + 1)), dtype=float)
+
+
 class CostTableCache:
     """Memoizes ``fn.many(arange(n + 1))`` tables keyed by cost function.
 
@@ -521,7 +557,7 @@ class CostTableCache:
                 return cached[: n + 1]
         # Compute outside the lock: concurrent misses may duplicate work but
         # never block each other on a long tabulation.
-        arr = np.ascontiguousarray(fn.many(np.arange(n + 1)), dtype=float)
+        arr = _build_table(fn, n)
         arr.setflags(write=False)
         METRICS.counter("core.cost_cache.misses").inc()
         with self._lock:
@@ -564,6 +600,29 @@ class CostTableCache:
 #: Process-wide default cache used by the DP solvers.
 DEFAULT_COST_CACHE = CostTableCache()
 
+#: The *active* default — swappable so a sweep can install a shared-memory
+#: tier (:class:`repro.core.shared_cache.SharedCostTableCache`) for every
+#: solver in the process without threading a ``cache=`` argument everywhere.
+_active_default_cache: CostTableCache = DEFAULT_COST_CACHE
+
+
+def get_default_cost_cache() -> CostTableCache:
+    """The cache solvers use when called without an explicit ``cache=``."""
+    return _active_default_cache
+
+
+def set_default_cost_cache(cache: Optional[CostTableCache]) -> CostTableCache:
+    """Swap the process default cost-table cache; returns the previous one.
+
+    ``None`` restores the original :data:`DEFAULT_COST_CACHE`.  Worker
+    initializers use this to point every solver in a pool process at one
+    shared-memory tier.
+    """
+    global _active_default_cache
+    old = _active_default_cache
+    _active_default_cache = DEFAULT_COST_CACHE if cache is None else cache
+    return old
+
 
 def cost_tables(
     processors: Sequence,  # Sequence[Processor]; duck-typed to avoid a cycle
@@ -577,7 +636,7 @@ def cost_tables(
     ``cache=None`` uses :data:`DEFAULT_COST_CACHE`; pass a private
     :class:`CostTableCache` for isolation (tests do).
     """
-    c = DEFAULT_COST_CACHE if cache is None else cache
+    c = get_default_cost_cache() if cache is None else cache
     comm = [c.table(proc.comm, n) for proc in processors]
     comp = [c.table(proc.comp, n) for proc in processors]
     return comm, comp

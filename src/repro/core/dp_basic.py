@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..obs.profiler import stage_profile
-from .costs import DEFAULT_COST_CACHE, CostTableCache, cost_tables
+from .costs import CostTableCache, cost_tables, get_default_cost_cache
 from .distribution import DistributionResult, ScatterProblem
 
 __all__ = ["solve_dp_basic", "solve_dp_basic_vectorized"]
@@ -87,7 +87,7 @@ def solve_dp_basic(
         else:
             # Float path: the cached NumPy tables are used as-is — no
             # ``.tolist()`` round-trip, no per-call retabulation.
-            cc = DEFAULT_COST_CACHE if cache is None else cache
+            cc = get_default_cost_cache() if cache is None else cache
             before = cc.stats()
             comm, comp = cost_tables(procs, n, cache=cc)
             after = cc.stats()

@@ -22,18 +22,38 @@ binary-searches, paper lines 16–26):
 * ``e < E(d)``: the max resolves to the DP row, so the candidate is
   ``Tcomm(i, e) + cost[d - e, i + 1]``.
 
+Instead of binary-searching ``E(d)`` per ``d``, the whole pivot *staircase*
+is recovered at once from its inverse: with ``K(m)`` the smallest ``e`` with
+``Tcomp(i, e) >= cost[m, i + 1]``, the map ``j(m) = m + K(m)`` is strictly
+increasing and ``E(d) = d - max{m : j(m) <= d}``.  For affine ``Tcomp``
+(the calibrated-platform case) ``K`` is the *analytic inverse* of the
+tabulated cost — a guarded ceil-division whose one-sided rounding margin is
+repaired by a single table probe, giving the exact table crossing without
+any search; for general increasing ``Tcomp`` it is one vectorized
+``searchsorted``.  Inverting ``j`` is a counting scatter plus a running
+maximum, so the full staircase costs O(n) per row.
+
 Since ``E(d + 1) <= E(d) + 1`` and ``E`` is non-decreasing, the below-pivot
-range is a *sliding window* in ``m = d - e`` space.  When ``Tcomm(i, ·)`` is
-affine (``β·e + b`` for ``e >= 1`` — the paper's model and every calibrated
-platform), the window minimum of ``Tcomm(i, d - m) + cost[m, i + 1]`` equals
-``β·d + b + min_m (cost[m, i + 1] - β·m)``: a range-min over a *static*
-array, answered for all ``d`` at once by a sparse table
-(:func:`_window_argmin`, kernel 1) or by divide-and-conquer over the
-monotone argmin (:func:`_row_monotone_dc`, kernel 2 — the argmin over ``m``
-is non-decreasing in ``d`` because the preference difference
-``cost[m] - cost[m'] + Tcomm(d-m) - Tcomm(d-m')`` is monotone in ``d`` for
-convex ``Tcomm``).  Either way a row costs ``O(n log n)`` instead of the
-``O(n²)`` worst case of Algorithm 2's downward scan.
+range is a *sliding window* in ``m = d - e`` space whose two ends are both
+monotone.  When ``Tcomm(i, ·)`` is affine (``β·e + b`` for ``e >= 1``), the
+window minimum of ``Tcomm(i, d - m) + cost[m, i + 1]`` equals
+``β·d + b + min_m (cost[m, i + 1] - β·m)``: a sliding-window minimum over a
+*static* array.  :func:`_window_min_monotone` answers every window offline
+in amortized O(n): the monotone left ends cut ``[0, n]`` into disjoint
+segments, each answered with one suffix-minimum scan plus one prefix-minimum
+scan — the O(p·n) specialization of the divide-and-conquer/monotone-argmin
+idea (``dp-monotone`` keeps the explicit O(n log n) divide-and-conquer
+recursion as an independent cross-check).  A sparse-table range-min
+(:func:`_window_argmin`) remains as the fallback for adversarial staircases
+where the segment decomposition degenerates.
+
+The ``dp-fast`` kernel stores row *values* only and recovers the choice of
+each visited ``(i, d)`` cell at reconstruction time with one vectorized
+argmin per processor — O(p·n) total, and nothing per-``d`` in interpreted
+Python anywhere on the affine path.  All whole-row temporaries live in a
+preallocated :class:`_RowScratch` pack reused across rows: at n = 10⁶ the
+first-touch page faults on fresh 8 MB arrays would otherwise dominate the
+cold-cache run.
 
 Rows whose communication cost is increasing but *not* affine (tabulated
 measurements, piecewise-linear bandwidth knees) fall back to an exact
@@ -47,42 +67,202 @@ prefers ``dp-fast`` for general increasing costs at any ``n``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..obs.profiler import stage_profile
-from .costs import CostTableCache, cost_tables
+from .costs import CostFunction, CostTableCache, cost_tables
 from .distribution import DistributionResult, ScatterProblem
-from .dp_basic import _reconstruct
 
 __all__ = ["solve_dp_fast", "solve_dp_monotone"]
 
+#: Max Python-level segment iterations in :func:`_window_min_monotone`
+#: before falling back to the sparse table (adversarial staircases only).
+_SEGMENT_BUDGET = 4096
 
-def _batched_pivots(comp_i: np.ndarray, prev: np.ndarray) -> np.ndarray:
-    """For every ``d``: the smallest ``e in [0, d]`` with
-    ``comp_i[e] >= prev[d - e]`` — Algorithm 2's binary search (paper lines
-    16–26), batched over all ``d`` simultaneously.
+#: Relative margin for the analytic affine-table inverse: covers the
+#: worst-case rounding of ``fl(fl(rate·e) + icpt)`` vs the real line plus
+#: the fused multiply/subtract of the inverse itself (< 5 ulp total; 8e-16
+#: per unit of ``value/rate`` overestimates that bound ≥ 1.7×).
+_INVERSE_MARGIN = 8e-16
 
-    The predicate is monotone in ``e`` (``comp_i`` non-decreasing,
-    ``prev[d - e]`` non-increasing in ``e``).  For valid problems
-    ``prev[0] = 0`` so ``e = d`` always satisfies it; if a cost model is
-    non-null at 0 the result degenerates to ``d``, matching Algorithm 2's
-    boundary branch.
+
+class _RowScratch:
+    """Preallocated whole-row buffers shared by every row of one solve.
+
+    Each slot is an ``n + 1``-element array consumed with ``out=``; a
+    p-row solve then performs O(1) large allocations instead of
+    O(p · passes).  Beyond allocator pressure, this is what makes the
+    *cold* run land near the warm one: fresh 8 MB arrays are page-faulted
+    on first touch, and at n = 10⁶ those faults cost more than the
+    arithmetic they back.
     """
-    n = comp_i.shape[0] - 1
-    d = np.arange(n + 1)
-    lo = np.zeros(n + 1, dtype=np.int64)
-    hi = d.copy()
-    while True:
-        active = lo < hi
-        if not active.any():
-            break
-        mid = (lo + hi) >> 1
-        pred = comp_i[mid] >= prev[d - mid]
-        hi = np.where(active & pred, mid, hi)
-        lo = np.where(active & ~pred, mid + 1, lo)
-    return lo
+
+    __slots__ = (
+        "n",
+        "m_arr",
+        "d_float",
+        "qf",
+        "vf",
+        "sv",
+        "win",
+        "both",
+        "ji",
+        "scat",
+        "piv",
+        "ix",
+        "bl",
+    )
+
+    def __init__(self, n: int):
+        self.n = n
+        # Index-sized slots are int32 (n is bounded far below 2³¹): on this
+        # fault-dominated cold path every megabyte of footprint is latency,
+        # and the staircase passes touch these arrays every row.
+        self.m_arr = np.arange(n + 1, dtype=np.int32)
+        self.d_float = self.m_arr.astype(float)
+        self.qf = np.empty(n + 1)  # analytic inverse estimate K(m)
+        self.vf = np.empty(n + 1)  # table probe / float staircase map
+        self.sv = np.empty(n + 1)  # shifted row prev[m] - comm_i[m]
+        self.win = np.empty(n + 1)  # sliding-window minima / b_vals
+        self.both = np.empty(n + 1)  # comm + comp
+        self.ji = np.empty(n + 1, dtype=np.int32)  # staircase map j(m)
+        self.scat = np.empty(n + 3, dtype=np.int32)  # j-inverse scatter
+        self.piv = np.empty(n + 1, dtype=np.int32)  # pivots E(d)
+        self.ix = np.empty(n + 1, dtype=np.int32)  # window gather indices
+        self.bl = np.empty(n + 1, dtype=bool)
+
+
+class _Workspace:
+    """One solve's worth of buffers, cached per thread between solves.
+
+    The warm-path motivation: glibc returns the ~230 MB of large buffers a
+    n = 10⁶ solve uses straight to the OS on free, so a fresh solve would
+    re-page-fault all of it.  Keeping the most recent workspace alive per
+    thread makes repeated solves genuinely warm.  Only the latest (n, p)
+    shape is retained, so steady-state memory is bounded by one solve.
+    """
+
+    __slots__ = ("scratch", "rows_buf")
+
+    def __init__(self, n: int, rows_p: int):
+        self.scratch = _RowScratch(n)
+        self.rows_buf = np.empty((rows_p, n + 1)) if rows_p else None
+
+
+_TLS = threading.local()
+
+
+def _get_workspace(n: int, rows_p: int) -> _Workspace:
+    ws = getattr(_TLS, "ws", None)
+    if (
+        ws is not None
+        and ws.scratch.n == n
+        and (rows_p == 0 or (ws.rows_buf is not None and ws.rows_buf.shape[0] >= rows_p))
+    ):
+        return ws
+    ws = _Workspace(n, rows_p)
+    _TLS.ws = ws
+    return ws
+
+
+def _affine_inverse(
+    comp_fn: Optional[CostFunction],
+    comp_i: np.ndarray,
+    prev: np.ndarray,
+    s: _RowScratch,
+) -> Optional[np.ndarray]:
+    """Exact table inverse ``K(m) = min{e : comp_i[e] >= prev[m]}`` via a
+    guarded fused ceil-division, for affine ``comp_fn`` — or None when the
+    analytic route cannot be certified exact (zero/huge rate ratios).
+
+    The estimate ``ceil(prev·c1 - c2)`` (``c1, c2`` folding the rate
+    division and a one-sided rounding margin) is provably in ``{K - 1, K}``
+    once the margin dominates every float error mapped to units of ``e``
+    (the ``< 0.5`` guard checks it stays below half a step); one arithmetic
+    table probe — the same expression the table was built from — then
+    decides which, so the result matches the float table's crossing
+    *exactly*, ties included.  ``prev`` must be non-decreasing (DP rows
+    over increasing costs are).
+    """
+    if comp_fn is None or not getattr(comp_fn, "is_affine", False):
+        return None
+    alpha = float(comp_fn.rate)
+    a = float(comp_fn.intercept)
+    if not (alpha > 0.0 and np.isfinite(alpha) and a >= 0.0 and np.isfinite(a)):
+        return None
+    marg = _INVERSE_MARGIN / alpha
+    if not ((float(prev[-1]) + a) * marg < 0.5):  # margin would blur a step
+        return None
+    c1 = 1.0 / alpha - marg
+    c2 = a / alpha + a * marg
+    q = s.qf
+    np.multiply(prev, c1, out=q)
+    if c2 != 0.0:
+        q -= c2
+    np.ceil(q, out=q)
+    np.maximum(q, 1.0, out=q)
+    v = np.multiply(q, alpha, out=s.vf)
+    if a != 0.0:
+        v += a
+    np.less(v, prev, out=s.bl)
+    q += s.bl  # one-sided repair: the estimate is in {K-1, K}
+    # No upper clamp: "no e qualifies" values (> n) are absorbed by the
+    # staircase map's own clip to n + 2.
+    idx = int(np.searchsorted(prev, comp_i[0], side="right"))
+    if idx:  # prev non-decreasing: the K = 0 region is a prefix
+        q[:idx] = 0.0
+    return q
+
+
+def _pivot_staircase(
+    comp_fn: Optional[CostFunction],
+    comp_i: np.ndarray,
+    prev: np.ndarray,
+    s: _RowScratch,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, bool]:
+    """Invert ``j(m) = m + K(m)`` into the whole pivot staircase at once.
+
+    Returns ``(pivots, maxm, j, d_start, degenerate)``:
+
+    * ``pivots[d] = E(d)`` — the smallest ``e in [0, d]`` with
+      ``comp_i[e] >= prev[d - e]``, degenerating to ``d`` when no ``e``
+      qualifies (non-null-at-0 cost models), exactly like Algorithm 2's
+      boundary branch;
+    * ``maxm[d] = max{m : j(m) <= d}`` — the below-pivot window is
+      ``m in [maxm[d] + 1, d - 1]`` (empty iff ``maxm[d] + 1 > d - 1``);
+    * ``j`` — the clipped integer staircase map (consumed by the segment
+      walk: ``maxm[d] + 1 <= hi  iff  d < j[hi]``);
+    * ``d_start`` — the first ``d`` with a non-empty window (``E >= 2`` is
+      monotone, so emptiness is a prefix property);
+    * ``degenerate`` — True when some ``d`` had an empty feasible set,
+      i.e. ``pivots`` was clamped and the pivot predicate cannot be
+      assumed to hold at ``E(d)``.
+    """
+    n = s.n
+    K = _affine_inverse(comp_fn, comp_i, prev, s)
+    if K is not None:
+        np.add(K, s.d_float, out=s.vf)  # j strictly increases: K monotone
+        np.minimum(s.vf, float(n + 2), out=s.vf)
+        np.copyto(s.ji, s.vf, casting="unsafe")
+    else:
+        K = np.searchsorted(comp_i, prev, side="left")
+        np.add(K, s.m_arr, out=s.ji)
+        np.minimum(s.ji, n + 2, out=s.ji)
+    # j is strictly increasing pre-clip, so the scatter is collision-free
+    # below n + 2 and a running maximum completes the inverse.
+    s.scat.fill(-1)
+    s.scat[s.ji] = s.m_arr
+    maxm = s.scat[: n + 1]
+    np.maximum.accumulate(maxm, out=maxm)
+    np.subtract(s.m_arr, maxm, out=s.piv)  # E(d) = d - max m
+    degenerate = bool(maxm[0] < 0)  # only possible when prev[0] > comp_i[0]
+    if degenerate:
+        np.minimum(s.piv, s.m_arr, out=s.piv)  # Algorithm 2 boundary: E = d
+    d_start = int(np.searchsorted(s.piv, 2, side="left"))
+    return s.piv, maxm, s.ji, d_start, degenerate
 
 
 def _window_argmin(
@@ -93,7 +273,8 @@ def _window_argmin(
 
     Sparse-table (doubling) range-minimum structure: ``O(n log n)`` build,
     one vectorized two-probe lookup for all queries.  Ties resolve to the
-    leftmost covered index, which only affects count tie-breaking.
+    leftmost covered index, which only affects count tie-breaking.  Kept as
+    the fallback for staircases that defeat the amortized segment walk.
     """
     m = values.shape[0]
     levels = max(1, int(m).bit_length())
@@ -132,12 +313,122 @@ def _window_argmin(
     return out
 
 
-def _row_general_scan(
+def _window_min_monotone(
+    values: np.ndarray,
+    maxm: np.ndarray,
+    j: np.ndarray,
+    d_start: int,
+    n: int,
+    s: _RowScratch,
+) -> np.ndarray:
+    """Offline sliding-window minima into ``win``:
+    ``win[d] = min values[maxm[d] + 1 .. d - 1]`` (``+inf`` where empty),
+    for non-decreasing left ends — amortized O(n).
+
+    The monotone left ends split ``[0, n]`` into *disjoint* support
+    segments: while queries' left ends stay inside ``[lo, hi]``
+    (``hi = d0 - 1`` frozen at the segment's first query ``d0``), the
+    window decomposes as a suffix of the segment plus a prefix of the
+    elements after it.  One reversed ``minimum.accumulate`` answers every
+    suffix, one forward ``minimum.accumulate`` every prefix, and the
+    segment's query span comes straight from the staircase map
+    (``maxm[d] + 1 <= hi  iff  d < j[hi]``), so each element is scanned at
+    most twice per row.  Degenerate staircases that would force one Python
+    iteration per query (window width stuck at 1) trip
+    :data:`_SEGMENT_BUDGET` and finish on the sparse table instead.
+    """
+    win = s.win
+    win[:d_start].fill(np.inf)  # empty windows are a prefix of d
+    rev_buf, pre_buf, ix = s.qf, s.vf, s.ix  # free after the staircase
+    minimum, macc, take = np.minimum, np.minimum.accumulate, np.take
+    d0 = d_start
+    iters = 0
+    while d0 <= n:
+        iters += 1
+        if iters > _SEGMENT_BUDGET:
+            win[d0:].fill(np.inf)
+            w_lo = maxm[d0:] + 1
+            d_arr = np.arange(d0, n + 1, dtype=np.int64)
+            m_star = _window_argmin(values, w_lo, d_arr - 1)
+            hit = m_star >= 0
+            win[d0:][hit] = values[m_star[hit]]
+            break
+        lo = int(maxm[d0]) + 1
+        hi = d0 - 1
+        d_end = int(j[hi]) - 1
+        if d_end > n:
+            d_end = n
+        # Stage a contiguous reversed copy first: ufunc.accumulate takes a
+        # slow buffered path on negative-stride views.
+        rev = rev_buf[: hi + 1 - lo]
+        rev[:] = values[lo : hi + 1][::-1]
+        macc(rev, out=rev)
+        # rev[k] = min values[hi - k .. hi]; window start m = maxm[d] + 1.
+        idx = np.subtract(hi - 1, maxm[d0 : d_end + 1], out=ix[: d_end + 1 - d0])
+        left = take(rev, idx, out=win[d0 : d_end + 1], mode="clip")
+        if d_end > d0:
+            pre = macc(values[hi + 1 : d_end], out=pre_buf[: d_end - hi - 1])
+            minimum(left[1:], pre, out=left[1:])  # plus values[hi+1 .. d-1]
+        d0 = d_end + 1
+    return win
+
+
+def _row_affine_values(
     comm_i: np.ndarray,
     comp_i: np.ndarray,
     prev: np.ndarray,
     pivots: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
+    maxm: np.ndarray,
+    j: np.ndarray,
+    d_start: int,
+    degenerate: bool,
+    icpt: float,
+    s: _RowScratch,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Value-only affine row update (kernel 1's O(n) path), into ``out``.
+
+    ``out[d] = min(cand0, window, pivot)`` with the below-pivot window
+    minimum taken over the static shifted row ``prev[m] - comm_i[m]``.  The
+    pivot candidate is read from ``comm + comp`` directly: the pivot
+    predicate guarantees the ``max`` resolves to ``comp`` there (except on
+    clamped degenerate staircases, which fall back to the explicit max).
+    """
+    n = s.n
+    # Shift with the comm table itself instead of a fresh rate·m pass:
+    # comm_i[m] = fl(rate·m + icpt) for m >= 1, so
+    #   comm(e) + prev[m] = comm(d) + icpt + S'[m],  S'[m] = prev[m] - comm_i[m]
+    # up to a few ulps (the same shift identity, one whole-row pass cheaper).
+    np.subtract(prev, comm_i, out=s.sv)
+    if comm_i[0] == 0.0 and icpt != 0.0:
+        s.sv[0] = prev[0] - icpt  # zero-free table: align m = 0 with the identity
+    win = _window_min_monotone(s.sv, maxm, j, d_start, n, s)
+    if not degenerate:
+        # Pivots are non-decreasing, so comm + comp is only ever gathered
+        # from [0, pivots[n]] — usually a small fraction of the row.
+        emax = int(pivots[n])
+        np.add(comm_i[: emax + 1], comp_i[: emax + 1], out=s.both[: emax + 1])
+        np.take(s.both[: emax + 1], pivots, out=out, mode="clip")
+    else:  # non-null-at-0 model: E(d) may be the clamped d
+        out[:] = comm_i[pivots] + np.maximum(comp_i[pivots], prev[s.m_arr - pivots])
+    b_vals = np.add(comm_i, win, out=win)  # win is spent: rebuilt next row
+    if icpt != 0.0:
+        b_vals += icpt
+    np.minimum(out, b_vals, out=out)
+    if comm_i[0] == 0.0 and comp_i[0] == 0.0:
+        np.minimum(out, prev, out=out)  # e = 0: skip this processor
+    else:
+        np.minimum(out, comm_i[0] + np.maximum(comp_i[0], prev), out=out)
+    out[0] = prev[0]
+    return out
+
+
+def _row_general_values(
+    comm_i: np.ndarray,
+    comp_i: np.ndarray,
+    prev: np.ndarray,
+    pivots: np.ndarray,
+) -> np.ndarray:
     """Exact row update for arbitrary increasing costs.
 
     Vectorized scan restricted to ``e <= E(d)`` (everything above the pivot
@@ -147,7 +438,6 @@ def _row_general_scan(
     """
     n = comm_i.shape[0] - 1
     cur = np.empty(n + 1, dtype=float)
-    ch = np.zeros(n + 1, dtype=np.int64)
     cur[0] = prev[0]
     for d in range(1, n + 1):
         e_hi = int(pivots[d])
@@ -155,10 +445,79 @@ def _row_general_scan(
         cand = comm_i[: e_hi + 1] + np.maximum(
             comp_i[: e_hi + 1], prev[d - e_hi : d + 1][::-1]
         )
-        e = int(np.argmin(cand))
-        ch[d] = e
-        cur[d] = cand[e]
-    return cur, ch
+        cur[d] = cand.min()
+    return cur
+
+
+def _general_choices(
+    comm_i: np.ndarray,
+    comp_i: np.ndarray,
+    prev: np.ndarray,
+    pivots: np.ndarray,
+) -> np.ndarray:
+    """Per-``d`` argmins for a general-scan row (dp-monotone's choice table)."""
+    n = comm_i.shape[0] - 1
+    ch = np.zeros(n + 1, dtype=np.int64)
+    for d in range(1, n + 1):
+        e_hi = int(pivots[d])
+        cand = comm_i[: e_hi + 1] + np.maximum(
+            comp_i[: e_hi + 1], prev[d - e_hi : d + 1][::-1]
+        )
+        ch[d] = int(np.argmin(cand))
+    return ch
+
+
+def _reconstruct_values(
+    rows: List[np.ndarray],
+    comm: List[np.ndarray],
+    comp: List[np.ndarray],
+    n: int,
+    p: int,
+    s: _RowScratch,
+) -> Tuple[int, ...]:
+    """Recover ``n_1 .. n_p`` from stored row *values* alone.
+
+    The fast rows never materialize per-``d`` argmins; the single cell
+    visited per processor on the reconstruction walk is re-argmin'ed
+    directly from the tables — one vectorized scan over ``e in [0, d]``
+    per processor, O(p·n) total.
+    """
+    counts = []
+    d = n
+    chunk = 1 << 16
+    for i in range(p - 1):
+        if d == 0:
+            counts.append(0)
+            continue
+        nxt = rows[i + 1]
+        comm_i, comp_i = comm[i], comp[i]
+        # Chunked scan with exact early exit: every candidate satisfies
+        # cand(e) >= comm_i[e] (the max term is non-negative and float
+        # addition of a non-negative term never rounds below its other
+        # operand), and comm_i is non-decreasing — so once
+        # comm_i[start] >= best no later chunk can strictly beat ``best``,
+        # and argmin's leftmost tie-break keeps the index already found.
+        best = np.inf
+        e = 0
+        for start in range(0, d + 1, chunk):
+            if comm_i[start] >= best:
+                break
+            stop = min(start + chunk, d + 1)
+            cand = np.maximum(
+                comp_i[start:stop],
+                nxt[d - stop + 1 : d - start + 1][::-1],
+                out=s.qf[: stop - start],
+            )
+            cand += comm_i[start:stop]
+            k = int(np.argmin(cand))
+            v = float(cand[k])
+            if v < best:
+                best = v
+                e = start + k
+        counts.append(e)
+        d -= e
+    counts.append(d)  # the root takes whatever remains
+    return tuple(counts)
 
 
 def _row_candidates_affine(
@@ -168,7 +527,7 @@ def _row_candidates_affine(
     pivots: np.ndarray,
     d_arr: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """The two O(n)-vectorizable candidate families shared by both kernels:
+    """The two O(n)-vectorizable candidate families shared with kernel 2:
     ``e = 0`` (processor skipped, window excludes it) and ``e = E(d)`` (the
     pivot, which dominates all ``e > E(d)``).
     """
@@ -196,36 +555,6 @@ def _combine_candidates(
     cur[0] = prev0
     ch[0] = 0
     return cur, ch.astype(np.int64)
-
-
-def _row_fast_affine(
-    comm_i: np.ndarray,
-    comp_i: np.ndarray,
-    prev: np.ndarray,
-    pivots: np.ndarray,
-    d_arr: np.ndarray,
-    rate: float,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Row update via sparse-table range-min (kernel 1's affine path)."""
-    cand0, candp, w_lo, w_hi = _row_candidates_affine(
-        comm_i, comp_i, prev, pivots, d_arr
-    )
-    # Below-pivot candidates comm[e] + prev[d-e], e in [1, E(d)-1]: in
-    # m = d - e space the comm term is rate·(d - m) + intercept, so the
-    # minimum is a range-min of the static shifted row prev[m] - rate·m.
-    shifted = prev - rate * d_arr
-    m_star = _window_argmin(shifted, w_lo, w_hi)
-    valid = m_star >= 0
-    b_vals = np.full(d_arr.shape, np.inf)
-    e_below = np.zeros(d_arr.shape, dtype=np.int64)
-    if valid.any():
-        mv = m_star[valid]
-        ev = d_arr[valid] - mv
-        # Re-evaluate from the original tables so the winning value is the
-        # same float Algorithm 2's scan would produce.
-        b_vals[valid] = comm_i[ev] + prev[mv]
-        e_below[valid] = ev
-    return _combine_candidates(cand0, candp, b_vals, pivots, e_below, float(prev[0]))
 
 
 def _row_monotone_dc(
@@ -261,9 +590,9 @@ def _row_monotone_dc(
         b = min(int(w_hi[mid]), m_hi_b)
         if a <= b:
             seg = prev[a : b + 1] + comm_i[mid - b : mid - a + 1][::-1]
-            j = int(np.argmin(seg))
-            m_star = a + j
-            b_vals[mid] = seg[j]
+            jj = int(np.argmin(seg))
+            m_star = a + jj
+            b_vals[mid] = seg[jj]
             e_below[mid] = mid - m_star
             stack.append((d_lo, mid - 1, m_lo_b, m_star))
             stack.append((mid + 1, d_hi, m_star, m_hi_b))
@@ -271,6 +600,18 @@ def _row_monotone_dc(
             stack.append((d_lo, mid - 1, m_lo_b, m_hi_b))
             stack.append((mid + 1, d_hi, m_lo_b, m_hi_b))
     return _combine_candidates(cand0, candp, b_vals, pivots, e_below, float(prev[0]))
+
+
+def _reconstruct(choice: List[np.ndarray], n: int, p: int) -> Tuple[int, ...]:
+    """Walk a choice table front-to-back to recover ``n_1 .. n_p``."""
+    counts = []
+    d = n
+    for i in range(p - 1):
+        c = int(choice[i][d])
+        counts.append(c)
+        d -= c
+    counts.append(d)
+    return tuple(counts)
 
 
 def _solve_fast(
@@ -287,43 +628,74 @@ def _solve_fast(
     p, n = problem.p, problem.n
     procs = problem.processors
 
-    from .costs import DEFAULT_COST_CACHE
+    from .costs import get_default_cost_cache
 
-    cc = DEFAULT_COST_CACHE if cache is None else cache
+    cc = get_default_cost_cache() if cache is None else cache
     prof = stage_profile()
     before = cc.stats()
     with prof.stage("cost_tables"):
         comm, comp = cost_tables(procs, n, cache=cc)
     after = cc.stats()
 
-    prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
-    d_arr = np.arange(n + 1)
-    choice: List[np.ndarray] = []
+    monotone = algorithm == "dp-monotone"
+    ws = _get_workspace(n, 0 if monotone else p)
+    s = ws.scratch
+    rows_buf = None if monotone else ws.rows_buf
+    choice: List[np.ndarray] = []  # dp-monotone only
+    rows: List[np.ndarray] = []  # filled back-to-front (root first)
     rows_affine = 0
     rows_general = 0
 
     with prof.stage("dp_rows"):
-        for i in range(p - 2, -1, -1):
-            pivots = _batched_pivots(comp[i], prev)
+        if monotone:
+            prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
+        else:
+            prev = np.add(comm[p - 1], comp[p - 1], out=rows_buf[0])
+        rows.append(prev)
+        for k, i in enumerate(range(p - 2, -1, -1), start=1):
+            pivots, maxm, j, d_start, degen = _pivot_staircase(
+                procs[i].comp, comp[i], prev, s
+            )
             if procs[i].comm.is_affine:
                 rows_affine += 1
-                if algorithm == "dp-monotone":
-                    cur, ch = _row_monotone_dc(comm[i], comp[i], prev, pivots, d_arr)
+                if monotone:
+                    cur, ch = _row_monotone_dc(comm[i], comp[i], prev, pivots, s.m_arr)
+                    choice.append(ch)
                 else:
-                    rate = float(procs[i].comm.rate)
-                    cur, ch = _row_fast_affine(comm[i], comp[i], prev, pivots, d_arr, rate)
+                    cur = _row_affine_values(
+                        comm[i],
+                        comp[i],
+                        prev,
+                        pivots,
+                        maxm,
+                        j,
+                        d_start,
+                        degen,
+                        float(procs[i].comm.intercept),
+                        s,
+                        rows_buf[k],
+                    )
             else:
                 rows_general += 1
-                cur, ch = _row_general_scan(comm[i], comp[i], prev, pivots)
-            choice.append(ch)
+                cur = _row_general_values(comm[i], comp[i], prev, pivots)
+                if monotone:
+                    choice.append(_general_choices(comm[i], comp[i], prev, pivots))
+                else:
+                    rows_buf[k][:] = cur
+                    cur = rows_buf[k]
+            rows.append(cur)
             prev = cur
 
     with prof.stage("reconstruct"):
-        choice.reverse()  # _reconstruct expects choice[i] for P_{i+1} front-first
-        counts = _reconstruct(choice, n, p)
+        rows.reverse()  # rows[i] = DP values for the suffix starting at P_i
+        if monotone:
+            choice.reverse()  # choice[i] for P_{i+1}, front-first
+            counts = _reconstruct(choice, n, p)
+        else:
+            counts = _reconstruct_values(rows, comm, comp, n, p, s)
     prof.note(
         table_entries=2 * p * (n + 1),
-        choice_bytes=sum(ch.nbytes for ch in choice),
+        row_bytes=sum(row.nbytes for row in rows),
     )
     info = {
         "rows_affine": rows_affine,
@@ -348,13 +720,15 @@ def _solve_fast(
 def solve_dp_fast(
     problem: ScatterProblem, *, cache: Optional[CostTableCache] = None
 ) -> DistributionResult:
-    """Algorithm 2's optimum via the vectorized pivot + range-min kernel.
+    """Algorithm 2's optimum via the vectorized pivot-staircase kernel.
 
-    Exact for every increasing-cost instance; ``O(p · n log n)`` when the
-    communication costs are affine/linear (the calibrated-platform case),
-    with an exact pivot-restricted vectorized fallback otherwise.  The
-    returned makespan matches :func:`solve_dp_optimized` (counts may break
-    cost ties differently).
+    Exact for every increasing-cost instance; amortized ``O(p · n)`` when
+    the communication costs are affine/linear (the calibrated-platform
+    case) — analytic pivot inverse, counting-scatter staircase inversion,
+    and offline monotone sliding-window minima, with zero per-``d``
+    interpreted work — and an exact pivot-restricted vectorized fallback
+    otherwise.  The returned makespan matches :func:`solve_dp_optimized`
+    (counts may break cost ties differently).
 
     Parameters
     ----------
@@ -371,9 +745,9 @@ def solve_dp_monotone(
 ) -> DistributionResult:
     """Algorithm 2's optimum via divide-and-conquer monotone argmin.
 
-    Same contract, preconditions and asymptotics as :func:`solve_dp_fast`;
-    the below-pivot minimization walks the monotone-argmin recursion instead
-    of a sparse table.  Useful as an independent cross-check of kernel 1 and
-    measurably lighter on memory (no ``O(n log n)`` table).
+    Same contract and preconditions as :func:`solve_dp_fast`;
+    ``O(p · n log n)`` — the below-pivot minimization walks the monotone-
+    argmin recursion instead of the offline segment decomposition.  Useful
+    as an independent cross-check of kernel 1.
     """
     return _solve_fast(problem, algorithm="dp-monotone", cache=cache)

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..obs.profiler import stage_profile
-from .costs import DEFAULT_COST_CACHE, CostTableCache, cost_tables
+from .costs import CostTableCache, cost_tables, get_default_cost_cache
 from .distribution import DistributionResult, ScatterProblem
 from .dp_basic import _reconstruct
 
@@ -57,7 +57,7 @@ def solve_dp_optimized(
     p, n = problem.p, problem.n
     procs = problem.processors
     prof = stage_profile()
-    cc = DEFAULT_COST_CACHE if cache is None else cache
+    cc = get_default_cost_cache() if cache is None else cache
     before = cc.stats()
     with prof.stage("cost_tables"):
         comm, comp = cost_tables(procs, n, cache=cc)

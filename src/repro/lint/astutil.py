@@ -17,6 +17,7 @@ import ast
 from typing import Dict, Iterator, List, Optional
 
 __all__ = [
+    "FunctionNode",
     "import_aliases",
     "qualified_name",
     "terminal_name",

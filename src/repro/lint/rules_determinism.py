@@ -15,6 +15,7 @@ import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .astutil import (
+    FunctionNode,
     enclosing_function,
     name_parts,
     qualified_name,
@@ -131,6 +132,52 @@ _DECISION_FN = re.compile(
 _SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
 
 
+#: Annotation heads (alias-expanded) that declare an unordered set.
+_SET_TYPE_NAMES = {
+    "set", "frozenset",
+    "Set", "FrozenSet", "AbstractSet", "MutableSet",
+    "typing.Set", "typing.FrozenSet",
+    "typing.AbstractSet", "typing.MutableSet",
+    "collections.abc.Set", "collections.abc.MutableSet",
+}
+
+#: Wrappers to look through: ``Optional[Set[int]]`` still iterates a set
+#: on the non-None path.
+_UNION_WRAPPERS = {"Optional", "Union", "typing.Optional", "typing.Union"}
+
+
+def _is_set_annotation(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    """Does this annotation declare a set type (incl. string/Optional forms)?"""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:  # deferred annotation: "Set[int]"
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # PEP 604: ``set[int] | None``
+        return _is_set_annotation(node.left, aliases) or _is_set_annotation(
+            node.right, aliases
+        )
+    if isinstance(node, ast.Subscript):
+        qname = qualified_name(node.value, aliases)
+        if qname in _UNION_WRAPPERS:
+            sl = node.slice
+            elts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+            return any(_is_set_annotation(e, aliases) for e in elts)
+        node = node.value
+    return qualified_name(node, aliases) in _SET_TYPE_NAMES
+
+
+def _enclosing_class(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[ast.ClassDef]:
+    """Nearest enclosing class definition, or ``None``."""
+    cur = parents.get(node)
+    while cur is not None and not isinstance(cur, ast.ClassDef):
+        cur = parents.get(cur)
+    return cur
+
+
 def _is_set_expr(node: ast.expr, aliases: Dict[str, str]) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
@@ -153,7 +200,13 @@ class UnorderedIterationRule(Rule):
     """Iterating a ``set`` feeds hash order — which varies with
     ``PYTHONHASHSEED`` for strings — into whatever consumes the loop.
     Scheduling code must iterate ``sorted(...)`` snapshots; decision
-    functions should avoid bare ``dict.values()``/``.keys()`` too."""
+    functions should avoid bare ``dict.values()``/``.keys()`` too.
+
+    Set-typedness is established three ways: a local assigned only set
+    expressions, a parameter or local carrying a set annotation
+    (``Set[int]``, ``frozenset``, ``Optional[Set[str]]``, string forms),
+    and a ``self.x``/class-body attribute declared with a set annotation.
+    """
 
     id = "det-unordered-iter"
     family = "determinism"
@@ -165,6 +218,8 @@ class UnorderedIterationRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
         set_names = self._set_typed_names(ctx)
+        set_names |= self._set_annotated_params(ctx)
+        set_attrs = self._set_annotated_attrs(ctx)
         for node in ast.walk(ctx.tree):
             iters: List[ast.expr] = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
@@ -173,7 +228,7 @@ class UnorderedIterationRule(Rule):
                                    ast.GeneratorExp)):
                 iters.extend(gen.iter for gen in node.generators)
             for target in iters:
-                finding = self._check_iter(target, ctx, set_names)
+                finding = self._check_iter(target, ctx, set_names, set_attrs)
                 if finding is not None:
                     yield finding
 
@@ -182,6 +237,7 @@ class UnorderedIterationRule(Rule):
         target: ast.expr,
         ctx: FileContext,
         set_names: Set[Tuple[ast.AST, str]],
+        set_attrs: Set[Tuple[ast.AST, str]],
     ) -> Optional[Tuple[int, int, str]]:
         if _is_set_expr(target, ctx.aliases):
             return (target.lineno, target.col_offset,
@@ -193,6 +249,17 @@ class UnorderedIterationRule(Rule):
                 return (target.lineno, target.col_offset,
                         f"{target.id!r} is set-typed; iterate sorted({target.id}) "
                         "so the schedule cannot depend on PYTHONHASHSEED")
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            cls = _enclosing_class(target, ctx.parents)
+            if cls is not None and (cls, target.attr) in set_attrs:
+                return (target.lineno, target.col_offset,
+                        f"attribute 'self.{target.attr}' is annotated "
+                        f"set-typed; iterate sorted(self.{target.attr}) so "
+                        "the schedule cannot depend on PYTHONHASHSEED")
         if isinstance(target, ast.Call) and isinstance(target.func, ast.Attribute):
             if target.func.attr in ("values", "keys"):
                 fn = enclosing_function(target, ctx.parents)
@@ -206,26 +273,76 @@ class UnorderedIterationRule(Rule):
 
     @staticmethod
     def _set_typed_names(ctx: FileContext) -> Set[Tuple[ast.AST, str]]:
-        """(enclosing function, name) pairs assigned only set expressions."""
+        """(enclosing function, name) pairs known set-typed.
+
+        A name qualifies when every assignment to it is a set expression,
+        or when an ``AnnAssign`` declares it with a set annotation (the
+        annotation is authoritative regardless of the assigned value).
+        """
         assigned: Dict[Tuple[ast.AST, str], List[bool]] = {}
         for node in ast.walk(ctx.tree):
             targets: List[ast.expr] = []
-            value: Optional[ast.expr] = None
+            flag: Optional[bool] = None
             if isinstance(node, ast.Assign):
-                targets, value = node.targets, node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                targets, value = [node.target], node.value
-            if value is None:
+                targets = node.targets
+                flag = _is_set_expr(node.value, ctx.aliases)
+            elif isinstance(node, ast.AnnAssign):
+                if _is_set_annotation(node.annotation, ctx.aliases):
+                    targets, flag = [node.target], True
+                elif node.value is not None:
+                    targets = [node.target]
+                    flag = _is_set_expr(node.value, ctx.aliases)
+            if flag is None:
                 continue
             for tgt in targets:
                 if not isinstance(tgt, ast.Name):
                     continue
                 fn = enclosing_function(tgt, ctx.parents)
-                key = (fn, tgt.id)
-                assigned.setdefault(key, []).append(
-                    _is_set_expr(value, ctx.aliases)
-                )
+                assigned.setdefault((fn, tgt.id), []).append(flag)
         return {key for key, flags in assigned.items() if flags and all(flags)}
+
+    @staticmethod
+    def _set_annotated_params(ctx: FileContext) -> Set[Tuple[ast.AST, str]]:
+        """(function, parameter) pairs whose annotation declares a set."""
+        params: Set[Tuple[ast.AST, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, FunctionNode):
+                continue
+            args = node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.annotation is not None and _is_set_annotation(
+                    arg.annotation, ctx.aliases
+                ):
+                    params.add((node, arg.arg))
+        return params
+
+    @staticmethod
+    def _set_annotated_attrs(ctx: FileContext) -> Set[Tuple[ast.AST, str]]:
+        """(class, attribute) pairs declared set-typed by annotation.
+
+        Covers both forms: ``self.x: Set[int] = ...`` inside a method and
+        a bare ``x: Set[int]`` declaration in the class body.
+        """
+        attrs: Set[Tuple[ast.AST, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AnnAssign):
+                continue
+            if not _is_set_annotation(node.annotation, ctx.aliases):
+                continue
+            tgt = node.target
+            if (
+                isinstance(tgt, ast.Attribute)
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id == "self"
+            ):
+                cls = _enclosing_class(tgt, ctx.parents)
+                if cls is not None:
+                    attrs.add((cls, tgt.attr))
+            elif isinstance(tgt, ast.Name) and isinstance(
+                ctx.parents.get(node), ast.ClassDef
+            ):
+                attrs.add((ctx.parents[node], tgt.id))
+        return attrs
 
 
 #: Identifier components that mark a float simulated-time quantity.

@@ -8,13 +8,21 @@ that feeds the classic :class:`~repro.simgrid.trace.TraceRecorder`, an
 :class:`EventLog` capturing everything for export, test probes, ...) see
 events in emission order.
 
-Design constraints, both load-bearing:
+Design constraints, all load-bearing:
 
 * **Zero-cost when disabled.**  :meth:`EventBus.emit` returns before
   constructing an :class:`Event` when nobody is subscribed, so a bare
   simulation pays one attribute load and one truthiness check per hook.
+* **Cheap when filtered.**  Subscribers may restrict themselves to a set
+  of event types (:meth:`EventBus.subscribe` with ``types=...``); the bus
+  precomputes the per-type fan-out list at (un)subscribe time, so ``emit``
+  does one dict probe instead of filtering per event — and skips event
+  construction entirely for types nobody asked for.  The always-on
+  :class:`~repro.obs.tracer.SpanTracer` uses this to see only span events.
 * **Deterministic.**  Events carry only simulated time and structured
-  payloads; the per-bus ``seq`` counter increments once per emitted event.
+  payloads; the per-bus ``seq`` counter increments once per :meth:`emit`
+  on an active bus, whether or not the type had takers — so attaching a
+  *filtered* subscriber never renumbers what an unfiltered one observes.
   Two runs of the same seeded program with the same subscribers produce
   identical event sequences (and byte-identical JSONL exports — see
   :mod:`repro.obs.exporters`).
@@ -23,7 +31,7 @@ Design constraints, both load-bearing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Event",
@@ -95,7 +103,7 @@ EVENT_TYPES = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One structured observation on the simulated timeline.
 
@@ -129,27 +137,68 @@ class EventBus:
     subscription order.  A subscriber must never mutate simulation state —
     observation only — and must not raise (an exception would surface in
     whatever simulation primitive happened to emit).
+
+    Fan-out lists are *precomputed*: each (un)subscribe rebuilds a
+    ``type -> (fn, ...)`` dispatch table merging the catch-all subscribers
+    with the type-filtered ones in subscription order, so the emit hot
+    path is one dict probe plus a tuple walk — no per-event filtering.
     """
 
-    __slots__ = ("_subscribers", "_seq")
+    __slots__ = ("_entries", "_dispatch", "_catch_all", "_seq", "_order")
 
     def __init__(self) -> None:
-        self._subscribers: List[Callable[[Event], None]] = []
+        #: (order, fn, types-or-None) per live subscription.
+        self._entries: List[Tuple[int, Callable[[Event], None], Optional[frozenset]]] = []
+        self._order = 0
         self._seq = 0
+        self._catch_all: Tuple[Callable[[Event], None], ...] = ()
+        self._dispatch: Dict[str, Tuple[Callable[[Event], None], ...]] = {}
+        self._rebuild()
 
     @property
     def active(self) -> bool:
         """True when at least one subscriber is attached."""
-        return bool(self._subscribers)
+        return bool(self._entries)
 
     @property
     def emitted(self) -> int:
         """Number of events emitted so far (0 while nobody listens)."""
         return self._seq
 
-    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[], None]:
-        """Attach ``fn``; returns a zero-argument unsubscribe callable."""
-        self._subscribers.append(fn)
+    def _rebuild(self) -> None:
+        """Recompute the per-type fan-out from the subscription list."""
+        self._catch_all = tuple(
+            fn for _, fn, types in self._entries if types is None
+        )
+        filtered_types = set()
+        for _, _, types in self._entries:
+            if types is not None:
+                filtered_types.update(types)
+        self._dispatch = {
+            etype: tuple(
+                fn
+                for _, fn, types in self._entries
+                if types is None or etype in types
+            )
+            for etype in filtered_types
+        }
+
+    def subscribe(
+        self,
+        fn: Callable[[Event], None],
+        types: Optional[Iterable[str]] = None,
+    ) -> Callable[[], None]:
+        """Attach ``fn``; returns a zero-argument unsubscribe callable.
+
+        With ``types`` (an iterable of event type names), ``fn`` is invoked
+        only for those types; emission of any other type skips it with no
+        per-event cost.  Without, ``fn`` sees every event (including types
+        outside :data:`EVENT_TYPES` that extensions may emit).
+        """
+        tset = None if types is None else frozenset(types)
+        self._entries.append((self._order, fn, tset))
+        self._order += 1
+        self._rebuild()
 
         def _unsubscribe() -> None:
             self.unsubscribe(fn)
@@ -157,26 +206,35 @@ class EventBus:
         return _unsubscribe
 
     def unsubscribe(self, fn: Callable[[Event], None]) -> None:
-        """Detach ``fn`` (no-op if it is not subscribed)."""
-        try:
-            self._subscribers.remove(fn)
-        except ValueError:
-            pass
+        """Detach ``fn``'s oldest subscription (no-op if not subscribed)."""
+        for i, (_, sub, _) in enumerate(self._entries):
+            if sub == fn:
+                del self._entries[i]
+                self._rebuild()
+                return
 
     def emit(
         self, type: str, t: float, actor: str, **data: Any
     ) -> Optional[Event]:
-        """Publish an event; returns it, or ``None`` while nobody listens.
+        """Publish an event; returns it, or ``None`` when nobody saw it.
 
         The fast path — no subscribers — performs no allocation at all, so
         instrumentation hooks can stay unconditionally in hot simulation
-        code.
+        code.  On an active bus the sequence counter always advances, but
+        the :class:`Event` itself is only constructed when at least one
+        subscriber wants this type.
         """
-        if not self._subscribers:
+        if not self._entries:
             return None
-        event = Event(type, t, actor, self._seq, data)
-        self._seq += 1
-        for fn in self._subscribers:
+        subs = self._dispatch.get(type)
+        if subs is None:
+            subs = self._catch_all
+        seq = self._seq
+        self._seq = seq + 1
+        if not subs:
+            return None
+        event = Event(type, t, actor, seq, data)
+        for fn in subs:
             fn(event)
         return event
 

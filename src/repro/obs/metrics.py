@@ -202,6 +202,105 @@ class MetricsRegistry:
                 out[name] = inst.value  # type: ignore[union-attr]
         return out
 
+    # -- cross-process aggregation --------------------------------------
+    #
+    # A process-pool worker accrues metrics in *its own* registry, which
+    # dies with the worker; the sweep evaluator captures a kinded snapshot
+    # around each evaluated item, diffs it, ships the delta back (it is
+    # plain picklable data), and merges it here so BENCH numbers and cache
+    # hit rates stay truthful under ``backend="process"``.
+
+    def kinded_snapshot(self) -> Dict[str, tuple]:
+        """Like :meth:`snapshot`, but tagged with the instrument kind and
+        carrying enough histogram state (bounds + raw bucket counts) to be
+        mergeable into another registry."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out: Dict[str, tuple] = {}
+        for name, inst in items:
+            if isinstance(inst, Histogram):
+                with inst._lock:
+                    out[name] = (
+                        "histogram",
+                        {
+                            "count": inst.count,
+                            "total": inst.total,
+                            "min": inst.min,
+                            "max": inst.max,
+                            "bounds": list(inst.buckets),
+                            "counts": list(inst._counts),
+                        },
+                    )
+            elif isinstance(inst, Gauge):
+                out[name] = ("gauge", inst.value)
+            else:
+                out[name] = ("counter", inst.value)
+        return out
+
+    @staticmethod
+    def state_delta(
+        before: Dict[str, tuple], after: Dict[str, tuple]
+    ) -> Dict[str, tuple]:
+        """What changed between two :meth:`kinded_snapshot` captures."""
+        delta: Dict[str, tuple] = {}
+        for name, (kind, state) in after.items():
+            prior = before.get(name)
+            if kind == "histogram":
+                pstate = prior[1] if prior and prior[0] == "histogram" else None
+                dcount = state["count"] - (pstate["count"] if pstate else 0)
+                if dcount == 0:
+                    continue
+                pcounts = pstate["counts"] if pstate else [0] * len(state["counts"])
+                delta[name] = (
+                    "histogram",
+                    {
+                        "count": dcount,
+                        "total": state["total"]
+                        - (pstate["total"] if pstate else 0.0),
+                        "min": state["min"],
+                        "max": state["max"],
+                        "bounds": state["bounds"],
+                        "counts": [c - p for c, p in zip(state["counts"], pcounts)],
+                    },
+                )
+            else:
+                base = prior[1] if prior and prior[0] == kind else 0
+                d = state - base
+                if d:
+                    delta[name] = (kind, d)
+        return delta
+
+    def merge(self, delta: Dict[str, tuple]) -> None:
+        """Fold a :meth:`state_delta` into this registry's instruments.
+
+        Counters/gauges are incremented by the delta; histograms merge
+        counts, totals and bucket tallies, and widen min/max.  Instruments
+        are created on demand, so a worker-only metric still surfaces.
+        """
+        for name, (kind, state) in delta.items():
+            if kind == "counter":
+                self.counter(name).inc(state)
+            elif kind == "gauge":
+                self.gauge(name).inc(state)
+            else:
+                h = self.histogram(name, state["bounds"] or None)
+                with h._lock:
+                    h.count += state["count"]
+                    h.total += state["total"]
+                    if state["min"] is not None and (
+                        h.min is None or state["min"] < h.min
+                    ):
+                        h.min = state["min"]
+                    if state["max"] is not None and (
+                        h.max is None or state["max"] > h.max
+                    ):
+                        h.max = state["max"]
+                    if len(h._counts) == len(state["counts"]):
+                        for i, c in enumerate(state["counts"]):
+                            h._counts[i] += c
+                    else:  # bucket mismatch: preserve count in +Inf
+                        h._counts[-1] += state["count"]
+
     def reset(self) -> None:
         """Drop every instrument (tests; not for production paths)."""
         with self._lock:

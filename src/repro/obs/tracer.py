@@ -35,7 +35,7 @@ from .events import (
     Event,
 )
 
-__all__ = ["SpanTracer"]
+__all__ = ["SpanTracer", "SPAN_TYPES"]
 
 #: begin-event type -> recorder state name
 _BEGIN_STATES = {
@@ -50,6 +50,12 @@ _END_STATES = {
     RECV_END: "receiving",
     COMPUTE_END: "computing",
 }
+
+#: The only event types a SpanTracer reacts to.  Subscribe with
+#: ``bus.subscribe(tracer, types=SPAN_TYPES)`` so the bus's precomputed
+#: fan-out skips the tracer (and, with no other subscriber, the whole
+#: event construction) for every non-span emission.
+SPAN_TYPES = frozenset(_BEGIN_STATES) | frozenset(_END_STATES)
 
 
 class SpanTracer:

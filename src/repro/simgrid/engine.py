@@ -80,7 +80,7 @@ class SimPrimitive:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hold(SimPrimitive):
     """Suspend the process for ``duration`` simulated seconds."""
 
@@ -92,7 +92,7 @@ class Hold(SimPrimitive):
         sim.schedule(self.duration, process._resume, None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acquire(SimPrimitive):
     """Block until the resource is granted to this process (FIFO)."""
 
@@ -102,7 +102,7 @@ class Acquire(SimPrimitive):
         self.resource._request(process)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Release(SimPrimitive):
     """Release a previously acquired resource; resumes immediately."""
 
@@ -113,7 +113,7 @@ class Release(SimPrimitive):
         sim.schedule(0.0, process._resume, None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Put(SimPrimitive):
     """Deposit a message into a mailbox; resumes immediately."""
 
@@ -125,7 +125,7 @@ class Put(SimPrimitive):
         sim.schedule(0.0, process._resume, None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Get(SimPrimitive):
     """Block until a message is available; the message becomes the yield value.
 
@@ -140,7 +140,7 @@ class Get(SimPrimitive):
         self.mailbox._get(process, self.timeout)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitFor(SimPrimitive):
     """Block until the event is set; the event's value becomes the yield value."""
 
@@ -454,7 +454,7 @@ def describe_primitive(prim: SimPrimitive) -> str:
     return repr(prim)
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _QueuedEvent:
     time: float
     seq: int

@@ -29,7 +29,7 @@ from repro.obs.events import (
     SEND_END,
 )
 from repro.obs.metrics import METRICS
-from repro.obs.tracer import SpanTracer
+from repro.obs.tracer import SPAN_TYPES, SpanTracer
 
 from .engine import (
     Acquire,
@@ -53,7 +53,7 @@ __all__ = ["Transfer", "Network", "TRANSFER_BUCKETS"]
 TRANSFER_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transfer:
     """Completed-transfer descriptor deposited into the target mailbox."""
 
@@ -82,7 +82,7 @@ class Network:
         self.faults = faults
         #: Folds the bus's span events back into ``recorder`` intervals.
         self.tracer = SpanTracer(self.recorder)
-        sim.bus.subscribe(self.tracer)
+        sim.bus.subscribe(self.tracer, types=SPAN_TYPES)
         self._out_ports: Dict[str, Resource] = {}
         self._in_ports: Dict[str, Resource] = {}
         self._backbones: Dict[str, Resource] = {}

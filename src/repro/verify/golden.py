@@ -182,6 +182,31 @@ def _run_metrics() -> str:
     return _json_text(_stable_metrics_delta(before, after))
 
 
+#: Items and failure rates for the chaos golden — small enough for the
+#: fast tier, rates chosen so the kill sets are nested and non-trivial.
+CHAOS_RAY_COUNT = 400
+CHAOS_RATES = (0.0, 0.25, 0.5)
+
+
+def _chaos_sweep() -> str:
+    """Deterministic kill-set sweep: the fault-tolerance behaviour snapshot.
+
+    Every field is a pure function of (platform, seed): victims come from
+    seeded-hash kill order, crash times from prefix positions, and the
+    simulation replays them bit-identically — so re-planned counts,
+    retries, and degradation ratios are byte-stable goldens, not
+    statistics.
+    """
+    from ..analysis.chaos import chaos_sweep
+
+    platform = table1_platform()
+    hosts = table1_rank_hosts("bandwidth-desc")
+    sweep = chaos_sweep(
+        platform, hosts, CHAOS_RAY_COUNT, CHAOS_RATES, seed=0, retries=2
+    )
+    return _json_text(sweep.to_dict())
+
+
 def golden_scenarios() -> Dict[str, Callable[[], str]]:
     """Scenario name → renderer producing the snapshot text."""
     return {
@@ -190,6 +215,7 @@ def golden_scenarios() -> Dict[str, Callable[[], str]]:
         "trace-events.jsonl": _trace_jsonl,
         "trace-chrome.json": _trace_chrome,
         "run-metrics.json": _run_metrics,
+        "chaos-sweep.json": _chaos_sweep,
     }
 
 

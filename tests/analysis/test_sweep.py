@@ -136,3 +136,87 @@ class TestEvaluators:
         ev.close()
         ev.close()
         assert ev.map(lambda x: x, [5]) == [5]
+
+    def test_unknown_cache_tier_rejected(self):
+        with pytest.raises(ValueError, match="cache_tier"):
+            ParallelSweepEvaluator(2, cache_tier="l4")
+
+
+def _makespan_at(n):
+    """Module-level (picklable) DP solve — exercises the cost-table cache."""
+    from repro.core.dp_fast import solve_dp_fast
+    from repro.workloads.table1 import table1_problem
+
+    return solve_dp_fast(table1_problem(n)).makespan
+
+
+def _shm_entries(prefix):
+    import os
+
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith(prefix)]
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+
+
+class TestProcessPoolMetrics:
+    """Counters accrued in pool workers must surface in the parent."""
+
+    def test_worker_metrics_merged_into_parent(self):
+        from repro.obs.metrics import METRICS
+
+        misses = METRICS.counter("core.cost_cache.misses")
+        m0 = misses.value
+        with ParallelSweepEvaluator(2, backend="process") as ev:
+            vals = ev.map(_makespan_at, [500, 600, 700, 800])
+        assert vals == [_makespan_at(n) for n in [500, 600, 700, 800]]
+        # Each worker solve tabulates p=5 link + p=5 compute tables in its
+        # own process; all four items' deltas must land here.
+        assert misses.value - m0 >= 4 * 10
+
+    def test_shared_tier_values_and_metrics(self):
+        from repro.core.costs import DEFAULT_COST_CACHE, get_default_cost_cache
+        from repro.obs.metrics import METRICS
+
+        ns_prefix = "rsweep"
+        sizes = [500, 600, 700, 800]
+        seq = [_makespan_at(n) for n in sizes]
+        shared_events = METRICS.counter("core.cost_cache.shared.hits")
+        published = METRICS.counter("core.cost_cache.shared.misses")
+        h0, p0 = shared_events.value, published.value
+        with ParallelSweepEvaluator(
+            2, backend="process", cache_tier="shared"
+        ) as ev:
+            assert get_default_cost_cache() is ev._shared_cache
+            # Publish from the parent first: workers then *attach* to these
+            # segments instead of re-deriving the tables (their local LRUs
+            # start empty, so the hit must come from the shared tier).
+            assert _makespan_at(sizes[0]) == seq[0]
+            par = ev.map(_makespan_at, sizes)
+        assert par == seq
+        # Every table went through the shared tier exactly once...
+        assert published.value - p0 >= 1
+        # ...and at least one worker attached instead of rebuilding.
+        assert shared_events.value - h0 >= 1
+        # Close restores the default tier and unlinks every segment.
+        assert get_default_cost_cache() is DEFAULT_COST_CACHE
+        assert _shm_entries(ns_prefix) == []
+
+    def test_shared_tier_with_thread_backend(self):
+        from repro.core.costs import DEFAULT_COST_CACHE, get_default_cost_cache
+
+        sizes = [300, 400]
+        seq = [_makespan_at(n) for n in sizes]
+        with ParallelSweepEvaluator(2, backend="thread", cache_tier="shared") as ev:
+            assert ev._shared_cache is not None
+            assert ev.map(_makespan_at, sizes) == seq
+        assert get_default_cost_cache() is DEFAULT_COST_CACHE
+
+    def test_sweep_values_identical_under_shared_tier(self):
+        spreads = [1.0, 4.0, 8.0]
+        seq = heterogeneity_sweep(spreads, p=6, n=2000)
+        with ParallelSweepEvaluator(
+            2, backend="process", cache_tier="shared"
+        ) as ev:
+            par = heterogeneity_sweep(spreads, p=6, n=2000, evaluator=ev)
+        assert seq == par

@@ -112,6 +112,93 @@ class TestUnorderedIteration:
         src = "def render(table):\n    for v in table.values():\n        show(v)\n"
         assert lint_source(src, "mpi/x.py") == []
 
+    def test_set_annotated_parameter_fires(self):
+        src = (
+            "from typing import Set\n\n"
+            "def assign(survivors: Set[int]):\n"
+            "    return [g(r) for r in survivors]\n"
+        )
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert f.line == 4
+        assert "set-typed" in f.message
+
+    def test_optional_string_set_parameter_fires(self):
+        # Deferred ("Optional[Set[str]]") annotations are parsed and the
+        # Optional wrapper looked through.
+        src = (
+            "def sweep(dead: 'Optional[Set[str]]'):\n"
+            "    for host in dead:\n"
+            "        kill(host)\n"
+        )
+        (f,) = only(lint_source(src, "simgrid/x.py"), self.RULE)
+        assert f.line == 2
+
+    def test_list_annotated_parameter_silent(self):
+        src = (
+            "from typing import List\n\n"
+            "def assign(survivors: List[int]):\n"
+            "    return [g(r) for r in survivors]\n"
+        )
+        assert lint_source(src, "mpi/x.py") == []
+
+    def test_set_annotated_local_fires_despite_nonset_value(self):
+        # The annotation is authoritative even when the assigned value is
+        # opaque to expression analysis.
+        src = (
+            "def plan(ctx):\n"
+            "    pending: set = ctx.pending()\n"
+            "    for r in pending:\n"
+            "        ship(r)\n"
+        )
+        (f,) = only(lint_source(src, "core/x.py"), self.RULE)
+        assert f.line == 3
+
+    def test_set_annotated_self_attribute_fires(self):
+        src = (
+            "from typing import Set\n\n"
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self.dead: Set[str] = set()\n"
+            "    def victims(self):\n"
+            "        return [kill(h) for h in self.dead]\n"
+        )
+        (f,) = only(lint_source(src, "simgrid/x.py"), self.RULE)
+        assert f.line == 7
+        assert "self.dead" in f.message
+
+    def test_class_body_set_annotation_fires(self):
+        src = (
+            "class Registry:\n"
+            "    members: frozenset\n"
+            "    def dispatch_all(self):\n"
+            "        for m in self.members:\n"
+            "            m()\n"
+        )
+        (f,) = only(lint_source(src, "mpi/x.py"), self.RULE)
+        assert f.line == 4
+
+    def test_sorted_set_attribute_silent(self):
+        src = (
+            "from typing import Set\n\n"
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self.dead: Set[str] = set()\n"
+            "    def victims(self):\n"
+            "        return [kill(h) for h in sorted(self.dead)]\n"
+        )
+        assert lint_source(src, "simgrid/x.py") == []
+
+    def test_dict_annotated_attribute_silent(self):
+        src = (
+            "from typing import Dict\n\n"
+            "class Tracker:\n"
+            "    def __init__(self):\n"
+            "        self.seen: Dict[str, int] = {}\n"
+            "    def walk(self):\n"
+            "        return [h for h in self.seen]\n"
+        )
+        assert lint_source(src, "simgrid/x.py") == []
+
 
 class TestFloatTimeEquality:
     RULE = "det-float-time-eq"

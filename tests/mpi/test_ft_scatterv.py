@@ -1,8 +1,10 @@
 """Tests for the fault-tolerant scatter (``repro.mpi.ft_scatterv``)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import LinearCost
+from repro.core import LinearCost, plan_scatter
 from repro.mpi import MpiError, RecvTimeout, ScatterOutcome, run_spmd
 from repro.simgrid import (
     FaultPlan,
@@ -12,6 +14,7 @@ from repro.simgrid import (
     LinkFailure,
     Platform,
 )
+from repro.verify import run_oracles
 
 
 def make_platform(p=5, alpha=0.01, beta=0.001):
@@ -261,6 +264,114 @@ class TestConsecutiveDeaths:
         assert run_a.duration == run_b.duration
         assert run_a.results[root].counts == run_b.results[root].counts
         assert run_a.results[root].replans == run_b.results[root].replans
+
+
+class TestReplanOracles:
+    """Every re-plan round is itself a paper-valid scatter plan.
+
+    Each time ``ft_scatterv`` re-runs the planner on a survivor subset it
+    solves a fresh :class:`ScatterProblem` over the reclaimed items.  The
+    verification registry's universal oracles must hold for that inner
+    plan exactly as for a top-level one: ``eq1-recompute`` (the claimed
+    makespan survives an exact rational Eq. 1/2 re-evaluation of the
+    counts) and ``dist-valid`` (the counts are a non-negative integer
+    partition of the reclaimed item total).  The ``planner`` hook records
+    every (problem, result) round so the oracles can replay them.
+    """
+
+    ORACLE_IDS = ("eq1-recompute", "dist-valid")
+
+    @staticmethod
+    def _recording_planner(rounds):
+        def _plan(problem):
+            result = plan_scatter(problem, algorithm="auto", order_policy=None)
+            rounds.append((problem, result))
+            return result
+
+        return _plan
+
+    def _assert_rounds_pass(self, rounds):
+        for problem, result in rounds:
+            reports = run_oracles(
+                problem, {"auto": result}, only=self.ORACLE_IDS
+            )
+            assert [r.oracle_id for r in reports] == list(self.ORACLE_IDS)
+            for report in reports:
+                assert report.applicable
+                assert report.ok, (
+                    f"re-plan round over p={problem.p} n={problem.n} "
+                    f"violates {report.oracle_id}: {report.violations}"
+                )
+
+    def test_consecutive_death_rounds_satisfy_oracles(self):
+        # The TestConsecutiveDeaths cascade: h1 dies pre-delivery, h2 dies
+        # mid-redistribution — at least two recorded re-plan rounds.
+        plat = make_platform()
+        faults = FaultPlan(seed=0).crash("h1", at=1.0).crash("h2", at=6.0)
+        rounds = []
+        run, root = run_ft(
+            plat,
+            10_000,
+            [2000] * 5,
+            faults=faults,
+            retries=2,
+            planner=self._recording_planner(rounds),
+        )
+        outcome = run.results[root]
+        assert outcome.replans == len(rounds)
+        assert len(rounds) >= 2
+        self._assert_rounds_pass(rounds)
+        # Each round plans exactly the items reclaimed for that round.
+        assert sum(p.n for p, _ in rounds) == outcome.redistributed_items
+
+    @given(
+        st.integers(min_value=4, max_value=6),
+        st.integers(min_value=200, max_value=2000),
+        st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_kill_sets_satisfy_oracles(self, p, n, data):
+        plat = make_platform(p=p)
+        # Kill 1..p-2 of the non-root workers at drawn (possibly equal)
+        # times within the scatter's active window; the root (rank p-1,
+        # the data holder) always survives.
+        victims = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=p - 2),
+                unique=True,
+                min_size=1,
+                max_size=p - 2,
+            )
+        )
+        faults = FaultPlan(seed=0)
+        for v in victims:
+            at = data.draw(st.integers(min_value=1, max_value=60)) / 10.0
+            faults = faults.crash(f"h{v}", at=at)
+
+        base = n // p
+        counts = [base] * p
+        counts[-1] += n - base * p
+        rounds = []
+        run, root = run_ft(
+            plat,
+            n,
+            counts,
+            faults=faults,
+            retries=1,
+            planner=self._recording_planner(rounds),
+        )
+        outcome = run.results[root]
+        assert outcome.replans == len(rounds)
+        self._assert_rounds_pass(rounds)
+
+        # Conservation across the whole operation: every item is either
+        # delivered to a survivor or recorded lost with its dead owner.
+        delivered = sum(
+            len(res.chunk)
+            for res in run.results
+            if not isinstance(res, HostFailure)
+        )
+        assert delivered + outcome.lost_items == n
 
 
 class TestTimeoutsAndRetries:

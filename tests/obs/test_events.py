@@ -120,3 +120,88 @@ class TestEngineIntegration:
         assert ("process.end", "victim") not in types
         kill = next(e for e in log if e.type == "process.kill")
         assert "scripted" in kill.data["reason"]
+
+
+class TestTypedSubscription:
+    """Filtered fan-out: precomputed per-type dispatch on the bus."""
+
+    def test_filtered_subscriber_sees_only_its_types(self):
+        from repro.obs.events import EventBus, PROCESS_START, SEND_BEGIN, SEND_END
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, types={SEND_BEGIN, SEND_END})
+        bus.emit(PROCESS_START, 0.0, "p0")
+        bus.emit(SEND_BEGIN, 1.0, "p0", dst="p1", items=3)
+        bus.emit(SEND_END, 2.0, "p0", dst="p1")
+        assert [e.type for e in seen] == [SEND_BEGIN, SEND_END]
+
+    def test_seq_advances_even_without_takers(self):
+        # A filtered subscriber must not renumber what an unfiltered one
+        # sees: seq counts every emit on an active bus.
+        from repro.obs.events import EventBus, PROCESS_START, SEND_BEGIN
+
+        bus = EventBus()
+        spans = []
+        bus.subscribe(spans.append, types={SEND_BEGIN})
+        bus.emit(PROCESS_START, 0.0, "p0")  # no taker; still consumes seq 0
+        ev = bus.emit(SEND_BEGIN, 1.0, "p0", dst="p1", items=1)
+        assert ev.seq == 1
+        assert bus.emitted == 2
+
+    def test_untaken_type_returns_none_without_construction(self):
+        from repro.obs.events import EventBus, PROCESS_START, SEND_BEGIN
+
+        bus = EventBus()
+        bus.subscribe(lambda e: None, types={SEND_BEGIN})
+        assert bus.emit(PROCESS_START, 0.0, "p0") is None
+
+    def test_subscription_order_preserved_across_filters(self):
+        from repro.obs.events import EventBus, SEND_BEGIN
+
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("typed"), types={SEND_BEGIN})
+        bus.subscribe(lambda e: order.append("all"))
+        bus.emit(SEND_BEGIN, 0.0, "p0")
+        assert order == ["typed", "all"]
+
+    def test_unsubscribe_filtered(self):
+        from repro.obs.events import EventBus, SEND_BEGIN
+
+        bus = EventBus()
+        seen = []
+        off = bus.subscribe(seen.append, types={SEND_BEGIN})
+        bus.emit(SEND_BEGIN, 0.0, "p0")
+        off()
+        bus.emit(SEND_BEGIN, 1.0, "p0")
+        assert len(seen) == 1
+        assert not bus.active
+
+    def test_span_tracer_subscribed_filtered_matches_recorder(self):
+        # The Network subscribes its tracer with SPAN_TYPES; the recorded
+        # timeline must be identical to an unfiltered subscription.
+        from repro.obs.tracer import SPAN_TYPES, SpanTracer
+        from repro.obs.events import (
+            EventBus,
+            COMPUTE_BEGIN,
+            COMPUTE_END,
+            PROCESS_START,
+            PROCESS_END,
+        )
+        from repro.simgrid.trace import TraceRecorder
+
+        def drive(bus):
+            bus.emit(PROCESS_START, 0.0, "w")
+            bus.emit(COMPUTE_BEGIN, 0.0, "w", items=10)
+            bus.emit(COMPUTE_END, 2.5, "w")
+            bus.emit(PROCESS_END, 2.5, "w")
+
+        rec_all, rec_typed = TraceRecorder(), TraceRecorder()
+        bus = EventBus()
+        bus.subscribe(SpanTracer(rec_all))
+        drive(bus)
+        bus = EventBus()
+        bus.subscribe(SpanTracer(rec_typed), types=SPAN_TYPES)
+        drive(bus)
+        assert rec_typed.timeline("w") == rec_all.timeline("w")

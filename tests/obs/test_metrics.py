@@ -116,3 +116,85 @@ class TestWiring:
         assert c.value == before + 1
         assert rec.zero_finish() == ["lazy"]
         assert rec.imbalance(include_zero=True) == 1.0
+
+
+class TestCrossProcessAggregation:
+    """kinded_snapshot / state_delta / merge — the worker-to-parent path."""
+
+    def test_delta_captures_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("g").set(7)
+        before = reg.kinded_snapshot()
+        reg.counter("a").inc(2)
+        reg.counter("b").inc()
+        reg.histogram("h", buckets=[10]).observe(4)
+        delta = MetricsRegistry.state_delta(before, reg.kinded_snapshot())
+        assert delta["a"] == ("counter", 2)
+        assert delta["b"] == ("counter", 1)
+        assert "g" not in delta  # unchanged instruments are omitted
+        assert delta["h"][0] == "histogram"
+        assert delta["h"][1]["count"] == 1
+        assert delta["h"][1]["counts"] == [1, 0]
+
+    def test_delta_is_picklable(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        before = reg.kinded_snapshot()
+        reg.counter("x").inc()
+        reg.histogram("h", buckets=[1.0, 2.0]).observe(1.5)
+        delta = MetricsRegistry.state_delta(before, reg.kinded_snapshot())
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+    def test_merge_counters_and_gauges(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)
+        worker.gauge("g").inc(2)
+        parent = MetricsRegistry()
+        parent.counter("c").inc(10)
+        delta = MetricsRegistry.state_delta({}, worker.kinded_snapshot())
+        parent.merge(delta)
+        assert parent.counter("c").value == 15
+        assert parent.gauge("g").value == 2  # created on demand
+
+    def test_merge_histograms(self):
+        worker = MetricsRegistry()
+        h = worker.histogram("h", buckets=[10, 100])
+        h.observe(5)
+        h.observe(50)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=[10, 100]).observe(500)
+        parent.merge(MetricsRegistry.state_delta({}, worker.kinded_snapshot()))
+        merged = parent.histogram("h")
+        assert merged.count == 3
+        assert merged.total == 555.0
+        assert merged.min == 5.0
+        assert merged.max == 500.0
+        assert merged.bucket_counts() == {"le=10": 1, "le=100": 1, "le=+Inf": 1}
+
+    def test_merge_bucket_mismatch_preserves_count(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=[1]).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=[2, 4]).observe(3)
+        parent.merge(MetricsRegistry.state_delta({}, worker.kinded_snapshot()))
+        merged = parent.histogram("h")
+        assert merged.count == 2  # nothing silently dropped
+        assert merged.bucket_counts()["le=+Inf"] == 1
+
+    def test_roundtrip_equals_direct_observation(self):
+        # parent + merge(worker delta) == one registry seeing everything
+        direct = MetricsRegistry()
+        split_parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        for reg in (direct, split_parent):
+            reg.counter("c").inc(2)
+        before = worker.kinded_snapshot()
+        for reg in (direct, worker):
+            reg.counter("c").inc(3)
+            reg.histogram("h", buckets=[10]).observe(7)
+        split_parent.merge(
+            MetricsRegistry.state_delta(before, worker.kinded_snapshot())
+        )
+        assert split_parent.snapshot() == direct.snapshot()
