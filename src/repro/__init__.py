@@ -37,6 +37,7 @@ from .core import (
     CostFunction,
     CostTableCache,
     DistributionResult,
+    IncrementalPlanner,
     LinearCost,
     PiecewiseLinearCost,
     Processor,
@@ -71,6 +72,7 @@ __all__ = [
     "CostFunction",
     "CostTableCache",
     "DistributionResult",
+    "IncrementalPlanner",
     "LinearCost",
     "PiecewiseLinearCost",
     "Processor",

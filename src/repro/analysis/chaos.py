@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.incremental import IncrementalPlanner
 from ..core.solver import plan_scatter
 from ..mpi.collectives import ScatterOutcome, ft_scatterv
 from ..mpi.communicator import RecvTimeout
@@ -68,7 +69,7 @@ class ChaosSweep:
         }
 
 
-def chaos_program(ctx, data, counts, root, timeout, retries, backoff):
+def chaos_program(ctx, data, counts, root, timeout, retries, backoff, planner=None):
     """Scatter → compute → report-back under faults (an SPMD generator).
 
     Every rank receives its (possibly re-planned) share through
@@ -77,9 +78,14 @@ def chaos_program(ctx, data, counts, root, timeout, retries, backoff):
     with a receive timeout, so a worker dying *after* the scatter degrades
     the result instead of hanging the run.  Returns ``(outcome,
     computed)`` on the root and ``(outcome, None)`` on workers.
+
+    ``planner`` is handed through to :func:`~repro.mpi.ft_scatterv`; a
+    long-lived :class:`~repro.core.incremental.IncrementalPlanner` lets
+    every re-plan warm-start from the previous survivor solve.
     """
     outcome: ScatterOutcome = yield from ft_scatterv(
-        ctx, data, counts, root, timeout=timeout, retries=retries, backoff=backoff
+        ctx, data, counts, root, timeout=timeout, retries=retries,
+        backoff=backoff, planner=planner,
     )
     yield from ctx.compute(len(outcome.chunk))
     if ctx.rank != root:
@@ -142,6 +148,7 @@ def chaos_sweep(
     retries: int = 2,
     backoff: float = 0.05,
     algorithm: str = "auto",
+    planner: Optional[IncrementalPlanner] = None,
 ) -> ChaosSweep:
     """Makespan vs. injected failure rate, against the no-failure optimum.
 
@@ -150,6 +157,12 @@ def chaos_sweep(
     program under :func:`chaos_plan` fault plans of increasing rate.
     ``timeout`` defaults to the baseline makespan — long enough that no
     healthy exchange can time out, short enough to bound the degradation.
+
+    One :class:`~repro.core.incremental.IncrementalPlanner` (``planner``,
+    created here by default) is shared across every rate: kill sets are
+    nested, so each rate's survivor problems warm-start from the rows its
+    parent kill set already computed.  Incremental plans are byte-identical
+    to cold solves, so the sweep's curve is unchanged — only faster.
     """
     root = rank_hosts[-1]
     problem = platform.to_problem(n, root, order=list(rank_hosts[:-1]))
@@ -157,6 +170,8 @@ def chaos_sweep(
         plan_scatter(problem, algorithm=algorithm, order_policy=None).counts
     )
     data = range(n)
+    if planner is None:
+        planner = IncrementalPlanner(algorithm=algorithm)
 
     def execute(plan: Optional[FaultPlan], wait: Optional[float]) -> MpiRun:
         return run_spmd(
@@ -169,6 +184,7 @@ def chaos_sweep(
             wait,
             retries,
             backoff,
+            planner,
             faults=plan,
         )
 

@@ -346,7 +346,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .verify import check_golden, fuzz, mutation_smoke_check, update_golden
+    from .verify import (
+        check_golden,
+        fuzz,
+        fuzz_incremental,
+        mutation_smoke_check,
+        update_golden,
+    )
     from .verify.oracles import ORACLES
 
     if args.list_oracles:
@@ -362,11 +368,26 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print("golden snapshots already current")
         return 0
 
-    focused = bool(args.oracle)
+    incremental = args.mode == "incremental"
+    # A focused run (--oracle, or the incremental differential mode) skips
+    # the mutation smoke-check and golden comparison.
+    focused = bool(args.oracle) or incremental
     try:
-        outcome = fuzz(
-            args.seeds, base_seed=args.base_seed, only_oracles=args.oracle or None
-        )
+        if incremental:
+            if args.oracle:
+                print(
+                    "error: --oracle cannot be combined with --mode incremental",
+                    file=sys.stderr,
+                )
+                return 2
+            outcome = fuzz_incremental(args.seeds, base_seed=args.base_seed)
+        else:
+            outcome = fuzz(
+                args.seeds,
+                base_seed=args.base_seed,
+                only_oracles=args.oracle or None,
+                guided=args.guided,
+            )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -386,6 +407,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
     doc = {
         "ok": not failed,
+        "mode": args.mode,
         "fuzz": outcome.to_dict(),
         "mutation": mutation.to_dict() if mutation is not None else None,
         "golden_drift": [d.to_dict() for d in drifts],
@@ -401,7 +423,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     stats = outcome.stats
     print(
-        f"fuzz: {stats.instances} instances, {stats.solver_runs} solver runs, "
+        f"fuzz[{args.mode}]: {stats.instances} instances, "
+        f"{stats.solver_runs} solver runs, "
         f"{len(outcome.counterexamples)} counterexample(s)"
     )
     for oid, count in sorted(stats.oracle_checked.items()):
@@ -605,6 +628,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_vf.add_argument(
         "--base-seed", type=int, default=0,
         help="base seed mixed into every instance seed (default: 0)",
+    )
+    p_vf.add_argument(
+        "--mode", choices=("oracles", "incremental"), default="oracles",
+        help="'oracles' fuzzes every solver through the oracle registry; "
+        "'incremental' drives the IncrementalPlanner through seeded churn "
+        "schedules and byte-compares each warm re-plan against a cold "
+        "solve (default: oracles)",
+    )
+    p_vf.add_argument(
+        "--guided", action="store_true",
+        help="bias instance shapes toward the least-checked oracle "
+        "(coverage-guided; oracles mode only)",
     )
     p_vf.add_argument(
         "--oracle", action="append", metavar="ID",

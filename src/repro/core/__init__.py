@@ -38,6 +38,7 @@ from .costs import (
     cost_tables,
     fit_affine,
     fit_linear,
+    scale_cost,
 )
 from .distribution import (
     DistributionResult,
@@ -80,6 +81,7 @@ from .weighted import (
 from .rounding import check_rounding, round_largest_remainder, round_paper
 from .shared_cache import SharedCostTableCache, stable_cost_key
 from .solver import ALGORITHMS, plan_scatter
+from .incremental import IncrementalPlanner
 
 __all__ = [
     # costs
@@ -100,6 +102,7 @@ __all__ = [
     "fit_linear",
     "fit_affine",
     "as_fraction",
+    "scale_cost",
     # problem
     "Processor",
     "ScatterProblem",
@@ -117,6 +120,7 @@ __all__ = [
     "solve_lp_rational",
     "plan_scatter",
     "ALGORITHMS",
+    "IncrementalPlanner",
     # closed form internals
     "RationalSolution",
     "chain_rate",

@@ -50,6 +50,7 @@ __all__ = [
     "TabulatedCost",
     "PiecewiseLinearCost",
     "CallableCost",
+    "scale_cost",
     "CostTableCache",
     "DEFAULT_COST_CACHE",
     "get_default_cost_cache",
@@ -518,6 +519,39 @@ def _build_table(fn: CostFunction, n: int) -> np.ndarray:
     return np.ascontiguousarray(fn.many(np.arange(n + 1)), dtype=float)
 
 
+def scale_cost(cost: CostFunction, factor: Scalar) -> CostFunction:
+    """Return ``cost`` slowed down by a multiplicative load ``factor``.
+
+    A host at load 1.3 computes 1.3× slower per item; a link whose
+    bandwidth halves doubles its per-item transfer term.  Scaling is exact
+    (the factor converts to a :class:`~fractions.Fraction`) so that two
+    equal factors produce value-equal cost functions — which is what lets
+    caches keyed by cost value (:class:`CostTableCache`,
+    :class:`~repro.core.incremental.IncrementalPlanner` state) recognise a
+    repeated perturbation.
+    """
+    if factor <= 0:
+        raise ValueError(f"load factor must be > 0, got {factor}")
+    f = as_fraction(factor)
+    if f == 1:
+        return cost
+    if isinstance(cost, ZeroCost):
+        return cost
+    if isinstance(cost, LinearCost):
+        return LinearCost(cost.rate * f)
+    if isinstance(cost, AffineCost):
+        return AffineCost(
+            cost.rate * f, cost.intercept * f, zero_is_free=cost.zero_is_free
+        )
+    if isinstance(cost, TabulatedCost):
+        return TabulatedCost([cost.exact(i) * f for i in range(len(cost))])
+    if isinstance(cost, PiecewiseLinearCost):
+        return PiecewiseLinearCost(
+            [(x, t * f) for x, t in zip(cost._xs, cost._ts)]
+        )
+    raise TypeError(f"cannot scale cost function {cost!r}")
+
+
 class CostTableCache:
     """Memoizes ``fn.many(arange(n + 1))`` tables keyed by cost function.
 
@@ -578,6 +612,19 @@ class CostTableCache:
                 "misses": self.misses,
                 "entries": len(self._tables),
             }
+
+    def invalidate(self, fn: CostFunction) -> bool:
+        """Drop the cached table for ``fn``; True if one was present.
+
+        Used by incremental re-planning when a single link's cost function
+        is perturbed: only that function's table is rebuilt, everything
+        else stays warm.  For :class:`SharedCostTableCache` this drops the
+        in-process entry only — shared segments are append-only and keyed
+        by cost *value*, so a perturbed function simply maps to a new
+        segment.
+        """
+        with self._lock:
+            return self._tables.pop(fn, None) is not None
 
     def clear(self) -> None:
         with self._lock:

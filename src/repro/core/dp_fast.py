@@ -68,7 +68,7 @@ prefers ``dp-fast`` for general increasing costs at any ``n``.
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -619,7 +619,29 @@ def _solve_fast(
     *,
     algorithm: str,
     cache: Optional[CostTableCache],
+    warm_rows: Optional[Sequence[np.ndarray]] = None,
+    warm_choices: Optional[Sequence[np.ndarray]] = None,
+    collect: Optional[dict] = None,
 ) -> DistributionResult:
+    """Shared kernel driver.
+
+    ``warm_rows`` is an optional back-to-front stack of already-computed DP
+    rows (``warm_rows[0]`` = the root's base row, ``warm_rows[j]`` = the
+    row for the suffix starting at ``P_{p-1-j}``), each of length
+    ``n + 1``.  Rows depend only on the *suffix* of processors behind
+    them, and every per-``d`` value is a pure function of table entries at
+    indices ``<= d`` — so rows computed for a larger instance, served here
+    as prefix views, are bit-identical to what a cold solve would produce.
+    The first ``len(warm_rows)`` row computations are skipped outright;
+    that is the :class:`repro.core.incremental.IncrementalPlanner` warm
+    path.  ``warm_choices`` carries the matching back-to-front choice rows
+    for ``dp-monotone`` (``len(warm_rows) - 1`` entries).
+
+    ``collect``, when given, receives the solve's reusable state:
+    ``collect["rows"]`` = front-ordered *owned* rows (buffer-backed rows
+    are copied out, warm rows pass through), and for ``dp-monotone``
+    ``collect["choices"]`` = front-ordered choice rows.
+    """
     if not problem.is_increasing:
         raise ValueError(
             f"{algorithm} requires non-decreasing cost functions; "
@@ -638,6 +660,21 @@ def _solve_fast(
     after = cc.stats()
 
     monotone = algorithm == "dp-monotone"
+    warm = list(warm_rows) if warm_rows else []
+    k0 = len(warm)
+    if k0 > p:
+        raise ValueError(f"{k0} warm rows for p={p} processors")
+    if any(row.shape[0] != n + 1 for row in warm):
+        raise ValueError(f"warm rows must have length n + 1 = {n + 1}")
+    if monotone:
+        warm_ch = list(warm_choices) if warm_choices else []
+        if k0 and len(warm_ch) != k0 - 1:
+            raise ValueError(
+                f"{k0} warm rows need {k0 - 1} warm choices, "
+                f"got {len(warm_ch)}"
+            )
+    elif warm_choices:
+        raise ValueError("warm_choices only apply to dp-monotone")
     ws = _get_workspace(n, 0 if monotone else p)
     s = ws.scratch
     rows_buf = None if monotone else ws.rows_buf
@@ -647,12 +684,18 @@ def _solve_fast(
     rows_general = 0
 
     with prof.stage("dp_rows"):
-        if monotone:
+        if k0:
+            rows.extend(warm)
+            if monotone:
+                choice.extend(warm_ch)
+            prev = warm[-1]
+        elif monotone:
             prev = comm[p - 1] + comp[p - 1]  # base row: the root alone
         else:
             prev = np.add(comm[p - 1], comp[p - 1], out=rows_buf[0])
-        rows.append(prev)
-        for k, i in enumerate(range(p - 2, -1, -1), start=1):
+        if not k0:
+            rows.append(prev)
+        for k, i in enumerate(range(p - 2 - max(k0 - 1, 0), -1, -1), start=max(k0, 1)):
             pivots, maxm, j, d_start, degen = _pivot_staircase(
                 procs[i].comp, comp[i], prev, s
             )
@@ -693,6 +736,19 @@ def _solve_fast(
             counts = _reconstruct(choice, n, p)
         else:
             counts = _reconstruct_values(rows, comm, comp, n, p, s)
+    if collect is not None:
+        # Promote the rows to owned, immutable state: buffer-backed rows
+        # live in the thread-local workspace (overwritten by the next
+        # solve), so they are copied out; warm rows were owned already.
+        owned: List[np.ndarray] = []
+        for row in rows:
+            if rows_buf is not None and row.base is rows_buf:
+                row = row.copy()
+                row.setflags(write=False)
+            owned.append(row)
+        collect["rows"] = owned
+        if monotone:
+            collect["choices"] = list(choice)
     prof.note(
         table_entries=2 * p * (n + 1),
         row_bytes=sum(row.nbytes for row in rows),
@@ -705,6 +761,8 @@ def _solve_fast(
             "misses": after["misses"] - before["misses"],
         },
     }
+    if k0:
+        info["warm_rows"] = k0
     profile = prof.as_info()
     if profile is not None:
         info["profile"] = profile
@@ -718,7 +776,11 @@ def _solve_fast(
 
 
 def solve_dp_fast(
-    problem: ScatterProblem, *, cache: Optional[CostTableCache] = None
+    problem: ScatterProblem,
+    *,
+    cache: Optional[CostTableCache] = None,
+    warm_rows: Optional[Sequence[np.ndarray]] = None,
+    collect: Optional[dict] = None,
 ) -> DistributionResult:
     """Algorithm 2's optimum via the vectorized pivot-staircase kernel.
 
@@ -736,18 +798,42 @@ def solve_dp_fast(
         Cost-table cache to use (default: the process-wide
         :data:`~repro.core.costs.DEFAULT_COST_CACHE`).  Per-call hit/miss
         deltas are reported in ``info["cost_cache"]``.
+    warm_rows / collect:
+        Incremental re-planning hooks (see :func:`_solve_fast`): a
+        back-to-front stack of previously computed suffix rows to skip,
+        and an out-dict receiving this solve's owned rows for reuse.
     """
-    return _solve_fast(problem, algorithm="dp-fast", cache=cache)
+    return _solve_fast(
+        problem,
+        algorithm="dp-fast",
+        cache=cache,
+        warm_rows=warm_rows,
+        collect=collect,
+    )
 
 
 def solve_dp_monotone(
-    problem: ScatterProblem, *, cache: Optional[CostTableCache] = None
+    problem: ScatterProblem,
+    *,
+    cache: Optional[CostTableCache] = None,
+    warm_rows: Optional[Sequence[np.ndarray]] = None,
+    warm_choices: Optional[Sequence[np.ndarray]] = None,
+    collect: Optional[dict] = None,
 ) -> DistributionResult:
     """Algorithm 2's optimum via divide-and-conquer monotone argmin.
 
     Same contract and preconditions as :func:`solve_dp_fast`;
     ``O(p · n log n)`` — the below-pivot minimization walks the monotone-
     argmin recursion instead of the offline segment decomposition.  Useful
-    as an independent cross-check of kernel 1.
+    as an independent cross-check of kernel 1.  ``warm_rows`` /
+    ``warm_choices`` / ``collect`` are the incremental re-planning hooks
+    (see :func:`_solve_fast`).
     """
-    return _solve_fast(problem, algorithm="dp-monotone", cache=cache)
+    return _solve_fast(
+        problem,
+        algorithm="dp-monotone",
+        cache=cache,
+        warm_rows=warm_rows,
+        warm_choices=warm_choices,
+        collect=collect,
+    )

@@ -1,0 +1,385 @@
+"""Incremental re-planning: O(change) fault recovery and drift re-solves.
+
+Every consumer that re-plans — :func:`repro.mpi.collectives.ft_scatterv`
+after a rank dies, :class:`repro.monitor.daemon.MonitorDaemon` on load
+drift, :func:`repro.analysis.chaos.chaos_sweep` over nested kill sets —
+today pays a full cold :func:`~repro.core.solver.plan_scatter` solve.  But
+the DP kernels' state is largely reusable across those re-plans:
+
+* **Rows depend only on the processor suffix behind them.**  The Algorithm
+  2 recurrence ``cost(d, i) = min_e Tcomm_i(e) + max(Tcomp_i(e),
+  cost(d - e, i + 1))`` builds rows back-to-front (root last), so the row
+  for the suffix starting at ``P_i`` is a pure function of ``P_i .. P_p``.
+  Removing or perturbing a processor invalidates only the rows *in front
+  of* it; everything behind stays bit-identical.
+* **Row values are prefix-stable in** ``n``.  Every per-``d`` entry reads
+  table entries at indices ``<= d`` only, so a row computed at a larger
+  ``n``, served as a ``[: n' + 1]`` prefix view, is bit-identical to a
+  cold solve at ``n'`` (the dp-fast kernel's analytic-pivot guard takes
+  the same branch either way — both branches produce the same exact
+  pivots).
+* **Cost tables are value-keyed.**  :class:`~repro.core.costs.CostTableCache`
+  already serves smaller-``n`` requests as prefix views and recognises
+  value-equal analytic costs, so a survivor solve re-tabulates nothing.
+
+:class:`IncrementalPlanner` packages those facts behind the same contract
+as :func:`~repro.core.solver.plan_scatter`: **every plan it returns is
+byte-identical to the cold solve of the same problem** (machine-checked by
+the ``incremental-matches-cold`` oracle and the differential fuzzer in
+:mod:`repro.verify.fuzz`).  It is *not* an approximation — warm-starting
+skips work whose result is provably unchanged, never work whose result
+might differ.
+
+What warm-starts, what invalidates
+----------------------------------
+============================  =========================================
+change                        reused state
+============================  =========================================
+processor removed at front    everything (reconstruction walk only)
+processor removed at pos. j   rows behind ``j`` (``p - 1 - j`` rows)
+single link (α, β) perturbed  rows behind the perturbed processor
+``n`` shrinks                 all rows, served as prefix views
+``n`` grows                   cost tables only (rows recomputed — row
+                              extension is not bit-stable, see below)
+platform reordered/replaced   nothing (cold solve, state re-seeded)
+============================  =========================================
+
+``n``-growth cannot reuse rows: the window minimum behind ``prev[d - e]``
+shifts with ``d``, so entries above the old ``n`` need the *whole* prior
+row at indices that were never computed.  Growth therefore re-runs the row
+kernels (cost tables stay warm — the cache re-tabulates once at the new
+``n`` and keeps serving prefix views).
+
+``dp-monotone`` additionally reuses its choice matrices, but only at the
+*same* ``n``: the divide-and-conquer argmin tie-breaks depend on the
+recursion tree, which depends on ``n``, so choice rows are not
+prefix-stable (values are; choices are not).  The planner enforces this.
+
+Routing mirrors :func:`~repro.core.solver.plan_scatter` exactly:
+linear → closed form, affine → LP heuristic, increasing → dp-fast (the
+warm path), else dp-basic below ``exact_threshold``.  Non-DP routes are
+already near-instant and delegate to the cold facade unchanged.
+
+Metrics (``repro.obs.metrics.METRICS``):
+
+* ``core.incremental.plans`` — total plans served;
+* ``core.incremental.warm_plans`` / ``cold_plans`` — plans that reused at
+  least one row vs. none (includes delegated non-DP routes);
+* ``core.incremental.warm_rows`` / ``rows_computed`` — row-level ledger:
+  DP rows reused vs. recomputed across all plans;
+* ``core.incremental.state_evictions`` — cached solve states dropped by
+  the ``keep_states`` bound.
+
+Stage spans (``incremental_match`` / ``incremental_solve``) land in
+``result.info["incremental"]["profile"]`` when profiling is enabled, next
+to the kernel's own ``cost_tables`` / ``dp_rows`` / ``reconstruct``
+stages.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+from ..obs.profiler import stage_profile
+from .costs import CostFunction, CostTableCache
+from .distribution import DistributionResult, ScatterProblem
+from .dp_fast import solve_dp_fast, solve_dp_monotone
+from .ordering import apply_policy
+from .solver import ALGORITHMS, plan_scatter
+
+__all__ = ["IncrementalPlanner"]
+
+#: Algorithms whose kernels accept warm rows.
+_WARM_ALGORITHMS = ("dp-fast", "dp-monotone")
+
+#: Value identity of a problem's cost structure, front-ordered.
+_Key = Tuple[Tuple[CostFunction, CostFunction], ...]
+
+
+def _problem_key(problem: ScatterProblem) -> _Key:
+    """Cost-function pairs, *not* processor names.
+
+    ``ft_scatterv`` survivor problems rename processors to rank strings;
+    what determines the DP rows is the cost structure alone, so matching
+    ignores names.  Analytic cost classes compare by value (a re-created
+    ``LinearCost(0.01)`` still matches); tabulated/callable costs compare
+    by identity, which survivor problems preserve (they reuse the original
+    cost objects) and perturbations break (a scaled cost is a new object)
+    — exactly the invalidation we want, conservatively.
+    """
+    return tuple((proc.comm, proc.comp) for proc in problem.processors)
+
+
+def _suffix_match(key: _Key, state_key: _Key) -> int:
+    """Length of the longest common *trailing* run of cost pairs."""
+    m = 0
+    for ours, theirs in zip(reversed(key), reversed(state_key)):
+        if ours[0] == theirs[0] and ours[1] == theirs[1]:
+            m += 1
+        else:
+            break
+    return m
+
+
+@dataclass
+class _SolveState:
+    """Owned, immutable tables from one DP solve, keyed for suffix reuse."""
+
+    key: _Key
+    n: int
+    algorithm: str
+    #: front-ordered: ``rows[i]`` = DP values for the suffix starting at
+    #: ``P_i``; ``rows[p - 1]`` is the root's base row.
+    rows: List[np.ndarray] = field(repr=False)
+    #: dp-monotone only, front-ordered, ``p - 1`` entries.
+    choices: Optional[List[np.ndarray]] = field(default=None, repr=False)
+
+    @property
+    def p(self) -> int:
+        return len(self.key)
+
+
+class IncrementalPlanner:
+    """A drop-in :func:`~repro.core.solver.plan_scatter` that warm-starts.
+
+    Instances are callables with the ``ft_scatterv`` planner-hook
+    signature (``problem -> DistributionResult``), so one planner can be
+    threaded through a whole re-plan cascade, a monitor daemon, or a chaos
+    sweep and accumulate reusable state across calls.
+
+    Parameters
+    ----------
+    algorithm:
+        Same contract as :func:`plan_scatter`.  Warm-starting applies to
+        the ``dp-fast`` / ``dp-monotone`` routes (which ``"auto"`` picks
+        for general increasing costs); every other route delegates to the
+        cold facade — those solvers are already O(p)–O(p log p).
+    order_policy:
+        Ordering applied before matching/solving.  Defaults to ``None``
+        (keep the caller's order) because re-planning consumers pin the
+        processor order to rank order; pass a policy only for standalone
+        use.
+    exact_threshold:
+        As in :func:`plan_scatter`.
+    cache:
+        Cost-table cache for the DP routes (a
+        :class:`~repro.core.shared_cache.SharedCostTableCache` plugs in
+        here to share tables across processes).  Defaults to a private
+        :class:`~repro.core.costs.CostTableCache`.
+    keep_states:
+        How many solve states to retain.  The state with the largest
+        ``(n, p)`` is pinned (it warm-starts every nested kill set /
+        shrunk re-plan); the rest are kept most-recent-first.  Each state
+        holds ``p`` float64 rows of length ``n + 1`` — bound this to bound
+        memory.
+    """
+
+    def __init__(
+        self,
+        *,
+        algorithm: str = "auto",
+        order_policy: Optional[str] = None,
+        exact_threshold: int = 5_000,
+        cache: Optional[CostTableCache] = None,
+        keep_states: int = 2,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; know {ALGORITHMS}"
+            )
+        if keep_states < 1:
+            raise ValueError("keep_states must be >= 1")
+        self.algorithm = algorithm
+        self.order_policy = order_policy
+        self.exact_threshold = int(exact_threshold)
+        self.cache = cache if cache is not None else CostTableCache()
+        self.keep_states = int(keep_states)
+        self._states: List[_SolveState] = []
+        self._lock = threading.Lock()
+        self.plans = 0
+        self.warm_plans = 0
+        self.rows_reused = 0
+        self.rows_computed = 0
+
+    # -- routing ---------------------------------------------------------
+    def _route(self, problem: ScatterProblem) -> str:
+        """The algorithm :func:`plan_scatter` would run for ``problem``."""
+        if self.algorithm != "auto":
+            return self.algorithm
+        if problem.is_linear:
+            return "closed-form"
+        if problem.is_affine:
+            return "lp-heuristic"
+        if problem.is_increasing:
+            return "dp-fast"
+        if problem.n <= self.exact_threshold:
+            return "dp-basic"
+        return "auto"  # plan_scatter raises its canonical error
+
+    # -- state -----------------------------------------------------------
+    def _best_state(
+        self, key: _Key, n: int, algorithm: str
+    ) -> Tuple[Optional[_SolveState], int]:
+        """Most-reusable cached state and its matched suffix depth."""
+        best: Optional[_SolveState] = None
+        best_m = 0
+        with self._lock:
+            states = list(self._states)
+        for state in reversed(states):  # most recent wins ties
+            if state.algorithm != algorithm:
+                continue
+            # dp-fast rows are prefix-stable; dp-monotone choices are not.
+            if algorithm == "dp-monotone":
+                if state.n != n:
+                    continue
+            elif state.n < n:
+                continue
+            m = _suffix_match(key, state.key)
+            if m > best_m:
+                best, best_m = state, m
+        return best, best_m
+
+    def _store(self, state: _SolveState) -> None:
+        with self._lock:
+            # Replace a same-shape state instead of churning the list.
+            for i, old in enumerate(self._states):
+                if (
+                    old.algorithm == state.algorithm
+                    and old.n == state.n
+                    and old.key == state.key
+                ):
+                    self._states[i] = state
+                    return
+            self._states.append(state)
+            while len(self._states) > self.keep_states:
+                # Pin the largest state (best warm source for nested
+                # kill sets); evict the oldest of the rest.
+                pinned = max(
+                    range(len(self._states)),
+                    key=lambda i: (self._states[i].n, self._states[i].p),
+                )
+                victim = 0 if pinned != 0 else 1
+                del self._states[victim]
+                METRICS.counter("core.incremental.state_evictions").inc()
+
+    def reset(self) -> None:
+        """Drop all cached solve states (cost tables stay warm)."""
+        with self._lock:
+            self._states.clear()
+
+    def invalidate_cost(self, fn: CostFunction) -> bool:
+        """Evict one cost function's table from the planner's cache."""
+        return self.cache.invalidate(fn)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "plans": self.plans,
+                "warm_plans": self.warm_plans,
+                "rows_reused": self.rows_reused,
+                "rows_computed": self.rows_computed,
+                "states": len(self._states),
+            }
+
+    # -- planning --------------------------------------------------------
+    def plan(self, problem: ScatterProblem) -> DistributionResult:
+        """Solve ``problem``, byte-identical to the cold ``plan_scatter``."""
+        METRICS.counter("core.incremental.plans").inc()
+        with self._lock:
+            self.plans += 1
+        problem.check_valid()
+        if self.order_policy is not None:
+            problem = apply_policy(problem, self.order_policy)
+        route = self._route(problem)
+        if route not in _WARM_ALGORITHMS:
+            METRICS.counter("core.incremental.cold_plans").inc()
+            return plan_scatter(
+                problem,
+                algorithm=self.algorithm,
+                order_policy=None,
+                exact_threshold=self.exact_threshold,
+            )
+        return self._plan_dp(problem, route)
+
+    __call__ = plan
+
+    def _plan_dp(
+        self, problem: ScatterProblem, route: str
+    ) -> DistributionResult:
+        p, n = problem.p, problem.n
+        prof = stage_profile()
+        key = _problem_key(problem)
+        with prof.stage("incremental_match"):
+            state, depth = self._best_state(key, n, route)
+        warm_rows = None
+        warm_choices = None
+        if state is not None and depth:
+            sp = state.p
+            warm_rows = [
+                state.rows[i][: n + 1]
+                for i in range(sp - 1, sp - 1 - depth, -1)
+            ]
+            if route == "dp-monotone" and state.choices is not None:
+                warm_choices = [
+                    state.choices[i]
+                    for i in range(sp - 2, sp - 1 - depth, -1)
+                ]
+        collected: dict = {}
+        with prof.stage("incremental_solve"):
+            if route == "dp-monotone":
+                result = solve_dp_monotone(
+                    problem,
+                    cache=self.cache,
+                    warm_rows=warm_rows,
+                    warm_choices=warm_choices,
+                    collect=collected,
+                )
+            else:
+                result = solve_dp_fast(
+                    problem,
+                    cache=self.cache,
+                    warm_rows=warm_rows,
+                    collect=collected,
+                )
+        self._store(
+            _SolveState(
+                key=key,
+                n=n,
+                algorithm=route,
+                rows=collected["rows"],
+                choices=collected.get("choices"),
+            )
+        )
+        reused = depth if warm_rows is not None else 0
+        computed = p - reused
+        METRICS.counter("core.incremental.warm_rows").inc(reused)
+        METRICS.counter("core.incremental.rows_computed").inc(computed)
+        METRICS.counter(
+            "core.incremental.warm_plans"
+            if reused
+            else "core.incremental.cold_plans"
+        ).inc()
+        with self._lock:
+            if reused:
+                self.warm_plans += 1
+            self.rows_reused += reused
+            self.rows_computed += computed
+        inc_info: dict = {"warm_rows": reused, "rows_computed": computed}
+        profile = prof.as_info()
+        if profile is not None:
+            inc_info["profile"] = profile
+        result.info["incremental"] = inc_info
+        return result
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"IncrementalPlanner(algorithm={self.algorithm!r}, "
+            f"plans={s['plans']}, warm={s['warm_plans']}, "
+            f"rows_reused={s['rows_reused']}, states={s['states']})"
+        )

@@ -17,6 +17,7 @@ from .forecast import (
     SlidingWindowMean,
     SlidingWindowMedian,
     default_portfolio,
+    quantize_load,
 )
 from .service import LoadMonitor, Observation, plan_with_monitor, scale_cost
 
@@ -34,5 +35,6 @@ __all__ = [
     "FailureDetector",
     "Observation",
     "plan_with_monitor",
+    "quantize_load",
     "scale_cost",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..core.incremental import IncrementalPlanner
 from ..simgrid.engine import Process, Simulator, WaitFor
 from ..simgrid.faults import FaultPlan
 from ..simgrid.platform import Platform
@@ -50,6 +51,7 @@ class MonitorDaemon:
         *,
         faults: Optional[FaultPlan] = None,
         detector: Optional[FailureDetector] = None,
+        planner: Optional[IncrementalPlanner] = None,
     ):
         if period <= 0:
             raise ValueError("sampling period must be > 0")
@@ -58,10 +60,38 @@ class MonitorDaemon:
         self.period = period
         self.faults = faults
         self.detector = detector
+        #: Long-lived planner shared by every :meth:`replan` call, so each
+        #: drift re-solve warm-starts from the previous one's DP state.
+        self.planner = planner if planner is not None else IncrementalPlanner()
         self.samples_taken = 0
         self._sim: Optional[Simulator] = None
         self._next = None
         self._stopped = False
+
+    def replan(
+        self,
+        rank_hosts: Sequence[str],
+        n: int,
+        *,
+        load_quantum=None,
+    ):
+        """Forecast-scaled counts for the next scatter, warm-started.
+
+        Convenience wrapper over
+        :func:`~repro.monitor.service.plan_with_monitor` using this
+        daemon's accumulated observations and its incremental planner.
+        Returns ``(counts in rank order, DistributionResult)``.
+        """
+        from .service import plan_with_monitor
+
+        return plan_with_monitor(
+            self.platform,
+            rank_hosts,
+            n,
+            self.monitor,
+            planner=self.planner,
+            load_quantum=load_quantum,
+        )
 
     # -- lifecycle --------------------------------------------------------
     def attach(self, sim: Simulator, rank_procs: Sequence[Process]) -> None:

@@ -32,6 +32,17 @@ class FailureDetector:
     ----------
     suspect_threshold:
         Silence (simulated seconds) after which a host is suspected dead.
+    recovery_margin:
+        Hysteresis for suspect→alive: a suspected host only clears once
+        its silence drops *below* ``suspect_threshold - recovery_margin``
+        (or via ``recovery_heartbeats``).  Without it, a host hovering
+        right at the threshold flaps suspect↔alive on every query,
+        double-counting both transition counters.  ``0.0`` (default)
+        reproduces the margin-free behaviour exactly.
+    recovery_heartbeats:
+        Alternative recovery gate: ``>= k`` *fresh* heartbeats received
+        since the host became suspected also clear the suspicion (even
+        inside the margin band).  ``0`` (default) disables the gate.
     last_heard:
         Most recent heartbeat time per host.
     suspect_transitions:
@@ -41,18 +52,37 @@ class FailureDetector:
     suspect_recoveries:
         Times a suspected host came back (suspect→alive), mirrored to
         ``monitor.detector.suspect_recoveries``.
+    flaps:
+        Suspect transitions landing within one ``suspect_threshold`` of
+        that host's previous recovery — the oscillation the margin is
+        there to damp.  Mirrored to ``monitor.detector.flaps``.
     """
 
     suspect_threshold: float
+    recovery_margin: float = 0.0
+    recovery_heartbeats: int = 0
     last_heard: Dict[str, float] = field(default_factory=dict)
     suspect_transitions: int = field(default=0, init=False)
     suspect_recoveries: int = field(default=0, init=False)
+    flaps: int = field(default=0, init=False)
     _suspected: Dict[str, bool] = field(default_factory=dict, init=False, repr=False)
+    _fresh_beats: Dict[str, int] = field(default_factory=dict, init=False, repr=False)
+    _last_recovery: Dict[str, float] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.suspect_threshold <= 0:
             raise ValueError(
                 f"suspect_threshold must be > 0, got {self.suspect_threshold}"
+            )
+        if not (0.0 <= self.recovery_margin < self.suspect_threshold):
+            raise ValueError(
+                f"recovery_margin must be in [0, suspect_threshold), got "
+                f"{self.recovery_margin}"
+            )
+        if self.recovery_heartbeats < 0:
+            raise ValueError(
+                f"recovery_heartbeats must be >= 0, got "
+                f"{self.recovery_heartbeats}"
             )
 
     def heartbeat(self, host: str, time: float) -> None:
@@ -60,6 +90,8 @@ class FailureDetector:
         prev = self.last_heard.get(host)
         if prev is None or time > prev:
             self.last_heard[host] = time
+            if self._suspected.get(host):
+                self._fresh_beats[host] = self._fresh_beats.get(host, 0) + 1
 
     def silence(self, host: str, now: float) -> Optional[float]:
         """Seconds since the last heartbeat, or ``None`` if never heard."""
@@ -80,12 +112,34 @@ class FailureDetector:
         suspect = quiet is not None and quiet > self.suspect_threshold
         if quiet is not None:
             was = self._suspected.get(host, False)
+            if was and not suspect:
+                # Hysteresis: stay suspected inside the margin band unless
+                # enough fresh heartbeats vouch for the host.
+                recovered = (
+                    quiet <= self.suspect_threshold - self.recovery_margin
+                ) or (
+                    self.recovery_heartbeats > 0
+                    and self._fresh_beats.get(host, 0)
+                    >= self.recovery_heartbeats
+                )
+                if not recovered:
+                    suspect = True
             if suspect and not was:
                 self.suspect_transitions += 1
                 METRICS.counter("monitor.detector.suspect_transitions").inc()
+                self._fresh_beats[host] = 0
+                last_rec = self._last_recovery.get(host)
+                if (
+                    last_rec is not None
+                    and now - last_rec <= self.suspect_threshold
+                ):
+                    self.flaps += 1
+                    METRICS.counter("monitor.detector.flaps").inc()
             elif was and not suspect:
                 self.suspect_recoveries += 1
                 METRICS.counter("monitor.detector.suspect_recoveries").inc()
+                self._fresh_beats[host] = 0
+                self._last_recovery[host] = now
             self._suspected[host] = suspect
         return suspect
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import statistics
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from fractions import Fraction
+from typing import Deque, List, Optional, Sequence, Union
 
 __all__ = [
     "Forecaster",
@@ -35,7 +36,32 @@ __all__ = [
     "ExponentialSmoothing",
     "AdaptiveBest",
     "default_portfolio",
+    "quantize_load",
 ]
+
+
+def quantize_load(
+    load: float, quantum: Union[int, float, Fraction] = Fraction(1, 16)
+) -> Fraction:
+    """Snap a forecast load factor to a ``quantum`` grid (min 1 quantum).
+
+    Raw forecasts move a little on every tick, so the scaled cost
+    functions they produce are value-unequal between consecutive re-solves
+    — which defeats every value-keyed reuse layer
+    (:class:`~repro.core.costs.CostTableCache`,
+    :class:`~repro.core.incremental.IncrementalPlanner` warm state).
+    Quantizing to an exact-Fraction grid makes consecutive forecasts of a
+    stable host *identical*, so drift re-solves only rebuild rows for
+    hosts whose load actually moved by at least one quantum.  Opt-in via
+    ``plan_with_monitor(..., load_quantum=...)``; the returned plan is
+    exact-optimal for the quantized loads (a modelling choice, like the
+    forecast itself).
+    """
+    q = Fraction(quantum)
+    if q <= 0:
+        raise ValueError(f"quantum must be > 0, got {quantum}")
+    steps = round(Fraction(load) / q)
+    return max(q, q * steps)
 
 
 class Forecaster:

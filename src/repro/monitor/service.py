@@ -20,45 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.costs import (
-    AffineCost,
-    CostFunction,
-    LinearCost,
-    PiecewiseLinearCost,
-    TabulatedCost,
-    ZeroCost,
-    as_fraction,
-)
+from ..core.costs import scale_cost
 from ..core.distribution import DistributionResult, Processor, ScatterProblem
 from ..core.heuristic import solve_heuristic
 from ..simgrid.platform import Platform
-from .forecast import AdaptiveBest, Forecaster
+from .forecast import AdaptiveBest, Forecaster, quantize_load
 
 __all__ = ["scale_cost", "Observation", "LoadMonitor", "plan_with_monitor"]
-
-
-def scale_cost(cost: CostFunction, factor: float) -> CostFunction:
-    """Return ``cost`` slowed down by a multiplicative load ``factor``."""
-    if factor <= 0:
-        raise ValueError(f"load factor must be > 0, got {factor}")
-    f = as_fraction(factor)
-    if f == 1:
-        return cost
-    if isinstance(cost, ZeroCost):
-        return cost
-    if isinstance(cost, LinearCost):
-        return LinearCost(cost.rate * f)
-    if isinstance(cost, AffineCost):
-        return AffineCost(
-            cost.rate * f, cost.intercept * f, zero_is_free=cost.zero_is_free
-        )
-    if isinstance(cost, TabulatedCost):
-        return TabulatedCost([cost.exact(i) * f for i in range(len(cost))])
-    if isinstance(cost, PiecewiseLinearCost):
-        return PiecewiseLinearCost(
-            [(x, t * f) for x, t in zip(cost._xs, cost._ts)]
-        )
-    raise TypeError(f"cannot scale cost function {cost!r}")
 
 
 @dataclass(frozen=True)
@@ -120,19 +88,33 @@ class LoadMonitor:
     def forecasts(self, hosts: Sequence[str]) -> Dict[str, float]:
         return {h: self.forecast(h) for h in hosts}
 
-    def scaled_problem(self, problem: ScatterProblem) -> ScatterProblem:
+    def scaled_problem(
+        self, problem: ScatterProblem, *, load_quantum=None
+    ) -> ScatterProblem:
         """Apply per-processor forecasts to a problem's compute costs.
 
         Communication costs are left untouched (the paper's monitor note is
         about grid characteristics generally; this implementation monitors
         CPU load — link monitoring would slot in identically via a second
         observation stream).
+
+        ``load_quantum`` snaps each forecast to an exact grid via
+        :func:`~repro.monitor.forecast.quantize_load` so that consecutive
+        re-solves of a stable host produce value-equal scaled costs —
+        the prerequisite for :class:`~repro.core.incremental.IncrementalPlanner`
+        warm state and cost-table reuse across drift re-solves.
         """
+        factors = {}
+        for proc in problem.processors:
+            f = self.forecast(proc.name)
+            if load_quantum is not None:
+                f = quantize_load(f, load_quantum)
+            factors[proc.name] = f
         procs = [
             Processor(
                 proc.name,
                 proc.comm,
-                scale_cost(proc.comp, self.forecast(proc.name)),
+                scale_cost(proc.comp, factors[proc.name]),
             )
             for proc in problem.processors
         ]
@@ -146,13 +128,22 @@ def plan_with_monitor(
     monitor: LoadMonitor,
     *,
     solver: Callable[[ScatterProblem], DistributionResult] = solve_heuristic,
+    planner: Optional[Callable[[ScatterProblem], DistributionResult]] = None,
+    load_quantum=None,
 ) -> Tuple[Tuple[int, ...], DistributionResult]:
     """Balanced counts for ``rank_hosts`` using the monitor's forecasts.
 
     Returns ``(counts in rank order, solver result on the scaled problem)``.
+
+    ``planner`` (typically a long-lived
+    :class:`~repro.core.incremental.IncrementalPlanner`) overrides
+    ``solver`` and accumulates warm state across calls, so each drift
+    re-solve only recomputes the rows of hosts whose forecast changed;
+    pair it with ``load_quantum`` so stable hosts' scaled costs stay
+    value-equal between ticks.
     """
     root = rank_hosts[-1]
     problem = platform.to_problem(n, root, order=list(rank_hosts[:-1]))
-    scaled = monitor.scaled_problem(problem)
-    result = solver(scaled)
+    scaled = monitor.scaled_problem(problem, load_quantum=load_quantum)
+    result = planner(scaled) if planner is not None else solver(scaled)
     return result.counts, result

@@ -131,10 +131,12 @@ class ScatterOutcome:
     replans:
         Number of times the root re-ran the planner on a survivor subset.
     lost_items:
-        Items that had been delivered to a rank that subsequently died.
-        They are reclaimed and redistributed when the death is detected
-        during chunk delivery; a death detected only at completion leaves
-        them genuinely lost (recorded here either way).
+        Items genuinely lost to a death detected too late to redistribute
+        (during the final completion round, or when the re-plan budget is
+        exhausted).  Items delivered to a rank whose death is detected
+        *during* chunk delivery are reclaimed and redistributed instead —
+        they count toward ``redistributed_items``, not here, so
+        ``delivered + lost_items == n`` always holds.
     redistributed_items:
         Total items re-assigned to survivors across re-planning rounds.
     """
@@ -199,6 +201,8 @@ def ft_scatterv(
     backoff: float = 0.05,
     algorithm: str = "auto",
     planner: Optional[Callable[[ScatterProblem], DistributionResult]] = None,
+    max_replans: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> Generator:
     """Fault-tolerant ``MPI_Scatterv`` with survivor re-planning.
 
@@ -213,9 +217,7 @@ def ft_scatterv(
     * reclaims every item belonging to a dead rank — both the unsent
       remainder and chunks already delivered to it (the root still holds
       the source data) — and **re-runs the planner on the survivor
-      subset** (:func:`repro.core.plan_scatter`, which transparently
-      reuses the process-wide :class:`~repro.core.costs.CostTableCache`
-      for DP cost tables) to redistribute them;
+      subset** to redistribute them;
     * finishes each surviving rank with a ``done`` control message
       carrying the final :class:`ScatterOutcome` metadata.
 
@@ -230,12 +232,25 @@ def ft_scatterv(
     ``lost_items`` but no longer redistributed (survivors may already
     have been released).
 
-    ``planner`` overrides the default ``plan_scatter(problem,
-    algorithm=algorithm, order_policy=None)`` call for re-planning.
+    ``planner`` overrides the re-planning call; it defaults to an
+    :class:`~repro.core.incremental.IncrementalPlanner` created for this
+    operation, so consecutive failure cascades warm-start each survivor
+    solve from the previous round's DP rows (byte-identical plans, O(change)
+    latency).  Pass a long-lived planner to also warm-start *across*
+    operations on the same platform.
+
+    ``max_replans`` bounds the re-plan cascade and ``deadline`` (absolute
+    simulated time) bounds its duration: once either budget is exhausted,
+    reclaimed items are no longer redistributed — they are counted in
+    ``lost_items``, the outcome degrades, and
+    ``mpi.ft_scatterv.replan_budget_exhausted`` fires.  Both default to
+    unbounded, preserving the redistribute-everything behaviour.
     """
-    from ..core.solver import plan_scatter
+    from ..core.incremental import IncrementalPlanner
 
     root = _check_root(ctx, root)
+    if max_replans is not None and max_replans < 0:
+        raise MpiError(f"max_replans must be >= 0, got {max_replans}")
 
     if ctx.rank != root:
         # Between two messages to the same rank the root may serve every
@@ -304,7 +319,12 @@ def ft_scatterv(
                 except LinkFailure:
                     retries_total += retries
                     dead.add(r)
-                    lost += sum(len(c) for c in delivered[r])
+                    # Items already delivered to the dead rank are *not*
+                    # lost: the root still holds the source data, so they
+                    # re-enter the reclaim pool and are redistributed (or
+                    # absorbed by the root).  Only a death detected in the
+                    # completion round — too late to redistribute — counts
+                    # toward ``lost_items``.
                     reclaim.extend(delivered[r])
                     delivered[r] = []
                     reclaim.extend(queue[i:])
@@ -314,21 +334,31 @@ def ft_scatterv(
         pending = {}
         if reclaim:
             items = _concat(reclaim)
-            redistributed += len(items)
             survivors_nonroot = [
                 r for r in range(ctx.size) if r != root and r not in dead
             ]
+            exhausted = survivors_nonroot and (
+                (max_replans is not None and replans >= max_replans)
+                or (deadline is not None and ctx.now >= deadline)
+            )
+            if exhausted:
+                # Budget spent: degrade instead of re-planning forever.
+                # The items stay undelivered, so they are genuinely lost
+                # (``delivered + lost_items == n`` still holds).
+                lost += len(items)
+                METRICS.counter(
+                    "mpi.ft_scatterv.replan_budget_exhausted"
+                ).inc()
+                continue
+            redistributed += len(items)
             if survivors_nonroot:
                 replans += 1
                 problem = _survivor_problem(
                     ctx, survivors_nonroot, root, len(items)
                 )
                 if planner is None:
-                    result = plan_scatter(
-                        problem, algorithm=algorithm, order_policy=None
-                    )
-                else:
-                    result = planner(problem)
+                    planner = IncrementalPlanner(algorithm=algorithm)
+                result = planner(problem)
                 share = {
                     int(p.name): c
                     for p, c in zip(result.problem.processors, result.counts)

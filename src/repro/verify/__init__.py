@@ -36,6 +36,7 @@ from .fuzz import (
     MutationCheckResult,
     SHAPES,
     fuzz,
+    fuzz_incremental,
     generate_instance,
     mutation_smoke_check,
     problem_from_dict,
@@ -66,6 +67,7 @@ __all__ = [
     "FuzzOutcome",
     "MutationCheckResult",
     "fuzz",
+    "fuzz_incremental",
     "generate_instance",
     "mutation_smoke_check",
     "problem_to_dict",

@@ -11,6 +11,15 @@ to the results.  Any violation or solver crash is *shrunk* to a minimal
 counterexample: drop processors, then reduce ``n``, then simplify
 coefficient magnitudes, re-checking failure at every step.
 
+Two further modes ride on the same machinery.  ``fuzz(guided=True)``
+swaps the static shape rotation for a coverage-guided selector that
+biases generation toward shapes observed to fire the least-checked
+oracle (ε-greedy, still deterministic per ``base_seed``).
+:func:`fuzz_incremental` drives an
+:class:`~repro.core.incremental.IncrementalPlanner` through seeded churn
+schedules (kills / exact cost perturbations / workload resizes) and
+requires every warm re-plan to byte-match an independent cold solve.
+
 The harness checks itself: :func:`mutation_smoke_check` plants a known
 off-by-one in a copy of the §3.3 rounding scheme (all leftover units
 dumped on the first processor, breaking the ``|n'_i − n_i| < 1``
@@ -32,15 +41,24 @@ from ..core.costs import (
     PiecewiseLinearCost,
     TabulatedCost,
     ZeroCost,
+    scale_cost,
 )
 from ..core.distribution import DistributionResult, Processor, ScatterProblem
 from ..core.heuristic import solve_lp_rational
+from ..core.incremental import IncrementalPlanner
+from ..core.solver import plan_scatter
 from ..workloads.generators import (
     random_affine_problem,
     random_linear_problem,
     random_tabulated_problem,
 )
-from .oracles import OracleReport, oracle_ids, run_oracles, solve_all
+from .oracles import (
+    ORACLES,
+    OracleReport,
+    oracle_ids,
+    run_oracles,
+    solve_all,
+)
 
 __all__ = [
     "SHAPES",
@@ -51,6 +69,7 @@ __all__ = [
     "MutationCheckResult",
     "generate_instance",
     "fuzz",
+    "fuzz_incremental",
     "shrink",
     "mutation_smoke_check",
     "problem_to_dict",
@@ -498,6 +517,44 @@ def _instance_failures(
     return failures
 
 
+#: Exploration rate of the coverage-guided shape selector (``guided=True``).
+GUIDED_EPSILON = 0.2
+
+
+def _guided_shape(
+    rng: random.Random,
+    candidates: Sequence[str],
+    stats: FuzzStats,
+    affinity: Dict[Tuple[str, str], int],
+) -> str:
+    """Pick the next shape, biased toward the least-checked oracle.
+
+    The coverage signal is ``stats.oracle_checked`` (how often each oracle
+    actually *applied*); ``affinity`` is the online estimate of how likely
+    each shape is to make a given oracle applicable.  ε-greedy: with
+    probability :data:`GUIDED_EPSILON` (or while a shape is still
+    unexplored) the selector draws uniformly, otherwise it exploits the
+    shape with the highest observed affinity for the coverage hole.
+    Deterministic given the seeded ``rng``.
+    """
+    for shape in candidates:
+        if stats.shapes.get(shape, 0) == 0:
+            return shape  # explore every shape at least once
+    if rng.random() < GUIDED_EPSILON:
+        return candidates[rng.randrange(len(candidates))]
+    # The least-checked oracle is the coverage hole to chase (ties break
+    # by id, so the target — hence the run — is deterministic).
+    target = min(
+        oracle_ids(), key=lambda oid: (stats.oracle_checked.get(oid, 0), oid)
+    )
+    best, best_score = candidates[0], -1.0
+    for shape in candidates:
+        score = affinity.get((shape, target), 0) / stats.shapes[shape]
+        if score > best_score:
+            best, best_score = shape, score
+    return best
+
+
 def fuzz(
     seeds: int = 50,
     *,
@@ -506,6 +563,7 @@ def fuzz(
     only_oracles: Optional[Sequence[str]] = None,
     max_dp_n: int = FUZZ_MAX_DP_N,
     shrink_failures: bool = True,
+    guided: bool = False,
 ) -> FuzzOutcome:
     """Run the differential fuzz loop over ``seeds`` seeded instances.
 
@@ -514,6 +572,11 @@ def fuzz(
     runs every applicable solver, and applies the oracle registry
     (``only_oracles`` restricts it).  Failures are shrunk to minimal
     counterexamples unless ``shrink_failures=False``.
+
+    ``guided=True`` replaces the static rotation with the coverage-guided
+    selector (:func:`_guided_shape`): instance generation is biased toward
+    shapes observed to fire the currently least-checked oracle, with
+    ε-greedy exploration.  Still fully deterministic given ``base_seed``.
     """
     if only_oracles is not None:
         unknown = [oid for oid in only_oracles if oid not in oracle_ids()]
@@ -523,17 +586,29 @@ def fuzz(
     for shape in schedule:
         if shape not in SHAPES:
             raise ValueError(f"unknown instance shape {shape!r}; know {SHAPES}")
+    # Unique candidate pool for the guided selector, first-seen order.
+    candidates = tuple(dict.fromkeys(schedule))
+    guide_rng = _instance_rng(base_seed, 0x6D1DE5)
+    affinity: Dict[Tuple[str, str], int] = {}
 
     stats = FuzzStats()
     counterexamples: List[Counterexample] = []
     for seed in range(seeds):
-        shape = schedule[seed % len(schedule)]
+        if guided:
+            shape = _guided_shape(guide_rng, candidates, stats, affinity)
+        else:
+            shape = schedule[seed % len(schedule)]
         problem = generate_instance(shape, _instance_rng(base_seed, seed))
         stats.instances += 1
         stats.shapes[shape] = stats.shapes.get(shape, 0) + 1
+        checked_before = dict(stats.oracle_checked) if guided else {}
         failures = _instance_failures(
             problem, only=only_oracles, max_dp_n=max_dp_n, stats=stats
         )
+        if guided:
+            for oid, count in stats.oracle_checked.items():
+                if count > checked_before.get(oid, 0):
+                    affinity[(shape, oid)] = affinity.get((shape, oid), 0) + 1
         if not failures:
             continue
         shrunk = problem
@@ -553,6 +628,204 @@ def fuzz(
                 problem=problem_to_dict(shrunk),
                 original_p=problem.p,
                 original_n=problem.n,
+                shrunk_p=shrunk.p,
+                shrunk_n=shrunk.n,
+            )
+        )
+    return FuzzOutcome(stats=stats, counterexamples=tuple(counterexamples))
+
+
+# ---------------------------------------------------------------------------
+# Incremental-vs-cold differential mode (kill / perturb / resize schedules)
+# ---------------------------------------------------------------------------
+
+#: Churn events :func:`fuzz_incremental` draws between re-plans.
+INCREMENTAL_OPS = ("kill", "perturb", "shrink-n", "grow-n")
+
+#: Exact link/CPU speed factors for the ``perturb`` event.
+_PERTURB_FACTORS = (Fraction(1, 2), Fraction(3, 4), Fraction(9, 8), Fraction(2))
+
+
+def _mutate_problem(
+    problem: ScatterProblem, orig_n: int, rng: random.Random
+) -> Tuple[str, ScatterProblem]:
+    """One validity-preserving churn event.
+
+    ``kill`` removes a random non-root processor (the root — last by the
+    §2 convention — always survives), ``perturb`` rescales one processor's
+    comm or comp cost by an exact factor (a new cost object, so the
+    planner must rebuild the affected rows), ``shrink-n``/``grow-n``
+    resize the workload.  Growth is capped at the seed instance's original
+    ``n`` so tabulated/piecewise costs never leave their defined domain.
+    """
+    ops = list(INCREMENTAL_OPS)
+    if problem.p < 2:
+        ops.remove("kill")
+    if problem.n < 2:
+        ops.remove("shrink-n")
+    if problem.n >= orig_n:
+        ops.remove("grow-n")
+    op = ops[rng.randrange(len(ops))]
+    if op == "kill":
+        victim = rng.randrange(problem.p - 1)
+        procs = problem.processors[:victim] + problem.processors[victim + 1 :]
+        return op, ScatterProblem(procs, problem.n)
+    if op == "perturb":
+        idx = rng.randrange(problem.p)
+        proc = problem.processors[idx]
+        factor = _PERTURB_FACTORS[rng.randrange(len(_PERTURB_FACTORS))]
+        if rng.random() < 0.5:
+            replacement = Processor(proc.name, scale_cost(proc.comm, factor), proc.comp)
+        else:
+            replacement = Processor(proc.name, proc.comm, scale_cost(proc.comp, factor))
+        procs = problem.processors[:idx] + (replacement,) + problem.processors[idx + 1 :]
+        return op, ScatterProblem(procs, problem.n)
+    if op == "shrink-n":
+        return op, ScatterProblem(problem.processors, max(1, problem.n // 2))
+    grown = min(orig_n, problem.n + rng.randint(1, max(1, problem.n // 2 + 1)))
+    return op, ScatterProblem(problem.processors, grown)
+
+
+def _plan_mismatch(
+    cold: DistributionResult, warm: DistributionResult
+) -> List[Tuple[str, str]]:
+    """Byte-exact comparison of a warm re-plan against the cold solve."""
+    out: List[Tuple[str, str]] = []
+    if warm.counts != cold.counts:
+        out.append(
+            (
+                "incremental-differential",
+                f"counts diverge: cold={cold.counts} incremental={warm.counts}",
+            )
+        )
+    elif warm.makespan_exact != cold.makespan_exact:
+        out.append(
+            (
+                "incremental-differential",
+                f"exact makespan diverges: cold={cold.makespan_exact} "
+                f"incremental={warm.makespan_exact}",
+            )
+        )
+    elif warm.makespan != cold.makespan:
+        out.append(
+            (
+                "incremental-differential",
+                f"float makespan diverges: cold={cold.makespan} "
+                f"incremental={warm.makespan}",
+            )
+        )
+    if warm.algorithm != cold.algorithm:
+        out.append(
+            (
+                "incremental-differential",
+                f"route diverges: cold={cold.algorithm} incremental={warm.algorithm}",
+            )
+        )
+    return out
+
+
+def fuzz_incremental(
+    seeds: int = 50,
+    *,
+    base_seed: int = 0,
+    shapes: Optional[Sequence[str]] = None,
+    ops: int = 5,
+    max_dp_n: int = FUZZ_MAX_DP_N,
+    shrink_failures: bool = True,
+) -> FuzzOutcome:
+    """Differential fuzz of the incremental planner against cold solves.
+
+    Each seed generates one instance, then drives a fresh
+    :class:`~repro.core.incremental.IncrementalPlanner` through ``ops``
+    seeded churn events (processor kills, exact cost perturbations,
+    workload resizes).  After *every* event the warm re-plan must
+    byte-match an independent cold :func:`plan_scatter` — counts, exact
+    and float makespans, and chosen route — and the pair is additionally
+    run through the full oracle registry (minus the self-contained
+    ``incremental-matches-cold`` oracle, which would just repeat the
+    comparison on its own schedule).
+
+    Failures are shrunk via the ``incremental-matches-cold`` oracle's
+    predicate, which replays a canonical churn schedule from scratch on
+    each shrink candidate — self-contained, so the minimal instance
+    reproduces without the original event history.
+    """
+    if ops < 1:
+        raise ValueError(f"ops must be >= 1, got {ops}")
+    schedule: Sequence[str] = tuple(shapes) if shapes else SHAPE_SCHEDULE
+    for shape in schedule:
+        if shape not in SHAPES:
+            raise ValueError(f"unknown instance shape {shape!r}; know {SHAPES}")
+    differential_oracles = [
+        oid for oid in oracle_ids() if oid != "incremental-matches-cold"
+    ]
+    schedule_oracle = ORACLES["incremental-matches-cold"]
+
+    def schedule_fails(candidate: ScatterProblem) -> bool:
+        return bool(schedule_oracle.check(candidate, {}))
+
+    stats = FuzzStats()
+    counterexamples: List[Counterexample] = []
+    for seed in range(seeds):
+        shape = schedule[seed % len(schedule)]
+        rng = _instance_rng(base_seed, seed)
+        problem = generate_instance(shape, rng)
+        orig_n = problem.n
+        stats.instances += 1
+        stats.shapes[shape] = stats.shapes.get(shape, 0) + 1
+        planner = IncrementalPlanner()
+        # Pre-draw the whole churn schedule; the seed instance is step 0,
+        # so the first churn event already re-plans against warm state.
+        current = problem
+        steps: List[Tuple[str, ScatterProblem]] = [("seed", problem)]
+        for _ in range(ops):
+            op, current = _mutate_problem(current, orig_n, rng)
+            steps.append((op, current))
+        failures: List[Tuple[str, str]] = []
+        failing_step = problem
+        for op, step_problem in steps:
+            try:
+                cold = plan_scatter(step_problem, order_policy=None)
+            except ValueError:
+                # No auto route for this family/size: the planner delegates
+                # to the same router, so there is nothing to compare.
+                continue
+            warm = planner.plan(step_problem)
+            stats.solver_runs += 2
+            step_failures = [
+                (oid, f"[{op}] {message}")
+                for oid, message in _plan_mismatch(cold, warm)
+            ]
+            reports = run_oracles(
+                step_problem,
+                {"cold": cold, "incremental": warm},
+                only=differential_oracles,
+            )
+            step_failures.extend(
+                (oid, f"[{op}] {message}") for oid, message in _violated(reports)
+            )
+            for report in reports:
+                if report.applicable:
+                    stats.oracle_checked[report.oracle_id] = (
+                        stats.oracle_checked.get(report.oracle_id, 0) + 1
+                    )
+            if step_failures:
+                failures = step_failures
+                failing_step = step_problem
+                break
+        if not failures:
+            continue
+        shrunk = failing_step
+        if shrink_failures:
+            shrunk = shrink(failing_step, schedule_fails)
+        counterexamples.append(
+            Counterexample(
+                seed=seed,
+                shape=shape,
+                violations=tuple(failures),
+                problem=problem_to_dict(shrunk),
+                original_p=failing_step.p,
+                original_n=failing_step.n,
                 shrunk_p=shrunk.p,
                 shrunk_n=shrunk.n,
             )

@@ -37,6 +37,12 @@ The registry encodes, in order of increasing paper specificity:
     Affine instances: the LP optimum lower-bounds the relaxed makespan of
     *every* produced distribution, and the rounded LP distribution obeys
     ``T' <= T_LP + Σ_j Tcomm(j,1) + max_i Tcomp(i,1)``.
+``incremental-matches-cold``
+    An :class:`~repro.core.incremental.IncrementalPlanner` driven through
+    a deterministic kill/perturb/resize schedule derived from the
+    instance produces plans *byte-identical* (counts, float makespan,
+    exact makespan) to cold :func:`~repro.core.plan_scatter` solves of
+    the same problems — warm-starting must never change the answer.
 
 All comparisons involving only rational quantities are exact
 (:class:`~fractions.Fraction`); comparisons against float-path solvers use
@@ -57,8 +63,10 @@ from ..core.closed_form import (
     simultaneous_endings_mask,
     solve_rational,
 )
-from ..core.distribution import DistributionResult, ScatterProblem
+from ..core.costs import scale_cost
+from ..core.distribution import DistributionResult, Processor, ScatterProblem
 from ..core.heuristic import guarantee_gap, relaxed_makespan
+from ..core.incremental import IncrementalPlanner
 from ..core.solver import plan_scatter
 
 __all__ = [
@@ -72,6 +80,7 @@ __all__ = [
     "applicable_algorithms",
     "solve_all",
     "run_oracles",
+    "incremental_schedule",
 ]
 
 #: Relative tolerance when comparing float-path solver output against the
@@ -503,6 +512,76 @@ def _check_eq4_lp_bound(
             violations.append(
                 f"{algo}: relaxed makespan {float(relaxed)!r} beats the LP "
                 f"lower bound {float(t_lp)!r}"
+            )
+    return violations
+
+
+def incremental_schedule(
+    problem: ScatterProblem,
+) -> List[Tuple[str, ScatterProblem]]:
+    """Deterministic kill/perturb/resize schedule derived from an instance.
+
+    Exercises each warm-start class once — processor removal, ``n``
+    shrink, ``n`` growth, single-link perturbation — cumulatively, so the
+    planner's state at each step came from the previous one.  Shared by
+    the ``incremental-matches-cold`` oracle and the shrinker (a failing
+    step stays failing as the instance shrinks toward minimality).
+    """
+    steps: List[Tuple[str, ScatterProblem]] = [("seed", problem)]
+    cur = problem
+    if cur.p >= 2:
+        cur = ScatterProblem(cur.processors[1:], cur.n)
+        steps.append(("remove-front", cur))
+    if cur.n >= 2:
+        cur = ScatterProblem(cur.processors, max(1, cur.n // 2))
+        steps.append(("shrink-n", cur))
+    if cur.n != problem.n:
+        cur = ScatterProblem(cur.processors, problem.n)
+        steps.append(("grow-n", cur))
+    first = cur.processors[0]
+    perturbed = Processor(
+        first.name, scale_cost(first.comm, Fraction(9, 8)), first.comp
+    )
+    cur = ScatterProblem([perturbed, *cur.processors[1:]], cur.n)
+    steps.append(("perturb-link", cur))
+    return steps
+
+
+@register_oracle(
+    "incremental-matches-cold",
+    "IncrementalPlanner plans byte-match cold plan_scatter across a "
+    "kill/perturb/resize schedule",
+    applies=_always,
+)
+def _check_incremental_matches_cold(
+    problem: ScatterProblem, results: Mapping[str, DistributionResult]
+) -> List[str]:
+    violations: List[str] = []
+    planner = IncrementalPlanner()
+    for label, step in incremental_schedule(problem):
+        try:
+            cold = plan_scatter(step, order_policy=None)
+        except ValueError:
+            continue  # no auto route for this step; nothing to compare
+        warm = planner.plan(step)
+        if warm.counts != cold.counts:
+            violations.append(
+                f"{label}: counts {warm.counts} != cold {cold.counts}"
+            )
+        elif warm.makespan != cold.makespan:
+            violations.append(
+                f"{label}: makespan {warm.makespan!r} != "
+                f"cold {cold.makespan!r}"
+            )
+        elif warm.makespan_exact != cold.makespan_exact:
+            violations.append(
+                f"{label}: makespan_exact {warm.makespan_exact} != "
+                f"cold {cold.makespan_exact}"
+            )
+        if warm.algorithm != cold.algorithm:
+            violations.append(
+                f"{label}: routed to {warm.algorithm!r}, "
+                f"cold chose {cold.algorithm!r}"
             )
     return violations
 

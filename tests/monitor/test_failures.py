@@ -76,3 +76,99 @@ class TestTransitionCounting:
         det.is_suspect("ghost", 200.0)
         assert det.suspect_transitions == 0
         assert det.suspect_recoveries == 0
+
+
+class TestHysteresis:
+    def test_margin_validation(self):
+        with pytest.raises(ValueError, match="recovery_margin"):
+            FailureDetector(suspect_threshold=5.0, recovery_margin=5.0)
+        with pytest.raises(ValueError, match="recovery_margin"):
+            FailureDetector(suspect_threshold=5.0, recovery_margin=-0.1)
+        with pytest.raises(ValueError, match="recovery_heartbeats"):
+            FailureDetector(suspect_threshold=5.0, recovery_heartbeats=-1)
+
+    def test_defaults_reproduce_margin_free_behaviour(self):
+        plain = FailureDetector(suspect_threshold=5.0)
+        hyst = FailureDetector(
+            suspect_threshold=5.0, recovery_margin=0.0, recovery_heartbeats=0
+        )
+        for det in (plain, hyst):
+            det.heartbeat("h", 0.0)
+            assert det.is_suspect("h", 6.0)
+            det.heartbeat("h", 1.5)  # stale: quiet drops to 4.5 only via clock
+            assert det.is_suspect("h", 6.0) == plain.is_suspect("h", 6.0)
+
+    def test_margin_damps_threshold_hover(self):
+        # quiet oscillates around the threshold: without a margin this host
+        # flaps suspect<->alive; with the margin it stays suspected until
+        # silence drops clearly below threshold - margin.
+        det = FailureDetector(suspect_threshold=5.0, recovery_margin=2.0)
+        det.heartbeat("h", 0.0)
+        assert det.is_suspect("h", 5.1)  # quiet 5.1 > 5.0: suspect
+        det.heartbeat("h", 0.4)  # stale, ignored
+        # A fresh-but-old beat pulls quiet back just under threshold...
+        det.heartbeat("h", 0.5)
+        assert det.is_suspect("h", 5.2)  # quiet 4.7: inside margin band, held
+        det.heartbeat("h", 4.0)
+        assert not det.is_suspect("h", 5.3)  # quiet 1.3 <= 3.0: recovered
+        assert det.suspect_transitions == 1
+        assert det.suspect_recoveries == 1
+
+    def test_fresh_heartbeats_clear_inside_margin(self):
+        det = FailureDetector(
+            suspect_threshold=5.0, recovery_margin=2.0, recovery_heartbeats=2
+        )
+        det.heartbeat("h", 0.0)
+        assert det.is_suspect("h", 6.0)
+        det.heartbeat("h", 1.0)  # 1 fresh beat: not enough
+        assert det.is_suspect("h", 5.5)  # quiet 4.5, in band, 1 < 2 beats
+        det.heartbeat("h", 1.2)  # 2nd fresh beat vouches for the host
+        assert not det.is_suspect("h", 5.6)
+        assert det.suspect_recoveries == 1
+
+    def test_stale_beats_do_not_count_as_fresh(self):
+        det = FailureDetector(
+            suspect_threshold=5.0, recovery_margin=2.0, recovery_heartbeats=2
+        )
+        det.heartbeat("h", 2.0)
+        assert det.is_suspect("h", 8.0)
+        det.heartbeat("h", 1.0)  # stale (before last_heard): ignored
+        det.heartbeat("h", 1.5)  # stale: ignored
+        assert det.is_suspect("h", 8.1)  # still suspected, 0 fresh beats
+
+    def test_flap_metric_counts_rapid_oscillation(self):
+        metric = METRICS.counter("monitor.detector.flaps")
+        before = metric.value
+        det = FailureDetector(suspect_threshold=5.0)
+        det.heartbeat("h", 0.0)
+        assert det.is_suspect("h", 6.0)
+        det.heartbeat("h", 7.0)
+        assert not det.is_suspect("h", 8.0)  # recovery at t=8
+        # Re-suspected within one threshold of the recovery: a flap.
+        assert det.is_suspect("h", 12.5)
+        assert det.flaps == 1
+        assert metric.value == before + 1
+        # A later, slow re-suspicion is not a flap.
+        det.heartbeat("h", 13.0)
+        assert not det.is_suspect("h", 14.0)
+        assert det.is_suspect("h", 40.0)  # 26s after recovery: no flap
+        assert det.flaps == 1
+
+    def test_margin_prevents_flaps(self):
+        # Same oscillating trace, with and without hysteresis: the margin
+        # must strictly reduce the flap count.
+        def drive(det):
+            det.heartbeat("h", 0.0)
+            for step in range(1, 6):
+                base = step * 8.0
+                det.is_suspect("h", base - 4.0)
+                det.heartbeat("h", base - 4.9)  # quiet hovers near threshold
+                det.is_suspect("h", base)
+            return det.flaps
+
+        flappy = drive(FailureDetector(suspect_threshold=5.0))
+        damped = drive(
+            FailureDetector(suspect_threshold=5.0, recovery_margin=2.0)
+        )
+        assert flappy > 0
+        assert damped < flappy

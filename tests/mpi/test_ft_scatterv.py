@@ -374,6 +374,153 @@ class TestReplanOracles:
         assert delivered + outcome.lost_items == n
 
 
+class TestReplanBudget:
+    """``max_replans`` / ``deadline`` bound the re-plan cascade."""
+
+    COUNTS = [2000] * 5
+    N = 10_000
+
+    def _run(self, *crashes, **scatter_kwargs):
+        plat = make_platform()
+        faults = FaultPlan(seed=0)
+        for host, at in crashes:
+            faults = faults.crash(host, at=at)
+        return run_ft(
+            plat, self.N, self.COUNTS, faults=faults, retries=2, **scatter_kwargs
+        )
+
+    def _assert_conservation(self, run, outcome):
+        delivered = sum(
+            len(res.chunk)
+            for res in run.results
+            if not isinstance(res, HostFailure)
+        )
+        assert delivered + outcome.lost_items == self.N
+
+    def test_max_replans_zero_degrades_instead_of_replanning(self):
+        from repro.obs import METRICS
+
+        metric = METRICS.counter("mpi.ft_scatterv.replan_budget_exhausted")
+        before = metric.value
+        run, root = self._run(("h1", 1.0), max_replans=0)
+        outcome = run.results[root]
+        assert outcome.dead == (1,)
+        assert outcome.replans == 0
+        assert outcome.redistributed_items == 0
+        # h1's whole share went into lost_items instead of a re-plan.
+        assert outcome.lost_items == self.COUNTS[1]
+        assert outcome.degraded
+        assert metric.value == before + 1
+        self._assert_conservation(run, outcome)
+
+    def test_max_replans_one_caps_a_cascade(self):
+        run, root = self._run(("h1", 1.0), ("h2", 6.0), max_replans=1)
+        outcome = run.results[root]
+        assert outcome.dead == (1, 2)
+        assert outcome.replans == 1  # second round hit the budget
+        assert outcome.lost_items > 0
+        self._assert_conservation(run, outcome)
+
+    def test_generous_budget_changes_nothing(self):
+        run_free, root = self._run(("h1", 1.0), ("h2", 6.0))
+        run_capped, _ = self._run(
+            ("h1", 1.0), ("h2", 6.0), max_replans=10, deadline=1e9
+        )
+        assert (
+            run_free.results[root].counts == run_capped.results[root].counts
+        )
+        assert (
+            run_free.results[root].replans == run_capped.results[root].replans
+        )
+
+    def test_deadline_expired_at_first_reclaim(self):
+        run, root = self._run(("h1", 1.0), deadline=0.5)
+        outcome = run.results[root]
+        # The first reclaim happens after t=1.0 > deadline: no re-plan.
+        assert outcome.replans == 0
+        assert outcome.lost_items == self.COUNTS[1]
+        self._assert_conservation(run, outcome)
+
+    def test_budget_never_gates_root_absorption(self):
+        # All workers dead: there is nobody to re-plan over, so the root
+        # absorbs reclaimed items even with a zero budget.
+        run, root = self._run(
+            ("h0", 0.5), ("h1", 0.5), ("h2", 0.5), ("h3", 0.5), max_replans=0
+        )
+        outcome = run.results[root]
+        assert outcome.survivors == (4,)
+        assert outcome.lost_items == 0
+        assert len(outcome.chunk) == self.N
+
+    def test_negative_max_replans_rejected(self):
+        with pytest.raises(MpiError, match="max_replans"):
+            self._run(("h1", 1.0), max_replans=-1)
+
+
+class TestReceiverPatience:
+    """Property: ``patience = timeout * size`` bounds a worker's wait.
+
+    Even when the *root* dies mid-stream, a worker blocked in
+    ``ft_scatterv`` with a finite ``timeout`` must surface
+    :class:`RecvTimeout` within ``size * timeout`` simulated seconds of
+    the moment the root stopped sending — never hang.
+    """
+
+    @staticmethod
+    def _program(ctx, data, counts, root, timeout):
+        if ctx.rank == root:
+            return (
+                yield from ctx.ft_scatterv(
+                    data, counts, root=root, timeout=timeout
+                )
+            )
+        try:
+            outcome = yield from ctx.ft_scatterv(
+                None, None, root=root, timeout=timeout
+            )
+        except RecvTimeout as exc:
+            return ("timeout", exc.time)
+        return outcome
+
+    @given(
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=5, max_value=30),  # timeout in tenths
+        st.integers(min_value=1, max_value=50),  # crash time in tenths
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_root_death_cannot_hang_workers(self, p, timeout_tenths, crash_tenths):
+        timeout = timeout_tenths / 10.0
+        crash_at = crash_tenths / 10.0
+        plat = make_platform(p=p)
+        hosts = plat.host_names
+        root = p - 1
+        faults = FaultPlan(seed=0).crash(hosts[root], at=crash_at)
+        n = 100 * p
+        counts = [100] * p
+        run = run_spmd(
+            plat,
+            hosts,
+            self._program,
+            list(range(n)),
+            counts,
+            root,
+            timeout,
+            faults=faults,
+        )
+        # The root either died mid-stream or finished before the crash;
+        # either way no worker may wait past the patience bound.
+        patience = timeout * p
+        # Slack for one in-flight delivery completing after the crash.
+        bound = crash_at + patience + 1.0
+        for r in range(p - 1):
+            res = run.results[r]
+            if isinstance(res, tuple) and res[0] == "timeout":
+                assert res[1] <= bound, (r, res, bound)
+            else:
+                # Chunk + done arrived before the crash: a full outcome.
+                assert isinstance(res, ScatterOutcome)
+
+
 class TestTimeoutsAndRetries:
     def test_recv_timeout_raises(self):
         plat = make_platform(p=2)

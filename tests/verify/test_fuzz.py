@@ -6,9 +6,13 @@ import pytest
 
 from repro.core import ScatterProblem
 from repro.verify.fuzz import (
+    INCREMENTAL_OPS,
     SHAPE_SCHEDULE,
     SHAPES,
+    _instance_rng,
+    _mutate_problem,
     fuzz,
+    fuzz_incremental,
     generate_instance,
     problem_from_dict,
     problem_to_dict,
@@ -89,6 +93,61 @@ class TestFuzzLoop:
         assert outcome.stats.shapes == {"degenerate": 6}
 
 
+class TestGuidedMode:
+    def test_guided_is_deterministic(self):
+        a = fuzz(15, base_seed=9, guided=True)
+        b = fuzz(15, base_seed=9, guided=True)
+        assert a.stats.to_dict() == b.stats.to_dict()
+
+    def test_guided_explores_every_shape_then_biases(self):
+        outcome = fuzz(30, base_seed=3, guided=True)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        # The selector must draw every candidate shape at least once...
+        assert set(outcome.stats.shapes) == set(SHAPES)
+        # ...and then exploit: the distribution is not the uniform-ish
+        # static rotation (some shape is drawn strictly more than others).
+        counts = sorted(outcome.stats.shapes.values())
+        assert counts[-1] > counts[0]
+
+    def test_guided_respects_shape_subset(self):
+        outcome = fuzz(10, base_seed=1, guided=True, shapes=["linear", "affine"])
+        assert set(outcome.stats.shapes) <= {"linear", "affine"}
+
+
+class TestIncrementalMode:
+    def test_churn_schedules_byte_match_cold(self):
+        outcome = fuzz_incremental(25, base_seed=0)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        assert outcome.stats.instances == 25
+        # Every step ran both the warm and the cold solver.
+        assert outcome.stats.solver_runs >= 2 * 25
+
+    def test_deterministic_across_runs(self):
+        a = fuzz_incremental(10, base_seed=21)
+        b = fuzz_incremental(10, base_seed=21)
+        assert a.to_dict() == b.to_dict()
+
+    def test_ops_validated(self):
+        with pytest.raises(ValueError, match="ops"):
+            fuzz_incremental(1, ops=0)
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            fuzz_incremental(2, shapes=["nope"])
+
+    def test_mutations_preserve_validity(self):
+        rng = random.Random(77)
+        for shape in SHAPES:
+            problem = generate_instance(shape, _instance_rng(0, 13))
+            current = problem
+            for _ in range(8):
+                op, current = _mutate_problem(current, problem.n, rng)
+                assert op in INCREMENTAL_OPS
+                current.check_valid()
+                assert current.p >= 1
+                assert 0 <= current.n <= problem.n
+
+
 class TestShrink:
     def test_shrinks_processor_count_and_n(self):
         rng = random.Random(42)
@@ -140,3 +199,10 @@ class TestDeepFuzz:
     def test_second_base_seed_also_clean(self):
         outcome = fuzz(150, base_seed=0xA5A5)
         assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+
+    def test_incremental_differential_500_schedules(self):
+        # Acceptance tier: every warm re-plan byte-matches the cold solve
+        # across >= 500 seeded kill/perturb/resize schedules.
+        outcome = fuzz_incremental(500, base_seed=0)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        assert outcome.stats.instances == 500

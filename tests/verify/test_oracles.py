@@ -9,6 +9,7 @@ from repro.verify.oracles import (
     EXACT_DP_ALGORITHMS,
     ORACLES,
     applicable_algorithms,
+    incremental_schedule,
     oracle_ids,
     run_oracles,
     solve_all,
@@ -35,7 +36,7 @@ def linear_problem():
 
 
 class TestRegistry:
-    def test_all_eight_oracles_registered(self):
+    def test_all_nine_oracles_registered(self):
         assert set(oracle_ids()) == {
             "eq1-recompute",
             "dist-valid",
@@ -45,6 +46,7 @@ class TestRegistry:
             "thm2-endings",
             "thm3-ordering",
             "eq4-lp-bound",
+            "incremental-matches-cold",
         }
 
     def test_descriptions_are_nonempty(self):
@@ -184,6 +186,31 @@ class TestOraclesCatchTampering:
         eq1 = reports["eq1-recompute"]
         assert not eq1.ok
         assert any("oracle crashed" in v for v in eq1.violations)
+
+
+class TestIncrementalOracle:
+    def test_schedule_covers_every_churn_kind(self, linear_problem):
+        steps = incremental_schedule(linear_problem)
+        kinds = [kind for kind, _ in steps]
+        assert kinds[0] == "seed"
+        assert {"remove-front", "shrink-n", "grow-n", "perturb-link"} <= set(kinds)
+        for _, step in steps:
+            step.check_valid()
+
+    def test_passes_on_honest_planner(self, linear_problem):
+        reports = report_map(linear_problem, {})
+        report = reports["incremental-matches-cold"]
+        assert report.applicable
+        assert report.ok, report.violations
+
+    def test_passes_on_dp_route(self):
+        import random
+
+        from repro.workloads import random_tabulated_problem
+
+        problem = random_tabulated_problem(random.Random(17), 5, 30)
+        report = report_map(problem, {})["incremental-matches-cold"]
+        assert report.ok, report.violations
 
 
 class TestDegenerateInstances:
