@@ -17,6 +17,7 @@ import math
 import os
 import random
 import secrets
+import weakref
 from dataclasses import dataclass
 from multiprocessing.pool import Pool, ThreadPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -54,6 +55,33 @@ class SweepEvaluator:
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         raise NotImplementedError
+
+    def submit(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        callback: Optional[Callable[[R], None]] = None,
+        error_callback: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        """Evaluate one item asynchronously, delivering via callback.
+
+        The base implementation runs inline (synchronously) — the serve
+        layer's sequential backend and tests rely on that determinism.
+        Pool-backed evaluators override this with a real ``apply_async``.
+        Exactly one of the callbacks fires, never both; an exception with
+        no ``error_callback`` propagates to the caller (inline) or is
+        swallowed by the pool machinery (async), matching
+        ``multiprocessing.pool`` semantics.
+        """
+        try:
+            result = fn(item)
+        except Exception as exc:
+            if error_callback is None:
+                raise
+            error_callback(exc)
+            return
+        if callback is not None:
+            callback(result)
 
     def close(self) -> None:  # pragma: no cover - trivial
         pass
@@ -147,6 +175,7 @@ class ParallelSweepEvaluator(SweepEvaluator):
         self._pool: Optional[Any] = None
         self._shared_cache: Optional[Any] = None
         self._prev_cache: Optional[Any] = None
+        self._finalizer: Optional[weakref.finalize] = None
         init, initargs = None, ()
         if cache_tier == "shared":
             from ..core.costs import set_default_cost_cache
@@ -155,6 +184,14 @@ class ParallelSweepEvaluator(SweepEvaluator):
             ns = f"rsweep{os.getpid()}_{secrets.token_hex(4)}"
             self._shared_cache = SharedCostTableCache(namespace=ns, owner=True)
             self._prev_cache = set_default_cost_cache(self._shared_cache)
+            # Backstop for callers that drop the evaluator without close():
+            # unlink the namespace's segments when this object is
+            # collected.  Holds the cache's bound method, not ``self``, so
+            # the finalizer never keeps the evaluator alive; close()
+            # detaches it and runs the full teardown instead.
+            self._finalizer = weakref.finalize(
+                self, self._shared_cache.unlink_all
+            )
             if backend == "process":
                 init, initargs = _install_shared_tier, (ns,)
         if self.workers > 1:
@@ -165,6 +202,13 @@ class ParallelSweepEvaluator(SweepEvaluator):
                     self._pool = Pool(self.workers, init, initargs)
             except OSError:  # pragma: no cover - resource-limited hosts
                 self._pool = None
+            except BaseException:
+                # Pool creation failed after the shared tier was already
+                # installed: restore the default cache and remove the
+                # segments before surfacing the error, or a long-lived
+                # process would leak /dev/shm space per failed construction.
+                self._teardown_shared()
+                raise
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         items = list(items)
@@ -179,17 +223,60 @@ class ParallelSweepEvaluator(SweepEvaluator):
             return results
         return self._pool.map(fn, items)
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+    def submit(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        callback: Optional[Callable[[R], None]] = None,
+        error_callback: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        """Asynchronous single-item evaluation (see the base class).
+
+        With a live pool this is ``apply_async``: the callback fires on the
+        pool's result-handler thread.  Under ``backend="process"`` the
+        worker's metrics delta is merged before the caller's callback runs,
+        so serve-layer hit rates stay truthful.  Without a pool
+        (``workers <= 1`` or pool creation failed) it degrades to the
+        inline base behavior.
+        """
+        if self._pool is None:
+            super().submit(fn, item, callback, error_callback)
+            return
+        if self.backend == "process":
+            def _deliver(pair: tuple) -> None:
+                result, delta = pair
+                METRICS.merge(delta)
+                if callback is not None:
+                    callback(result)
+
+            self._pool.apply_async(
+                _eval_with_metrics,
+                ((fn, item),),
+                callback=_deliver,
+                error_callback=error_callback,
+            )
+            return
+        self._pool.apply_async(
+            fn, (item,), callback=callback, error_callback=error_callback
+        )
+
+    def _teardown_shared(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         if self._shared_cache is not None:
             from ..core.costs import set_default_cost_cache
 
             set_default_cost_cache(self._prev_cache)
             self._shared_cache.unlink_all()
             self._shared_cache = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._teardown_shared()
 
 
 def _evaluate_points(

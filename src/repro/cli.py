@@ -19,6 +19,9 @@ Subcommands
     Run the application with structured event tracing on; print an ASCII
     Gantt and event summary, optionally exporting JSONL and Chrome
     trace-event files (see ``repro.obs``).
+``serve``
+    Serve plan requests from a JSONL stream through the fingerprint-cached,
+    coalescing :class:`~repro.serve.service.PlanService` (see ``repro.serve``).
 ``lint``
     Run the determinism & simulation-safety static-analysis pass over
     source paths (see ``repro.lint``); exits non-zero on findings.
@@ -321,6 +324,49 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.metrics import METRICS
+    from .serve import PlanService, serve_jsonl
+
+    service = PlanService(
+        algorithm=args.algorithm,
+        order_policy=None if args.order_policy == "none" else args.order_policy,
+        cache_size=args.cache_size,
+        ttl=args.ttl,
+        backend=args.backend,
+        workers=args.workers,
+        cache_tier=args.cache_tier,
+    )
+    if args.input:
+        stream = open(args.input, encoding="utf-8")
+    else:
+        stream = sys.stdin
+    served = 0
+    try:
+        with service:
+            for response in serve_jsonl(stream, service, window=args.window):
+                print(json.dumps(response, sort_keys=True), flush=True)
+                served += 1
+            stats = service.stats()
+    finally:
+        if args.input:
+            stream.close()
+    if args.stats:
+        print(
+            f"served {served} requests  "
+            f"hit-rate {stats['hit_rate']:.2%}  "
+            f"coalesced {stats['coalesced']}  "
+            f"p50 {stats['latency_p50_s']}  p99 {stats['latency_p99_s']}",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        print(json.dumps(METRICS.snapshot(), indent=2, sort_keys=True),
+              file=sys.stderr)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .lint import render_findings, render_findings_json, run_lint
     from .lint.core import iter_rule_metadata
@@ -594,6 +640,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the process-wide metrics registry snapshot",
     )
     p_tr.set_defaults(fn=cmd_trace)
+
+    p_se = sub.add_parser(
+        "serve",
+        help="serve plan requests from a JSONL stream (stdin or --input)",
+    )
+    p_se.add_argument(
+        "--input", help="JSONL request file (default: read stdin)"
+    )
+    p_se.add_argument(
+        "--algorithm", default="auto", choices=list(ALGORITHMS),
+        help="solver routing for every request",
+    )
+    p_se.add_argument(
+        "--order-policy", default="bandwidth-desc", dest="order_policy",
+        choices=["bandwidth-desc", "bandwidth-asc", "fastest-first",
+                 "original", "none"],
+        help="normalization applied before fingerprinting ('none' keeps "
+        "request order)",
+    )
+    p_se.add_argument(
+        "--cache-size", type=int, default=1024, dest="cache_size",
+        help="plan-cache LRU bound (0 disables caching)",
+    )
+    p_se.add_argument(
+        "--ttl", type=float, default=None,
+        help="plan-cache entry lifetime in seconds (default: no expiry)",
+    )
+    p_se.add_argument(
+        "--backend", choices=["sequential", "thread", "process"],
+        default="sequential",
+        help="solve misses inline or over a pool",
+    )
+    p_se.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for --backend thread/process (default: cpu count)",
+    )
+    p_se.add_argument(
+        "--cache-tier", choices=["process", "shared"], default="process",
+        dest="cache_tier",
+        help="cost-table cache tier for pool backends",
+    )
+    p_se.add_argument(
+        "--window", type=int, default=64,
+        help="requests submitted before awaiting results (coalescing span)",
+    )
+    p_se.add_argument(
+        "--stats", action="store_true",
+        help="print a service summary line to stderr when the stream ends",
+    )
+    p_se.add_argument(
+        "--metrics", action="store_true",
+        help="also print the process-wide metrics registry snapshot",
+    )
+    p_se.set_defaults(fn=cmd_serve)
 
     p_li = sub.add_parser(
         "lint",

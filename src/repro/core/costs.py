@@ -552,6 +552,16 @@ def scale_cost(cost: CostFunction, factor: Scalar) -> CostFunction:
     raise TypeError(f"cannot scale cost function {cost!r}")
 
 
+class _InFlight:
+    """One in-progress tabulation: waiters block on ``event``."""
+
+    __slots__ = ("event", "n")
+
+    def __init__(self, n: int):
+        self.event = threading.Event()
+        self.n = n
+
+
 class CostTableCache:
     """Memoizes ``fn.many(arange(n + 1))`` tables keyed by cost function.
 
@@ -564,9 +574,13 @@ class CostTableCache:
     key by identity) and stored at the largest ``n`` seen, with smaller
     requests served as read-only prefix views.
 
-    The cache is thread-safe (the parallel sweep evaluator hits it from
-    worker threads) and LRU-bounded.  Solvers report per-call hit/miss deltas
-    in ``DistributionResult.info["cost_cache"]``.
+    The cache is thread-safe (the parallel sweep evaluator and the serve
+    layer hit it from worker threads), LRU-bounded, and *single-flight* per
+    key: when N requesters miss on the same function concurrently, exactly
+    one tabulates while the others wait on a per-key event and then take
+    the hit path (``hits`` counts them as hits-after-wait, never as
+    misses).  Solvers report per-call hit/miss deltas in
+    ``DistributionResult.info["cost_cache"]``.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -574,42 +588,75 @@ class CostTableCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = int(maxsize)
         self._tables: "OrderedDict[CostFunction, np.ndarray]" = OrderedDict()
+        self._inflight: Dict[CostFunction, _InFlight] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.waits = 0
+
+    def _tabulate_miss(self, fn: CostFunction, n: int) -> np.ndarray:
+        """Build the read-only table for a confirmed miss (subclass hook).
+
+        :class:`~repro.core.shared_cache.SharedCostTableCache` overrides
+        this to attach/publish shared-memory segments instead of always
+        computing locally.
+        """
+        arr = _build_table(fn, n)
+        arr.setflags(write=False)
+        METRICS.counter("core.cost_cache.misses").inc()
+        return arr
 
     def table(self, fn: CostFunction, n: int) -> np.ndarray:
         """Float table of ``fn`` over ``[0, n]`` (read-only array view)."""
         if n < 0:
             raise ValueError(f"need n >= 0, got {n}")
-        with self._lock:
-            cached = self._tables.get(fn)
-            if cached is not None and cached.shape[0] >= n + 1:
-                self.hits += 1
+        while True:
+            with self._lock:
+                cached = self._tables.get(fn)
+                if cached is not None and cached.shape[0] >= n + 1:
+                    self.hits += 1
+                    self._tables.move_to_end(fn)
+                    METRICS.counter("core.cost_cache.hits").inc()
+                    return cached[: n + 1]
+                flight = self._inflight.get(fn)
+                if flight is None:
+                    flight = _InFlight(n)
+                    self._inflight[fn] = flight
+                    break
+                self.waits += 1
+            # Another thread is already tabulating this function: wait for
+            # its commit instead of duplicating the O(n) build, then loop —
+            # normally straight into the hit path above.  If the builder's
+            # table is too short for our n (or the builder raised), the
+            # re-check misses and we become the next builder.
+            METRICS.counter("core.cost_cache.single_flight_waits").inc()
+            flight.event.wait()
+        try:
+            arr = self._tabulate_miss(fn, n)
+            with self._lock:
+                self.misses += 1
+                existing = self._tables.get(fn)
+                if existing is None or existing.shape[0] < arr.shape[0]:
+                    self._tables[fn] = arr
                 self._tables.move_to_end(fn)
-                METRICS.counter("core.cost_cache.hits").inc()
-                return cached[: n + 1]
-        # Compute outside the lock: concurrent misses may duplicate work but
-        # never block each other on a long tabulation.
-        arr = _build_table(fn, n)
-        arr.setflags(write=False)
-        METRICS.counter("core.cost_cache.misses").inc()
-        with self._lock:
-            self.misses += 1
-            existing = self._tables.get(fn)
-            if existing is None or existing.shape[0] < arr.shape[0]:
-                self._tables[fn] = arr
-            self._tables.move_to_end(fn)
-            while len(self._tables) > self.maxsize:
-                self._tables.popitem(last=False)
+                while len(self._tables) > self.maxsize:
+                    self._tables.popitem(last=False)
+        finally:
+            # Wake waiters only after the table landed (or the build
+            # failed); waking earlier would let them miss and re-tabulate.
+            with self._lock:
+                if self._inflight.get(fn) is flight:
+                    del self._inflight[fn]
+            flight.event.set()
         return arr[: n + 1]
 
     def stats(self) -> Dict[str, int]:
-        """Snapshot of ``{"hits", "misses", "entries"}``."""
+        """Snapshot of ``{"hits", "misses", "waits", "entries"}``."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "waits": self.waits,
                 "entries": len(self._tables),
             }
 
@@ -631,6 +678,7 @@ class CostTableCache:
             self._tables.clear()
             self.hits = 0
             self.misses = 0
+            self.waits = 0
 
     def __len__(self) -> int:
         with self._lock:

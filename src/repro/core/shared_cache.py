@@ -78,13 +78,28 @@ def stable_cost_key(fn: CostFunction) -> Optional[str]:
     Returns ``None`` for cost functions without a value identity (callable
     wrappers), which then bypass the shared tier.  Fractions print as
     ``p/q`` so the key is exact, not float-rounded.
+
+    Numerically equal analytic forms collapse to one key so their (bit
+    identical) tables share one segment: ``AffineCost(a, 0)`` keys as
+    ``LinearCost(a)``, any zero-rate linear/affine form keys as
+    ``ZeroCost``, and ``zero_is_free`` only enters the key when the
+    intercept is non-zero (it is unobservable otherwise).  Piecewise and
+    tabulated costs keep their own kinds even when their values happen to
+    trace a line: their float tables go through ``np.interp``/lookup, so
+    bit-identity with the analytic build is not guaranteed.
     """
     kind = type(fn)
     if kind is ZeroCost:
         return "zero"
     if kind is LinearCost:
+        if fn.rate == 0:
+            return "zero"
         return f"lin:{fn.rate}"
     if kind is AffineCost:
+        if fn.intercept == 0:
+            if fn.rate == 0:
+                return "zero"
+            return f"lin:{fn.rate}"
         return f"aff:{fn.rate}:{fn.intercept}:{int(fn.zero_is_free)}"
     if kind is TabulatedCost:
         return "tab:" + hashlib.sha1(fn._float_values.tobytes()).hexdigest()
@@ -179,17 +194,13 @@ class SharedCostTableCache(CostTableCache):
         METRICS.counter("core.cost_cache.shared.bytes").inc(arr.nbytes)
         return shared
 
-    def table(self, fn: CostFunction, n: int) -> np.ndarray:
-        if n < 0:
-            raise ValueError(f"need n >= 0, got {n}")
-        with self._lock:
-            cached = self._tables.get(fn)
-            if cached is not None and cached.shape[0] >= n + 1:
-                self.hits += 1
-                self._tables.move_to_end(fn)
-                METRICS.counter("core.cost_cache.hits").inc()
-                return cached[: n + 1]
+    def _tabulate_miss(self, fn: CostFunction, n: int) -> np.ndarray:
+        """Attach a published segment, or compute + publish (miss hook).
 
+        The base class's single-flight :meth:`~CostTableCache.table` calls
+        this with exactly one in-process builder per key; cross-process
+        races are resolved by :meth:`_publish`'s create-exclusive commit.
+        """
         key = stable_cost_key(fn)
         arr: Optional[np.ndarray] = None
         if key is not None:
@@ -205,17 +216,8 @@ class SharedCostTableCache(CostTableCache):
                 arr = self._publish(self._segment_name(key, n), local)
             if arr is None:
                 arr = local
-
         METRICS.counter("core.cost_cache.misses").inc()
-        with self._lock:
-            self.misses += 1
-            existing = self._tables.get(fn)
-            if existing is None or existing.shape[0] < arr.shape[0]:
-                self._tables[fn] = arr
-            self._tables.move_to_end(fn)
-            while len(self._tables) > self.maxsize:
-                self._tables.popitem(last=False)
-        return arr[: n + 1]
+        return arr
 
     # -- lifecycle -------------------------------------------------------
     def shared_stats(self) -> Dict[str, int]:

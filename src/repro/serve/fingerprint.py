@@ -1,0 +1,151 @@
+"""Canonical value identity of a plan request.
+
+A fingerprint answers one question: *would the solver produce the same
+plan for these two requests?*  Two requests share a fingerprint exactly
+when, after the service's ordering policy has normalized processor order,
+they present the same ``(n, algorithm routing, per-position cost pairs)``
+to the solver — at which point every solver in :mod:`repro.core` is a
+deterministic function of its input and the plans are byte-identical.
+
+Canonicalization rules (the equal-value ⟹ equal-key contract):
+
+* **Exact arithmetic.**  Coefficients key by their exact
+  :class:`~fractions.Fraction` value, so ``LinearCost(Fraction(1, 2))``
+  and ``LinearCost(0.5)`` collide (floats convert exactly — binary 0.5
+  *is* 1/2) while ``LinearCost(Fraction(1, 10))`` and ``LinearCost(0.1)``
+  stay distinct (binary 0.1 is not 1/10, and ``makespan_exact`` differs).
+* **Degenerate forms collapse.**  ``AffineCost(a, 0)`` keys as
+  ``LinearCost(a)``; any zero-rate linear/affine form keys as
+  :class:`~repro.core.costs.ZeroCost`; ``zero_is_free`` enters the key
+  only when the intercept is non-zero (it is unobservable otherwise).
+  These forms agree in exact *and* float semantics and carry identical
+  routing flags, so merged keys can never mix distinct plans.
+* **Names are ignored.**  Processor names never reach a solver; the key
+  is positional over cost pairs (the same convention as
+  ``IncrementalPlanner``'s state matching).
+* **Piecewise/tabulated costs keep their kind.**  A
+  ``PiecewiseLinearCost`` that happens to trace a line does *not* merge
+  with ``LinearCost``: its routing differs (dp-fast vs closed form), so
+  the plans may legitimately differ.
+* **Callable costs have no fingerprint.**  ``CallableCost`` wraps
+  arbitrary Python — no value identity, so :func:`problem_fingerprint`
+  returns ``None`` and the serve layer solves it uncached.
+
+The fingerprint is deliberately *stricter* than
+:func:`repro.core.shared_cache.stable_cost_key`: the shared-memory tier
+only needs float-table identity (tabulated costs key by their float
+bytes), while the plan cache returns ``makespan_exact`` and therefore
+keys tabulated/piecewise costs by their exact rational values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..core.costs import (
+    AffineCost,
+    CostFunction,
+    LinearCost,
+    PiecewiseLinearCost,
+    TabulatedCost,
+    ZeroCost,
+)
+from ..core.distribution import ScatterProblem
+
+__all__ = ["Fingerprint", "cost_fingerprint", "problem_fingerprint"]
+
+
+def cost_fingerprint(fn: CostFunction) -> Optional[str]:
+    """Exact canonical key for one cost function, or ``None``.
+
+    Equal-value analytic forms share a key (see the module docs); the
+    key embeds exact Fractions (``"lin:1/2"``), so it is stable across
+    processes and Python versions.
+    """
+    kind = type(fn)
+    if kind is ZeroCost:
+        return "zero"
+    if kind is LinearCost:
+        if fn.rate == 0:
+            return "zero"
+        return f"lin:{fn.rate}"
+    if kind is AffineCost:
+        if fn.intercept == 0:
+            if fn.rate == 0:
+                return "zero"
+            return f"lin:{fn.rate}"
+        return f"aff:{fn.rate}:{fn.intercept}:{int(fn.zero_is_free)}"
+    if kind is TabulatedCost:
+        body = ";".join(str(v) for v in fn._values)
+        return "tab:" + hashlib.sha1(body.encode()).hexdigest()
+    if kind is PiecewiseLinearCost:
+        body = ";".join(f"{x},{t}" for x, t in zip(fn._xs, fn._ts))
+        return "pwl:" + hashlib.sha1(body.encode()).hexdigest()
+    return None
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Value identity of one normalized plan request.
+
+    Attributes
+    ----------
+    key:
+        SHA-1 hex digest of :attr:`canonical` — the cache key.
+    canonical:
+        The human-readable canonical string (``v1;n=...;p=...;...``),
+        kept for debugging and for the equal-value property tests.
+    cost_keys:
+        The set of per-cost canonical keys appearing in the request —
+        the index :meth:`PlanCache.invalidate_cost` evicts by.
+    """
+
+    key: str
+    canonical: str
+    cost_keys: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.key
+
+
+def problem_fingerprint(
+    problem: ScatterProblem,
+    *,
+    algorithm: str = "auto",
+    exact_threshold: int = 5_000,
+) -> Optional[Fingerprint]:
+    """Fingerprint of ``problem`` as the solver will actually see it.
+
+    Call this on the *ordered* problem (after ``apply_policy``): the
+    service normalizes order first, so input permutations that the
+    ordering policy maps to one sequence share one fingerprint, while
+    genuinely order-sensitive requests (``order_policy=None`` with
+    different sequences) stay distinct.
+
+    ``exact_threshold`` only affects routing for ``"auto"`` over
+    non-increasing costs, so it is folded into the key only in that
+    case — a linear request keys the same under any threshold.
+
+    Returns ``None`` when any cost lacks a value identity
+    (:class:`~repro.core.costs.CallableCost` and custom subclasses);
+    such requests bypass the cache and coalescing entirely.
+    """
+    parts = []
+    keys = set()
+    for proc in problem.processors:
+        comm = cost_fingerprint(proc.comm)
+        comp = cost_fingerprint(proc.comp)
+        if comm is None or comp is None:
+            return None
+        parts.append(f"{comm}|{comp}")
+        keys.add(comm)
+        keys.add(comp)
+    head = f"v1;n={problem.n};p={problem.p};alg={algorithm}"
+    if algorithm == "auto" and not problem.is_increasing:
+        head += f";thr={exact_threshold}"
+    canonical = head + ";" + ";".join(parts)
+    digest = hashlib.sha1(canonical.encode()).hexdigest()
+    return Fingerprint(key=digest, canonical=canonical,
+                       cost_keys=frozenset(keys))

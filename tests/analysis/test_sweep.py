@@ -220,3 +220,128 @@ class TestProcessPoolMetrics:
         ) as ev:
             par = heterogeneity_sweep(spreads, p=6, n=2000, evaluator=ev)
         assert seq == par
+
+
+def _boom(_):
+    raise RuntimeError("injected evaluation failure")
+
+
+class TestEvaluatorExceptionSafety:
+    """A crashing evaluation must not leak shm segments or cache state."""
+
+    def test_map_crash_inside_context_leaves_no_segments(self):
+        from repro.core.costs import DEFAULT_COST_CACHE, get_default_cost_cache
+
+        ns = None
+        with pytest.raises(RuntimeError, match="injected"):
+            with ParallelSweepEvaluator(
+                2, backend="process", cache_tier="shared"
+            ) as ev:
+                ns = ev._shared_cache.namespace
+                ev.map(_makespan_at, [300])  # publish at least one segment
+                assert _shm_entries(ns + "_")
+                ev.map(_boom, [1, 2, 3])
+        assert _shm_entries(ns + "_") == []
+        assert get_default_cost_cache() is DEFAULT_COST_CACHE
+
+    def test_thread_backend_crash_inside_context(self):
+        from repro.core.costs import DEFAULT_COST_CACHE, get_default_cost_cache
+
+        with pytest.raises(RuntimeError, match="injected"):
+            with ParallelSweepEvaluator(
+                2, backend="thread", cache_tier="shared"
+            ) as ev:
+                ns = ev._shared_cache.namespace
+                ev.map(_makespan_at, [300])
+                ev.map(_boom, [1])
+        assert _shm_entries(ns + "_") == []
+        assert get_default_cost_cache() is DEFAULT_COST_CACHE
+
+    def test_pool_creation_failure_restores_cache_and_segments(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+        from repro.core.costs import DEFAULT_COST_CACHE, get_default_cost_cache
+
+        def exploding_pool(*args, **kwargs):
+            raise MemoryError("injected pool failure")
+
+        monkeypatch.setattr(sweep_mod, "ThreadPool", exploding_pool)
+        with pytest.raises(MemoryError, match="injected pool"):
+            ParallelSweepEvaluator(2, backend="thread", cache_tier="shared")
+        assert get_default_cost_cache() is DEFAULT_COST_CACHE
+        assert _shm_entries("rsweep") == []
+
+    def test_dropped_evaluator_finalizer_unlinks_segments(self):
+        import gc
+
+        ev = ParallelSweepEvaluator(2, backend="thread", cache_tier="shared")
+        ns = ev._shared_cache.namespace
+        ev.map(_makespan_at, [300])
+        assert _shm_entries(ns + "_")
+        fin = ev._finalizer
+        del ev
+        gc.collect()
+        assert not fin.alive
+        assert _shm_entries(ns + "_") == []
+        # The default-cache swap is NOT undone by the GC backstop (that
+        # would yank the tier out from under unrelated threads); restore
+        # it here to keep the test process clean.
+        from repro.core.costs import set_default_cost_cache
+
+        set_default_cost_cache(None)
+
+
+class TestEvaluatorSubmit:
+    """The async single-item path used by the serve layer."""
+
+    def test_sequential_submit_inline(self):
+        got = []
+        SequentialSweepEvaluator().submit(lambda x: x * 2, 21, got.append)
+        assert got == [42]
+
+    def test_sequential_submit_error_callback(self):
+        errs = []
+        SequentialSweepEvaluator().submit(_boom, 1, error_callback=errs.append)
+        assert len(errs) == 1 and "injected" in str(errs[0])
+
+    def test_sequential_submit_raises_without_error_callback(self):
+        with pytest.raises(RuntimeError, match="injected"):
+            SequentialSweepEvaluator().submit(_boom, 1)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_submit_delivers_result(self, backend):
+        import threading
+
+        done = threading.Event()
+        got = []
+        with ParallelSweepEvaluator(2, backend=backend) as ev:
+            ev.submit(_makespan_at, 300,
+                      callback=lambda r: (got.append(r), done.set()))
+            assert done.wait(timeout=60)
+        assert got == [_makespan_at(300)]
+
+    def test_pool_submit_error_callback(self):
+        import threading
+
+        done = threading.Event()
+        errs = []
+        with ParallelSweepEvaluator(2, backend="thread") as ev:
+            ev.submit(_boom, 1,
+                      error_callback=lambda e: (errs.append(e), done.set()))
+            assert done.wait(timeout=60)
+        assert "injected" in str(errs[0])
+
+    def test_process_submit_merges_worker_metrics(self):
+        from repro.obs.metrics import METRICS
+
+        import threading
+
+        done = threading.Event()
+        hits = METRICS.counter("core.cost_cache.hits")
+        misses = METRICS.counter("core.cost_cache.misses")
+        t0 = hits.value + misses.value
+        with ParallelSweepEvaluator(2, backend="process") as ev:
+            ev.submit(_makespan_at, 500, callback=lambda r: done.set())
+            assert done.wait(timeout=60)
+        # The worker's table lookups (hits against the fork-inherited
+        # cache, or misses on a cold one) surfaced in the parent.
+        assert hits.value + misses.value > t0

@@ -128,7 +128,9 @@ class TestCostTableCache:
         cache = CostTableCache()
         a = cache.table(LinearCost(0.01), 50)
         b = cache.table(LinearCost(0.01), 50)  # distinct object, equal value
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "waits": 0, "entries": 1,
+        }
         np.testing.assert_array_equal(a, b)
 
     def test_prefix_view_served_from_larger_table(self):
@@ -157,7 +159,9 @@ class TestCostTableCache:
         cache = CostTableCache()
         cache.table(LinearCost(1.0), 10)
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "waits": 0, "entries": 0,
+        }
 
 
 class TestAutoRouting:

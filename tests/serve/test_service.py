@@ -1,0 +1,348 @@
+"""PlanService concurrency suite: stampede, coalescing, oracles, warm re-plans."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import (
+    IncrementalPlanner,
+    PiecewiseLinearCost,
+    Processor,
+    ScatterProblem,
+    ZeroCost,
+    plan_scatter,
+)
+from repro.core.costs import CallableCost, LinearCost
+from repro.analysis.sweep import ParallelSweepEvaluator, SequentialSweepEvaluator
+from repro.serve import PlanService
+from repro.verify.oracles import run_oracles
+
+
+def _linear_problem(p=4, n=1_000, seed=3):
+    rng = random.Random(seed)
+    procs = [
+        Processor.linear(f"P{i + 1}", rng.uniform(0.005, 0.02),
+                         rng.uniform(1e-5, 5e-5))
+        for i in range(p - 1)
+    ]
+    procs.append(Processor.linear("root", 0.01, 0.0))
+    return ScatterProblem(procs, n)
+
+
+def _knee_problem(p=4, n=2_000, seed=5):
+    rng = random.Random(seed)
+
+    def knee():
+        x1 = rng.randint(1, max(1, n // 3))
+        r1 = rng.uniform(1e-6, 5e-5)
+        r2 = rng.uniform(1e-6, 5e-5)
+        return PiecewiseLinearCost(
+            [(0, 0), (x1, r1 * x1), (n, r1 * x1 + r2 * (n - x1))]
+        )
+
+    procs = [Processor(f"P{i + 1}", knee(), knee()) for i in range(p - 1)]
+    procs.append(Processor(f"P{p}", ZeroCost(), knee()))
+    return ScatterProblem(procs, n)
+
+
+class GatedPlanner:
+    """An IncrementalPlanner wrapper that counts and can stall solves."""
+
+    def __init__(self, gate=None):
+        self.inner = IncrementalPlanner(order_policy=None)
+        self.gate = gate
+        self.calls = 0
+        self.started = threading.Event()
+        self._lock = threading.Lock()
+
+    def plan(self, problem):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        return self.inner.plan(problem)
+
+    def invalidate_cost(self, fn):
+        return self.inner.invalidate_cost(fn)
+
+    def stats(self):
+        return self.inner.stats()
+
+
+def _assert_matches_cold(result, cold):
+    assert result.counts == cold.counts
+    assert result.makespan == cold.makespan
+    assert result.makespan_exact == cold.makespan_exact
+    assert result.algorithm == cold.algorithm
+
+
+class TestStampede:
+    def test_k16_one_fingerprint_exactly_one_solve(self):
+        problem = _linear_problem()
+        cold = plan_scatter(problem)
+        gate = threading.Event()
+        planner = GatedPlanner(gate)
+        with PlanService(planner=planner) as svc:
+            barrier = threading.Barrier(16)
+            tickets = [None] * 16
+
+            def worker(i):
+                barrier.wait(timeout=30)
+                tickets[i] = svc.submit(problem)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            assert planner.started.wait(timeout=30)
+            gate.set()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+
+            assert planner.calls == 1, "stampede was not single-flighted"
+            results = [t.result(timeout=30) for t in tickets]
+            for r in results:
+                _assert_matches_cold(r, cold)
+            # One request solved; the other 15 either joined its flight
+            # or (having submitted after the commit) hit the cache.
+            coalesced = sum(t.coalesced for t in tickets)
+            cached = sum(t.cached for t in tickets)
+            assert coalesced + cached == 15
+            assert coalesced >= 1
+
+    def test_stampede_single_cost_tabulation(self):
+        # End-to-end view of the CostTableCache single-flight: K=16
+        # concurrent identical dp-fast requests tabulate each distinct
+        # cost exactly once (the plan itself solves once, and the solve
+        # misses once per distinct cost function).
+        problem = _knee_problem()
+        planner = GatedPlanner()
+        cache = planner.inner.cache
+        with PlanService(planner=planner, backend="thread", workers=4) as svc:
+            barrier = threading.Barrier(16)
+            tickets = [None] * 16
+
+            def worker(i):
+                barrier.wait(timeout=30)
+                tickets[i] = svc.submit(problem)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            for t in tickets:
+                t.result(timeout=60)
+        distinct_costs = len(
+            {id(fn) for proc in problem.processors for fn in (proc.comm, proc.comp)}
+        )
+        assert planner.calls == 1
+        assert cache.stats()["misses"] <= distinct_costs
+
+
+class TestCoalescingPerBackend:
+    def _run_gated(self, svc, planner, gate, problem, extra=7):
+        cold = plan_scatter(problem)
+        first = svc.submit(problem)
+        assert planner.started.wait(timeout=30)
+        others = [svc.submit(problem) for _ in range(extra)]
+        assert all(t.coalesced for t in others)
+        gate.set()
+        _assert_matches_cold(first.result(timeout=60), cold)
+        for t in others:
+            _assert_matches_cold(t.result(timeout=60), cold)
+        assert planner.calls == 1
+
+    def test_thread_backend(self):
+        gate = threading.Event()
+        planner = GatedPlanner(gate)
+        with PlanService(planner=planner, backend="thread", workers=2) as svc:
+            self._run_gated(svc, planner, gate, _linear_problem())
+
+    def test_caller_owned_shared_tier_executor(self):
+        gate = threading.Event()
+        planner = GatedPlanner(gate)
+        with ParallelSweepEvaluator(2, backend="thread",
+                                    cache_tier="shared") as ev:
+            with PlanService(planner=planner, executor=ev) as svc:
+                self._run_gated(svc, planner, gate, _knee_problem())
+
+    def test_sequential_backend_coalesces_across_threads(self):
+        # Inline solving still single-flights: submitters racing the
+        # solver thread join its flight.
+        gate = threading.Event()
+        planner = GatedPlanner(gate)
+        problem = _linear_problem()
+        cold = plan_scatter(problem)
+        with PlanService(planner=planner) as svc:
+            t1 = threading.Thread(target=lambda: svc.plan(problem))
+            t1.start()
+            assert planner.started.wait(timeout=30)
+            second = svc.submit(problem)
+            assert second.coalesced
+            gate.set()
+            t1.join(timeout=60)
+            _assert_matches_cold(second.result(timeout=60), cold)
+        assert planner.calls == 1
+
+    def test_process_backend(self):
+        problem = _knee_problem(n=20_000)
+        with PlanService(backend="process", workers=2) as svc:
+            first = svc.submit(problem)
+            others = [svc.submit(problem) for _ in range(5)]
+            # The solve crosses a process boundary (milliseconds at
+            # best); these submits land well inside its flight window.
+            assert all(t.coalesced for t in others)
+            cold = plan_scatter(problem)
+            _assert_matches_cold(first.result(timeout=120), cold)
+            for t in others:
+                _assert_matches_cold(t.result(timeout=120), cold)
+
+    def test_coalescing_with_cache_disabled(self):
+        gate = threading.Event()
+        planner = GatedPlanner(gate)
+        with PlanService(planner=planner, cache_size=0,
+                         backend="thread", workers=2) as svc:
+            self._run_gated(svc, planner, gate, _linear_problem(), extra=3)
+            # Cache off: an identical request *after* the flight lands
+            # solves again instead of hitting.
+            gate2 = threading.Event()
+            planner.gate = gate2
+            planner.started.clear()
+            later = svc.submit(_linear_problem())
+            gate2.set()
+            later.result(timeout=60)
+            assert not later.cached
+            assert planner.calls == 2
+
+
+class TestServedPlansPassOracles:
+    @pytest.mark.parametrize("problem_factory", [
+        _linear_problem,
+        _knee_problem,
+        lambda: ScatterProblem(
+            [Processor.affine("P1", 0.01, 2e-5, 0.5, 0.1),
+             Processor.affine("P2", 0.02, 1e-5, 0.2, 0.3),
+             Processor.affine("root", 0.01, 0.0)], 500),
+    ])
+    def test_eq1_and_dist_valid(self, problem_factory):
+        problem = problem_factory()
+        with PlanService() as svc:
+            for _ in range(2):  # solved, then served from cache
+                result = svc.plan(problem)
+                reports = run_oracles(
+                    result.problem, {"serve": result},
+                    only=["eq1-recompute", "dist-valid"],
+                )
+                assert all(r.ok for r in reports), [
+                    (r.oracle_id, r.violations) for r in reports
+                ]
+
+
+class TestCacheAndInvalidation:
+    def test_second_request_hits(self):
+        problem = _linear_problem()
+        with PlanService() as svc:
+            a = svc.submit(problem)
+            b = svc.submit(problem)
+            assert not a.cached and b.cached
+            _assert_matches_cold(b.result(), plan_scatter(problem))
+            assert svc.stats()["hit_rate"] == 0.5
+
+    def test_ttl_expiry_resolves_warm(self):
+        clock = [0.0]
+        planner = IncrementalPlanner(order_policy=None)
+        problem = _knee_problem()
+        with PlanService(planner=planner, ttl=10.0,
+                         time_fn=lambda: clock[0]) as svc:
+            first = svc.plan(problem)
+            clock[0] = 5.0
+            assert svc.submit(problem).cached  # still fresh
+            clock[0] = 11.0
+            again = svc.plan(problem)  # expired: re-solve, warm-started
+            _assert_matches_cold(again, first)
+        stats = planner.stats()
+        assert stats["plans"] == 2
+        assert stats["warm_plans"] >= 1
+        assert svc.cache.stats()["expired"] == 1
+
+    def test_invalidate_cost_evicts_and_replans(self):
+        problem = _knee_problem()
+        planner = IncrementalPlanner(order_policy=None)
+        with PlanService(planner=planner) as svc:
+            first = svc.plan(problem)
+            changed = problem.processors[0].comp
+            assert svc.invalidate_cost(changed) == 1
+            again = svc.submit(problem)
+            assert not again.cached
+            _assert_matches_cold(again.result(), first)
+
+    def test_invalidate_problem(self):
+        problem = _linear_problem()
+        with PlanService() as svc:
+            svc.plan(problem)
+            assert svc.invalidate(problem) is True
+            assert svc.invalidate(problem) is False
+            assert not svc.submit(problem).cached
+
+    def test_callable_costs_bypass_cache_and_coalescing(self):
+        procs = [
+            Processor("P1", LinearCost(1e-5), CallableCost(lambda x: 0.01 * x)),
+            Processor("root", ZeroCost(), LinearCost(0.02)),
+        ]
+        problem = ScatterProblem(procs, 200)
+        planner = GatedPlanner()
+        with PlanService(planner=planner, algorithm="dp-basic",
+                         order_policy=None) as svc:
+            a = svc.plan(problem)
+            b = svc.plan(problem)
+            assert planner.calls == 2  # never cached, never coalesced
+            assert a.info["serve"]["fingerprint"] is None
+            _assert_matches_cold(
+                a, plan_scatter(problem, algorithm="dp-basic",
+                                order_policy=None))
+            _assert_matches_cold(a, b)
+
+
+class TestServiceLifecycle:
+    def test_errors_propagate_and_are_not_cached(self):
+        class Boom:
+            def plan(self, problem):
+                raise RuntimeError("solver exploded")
+
+        problem = _linear_problem()
+        with PlanService(planner=Boom()) as svc:
+            with pytest.raises(RuntimeError, match="solver exploded"):
+                svc.plan(problem)
+            assert len(svc.cache) == 0
+            assert svc.stats()["inflight"] == 0
+
+    def test_closed_service_rejects_submissions(self):
+        svc = PlanService()
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit(_linear_problem())
+
+    def test_random_order_policy_rejected(self):
+        with pytest.raises(ValueError, match="random"):
+            PlanService(order_policy="random")
+
+    def test_executor_and_backend_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            PlanService(executor=SequentialSweepEvaluator(), backend="thread")
+
+    def test_latency_metrics_populate(self):
+        problem = _linear_problem()
+        with PlanService() as svc:
+            svc.plan(problem)
+            svc.plan(problem)
+            stats = svc.stats()
+        assert stats["latency_count"] >= 2
+        assert stats["latency_p50_s"] is not None
+        assert stats["latency_p99_s"] is not None
