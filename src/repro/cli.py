@@ -369,7 +369,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from .lint import render_findings, render_findings_json, run_lint
-    from .lint.core import iter_rule_metadata
+    from .lint.core import discover_files, iter_rule_metadata
+    from .lint.fixes import fix_file, render_diff
 
     if args.list_rules:
         width = max(len(rid) for rid, _, _ in iter_rule_metadata())
@@ -377,6 +378,28 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule_id:<{width}}  [{family}] {description}")
         return 0
     paths = args.paths or ["src"]
+    if args.fix or args.diff:
+        # --diff previews without writing; --fix rewrites in place.
+        # Either way the remaining findings are reported afterwards.
+        try:
+            files = discover_files(paths)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rewrites = 0
+        for path in files:
+            original, fixed, applied = fix_file(
+                path, rules=args.rule or None, write=args.fix
+            )
+            rewrites += applied
+            if args.diff:
+                diff = render_diff(path, original, fixed)
+                if diff:
+                    print(diff, end="")
+        verb = "applied" if args.fix else "would apply"
+        print(f"fix: {verb} {rewrites} rewrite(s)", file=sys.stderr)
+        if not args.fix:
+            return 0
     try:
         findings = run_lint(paths, rules=args.rule or None)
     except (FileNotFoundError, KeyError) as exc:
@@ -697,7 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_li = sub.add_parser(
         "lint",
-        help="run the determinism/simulation-safety static analysis",
+        help="run the determinism/simulation-safety/concurrency static analysis",
     )
     p_li.add_argument(
         "paths", nargs="*",
@@ -713,6 +736,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_li.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    p_li.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical rewrites for the fixable rules in place",
+    )
+    p_li.add_argument(
+        "--diff", action="store_true",
+        help="print the unified diff the fixes would apply (no writes "
+        "unless --fix is also given)",
     )
     p_li.set_defaults(fn=cmd_lint)
 

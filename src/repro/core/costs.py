@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
+from ..lint.runtime import make_lock, note_blocking
 from ..obs.metrics import METRICS
 
 __all__ = [
@@ -589,7 +590,7 @@ class CostTableCache:
         self.maxsize = int(maxsize)
         self._tables: "OrderedDict[CostFunction, np.ndarray]" = OrderedDict()
         self._inflight: Dict[CostFunction, _InFlight] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"{type(self).__name__}._lock")
         self.hits = 0
         self.misses = 0
         self.waits = 0
@@ -601,6 +602,7 @@ class CostTableCache:
         this to attach/publish shared-memory segments instead of always
         computing locally.
         """
+        note_blocking("CostTableCache.tabulate")
         arr = _build_table(fn, n)
         arr.setflags(write=False)
         METRICS.counter("core.cost_cache.misses").inc()
@@ -630,6 +632,7 @@ class CostTableCache:
             # table is too short for our n (or the builder raised), the
             # re-check misses and we become the next builder.
             METRICS.counter("core.cost_cache.single_flight_waits").inc()
+            note_blocking("CostTableCache.single_flight_wait")
             flight.event.wait()
         try:
             arr = self._tabulate_miss(fn, n)

@@ -78,12 +78,12 @@ stages.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..lint.runtime import make_lock, note_blocking
 from ..obs.metrics import METRICS
 from ..obs.profiler import stage_profile
 from .costs import CostFunction, CostTableCache
@@ -200,7 +200,7 @@ class IncrementalPlanner:
         self.cache = cache if cache is not None else CostTableCache()
         self.keep_states = int(keep_states)
         self._states: List[_SolveState] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("IncrementalPlanner._lock")
         self.plans = 0
         self.warm_plans = 0
         self.rows_reused = 0
@@ -298,6 +298,7 @@ class IncrementalPlanner:
         route = self._route(problem)
         if route not in _WARM_ALGORITHMS:
             METRICS.counter("core.incremental.cold_plans").inc()
+            note_blocking("IncrementalPlanner.cold_plan")
             return plan_scatter(
                 problem,
                 algorithm=self.algorithm,
@@ -330,6 +331,7 @@ class IncrementalPlanner:
                     for i in range(sp - 2, sp - 1 - depth, -1)
                 ]
         collected: dict = {}
+        note_blocking("IncrementalPlanner.solve")
         with prof.stage("incremental_solve"):
             if route == "dp-monotone":
                 result = solve_dp_monotone(

@@ -1,16 +1,20 @@
-"""Determinism & simulation-safety static analysis (``repro-scatter lint``).
+"""Determinism, simulation-safety & concurrency static analysis.
 
 The reproduction rests on invariants the paper's framework *assumes* but
 ordinary code review rarely enforces: bit-identical seeded simulation
 (two runs of an Eq. 1/2 schedule must agree exactly), single-port
-rank-order service, and cost functions that are non-negative and null at
-zero.  This package checks those invariants mechanically, at review
-time, with a small AST-based rule engine:
+rank-order service, cost functions that are non-negative and null at
+zero — and, since the serve/cache layers went concurrent, lock
+discipline across five modules.  This package checks those invariants
+mechanically, at review time, with a small AST-based rule engine:
 
 * :mod:`repro.lint.core` — the engine: file contexts, the rule registry,
   per-line / per-file suppression comments, and :func:`run_lint`.
 * :mod:`repro.lint.astutil` — shared AST helpers (import-alias
   resolution, parent links, qualified names).
+* :mod:`repro.lint.project` — the whole-tree pass: cross-file symbol
+  table and call graph (:class:`ProjectContext`) handed to rules that
+  implement ``check_project``.
 * :mod:`repro.lint.rules_determinism` — no unseeded ``random`` /
   ``numpy.random``, no wall-clock reads, no unordered-collection
   iteration feeding scheduling decisions, no float ``==`` on makespans.
@@ -20,6 +24,15 @@ time, with a small AST-based rule engine:
 * :mod:`repro.lint.rules_contracts` — solver entry points validate their
   cost functions; solver results carry the ``info`` keys the exporters
   and benchmarks rely on.
+* :mod:`repro.lint.rules_concurrency` — lock-order cycles across the
+  call graph, blocking calls under locks, attributes written both inside
+  and outside their class's lock regions, event waits with unguarded
+  predicates.
+* :mod:`repro.lint.runtime` — the dynamic half: an opt-in lock
+  sanitizer (``REPRO_LOCK_SANITIZER=1`` or
+  :func:`install_lock_sanitizer`) that order-checks real executions.
+* :mod:`repro.lint.fixes` — mechanical autofixes for the fixable rule
+  subset (``repro-scatter lint --fix`` / ``--diff``).
 * :mod:`repro.lint.reporters` — human (``file:line: rule message``) and
   JSON renderings.
 
@@ -28,8 +41,8 @@ Suppression syntax (see ``docs/api.md`` §Lint)::
     x = foo()  # lint: disable=det-wall-clock
     # lint: disable-file=det-unordered-iter
 
-Run it as ``repro-scatter lint [paths] [--json] [--rule ID]``; CI gates
-on a clean tree.
+Run it as ``repro-scatter lint [paths] [--json] [--rule ID] [--fix]``;
+CI gates on a clean tree.
 """
 
 from .core import (
@@ -38,26 +51,49 @@ from .core import (
     Rule,
     all_rules,
     get_rule,
+    lint_project_sources,
     lint_source,
     register,
     run_lint,
 )
+from .project import ProjectContext
 from .reporters import render_findings, render_findings_json
+from .runtime import (
+    SanitizedLock,
+    assert_sanitizer_clean,
+    install_lock_sanitizer,
+    make_lock,
+    note_blocking,
+    sanitizer_active,
+    sanitizer_violations,
+    uninstall_lock_sanitizer,
+)
 
 # Importing the rule modules populates the registry.
-from . import rules_contracts  # noqa: F401  (registration side effect)
+from . import rules_concurrency  # noqa: F401  (registration side effect)
+from . import rules_contracts  # noqa: F401
 from . import rules_determinism  # noqa: F401
 from . import rules_simsafety  # noqa: F401
 
 __all__ = [
     "FileContext",
     "Finding",
+    "ProjectContext",
     "Rule",
+    "SanitizedLock",
     "all_rules",
+    "assert_sanitizer_clean",
     "get_rule",
+    "install_lock_sanitizer",
+    "lint_project_sources",
     "lint_source",
+    "make_lock",
+    "note_blocking",
     "register",
     "run_lint",
     "render_findings",
     "render_findings_json",
+    "sanitizer_active",
+    "sanitizer_violations",
+    "uninstall_lock_sanitizer",
 ]

@@ -25,7 +25,21 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # import cycle at runtime only; fine for the checker
+    from .project import ProjectContext
 
 from .astutil import build_parents, import_aliases
 
@@ -37,6 +51,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_source",
+    "lint_project_sources",
     "lint_file",
     "run_lint",
     "discover_files",
@@ -88,7 +103,7 @@ class FileContext:
         Parsed AST, source lines, import-alias map, child->parent map.
     """
 
-    def __init__(self, path: str, source: str, relpath: Optional[str] = None):
+    def __init__(self, path: str, source: str, relpath: Optional[str] = None) -> None:
         self.path = path
         self.source = source
         self.relpath = relpath if relpath is not None else package_relpath(path)
@@ -175,6 +190,17 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
         raise NotImplementedError
 
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Tuple[FileContext, int, int, str]]:
+        """Whole-tree pass: yield ``(ctx, line, col, message)``.
+
+        The default is no project findings; per-file scoping and
+        suppressions apply to what is yielded exactly as for
+        :meth:`check`.
+        """
+        return iter(())
+
 
 def _prefix_match(relpath: str, pattern: str) -> bool:
     """True when ``pattern`` names this file or one of its ancestors."""
@@ -227,24 +253,63 @@ class _FileResult:
     used_suppressions: Set[Tuple[str, int]] = field(default_factory=set)
 
 
-def _lint_context(
-    ctx: FileContext, rules: Sequence[Rule], check_suppressions: bool
+def _lint_contexts(
+    contexts: Sequence[FileContext],
+    rules: Sequence[Rule],
+    check_suppressions: bool,
+) -> List[Finding]:
+    """Apply per-file and project-level rules to a set of parsed files.
+
+    The project pass always runs — a single-file lint simply gets a
+    one-file :class:`~repro.lint.project.ProjectContext`, so rules like
+    ``conc-lock-order`` work on self-contained fixtures too.  Findings
+    from both passes share one suppression namespace per file.
+    """
+    raw: Dict[int, List[Tuple[str, int, int, str]]] = {
+        id(ctx): [] for ctx in contexts
+    }
+    for ctx in contexts:
+        for rule in rules:
+            if not rule.applies_to(ctx.relpath):
+                continue
+            for line, col, message in rule.check(ctx):
+                raw[id(ctx)].append((rule.id, line, col, message))
+    if contexts:
+        from .project import ProjectContext  # deferred: project imports core
+
+        project = ProjectContext(contexts)
+        for rule in rules:
+            for fctx, line, col, message in rule.check_project(project):
+                if id(fctx) not in raw or not rule.applies_to(fctx.relpath):
+                    continue
+                raw[id(fctx)].append((rule.id, line, col, message))
+    findings: List[Finding] = []
+    for ctx in contexts:
+        findings.extend(
+            _finalize_context(ctx, rules, raw[id(ctx)], check_suppressions)
+        )
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _finalize_context(
+    ctx: FileContext,
+    rules: Sequence[Rule],
+    raw: Sequence[Tuple[str, int, int, str]],
+    check_suppressions: bool,
 ) -> List[Finding]:
     result = _FileResult()
     known_ids = set(_REGISTRY) | {META_UNUSED}
-    for rule in rules:
-        if not rule.applies_to(ctx.relpath):
+    for rule_id, line, col, message in raw:
+        if ctx.is_suppressed(rule_id, line):
+            if rule_id in ctx.file_suppressions:
+                result.used_suppressions.add(
+                    (rule_id, ctx.file_suppressions[rule_id])
+                )
+            else:
+                result.used_suppressions.add((rule_id, line))
             continue
-        for line, col, message in rule.check(ctx):
-            if ctx.is_suppressed(rule.id, line):
-                if rule.id in ctx.file_suppressions:
-                    result.used_suppressions.add(
-                        (rule.id, ctx.file_suppressions[rule.id])
-                    )
-                else:
-                    result.used_suppressions.add((rule.id, line))
-                continue
-            result.findings.append(Finding(rule.id, ctx.path, line, col, message))
+        result.findings.append(Finding(rule_id, ctx.path, line, col, message))
     if check_suppressions:
         active = {rule.id for rule in rules if rule.applies_to(ctx.relpath)}
         for rule_id, lineno in sorted(ctx.file_suppressions.items()):
@@ -298,7 +363,26 @@ def lint_source(
     scoping behaves exactly as for on-disk files.
     """
     ctx = FileContext(relpath, source, relpath=relpath)
-    return _lint_context(ctx, _select_rules(rules), check_suppressions)
+    return _lint_contexts([ctx], _select_rules(rules), check_suppressions)
+
+
+def lint_project_sources(
+    sources: Sequence[Tuple[str, str]],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    check_suppressions: bool = True,
+) -> List[Finding]:
+    """Lint several in-memory files as one project tree.
+
+    ``sources`` is ``[(relpath, source), ...]``; cross-file rules see
+    all of them in a single :class:`~repro.lint.project.ProjectContext`,
+    so fixtures can plant e.g. a lock inversion spanning two modules.
+    """
+    contexts = [
+        FileContext(relpath, source, relpath=relpath)
+        for relpath, source in sources
+    ]
+    return _lint_contexts(contexts, _select_rules(rules), check_suppressions)
 
 
 def lint_file(
@@ -306,18 +390,24 @@ def lint_file(
     check_suppressions: bool = True,
 ) -> List[Finding]:
     """Lint one file on disk."""
+    ctx, error = _load_context(path)
+    if ctx is None:
+        return [error] if error is not None else []
+    return _lint_contexts([ctx], _select_rules(rules), check_suppressions)
+
+
+def _load_context(
+    path: str,
+) -> Tuple[Optional[FileContext], Optional[Finding]]:
     with open(path, encoding="utf-8") as fh:
         source = fh.read()
     try:
-        ctx = FileContext(path, source)
+        return FileContext(path, source), None
     except SyntaxError as exc:
-        return [
-            Finding(
-                "parse-error", path, exc.lineno or 0, exc.offset or 0,
-                f"could not parse: {exc.msg}",
-            )
-        ]
-    return _lint_context(ctx, _select_rules(rules), check_suppressions)
+        return None, Finding(
+            "parse-error", path, exc.lineno or 0, exc.offset or 0,
+            f"could not parse: {exc.msg}",
+        )
 
 
 _SKIP_DIRS = {"__pycache__", ".git", ".tox", ".venv", "node_modules"}
@@ -346,10 +436,21 @@ def discover_files(paths: Sequence[str]) -> List[str]:
 def run_lint(
     paths: Sequence[str], *, rules: Optional[Sequence[str]] = None
 ) -> List[Finding]:
-    """Lint files/directories; returns all findings sorted by location."""
+    """Lint files/directories; returns all findings sorted by location.
+
+    All parseable files form one project tree, so cross-file rules see
+    the whole invocation at once; unparseable files degrade to a single
+    ``parse-error`` finding without aborting the run.
+    """
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
     for path in discover_files(paths):
-        findings.extend(lint_file(path, rules=rules))
+        ctx, error = _load_context(path)
+        if ctx is not None:
+            contexts.append(ctx)
+        elif error is not None:
+            findings.append(error)
+    findings.extend(_lint_contexts(contexts, _select_rules(rules), True))
     findings.sort(key=Finding.sort_key)
     return findings
 

@@ -1,0 +1,217 @@
+"""Mechanical autofixes for the fixable lint-rule subset (``--fix``).
+
+Two rules have a rewrite that is safe to apply without human judgement:
+
+* ``det-unordered-iter`` — wrap the iterated expression in
+  ``sorted(...)``.  Only the set-typed variants are rewritten; the
+  ``.values()``/``.keys()``-in-a-decision-function variant is left to a
+  human, because values need not be orderable and the right key is a
+  design choice.
+* ``det-unseeded-random`` — the seedless-constructor variant
+  (``random.Random()``, ``default_rng()``, ``RandomState()``,
+  ``SeedSequence()``) gets an explicit literal seed ``0``.  Calls on the
+  process-global generator (``random.shuffle(...)``) are *not* rewritten:
+  they need a generator instance plumbed through, which is a refactor.
+
+Fixes are applied as pure text insertions at AST-derived offsets, then
+the file is re-linted and the cycle repeats until no fixable finding
+remains (bounded, in case a rewrite exposes another site).  Because a
+rewritten site no longer fires its rule, the process is idempotent:
+fixing an already-fixed file is a no-op.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .astutil import import_aliases, qualified_name
+from .core import Finding, lint_source
+
+__all__ = ["FIXABLE_RULES", "fix_source", "fix_file", "render_diff"]
+
+#: Rules ``--fix`` knows how to rewrite.
+FIXABLE_RULES = ("det-unordered-iter", "det-unseeded-random")
+
+#: Constructor tails that accept a plain int seed as first argument.
+_SEEDABLE_TAILS = {"Random", "default_rng", "RandomState", "SeedSequence"}
+
+_MAX_PASSES = 10
+
+
+def fix_source(
+    source: str,
+    relpath: str,
+    *,
+    rules: Optional[Sequence[str]] = None,
+) -> Tuple[str, int]:
+    """Return ``(fixed_source, number_of_rewrites_applied)``.
+
+    ``relpath`` drives rule path scoping exactly as in
+    :func:`~repro.lint.core.lint_source`.  Suppressed findings are never
+    rewritten — a suppression documents intent.
+    """
+    current = source
+    applied = 0
+    for _ in range(_MAX_PASSES):
+        findings = lint_source(
+            current, relpath, rules=rules, check_suppressions=False
+        )
+        insertions, fixed = _plan_insertions(current, findings)
+        if not insertions:
+            break
+        current = _apply_insertions(current, insertions)
+        applied += fixed
+    return current, applied
+
+
+def fix_file(
+    path: str,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    write: bool = True,
+) -> Tuple[str, str, int]:
+    """Fix one file; returns ``(original, fixed, rewrites)``.
+
+    With ``write=True`` the file is rewritten in place when anything
+    changed; ``write=False`` is the ``--diff`` preview path.
+    """
+    with open(path, encoding="utf-8") as fh:
+        original = fh.read()
+    fixed, applied = fix_source(original, _scoping_path(path), rules=rules)
+    if write and fixed != original:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(fixed)
+    return original, fixed, applied
+
+
+def _scoping_path(path: str) -> str:
+    from .core import package_relpath
+
+    return package_relpath(path)
+
+
+def render_diff(path: str, original: str, fixed: str) -> str:
+    """Unified diff of a fix, empty string when nothing changed."""
+    if original == fixed:
+        return ""
+    return "".join(
+        difflib.unified_diff(
+            original.splitlines(keepends=True),
+            fixed.splitlines(keepends=True),
+            fromfile=f"a/{path}",
+            tofile=f"b/{path}",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Planning: finding -> text insertions
+# ---------------------------------------------------------------------------
+
+def _plan_insertions(
+    source: str, findings: Sequence[Finding]
+) -> Tuple[List[Tuple[int, int, str]], int]:
+    """``(line, col, text)`` insertions plus the count of findings fixed.
+
+    Positions are 1-based line / 0-based column into ``source``; the
+    planner re-parses so node spans match the current text exactly.
+    """
+    relevant = [f for f in findings if f.rule in FIXABLE_RULES]
+    if not relevant:
+        return [], 0
+    tree = ast.parse(source)
+    aliases = import_aliases(tree)
+    iter_nodes = _iterated_exprs(tree)
+    calls = {
+        (node.lineno, node.col_offset): node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+    }
+    out: List[Tuple[int, int, str]] = []
+    fixed = 0
+    seen: set = set()
+    for finding in relevant:
+        pos = (finding.line, finding.col)
+        if (finding.rule, pos) in seen:
+            continue
+        seen.add((finding.rule, pos))
+        if finding.rule == "det-unordered-iter":
+            node = iter_nodes.get(pos)
+            if node is None or _is_values_keys_call(node):
+                continue
+            end = _end_pos(node)
+            if end is None:
+                continue
+            out.append((node.lineno, node.col_offset, "sorted("))
+            out.append((end[0], end[1], ")"))
+            fixed += 1
+        elif finding.rule == "det-unseeded-random":
+            node = calls.get(pos)
+            if node is None or node.args or node.keywords:
+                continue
+            qname = qualified_name(node.func, aliases) or ""
+            if qname.rpartition(".")[2] not in _SEEDABLE_TAILS:
+                continue
+            end = _end_pos(node)
+            if end is None:
+                continue
+            # Insert the seed just before the closing paren.
+            out.append((end[0], end[1] - 1, "0"))
+            fixed += 1
+    return out, fixed
+
+
+def _iterated_exprs(tree: ast.Module) -> Dict[Tuple[int, int], ast.expr]:
+    """Position -> expression for every ``for``/comprehension iterable."""
+    out: Dict[Tuple[int, int], ast.expr] = {}
+    for node in ast.walk(tree):
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            out.setdefault((expr.lineno, expr.col_offset), expr)
+    return out
+
+
+def _is_values_keys_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("values", "keys")
+    )
+
+
+def _end_pos(node: ast.AST) -> Optional[Tuple[int, int]]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return end_line, end_col
+
+
+def _apply_insertions(
+    source: str, insertions: Sequence[Tuple[int, int, str]]
+) -> str:
+    lines = source.splitlines(keepends=True)
+    offsets = [0]
+    for line in lines:
+        offsets.append(offsets[-1] + len(line))
+
+    def to_offset(line: int, col: int) -> int:
+        return offsets[line - 1] + col
+
+    ordered = sorted(
+        ((to_offset(line, col), text) for line, col, text in insertions),
+        key=lambda item: item[0],
+        reverse=True,
+    )
+    out = source
+    for offset, text in ordered:
+        out = out[:offset] + text + out[offset:]
+    return out

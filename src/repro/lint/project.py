@@ -1,0 +1,478 @@
+"""Project-level analysis: cross-file symbol table and call graph.
+
+The per-file rules see one :class:`~repro.lint.core.FileContext` at a
+time, which is enough for "this call reads the wall clock" but not for
+"this lock is acquired while that one is held three modules away".
+:class:`ProjectContext` closes that gap: it parses every file of a lint
+run once, derives each file's dotted module name, resolves imports to
+*absolute* dotted paths (including relative imports, which
+:func:`~repro.lint.astutil.import_aliases` deliberately truncates), and
+builds
+
+* a **symbol table** — every module-level class and function keyed by
+  dotted qualname (``repro.serve.cache.PlanCache.get``), with per-class
+  method maps, resolved base classes, and best-effort attribute /
+  return-type inference;
+* a **call graph** — for every function, the call sites whose targets
+  resolve to project symbols, each annotated with its AST node so rules
+  can report at the witness location.
+
+Resolution is deliberately conservative: an edge is recorded only when
+the target is confidently a project symbol (alias-resolved names,
+``self.method`` through the base-class chain, ``self.attr.m`` /
+``local.m`` through constructor-call type inference, global singleton
+instances like ``METRICS``, and chained calls through return
+annotations).  Unresolvable calls simply contribute no edges — the
+concurrency rules built on top stay quiet rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .astutil import FunctionNode
+from .core import FileContext
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectContext",
+    "module_name_for",
+]
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a package-relative path.
+
+    ``core/costs.py`` -> ``repro.core.costs``; ``__init__.py`` files name
+    their package (``obs/__init__.py`` -> ``repro.obs``).  Paths outside
+    the package (tests, fixtures given verbatim) still get a stable
+    dotted name rooted at ``repro`` so cross-file resolution inside a
+    fixture tree behaves like the real package.
+    """
+    parts = [p for p in relpath.split("/") if p]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if parts and parts[0] == "repro":
+        parts = parts[1:]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method."""
+
+    qualname: str
+    module: str
+    node: ast.AST
+    ctx: FileContext
+    #: Owning class qualname for methods, None for free functions.
+    owner: Optional[str] = None
+    #: Resolved class qualname of the return annotation, if any.
+    returns: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+
+@dataclass
+class ClassInfo:
+    """One module-level class definition."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    ctx: FileContext
+    #: Base-class qualnames that resolved to project symbols.
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.attr`` -> candidate class qualnames (constructor inference).
+    attr_types: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: caller knows *which* project symbol it invokes."""
+
+    callee: str
+    node: ast.Call
+
+
+class ProjectContext:
+    """Whole-tree view handed to rules implementing ``check_project``.
+
+    Attributes
+    ----------
+    contexts:
+        The file contexts of the run, in discovery order.
+    modules:
+        Dotted module name -> :class:`FileContext`.
+    classes / functions:
+        Symbol tables keyed by dotted qualname.
+    global_instances:
+        Module-level ``NAME = ClassName(...)`` singletons:
+        ``repro.obs.metrics.METRICS`` -> ``repro.obs.metrics.MetricsRegistry``.
+    calls:
+        Function qualname -> resolved :class:`CallSite` list (in source
+        order); every listed function also appears with an empty list.
+    """
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.contexts: List[FileContext] = list(contexts)
+        self.modules: Dict[str, FileContext] = {}
+        self.module_names: Dict[int, str] = {}
+        self.abs_aliases: Dict[str, Dict[str, str]] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.global_instances: Dict[str, str] = {}
+        self.calls: Dict[str, List[CallSite]] = {}
+        for ctx in self.contexts:
+            module = module_name_for(ctx.relpath)
+            # First file wins on (unlikely) module-name collisions.
+            if module not in self.modules:
+                self.modules[module] = ctx
+            self.module_names[id(ctx)] = module
+            self.abs_aliases[module] = _absolute_aliases(
+                ctx.tree, module,
+                is_package=ctx.relpath.endswith("__init__.py"),
+            )
+        for ctx in self.contexts:
+            self._collect_symbols(ctx)
+        for ctx in self.contexts:
+            self._collect_instance_types(ctx)
+        for info in list(self.functions.values()):
+            info.returns = self._resolve_annotation(info)
+            self.calls[info.qualname] = list(self._resolve_calls(info))
+
+    # -- lookup helpers ---------------------------------------------------
+    def module_of(self, ctx: FileContext) -> str:
+        return self.module_names[id(ctx)]
+
+    def lookup_method(self, class_qual: str, name: str) -> Optional[FunctionInfo]:
+        """Find ``name`` on ``class_qual`` or its project-resolved bases."""
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            cq = stack.pop(0)
+            if cq in seen:
+                continue
+            seen.add(cq)
+            info = self.classes.get(cq)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            stack.extend(info.bases)
+        return None
+
+    def class_lock_like(self, class_qual: str) -> Set[str]:
+        """Attribute names of ``class_qual`` (incl. bases) holding locks."""
+        out: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            cq = stack.pop(0)
+            if cq in seen:
+                continue
+            seen.add(cq)
+            info = self.classes.get(cq)
+            if info is None:
+                continue
+            for attr, types in info.attr_types.items():
+                if "threading.Lock" in types or "threading.RLock" in types:
+                    out.add(attr)
+            stack.extend(info.bases)
+        return out
+
+    def functions_of(self, ctx: FileContext) -> Iterator[FunctionInfo]:
+        module = self.module_of(ctx)
+        for info in self.functions.values():
+            if info.module == module and info.ctx is ctx:
+                yield info
+
+    # -- construction -----------------------------------------------------
+    def _collect_symbols(self, ctx: FileContext) -> None:
+        module = self.module_of(ctx)
+        for node in ctx.tree.body:
+            if isinstance(node, FunctionNode):
+                qn = f"{module}.{node.name}"
+                self.functions[qn] = FunctionInfo(qn, module, node, ctx)
+            elif isinstance(node, ast.ClassDef):
+                cq = f"{module}.{node.name}"
+                info = ClassInfo(cq, module, node, ctx)
+                self.classes[cq] = info
+                for item in node.body:
+                    if isinstance(item, FunctionNode):
+                        mq = f"{cq}.{item.name}"
+                        fn = FunctionInfo(mq, module, item, ctx, owner=cq)
+                        info.methods[item.name] = fn
+                        self.functions[mq] = fn
+
+    def _collect_instance_types(self, ctx: FileContext) -> None:
+        """Second pass: bases, attribute types, module-level singletons."""
+        module = self.module_of(ctx)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = self.classes[f"{module}.{node.name}"]
+                info.bases = tuple(
+                    bq for base in node.bases
+                    for bq in [self._resolve_symbol_name(base, module)]
+                    if bq is not None and bq in self.classes
+                )
+                self._collect_attr_types(info, module)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                tgt = node.targets[0]
+                if isinstance(tgt, ast.Name):
+                    for cq in self._constructed_types(node.value, module):
+                        self.global_instances[f"{module}.{tgt.id}"] = cq
+                        break
+
+    def _collect_attr_types(self, info: ClassInfo, module: str) -> None:
+        for method in info.methods.values():
+            for node in ast.walk(method.node):
+                value: Optional[ast.expr] = None
+                target: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    target, value = node.target, node.value
+                if (
+                    target is None
+                    or not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                types = self._constructed_types(value, module)
+                if types:
+                    merged = set(info.attr_types.get(target.attr, ())) | types
+                    info.attr_types[target.attr] = tuple(sorted(merged))
+
+    def _constructed_types(self, value: ast.expr, module: str) -> Set[str]:
+        """Class qualnames this expression may construct (best effort).
+
+        Follows ``IfExp`` branches (``x if cond else Cls()``); any branch
+        that is not a recognisable constructor contributes nothing.
+        Plain ``threading.Lock()`` / ``Event()`` style stdlib calls map
+        to their dotted stdlib names so rules can treat them specially.
+        """
+        out: Set[str] = set()
+        candidates = [value]
+        while candidates:
+            expr = candidates.pop()
+            if isinstance(expr, ast.IfExp):
+                candidates.extend([expr.body, expr.orelse])
+                continue
+            if not isinstance(expr, ast.Call):
+                continue
+            resolved = self._resolve_symbol_name(expr.func, module)
+            if resolved is None:
+                continue
+            if resolved in self.classes:
+                out.add(resolved)
+            elif resolved in (
+                "threading.Lock", "threading.RLock",
+                "threading.Event", "threading.Condition",
+            ):
+                out.add(resolved)
+            elif resolved.rpartition(".")[2] == "make_lock":
+                # repro.lint.runtime.make_lock returns a lock either way.
+                out.add("threading.Lock")
+            else:
+                ret = self.functions.get(resolved)
+                if ret is not None and ret.returns:
+                    out.add(ret.returns)
+        return out
+
+    def _resolve_symbol_name(
+        self, expr: ast.expr, module: str
+    ) -> Optional[str]:
+        """Absolute dotted name of a Name/Attribute chain, or None."""
+        parts: List[str] = []
+        cur = expr
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        parts.reverse()
+        aliases = self.abs_aliases.get(module, {})
+        head = parts[0]
+        if head in aliases:
+            parts[0] = aliases[head]
+        elif f"{module}.{head}" in self.classes or (
+            f"{module}.{head}" in self.functions
+        ):
+            parts[0] = f"{module}.{head}"
+        return ".".join(parts)
+
+    def _resolve_annotation(self, info: FunctionInfo) -> Optional[str]:
+        ann = getattr(info.node, "returns", None)
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):  # Optional[X] and friends
+            sl = ann.slice
+            ann = sl.elts[0] if isinstance(sl, ast.Tuple) and sl.elts else sl
+        resolved = self._resolve_symbol_name(ann, info.module)
+        return resolved if resolved in self.classes else None
+
+    # -- call-graph resolution --------------------------------------------
+    def _resolve_calls(self, info: FunctionInfo) -> Iterator[CallSite]:
+        local_types = self._local_var_types(info)
+        for node in _walk_own_body(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for callee in self.resolve_call(info, node, local_types):
+                yield CallSite(callee, node)
+
+    def _local_var_types(self, info: FunctionInfo) -> Dict[str, Set[str]]:
+        """``var -> class qualnames`` for ``var = ClassName(...)`` locals."""
+        out: Dict[str, Set[str]] = {}
+        for node in _walk_own_body(info.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            tgt = node.targets[0]
+            if not isinstance(tgt, ast.Name):
+                continue
+            types = self._constructed_types(node.value, info.module)
+            if types:
+                out.setdefault(tgt.id, set()).update(types)
+        return out
+
+    def receiver_types(
+        self,
+        info: FunctionInfo,
+        expr: ast.expr,
+        local_types: Optional[Dict[str, Set[str]]] = None,
+    ) -> Set[str]:
+        """Candidate class qualnames for the value of ``expr``."""
+        if local_types is None:
+            local_types = self._local_var_types(info)
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and info.owner is not None:
+                return {info.owner}
+            if expr.id in local_types:
+                return set(local_types[expr.id])
+            resolved = self._resolve_symbol_name(expr, info.module)
+            if resolved in self.global_instances:
+                return {self.global_instances[resolved]}
+            return set()
+        if isinstance(expr, ast.Attribute):
+            base = self.receiver_types(info, expr.value, local_types)
+            out: Set[str] = set()
+            for cq in base:
+                cls = self.classes.get(cq)
+                while cls is not None:
+                    if expr.attr in cls.attr_types:
+                        out.update(cls.attr_types[expr.attr])
+                        break
+                    cls = self.classes.get(cls.bases[0]) if cls.bases else None
+            if not out:
+                resolved = self._resolve_symbol_name(expr, info.module)
+                if resolved in self.global_instances:
+                    out.add(self.global_instances[resolved])
+            return out
+        if isinstance(expr, ast.Call):
+            types: Set[str] = set()
+            for callee in self.resolve_call(info, expr, local_types):
+                fn = self.functions.get(callee)
+                if fn is not None and fn.returns:
+                    types.add(fn.returns)
+                elif callee in self.classes:
+                    types.add(callee)
+            return types
+        return set()
+
+    def resolve_call(
+        self,
+        info: FunctionInfo,
+        call: ast.Call,
+        local_types: Optional[Dict[str, Set[str]]] = None,
+    ) -> List[str]:
+        """Project-symbol qualnames this call may invoke (sorted)."""
+        if local_types is None:
+            local_types = self._local_var_types(info)
+        func = call.func
+        out: Set[str] = set()
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_symbol_name(func, info.module)
+            if resolved is not None:
+                if resolved in self.functions:
+                    out.add(resolved)
+                elif resolved in self.classes:
+                    init = self.lookup_method(resolved, "__init__")
+                    out.add(init.qualname if init is not None else resolved)
+        elif isinstance(func, ast.Attribute):
+            for cq in self.receiver_types(info, func.value, local_types):
+                target = self.lookup_method(cq, func.attr)
+                if target is not None:
+                    out.add(target.qualname)
+            if not out:
+                resolved = self._resolve_symbol_name(func, info.module)
+                if resolved in self.functions:
+                    out.add(resolved)
+        return sorted(out)
+
+
+def _walk_own_body(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas.
+
+    A closure's body runs when the closure is *called*, not where it is
+    defined — attributing its calls to the definer would claim e.g. that
+    a dispatch method "calls" its completion callback while holding
+    whatever the dispatcher holds.
+    """
+    stack: List[ast.AST] = list(getattr(fn_node, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (*FunctionNode, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _absolute_aliases(
+    tree: ast.Module, module: str, *, is_package: bool = False
+) -> Dict[str, str]:
+    """Local name -> absolute dotted path, resolving relative imports.
+
+    Unlike :func:`~repro.lint.astutil.import_aliases` (which keeps only
+    the tail of relative imports so per-file rules can suffix-match),
+    this resolves ``from ..obs.metrics import METRICS`` inside
+    ``repro.serve.cache`` to ``repro.obs.metrics.METRICS``.
+    """
+    pkg_parts = module.split(".") if is_package else module.split(".")[:-1]
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{base}.{alias.name}" if base else alias.name
+    return aliases

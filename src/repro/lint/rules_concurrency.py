@@ -1,0 +1,753 @@
+"""Concurrency rules: lock ordering, guarded state, blocking under locks.
+
+PRs 6–8 made the serve/cache layers genuinely concurrent — single-flight
+tabulation, shm commit protocols, request coalescing — and each review
+fixed a lock-discipline bug by hand (the PR 8 thundering herd computed
+the miss *inside* the cache lock).  These rules check that discipline
+mechanically:
+
+* ``conc-lock-order`` *(project)* — builds the global lock-acquisition
+  graph from ``with <lock>:`` / ``<lock>.acquire()`` sites resolved
+  through the cross-file call graph; a directed cycle means two threads
+  can deadlock by acquiring the same locks in opposite orders.  Also
+  reports re-acquisition of a non-reentrant lock already held
+  (self-deadlock).
+* ``conc-blocking-under-lock`` *(project)* — calls that can block
+  (``Event.wait``, ``Future.result``, solver entry points such as
+  ``plan_scatter``/``cost_tables``) reached, directly or transitively,
+  while a lock is held.
+* ``conc-unguarded-shared-state`` *(file)* — an attribute of a
+  lock-owning class written both inside and outside that class's lock
+  regions: either every write needs the lock or none does.
+* ``conc-event-wait-unguarded-predicate`` *(file)* — an
+  ``Event``/``Condition`` wait in a retry loop whose predicate is
+  re-read without any lock (the lost-wakeup shape), or a bare
+  ``while True: wait()`` loop with no locked re-check in its body.
+
+The runtime counterpart — :mod:`repro.lint.runtime` — checks the same
+properties of live executions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .astutil import FunctionNode, qualified_name, terminal_name
+from .core import FileContext, Rule, register
+from .project import FunctionInfo, ProjectContext
+
+__all__ = [
+    "LockOrderRule",
+    "BlockingUnderLockRule",
+    "UnguardedSharedStateRule",
+    "EventWaitUnguardedPredicateRule",
+]
+
+_LOCK_CONSTRUCTORS = {"threading.Lock", "threading.RLock"}
+_EVENT_CONSTRUCTORS = {"threading.Event", "threading.Condition"}
+#: Method calls that block the calling thread.
+_BLOCKING_METHODS = {"wait", "result"}
+#: Solver entry points / known blocking free functions (terminal names).
+_BLOCKING_ENTRY = {
+    "plan_scatter", "plan_weighted_scatter", "cost_tables", "tabulate",
+    "sleep",
+}
+#: Identifier fragments that mark an Event/Condition receiver.
+_EVENTISH_WORDS = ("event", "cond", "notify")
+
+#: Maps a with-item / acquire-receiver expression to a lock id.
+_Resolver = Callable[[ast.expr], Optional[str]]
+
+
+def _short(qual: str) -> str:
+    """Drop the ``repro.`` prefix for readable messages."""
+    return qual[6:] if qual.startswith("repro.") else qual
+
+
+def _is_lock_value(value: ast.expr, aliases: Dict[str, str]) -> bool:
+    """Is this expression a ``threading.Lock()``-style constructor call?
+
+    Recognises ``threading.Lock``/``RLock`` through import aliases and
+    the repo's :func:`repro.lint.runtime.make_lock` factory (which
+    returns one or the other).
+    """
+    for expr in _if_exp_branches(value):
+        if not isinstance(expr, ast.Call):
+            continue
+        qname = qualified_name(expr.func, aliases)
+        if qname in _LOCK_CONSTRUCTORS:
+            return True
+        if terminal_name(expr.func) == "make_lock":
+            return True
+    return False
+
+
+def _is_event_value(value: ast.expr, aliases: Dict[str, str]) -> bool:
+    for expr in _if_exp_branches(value):
+        if isinstance(expr, ast.Call):
+            if qualified_name(expr.func, aliases) in _EVENT_CONSTRUCTORS:
+                return True
+    return False
+
+
+def _if_exp_branches(value: ast.expr) -> Iterator[ast.expr]:
+    stack = [value]
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, ast.IfExp):
+            stack.extend([expr.body, expr.orelse])
+        else:
+            yield expr
+
+
+def _class_attr_kinds(
+    ctx: FileContext,
+) -> Tuple[Dict[ast.ClassDef, Set[str]], Dict[ast.ClassDef, Set[str]]]:
+    """Per-class lock-typed and event-typed ``self.X`` attribute names."""
+    locks: Dict[ast.ClassDef, Set[str]] = {}
+    events: Dict[ast.ClassDef, Set[str]] = {}
+    for node in ast.walk(ctx.tree):
+        value: Optional[ast.expr] = None
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if (
+            value is None
+            or not isinstance(target, ast.Attribute)
+            or not isinstance(target.value, ast.Name)
+            or target.value.id != "self"
+        ):
+            continue
+        cls = _enclosing_class(node, ctx)
+        if cls is None:
+            continue
+        if _is_lock_value(value, ctx.aliases):
+            locks.setdefault(cls, set()).add(target.attr)
+        elif _is_event_value(value, ctx.aliases):
+            events.setdefault(cls, set()).add(target.attr)
+    return locks, events
+
+
+def _module_lock_names(ctx: FileContext) -> Set[str]:
+    """Module-level ``NAME = threading.Lock()`` bindings."""
+    out: Set[str] = set()
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            tgt = node.targets[0]
+            if isinstance(tgt, ast.Name) and _is_lock_value(
+                node.value, ctx.aliases
+            ):
+                out.add(tgt.id)
+    return out
+
+
+def _enclosing_class(
+    node: ast.AST, ctx: FileContext
+) -> Optional[ast.ClassDef]:
+    cur = ctx.parents.get(node)
+    while cur is not None and not isinstance(cur, ast.ClassDef):
+        cur = ctx.parents.get(cur)
+    return cur
+
+
+class _HeldScanner:
+    """Annotate a function body with the locks held at every node.
+
+    ``resolve`` maps a with-item / acquire-receiver expression to a lock
+    id (or ``None``).  ``with`` blocks scope precisely; bare
+    ``x.acquire()`` statements hold from the statement onward within
+    their block (until a matching ``x.release()`` statement), which is
+    how the repo's rare non-``with`` usage is shaped.  Nested function
+    and lambda bodies are skipped — they run at call time, not here.
+    """
+
+    def __init__(self, resolve: _Resolver) -> None:
+        self.resolve = resolve
+        self.held_of: Dict[int, Tuple[str, ...]] = {}
+        self.nodes: List[Tuple[ast.AST, Tuple[str, ...]]] = []
+        self.acquires: List[Tuple[str, ast.AST, Tuple[str, ...]]] = []
+
+    def scan(self, fn_node: ast.AST) -> "_HeldScanner":
+        self._stmts(list(getattr(fn_node, "body", [])), ())
+        return self
+
+    def _stmts(self, stmts: Sequence[ast.stmt], held: Tuple[str, ...]) -> None:
+        current = list(held)
+        for st in stmts:
+            self._visit(st, tuple(current))
+            if (
+                isinstance(st, ast.Expr)
+                and isinstance(st.value, ast.Call)
+                and isinstance(st.value.func, ast.Attribute)
+                and st.value.func.attr in ("acquire", "release")
+            ):
+                lid = self.resolve(st.value.func.value)
+                if lid is None:
+                    continue
+                if st.value.func.attr == "acquire":
+                    self.acquires.append((lid, st.value, tuple(current)))
+                    current.append(lid)
+                elif lid in current:
+                    current.remove(lid)
+
+    def _visit(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in node.items:
+                self._mark_tree(item.context_expr, tuple(inner))
+                lid = self.resolve(item.context_expr)
+                if lid is not None:
+                    self.acquires.append(
+                        (lid, item.context_expr, tuple(inner))
+                    )
+                    inner.append(lid)
+                if item.optional_vars is not None:
+                    self._mark_tree(item.optional_vars, tuple(inner))
+            self._mark(node, held)
+            self._stmts(node.body, tuple(inner))
+            return
+        if isinstance(node, (*FunctionNode, ast.Lambda, ast.ClassDef)):
+            return
+        self._mark(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _mark(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if id(node) not in self.held_of:
+            self.held_of[id(node)] = held
+            self.nodes.append((node, held))
+
+    def _mark_tree(self, expr: ast.AST, held: Tuple[str, ...]) -> None:
+        for node in ast.walk(expr):
+            self._mark(node, held)
+
+
+# ---------------------------------------------------------------------------
+# Project-level lock model (shared by conc-lock-order / conc-blocking-…)
+# ---------------------------------------------------------------------------
+
+class _FnConc:
+    """Per-function concurrency facts."""
+
+    __slots__ = ("acquires", "calls", "blocking")
+
+    def __init__(self) -> None:
+        #: (lock id, witness node, locks held at acquisition)
+        self.acquires: List[Tuple[str, ast.AST, Tuple[str, ...]]] = []
+        #: (callee qualname, call node, locks held at the call)
+        self.calls: List[Tuple[str, ast.Call, Tuple[str, ...]]] = []
+        #: (description, witness node, locks held) for direct blockers
+        self.blocking: List[Tuple[str, ast.AST, Tuple[str, ...]]] = []
+
+
+class _ConcModel:
+    """Lock identities, per-function facts, and ACQ/BLK fixpoints."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        #: class qualname -> lock attr names visible on it (incl. bases).
+        self.class_locks: Dict[str, Set[str]] = {
+            cq: project.class_lock_like(cq) for cq in project.classes
+        }
+        #: module-level lock singletons (dotted name == lock id).
+        self.module_locks: Set[str] = {
+            name
+            for name, typ in project.global_instances.items()
+            if typ in _LOCK_CONSTRUCTORS
+        }
+        self.fn: Dict[str, _FnConc] = {}
+        for qual in sorted(project.functions):
+            self.fn[qual] = self._analyze(project.functions[qual])
+        self.acq = self._fixpoint(
+            {q: {lid for lid, _, _ in fc.acquires} for q, fc in self.fn.items()}
+        )
+        self.blk = self._fixpoint(
+            {q: {d for d, _, _ in fc.blocking} for q, fc in self.fn.items()}
+        )
+
+    # -- lock identity ----------------------------------------------------
+    def _lock_attr_owner(self, class_qual: str, attr: str) -> Optional[str]:
+        """Qualname of the class (self or ancestor) defining lock ``attr``."""
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            cq = stack.pop(0)
+            if cq in seen:
+                continue
+            seen.add(cq)
+            info = self.project.classes.get(cq)
+            if info is None:
+                continue
+            types = info.attr_types.get(attr, ())
+            if any(t in _LOCK_CONSTRUCTORS for t in types):
+                return cq
+            stack.extend(info.bases)
+        return None
+
+    def _resolver(
+        self, info: FunctionInfo, local_types: Dict[str, Set[str]]
+    ) -> _Resolver:
+        def resolve(expr: ast.expr) -> Optional[str]:
+            if isinstance(expr, ast.Attribute):
+                receivers = self.project.receiver_types(
+                    info, expr.value, local_types
+                )
+                for cq in sorted(receivers):
+                    owner = self._lock_attr_owner(cq, expr.attr)
+                    if owner is not None:
+                        return f"{owner}.{expr.attr}"
+            resolved = self.project._resolve_symbol_name(expr, info.module)
+            if resolved in self.module_locks:
+                return resolved
+            if isinstance(expr, ast.Name):
+                # A module-level lock used in its own module resolves as
+                # a bare name — qualify it here.
+                same_module = f"{info.module}.{expr.id}"
+                if same_module in self.module_locks:
+                    return same_module
+            return None
+        return resolve
+
+    # -- per-function facts -----------------------------------------------
+    def _analyze(self, info: FunctionInfo) -> _FnConc:
+        fc = _FnConc()
+        local_types = self.project._local_var_types(info)
+        scanner = _HeldScanner(self._resolver(info, local_types))
+        scanner.scan(info.node)
+        fc.acquires = scanner.acquires
+        aliases = self.project.abs_aliases.get(info.module, {})
+        for site in self.project.calls.get(info.qualname, []):
+            held = scanner.held_of.get(id(site.node), ())
+            fc.calls.append((site.callee, site.node, held))
+            if site.callee.rpartition(".")[2] in _BLOCKING_ENTRY:
+                fc.blocking.append(
+                    (f"{_short(site.callee)}()", site.node, held)
+                )
+        for node, held in scanner.nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _BLOCKING_ENTRY
+            ):
+                # Bare-name call to a known blocking entry point; covers
+                # callees whose module is outside the lint scope (the
+                # resolved-call path above catches the rest, and the
+                # reporter dedupes by call node).
+                fc.blocking.append((f"{node.func.id}()", node, held))
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            if attr == "wait":
+                receiver = terminal_name(node.func.value) or ""
+                low = receiver.lower()
+                if any(w in low for w in _EVENTISH_WORDS):
+                    fc.blocking.append(
+                        (f"{receiver}.wait()", node, held)
+                    )
+            elif attr == "result":
+                fc.blocking.append(
+                    (f"{terminal_name(node.func.value) or '…'}.result()",
+                     node, held)
+                )
+            elif qualified_name(node.func, aliases) == "time.sleep":
+                fc.blocking.append(("time.sleep()", node, held))
+        return fc
+
+    def _fixpoint(self, facts: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+        """Propagate per-function fact sets over the call graph."""
+        changed = True
+        while changed:
+            changed = False
+            for qual, fc in self.fn.items():
+                cur = facts[qual]
+                for callee, _, _ in fc.calls:
+                    extra = facts.get(callee)
+                    if extra and not extra <= cur:
+                        cur |= extra
+                        changed = True
+        return facts
+
+
+def _conc_model(project: ProjectContext) -> _ConcModel:
+    model = getattr(project, "_conc_model", None)
+    if model is None or model.project is not project:
+        model = _ConcModel(project)
+        project._conc_model = model  # type: ignore[attr-defined]
+    return model
+
+
+@register
+class LockOrderRule(Rule):
+    """Two threads acquiring the same locks in opposite orders can each
+    end up holding the lock the other needs — the classic AB/BA
+    deadlock.  This rule builds the global acquisition-order graph
+    (edges ``A -> B`` when ``B`` is acquired, directly or through a
+    resolved call chain, while ``A`` is held) and reports every edge on
+    a directed cycle, plus re-acquisitions of a non-reentrant lock."""
+
+    id = "conc-lock-order"
+    family = "concurrency"
+    description = (
+        "lock-acquisition order cycle across the call graph (potential deadlock)"
+    )
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Tuple[FileContext, int, int, str]]:
+        model = _conc_model(project)
+        edges: Dict[
+            Tuple[str, str],
+            Tuple[FileContext, ast.AST, Optional[str]],
+        ] = {}
+        for qual in sorted(model.fn):
+            info = project.functions[qual]
+            fc = model.fn[qual]
+            for lid, node, held in fc.acquires:
+                for h in held:
+                    if h == lid:
+                        yield (
+                            info.ctx, node.lineno, node.col_offset,
+                            f"non-reentrant lock {_short(lid)} re-acquired "
+                            f"while already held in {_short(qual)} "
+                            "(self-deadlock)",
+                        )
+                    else:
+                        edges.setdefault((h, lid), (info.ctx, node, None))
+            for callee, node, held in fc.calls:
+                if not held:
+                    continue
+                for lid in sorted(model.acq.get(callee, ())):
+                    for h in held:
+                        if h == lid:
+                            yield (
+                                info.ctx, node.lineno, node.col_offset,
+                                f"call to {_short(callee)}() may re-acquire "
+                                f"{_short(h)} already held in {_short(qual)} "
+                                "(self-deadlock)",
+                            )
+                        else:
+                            edges.setdefault(
+                                (h, lid), (info.ctx, node, callee)
+                            )
+        cyclic = _cyclic_nodes(edges)
+        for (a, b) in sorted(edges):
+            if a not in cyclic or b not in cyclic or cyclic[a] != cyclic[b]:
+                continue
+            ctx, node, via = edges[(a, b)]
+            via_txt = f" (via call to {_short(via)}())" if via else ""
+            yield (
+                ctx, node.lineno, node.col_offset,
+                f"lock-order cycle: {_short(b)} acquired while holding "
+                f"{_short(a)}{via_txt}, but another code path acquires them "
+                "in the opposite order — potential deadlock",
+            )
+
+
+def _cyclic_nodes(edges: Dict[Tuple[str, str], object]) -> Dict[str, int]:
+    """Map each node on a multi-node cycle to its component id (Tarjan)."""
+    graph: Dict[str, List[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: Dict[str, int] = {}
+    counter = [0]
+    comp_id = [0]
+
+    def strongconnect(v: str) -> None:
+        work: List[Tuple[str, int]] = [(v, 0)]
+        while work:
+            node, pi = work.pop()
+            if pi == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = sorted(graph.get(node, []))
+            for i in range(pi, len(succs)):
+                w = succs[i]
+                if w not in index:
+                    work.append((node, i + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    for w in scc:
+                        components[w] = comp_id[0]
+                    comp_id[0] += 1
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return components
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """Holding a lock across a blocking operation serializes every other
+    thread behind work that may take arbitrarily long (the PR 8
+    thundering-herd shape: the miss computed inside the cache lock).
+    Blocking means event/condition waits, ``Future.result``, sleeps, and
+    the solver entry points — reached directly or through any resolved
+    call chain."""
+
+    id = "conc-blocking-under-lock"
+    family = "concurrency"
+    description = "potentially blocking call reached while a lock is held"
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        return iter(())
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Tuple[FileContext, int, int, str]]:
+        model = _conc_model(project)
+        for qual in sorted(model.fn):
+            info = project.functions[qual]
+            fc = model.fn[qual]
+            reported: Set[int] = set()
+            for desc, node, held in fc.blocking:
+                if not held or id(node) in reported:
+                    continue
+                reported.add(id(node))
+                yield (
+                    info.ctx, node.lineno, node.col_offset,
+                    f"blocking {desc} while holding {_short(held[-1])} in "
+                    f"{_short(qual)}; release the lock before blocking "
+                    "(compute the miss outside, re-check under the lock)",
+                )
+            for callee, node, held in fc.calls:
+                if not held or id(node) in reported:
+                    continue
+                blockers = model.blk.get(callee)
+                if not blockers:
+                    continue
+                reported.add(id(node))
+                yield (
+                    info.ctx, node.lineno, node.col_offset,
+                    f"call to {_short(callee)}() may block "
+                    f"({sorted(blockers)[0]}) while holding "
+                    f"{_short(held[-1])} in {_short(qual)}",
+                )
+
+
+@register
+class UnguardedSharedStateRule(Rule):
+    """If a class owns a lock, its mutable attributes are either
+    lock-protected (every write inside a region) or thread-confined
+    (no write inside one).  Writing the same attribute both ways is a
+    data race: the unguarded write can interleave with a guarded
+    read-modify-write.  ``__init__`` is exempt — the object is not yet
+    shared during construction."""
+
+    id = "conc-unguarded-shared-state"
+    family = "concurrency"
+    description = (
+        "attribute assigned both inside and outside the owning class's "
+        "lock regions"
+    )
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        cls_locks, cls_events = _class_attr_kinds(ctx)
+        mod_locks = _module_lock_names(ctx)
+        for cls in sorted(cls_locks, key=lambda c: c.lineno):
+            lock_attrs = cls_locks[cls]
+            infra = lock_attrs | cls_events.get(cls, set())
+            inside: Dict[str, List[ast.AST]] = {}
+            outside: Dict[str, List[ast.AST]] = {}
+            for method in cls.body:
+                if not isinstance(method, FunctionNode):
+                    continue
+                if method.name == "__init__":
+                    continue
+                scanner = _HeldScanner(
+                    _file_resolver(lock_attrs, mod_locks)
+                ).scan(method)
+                for node, held in scanner.nodes:
+                    for attr, site in _self_attr_writes(node):
+                        if attr in infra:
+                            continue
+                        bucket = inside if held else outside
+                        bucket.setdefault(attr, []).append(site)
+            for attr in sorted(set(inside) & set(outside)):
+                for site in sorted(
+                    outside[attr], key=lambda n: (n.lineno, n.col_offset)
+                ):
+                    yield (
+                        site.lineno, site.col_offset,
+                        f"attribute 'self.{attr}' of lock-owning class "
+                        f"{cls.name!r} is assigned here without the lock "
+                        "but under it elsewhere; guard every write or "
+                        "document why this site cannot race",
+                    )
+
+
+def _self_attr_writes(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """``(attr, site)`` for ``self.attr = / += ...`` at this node."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for tgt in targets:
+        if (
+            isinstance(tgt, ast.Attribute)
+            and isinstance(tgt.value, ast.Name)
+            and tgt.value.id == "self"
+        ):
+            yield tgt.attr, tgt
+
+
+def _file_resolver(lock_attrs: Set[str], mod_locks: Set[str]) -> _Resolver:
+    def resolve(expr: ast.expr) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            return f"self.{expr.attr}"
+        if isinstance(expr, ast.Name) and expr.id in mod_locks:
+            return expr.id
+        return None
+    return resolve
+
+
+@register
+class EventWaitUnguardedPredicateRule(Rule):
+    """The lost-wakeup shape: ``while not self.ready: event.wait()``
+    re-reads ``self.ready`` without the lock that writers hold, so the
+    predicate can flip between the check and the wait.  The correct
+    patterns — condition-variable waits under the lock, or a
+    ``while True`` loop that re-checks *under* the lock before looping
+    (the single-flight cache does this) — stay silent."""
+
+    id = "conc-event-wait-unguarded-predicate"
+    family = "concurrency"
+    description = (
+        "Event/Condition wait in a loop whose predicate is re-read "
+        "without the lock"
+    )
+    exclude = ("benchmarks", "tests", "examples")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        cls_locks, cls_events = _class_attr_kinds(ctx)
+        mod_locks = _module_lock_names(ctx)
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, FunctionNode):
+                continue
+            cls = _enclosing_class(fn, ctx)
+            lock_attrs = cls_locks.get(cls, set()) if cls else set()
+            event_attrs = cls_events.get(cls, set()) if cls else set()
+            scanner = _HeldScanner(
+                _file_resolver(lock_attrs, mod_locks)
+            ).scan(fn)
+            for node, held in scanner.nodes:
+                finding = self._check_wait(
+                    node, held, ctx, event_attrs, scanner
+                )
+                if finding is not None:
+                    yield finding
+
+    def _check_wait(
+        self,
+        node: ast.AST,
+        held: Tuple[str, ...],
+        ctx: FileContext,
+        event_attrs: Set[str],
+        scanner: _HeldScanner,
+    ) -> Optional[Tuple[int, int, str]]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "wait"
+        ):
+            return None
+        receiver = node.func.value
+        rname = terminal_name(receiver) or ""
+        eventish = any(w in rname.lower() for w in _EVENTISH_WORDS)
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and receiver.attr in event_attrs
+        ):
+            eventish = True
+        if not eventish:
+            return None
+        if held:
+            # Waiting *under* a lock is conc-blocking-under-lock's case
+            # (and the condition-variable idiom when it is the CV's own
+            # lock) — not a predicate race.
+            return None
+        loop = self._enclosing_while(node, ctx)
+        if loop is None:
+            return None
+        if _is_const_true(loop.test):
+            # ``while True: … wait()`` is fine exactly when the body
+            # re-checks shared state under a lock before looping.
+            loop_nodes = {id(n) for n in ast.walk(loop)}
+            for _, acq_node, _ in scanner.acquires:
+                if id(acq_node) in loop_nodes:
+                    return None
+            return (
+                node.lineno, node.col_offset,
+                f"{rname}.wait() in a while-True loop with no locked "
+                "re-check in the loop body; waiters can consume a wakeup "
+                "and spin on stale state — re-check the predicate under "
+                "the lock",
+            )
+        return (
+            node.lineno, node.col_offset,
+            f"{rname}.wait() retries on a predicate read without the "
+            "lock; the predicate can flip between check and wait "
+            "(lost wakeup) — re-check it under the lock that writers "
+            "hold",
+        )
+
+    @staticmethod
+    def _enclosing_while(
+        node: ast.AST, ctx: FileContext
+    ) -> Optional[ast.While]:
+        cur = ctx.parents.get(node)
+        while cur is not None and not isinstance(
+            cur, (*FunctionNode, ast.Lambda)
+        ):
+            if isinstance(cur, ast.While):
+                return cur
+            cur = ctx.parents.get(cur)
+        return None
+
+
+def _is_const_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and test.value is True

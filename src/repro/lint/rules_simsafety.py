@@ -15,10 +15,11 @@ The discrete-event engine has a narrow usage protocol:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Set, Tuple
 
 from .astutil import enclosing_function, qualified_name
 from .core import FileContext, Rule, register
+from .project import FunctionInfo, ProjectContext, _walk_own_body
 
 __all__ = [
     "PrimitiveNotYieldedRule",
@@ -109,23 +110,89 @@ class SubscriberMutationRule(Rule):
         for fn in ast.walk(ctx.tree):
             if not _is_subscriber(fn):
                 continue
-            for node in ast.walk(fn):
-                if not isinstance(node, ast.Call):
-                    continue
-                if not isinstance(node.func, ast.Attribute):
-                    continue
-                attr = node.func.attr
-                if attr not in _MUTATORS:
-                    continue
-                # ``self.<anything>`` never reaches the engine directly:
-                # subscribers may manage their own state freely.
-                root = node.func.value
-                if isinstance(root, ast.Name) and root.id == "self":
-                    continue
-                yield (node.lineno, node.col_offset,
-                       f".{attr}() inside an event subscriber mutates "
-                       "engine/network/bus state; subscribers must only "
-                       "observe (record into their own structures)")
+            yield from _mutating_calls(fn)
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Tuple[FileContext, int, int, str]]:
+        """Follow ``subscribe(handler)`` args through the project.
+
+        The per-file pass only sees functions whose signature *looks*
+        like a subscriber (one ``event`` param).  Here the handler is
+        resolved from the subscription site itself — across modules and
+        through ``self.method`` references — so an oddly-signed handler
+        subscribed three files away is still scanned.  Shape-matching
+        handlers are skipped: the per-file pass already reports them.
+        """
+        reported: Set[Tuple[int, int, int]] = set()
+        for qual in sorted(project.functions):
+            info = project.functions[qual]
+            for node in _walk_own_body(info.node):
+                for arg in _subscribe_args(node):
+                    handler = _resolve_handler(project, info, arg)
+                    if handler is None or _is_subscriber(handler.node):
+                        continue
+                    origin = qual
+                    for line, col, msg in _mutating_calls(handler.node):
+                        key = (id(handler.ctx), line, col)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        yield (
+                            handler.ctx, line, col,
+                            f"{msg} (handler {handler.qualname!r} "
+                            f"subscribed in {origin!r})",
+                        )
+
+
+def _subscribe_args(node: ast.AST) -> Iterator[ast.expr]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "subscribe"
+    ):
+        yield from node.args
+        for kw in node.keywords:
+            if kw.value is not None:
+                yield kw.value
+
+
+def _resolve_handler(
+    project: ProjectContext, info: FunctionInfo, arg: ast.expr
+) -> Optional[FunctionInfo]:
+    """Project :class:`FunctionInfo` a subscribe argument refers to."""
+    if not isinstance(arg, (ast.Name, ast.Attribute)):
+        return None
+    resolved = project._resolve_symbol_name(arg, info.module)
+    if resolved in project.functions:
+        return project.functions[resolved]
+    if isinstance(arg, ast.Attribute):
+        for cq in sorted(project.receiver_types(info, arg.value)):
+            method = project.lookup_method(cq, arg.attr)
+            if method is not None:
+                return method
+    return None
+
+
+def _mutating_calls(fn: ast.AST) -> Iterator[Tuple[int, int, str]]:
+    """Mutator call sites inside a handler body (``self.*`` exempt)."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        attr = node.func.attr
+        if attr not in _MUTATORS:
+            continue
+        # ``self.<anything>`` never reaches the engine directly:
+        # subscribers may manage their own state freely.
+        root = node.func.value
+        if isinstance(root, ast.Name) and root.id == "self":
+            continue
+        yield (node.lineno, node.col_offset,
+               f".{attr}() inside an event subscriber mutates "
+               "engine/network/bus state; subscribers must only "
+               "observe (record into their own structures)")
 
 
 #: Receive method names the MPI layer exposes.

@@ -1,0 +1,322 @@
+"""Opt-in runtime lock sanitizer (the dynamic half of the conc-* rules).
+
+The static pass in :mod:`repro.lint.rules_concurrency` proves properties
+of the *code*; this module checks the same properties of an actual
+*execution*.  :func:`make_lock` is the single wiring point: the serve
+and cache layers construct their locks through it, and it returns a
+plain ``threading.Lock`` unless the sanitizer is active — activation is
+either programmatic (:func:`install_lock_sanitizer`, what the pytest
+fixture does) or ambient (``REPRO_LOCK_SANITIZER=1`` in the
+environment, what the CI concurrency step sets).
+
+When active, every :class:`SanitizedLock` records, per thread, the
+stack of sanitized locks currently held.  Three violation kinds are
+detected *live*, without needing the interleaving that would actually
+deadlock:
+
+* ``cycle`` — acquiring ``B`` while holding ``A`` adds the edge
+  ``A -> B`` to a process-global acquisition-order graph; an edge that
+  closes a directed cycle is the witness that two threads *could*
+  deadlock, even if this run happened to interleave safely;
+* ``reentrant`` — re-acquiring a non-reentrant lock already held by
+  this thread (guaranteed deadlock);
+* ``blocking`` — a :func:`note_blocking` site (event waits, solver
+  entry points) reached while any sanitized lock is held — the
+  thundering-herd shape PR 8 fixed by hand.
+
+Violations are recorded (see :func:`sanitizer_violations` /
+:func:`assert_sanitizer_clean`) and counted in the ``lint.sanitizer.*``
+metrics family through :data:`repro.obs.metrics.METRICS`:
+``lint.sanitizer.acquires``, ``lint.sanitizer.violations`` and the
+``lint.sanitizer.edges`` gauge (distinct observed order edges).
+
+The sanitizer never *prevents* the violation — it observes and reports,
+so production behavior under the env flag is unchanged apart from the
+bookkeeping cost (one internal lock acquisition per tracked acquire).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockViolation",
+    "SanitizedLock",
+    "make_lock",
+    "note_blocking",
+    "install_lock_sanitizer",
+    "uninstall_lock_sanitizer",
+    "sanitizer_active",
+    "sanitizer_violations",
+    "assert_sanitizer_clean",
+    "reset_sanitizer",
+]
+
+#: Environment flag that turns :func:`make_lock` into sanitized locks.
+ENV_FLAG = "REPRO_LOCK_SANITIZER"
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One observed lock-discipline violation."""
+
+    kind: str  #: ``"cycle"`` | ``"reentrant"`` | ``"blocking"``
+    lock: str  #: lock (or blocking-op) name at the violation site
+    held: Tuple[str, ...]  #: names of locks held by the thread, outermost first
+    thread: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail} (thread {self.thread})"
+
+
+def _emit(name: str, amount: float = 1) -> None:
+    """Bump a sanitizer metric; never let metrics plumbing break locking."""
+    try:
+        from ..obs.metrics import METRICS
+        METRICS.counter(name).inc(amount)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+def _emit_gauge(name: str, value: float) -> None:
+    try:
+        from ..obs.metrics import METRICS
+        METRICS.gauge(name).set(value)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+class _Sanitizer:
+    """Process-global acquisition-order graph + per-thread held stacks."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._tls = threading.local()
+        #: (held_name, acquired_name) -> human-readable first witness.
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        self.violations: List[LockViolation] = []
+        self.acquires = 0
+
+    # -- per-thread stack -------------------------------------------------
+    def held_stack(self) -> List["SanitizedLock"]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    # -- event hooks ------------------------------------------------------
+    def before_acquire(self, lock: "SanitizedLock") -> None:
+        stack = self.held_stack()
+        thread = threading.current_thread().name
+        held = tuple(item.name for item in stack)
+        with self._mu:
+            self.acquires += 1
+            if any(item is lock for item in stack):
+                self._record(LockViolation(
+                    "reentrant", lock.name, held, thread,
+                    f"non-reentrant lock {lock.name!r} re-acquired while "
+                    "already held by this thread",
+                ))
+            for item in stack:
+                if item is lock or item.name == lock.name:
+                    continue
+                self._add_edge(item.name, lock.name, held, thread)
+        _emit("lint.sanitizer.acquires")
+
+    def after_acquire(self, lock: "SanitizedLock") -> None:
+        self.held_stack().append(lock)
+
+    def on_release(self, lock: "SanitizedLock") -> None:
+        stack = self.held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    def note_blocking(self, op: str) -> None:
+        stack = self.held_stack()
+        if not stack:
+            return
+        held = tuple(item.name for item in stack)
+        thread = threading.current_thread().name
+        with self._mu:
+            self._record(LockViolation(
+                "blocking", op, held, thread,
+                f"blocking operation {op!r} reached while holding "
+                f"{', '.join(held)}",
+            ))
+
+    # -- graph ------------------------------------------------------------
+    def _add_edge(
+        self, a: str, b: str, held: Tuple[str, ...], thread: str
+    ) -> None:
+        if (a, b) in self.edges:
+            return
+        path = self._path(b, a)
+        self.edges[(a, b)] = f"{a} -> {b} (thread {thread})"
+        self._succ.setdefault(a, set()).add(b)
+        if path is not None:
+            cycle = " -> ".join([a, *path])
+            self._record(LockViolation(
+                "cycle", b, held, thread,
+                f"lock-order cycle closed: acquiring {b!r} while holding "
+                f"{a!r} inverts the previously observed order {cycle}",
+            ))
+        _emit_gauge("lint.sanitizer.edges", len(self.edges))
+
+    def _path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Node path ``src -> ... -> dst`` in the edge graph, if any."""
+        if src == dst:
+            return [src]
+        parents: Dict[str, str] = {src: src}
+        frontier = [src]
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for succ in sorted(self._succ.get(node, ())):
+                    if succ in parents:
+                        continue
+                    parents[succ] = node
+                    if succ == dst:
+                        path = [succ]
+                        while path[-1] != src:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+    def _record(self, violation: LockViolation) -> None:
+        self.violations.append(violation)
+        _emit("lint.sanitizer.violations")
+
+
+_STATE: Optional[_Sanitizer] = None
+
+
+def _active() -> Optional[_Sanitizer]:
+    return _STATE
+
+
+class SanitizedLock:
+    """A named, non-reentrant lock whose acquisitions are order-checked.
+
+    Drop-in for the ``threading.Lock`` surface the repo uses (context
+    manager, ``acquire``/``release``/``locked``).  All checking happens
+    *before* the underlying acquire blocks, so a would-be deadlock is
+    reported even when the schedule happens to serialize safely.
+    """
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        san = _active()
+        if san is not None:
+            san.before_acquire(self)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok and san is not None:
+            san.after_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        san = _active()
+        if san is not None:
+            san.on_release(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"SanitizedLock({self.name!r}, {state})"
+
+
+def sanitizer_active() -> bool:
+    """Is a sanitizer currently installed (fixture or env flag)?"""
+    return _STATE is not None
+
+
+def install_lock_sanitizer() -> _Sanitizer:
+    """Activate the sanitizer (idempotent); returns the active state."""
+    global _STATE
+    if _STATE is None:
+        _STATE = _Sanitizer()
+    return _STATE
+
+
+def uninstall_lock_sanitizer() -> Optional[_Sanitizer]:
+    """Deactivate; existing :class:`SanitizedLock` objects keep working
+    as plain locks.  Returns the retired state for inspection."""
+    global _STATE
+    state, _STATE = _STATE, None
+    return state
+
+
+def reset_sanitizer() -> None:
+    """Drop recorded edges/violations but stay active."""
+    global _STATE
+    if _STATE is not None:
+        _STATE = _Sanitizer()
+
+
+def make_lock(name: str) -> Any:
+    """The lock factory the serve/cache layers construct locks through.
+
+    Plain ``threading.Lock`` normally; a :class:`SanitizedLock` when the
+    sanitizer is installed or ``REPRO_LOCK_SANITIZER=1`` is set (the env
+    flag auto-installs on first use, so module-import-time singletons
+    like ``DEFAULT_COST_CACHE`` are covered when the process starts with
+    the flag).
+    """
+    if _STATE is None and os.environ.get(ENV_FLAG, "") == "1":
+        install_lock_sanitizer()
+    if _STATE is not None:
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def note_blocking(op: str) -> None:
+    """Mark a potentially blocking operation (event wait, solver entry).
+
+    No-op unless the sanitizer is active; when it is, reaching this with
+    any sanitized lock held records a ``blocking`` violation.
+    """
+    san = _active()
+    if san is not None:
+        san.note_blocking(op)
+
+
+def sanitizer_violations() -> List[LockViolation]:
+    """Violations recorded since install/reset (empty when inactive)."""
+    san = _active()
+    if san is None:
+        return []
+    with san._mu:
+        return list(san.violations)
+
+
+def assert_sanitizer_clean() -> None:
+    """Raise ``AssertionError`` listing violations, if any were recorded."""
+    violations = sanitizer_violations()
+    if violations:
+        lines = "\n".join(f"  - {v}" for v in violations)
+        raise AssertionError(
+            f"lock sanitizer recorded {len(violations)} violation(s):\n{lines}"
+        )

@@ -17,12 +17,12 @@ Metrics (``repro.obs.metrics.METRICS``):
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..lint.runtime import make_lock
 from ..obs.metrics import METRICS
 
 __all__ = ["CachedPlan", "PlanCache"]
@@ -55,7 +55,7 @@ class PlanCache:
         never expire.
     """
 
-    def __init__(self, maxsize: int = 1024, *, ttl: Optional[float] = None):
+    def __init__(self, maxsize: int = 1024, *, ttl: Optional[float] = None) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         if ttl is not None and ttl <= 0:
@@ -65,7 +65,7 @@ class PlanCache:
         self._entries: "OrderedDict[str, Tuple[CachedPlan, Optional[float]]]" = (
             OrderedDict()
         )
-        self._lock = threading.Lock()
+        self._lock = make_lock("PlanCache._lock")
         self.hits = 0
         self.misses = 0
         self.expired = 0

@@ -61,6 +61,7 @@ from ..core.distribution import DistributionResult, ScatterProblem
 from ..core.incremental import IncrementalPlanner
 from ..core.ordering import apply_policy
 from ..core.solver import ALGORITHMS, plan_scatter
+from ..lint.runtime import make_lock, note_blocking
 from ..obs.metrics import METRICS, Histogram
 from .cache import CachedPlan, PlanCache
 from .fingerprint import Fingerprint, cost_fingerprint, problem_fingerprint
@@ -109,7 +110,7 @@ class PlanTicket:
     )
 
     def __init__(self, problem: ScatterProblem,
-                 fingerprint: Optional[Fingerprint], t0: float):
+                 fingerprint: Optional[Fingerprint], t0: float) -> None:
         self._event = threading.Event()
         self._problem = problem
         self._plan: Optional[CachedPlan] = None
@@ -130,6 +131,7 @@ class PlanTicket:
 
     def result(self, timeout: Optional[float] = None) -> DistributionResult:
         """The solved plan (blocking); re-raises a failed solve's error."""
+        note_blocking("PlanTicket.result")
         if not self._event.wait(timeout):
             raise TimeoutError("plan request still in flight")
         if self._error is not None:
@@ -159,7 +161,7 @@ class _Flight:
 
     __slots__ = ("tickets",)
 
-    def __init__(self, first: PlanTicket):
+    def __init__(self, first: PlanTicket) -> None:
         self.tickets: List[PlanTicket] = [first]
 
 
@@ -223,7 +225,7 @@ class PlanService:
         cache_tier: str = "process",
         planner: Optional[Any] = None,
         time_fn: Optional[Callable[[], float]] = None,
-    ):
+    ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
         if order_policy == "random":
@@ -253,7 +255,7 @@ class PlanService:
                 workers, backend=backend, cache_tier=cache_tier
             )
             self._owns_executor = True
-        self._lock = threading.Lock()
+        self._lock = make_lock("PlanService._lock")
         self._inflight: Dict[str, _Flight] = {}
         self._closed = False
         self._latency = METRICS.histogram("serve.latency_s", LATENCY_BUCKETS)

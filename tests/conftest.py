@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 import itertools
+import os
 import random
 from typing import Iterator, Tuple
 
 import pytest
 
 from repro.core import Processor, ScatterProblem
+from repro.lint import runtime as lint_runtime
 
 
 def compositions(n: int, p: int) -> Iterator[Tuple[int, ...]]:
@@ -32,6 +34,34 @@ def brute_force_optimum(problem: ScatterProblem) -> float:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def lock_sanitizer():
+    """A freshly installed lock sanitizer, removed (and any ambient
+    env-flag activation restored with a clean slate) on teardown."""
+    prior = lint_runtime.uninstall_lock_sanitizer()
+    state = lint_runtime.install_lock_sanitizer()
+    yield state
+    lint_runtime.uninstall_lock_sanitizer()
+    if prior is not None:
+        lint_runtime.install_lock_sanitizer()
+
+
+@pytest.fixture(autouse=True)
+def _ambient_sanitizer_guard():
+    """Under ``REPRO_LOCK_SANITIZER=1`` (the CI concurrency step), fail
+    any test whose execution recorded a lock-discipline violation, and
+    isolate tests from each other's recorded edges."""
+    ambient = os.environ.get(lint_runtime.ENV_FLAG, "") == "1"
+    if ambient and lint_runtime.sanitizer_active():
+        lint_runtime.reset_sanitizer()
+    yield
+    if ambient and lint_runtime.sanitizer_active():
+        try:
+            lint_runtime.assert_sanitizer_clean()
+        finally:
+            lint_runtime.reset_sanitizer()
 
 
 @pytest.fixture

@@ -1,0 +1,38 @@
+"""Planted concurrency bugs for the golden lint snapshot."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+        self.balance = 0
+
+    def debit(self):
+        with self._accounts:
+            with self._journal:
+                self.balance -= 1
+
+    def audit(self):
+        with self._journal:
+            with self._accounts:
+                return self.balance
+
+    def reset(self):
+        self.balance = 0
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._done_event = threading.Event()
+        self.ready = False
+
+    def wait_done(self):
+        with self._lock:
+            self._done_event.wait()
+
+    def spin(self):
+        while not self.ready:
+            self._done_event.wait(0.1)

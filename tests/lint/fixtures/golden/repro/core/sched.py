@@ -1,0 +1,10 @@
+"""Planted determinism bugs for the golden lint snapshot."""
+
+import random
+
+
+def schedule(picks):
+    rng = random.Random()
+    draws = [rng.random() for _ in sorted(picks)]
+    names = [name for name in {"a", "b"}]
+    return draws, names

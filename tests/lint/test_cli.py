@@ -59,6 +59,40 @@ class TestLintCommand:
         assert "[determinism]" in out
 
 
+FIXABLE = "import random\n\nrng = random.Random()\n"
+
+
+class TestFixFlags:
+    def test_diff_previews_without_writing(self, tmp_path, capsys):
+        root = write_tree(tmp_path, FIXABLE)
+        assert main(["lint", "--diff", root]) == 0
+        captured = capsys.readouterr()
+        assert "+rng = random.Random(0)" in captured.out
+        assert "-rng = random.Random()" in captured.out
+        assert "would apply 1 rewrite(s)" in captured.err
+        assert (tmp_path / "repro" / "core" / "mod.py").read_text() == FIXABLE
+
+    def test_fix_rewrites_in_place_and_relints(self, tmp_path, capsys):
+        root = write_tree(tmp_path, FIXABLE)
+        assert main(["lint", "--fix", root]) == 0
+        captured = capsys.readouterr()
+        assert "applied 1 rewrite(s)" in captured.err
+        assert "clean" in captured.out
+        target = tmp_path / "repro" / "core" / "mod.py"
+        assert "random.Random(0)" in target.read_text()
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        root = write_tree(tmp_path, FIXABLE)
+        assert main(["lint", "--fix", root]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--fix", root]) == 0
+        assert "applied 0 rewrite(s)" in capsys.readouterr().err
+
+    def test_fix_missing_path_exits_two(self, capsys):
+        assert main(["lint", "--fix", "/no/such/path"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestShippedTreeIsClean:
     def test_package_lints_clean(self, capsys):
         """Acceptance criterion: `repro-scatter lint src/` exits 0."""

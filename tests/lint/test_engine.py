@@ -19,12 +19,14 @@ WALL_CLOCK = "import time\n\nt = time.time()\n"
 
 
 class TestRegistry:
-    def test_ten_rules_registered(self):
+    def test_thirteen_rules_registered(self):
         rules = all_rules()
-        assert len(rules) == 9  # + meta-unused-suppression = 10 ids total
+        assert len(rules) == 13  # + meta-unused-suppression = 14 ids total
         assert len(set(rules)) == len(rules)
         families = {cls.family for cls in rules.values()}
-        assert families == {"determinism", "simulation", "contracts"}
+        assert families == {
+            "determinism", "simulation", "contracts", "concurrency",
+        }
 
     def test_expected_rule_ids(self):
         assert set(all_rules()) == {
@@ -37,6 +39,10 @@ class TestRegistry:
             "sim-recv-timeout",
             "con-validate-costs",
             "con-result-profile",
+            "conc-lock-order",
+            "conc-unguarded-shared-state",
+            "conc-blocking-under-lock",
+            "conc-event-wait-unguarded-predicate",
         }
 
     def test_get_rule_unknown_raises_with_catalogue(self):

@@ -1,0 +1,58 @@
+"""Byte-stable golden snapshot of the ``repro-lint/v1`` JSON output.
+
+The fixture tree under ``fixtures/golden/repro/`` plants one instance of
+each conc-* rule plus two determinism findings; the expected document is
+checked byte-for-byte so any change to finding positions, messages,
+ordering, or the schema envelope shows up as a diff against
+``fixtures/golden_expected.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import render_findings_json, run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC = FIXTURES.parents[2] / "src"
+
+
+def _expected() -> str:
+    return (FIXTURES / "golden_expected.json").read_text(encoding="utf-8")
+
+
+def test_golden_json_snapshot_is_byte_stable(monkeypatch):
+    monkeypatch.chdir(FIXTURES)
+    doc = render_findings_json(run_lint(["golden"]))
+    assert doc == _expected()
+
+
+def test_golden_covers_every_conc_rule():
+    doc = json.loads(_expected())
+    assert doc["schema"] == "repro-lint/v1"
+    assert doc["count"] == sum(doc["by_rule"].values()) == len(doc["findings"])
+    for rule in (
+        "conc-lock-order",
+        "conc-unguarded-shared-state",
+        "conc-blocking-under-lock",
+        "conc-event-wait-unguarded-predicate",
+    ):
+        assert doc["by_rule"].get(rule, 0) >= 1, rule
+
+
+def test_cli_json_matches_golden():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--json", "golden"],
+        cwd=FIXTURES,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1  # findings present
+    assert proc.stdout == _expected()

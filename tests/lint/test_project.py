@@ -1,0 +1,261 @@
+"""ProjectContext tests: symbol table, aliases, call graph, receivers."""
+
+import ast
+
+from repro.lint.core import FileContext
+from repro.lint.project import ProjectContext, module_name_for
+
+
+def _project(*sources):
+    """Build a ProjectContext from ``(relpath, source)`` pairs."""
+    return ProjectContext(
+        [FileContext(rel, src, relpath=rel) for rel, src in sources]
+    )
+
+
+class TestModuleNames:
+    def test_package_relative_path(self):
+        assert module_name_for("core/costs.py") == "repro.core.costs"
+
+    def test_init_names_its_package(self):
+        assert module_name_for("obs/__init__.py") == "repro.obs"
+
+    def test_repro_prefix_not_doubled(self):
+        assert module_name_for("repro/serve/cache.py") == "repro.serve.cache"
+
+    def test_bare_init_is_package_root(self):
+        assert module_name_for("__init__.py") == "repro"
+
+
+class TestSymbolTable:
+    def test_classes_functions_and_methods(self):
+        project = _project((
+            "core/demo.py",
+            "class Planner:\n"
+            "    def plan(self):\n"
+            "        return 1\n\n"
+            "def helper():\n"
+            "    return 2\n",
+        ))
+        cls = project.classes["repro.core.demo.Planner"]
+        assert "plan" in cls.methods
+        plan = project.functions["repro.core.demo.Planner.plan"]
+        assert plan.owner == "repro.core.demo.Planner"
+        helper = project.functions["repro.core.demo.helper"]
+        assert helper.owner is None
+        assert helper.name == "helper"
+
+    def test_global_instances_record_constructor(self):
+        project = _project((
+            "obs/reg.py",
+            "class Registry:\n"
+            "    pass\n\n"
+            "METRICS = Registry()\n",
+        ))
+        assert (
+            project.global_instances["repro.obs.reg.METRICS"]
+            == "repro.obs.reg.Registry"
+        )
+
+    def test_global_lock_instances_recorded(self):
+        project = _project((
+            "core/locks.py",
+            "import threading\n\nGUARD = threading.Lock()\n",
+        ))
+        assert (
+            project.global_instances["repro.core.locks.GUARD"]
+            == "threading.Lock"
+        )
+
+    def test_make_lock_maps_to_threading_lock(self):
+        project = _project((
+            "serve/cache.py",
+            "from repro.lint.runtime import make_lock\n\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = make_lock('Cache._lock')\n",
+        ))
+        cls = project.classes["repro.serve.cache.Cache"]
+        assert cls.attr_types["_lock"] == ("threading.Lock",)
+        assert project.class_lock_like("repro.serve.cache.Cache") == {"_lock"}
+
+    def test_lock_attr_inherited_from_base(self):
+        project = _project((
+            "core/base.py",
+            "import threading\n\n"
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n",
+        ), (
+            "core/child.py",
+            "from .base import Base\n\n"
+            "class Child(Base):\n"
+            "    pass\n",
+        ))
+        child = project.classes["repro.core.child.Child"]
+        assert child.bases == ("repro.core.base.Base",)
+        assert project.class_lock_like("repro.core.child.Child") == {"_lock"}
+
+
+class TestAliases:
+    def test_relative_import_resolution(self):
+        project = _project((
+            "serve/service.py",
+            "from ..core.solver import plan_scatter\n",
+        ))
+        aliases = project.abs_aliases["repro.serve.service"]
+        assert aliases["plan_scatter"] == "repro.core.solver.plan_scatter"
+
+    def test_package_init_relative_import(self):
+        # Inside ``serve/__init__.py``, ``.cache`` is serve.cache (one
+        # fewer hop than from a sibling module).
+        project = _project((
+            "serve/__init__.py",
+            "from .cache import PlanCache\n",
+        ))
+        aliases = project.abs_aliases["repro.serve"]
+        assert aliases["PlanCache"] == "repro.serve.cache.PlanCache"
+
+    def test_absolute_import_alias(self):
+        project = _project((
+            "core/demo.py",
+            "import repro.obs.metrics as obs_metrics\n",
+        ))
+        aliases = project.abs_aliases["repro.core.demo"]
+        assert aliases["obs_metrics"] == "repro.obs.metrics"
+
+
+class TestCallGraph:
+    def test_cross_module_function_call_resolved(self):
+        project = _project((
+            "core/solver.py",
+            "def plan_scatter(problem):\n"
+            "    return problem\n",
+        ), (
+            "serve/service.py",
+            "from ..core.solver import plan_scatter\n\n"
+            "def serve(problem):\n"
+            "    return plan_scatter(problem)\n",
+        ))
+        sites = project.calls["repro.serve.service.serve"]
+        assert [s.callee for s in sites] == ["repro.core.solver.plan_scatter"]
+
+    def test_self_method_call_resolved(self):
+        project = _project((
+            "core/demo.py",
+            "class Box:\n"
+            "    def inner(self):\n"
+            "        return 1\n\n"
+            "    def outer(self):\n"
+            "        return self.inner()\n",
+        ))
+        sites = project.calls["repro.core.demo.Box.outer"]
+        assert [s.callee for s in sites] == ["repro.core.demo.Box.inner"]
+
+    def test_constructor_call_resolves_to_init(self):
+        project = _project((
+            "core/demo.py",
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n\n"
+            "def build():\n"
+            "    return Box()\n",
+        ))
+        sites = project.calls["repro.core.demo.build"]
+        assert [s.callee for s in sites] == ["repro.core.demo.Box.__init__"]
+
+    def test_global_instance_method_call_resolved(self):
+        project = _project((
+            "obs/reg.py",
+            "class Registry:\n"
+            "    def counter(self, name):\n"
+            "        return name\n\n"
+            "METRICS = Registry()\n",
+        ), (
+            "core/demo.py",
+            "from ..obs.reg import METRICS\n\n"
+            "def bump():\n"
+            "    METRICS.counter('x')\n",
+        ))
+        sites = project.calls["repro.core.demo.bump"]
+        assert [s.callee for s in sites] == ["repro.obs.reg.Registry.counter"]
+
+    def test_local_variable_type_inference(self):
+        project = _project((
+            "core/demo.py",
+            "class Box:\n"
+            "    def poke(self):\n"
+            "        return 1\n\n"
+            "def use():\n"
+            "    box = Box()\n"
+            "    return box.poke()\n",
+        ))
+        sites = project.calls["repro.core.demo.use"]
+        assert "repro.core.demo.Box.poke" in [s.callee for s in sites]
+
+    def test_chained_call_via_return_annotation(self):
+        project = _project((
+            "core/demo.py",
+            "class Box:\n"
+            "    def poke(self):\n"
+            "        return 1\n\n"
+            "def build() -> 'Box':\n"
+            "    return Box()\n\n"
+            "def use():\n"
+            "    return build().poke()\n",
+        ))
+        sites = project.calls["repro.core.demo.use"]
+        assert "repro.core.demo.Box.poke" in [s.callee for s in sites]
+
+    def test_nested_def_calls_not_attributed_to_outer(self):
+        project = _project((
+            "core/demo.py",
+            "def inner_target():\n"
+            "    return 1\n\n"
+            "def outer():\n"
+            "    def closure():\n"
+            "        return inner_target()\n"
+            "    return closure\n",
+        ))
+        assert project.calls["repro.core.demo.outer"] == []
+
+    def test_every_function_has_a_calls_entry(self):
+        project = _project((
+            "core/demo.py",
+            "def leaf():\n"
+            "    return 1\n",
+        ))
+        assert project.calls["repro.core.demo.leaf"] == []
+
+
+class TestReceiverTypes:
+    def test_self_resolves_to_owner(self):
+        project = _project((
+            "core/demo.py",
+            "class Box:\n"
+            "    def poke(self):\n"
+            "        return self\n",
+        ))
+        info = project.functions["repro.core.demo.Box.poke"]
+        recv = ast.parse("self").body[0].value
+        assert project.receiver_types(info, recv, {}) == {
+            "repro.core.demo.Box"
+        }
+
+    def test_self_attr_chain_via_attr_types(self):
+        project = _project((
+            "serve/cache.py",
+            "class Cache:\n"
+            "    def get(self):\n"
+            "        return 1\n",
+        ), (
+            "serve/service.py",
+            "from .cache import Cache\n\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self.cache = Cache()\n\n"
+            "    def lookup(self):\n"
+            "        return self.cache.get()\n",
+        ))
+        sites = project.calls["repro.serve.service.Service.lookup"]
+        assert [s.callee for s in sites] == ["repro.serve.cache.Cache.get"]

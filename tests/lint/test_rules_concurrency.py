@@ -1,0 +1,448 @@
+"""Firing + silent fixtures for the four conc-* rules.
+
+Each rule gets at least one fixture that fires and one structurally
+close fixture that stays silent; the lock-inversion fixture at the
+bottom is the same shape the runtime sanitizer test drives with two real
+threads (tests/lint/test_runtime.py), so the static and dynamic halves
+are checked against the same planted bug.
+"""
+
+import pytest
+
+from repro.lint import lint_project_sources, lint_source
+
+RULES = [
+    "conc-lock-order",
+    "conc-unguarded-shared-state",
+    "conc-blocking-under-lock",
+    "conc-event-wait-unguarded-predicate",
+]
+
+
+def _rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def lint(src, relpath="core/fixture.py", **kw):
+    return lint_source(src, relpath, **kw)
+
+
+# ---------------------------------------------------------------------------
+# conc-lock-order
+# ---------------------------------------------------------------------------
+
+INVERSION = '''
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def debit(self):
+        with self._accounts:
+            with self._journal:
+                pass
+
+    def audit(self):
+        with self._journal:
+            with self._accounts:
+                pass
+'''
+
+NESTED_SAME_ORDER = '''
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def debit(self):
+        with self._accounts:
+            with self._journal:
+                pass
+
+    def audit(self):
+        with self._accounts:
+            with self._journal:
+                pass
+'''
+
+REENTRANT_VIA_CALL = '''
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def stats(self):
+        with self._lock:
+            return 1
+
+    def snapshot(self):
+        with self._lock:
+            return self.stats()
+'''
+
+CALLBACK_NOT_ATTRIBUTED = '''
+import threading
+
+class Dispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def locked_op(self):
+        with self._lock:
+            return 1
+
+    def dispatch(self):
+        def on_done():
+            # Runs on a worker thread later, NOT under self._lock.
+            return self.locked_op()
+        with self._lock:
+            callback = on_done
+        return callback
+'''
+
+
+class TestLockOrder:
+    def test_inversion_fires_on_both_edges(self):
+        findings = [f for f in lint(INVERSION)
+                    if f.rule == "conc-lock-order"]
+        assert len(findings) == 2
+        assert all("cycle" in f.message for f in findings)
+
+    def test_consistent_order_is_silent(self):
+        assert "conc-lock-order" not in _rules_of(lint(NESTED_SAME_ORDER))
+
+    def test_reentrant_self_deadlock_through_call_graph(self):
+        findings = [f for f in lint(REENTRANT_VIA_CALL)
+                    if f.rule == "conc-lock-order"]
+        assert len(findings) == 1
+        assert "re-acquire" in findings[0].message
+
+    def test_closure_calls_not_attributed_to_definer(self):
+        assert "conc-lock-order" not in _rules_of(
+            lint(CALLBACK_NOT_ATTRIBUTED)
+        )
+
+    def test_cross_file_inversion(self):
+        mod_a = (
+            "import threading\n"
+            "from .b import helper\n\n"
+            "A = threading.Lock()\n\n"
+            "def outer():\n"
+            "    with A:\n"
+            "        helper()\n"
+        )
+        mod_b = (
+            "import threading\n"
+            "from .a import A\n\n"
+            "B = threading.Lock()\n\n"
+            "def helper():\n"
+            "    with B:\n"
+            "        pass\n\n"
+            "def other():\n"
+            "    with B:\n"
+            "        with A:\n"
+            "            pass\n"
+        )
+        findings = lint_project_sources(
+            [("repro/pkg/a.py", mod_a), ("repro/pkg/b.py", mod_b)]
+        )
+        hits = [f for f in findings if f.rule == "conc-lock-order"]
+        assert {f.path for f in hits} == {"repro/pkg/a.py", "repro/pkg/b.py"}
+        assert any("via call to" in f.message for f in hits)
+
+    def test_suppression_silences_and_is_counted_used(self):
+        suppressed = INVERSION.replace(
+            "        with self._journal:\n                pass",
+            "        with self._journal:  # lint: disable=conc-lock-order\n"
+            "                pass",
+            1,
+        )
+        # Suppressing one edge leaves the other reported.
+        findings = [f for f in lint(suppressed)
+                    if f.rule in ("conc-lock-order", "meta-unused-suppression")]
+        assert _rules_of(findings).count("conc-lock-order") == 1
+        assert "meta-unused-suppression" not in _rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# conc-unguarded-shared-state
+# ---------------------------------------------------------------------------
+
+UNGUARDED = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def inc(self):
+        with self._lock:
+            self.hits += 1
+
+    def reset(self):
+        self.hits = 0
+'''
+
+ALL_GUARDED = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def inc(self):
+        with self._lock:
+            self.hits += 1
+
+    def reset(self):
+        with self._lock:
+            self.hits = 0
+'''
+
+NEVER_GUARDED = '''
+import threading
+
+class Config:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.flag = False
+
+    def enable(self):
+        self.flag = True
+
+    def disable(self):
+        self.flag = False
+'''
+
+
+class TestUnguardedSharedState:
+    def test_mixed_guarding_fires_at_unguarded_site(self):
+        findings = [f for f in lint(UNGUARDED)
+                    if f.rule == "conc-unguarded-shared-state"]
+        assert len(findings) == 1
+        assert findings[0].line == 14
+        assert "self.hits" in findings[0].message
+
+    def test_fully_guarded_is_silent(self):
+        assert "conc-unguarded-shared-state" not in _rules_of(
+            lint(ALL_GUARDED)
+        )
+
+    def test_thread_confined_attribute_is_silent(self):
+        # Never written under the lock: the rule assumes confinement is
+        # intentional rather than flagging every lock-owning class.
+        assert "conc-unguarded-shared-state" not in _rules_of(
+            lint(NEVER_GUARDED)
+        )
+
+
+# ---------------------------------------------------------------------------
+# conc-blocking-under-lock
+# ---------------------------------------------------------------------------
+
+WAIT_UNDER_LOCK = '''
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    def get(self):
+        with self._lock:
+            self._event.wait()
+            return 1
+'''
+
+WAIT_OUTSIDE_LOCK = '''
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    def get(self):
+        with self._lock:
+            ready = True
+        if not ready:
+            self._event.wait()
+        return 1
+'''
+
+SOLVER_UNDER_LOCK = '''
+import threading
+from repro.core.solver import plan_scatter
+
+class Planner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def plan(self, problem):
+        with self._lock:
+            return plan_scatter(problem)
+'''
+
+TRANSITIVE_BLOCKING = '''
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    def _sync(self):
+        self._event.wait()
+
+    def run(self):
+        with self._lock:
+            self._sync()
+'''
+
+RESULT_UNDER_LOCK = '''
+import threading
+
+class Gateway:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def fetch(self, pool, job):
+        with self._lock:
+            return pool.submit(job).result()
+'''
+
+
+class TestBlockingUnderLock:
+    def test_event_wait_under_lock_fires(self):
+        findings = [f for f in lint(WAIT_UNDER_LOCK)
+                    if f.rule == "conc-blocking-under-lock"]
+        assert len(findings) == 1
+        assert "wait()" in findings[0].message
+
+    def test_wait_outside_lock_is_silent(self):
+        assert "conc-blocking-under-lock" not in _rules_of(
+            lint(WAIT_OUTSIDE_LOCK)
+        )
+
+    def test_solver_entry_point_under_lock_fires(self):
+        findings = [f for f in lint(SOLVER_UNDER_LOCK)
+                    if f.rule == "conc-blocking-under-lock"]
+        assert len(findings) == 1
+        assert "plan_scatter" in findings[0].message
+
+    def test_transitive_blocking_through_call_graph(self):
+        findings = [f for f in lint(TRANSITIVE_BLOCKING)
+                    if f.rule == "conc-blocking-under-lock"]
+        assert len(findings) == 1
+        assert "may block" in findings[0].message
+
+    def test_future_result_under_lock_fires(self):
+        findings = [f for f in lint(RESULT_UNDER_LOCK)
+                    if f.rule == "conc-blocking-under-lock"]
+        assert len(findings) == 1
+        assert ".result()" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# conc-event-wait-unguarded-predicate
+# ---------------------------------------------------------------------------
+
+LOST_WAKEUP = '''
+import threading
+
+class Waiter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self.ready = False
+
+    def wait_ready(self):
+        while not self.ready:
+            self._event.wait(0.1)
+'''
+
+WHILE_TRUE_NO_RECHECK = '''
+import threading
+
+class Waiter:
+    def __init__(self):
+        self._event = threading.Event()
+
+    def wait_forever(self):
+        while True:
+            self._event.wait(0.1)
+'''
+
+SINGLE_FLIGHT_SHAPE = '''
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self.value = None
+
+    def get(self):
+        while True:
+            with self._lock:
+                if self.value is not None:
+                    return self.value
+            self._event.wait()
+'''
+
+PLAIN_WAIT_NO_LOOP = '''
+import threading
+
+class Ticket:
+    def __init__(self):
+        self._event = threading.Event()
+
+    def result(self):
+        self._event.wait()
+        return 1
+'''
+
+
+class TestEventWaitUnguardedPredicate:
+    def test_lost_wakeup_shape_fires(self):
+        findings = [f for f in lint(LOST_WAKEUP)
+                    if f.rule == "conc-event-wait-unguarded-predicate"]
+        assert len(findings) == 1
+        assert "lost wakeup" in findings[0].message
+
+    def test_while_true_without_locked_recheck_fires(self):
+        findings = [f for f in lint(WHILE_TRUE_NO_RECHECK)
+                    if f.rule == "conc-event-wait-unguarded-predicate"]
+        assert len(findings) == 1
+        assert "while-True" in findings[0].message
+
+    def test_single_flight_recheck_under_lock_is_silent(self):
+        # The CostTableCache.table shape: loop re-checks under the lock
+        # before waiting again.
+        assert "conc-event-wait-unguarded-predicate" not in _rules_of(
+            lint(SINGLE_FLIGHT_SHAPE)
+        )
+
+    def test_plain_wait_without_loop_is_silent(self):
+        assert "conc-event-wait-unguarded-predicate" not in _rules_of(
+            lint(PLAIN_WAIT_NO_LOOP)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scoping: the conc rules stay out of tests/benchmarks/examples
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("relpath", [
+    "benchmarks/bench_locks.py", "tests/test_locks.py", "examples/demo.py",
+])
+def test_conc_rules_excluded_outside_shipped_tree(relpath):
+    findings = lint_source(INVERSION, relpath)
+    assert not any(f.rule.startswith("conc-") for f in findings)

@@ -1,0 +1,260 @@
+"""Runtime lock-sanitizer tests (the dynamic half of the conc-* rules).
+
+``test_two_thread_inversion_detected`` drives the same planted AB/BA
+inversion that ``tests/lint/test_rules_concurrency.py`` proves the
+static ``conc-lock-order`` rule reports — one bug, both detectors.
+"""
+
+import threading
+
+import pytest
+
+from repro.lint.runtime import (
+    ENV_FLAG,
+    SanitizedLock,
+    assert_sanitizer_clean,
+    install_lock_sanitizer,
+    make_lock,
+    note_blocking,
+    reset_sanitizer,
+    sanitizer_active,
+    sanitizer_violations,
+    uninstall_lock_sanitizer,
+)
+from repro.obs.metrics import METRICS
+
+
+def _kinds():
+    return sorted({v.kind for v in sanitizer_violations()})
+
+
+class TestSanitizedLockMechanics:
+    def test_context_manager_and_locked(self, lock_sanitizer):
+        lock = SanitizedLock("demo")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert sanitizer_violations() == []
+
+    def test_acquire_release_and_repr(self, lock_sanitizer):
+        lock = SanitizedLock("demo")
+        assert lock.acquire()
+        assert "locked" in repr(lock)
+        lock.release()
+        assert "unlocked" in repr(lock)
+
+    def test_non_blocking_acquire_failure_does_not_push_stack(
+        self, lock_sanitizer
+    ):
+        lock = SanitizedLock("demo")
+        lock.acquire()
+        try:
+            grabbed = []
+
+            def contender():
+                grabbed.append(lock.acquire(blocking=False))
+
+            t = threading.Thread(target=contender)
+            t.start()
+            t.join()
+            assert grabbed == [False]
+        finally:
+            lock.release()
+        # The failed acquire must not have left ghost held-state: a
+        # fresh acquisition pair in either order is not an inversion.
+        other = SanitizedLock("other")
+        with other:
+            with lock:
+                pass
+        assert sanitizer_violations() == []
+
+
+class TestViolationDetection:
+    def test_two_thread_inversion_detected(self, lock_sanitizer):
+        accounts = SanitizedLock("Transfer._accounts")
+        journal = SanitizedLock("Transfer._journal")
+
+        def debit():  # acquires accounts -> journal
+            with accounts:
+                with journal:
+                    pass
+
+        def audit():  # acquires journal -> accounts: inverts the order
+            with journal:
+                with accounts:
+                    pass
+
+        t1 = threading.Thread(target=debit, name="debit")
+        t2 = threading.Thread(target=audit, name="audit")
+        t1.start(); t1.join()
+        t2.start(); t2.join()
+
+        cycles = [v for v in sanitizer_violations() if v.kind == "cycle"]
+        assert len(cycles) == 1
+        v = cycles[0]
+        assert v.thread == "audit"
+        assert "Transfer._accounts" in v.detail
+        assert "Transfer._journal" in v.detail
+        assert "cycle" in v.detail
+        with pytest.raises(AssertionError, match="1 violation"):
+            assert_sanitizer_clean()
+
+    def test_consistent_order_is_clean(self, lock_sanitizer):
+        a = SanitizedLock("a")
+        b = SanitizedLock("b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert_sanitizer_clean()
+
+    def test_transitive_cycle_through_third_lock(self, lock_sanitizer):
+        a, b, c = (SanitizedLock(n) for n in "abc")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        # a -> b -> c observed; c -> a closes the 3-cycle.
+        with c:
+            with a:
+                pass
+        cycles = [v for v in sanitizer_violations() if v.kind == "cycle"]
+        assert len(cycles) == 1
+        assert "a -> b -> c" in cycles[0].detail
+
+    def test_reentrant_acquisition_detected(self, lock_sanitizer):
+        lock = SanitizedLock("box")
+        lock.acquire()
+        # A second blocking acquire would deadlock for real; the check
+        # runs *before* blocking, so probe with blocking=False.
+        lock.acquire(blocking=False)
+        lock.release()
+        assert _kinds() == ["reentrant"]
+
+    def test_note_blocking_under_lock_detected(self, lock_sanitizer):
+        lock = SanitizedLock("cache")
+        with lock:
+            note_blocking("solve")
+        blocking = [v for v in sanitizer_violations() if v.kind == "blocking"]
+        assert len(blocking) == 1
+        assert blocking[0].lock == "solve"
+        assert blocking[0].held == ("cache",)
+
+    def test_note_blocking_without_lock_is_clean(self, lock_sanitizer):
+        note_blocking("solve")
+        assert sanitizer_violations() == []
+
+    def test_per_thread_stacks_do_not_cross_talk(self, lock_sanitizer):
+        a = SanitizedLock("a")
+        b = SanitizedLock("b")
+        barrier = threading.Barrier(2)
+
+        def hold(lock):
+            with lock:
+                barrier.wait()  # both threads hold one lock each
+                barrier.wait()
+
+        t1 = threading.Thread(target=hold, args=(a,))
+        t2 = threading.Thread(target=hold, args=(b,))
+        t1.start(); t2.start()
+        t1.join(); t2.join()
+        # Neither thread held the other's lock: no edges, no violations.
+        assert lock_sanitizer.edges == {}
+        assert sanitizer_violations() == []
+
+
+class TestLifecycle:
+    def test_make_lock_plain_when_inactive(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        prior = uninstall_lock_sanitizer()
+        try:
+            lock = make_lock("plain")
+            assert not isinstance(lock, SanitizedLock)
+        finally:
+            if prior is not None:
+                install_lock_sanitizer()
+
+    def test_make_lock_env_flag_auto_installs(self, monkeypatch):
+        prior = uninstall_lock_sanitizer()
+        monkeypatch.setenv(ENV_FLAG, "1")
+        try:
+            lock = make_lock("ambient")
+            assert isinstance(lock, SanitizedLock)
+            assert sanitizer_active()
+        finally:
+            uninstall_lock_sanitizer()
+            if prior is not None:
+                install_lock_sanitizer()
+
+    def test_install_is_idempotent(self, lock_sanitizer):
+        assert install_lock_sanitizer() is lock_sanitizer
+
+    def test_uninstalled_sanitized_lock_degrades_to_plain(self):
+        prior = uninstall_lock_sanitizer()
+        try:
+            lock = SanitizedLock("orphan")
+            with lock:
+                pass
+            assert sanitizer_violations() == []
+            assert not sanitizer_active()
+        finally:
+            if prior is not None:
+                install_lock_sanitizer()
+
+    def test_reset_drops_history_but_stays_active(self, lock_sanitizer):
+        lock = SanitizedLock("x")
+        lock.acquire(); lock.acquire(blocking=False); lock.release()
+        assert sanitizer_violations()
+        reset_sanitizer()
+        assert sanitizer_active()
+        assert sanitizer_violations() == []
+        assert_sanitizer_clean()
+
+    def test_metrics_counters(self, lock_sanitizer):
+        acquires = METRICS.counter("lint.sanitizer.acquires").value
+        violations = METRICS.counter("lint.sanitizer.violations").value
+        a = SanitizedLock("m1")
+        b = SanitizedLock("m2")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert METRICS.counter("lint.sanitizer.acquires").value == acquires + 4
+        assert (
+            METRICS.counter("lint.sanitizer.violations").value
+            == violations + 1
+        )
+        assert METRICS.gauge("lint.sanitizer.edges").value == 2
+
+
+class TestWiredLayers:
+    """The serve/cache layers construct their locks through make_lock."""
+
+    def test_cost_cache_lock_is_sanitized(self, lock_sanitizer):
+        from repro.core.costs import CostTableCache
+
+        cache = CostTableCache()
+        assert isinstance(cache._lock, SanitizedLock)
+        assert cache._lock.name == "CostTableCache._lock"
+
+    def test_plan_service_end_to_end_is_clean(self, lock_sanitizer):
+        from repro.core import Processor, ScatterProblem
+        from repro.serve import PlanService
+
+        procs = [
+            Processor.linear("w1", alpha=0.004, beta=1e-5),
+            Processor.linear("w2", alpha=0.009, beta=2e-5),
+            Processor.linear("root", alpha=0.009, beta=0.0),
+        ]
+        problem = ScatterProblem(procs, n=60)
+        service = PlanService()
+        first = service.plan(problem)
+        second = service.plan(problem)
+        assert first.counts == second.counts
+        assert lock_sanitizer.acquires > 0
+        assert_sanitizer_clean()
