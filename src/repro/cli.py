@@ -419,6 +419,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         check_golden,
         fuzz,
         fuzz_incremental,
+        fuzz_tree,
         mutation_smoke_check,
         update_golden,
     )
@@ -437,19 +438,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print("golden snapshots already current")
         return 0
 
-    incremental = args.mode == "incremental"
-    # A focused run (--oracle, or the incremental differential mode) skips
-    # the mutation smoke-check and golden comparison.
-    focused = bool(args.oracle) or incremental
+    differential = args.mode in ("incremental", "tree")
+    # A focused run (--oracle, or a differential mode) skips the mutation
+    # smoke-check and golden comparison.
+    focused = bool(args.oracle) or differential
     try:
-        if incremental:
+        if differential:
             if args.oracle:
                 print(
-                    "error: --oracle cannot be combined with --mode incremental",
+                    f"error: --oracle cannot be combined with "
+                    f"--mode {args.mode}",
                     file=sys.stderr,
                 )
                 return 2
-            outcome = fuzz_incremental(args.seeds, base_seed=args.base_seed)
+            if args.mode == "incremental":
+                outcome = fuzz_incremental(args.seeds, base_seed=args.base_seed)
+            else:
+                outcome = fuzz_tree(args.seeds, base_seed=args.base_seed)
         else:
             outcome = fuzz(
                 args.seeds,
@@ -762,11 +767,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="base seed mixed into every instance seed (default: 0)",
     )
     p_vf.add_argument(
-        "--mode", choices=("oracles", "incremental"), default="oracles",
+        "--mode", choices=("oracles", "incremental", "tree"), default="oracles",
         help="'oracles' fuzzes every solver through the oracle registry; "
         "'incremental' drives the IncrementalPlanner through seeded churn "
         "schedules and byte-compares each warm re-plan against a cold "
-        "solve (default: oracles)",
+        "solve; 'tree' solves every instance flat and with the tree-aware "
+        "planner, checking flat-vs-tree dominance plus the oracle "
+        "registry (default: oracles)",
     )
     p_vf.add_argument(
         "--guided", action="store_true",

@@ -80,8 +80,26 @@ from .weighted import (
 )
 from .rounding import check_rounding, round_largest_remainder, round_paper
 from .shared_cache import SharedCostTableCache, stable_cost_key
-from .solver import ALGORITHMS, plan_scatter
+from .solver import ALGORITHMS, TOPOLOGIES, plan_scatter
 from .incremental import IncrementalPlanner
+from .trees import (
+    TREE_CONSTRUCTIONS,
+    ScatterTree,
+    binomial_tree,
+    build_tree,
+    flat_tree,
+    optimal_tree,
+    plan_scatter_tree,
+    practical_tree,
+    subtree_items,
+    tree_depth,
+    tree_finish_times,
+    tree_finish_times_exact,
+    tree_lower_bound,
+    tree_makespan,
+    tree_makespan_exact,
+    tree_send_events,
+)
 
 __all__ = [
     # costs
@@ -120,7 +138,25 @@ __all__ = [
     "solve_lp_rational",
     "plan_scatter",
     "ALGORITHMS",
+    "TOPOLOGIES",
     "IncrementalPlanner",
+    # scatter trees
+    "ScatterTree",
+    "TREE_CONSTRUCTIONS",
+    "flat_tree",
+    "binomial_tree",
+    "practical_tree",
+    "optimal_tree",
+    "build_tree",
+    "subtree_items",
+    "tree_send_events",
+    "tree_finish_times",
+    "tree_finish_times_exact",
+    "tree_makespan",
+    "tree_makespan_exact",
+    "tree_depth",
+    "tree_lower_bound",
+    "plan_scatter_tree",
     # closed form internals
     "RationalSolution",
     "chain_rate",

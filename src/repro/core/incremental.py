@@ -90,7 +90,7 @@ from .costs import CostFunction, CostTableCache
 from .distribution import DistributionResult, ScatterProblem
 from .dp_fast import solve_dp_fast, solve_dp_monotone
 from .ordering import apply_policy
-from .solver import ALGORITHMS, plan_scatter
+from .solver import ALGORITHMS, TOPOLOGIES, plan_scatter
 
 __all__ = ["IncrementalPlanner"]
 
@@ -177,6 +177,15 @@ class IncrementalPlanner:
         shrunk re-plan); the rest are kept most-recent-first.  Each state
         holds ``p`` float64 rows of length ``n + 1`` — bound this to bound
         memory.
+    topology:
+        ``"flat"`` (default) solves the paper's rank-ordered schedule
+        with the warm-start machinery above.  ``"tree"`` delegates every
+        plan to the cold tree-aware facade
+        (``plan_scatter(topology="tree")``) — the tree planner's
+        candidate search is not row-structured, so there is nothing to
+        warm-start yet, but the planner keeps the same call contract so
+        a :class:`~repro.serve.service.PlanService` or ``ft_scatterv``
+        hook can switch topology without changing shape.
     """
 
     def __init__(
@@ -187,15 +196,21 @@ class IncrementalPlanner:
         exact_threshold: int = 5_000,
         cache: Optional[CostTableCache] = None,
         keep_states: int = 2,
+        topology: str = "flat",
     ):
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; know {ALGORITHMS}"
             )
+        if topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {topology!r}; know {TOPOLOGIES}"
+            )
         if keep_states < 1:
             raise ValueError("keep_states must be >= 1")
         self.algorithm = algorithm
         self.order_policy = order_policy
+        self.topology = topology
         self.exact_threshold = int(exact_threshold)
         self.cache = cache if cache is not None else CostTableCache()
         self.keep_states = int(keep_states)
@@ -295,6 +310,18 @@ class IncrementalPlanner:
         problem.check_valid()
         if self.order_policy is not None:
             problem = apply_policy(problem, self.order_policy)
+        if self.topology == "tree":
+            # Tree schedules have no row-structured DP to warm-start —
+            # delegate to the cold tree facade (same result contract).
+            METRICS.counter("core.incremental.cold_plans").inc()
+            note_blocking("IncrementalPlanner.cold_plan")
+            return plan_scatter(
+                problem,
+                algorithm=self.algorithm,
+                order_policy=None,
+                exact_threshold=self.exact_threshold,
+                topology="tree",
+            )
         route = self._route(problem)
         if route not in _WARM_ALGORITHMS:
             METRICS.counter("core.incremental.cold_plans").inc()

@@ -20,7 +20,7 @@ from .dp_optimized import solve_dp_optimized
 from .heuristic import solve_heuristic
 from .ordering import apply_policy
 
-__all__ = ["plan_scatter", "solve_uniform", "ALGORITHMS"]
+__all__ = ["plan_scatter", "solve_uniform", "ALGORITHMS", "TOPOLOGIES"]
 
 #: Algorithm names accepted by :func:`plan_scatter`.
 ALGORITHMS = (
@@ -35,6 +35,9 @@ ALGORITHMS = (
     "uniform",
 )
 
+#: Schedule topologies accepted by :func:`plan_scatter`.
+TOPOLOGIES = ("flat", "tree")
+
 
 def plan_scatter(
     problem: ScatterProblem,
@@ -42,6 +45,7 @@ def plan_scatter(
     algorithm: str = "auto",
     order_policy: Optional[str] = "bandwidth-desc",
     exact_threshold: int = 5_000,
+    topology: str = "flat",
 ) -> DistributionResult:
     """Compute a load-balanced scatter distribution.
 
@@ -71,6 +75,12 @@ def plan_scatter(
         may then differ from the input's.
     exact_threshold:
         Largest ``n`` for which ``"auto"`` is willing to run a DP.
+    topology:
+        ``"flat"`` (default) produces the paper's rank-ordered single-port
+        schedule.  ``"tree"`` delegates to
+        :func:`repro.core.trees.plan_scatter_tree`, which co-optimizes the
+        distribution and a Träff scatter tree; the returned makespan is
+        then the *tree* schedule's and ``info["tree"]`` carries the tree.
 
     Returns
     -------
@@ -78,8 +88,19 @@ def plan_scatter(
         The result's ``problem`` attribute is the (possibly reordered)
         problem actually solved.
     """
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; know {TOPOLOGIES}")
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
+    if topology == "tree":
+        from .trees import plan_scatter_tree  # deferred: trees imports this module
+
+        return plan_scatter_tree(
+            problem,
+            algorithm=algorithm,
+            order_policy=order_policy,
+            exact_threshold=exact_threshold,
+        )
     # Base hypotheses (§3.1): every cost must be non-negative and null at
     # zero — the closed form, the DPs and the LP all silently mis-solve
     # instances that violate them, so the facade rejects them up front.

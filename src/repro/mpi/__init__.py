@@ -14,6 +14,8 @@ from .collectives import (
     gatherv_ordered,
     scatter,
     scatterv,
+    scatterv_tree,
+    tree_for_comm,
 )
 from .communicator import Communicator, MpiError, RankContext, RecvTimeout
 from .runtime import MpiRun, run_spmd, trace_labels
@@ -28,6 +30,8 @@ __all__ = [
     "trace_labels",
     "scatter",
     "scatterv",
+    "scatterv_tree",
+    "tree_for_comm",
     "ft_scatterv",
     "ScatterOutcome",
     "gatherv",

@@ -22,15 +22,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..core.costs import ZeroCost
 from ..core.distribution import DistributionResult, Processor, ScatterProblem, uniform_counts
 from ..obs.metrics import METRICS
 from ..simgrid.faults import LinkFailure
 from .communicator import MpiError, RankContext
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.trees import ScatterTree
+
 __all__ = [
     "scatter",
     "scatterv",
+    "scatterv_tree",
+    "tree_for_comm",
     "ft_scatterv",
     "ScatterOutcome",
     "gatherv",
@@ -90,6 +97,143 @@ def scatterv(
     else:
         chunk = yield from ctx.recv(root, tag=tag)
         return chunk
+
+
+def tree_for_comm(
+    ctx: RankContext,
+    counts: Sequence[int],
+    root: int,
+    *,
+    construction: str = "practical",
+) -> "ScatterTree":
+    """The scatter tree every rank derives for :func:`scatterv_tree`.
+
+    Positions are *ranks* (tree root = ``root``).  The derivation is a
+    pure function of the platform, the counts vector, and the
+    construction name, so every rank computes the identical tree without
+    any extra communication — the tree-collective analogue of MPI's
+    "same arguments on every rank" contract.
+
+    Internally the ranks are laid out root-last (the problem convention
+    of :mod:`repro.core`), priced exactly like
+    :meth:`~repro.simgrid.platform.Platform.to_problem`, handed to
+    :func:`repro.core.trees.build_tree`, and mapped back to ranks.
+    """
+    from ..core.trees import ScatterTree, build_tree
+
+    size = ctx.size
+    ranks = [r for r in range(size) if r != root] + [root]
+    platform = ctx.comm.network.platform
+    root_host = ctx.host_of(root).name
+    procs = [
+        Processor(
+            str(r),
+            platform.link_cost(root_host, ctx.host_of(r).name),
+            ctx.host_of(r).comp_cost,
+        )
+        for r in ranks[:-1]
+    ]
+    procs.append(Processor(str(root), ZeroCost(), ctx.host_of(root).comp_cost))
+    pos_counts = [int(counts[r]) for r in ranks]
+    problem = ScatterProblem(procs, sum(pos_counts))
+    tree = build_tree(construction, problem, pos_counts)
+    # Positions -> ranks.
+    parent = [-1] * size
+    children: List[Tuple[int, ...]] = [()] * size
+    for pos in range(size):
+        rank = ranks[pos]
+        par = tree.parent[pos]
+        parent[rank] = -1 if par == -1 else ranks[par]
+        children[rank] = tuple(ranks[c] for c in tree.children[pos])
+    return ScatterTree(parent=tuple(parent), children=tuple(children))
+
+
+def scatterv_tree(
+    ctx: RankContext,
+    data: Optional[Sequence],
+    counts: Sequence[int],
+    root: int,
+    *,
+    tree: Optional["ScatterTree"] = None,
+    construction: str = "practical",
+    tag: int = 17,
+) -> Generator:
+    """Tree-structured ``MPI_Scatterv``: subtree payloads in one message.
+
+    Each interior node receives its *entire subtree's* payload from its
+    parent in a single message, peels off its own ``counts[rank]`` items,
+    and relays each child's subtree block — sequentially through its
+    single port, in the tree's child order.  On hierarchical grids this
+    replaces the root's ``p - 1`` serial messages with ``O(log p)``
+    latency rounds (the win :func:`repro.core.trees.plan_scatter_tree`
+    quantifies).
+
+    Unlike :func:`scatterv`, ``counts`` is significant at **every** rank:
+    relays need the full vector to locate their children's blocks, and —
+    when ``tree`` is ``None`` — to derive the schedule.  The derived tree
+    (:func:`tree_for_comm`, using ``construction``) is a deterministic
+    function of the platform and the counts, so all ranks agree on it
+    without extra messages.  An explicit ``tree`` must span the ranks
+    with ``tree.root == root`` and be passed identically everywhere.
+
+    Returns this rank's slice, exactly as :func:`scatterv` would.
+    """
+    root = _check_root(ctx, root)
+    if counts is None:
+        raise MpiError("scatterv_tree needs counts at every rank")
+    counts = [int(c) for c in counts]
+    if len(counts) != ctx.size:
+        raise MpiError(f"counts has {len(counts)} entries for {ctx.size} ranks")
+    if any(c < 0 for c in counts):
+        raise MpiError(f"negative counts: {counts}")
+
+    if tree is None:
+        tree = tree_for_comm(ctx, counts, root, construction=construction)
+    if tree.p != ctx.size:
+        raise MpiError(f"tree spans {tree.p} positions for {ctx.size} ranks")
+    if tree.root != root:
+        raise MpiError(f"tree rooted at {tree.root}, scatter rooted at {root}")
+    tree.check_valid()
+
+    # Subtree payload per rank (positions of this tree *are* ranks).
+    sizes = [0] * ctx.size
+    for v in reversed(tree.preorder()):
+        sizes[v] = counts[v] + sum(sizes[c] for c in tree.children[v])
+
+    rank = ctx.rank
+    if rank == root:
+        if data is None:
+            raise MpiError("root must provide data")
+        if sum(counts) > len(data):
+            raise MpiError(
+                f"counts sum to {sum(counts)} but data has only {len(data)} items"
+            )
+        offsets = [0] * ctx.size
+        acc = 0
+        for r in range(ctx.size):
+            offsets[r] = acc
+            acc += counts[r]
+
+        def block(v: int) -> List:
+            """Subtree payload of ``v`` in preorder layout."""
+            out = list(data[offsets[v] : offsets[v] + counts[v]])
+            for c in tree.children[v]:
+                out.extend(block(c))
+            return out
+
+        for child in tree.children[root]:
+            yield from ctx.send(child, block(child), items=sizes[child], tag=tag)
+        return data[offsets[root] : offsets[root] + counts[root]]
+
+    chunk = yield from ctx.recv(tree.parent[rank], tag=tag)
+    own = chunk[: counts[rank]]
+    off = counts[rank]
+    for child in tree.children[rank]:
+        yield from ctx.send(
+            child, chunk[off : off + sizes[child]], items=sizes[child], tag=tag
+        )
+        off += sizes[child]
+    return own
 
 
 def scatter(

@@ -279,6 +279,18 @@ class RankContext:
 
         return scatterv(self, data, counts, root, tag=tag)
 
+    def scatterv_tree(
+        self,
+        data: Optional[Sequence],
+        counts: Sequence[int],
+        root: int,
+        tag: int = 17,
+        **kwargs: Any,
+    ) -> Generator:
+        from .collectives import scatterv_tree
+
+        return scatterv_tree(self, data, counts, root, tag=tag, **kwargs)
+
     def ft_scatterv(
         self,
         data: Optional[Sequence],

@@ -115,6 +115,7 @@ def problem_fingerprint(
     *,
     algorithm: str = "auto",
     exact_threshold: int = 5_000,
+    topology: str = "flat",
 ) -> Optional[Fingerprint]:
     """Fingerprint of ``problem`` as the solver will actually see it.
 
@@ -127,6 +128,9 @@ def problem_fingerprint(
     ``exact_threshold`` only affects routing for ``"auto"`` over
     non-increasing costs, so it is folded into the key only in that
     case — a linear request keys the same under any threshold.
+    ``topology`` enters the key only when non-flat (``";topo=tree"``),
+    so every pre-existing flat canonical string is unchanged; a tree
+    request can never collide with a flat one for the same platform.
 
     Returns ``None`` when any cost lacks a value identity
     (:class:`~repro.core.costs.CallableCost` and custom subclasses);
@@ -145,6 +149,8 @@ def problem_fingerprint(
     head = f"v1;n={problem.n};p={problem.p};alg={algorithm}"
     if algorithm == "auto" and not problem.is_increasing:
         head += f";thr={exact_threshold}"
+    if topology != "flat":
+        head += f";topo={topology}"
     canonical = head + ";" + ";".join(parts)
     digest = hashlib.sha1(canonical.encode()).hexdigest()
     return Fingerprint(key=digest, canonical=canonical,

@@ -60,7 +60,7 @@ from ..analysis.sweep import (
 from ..core.distribution import DistributionResult, ScatterProblem
 from ..core.incremental import IncrementalPlanner
 from ..core.ordering import apply_policy
-from ..core.solver import ALGORITHMS, plan_scatter
+from ..core.solver import ALGORITHMS, TOPOLOGIES, plan_scatter
 from ..lint.runtime import make_lock, note_blocking
 from ..obs.metrics import METRICS, Histogram
 from .cache import CachedPlan, PlanCache
@@ -138,21 +138,23 @@ class PlanTicket:
             raise self._error
         plan = self._plan
         assert plan is not None
+        info: Dict[str, Any] = (
+            dict(plan.tree_info) if plan.tree_info is not None else {}
+        )
+        info["serve"] = {
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "fingerprint": (
+                self.fingerprint.key if self.fingerprint else None
+            ),
+        }
         return DistributionResult(
             problem=self._problem,
             counts=plan.counts,
             makespan=plan.makespan,
             algorithm=plan.algorithm,
             makespan_exact=plan.makespan_exact,
-            info={
-                "serve": {
-                    "cached": self.cached,
-                    "coalesced": self.coalesced,
-                    "fingerprint": (
-                        self.fingerprint.key if self.fingerprint else None
-                    ),
-                }
-            },
+            info=info,
         )
 
 
@@ -167,10 +169,10 @@ class _Flight:
 
 def _solve_request(payload: tuple) -> DistributionResult:
     """Module-level solve for process-pool dispatch (must pickle)."""
-    problem, algorithm, exact_threshold = payload
+    problem, algorithm, exact_threshold, topology = payload
     return plan_scatter(
         problem, algorithm=algorithm, order_policy=None,
-        exact_threshold=exact_threshold,
+        exact_threshold=exact_threshold, topology=topology,
     )
 
 
@@ -179,9 +181,13 @@ class PlanService:
 
     Parameters
     ----------
-    algorithm / exact_threshold:
+    algorithm / exact_threshold / topology:
         Passed through to the solver routing (see
-        :func:`~repro.core.solver.plan_scatter`).
+        :func:`~repro.core.solver.plan_scatter`).  With
+        ``topology="tree"`` every plan is solved by the tree-aware
+        planner; tree requests fingerprint with a ``;topo=tree`` suffix,
+        so a tree service and a flat service can never serve each
+        other's cached plans even if they share a metrics registry.
     order_policy:
         Applied to every request before fingerprinting/solving (default:
         Theorem 3's ``"bandwidth-desc"``; ``None`` keeps request order).
@@ -217,6 +223,7 @@ class PlanService:
         algorithm: str = "auto",
         order_policy: Optional[str] = "bandwidth-desc",
         exact_threshold: int = 5_000,
+        topology: str = "flat",
         cache_size: int = 1024,
         ttl: Optional[float] = None,
         executor: Optional[SweepEvaluator] = None,
@@ -228,6 +235,8 @@ class PlanService:
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
+        if topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {topology!r}; know {TOPOLOGIES}")
         if order_policy == "random":
             raise ValueError(
                 "order_policy='random' would fingerprint equal requests "
@@ -236,10 +245,11 @@ class PlanService:
         self.algorithm = algorithm
         self.order_policy = order_policy
         self.exact_threshold = int(exact_threshold)
+        self.topology = topology
         self.cache = PlanCache(cache_size, ttl=ttl)
         self.planner = planner if planner is not None else IncrementalPlanner(
             algorithm=algorithm, order_policy=None,
-            exact_threshold=exact_threshold,
+            exact_threshold=exact_threshold, topology=topology,
         )
         self._time = time_fn if time_fn is not None else time.monotonic
         if executor is not None:
@@ -273,6 +283,7 @@ class PlanService:
         fp = problem_fingerprint(
             ordered, algorithm=self.algorithm,
             exact_threshold=self.exact_threshold,
+            topology=self.topology,
         )
         t0 = self._time()
         ticket = PlanTicket(ordered, fp, t0)
@@ -320,7 +331,7 @@ class PlanService:
             # boundary: workers run a cold module-level solve instead.
             self._executor.submit(
                 _solve_request,
-                (ordered, self.algorithm, self.exact_threshold),
+                (ordered, self.algorithm, self.exact_threshold, self.topology),
                 callback=on_done,
                 error_callback=on_error,
             )
@@ -336,12 +347,20 @@ class PlanService:
         METRICS.gauge("serve.queue_depth").dec()
         plan: Optional[CachedPlan] = None
         if result is not None:
+            tree_info = None
+            if "tree" in result.info:
+                # Everything a tree plan's info carries is immutable and
+                # problem-independent except the wall-clock profile.
+                tree_info = tuple(
+                    (k, v) for k, v in result.info.items() if k != "profile"
+                )
             plan = CachedPlan(
                 counts=tuple(result.counts),
                 makespan=result.makespan,
                 algorithm=result.algorithm,
                 makespan_exact=result.makespan_exact,
                 cost_keys=fp.cost_keys if fp is not None else frozenset(),
+                tree_info=tree_info,
             )
         with self._lock:
             if fp is not None:
@@ -374,6 +393,7 @@ class PlanService:
         fp = problem_fingerprint(
             ordered, algorithm=self.algorithm,
             exact_threshold=self.exact_threshold,
+            topology=self.topology,
         )
         return fp is not None and self.cache.invalidate(fp.key)
 

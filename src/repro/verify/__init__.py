@@ -37,6 +37,7 @@ from .fuzz import (
     SHAPES,
     fuzz,
     fuzz_incremental,
+    fuzz_tree,
     generate_instance,
     mutation_smoke_check,
     problem_from_dict,
@@ -68,6 +69,7 @@ __all__ = [
     "MutationCheckResult",
     "fuzz",
     "fuzz_incremental",
+    "fuzz_tree",
     "generate_instance",
     "mutation_smoke_check",
     "problem_to_dict",

@@ -11,7 +11,7 @@ to the results.  Any violation or solver crash is *shrunk* to a minimal
 counterexample: drop processors, then reduce ``n``, then simplify
 coefficient magnitudes, re-checking failure at every step.
 
-Two further modes ride on the same machinery.  ``fuzz(guided=True)``
+Three further modes ride on the same machinery.  ``fuzz(guided=True)``
 swaps the static shape rotation for a coverage-guided selector that
 biases generation toward shapes observed to fire the least-checked
 oracle (ε-greedy, still deterministic per ``base_seed``).
@@ -19,6 +19,13 @@ oracle (ε-greedy, still deterministic per ``base_seed``).
 :class:`~repro.core.incremental.IncrementalPlanner` through seeded churn
 schedules (kills / exact cost perturbations / workload resizes) and
 requires every warm re-plan to byte-match an independent cold solve.
+:func:`fuzz_tree` solves every instance with both the flat planner and
+the tree-aware planner (:func:`~repro.core.trees.plan_scatter_tree`),
+requires the tree schedule to *dominate* the flat one (its exact
+makespan must never exceed the flat makespan — the candidate family
+contains the flat schedule, so a regression here is a planner bug), and
+runs the combined results through the oracle registry, including the
+``tree-lower-bound`` and tree-aware ``eq1-recompute`` checks.
 
 The harness checks itself: :func:`mutation_smoke_check` plants a known
 off-by-one in a copy of the §3.3 rounding scheme (all leftover units
@@ -70,6 +77,7 @@ __all__ = [
     "generate_instance",
     "fuzz",
     "fuzz_incremental",
+    "fuzz_tree",
     "shrink",
     "mutation_smoke_check",
     "problem_to_dict",
@@ -826,6 +834,128 @@ def fuzz_incremental(
                 problem=problem_to_dict(shrunk),
                 original_p=failing_step.p,
                 original_n=failing_step.n,
+                shrunk_p=shrunk.p,
+                shrunk_n=shrunk.n,
+            )
+        )
+    return FuzzOutcome(stats=stats, counterexamples=tuple(counterexamples))
+
+
+# ---------------------------------------------------------------------------
+# Tree-vs-flat differential mode (dominance + tree oracles)
+# ---------------------------------------------------------------------------
+
+def _tree_instance_failures(
+    problem: ScatterProblem,
+    *,
+    only: Optional[Sequence[str]],
+    stats: Optional[FuzzStats] = None,
+) -> List[Tuple[str, str]]:
+    """Solve one instance flat *and* tree; returns ``(oracle_id, message)``.
+
+    Self-contained (no captured state) so it doubles as the shrink
+    predicate: a candidate keeps failing exactly when this function keeps
+    returning failures for it.
+    """
+    failures: List[Tuple[str, str]] = []
+    results: Dict[str, DistributionResult] = {}
+    try:
+        results["flat"] = plan_scatter(problem, order_policy=None)
+    except Exception as exc:  # noqa: BLE001 — any crash is the finding
+        failures.append(("solver-crash", f"flat: {type(exc).__name__}: {exc}"))
+    try:
+        results["tree"] = plan_scatter(
+            problem, topology="tree", order_policy=None
+        )
+    except Exception as exc:  # noqa: BLE001 — any crash is the finding
+        failures.append(("solver-crash", f"tree: {type(exc).__name__}: {exc}"))
+    if "flat" in results and "tree" in results:
+        # Dominance by construction: the tree planner's candidate family
+        # contains the flat schedule, so its exact makespan can never
+        # exceed the flat one.  (order_policy=None keeps the processor
+        # order, so both results live on `problem` itself.)
+        flat_exact = problem.makespan_exact(results["flat"].counts)
+        tree_exact = results["tree"].makespan_exact
+        if tree_exact is not None and tree_exact > flat_exact:
+            failures.append(
+                (
+                    "tree-dominance",
+                    f"tree makespan {float(tree_exact)!r} exceeds flat "
+                    f"makespan {float(flat_exact)!r} "
+                    f"({results['tree'].algorithm} vs "
+                    f"{results['flat'].algorithm})",
+                )
+            )
+    reports = run_oracles(problem, results, only=only)
+    failures.extend(_violated(reports))
+    if stats is not None:
+        stats.solver_runs += len(results)
+        for report in reports:
+            if report.applicable:
+                stats.oracle_checked[report.oracle_id] = (
+                    stats.oracle_checked.get(report.oracle_id, 0) + 1
+                )
+    return failures
+
+
+def fuzz_tree(
+    seeds: int = 50,
+    *,
+    base_seed: int = 0,
+    shapes: Optional[Sequence[str]] = None,
+    shrink_failures: bool = True,
+) -> FuzzOutcome:
+    """Differential fuzz of the tree planner against the flat planner.
+
+    Each seed generates one instance (same seeded streams as
+    :func:`fuzz`, so a seed reproduces the same instance in every mode),
+    solves it with the flat facade *and* with ``topology="tree"``, checks
+    flat-vs-tree dominance, and applies the oracle registry to both
+    results — in particular ``tree-lower-bound`` (no schedule may beat
+    the Träff bound) and the tree-aware ``eq1-recompute`` (the tree
+    result's claimed makespan must match an independent re-evaluation of
+    its store-and-forward recurrence).  The self-contained
+    ``incremental-matches-cold`` oracle is excluded, as in
+    :func:`fuzz_incremental`.  Failures shrink to minimal
+    counterexamples via the same flat+tree predicate.
+    """
+    schedule: Sequence[str] = tuple(shapes) if shapes else SHAPE_SCHEDULE
+    for shape in schedule:
+        if shape not in SHAPES:
+            raise ValueError(f"unknown instance shape {shape!r}; know {SHAPES}")
+    tree_oracles = [
+        oid for oid in oracle_ids() if oid != "incremental-matches-cold"
+    ]
+
+    def tree_fails(candidate: ScatterProblem) -> bool:
+        return bool(_tree_instance_failures(candidate, only=tree_oracles))
+
+    stats = FuzzStats()
+    counterexamples: List[Counterexample] = []
+    for seed in range(seeds):
+        shape = schedule[seed % len(schedule)]
+        problem = generate_instance(shape, _instance_rng(base_seed, seed))
+        stats.instances += 1
+        stats.shapes[shape] = stats.shapes.get(shape, 0) + 1
+        failures = _tree_instance_failures(
+            problem, only=tree_oracles, stats=stats
+        )
+        if not failures:
+            continue
+        shrunk = problem
+        if shrink_failures:
+            shrunk = shrink(problem, tree_fails)
+            failures = (
+                _tree_instance_failures(shrunk, only=tree_oracles) or failures
+            )
+        counterexamples.append(
+            Counterexample(
+                seed=seed,
+                shape=shape,
+                violations=tuple(failures),
+                problem=problem_to_dict(shrunk),
+                original_p=problem.p,
+                original_n=problem.n,
                 shrunk_p=shrunk.p,
                 shrunk_n=shrunk.n,
             )

@@ -30,8 +30,13 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.costs import AffineCost, LinearCost
 from ..core.solver import plan_scatter
+from ..mpi.runtime import run_spmd
 from ..obs.events import Event, EventLog
+from ..simgrid.host import Host
+from ..simgrid.link import Link
+from ..simgrid.platform import Platform
 from ..obs.exporters import events_to_chrome, events_to_jsonl
 from ..obs.metrics import METRICS
 from ..tomo.app import plan_counts, run_seismic_app
@@ -43,6 +48,7 @@ __all__ = [
     "golden_scenarios",
     "render_scenario",
     "check_golden",
+    "tree_grid_platform",
     "update_golden",
 ]
 
@@ -113,6 +119,132 @@ def _lp_plan() -> str:
         ("rational_T", "rational_shares", "guarantee_gap", "upper_bound", "relaxed_T"),
     )
     return _json_text(doc)
+
+
+#: Items in the tree golden scenarios.  On the hierarchical grid below,
+#: 1000 items put the planner in the latency-bound regime where the
+#: optimal Träff tree genuinely beats the flat schedule (depth > 1).
+TREE_GRID_RAY_COUNT = 1_000
+
+#: Per-message link latencies of the hierarchical golden grid (seconds):
+#: expensive between sites, cheap within one.
+TREE_GRID_LAT_REMOTE = 0.5
+TREE_GRID_LAT_LOCAL = 0.1
+
+
+def tree_grid_platform() -> Platform:
+    """A small hierarchical grid where scatter trees beat flat scatter.
+
+    Three sites of three hosts plus a root: every link is affine with a
+    large inter-site latency, so the flat schedule pays one latency per
+    non-root host *serialized at the root*, while a tree spreads the
+    sends over interior nodes.  All coefficients are hand-written
+    constants — the platform (and everything planned on it) is a pure
+    function of this source file, as golden scenarios must be.
+    """
+    platform = Platform("tree-grid")
+    platform.add_host(
+        Host("root0", comp_cost=LinearCost(0.004), site="site0", machine="root0")
+    )
+    access = {"root0": 1e-5}
+    site = {"root0": "site0"}
+    for s in range(3):
+        for h in range(3):
+            name = f"s{s}h{h}"
+            platform.add_host(
+                Host(
+                    name,
+                    comp_cost=LinearCost(0.008 + 0.002 * s + 0.001 * h),
+                    site=f"site{s}",
+                    machine=name,
+                )
+            )
+            access[name] = 2e-5 * (1 + s) + 1e-6 * h
+            site[name] = f"site{s}"
+    names = platform.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            rate = max(access[u], access[v])
+            lat = (
+                TREE_GRID_LAT_LOCAL
+                if site[u] == site[v]
+                else TREE_GRID_LAT_REMOTE
+            )
+            platform.connect(u, v, Link(AffineCost(rate, lat), name=f"{u}<->{v}"))
+    return platform
+
+
+def _tree_plan_doc(problem, label: str, n: int) -> Dict[str, Any]:
+    """One tree-planner snapshot document (exact fields only)."""
+    result = plan_scatter(problem, topology="tree", order_policy=None)
+    info = result.info
+    return {
+        "scenario": label,
+        "n": n,
+        "algorithm": result.algorithm,
+        "hosts": [proc.name for proc in problem.processors],
+        "counts": list(result.counts),
+        "makespan": result.makespan,
+        "makespan_exact": str(result.makespan_exact),
+        "construction": info["construction"],
+        "counts_source": info["counts_source"],
+        "flat_algorithm": info["flat_algorithm"],
+        "flat_makespan_exact": str(info["flat_makespan_exact"]),
+        "lower_bound_exact": str(info["lower_bound_exact"]),
+        "subtree_items": list(info["subtree_items"]),
+        "depth": info["depth"],
+        "tree": info["tree"].to_dict(),
+    }
+
+
+def _tree_plan() -> str:
+    """Tree-planner snapshots: Table 1 (flat wins — linear, latency-free)
+    and the hierarchical grid (the optimal Träff tree wins).
+
+    Every field is exact or derived from exact arithmetic (the tree
+    search compares Fraction makespans), so the document is byte-stable;
+    the wall-clock ``"profile"`` entry is deliberately not copied.
+    """
+    docs = [
+        _tree_plan_doc(
+            table1_problem(10_000, "bandwidth-desc"), "table1", 10_000
+        ),
+        _tree_plan_doc(
+            tree_grid_platform().to_problem(
+                TREE_GRID_RAY_COUNT, "root0", order="bandwidth-desc"
+            ),
+            "tree-grid",
+            TREE_GRID_RAY_COUNT,
+        ),
+    ]
+    return _json_text(docs)
+
+
+def _tree_traced_events() -> List[Event]:
+    """Simulated ``scatterv_tree`` run shipping the grid plan's schedule."""
+    platform = tree_grid_platform()
+    problem = platform.to_problem(
+        TREE_GRID_RAY_COUNT, "root0", order="bandwidth-desc"
+    )
+    result = plan_scatter(problem, topology="tree", order_policy=None)
+    rank_hosts = [proc.name for proc in problem.processors]
+    counts = list(result.counts)
+    tree = result.info["tree"]
+    root = len(rank_hosts) - 1
+
+    def program(ctx, data, counts, tree):  # noqa: ANN001 — SPMD generator
+        chunk = yield from ctx.scatterv_tree(data, counts, root, tree=tree)
+        yield from ctx.compute(len(chunk))
+        return len(chunk)
+
+    data = list(range(TREE_GRID_RAY_COUNT))
+    log = EventLog()
+    run_spmd(platform, rank_hosts, program, data, counts, tree, observers=[log])
+    return log.events
+
+
+def _tree_trace_jsonl() -> str:
+    return events_to_jsonl(_tree_traced_events())
 
 
 def _traced_events() -> List[Event]:
@@ -212,7 +344,9 @@ def golden_scenarios() -> Dict[str, Callable[[], str]]:
     return {
         "plan-closed-form.json": _closed_form_plans,
         "plan-lp.json": _lp_plan,
+        "plan-tree.json": _tree_plan,
         "trace-events.jsonl": _trace_jsonl,
+        "trace-tree-events.jsonl": _tree_trace_jsonl,
         "trace-chrome.json": _trace_chrome,
         "run-metrics.json": _run_metrics,
         "chaos-sweep.json": _chaos_sweep,

@@ -37,6 +37,13 @@ The registry encodes, in order of increasing paper specificity:
     Affine instances: the LP optimum lower-bounds the relaxed makespan of
     *every* produced distribution, and the rounded LP distribution obeys
     ``T' <= T_LP + Σ_j Tcomm(j,1) + max_i Tcomp(i,1)``.
+``tree-lower-bound``
+    The Träff communication lower bound
+    (:func:`~repro.core.trees.tree_lower_bound`) holds for *every* result
+    — flat Eq. 1 schedules and tree schedules alike: no single-port
+    store-and-forward schedule delivering the result's counts can finish
+    below the bound, so a claimed makespan under it is a bug in either
+    the schedule evaluation or the bound.
 ``incremental-matches-cold``
     An :class:`~repro.core.incremental.IncrementalPlanner` driven through
     a deterministic kill/perturb/resize schedule derived from the
@@ -68,6 +75,7 @@ from ..core.distribution import DistributionResult, Processor, ScatterProblem
 from ..core.heuristic import guarantee_gap, relaxed_makespan
 from ..core.incremental import IncrementalPlanner
 from ..core.solver import plan_scatter
+from ..core.trees import ScatterTree, tree_lower_bound, tree_makespan_exact
 
 __all__ = [
     "FLOAT_RTOL",
@@ -213,7 +221,8 @@ def solve_all(
 
 @register_oracle(
     "eq1-recompute",
-    "claimed makespan matches exact Eq. 1/2 re-evaluation of the counts",
+    "claimed makespan matches exact Eq. 1/2 (or tree-schedule) "
+    "re-evaluation of the counts",
     applies=_always,
 )
 def _check_eq1_recompute(
@@ -221,7 +230,13 @@ def _check_eq1_recompute(
 ) -> List[str]:
     violations: List[str] = []
     for algo, result in results.items():
-        recomputed = problem.makespan_exact(result.counts)
+        tree = result.info.get("tree")
+        if isinstance(tree, ScatterTree):
+            # Tree plans claim the *tree* schedule's makespan, not Eq. 1's
+            # — re-evaluate the store-and-forward recurrence instead.
+            recomputed = tree_makespan_exact(problem, tree, result.counts)
+        else:
+            recomputed = problem.makespan_exact(result.counts)
         scale = max(1.0, abs(float(recomputed)))
         if abs(result.makespan - float(recomputed)) > FLOAT_RTOL * scale:
             violations.append(
@@ -512,6 +527,32 @@ def _check_eq4_lp_bound(
             violations.append(
                 f"{algo}: relaxed makespan {float(relaxed)!r} beats the LP "
                 f"lower bound {float(t_lp)!r}"
+            )
+    return violations
+
+
+@register_oracle(
+    "tree-lower-bound",
+    "Träff lower bound: no single-port store-and-forward schedule (flat "
+    "or tree) delivering the counts can finish below tree_lower_bound",
+    applies=_always,
+)
+def _check_tree_lower_bound(
+    problem: ScatterProblem, results: Mapping[str, DistributionResult]
+) -> List[str]:
+    violations: List[str] = []
+    for algo, result in results.items():
+        lb = tree_lower_bound(problem, result.counts)
+        if result.makespan_exact is not None:
+            if result.makespan_exact < lb:
+                violations.append(
+                    f"{algo}: exact makespan {float(result.makespan_exact)!r} "
+                    f"beats the lower bound {float(lb)!r}"
+                )
+        elif float(lb) - result.makespan > FLOAT_RTOL * max(1.0, float(lb)):
+            violations.append(
+                f"{algo}: makespan {result.makespan!r} beats the lower "
+                f"bound {float(lb)!r}"
             )
     return violations
 

@@ -1,0 +1,409 @@
+"""Tree schedules (repro.core.trees): constructions, evaluation, planner.
+
+The hypothesis suite covers the ISSUE's four tree properties — valid
+rooted spanning tree over participating ranks, exact payload
+conservation per subtree, the single-port constraint (no overlapping
+sends per sender), and per-seed determinism — plus the structural
+guarantees the planner advertises: flat-tree ≡ Eq. 1, the Träff lower
+bound under every schedule, and tree-plan dominance over the flat plan.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Processor, ScatterProblem, plan_scatter, uniform_counts
+from repro.core.trees import (
+    DEFAULT_OPT_LIMIT,
+    TREE_CONSTRUCTIONS,
+    ScatterTree,
+    binomial_tree,
+    build_tree,
+    flat_tree,
+    optimal_tree,
+    plan_scatter_tree,
+    practical_tree,
+    subtree_items,
+    tree_depth,
+    tree_finish_times,
+    tree_finish_times_exact,
+    tree_lower_bound,
+    tree_makespan,
+    tree_makespan_exact,
+    tree_send_events,
+)
+
+F = Fraction
+
+# -- strategies -------------------------------------------------------------
+
+comp_rates = st.fractions(min_value=F(1, 1000), max_value=F(10))
+comm_rates = st.fractions(min_value=F(1, 1000), max_value=F(2))
+intercepts = st.fractions(min_value=F(0), max_value=F(1))
+
+
+@st.composite
+def tree_problems(draw, max_p=8, max_n=200):
+    """Small affine/linear instances (root last, free root link)."""
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    affine = draw(st.booleans())
+    procs = []
+    for i in range(p):
+        alpha = draw(comp_rates)
+        if i == p - 1:
+            procs.append(Processor.linear(f"P{i}", alpha, 0))
+        elif affine:
+            procs.append(
+                Processor.affine(
+                    f"P{i}", alpha, draw(comm_rates), comm_intercept=draw(intercepts)
+                )
+            )
+        else:
+            procs.append(Processor.linear(f"P{i}", alpha, draw(comm_rates)))
+    return ScatterProblem(procs, n)
+
+
+@st.composite
+def problems_with_counts(draw, max_p=8, max_n=200):
+    problem = draw(tree_problems(max_p=max_p, max_n=max_n))
+    if draw(st.booleans()):
+        counts = tuple(uniform_counts(problem.n, problem.p))
+    else:
+        counts = plan_scatter(problem, order_policy=None).counts
+    return problem, counts
+
+
+# -- hypothesis properties --------------------------------------------------
+
+
+@given(problems_with_counts())
+@settings(max_examples=60, deadline=None)
+def test_every_construction_is_a_valid_spanning_tree(case):
+    """Satellite property (a): valid rooted spanning tree, root last."""
+    problem, counts = case
+    for name in TREE_CONSTRUCTIONS:
+        try:
+            tree = build_tree(name, problem, counts)
+        except ValueError:
+            continue  # optimal over its opt_limit gate
+        tree.check_valid()
+        assert tree.p == problem.p
+        assert tree.root == problem.p - 1
+        # Spanning: every position appears exactly once in preorder.
+        assert sorted(tree.preorder()) == list(range(problem.p))
+
+
+@given(problems_with_counts())
+@settings(max_examples=60, deadline=None)
+def test_subtree_payloads_conserve_items(case):
+    """Satellite property (b): subtree payloads conserve items exactly."""
+    problem, counts = case
+    for name in TREE_CONSTRUCTIONS:
+        try:
+            tree = build_tree(name, problem, counts)
+        except ValueError:
+            continue
+        sizes = subtree_items(tree, counts)
+        assert sizes[tree.root] == problem.n
+        for v in range(problem.p):
+            assert sizes[v] == counts[v] + sum(sizes[c] for c in tree.children[v])
+        # Every shipped message carries exactly its subtree payload.
+        for ev in tree_send_events(problem, tree, counts):
+            assert ev.items == sizes[ev.dst] > 0
+
+
+@given(problems_with_counts())
+@settings(max_examples=60, deadline=None)
+def test_single_port_no_overlapping_sends(case):
+    """Satellite property (c): per-sender messages never overlap."""
+    problem, counts = case
+    for name in TREE_CONSTRUCTIONS:
+        try:
+            tree = build_tree(name, problem, counts)
+        except ValueError:
+            continue
+        by_src = {}
+        for ev in tree_send_events(problem, tree, counts):
+            assert ev.end - ev.start == problem.processors[ev.dst].comm.exact(ev.items)
+            by_src.setdefault(ev.src, []).append(ev)
+            # Store-and-forward: a relay sends only after it received.
+            if ev.src != tree.root:
+                recv_end = next(
+                    e.end
+                    for e in tree_send_events(problem, tree, counts)
+                    if e.dst == ev.src
+                )
+                assert ev.start >= recv_end
+        for sends in by_src.values():
+            sends.sort(key=lambda e: e.start)
+            for a, b in zip(sends, sends[1:]):
+                assert a.end <= b.start
+
+
+@given(problems_with_counts())
+@settings(max_examples=40, deadline=None)
+def test_constructions_and_planner_are_deterministic(case):
+    """Satellite property (d): same inputs ⇒ identical trees and plans."""
+    problem, counts = case
+    for name in TREE_CONSTRUCTIONS:
+        try:
+            first = build_tree(name, problem, counts)
+            second = build_tree(name, problem, counts)
+        except ValueError:
+            continue
+        assert first == second
+    a = plan_scatter_tree(problem, order_policy=None)
+    b = plan_scatter_tree(problem, order_policy=None)
+    assert a.counts == b.counts
+    assert a.algorithm == b.algorithm
+    assert a.makespan_exact == b.makespan_exact
+    assert a.info["tree"] == b.info["tree"]
+
+
+@given(problems_with_counts())
+@settings(max_examples=60, deadline=None)
+def test_flat_tree_reproduces_eq1_exactly(case):
+    problem, counts = case
+    tree = flat_tree(problem.p)
+    finish = tree_finish_times_exact(problem, tree, counts)
+    assert finish == problem.finish_times_exact(counts)
+    assert tree_makespan_exact(problem, tree, counts) == problem.makespan_exact(counts)
+
+
+@given(problems_with_counts())
+@settings(max_examples=60, deadline=None)
+def test_lower_bound_below_every_schedule(case):
+    problem, counts = case
+    lb = tree_lower_bound(problem, counts)
+    for name in TREE_CONSTRUCTIONS:
+        try:
+            tree = build_tree(name, problem, counts)
+        except ValueError:
+            continue
+        assert lb <= tree_makespan_exact(problem, tree, counts)
+
+
+@given(tree_problems())
+@settings(max_examples=40, deadline=None)
+def test_tree_plan_never_worse_than_flat(problem):
+    """The dominance the fuzzer's tree mode asserts, at property scale."""
+    flat = plan_scatter(problem, order_policy=None)
+    tree = plan_scatter_tree(problem, order_policy=None)
+    assert tree.makespan_exact is not None
+    assert tree.makespan_exact <= problem.makespan_exact(flat.counts)
+    assert tree_lower_bound(problem, tree.counts) <= tree.makespan_exact
+
+
+@given(tree_problems())
+@settings(max_examples=40, deadline=None)
+def test_exact_and_float_evaluations_agree(problem):
+    counts = uniform_counts(problem.n, problem.p)
+    for name in ("flat", "binomial", "practical"):
+        tree = build_tree(name, problem, counts)
+        exact = tree_finish_times_exact(problem, tree, counts)
+        floats = tree_finish_times(problem, tree, counts)
+        for e, f in zip(exact, floats):
+            assert float(e) == pytest.approx(f, rel=1e-9, abs=1e-12)
+        assert float(tree_makespan_exact(problem, tree, counts)) == pytest.approx(
+            tree_makespan(problem, tree, counts), rel=1e-9, abs=1e-12
+        )
+
+
+# -- unit tests: constructions ----------------------------------------------
+
+
+def affine_problem(p=6, n=120, *, intercept=F(1, 2)):
+    procs = [
+        Processor.affine(
+            f"P{i}", F(1, 100) * (i + 1), F(1, 50), comm_intercept=intercept
+        )
+        for i in range(p - 1)
+    ]
+    procs.append(Processor.linear("root", F(1, 100), 0))
+    return ScatterProblem(procs, n)
+
+
+class TestConstructions:
+    def test_flat_tree_shape(self):
+        tree = flat_tree(4)
+        assert tree.root == 3
+        assert tree.children[3] == (0, 1, 2)
+        assert tree_depth(tree) == 1
+
+    def test_flat_tree_p1(self):
+        tree = flat_tree(1)
+        assert tree.root == 0
+        assert tree_depth(tree) == 0
+
+    def test_rejects_p0(self):
+        with pytest.raises(ValueError, match="p >= 1"):
+            flat_tree(0)
+        with pytest.raises(ValueError, match="p >= 1"):
+            binomial_tree(0)
+
+    def test_binomial_tree_depth_is_logarithmic(self):
+        for p in (2, 3, 4, 8, 16, 33):
+            tree = binomial_tree(p)
+            tree.check_valid()
+            assert tree.root == p - 1
+            assert tree_depth(tree) <= (p - 1).bit_length()
+
+    def test_binomial_children_biggest_subtree_first(self):
+        tree = binomial_tree(8)
+        sizes = subtree_items(tree, [1] * 8)
+        for kids in tree.children:
+            kid_sizes = [sizes[c] for c in kids]
+            assert kid_sizes == sorted(kid_sizes, reverse=True)
+
+    def test_practical_tree_halves_payload_along_edges(self):
+        problem = affine_problem(p=9, n=400)
+        counts = uniform_counts(problem.n, problem.p)
+        tree = practical_tree(problem, counts)
+        tree.check_valid()
+        sizes = subtree_items(tree, counts)
+        for v in range(problem.p):
+            par = tree.parent[v]
+            if par >= 0 and par != tree.root and sizes[v] > 0:
+                assert 2 * sizes[v] <= sizes[par] + counts[v]
+
+    def test_idle_ranks_become_root_children(self):
+        # Payload-aware constructions park zero-count ranks under the root
+        # (binomial is payload-oblivious and keeps its fixed shape).
+        problem = affine_problem(p=5, n=10)
+        counts = (10, 0, 0, 0, 0)
+        for name in ("flat", "practical", "optimal"):
+            tree = build_tree(name, problem, counts)
+            for idle in (1, 2, 3):
+                assert tree.parent[idle] == tree.root
+
+    def test_optimal_respects_opt_limit(self):
+        problem = affine_problem(p=6, n=60)
+        counts = uniform_counts(problem.n, problem.p)
+        with pytest.raises(ValueError, match="opt_limit"):
+            optimal_tree(problem, counts, opt_limit=2)
+
+    def test_optimal_beats_flat_under_latency(self):
+        # Large per-message latency: one relayed message saves root port time.
+        problem = affine_problem(p=8, n=80, intercept=F(2))
+        counts = uniform_counts(problem.n, problem.p)
+        opt = optimal_tree(problem, counts)
+        assert tree_makespan_exact(problem, opt, counts) < tree_makespan_exact(
+            problem, flat_tree(problem.p), counts
+        )
+        assert tree_depth(opt) > 1
+
+    def test_unknown_construction_rejected(self):
+        problem = affine_problem(p=3, n=9)
+        with pytest.raises(ValueError, match="unknown tree construction"):
+            build_tree("fibonacci", problem, (3, 3, 3))
+
+
+class TestScatterTreeType:
+    def test_roundtrips_through_dict(self):
+        tree = binomial_tree(7)
+        assert ScatterTree.from_dict(tree.to_dict()) == tree
+
+    def test_check_valid_rejects_two_roots(self):
+        bad = ScatterTree(parent=(-1, -1), children=((), ()))
+        with pytest.raises(ValueError, match="exactly one root"):
+            bad.check_valid()
+
+    def test_check_valid_rejects_cycle(self):
+        bad = ScatterTree(parent=(-1, 2, 1), children=((), (2,), (1,)))
+        with pytest.raises(ValueError, match="does not reach the root"):
+            bad.check_valid()
+
+    def test_check_valid_rejects_inconsistent_children(self):
+        bad = ScatterTree(parent=(1, -1), children=((), ()))
+        with pytest.raises(ValueError, match="missing from children"):
+            bad.check_valid()
+
+    def test_mismatched_p_rejected_by_evaluator(self):
+        problem = affine_problem(p=4, n=8)
+        with pytest.raises(ValueError, match="spans"):
+            tree_makespan_exact(problem, flat_tree(3), (2, 2, 2, 2))
+
+
+class TestLowerBound:
+    def test_zero_items(self):
+        problem = affine_problem(p=4, n=0)
+        assert tree_lower_bound(problem, (0, 0, 0, 0)) == 0
+
+    def test_single_processor(self):
+        problem = ScatterProblem([Processor.linear("root", F(1, 10), 0)], 30)
+        assert tree_lower_bound(problem, (30,)) == F(3)
+
+    def test_latency_rounds_term(self):
+        # 7 non-root holders ⇒ 8 participants ⇒ 3 α-rounds minimum.
+        problem = affine_problem(p=8, n=70, intercept=F(5))
+        counts = uniform_counts(problem.n, problem.p)
+        assert tree_lower_bound(problem, counts) >= F(5) * 3
+
+    def test_root_emission_term(self):
+        problem = affine_problem(p=4, n=90, intercept=F(0))
+        counts = (30, 30, 30, 0)
+        # β_min = 1/50 across non-root links; 90 remote items.
+        assert tree_lower_bound(problem, counts) >= F(90, 50)
+
+
+# -- unit tests: planner ----------------------------------------------------
+
+
+class TestPlanScatterTree:
+    def test_flat_baseline_recorded(self):
+        problem = affine_problem()
+        result = plan_scatter_tree(problem, order_policy=None)
+        assert result.algorithm.startswith("tree-")
+        assert result.info["flat_makespan_exact"] >= result.makespan_exact
+        assert result.info["lower_bound_exact"] <= result.makespan_exact
+        assert result.info["counts_source"] in ("solver", "uniform")
+        assert result.info["subtree_items"][result.info["tree"].root] == problem.n
+        assert result.info["depth"] == tree_depth(result.info["tree"])
+
+    def test_pinned_construction_uses_solver_counts(self):
+        problem = affine_problem()
+        flat = plan_scatter(problem, order_policy=None)
+        result = plan_scatter_tree(
+            problem, construction="binomial", order_policy=None
+        )
+        assert result.algorithm == "tree-binomial"
+        assert result.counts == flat.counts
+        assert result.info["construction"] == "binomial"
+
+    def test_latency_instance_goes_deep(self):
+        # Uniform compute forces every host to participate; the per-message
+        # intercept then makes relayed sends beat the root's serial port.
+        procs = [
+            Processor.affine(f"P{i}", F(1, 10), F(1, 1000), comm_intercept=F(1))
+            for i in range(11)
+        ]
+        procs.append(Processor.linear("root", F(1, 10), 0))
+        problem = ScatterProblem(procs, 200)
+        result = plan_scatter_tree(problem, order_policy=None)
+        assert result.info["depth"] > 1
+        assert result.makespan_exact < result.info["flat_makespan_exact"]
+
+    def test_via_plan_scatter_topology(self):
+        problem = affine_problem()
+        direct = plan_scatter_tree(problem, order_policy=None)
+        routed = plan_scatter(problem, topology="tree", order_policy=None)
+        assert routed.counts == direct.counts
+        assert routed.algorithm == direct.algorithm
+        assert routed.makespan_exact == direct.makespan_exact
+
+    def test_bad_topology_rejected(self):
+        problem = affine_problem()
+        with pytest.raises(ValueError, match="topology"):
+            plan_scatter(problem, topology="ring")
+
+    def test_opt_limit_gate_falls_back(self):
+        # More participants than opt_limit: candidates drop 'optimal' only.
+        problem = affine_problem(p=7, n=60)
+        result = plan_scatter_tree(problem, order_policy=None, opt_limit=2)
+        assert result.info["construction"] in ("flat", "binomial", "practical")
+
+    def test_default_opt_limit_sane(self):
+        assert 0 < DEFAULT_OPT_LIMIT <= 128

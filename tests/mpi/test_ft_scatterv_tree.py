@@ -1,0 +1,233 @@
+"""Fault tolerance for tree-planned scatters (ISSUE tree-death test).
+
+``scatterv_tree`` relays every interior node's subtree payload through
+that node, so an interior death strands the whole subtree — the plain
+collective deadlocks loudly.  The fault-tolerant path instead runs
+``ft_scatterv`` over the *tree planner's* counts with a tree-topology
+``IncrementalPlanner`` as the re-plan hook: survivors are re-planned as
+fresh tree problems, items are conserved, and every inner round passes
+the ``eq1-recompute`` / ``dist-valid`` oracles (the tree-aware Eq. 1
+re-derivation included).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffineCost, LinearCost, plan_scatter
+from repro.core.incremental import IncrementalPlanner
+from repro.core.trees import tree_send_events
+from repro.mpi import ScatterOutcome, run_spmd
+from repro.simgrid import FaultPlan, Host, HostFailure, Link, Platform
+from repro.simgrid.engine import DeadlockError
+from repro.verify import run_oracles
+
+N = 800
+ROOT = 7
+
+
+def tree_platform(p=8, alpha=0.1, beta=1e-3, lat=1.0):
+    """Uniform compute + per-message latency: the tree planner goes deep."""
+    plat = Platform("ft-tree")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(alpha)))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link(AffineCost(beta, lat)))
+    return plat
+
+
+def tree_plan(plat, n=N):
+    problem = plat.to_problem(n, plat.host_names[-1], order=None)
+    return problem, plan_scatter(problem, topology="tree", order_policy=None)
+
+
+def interior_positions(tree):
+    return [v for v in range(tree.p) if tree.children[v] and v != tree.root]
+
+
+def recording_tree_planner(rounds):
+    inner = IncrementalPlanner(topology="tree")
+
+    def _plan(problem):
+        result = inner(problem)
+        rounds.append((problem, result))
+        return result
+
+    return _plan
+
+
+def ft_program(ctx, data, counts, root, scatter_kwargs):
+    outcome = yield from ctx.ft_scatterv(
+        data if ctx.rank == root else None,
+        counts if ctx.rank == root else None,
+        root=root,
+        **scatter_kwargs,
+    )
+    return outcome
+
+
+def run_ft_tree(plat, counts, faults, *, n=N, **scatter_kwargs):
+    scatter_kwargs.setdefault("retries", 2)
+    return run_spmd(
+        plat,
+        plat.host_names,
+        ft_program,
+        list(range(n)),
+        list(counts),
+        ROOT,
+        scatter_kwargs,
+        faults=faults,
+    )
+
+
+class TestTreeShape:
+    def test_planner_relays_through_interior_nodes(self):
+        plat = tree_platform()
+        problem, result = tree_plan(plat)
+        tree = result.info["tree"]
+        assert result.info["depth"] > 1
+        assert interior_positions(tree), "expected a relaying tree, got flat"
+        # Positions map 1:1 onto ranks (order=None keeps insertion order).
+        assert [p.name for p in problem.processors] == plat.host_names
+
+
+class TestInteriorDeath:
+    def _fault(self, victim="h3", at=2.0):
+        # t=2.0: the victim holds its subtree payload and is mid-forward.
+        return FaultPlan(seed=0).crash(victim, at=at)
+
+    def test_plain_tree_scatter_strands_the_subtree(self):
+        plat = tree_platform()
+        problem, result = tree_plan(plat)
+        tree = result.info["tree"]
+        # A relay that already holds its subtree payload at t=2.0: its
+        # death leaves the descendants blocked on forwards that never come.
+        events = tree_send_events(problem, tree, result.counts)
+        recv_end = {e.dst: e.end for e in events}
+        victim = next(
+            v for v in interior_positions(tree) if recv_end[v] < 2.0
+        )
+
+        def program(ctx, data, counts, root, tree):
+            chunk = yield from ctx.scatterv_tree(
+                data if ctx.rank == root else None, counts, root=root, tree=tree
+            )
+            return list(chunk)
+
+        # The victim's descendants wait on a relay that never comes: the
+        # simulator detects the stranded subtree as a deadlock.
+        with pytest.raises(DeadlockError, match="blocked processes"):
+            run_spmd(
+                plat,
+                plat.host_names,
+                program,
+                list(range(N)),
+                list(result.counts),
+                ROOT,
+                tree,
+                faults=self._fault(plat.host_names[victim]),
+            )
+
+    def test_interior_death_conserves_items(self):
+        plat = tree_platform()
+        problem, result = tree_plan(plat)
+        victim = interior_positions(result.info["tree"])[-1]
+        run = run_ft_tree(
+            plat, result.counts, self._fault(plat.host_names[victim])
+        )
+        outcome = run.results[ROOT]
+        assert isinstance(outcome, ScatterOutcome)
+        assert outcome.dead == (victim,)
+        assert isinstance(run.results[victim], HostFailure)
+        assert outcome.replans >= 1
+        assert outcome.redistributed_items > 0
+
+        # Conservation: every reclaimable item lands on exactly one
+        # survivor; anything else is accounted as lost with its owner.
+        delivered = [
+            x
+            for r, res in enumerate(run.results)
+            if r != victim
+            for x in res.chunk
+        ]
+        assert len(delivered) + outcome.lost_items == N
+        assert len(set(delivered)) == len(delivered)
+        for r, res in enumerate(run.results):
+            if r != victim:
+                assert outcome.counts[r] == len(res.chunk)
+
+    def test_replan_rounds_pass_tree_oracles(self):
+        plat = tree_platform()
+        problem, result = tree_plan(plat)
+        victim = interior_positions(result.info["tree"])[-1]
+        rounds = []
+        run = run_ft_tree(
+            plat,
+            result.counts,
+            self._fault(plat.host_names[victim]),
+            planner=recording_tree_planner(rounds),
+        )
+        outcome = run.results[ROOT]
+        assert outcome.replans == len(rounds) >= 1
+        for inner_problem, inner_result in rounds:
+            # The re-plan is itself a tree plan over the survivor subset.
+            assert inner_result.algorithm.startswith("tree-")
+            assert "tree" in inner_result.info
+            reports = run_oracles(
+                inner_problem,
+                {inner_result.algorithm: inner_result},
+                only=["eq1-recompute", "dist-valid", "tree-lower-bound"],
+            )
+            for report in reports:
+                assert report.applicable
+                assert report.ok, (report.oracle_id, report.violations)
+        assert sum(p.n for p, _ in rounds) == outcome.redistributed_items
+
+    def test_bit_identical_across_repeats(self):
+        plat = tree_platform()
+        _, result = tree_plan(plat)
+        victim = interior_positions(result.info["tree"])[-1]
+        fault = self._fault(plat.host_names[victim])
+        run_a = run_ft_tree(plat, result.counts, fault)
+        run_b = run_ft_tree(plat, result.counts, fault)
+        assert run_a.duration == run_b.duration
+        assert run_a.results[ROOT].counts == run_b.results[ROOT].counts
+        assert run_a.results[ROOT].replans == run_b.results[ROOT].replans
+
+
+class TestRandomInteriorDeaths:
+    @given(
+        st.integers(min_value=0, max_value=10),  # interior pick (mod len)
+        st.integers(min_value=5, max_value=60),  # crash time in tenths
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_interior_death_conserves_and_verifies(self, pick, tenths):
+        plat = tree_platform()
+        problem, result = tree_plan(plat)
+        interiors = interior_positions(result.info["tree"])
+        victim = interiors[pick % len(interiors)]
+        rounds = []
+        run = run_ft_tree(
+            plat,
+            result.counts,
+            FaultPlan(seed=0).crash(plat.host_names[victim], at=tenths / 10.0),
+            planner=recording_tree_planner(rounds),
+        )
+        outcome = run.results[ROOT]
+        assert outcome.dead == (victim,)
+        delivered = sum(
+            len(res.chunk)
+            for res in run.results
+            if not isinstance(res, HostFailure)
+        )
+        assert delivered + outcome.lost_items == N
+        for inner_problem, inner_result in rounds:
+            reports = run_oracles(
+                inner_problem,
+                {inner_result.algorithm: inner_result},
+                only=["eq1-recompute", "dist-valid"],
+            )
+            for report in reports:
+                assert report.ok, (report.oracle_id, report.violations)

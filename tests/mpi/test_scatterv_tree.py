@@ -1,0 +1,219 @@
+"""Wire-protocol tests for the tree scatter (``repro.mpi.scatterv_tree``)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearCost
+from repro.core.trees import (
+    TREE_CONSTRUCTIONS,
+    ScatterTree,
+    binomial_tree,
+    flat_tree,
+)
+from repro.mpi import MpiError, run_spmd
+from repro.obs.events import EventLog
+from repro.mpi.collectives import tree_for_comm
+from repro.simgrid import Host, Link, Platform
+
+
+def make_platform(p=8, alpha=0.01, beta=0.001):
+    plat = Platform("tree-coll")
+    for i in range(p):
+        plat.add_host(Host(f"h{i}", LinearCost(alpha * (1 + 0.1 * i))))
+    names = plat.host_names
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            plat.connect(u, v, Link.linear(beta))
+    return plat
+
+
+def expected_chunks(data, counts):
+    out, off = [], 0
+    for c in counts:
+        out.append(list(data[off : off + c]))
+        off += c
+    return out
+
+
+def scatter_program(ctx, data, counts, root, kwargs):
+    chunk = yield from ctx.scatterv_tree(
+        data if ctx.rank == root else None, counts, root=root, **kwargs
+    )
+    return list(chunk)
+
+
+def run_tree_scatter(plat, data, counts, root, **kwargs):
+    return run_spmd(
+        plat, plat.host_names, scatter_program, data, counts, root, kwargs
+    )
+
+
+class TestDelivery:
+    COUNTS = [5, 0, 7, 3, 11, 2, 9, 3]
+
+    def test_matches_scatterv_layout_for_every_construction(self):
+        plat = make_platform()
+        data = list(range(sum(self.COUNTS)))
+        want = expected_chunks(data, self.COUNTS)
+        for construction in TREE_CONSTRUCTIONS:
+            run = run_tree_scatter(
+                plat, data, self.COUNTS, 7, construction=construction
+            )
+            assert run.results == want, construction
+
+    def test_matches_scatterv_with_non_last_root(self):
+        plat = make_platform()
+        data = list(range(sum(self.COUNTS)))
+        want = expected_chunks(data, self.COUNTS)
+        for root in (0, 3):
+            run = run_tree_scatter(plat, data, self.COUNTS, root)
+            assert run.results == want, root
+
+    def test_explicit_tree_honoured(self):
+        plat = make_platform(p=4)
+        counts = [2, 3, 4, 1]
+        data = list(range(10))
+        # A hand-rolled chain 3 -> 2 -> 1 -> 0: every edge relays.
+        chain = ScatterTree(
+            parent=(1, 2, 3, -1), children=((), (0,), (1,), (2,))
+        )
+        run = run_tree_scatter(plat, data, counts, 3, tree=chain)
+        assert run.results == expected_chunks(data, counts)
+
+    def test_interior_nodes_actually_relay(self):
+        plat = make_platform(p=8)
+        counts = [10] * 8
+        data = list(range(80))
+        log = EventLog()
+        tree = binomial_tree(8)
+        run = run_spmd(
+            plat,
+            plat.host_names,
+            scatter_program,
+            data,
+            counts,
+            7,
+            {"tree": tree},
+            observers=[log],
+        )
+        assert run.results == expected_chunks(data, counts)
+        senders = {e.actor for e in log.events if e.type == "send.begin"}
+        # Binomial interior ranks (3, 5, 6 for p=8 root=7) forward blocks.
+        assert len(senders) > 1
+
+    def test_zero_count_ranks_get_empty_chunks(self):
+        plat = make_platform(p=4)
+        counts = [0, 6, 0, 0]
+        run = run_tree_scatter(plat, list(range(6)), counts, 3)
+        assert run.results == [[], [0, 1, 2, 3, 4, 5], [], []]
+
+    def test_n_zero(self):
+        plat = make_platform(p=4)
+        run = run_tree_scatter(plat, [], [0, 0, 0, 0], 3)
+        assert run.results == [[], [], [], []]
+
+    def test_derived_tree_matches_tree_for_comm(self):
+        """tree=None derivation equals the explicit tree on every rank."""
+        plat = make_platform()
+        counts = self.COUNTS
+
+        def program(ctx):
+            tree = tree_for_comm(ctx, counts, 7, construction="practical")
+            chunk = yield from ctx.scatterv_tree(
+                list(range(sum(counts))) if ctx.rank == 7 else None,
+                counts,
+                root=7,
+            )
+            return (tree, list(chunk))
+
+        run = run_spmd(plat, plat.host_names, program)
+        trees = [t for t, _ in run.results]
+        assert all(t == trees[0] for t in trees)
+        chunks = [c for _, c in run.results]
+        assert chunks == expected_chunks(list(range(sum(counts))), counts)
+
+
+class TestValidation:
+    def _expect(self, match, counts, root=3, data=None, **kwargs):
+        plat = make_platform(p=4)
+        if data is None:
+            data = list(range(sum(counts))) if counts else []
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv_tree(
+                data if ctx.rank == root else None, counts, root=root, **kwargs
+            )
+            return list(chunk)
+
+        with pytest.raises(MpiError, match=match):
+            run_spmd(plat, plat.host_names, program)
+
+    def test_counts_required_everywhere(self):
+        self._expect("needs counts at every rank", None)
+
+    def test_counts_length(self):
+        self._expect("3 entries for 4 ranks", [1, 2, 3])
+
+    def test_negative_counts(self):
+        self._expect("negative counts", [1, -1, 2, 2])
+
+    def test_tree_size_mismatch(self):
+        self._expect(
+            "spans 3 positions for 4 ranks", [1, 1, 1, 1], tree=flat_tree(3)
+        )
+
+    def test_tree_root_mismatch(self):
+        # flat_tree(4) is rooted at 3; scatter rooted at 0 must refuse.
+        self._expect("rooted at 3", [1, 1, 1, 1], root=0, tree=flat_tree(4))
+
+    def test_root_must_provide_data(self):
+        plat = make_platform(p=4)
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv_tree(None, [1, 1, 1, 1], root=3)
+            return list(chunk)
+
+        with pytest.raises(MpiError, match="root must provide data"):
+            run_spmd(plat, plat.host_names, program)
+
+    def test_data_shorter_than_counts(self):
+        self._expect(
+            "counts sum to 8 but data has only 4",
+            [2, 2, 2, 2],
+            data=list(range(4)),
+        )
+
+    def test_unknown_construction_surfaces(self):
+        plat = make_platform(p=4)
+
+        def program(ctx):
+            chunk = yield from ctx.scatterv_tree(
+                list(range(4)) if ctx.rank == 3 else None,
+                [1, 1, 1, 1],
+                root=3,
+                construction="fibonacci",
+            )
+            return list(chunk)
+
+        with pytest.raises(ValueError, match="unknown tree construction"):
+            run_spmd(plat, plat.host_names, program)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=8),
+        st.sampled_from(TREE_CONSTRUCTIONS),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_partitions_the_data(self, p, raw_counts, construction, data):
+        counts = (raw_counts * p)[:p]
+        root = data.draw(st.integers(min_value=0, max_value=p - 1))
+        plat = make_platform(p=p)
+        payload = list(range(sum(counts)))
+        run = run_tree_scatter(
+            plat, payload, counts, root, construction=construction
+        )
+        assert run.results == expected_chunks(payload, counts)

@@ -1,0 +1,102 @@
+"""Topology plumbing through the serving layer (tree-aware PlanService).
+
+The fingerprint gains a ``;topo=`` clause only for non-flat topologies —
+pre-existing flat cache keys stay byte-identical — and tree plans
+round-trip through the cache with their full info payload
+(:class:`~repro.core.trees.ScatterTree`, construction, bounds) minus the
+wall-clock ``profile``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Processor, ScatterProblem, plan_scatter
+from repro.core.trees import ScatterTree
+from repro.serve import PlanService
+from repro.serve.fingerprint import problem_fingerprint
+
+
+def affine_problem(p=6, n=300, seed=11):
+    rng = random.Random(seed)
+    procs = [
+        Processor.affine(
+            f"P{i + 1}",
+            rng.uniform(0.005, 0.02),
+            rng.uniform(1e-4, 5e-4),
+            comm_intercept=rng.uniform(0.1, 0.5),
+        )
+        for i in range(p - 1)
+    ]
+    procs.append(Processor.linear("root", 0.01, 0.0))
+    return ScatterProblem(procs, n)
+
+
+class TestFingerprintTopology:
+    def test_flat_keys_unchanged_by_the_topology_clause(self):
+        problem = affine_problem()
+        assert problem_fingerprint(problem) == problem_fingerprint(
+            problem, topology="flat"
+        )
+        assert ";topo=" not in problem_fingerprint(problem, topology="flat").canonical
+
+    def test_tree_keys_are_distinct(self):
+        problem = affine_problem()
+        flat = problem_fingerprint(problem)
+        tree = problem_fingerprint(problem, topology="tree")
+        assert flat.key != tree.key
+        assert ";topo=tree" in tree.canonical
+
+    def test_tree_keys_still_canonical_over_problems(self):
+        a = affine_problem(seed=11)
+        b = affine_problem(seed=11)
+        c = affine_problem(seed=12)
+        assert problem_fingerprint(a, topology="tree") == problem_fingerprint(
+            b, topology="tree"
+        )
+        assert problem_fingerprint(a, topology="tree") != problem_fingerprint(
+            c, topology="tree"
+        )
+
+
+class TestTreeService:
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            PlanService(topology="ring")
+
+    def test_tree_service_matches_cold_tree_plan(self):
+        problem = affine_problem()
+        cold = plan_scatter(problem, topology="tree")
+        with PlanService(topology="tree") as svc:
+            result = svc.submit(problem).result(timeout=60)
+        assert result.counts == cold.counts
+        assert result.algorithm == cold.algorithm
+        assert result.makespan_exact == cold.makespan_exact
+        assert result.info["tree"] == cold.info["tree"]
+        assert result.info["construction"] == cold.info["construction"]
+
+    def test_cached_tree_plan_keeps_tree_info(self):
+        problem = affine_problem()
+        with PlanService(topology="tree") as svc:
+            first = svc.submit(problem).result(timeout=60)
+            second_ticket = svc.submit(problem)
+            second = second_ticket.result(timeout=60)
+        assert second.info["serve"]["cached"]
+        assert isinstance(second.info["tree"], ScatterTree)
+        assert second.info["tree"] == first.info["tree"]
+        assert second.info["lower_bound_exact"] == first.info["lower_bound_exact"]
+        assert second.makespan_exact <= second.info["flat_makespan_exact"]
+        # The wall-clock profile never survives the cache.
+        assert "profile" not in second.info
+
+    def test_flat_and_tree_services_do_not_share_entries(self):
+        problem = affine_problem()
+        with PlanService(topology="flat") as flat_svc:
+            flat = flat_svc.submit(problem).result(timeout=60)
+        with PlanService(topology="tree") as tree_svc:
+            tree = tree_svc.submit(problem).result(timeout=60)
+        assert not flat.algorithm.startswith("tree-")
+        assert tree.algorithm.startswith("tree-")
+        assert "tree" not in flat.info
+        # The tree plan is never worse (flat is in its candidate set).
+        assert tree.makespan_exact <= flat.makespan_exact

@@ -50,6 +50,28 @@ class TestVerifyCli:
         assert code == 0
         assert "golden: all snapshots byte-identical" in out
 
+    def test_tree_mode_clean_run_exits_zero(self, capsys):
+        code = main(["verify", "--mode", "tree", "--seeds", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify: OK" in out
+        # Focused differential sweep: no mutation or golden legs.
+        assert "mutation" not in out
+        assert "golden" not in out
+
+    def test_tree_mode_json_report(self, capsys):
+        code = main(["verify", "--mode", "tree", "--seeds", "4", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["fuzz"]["stats"]["instances"] == 4
+        assert doc["fuzz"]["stats"]["oracle_checked"]["tree-lower-bound"] >= 4
+
+    def test_tree_mode_rejects_oracle_filter(self, capsys):
+        code = main(["verify", "--mode", "tree", "--oracle", "dist-valid"])
+        assert code == 2
+        assert "--oracle cannot be combined" in capsys.readouterr().err
+
 
 class TestVerifyCliFailurePath:
     @pytest.fixture

@@ -13,6 +13,7 @@ from repro.verify.fuzz import (
     _mutate_problem,
     fuzz,
     fuzz_incremental,
+    fuzz_tree,
     generate_instance,
     problem_from_dict,
     problem_to_dict,
@@ -148,6 +149,36 @@ class TestIncrementalMode:
                 assert 0 <= current.n <= problem.n
 
 
+class TestTreeMode:
+    def test_tree_corpus_clean(self):
+        outcome = fuzz_tree(25, base_seed=0)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        assert outcome.stats.instances == 25
+        # Every instance ran both the flat and the tree planner.
+        assert outcome.stats.solver_runs >= 2 * 25
+
+    def test_tree_lower_bound_oracle_exercised(self):
+        outcome = fuzz_tree(20, base_seed=1)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        assert outcome.stats.oracle_checked.get("tree-lower-bound", 0) >= 20
+        # The warm-vs-cold differential oracle is the one check that does
+        # not apply to the tree sweep (it re-plans flat schedules).
+        assert "incremental-matches-cold" not in outcome.stats.oracle_checked
+
+    def test_deterministic_across_runs(self):
+        a = fuzz_tree(10, base_seed=21)
+        b = fuzz_tree(10, base_seed=21)
+        assert a.to_dict() == b.to_dict()
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            fuzz_tree(2, shapes=["nope"])
+
+    def test_shape_subset_respected(self):
+        outcome = fuzz_tree(8, base_seed=4, shapes=["affine"])
+        assert set(outcome.stats.shapes) == {"affine"}
+
+
 class TestShrink:
     def test_shrinks_processor_count_and_n(self):
         rng = random.Random(42)
@@ -206,3 +237,12 @@ class TestDeepFuzz:
         outcome = fuzz_incremental(500, base_seed=0)
         assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
         assert outcome.stats.instances == 500
+
+    def test_tree_differential_500_seeds(self):
+        # Acceptance tier: the tree planner dominates flat and satisfies
+        # every applicable oracle (tree-lower-bound included) on >= 500
+        # fuzzed instances.
+        outcome = fuzz_tree(500, base_seed=0)
+        assert outcome.ok, [ce.to_dict() for ce in outcome.counterexamples]
+        assert outcome.stats.instances == 500
+        assert outcome.stats.oracle_checked.get("tree-lower-bound", 0) >= 500

@@ -36,7 +36,7 @@ def linear_problem():
 
 
 class TestRegistry:
-    def test_all_nine_oracles_registered(self):
+    def test_all_ten_oracles_registered(self):
         assert set(oracle_ids()) == {
             "eq1-recompute",
             "dist-valid",
@@ -46,6 +46,7 @@ class TestRegistry:
             "thm2-endings",
             "thm3-ordering",
             "eq4-lp-bound",
+            "tree-lower-bound",
             "incremental-matches-cold",
         }
 
